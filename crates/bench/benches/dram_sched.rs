@@ -1,0 +1,91 @@
+//! Bench for the DRAM-scheduler ablation (experiment E5): drives the DRAM
+//! controller directly with synthetic request streams and compares FR-FCFS
+//! against FCFS on throughput and on the row-hit rate that motivates
+//! first-ready scheduling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu_mem::{
+    AccessKind, AddressMap, DramConfig, DramController, DramSched, DramTiming, MemRequest,
+    PipelineSpace, RequestId,
+};
+use gpu_types::{Addr, Cycle, SmId};
+use std::hint::black_box;
+
+fn controller(sched: DramSched) -> DramController {
+    DramController::new(
+        DramConfig {
+            timing: DramTiming {
+                t_rcd: 80,
+                t_rp: 80,
+                t_cl: 321,
+                burst: 8,
+            },
+            queue_capacity: 64,
+            sched,
+        },
+        AddressMap::new(1, 256, 16, 2048),
+    )
+}
+
+fn request(i: u64, addr: u64) -> MemRequest {
+    MemRequest::new(
+        RequestId::new(i),
+        Addr::new(addr),
+        128,
+        AccessKind::Load,
+        PipelineSpace::Global,
+        SmId::new(0),
+        0,
+        Cycle::ZERO,
+    )
+}
+
+/// Mixed stream: bursts of row-local accesses interleaved across banks —
+/// the pattern where FR-FCFS pays off.
+fn drain(sched: DramSched, n: u64) -> (u64, gpu_mem::DramStats) {
+    let mut ctrl = controller(sched);
+    let mut now = Cycle::ZERO;
+    let mut next = 0u64;
+    let mut done = 0u64;
+    while done < n {
+        while next < n && ctrl.can_accept() {
+            // Ping-pong between two rows of the same bank: strict FCFS pays
+            // a row conflict on every request, while first-ready scheduling
+            // batches each row into hits.
+            let row = next % 2;
+            let col = (next / 2) % 16;
+            let addr = row * 32768 + col * 128;
+            ctrl.enqueue(request(next, addr), now);
+            next += 1;
+        }
+        done += ctrl.tick(now).len() as u64;
+        now.tick();
+        assert!(now.get() < 100_000_000, "runaway drain");
+    }
+    (now.get(), ctrl.stats())
+}
+
+fn bench_dram_sched(c: &mut Criterion) {
+    // Print the ablation series into the bench log.
+    println!("\n=== E5: DRAM scheduler ablation (synthetic stream) ===");
+    for sched in [DramSched::FrFcfs, DramSched::Fcfs] {
+        let (cycles, stats) = drain(sched, 2000);
+        println!(
+            "{sched:?}: {cycles} cycles for 2000 reqs; row hits {}, conflicts {}, queue wait {} cyc",
+            stats.row_hits, stats.row_conflicts, stats.queue_wait_cycles
+        );
+    }
+
+    let mut group = c.benchmark_group("dram_sched");
+    for sched in [DramSched::FrFcfs, DramSched::Fcfs] {
+        group.bench_with_input(
+            BenchmarkId::new("drain_2000", format!("{sched:?}")),
+            &sched,
+            |b, &sched| b.iter(|| black_box(drain(sched, 2000).0)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dram_sched);
+criterion_main!(benches);

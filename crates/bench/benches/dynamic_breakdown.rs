@@ -1,0 +1,54 @@
+//! Bench for **Figure 1** (experiment E2): regenerates a small-scale
+//! breakdown once, then measures (a) the instrumented BFS simulation and
+//! (b) the breakdown analysis itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use latency_bench::{run_bfs_traced, BfsExperiment};
+use latency_core::{ArchPreset, Component, LatencyBreakdown};
+use std::hint::black_box;
+
+fn small_exp() -> BfsExperiment {
+    BfsExperiment {
+        nodes: 1024,
+        degree: 8,
+        seed: 7,
+        block_dim: 128,
+    }
+}
+
+fn small_cfg() -> gpu_sim::GpuConfig {
+    let mut cfg = ArchPreset::FermiGf100.config();
+    cfg.num_sms = 4;
+    cfg.num_partitions = 2;
+    cfg
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    // The artifact, at reduced scale, printed into the bench log.
+    let run = run_bfs_traced(small_cfg(), &small_exp()).expect("BFS runs");
+    let (breakdown, _) = LatencyBreakdown::from_requests_clipped(&run.requests, 24, 0.99);
+    println!("\n=== Figure 1 (regenerated, reduced scale) ===\n{breakdown}");
+    println!("overall shares:");
+    for (comp, share) in breakdown.ranked_components() {
+        println!("  {:>12}: {share:>5.1}%", comp.label());
+    }
+
+    let mut group = c.benchmark_group("fig1");
+    group.sample_size(10);
+    group.bench_function("instrumented_bfs_sim", |b| {
+        b.iter(|| {
+            let r = run_bfs_traced(small_cfg(), &small_exp()).unwrap();
+            black_box(r.requests.len())
+        })
+    });
+    group.bench_function("breakdown_analysis", |b| {
+        b.iter(|| {
+            let bd = LatencyBreakdown::from_requests(&run.requests, 48);
+            black_box(bd.overall_percentages()[Component::DramQToSch.index()])
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Bench for **Figure 2** (experiment E3): regenerates a small-scale
+//! exposed/hidden split once, then measures the exposure analysis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use latency_bench::{run_bfs_traced, BfsExperiment};
+use latency_core::{ArchPreset, ExposureAnalysis};
+use std::hint::black_box;
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut cfg = ArchPreset::FermiGf100.config();
+    cfg.num_sms = 4;
+    cfg.num_partitions = 2;
+    let exp = BfsExperiment {
+        nodes: 1024,
+        degree: 8,
+        seed: 7,
+        block_dim: 128,
+    };
+    let run = run_bfs_traced(cfg, &exp).expect("BFS runs");
+    let (analysis, _) = ExposureAnalysis::from_loads_clipped(&run.loads, 24, 0.99);
+    println!("\n=== Figure 2 (regenerated, reduced scale) ===\n{analysis}");
+    println!(
+        "overall exposed fraction: {:.1}%\n",
+        100.0 * analysis.overall_exposed_fraction()
+    );
+
+    let mut group = c.benchmark_group("fig2");
+    group.bench_function("exposure_analysis", |b| {
+        b.iter(|| {
+            let a = ExposureAnalysis::from_loads(&run.loads, 24);
+            black_box(a.overall_exposed_fraction())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

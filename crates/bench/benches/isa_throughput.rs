@@ -1,0 +1,120 @@
+//! Functional-executor performance: warp-instructions per second of the
+//! SIMT interpreter, on straight-line, divergent, and memory-bound kernels
+//! — the floor under every simulation in the workspace.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gpu_isa::{
+    AluOp, CmpOp, Kernel, KernelBuilder, LocalMap, MemBackend, Operand, Space, Special, ThreadCtx,
+    WarpExec, Width,
+};
+use gpu_types::Addr;
+use std::hint::black_box;
+
+struct FlatMem(Vec<u8>);
+
+impl MemBackend for FlatMem {
+    fn load(&mut self, _: Space, addr: Addr, width: Width) -> u64 {
+        let mut v = 0u64;
+        for i in 0..width.bytes() {
+            v |= (self.0[(addr.get() + i) as usize % self.0.len()] as u64) << (8 * i);
+        }
+        v
+    }
+    fn store(&mut self, _: Space, addr: Addr, width: Width, value: u64) {
+        let len = self.0.len();
+        for i in 0..width.bytes() {
+            self.0[(addr.get() + i) as usize % len] = (value >> (8 * i)) as u8;
+        }
+    }
+    fn atomic_add(&mut self, addr: Addr, width: Width, value: u64) -> u64 {
+        let old = self.load(Space::Global, addr, width);
+        self.store(Space::Global, addr, width, old.wrapping_add(value));
+        old
+    }
+}
+
+fn alu_kernel(iters: i64) -> Kernel {
+    let mut b = KernelBuilder::new("alu_loop");
+    let acc = b.mov(1i64);
+    b.for_range(Operand::Imm(0), Operand::Imm(iters), 1, |b, i| {
+        b.alu_to(AluOp::Add, acc, acc, i);
+        b.alu_to(AluOp::Xor, acc, acc, 0x5555);
+        b.alu_to(AluOp::Mul, acc, acc, 3);
+        b.alu_to(AluOp::Shr, acc, acc, 1);
+    });
+    b.exit();
+    b.build().unwrap()
+}
+
+fn divergent_kernel(iters: i64) -> Kernel {
+    let mut b = KernelBuilder::new("divergent_loop");
+    let lane = b.special(Special::LaneId);
+    let acc = b.mov(0i64);
+    b.for_range(Operand::Imm(0), Operand::Imm(iters), 1, |b, i| {
+        let parity = b.and(lane, 1);
+        let p = b.setp(CmpOp::Eq, parity, 0);
+        b.if_then_else(
+            p,
+            |b| b.alu_to(AluOp::Add, acc, acc, i),
+            |b| b.alu_to(AluOp::Sub, acc, acc, i),
+        );
+    });
+    b.exit();
+    b.build().unwrap()
+}
+
+fn memory_kernel(iters: i64) -> Kernel {
+    let mut b = KernelBuilder::new("memory_loop");
+    let lane = b.special(Special::LaneId);
+    let addr = b.shl(lane, 3);
+    b.for_range(Operand::Imm(0), Operand::Imm(iters), 1, |b, _| {
+        let v = b.ld_global(Width::W8, addr, 0);
+        let v2 = b.add(v, 1);
+        b.st_global(Width::W8, addr, 0, v2);
+    });
+    b.exit();
+    b.build().unwrap()
+}
+
+fn run_to_completion(kernel: &Arc<Kernel>, mem: &mut FlatMem) -> u64 {
+    let ctxs: Vec<ThreadCtx> = (0..32)
+        .map(|i| ThreadCtx {
+            tid: i,
+            ctaid: 0,
+            ntid: 32,
+            nctaid: 1,
+            lane: i,
+        })
+        .collect();
+    let mut w = WarpExec::new(Arc::clone(kernel), Arc::from([]), ctxs, LocalMap::default());
+    while !w.is_finished() {
+        if w.at_barrier() {
+            w.release_barrier();
+        }
+        w.step(mem);
+    }
+    w.instructions_executed()
+}
+
+fn bench_exec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("warp_exec");
+    for (name, kernel) in [
+        ("alu", alu_kernel(256)),
+        ("divergent", divergent_kernel(256)),
+        ("memory", memory_kernel(256)),
+    ] {
+        let kernel = Arc::new(kernel);
+        let mut mem = FlatMem(vec![0u8; 4096]);
+        let instrs = run_to_completion(&kernel, &mut mem);
+        group.throughput(Throughput::Elements(instrs));
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(run_to_completion(&kernel, &mut mem)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exec);
+criterion_main!(benches);

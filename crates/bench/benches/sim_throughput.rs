@@ -1,0 +1,61 @@
+//! Simulator performance bench: simulated cycles per wall-clock second on
+//! the core workloads — the number that decides how big an experiment the
+//! harness can afford. Also covers the E6 latency-hiding machinery.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gpu_sim::{Gpu, GpuConfig, SchedPolicy};
+use gpu_workloads::vecadd;
+use latency_bench::{hiding_sweep, BfsExperiment};
+use latency_core::ArchPreset;
+use std::hint::black_box;
+
+fn run_vecadd(cfg: GpuConfig, n: u64) -> u64 {
+    let mut gpu = Gpu::new(cfg);
+    let dev = vecadd::setup(&mut gpu, n);
+    let summary = vecadd::run(&mut gpu, &dev, 256).expect("vecadd runs");
+    summary.cycles
+}
+
+fn bench_throughput(c: &mut Criterion) {
+    // Print the E6 sweep (reduced scale) into the bench log.
+    let mut cfg = ArchPreset::FermiGf100.config();
+    cfg.num_sms = 4;
+    cfg.num_partitions = 2;
+    let exp = BfsExperiment {
+        nodes: 1024,
+        degree: 8,
+        seed: 7,
+        block_dim: 128,
+    };
+    println!("\n=== E6: latency hiding sweep (reduced scale) ===");
+    let points = hiding_sweep(cfg, &exp, &[4, 16, 48], &[SchedPolicy::Lrr, SchedPolicy::Gto])
+        .expect("sweep runs");
+    for p in &points {
+        println!(
+            "{:>2} warps/SM {:?}: exposed {:>5.1}%  cycles {}",
+            p.warps_per_sm,
+            p.scheduler,
+            100.0 * p.exposed_fraction,
+            p.cycles
+        );
+    }
+
+    let mut group = c.benchmark_group("sim_throughput");
+    group.sample_size(10);
+    for (name, build) in [
+        ("gf100_full", GpuConfig::fermi_gf100 as fn() -> GpuConfig),
+        ("gt200_cacheless", || ArchPreset::TeslaGt200.config()),
+    ] {
+        // Report simulated cycles as "elements" so criterion prints
+        // cycles/second.
+        let cycles = run_vecadd(build(), 32 * 1024);
+        group.throughput(Throughput::Elements(cycles));
+        group.bench_with_input(BenchmarkId::new("vecadd_32k", name), &build, |b, build| {
+            b.iter(|| black_box(run_vecadd(build(), 32 * 1024)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

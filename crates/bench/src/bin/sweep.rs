@@ -1,0 +1,86 @@
+//! Full Wong-style stride × footprint sweep (the measurement grid behind
+//! §II), plus mechanical parameter inference: plateaus, per-level
+//! capacities, and the L1 line size.
+//!
+//! ```text
+//! cargo run --release -p latency-bench --bin sweep [arch]
+//! arch: tesla | fermi | kepler | maxwell   (default fermi)
+//! ```
+
+use latency_core::{
+    detect_plateaus, infer_hierarchy, infer_line_size, pow2_range, ArchPreset, ChaseSpace, Sweep,
+};
+
+fn preset_from_arg() -> ArchPreset {
+    match std::env::args().nth(1).as_deref() {
+        Some("tesla") => ArchPreset::TeslaGt200,
+        Some("kepler") => ArchPreset::KeplerGk104,
+        Some("maxwell") => ArchPreset::MaxwellGm107,
+        Some("fermi") | None => ArchPreset::FermiGf106,
+        Some(other) => {
+            eprintln!("unknown arch '{other}' (tesla|fermi|kepler|maxwell)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let preset = preset_from_arg();
+    let cfg = preset.config_microbench();
+    println!("stride x footprint sweep on {}\n", preset.name());
+
+    let footprints = pow2_range(2 * 1024, 512 * 1024);
+    let strides = [128u64, 512, 2048, 8192];
+    print!("{:>10}", "footprint");
+    for s in strides {
+        print!(" {s:>9}B");
+    }
+    println!("   (cycles per access)");
+    for &f in &footprints {
+        print!("{f:>10}");
+        for &s in &strides {
+            if f / s < 2 {
+                print!(" {:>10}", "-");
+                continue;
+            }
+            let sweep = Sweep::run(&cfg, ChaseSpace::Global, &[f], &[s]).expect("sweep runs");
+            print!(" {:>10.1}", sweep.points()[0].latency);
+        }
+        println!();
+    }
+
+    // Mechanical inference over the 512 B column.
+    let sweep = Sweep::run(&cfg, ChaseSpace::Global, &footprints, &[512]).expect("sweep runs");
+    let plateaus = detect_plateaus(&sweep.latencies(), 0.20);
+    println!("\nplateaus at stride 512 B:");
+    for p in &plateaus {
+        println!("  {p}");
+    }
+
+    println!("\ninferred hierarchy (capacity bisection):");
+    match infer_hierarchy(&cfg, ChaseSpace::Global, 512, 1024, 512 * 1024) {
+        Ok(levels) => {
+            for l in levels {
+                if l.capacity_hi == u64::MAX {
+                    println!("  memory: ~{:.0} cycles", l.latency);
+                } else {
+                    println!(
+                        "  cache: ~{:.0} cycles, capacity {} KiB (bracket {}..{})",
+                        l.latency,
+                        l.capacity() / 1024,
+                        l.capacity_lo,
+                        l.capacity_hi
+                    );
+                }
+            }
+        }
+        Err(e) => eprintln!("  inference failed: {e}"),
+    }
+
+    if cfg.l1.as_ref().is_some_and(|l1| l1.serve_global) {
+        match infer_line_size(&cfg, 64 * 1024) {
+            Ok(line) => println!("\ninferred L1 line size: {line} B"),
+            Err(e) => eprintln!("line-size inference failed: {e}"),
+        }
+    }
+}

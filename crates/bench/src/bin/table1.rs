@@ -1,0 +1,26 @@
+//! E1: regenerates the paper's **Table I** — static latencies of the
+//! global/local memory pipeline across four GPU generations.
+//!
+//! ```text
+//! cargo run --release -p latency-bench --bin table1
+//! ```
+
+use latency_bench::run_table1;
+
+fn main() {
+    println!("Table I: latencies of memory loads through the global memory");
+    println!("pipeline over four generations of NVIDIA GPUs (cycles)\n");
+    match run_table1() {
+        Ok(table) => {
+            print!("{table}");
+            println!(
+                "\nmax relative error vs. paper: {:.2}%",
+                100.0 * table.max_rel_error()
+            );
+        }
+        Err(e) => {
+            eprintln!("table1 failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,375 @@
+//! Shared experiment drivers (see crate docs for the experiment index).
+
+use gpu_mem::DramSched;
+use gpu_sim::{CompletedRequest, Gpu, GpuConfig, LoadInstrRecord, SchedPolicy, SimError};
+use gpu_workloads::{
+    bfs, graph::Graph, histogram, matmul, reduce, scan, spmv, stencil, transpose, vecadd,
+};
+use latency_core::{ChaseError, Table1};
+
+/// Runs the full Table I reproduction (E1): all four paper columns.
+///
+/// # Errors
+///
+/// Propagates chase/simulator failures.
+pub fn run_table1() -> Result<Table1, ChaseError> {
+    Table1::measure()
+}
+
+/// Parameters of the BFS dynamic-latency experiment (E2/E3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BfsExperiment {
+    /// Graph nodes.
+    pub nodes: u32,
+    /// Average out-degree.
+    pub degree: u32,
+    /// Graph seed.
+    pub seed: u64,
+    /// Threads per CTA.
+    pub block_dim: u32,
+}
+
+impl Default for BfsExperiment {
+    /// The default instrumented run: a 16k-node uniform random graph with
+    /// average degree 8 — a working set just over the GF100's aggregate L2,
+    /// so the run mixes L2 hits with real DRAM traffic like the paper's
+    /// Rodinia BFS input (whose latencies top out near 1800 cycles).
+    fn default() -> Self {
+        BfsExperiment {
+            nodes: 16384,
+            degree: 8,
+            seed: 20150301, // ISPASS 2015
+            block_dim: 128,
+        }
+    }
+}
+
+/// Traces collected from one instrumented run.
+#[derive(Debug)]
+pub struct TracedRun {
+    /// Completed line fetches (Figure 1 input).
+    pub requests: Vec<CompletedRequest>,
+    /// Completed warp-level loads (Figure 2 input).
+    pub loads: Vec<LoadInstrRecord>,
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Warp instructions issued.
+    pub instructions: u64,
+}
+
+/// Runs BFS on `config` with tracing enabled and returns the latency traces
+/// (E2/E3 driver).
+///
+/// # Errors
+///
+/// Propagates simulator failures.
+pub fn run_bfs_traced(config: GpuConfig, exp: &BfsExperiment) -> Result<TracedRun, SimError> {
+    let graph = Graph::uniform_random(exp.nodes, exp.degree, exp.seed);
+    let mut gpu = Gpu::new(config);
+    // Rodinia-style mask BFS: the formulation GPGPU-Sim's standard workload
+    // suite uses, i.e. the kernel behind the paper's Figures 1 and 2.
+    let dev = bfs::upload_graph_mask(&mut gpu, &graph);
+    gpu.set_tracing(true);
+    let run = bfs::run_bfs_mask(&mut gpu, &dev, 0, exp.block_dim)?;
+    // Cross-check against the host reference: an instrumented run that
+    // computes the wrong BFS would be meaningless.
+    assert_eq!(
+        bfs::read_costs(&gpu, &dev),
+        graph.bfs_levels(0),
+        "device BFS diverged from reference"
+    );
+    let (requests, loads) = gpu.take_traces();
+    Ok(TracedRun {
+        requests,
+        loads,
+        cycles: gpu.now().get(),
+        instructions: run.instructions,
+    })
+}
+
+/// The non-BFS workloads of experiment E4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// Streaming vector add.
+    VecAdd,
+    /// Tiled shared-memory matrix multiply.
+    MatMul,
+    /// Tree reduction with atomic combine.
+    Reduce,
+    /// CSR sparse matrix–vector multiply.
+    SpMv,
+    /// 2-D Jacobi stencil.
+    Stencil,
+    /// Global-atomic histogram.
+    Histogram,
+    /// Shared-memory tiled matrix transpose.
+    Transpose,
+    /// Per-CTA Hillis–Steele prefix sum.
+    Scan,
+}
+
+impl Workload {
+    /// All E4 workloads.
+    pub const ALL: [Workload; 8] = [
+        Workload::VecAdd,
+        Workload::MatMul,
+        Workload::Reduce,
+        Workload::SpMv,
+        Workload::Stencil,
+        Workload::Histogram,
+        Workload::Transpose,
+        Workload::Scan,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::VecAdd => "vecadd",
+            Workload::MatMul => "matmul",
+            Workload::Reduce => "reduce",
+            Workload::SpMv => "spmv",
+            Workload::Stencil => "stencil",
+            Workload::Histogram => "histogram",
+            Workload::Transpose => "transpose",
+            Workload::Scan => "scan",
+        }
+    }
+}
+
+/// Runs one E4 workload on `config` with tracing enabled.
+///
+/// # Errors
+///
+/// Propagates simulator failures.
+///
+/// # Panics
+///
+/// Panics if the workload's device output fails verification.
+pub fn run_workload_traced(config: GpuConfig, workload: Workload) -> Result<TracedRun, SimError> {
+    let mut gpu = Gpu::new(config);
+    gpu.set_tracing(true);
+    let summary = match workload {
+        Workload::VecAdd => {
+            let dev = vecadd::setup(&mut gpu, 64 * 1024);
+            let s = vecadd::run(&mut gpu, &dev, 256)?;
+            vecadd::verify(&gpu, &dev);
+            s
+        }
+        Workload::MatMul => {
+            let dev = matmul::setup(&mut gpu, 64);
+            let s = matmul::run(&mut gpu, &dev)?;
+            matmul::verify(&gpu, &dev);
+            s
+        }
+        Workload::Reduce => {
+            let dev = reduce::setup(&mut gpu, 64 * 1024);
+            let s = reduce::run(&mut gpu, &dev, 256)?;
+            assert_eq!(
+                gpu.device().read_u32(dev.output),
+                reduce::reference(64 * 1024)
+            );
+            s
+        }
+        Workload::SpMv => {
+            let m = spmv::CsrMatrix::random(4096, 4096, 8, 5);
+            let dev = spmv::setup(&mut gpu, &m);
+            let s = spmv::run(&mut gpu, &dev, 128)?;
+            spmv::verify(&gpu, &dev, &m);
+            s
+        }
+        Workload::Stencil => {
+            let dev = stencil::setup(&mut gpu, 256, 256);
+            let (s, result) = stencil::run(&mut gpu, &dev, 2, 128)?;
+            stencil::verify(&gpu, &dev, result, 2);
+            s
+        }
+        Workload::Histogram => {
+            let dev = histogram::setup(&mut gpu, 64 * 1024, 256);
+            let s = histogram::run(&mut gpu, &dev, 256)?;
+            histogram::verify(&gpu, &dev);
+            s
+        }
+        Workload::Transpose => {
+            let dev = transpose::setup(&mut gpu, 256);
+            let s = transpose::run(&mut gpu, &dev, transpose::Variant::Tiled)?;
+            transpose::verify(&gpu, &dev);
+            s
+        }
+        Workload::Scan => {
+            let dev = scan::setup(&mut gpu, 64 * 1024);
+            let s = scan::run(&mut gpu, &dev, 256)?;
+            scan::verify(&gpu, &dev, 256);
+            s
+        }
+    };
+    let (requests, loads) = gpu.take_traces();
+    Ok(TracedRun {
+        requests,
+        loads,
+        cycles: summary.cycles,
+        instructions: summary.instructions,
+    })
+}
+
+/// Result of the DRAM-scheduler ablation (E5) for one scheduler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DramSchedResult {
+    /// Scheduler evaluated.
+    pub sched: DramSched,
+    /// Total cycles for the workload.
+    pub cycles: u64,
+    /// Mean completed-load latency.
+    pub mean_load_latency: f64,
+    /// 95th-percentile completed-load latency.
+    pub p95_load_latency: u64,
+    /// Share (0–100) of aggregate fetch time spent waiting for the DRAM
+    /// scheduler (the paper's `DRAM(QtoSch)` component).
+    pub qtosch_share: f64,
+}
+
+/// Runs the E5 ablation: BFS under each DRAM scheduler.
+///
+/// # Errors
+///
+/// Propagates simulator failures.
+pub fn dram_sched_comparison(
+    base: GpuConfig,
+    exp: &BfsExperiment,
+) -> Result<Vec<DramSchedResult>, SimError> {
+    let mut out = Vec::new();
+    for sched in [DramSched::FrFcfs, DramSched::Fcfs] {
+        let mut cfg = base.clone();
+        cfg.dram.sched = sched;
+        let run = run_bfs_traced(cfg, exp)?;
+        let mut lat: Vec<u64> = run.loads.iter().map(LoadInstrRecord::total).collect();
+        lat.sort_unstable();
+        let mean = if lat.is_empty() {
+            0.0
+        } else {
+            lat.iter().sum::<u64>() as f64 / lat.len() as f64
+        };
+        let p95 = lat
+            .get((lat.len() * 95 / 100).min(lat.len().saturating_sub(1)))
+            .copied()
+            .unwrap_or(0);
+        let breakdown = latency_core::LatencyBreakdown::from_requests(&run.requests, 48);
+        let qtosch =
+            breakdown.overall_percentages()[latency_core::Component::DramQToSch.index()];
+        out.push(DramSchedResult {
+            sched,
+            cycles: run.cycles,
+            mean_load_latency: mean,
+            p95_load_latency: p95,
+            qtosch_share: qtosch,
+        });
+    }
+    Ok(out)
+}
+
+/// One point of the latency-hiding sweep (E6).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HidingPoint {
+    /// Warp slots per SM.
+    pub warps_per_sm: usize,
+    /// Scheduler policy.
+    pub scheduler: SchedPolicy,
+    /// Overall exposed fraction of load latency (0–1).
+    pub exposed_fraction: f64,
+    /// Total cycles.
+    pub cycles: u64,
+}
+
+/// Runs the E6 sweep: exposed latency fraction of BFS as a function of
+/// available thread-level parallelism and scheduler policy.
+///
+/// # Errors
+///
+/// Propagates simulator failures.
+pub fn hiding_sweep(
+    base: GpuConfig,
+    exp: &BfsExperiment,
+    warp_counts: &[usize],
+    policies: &[SchedPolicy],
+) -> Result<Vec<HidingPoint>, SimError> {
+    let mut out = Vec::new();
+    for &w in warp_counts {
+        for &p in policies {
+            let mut cfg = base.clone();
+            cfg.max_warps_per_sm = w;
+            cfg.max_ctas_per_sm = cfg.max_ctas_per_sm.min(w.max(1));
+            cfg.scheduler = p;
+            let run = run_bfs_traced(cfg, exp)?;
+            let analysis = latency_core::ExposureAnalysis::from_loads(&run.loads, 24);
+            out.push(HidingPoint {
+                warps_per_sm: w,
+                scheduler: p,
+                exposed_fraction: analysis.overall_exposed_fraction(),
+                cycles: run.cycles,
+            });
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_gf100() -> GpuConfig {
+        let mut c = GpuConfig::fermi_gf100();
+        c.num_sms = 4;
+        c.num_partitions = 2;
+        c
+    }
+
+    fn small_exp() -> BfsExperiment {
+        BfsExperiment {
+            nodes: 512,
+            degree: 6,
+            seed: 1,
+            block_dim: 64,
+        }
+    }
+
+    #[test]
+    fn bfs_trace_collects_requests_and_loads() {
+        let run = run_bfs_traced(small_gf100(), &small_exp()).unwrap();
+        assert!(!run.requests.is_empty());
+        assert!(!run.loads.is_empty());
+        assert!(run.cycles > 0);
+        assert!(run.instructions > 0);
+    }
+
+    #[test]
+    fn dram_sched_ablation_produces_both_rows() {
+        let rows = dram_sched_comparison(small_gf100(), &small_exp()).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].sched, DramSched::FrFcfs);
+        assert_eq!(rows[1].sched, DramSched::Fcfs);
+        assert!(rows.iter().all(|r| r.mean_load_latency > 0.0));
+    }
+
+    #[test]
+    fn hiding_sweep_exposed_fraction_decreases_with_more_warps() {
+        let pts = hiding_sweep(
+            small_gf100(),
+            &small_exp(),
+            &[2, 48],
+            &[SchedPolicy::Lrr],
+        )
+        .unwrap();
+        assert_eq!(pts.len(), 2);
+        let few = pts[0].exposed_fraction;
+        let many = pts[1].exposed_fraction;
+        assert!(
+            few >= many,
+            "more warps should hide at least as much latency: {few} vs {many}"
+        );
+    }
+
+    #[test]
+    fn workload_runs_are_verified() {
+        let run = run_workload_traced(small_gf100(), Workload::VecAdd).unwrap();
+        assert!(!run.loads.is_empty());
+    }
+}

@@ -1,0 +1,19 @@
+//! Experiment drivers regenerating every table and figure of the paper.
+//!
+//! Each experiment from DESIGN.md's index has a driver here, shared between
+//! the printable binaries (`cargo run -p latency-bench --bin table1`, …) and
+//! the Criterion benches:
+//!
+//! - **E1 / Table I**: [`run_table1`] (wrapping [`latency_core::Table1`]).
+//! - **E2 / Figure 1**: [`run_bfs_traced`] + [`latency_core::LatencyBreakdown`].
+//! - **E3 / Figure 2**: [`run_bfs_traced`] + [`latency_core::ExposureAnalysis`].
+//! - **E4**: [`run_workload_traced`] over the non-BFS workloads.
+//! - **E5**: [`dram_sched_comparison`] (FR-FCFS vs FCFS ablation).
+//! - **E6**: [`hiding_sweep`] (exposed latency vs. warps/SM and scheduler).
+
+pub mod experiments;
+
+pub use experiments::{
+    dram_sched_comparison, hiding_sweep, run_bfs_traced, run_table1, run_workload_traced,
+    BfsExperiment, DramSchedResult, HidingPoint, TracedRun, Workload,
+};

@@ -1,0 +1,54 @@
+//! Static and dynamic GPU latency analysis — the core contribution of the
+//! `gpu-latency` workspace, reproducing *Andersch, Lucas, Álvarez-Mesa,
+//! Juurlink: "On Latency in GPU Throughput Microarchitectures" (ISPASS
+//! 2015)*.
+//!
+//! Two analyses are provided on top of the `gpu-sim` timing simulator:
+//!
+//! 1. **Static latency** (paper §II, Table I): [`measure_chase`] runs the
+//!    single-thread pointer-chase microbenchmark on per-generation machine
+//!    models ([`ArchPreset`]); [`Sweep`] and [`detect_plateaus`] implement
+//!    the stride × footprint methodology of Wong et al.; [`Table1`]
+//!    regenerates the paper's Table I.
+//! 2. **Dynamic latency** (paper §III, Figures 1 & 2):
+//!    [`LatencyBreakdown`] splits every traced memory fetch's lifetime into
+//!    the eight pipeline components of Figure 1, and [`ExposureAnalysis`]
+//!    computes the exposed/hidden split of Figure 2.
+//!
+//! # Examples
+//!
+//! Reproduce one cell of Table I (Fermi L1 hit latency):
+//!
+//! ```no_run
+//! use latency_core::{ArchPreset, ChaseParams, measure_chase};
+//!
+//! let cfg = ArchPreset::FermiGf106.config_microbench();
+//! let m = measure_chase(&cfg, &ChaseParams::global(4096, 128))?;
+//! assert!((m.per_access - 45.0).abs() < 3.0);
+//! # Ok::<(), latency_core::ChaseError>(())
+//! ```
+
+pub mod breakdown;
+pub mod chase;
+pub mod exposure;
+pub mod inference;
+pub mod loaded;
+pub mod plateau;
+pub mod presets;
+pub mod report;
+pub mod sweep;
+pub mod table1;
+
+pub use breakdown::{components_of, Component, LatencyBreakdown};
+pub use chase::{
+    build_chase_kernel, measure_chase, write_chain, write_shuffled_chain, ChaseError,
+    ChaseMeasurement, ChaseParams, ChasePattern, ChaseSpace, UNROLL,
+};
+pub use exposure::ExposureAnalysis;
+pub use inference::{infer_hierarchy, infer_line_size, CacheLevelEstimate};
+pub use loaded::{build_loaded_kernel, loaded_chase, measure_chase_under_load, LoadedChase};
+pub use plateau::{detect_plateaus, Plateau};
+pub use presets::{ArchPreset, Table1Row};
+pub use report::{breakdown_csv, exposure_csv, shares_markdown, table1_csv, table1_markdown};
+pub use sweep::{pow2_range, Sweep, SweepPoint};
+pub use table1::{measure_row, MeasuredRow, Table1};

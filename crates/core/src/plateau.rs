@@ -1,0 +1,122 @@
+//! Plateau detection over sweep latencies.
+//!
+//! The stride/footprint sweep of a cached memory hierarchy produces latency
+//! *plateaus*: one per pipeline level that can service the steady-state
+//! chase (L1 hit, L2 hit, DRAM). This module clusters sweep samples into
+//! those plateaus — the step Wong et al. (and the paper's §II) perform by
+//! eye on their latency plots, done mechanically here.
+
+use std::fmt;
+
+/// One detected latency plateau.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Plateau {
+    /// Mean latency of the plateau's samples.
+    pub latency: f64,
+    /// Number of sweep samples on this plateau.
+    pub samples: usize,
+}
+
+/// Clusters latencies into plateaus: samples within `rel_tol` (relative to
+/// the running cluster mean) belong to the same plateau. Returns plateaus
+/// ordered by ascending latency.
+///
+/// # Panics
+///
+/// Panics if `rel_tol` is not positive and finite.
+///
+/// # Examples
+///
+/// ```
+/// use latency_core::detect_plateaus;
+///
+/// let latencies = [45.0, 45.2, 44.8, 310.0, 309.5, 684.0, 686.0];
+/// let plateaus = detect_plateaus(&latencies, 0.10);
+/// assert_eq!(plateaus.len(), 3);
+/// assert!((plateaus[0].latency - 45.0).abs() < 1.0);
+/// assert!((plateaus[2].latency - 685.0).abs() < 2.0);
+/// ```
+pub fn detect_plateaus(latencies: &[f64], rel_tol: f64) -> Vec<Plateau> {
+    assert!(
+        rel_tol > 0.0 && rel_tol.is_finite(),
+        "rel_tol must be positive and finite"
+    );
+    let mut sorted: Vec<f64> = latencies.iter().copied().filter(|l| l.is_finite()).collect();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("filtered NaNs"));
+    let mut plateaus: Vec<Plateau> = Vec::new();
+    for l in sorted {
+        match plateaus.last_mut() {
+            Some(p) if (l - p.latency).abs() <= rel_tol * p.latency.max(1.0) => {
+                // Running mean update.
+                let n = p.samples as f64;
+                p.latency = (p.latency * n + l) / (n + 1.0);
+                p.samples += 1;
+            }
+            _ => plateaus.push(Plateau {
+                latency: l,
+                samples: 1,
+            }),
+        }
+    }
+    plateaus
+}
+
+impl fmt::Display for Plateau {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "~{:.0} cycles ({} samples)", self.latency, self.samples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_level_is_one_plateau() {
+        let p = detect_plateaus(&[100.0, 101.0, 99.5, 100.2], 0.05);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].samples, 4);
+        assert!((p[0].latency - 100.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn three_level_hierarchy_detected() {
+        let mut data = Vec::new();
+        for _ in 0..10 {
+            data.push(45.0);
+            data.push(310.0);
+            data.push(685.0);
+        }
+        let p = detect_plateaus(&data, 0.10);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p[0].samples, 10);
+        assert!(p[0].latency < p[1].latency && p[1].latency < p[2].latency);
+    }
+
+    #[test]
+    fn empty_and_nan_inputs() {
+        assert!(detect_plateaus(&[], 0.1).is_empty());
+        let p = detect_plateaus(&[f64::NAN, 50.0], 0.1);
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn close_levels_merge_with_loose_tolerance() {
+        let p = detect_plateaus(&[100.0, 109.0], 0.10);
+        assert_eq!(p.len(), 1);
+        let p = detect_plateaus(&[100.0, 120.0], 0.10);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "rel_tol must be positive")]
+    fn bad_tolerance_panics() {
+        let _ = detect_plateaus(&[1.0], 0.0);
+    }
+
+    #[test]
+    fn display_mentions_cycles() {
+        let p = detect_plateaus(&[45.0], 0.1);
+        assert!(p[0].to_string().contains("cycles"));
+    }
+}

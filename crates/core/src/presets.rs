@@ -1,0 +1,392 @@
+//! Per-generation GPU presets reproducing the machines of the paper's
+//! Table I.
+//!
+//! Each preset encodes the *structure* the paper attributes to its
+//! generation — which cache levels exist and which memory spaces they serve
+//! — with stage latencies calibrated so that the pointer-chase microbenchmark
+//! ([`crate::chase`]) recovers the paper's measured latencies:
+//!
+//! | Unit  | GT200 | GF106 | GK104 | GM107 |
+//! |-------|-------|-------|-------|-------|
+//! | L1 D$ | —     | 45    | 30 (local only) | — |
+//! | L2 D$ | —     | 310   | 175   | 194   |
+//! | DRAM  | 440   | 685   | 300   | 350   |
+
+use gpu_icnt::IcntConfig;
+use gpu_mem::{CacheConfig, DramConfig, DramSched, DramTiming, MshrConfig, Replacement};
+use gpu_sim::{GpuConfig, L1Config, L2Config, SchedPolicy, WritePolicy};
+
+/// The paper's expected Table I latencies for one architecture (hot-clock
+/// cycles). `None` means the unit does not exist (or is bypassed for global
+/// accesses and thus not reported).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Table1Row {
+    /// L1 data-cache hit latency.
+    pub l1: Option<u64>,
+    /// L2 data-cache hit latency.
+    pub l2: Option<u64>,
+    /// DRAM access latency.
+    pub dram: u64,
+}
+
+/// A GPU generation analyzed by the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArchPreset {
+    /// NVIDIA Tesla GT200: global memory uncached (values from Wong et
+    /// al.'s GT200 study, as cited by the paper).
+    TeslaGt200,
+    /// NVIDIA Fermi GF106: two cache levels, L1 serves global and local.
+    FermiGf106,
+    /// NVIDIA Fermi GF100: the GPGPU-Sim configuration used for the paper's
+    /// dynamic analysis (§III); same pipeline latencies as GF106.
+    FermiGf100,
+    /// NVIDIA Kepler GK104: L1 serves only local accesses; global loads see
+    /// L2 at best.
+    KeplerGk104,
+    /// NVIDIA Maxwell GM107: L1 data cache removed; L2 and DRAM slower than
+    /// Kepler's.
+    MaxwellGm107,
+}
+
+impl ArchPreset {
+    /// All presets in generation order.
+    pub const ALL: [ArchPreset; 5] = [
+        ArchPreset::TeslaGt200,
+        ArchPreset::FermiGf106,
+        ArchPreset::FermiGf100,
+        ArchPreset::KeplerGk104,
+        ArchPreset::MaxwellGm107,
+    ];
+
+    /// The four presets appearing as columns of the paper's Table I.
+    pub const TABLE1: [ArchPreset; 4] = [
+        ArchPreset::TeslaGt200,
+        ArchPreset::FermiGf106,
+        ArchPreset::KeplerGk104,
+        ArchPreset::MaxwellGm107,
+    ];
+
+    /// Short display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            ArchPreset::TeslaGt200 => "GT200 (Tesla)",
+            ArchPreset::FermiGf106 => "GF106 (Fermi)",
+            ArchPreset::FermiGf100 => "GF100 (Fermi)",
+            ArchPreset::KeplerGk104 => "GK104 (Kepler)",
+            ArchPreset::MaxwellGm107 => "GM107 (Maxwell)",
+        }
+    }
+
+    /// The paper's Table I values for this architecture.
+    pub fn table1_expected(self) -> Table1Row {
+        match self {
+            ArchPreset::TeslaGt200 => Table1Row {
+                l1: None,
+                l2: None,
+                dram: 440,
+            },
+            ArchPreset::FermiGf106 | ArchPreset::FermiGf100 => Table1Row {
+                l1: Some(45),
+                l2: Some(310),
+                dram: 685,
+            },
+            ArchPreset::KeplerGk104 => Table1Row {
+                l1: Some(30), // local accesses only
+                l2: Some(175),
+                dram: 300,
+            },
+            ArchPreset::MaxwellGm107 => Table1Row {
+                l1: None,
+                l2: Some(194),
+                dram: 350,
+            },
+        }
+    }
+
+    /// Builds the full simulated machine for this generation.
+    pub fn config(self) -> GpuConfig {
+        match self {
+            ArchPreset::TeslaGt200 => tesla_gt200(),
+            ArchPreset::FermiGf106 => fermi(4, 2, "GF106 (Fermi)"),
+            ArchPreset::FermiGf100 => fermi(15, 6, "GF100 (Fermi)"),
+            ArchPreset::KeplerGk104 => kepler_gk104(),
+            ArchPreset::MaxwellGm107 => maxwell_gm107(),
+        }
+    }
+
+    /// A single-SM, single-partition variant with identical pipeline
+    /// latencies, used by the static-latency microbenchmarks: a lone thread
+    /// cannot create contention, so shrinking the machine changes nothing
+    /// but simulation speed.
+    pub fn config_microbench(self) -> GpuConfig {
+        let mut c = self.config();
+        c.num_sms = 1;
+        c.num_partitions = 1;
+        c
+    }
+}
+
+fn common_l2(sets: usize, hit_latency: u64) -> L2Config {
+    L2Config {
+        cache: CacheConfig {
+            sets,
+            ways: 8,
+            line_size: 128,
+            replacement: Replacement::Lru,
+        },
+        mshr: MshrConfig {
+            entries: 32,
+            max_merged: 8,
+        },
+        hit_latency,
+        input_queue: 8,
+        write_policy: WritePolicy::WriteThrough,
+    }
+}
+
+fn common_l1(sets: usize, hit_latency: u64, serve_global: bool, serve_local: bool) -> L1Config {
+    L1Config {
+        cache: CacheConfig {
+            sets,
+            ways: 4,
+            line_size: 128,
+            replacement: Replacement::Lru,
+        },
+        mshr: MshrConfig {
+            entries: 32,
+            max_merged: 8,
+        },
+        hit_latency,
+        miss_queue: 8,
+        serve_global,
+        serve_local,
+    }
+}
+
+fn dram(t_rcd: u64, t_rp: u64, t_cl: u64, burst: u64) -> DramConfig {
+    DramConfig {
+        timing: DramTiming {
+            t_rcd,
+            t_rp,
+            t_cl,
+            burst,
+        },
+        queue_capacity: 128,
+        sched: DramSched::FrFcfs,
+    }
+}
+
+/// Tesla GT200: 30 SMs, 8 partitions, no data caches for global memory.
+/// Target: DRAM 440.
+fn tesla_gt200() -> GpuConfig {
+    GpuConfig {
+        name: "GT200 (Tesla)".to_string(),
+        num_sms: 30,
+        warp_size: 32,
+        max_warps_per_sm: 32,
+        max_ctas_per_sm: 8,
+        issue_width: 1,
+        scheduler: SchedPolicy::Lrr,
+        alu_latency: 24,
+        fp_latency: 24,
+        sfu_latency: 48,
+        shared_latency: 38,
+        sm_base_latency: 24,
+        lsu_queue: 34,
+        line_size: 128,
+        l1: None,
+        icnt: IcntConfig {
+            latency: 40,
+            output_queue: 8,
+            inject_per_src: 1,
+            eject_per_dst: 1,
+        },
+        rop_latency: 45,
+        rop_queue: 16,
+        l2: None,
+        dram: dram(60, 60, 151, 8),
+        num_partitions: 8,
+        partition_chunk: 256,
+        dram_banks: 16,
+        dram_row_bytes: 2048,
+        fill_latency: 10,
+    }
+}
+
+/// Fermi GF100/GF106: two-level hierarchy, L1 serves global and local.
+/// Targets: L1 45, L2 310, DRAM 685.
+fn fermi(num_sms: usize, num_partitions: usize, name: &str) -> GpuConfig {
+    GpuConfig {
+        name: name.to_string(),
+        num_sms,
+        warp_size: 32,
+        max_warps_per_sm: 48,
+        max_ctas_per_sm: 8,
+        issue_width: 2,
+        scheduler: SchedPolicy::Lrr,
+        alu_latency: 18,
+        fp_latency: 18,
+        sfu_latency: 40,
+        shared_latency: 30,
+        sm_base_latency: 28,
+        lsu_queue: 34,
+        line_size: 128,
+        l1: Some(common_l1(32, 17, true, true)), // 16 KB
+        icnt: IcntConfig {
+            latency: 48,
+            output_queue: 8,
+            inject_per_src: 1,
+            eject_per_dst: 1,
+        },
+        rop_latency: 60,
+        rop_queue: 16,
+        l2: Some(common_l2(128, 115)), // 128 KB per slice
+        dram: dram(80, 80, 321, 8),
+        num_partitions,
+        partition_chunk: 256,
+        dram_banks: 16,
+        dram_row_bytes: 2048,
+        fill_latency: 10,
+    }
+}
+
+/// Kepler GK104: L1 is local-only; global loads hit L2 at best.
+/// Targets: L1 (local) 30, L2 175, DRAM 300.
+fn kepler_gk104() -> GpuConfig {
+    GpuConfig {
+        name: "GK104 (Kepler)".to_string(),
+        num_sms: 8,
+        warp_size: 32,
+        max_warps_per_sm: 64,
+        max_ctas_per_sm: 16,
+        issue_width: 2,
+        scheduler: SchedPolicy::Lrr,
+        alu_latency: 11,
+        fp_latency: 11,
+        sfu_latency: 30,
+        shared_latency: 26,
+        sm_base_latency: 14,
+        lsu_queue: 34,
+        line_size: 128,
+        l1: Some(common_l1(32, 16, false, true)), // 16 KB, local only
+        icnt: IcntConfig {
+            latency: 25,
+            output_queue: 8,
+            inject_per_src: 1,
+            eject_per_dst: 1,
+        },
+        rop_latency: 30,
+        rop_queue: 16,
+        l2: Some(common_l2(128, 71)), // 128 KB per slice
+        dram: dram(28, 28, 129, 10),
+        num_partitions: 4,
+        partition_chunk: 256,
+        dram_banks: 16,
+        dram_row_bytes: 2048,
+        fill_latency: 9,
+    }
+}
+
+/// Maxwell GM107: no L1 data cache; larger but slower L2 than Kepler.
+/// Targets: L2 194, DRAM 350.
+fn maxwell_gm107() -> GpuConfig {
+    GpuConfig {
+        name: "GM107 (Maxwell)".to_string(),
+        num_sms: 5,
+        warp_size: 32,
+        max_warps_per_sm: 64,
+        max_ctas_per_sm: 32,
+        issue_width: 2,
+        scheduler: SchedPolicy::Lrr,
+        alu_latency: 6,
+        fp_latency: 6,
+        sfu_latency: 20,
+        shared_latency: 24,
+        sm_base_latency: 16,
+        lsu_queue: 34,
+        line_size: 128,
+        l1: None,
+        icnt: IcntConfig {
+            latency: 28,
+            output_queue: 8,
+            inject_per_src: 1,
+            eject_per_dst: 1,
+        },
+        rop_latency: 34,
+        rop_queue: 16,
+        l2: Some(common_l2(1024, 78)), // 1 MB per slice (2 MB total)
+        dram: dram(36, 36, 150, 11),
+        num_partitions: 2,
+        partition_chunk: 256,
+        dram_banks: 16,
+        dram_row_bytes: 2048,
+        fill_latency: 9,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_mem::PipelineSpace;
+
+    #[test]
+    fn all_presets_build_valid_configs() {
+        for p in ArchPreset::ALL {
+            p.config().assert_valid();
+            p.config_microbench().assert_valid();
+        }
+    }
+
+    #[test]
+    fn generation_structure_matches_paper() {
+        // Tesla: uncached global pipeline.
+        let t = ArchPreset::TeslaGt200.config();
+        assert!(t.l1.is_none() && t.l2.is_none());
+        // Fermi: L1 serves global and local.
+        let f = ArchPreset::FermiGf106.config();
+        assert!(f.l1_serves(PipelineSpace::Global));
+        assert!(f.l1_serves(PipelineSpace::Local));
+        // Kepler: L1 local-only.
+        let k = ArchPreset::KeplerGk104.config();
+        assert!(!k.l1_serves(PipelineSpace::Global));
+        assert!(k.l1_serves(PipelineSpace::Local));
+        // Maxwell: L1 gone.
+        let m = ArchPreset::MaxwellGm107.config();
+        assert!(m.l1.is_none());
+        assert!(m.l2.is_some());
+    }
+
+    #[test]
+    fn expected_rows_match_paper_table() {
+        assert_eq!(ArchPreset::TeslaGt200.table1_expected().dram, 440);
+        let fermi = ArchPreset::FermiGf106.table1_expected();
+        assert_eq!((fermi.l1, fermi.l2, fermi.dram), (Some(45), Some(310), 685));
+        let kepler = ArchPreset::KeplerGk104.table1_expected();
+        assert_eq!((kepler.l1, kepler.l2, kepler.dram), (Some(30), Some(175), 300));
+        let maxwell = ArchPreset::MaxwellGm107.table1_expected();
+        assert_eq!((maxwell.l1, maxwell.l2, maxwell.dram), (None, Some(194), 350));
+    }
+
+    #[test]
+    fn microbench_config_shrinks_machine_only() {
+        for p in ArchPreset::ALL {
+            let full = p.config();
+            let micro = p.config_microbench();
+            assert_eq!(micro.num_sms, 1);
+            assert_eq!(micro.num_partitions, 1);
+            assert_eq!(micro.sm_base_latency, full.sm_base_latency);
+            assert_eq!(micro.icnt.latency, full.icnt.latency);
+            assert_eq!(micro.dram.timing, full.dram.timing);
+        }
+    }
+
+    #[test]
+    fn maxwell_slower_than_kepler_everywhere() {
+        // The paper's §II observation: Maxwell's pipeline is slower than
+        // Kepler's at every level.
+        let k = ArchPreset::KeplerGk104.table1_expected();
+        let m = ArchPreset::MaxwellGm107.table1_expected();
+        assert!(m.l2.unwrap() > k.l2.unwrap());
+        assert!(m.dram > k.dram);
+    }
+}

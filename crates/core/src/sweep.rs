@@ -1,0 +1,144 @@
+//! Stride × footprint sweeps over the chase microbenchmark (the measurement
+//! grid of the paper's §II and of Wong et al.'s methodology).
+
+use std::fmt;
+
+use gpu_sim::GpuConfig;
+
+use crate::chase::{measure_chase, ChaseError, ChaseParams, ChaseSpace};
+
+/// One sweep sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// Working-set size in bytes.
+    pub footprint: u64,
+    /// Stride in bytes.
+    pub stride: u64,
+    /// Measured steady-state per-access latency.
+    pub latency: f64,
+}
+
+/// Results of a stride × footprint sweep.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Sweep {
+    points: Vec<SweepPoint>,
+}
+
+impl Sweep {
+    /// Runs the chase for the cartesian product of `footprints` ×
+    /// `strides` on `config`, skipping combinations with fewer than two
+    /// chain elements (they cannot exercise the intended level).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`ChaseError`] (typically a simulator timeout).
+    pub fn run(
+        config: &GpuConfig,
+        space: ChaseSpace,
+        footprints: &[u64],
+        strides: &[u64],
+    ) -> Result<Self, ChaseError> {
+        let mut points = Vec::new();
+        for &footprint in footprints {
+            for &stride in strides {
+                if footprint / stride < 2 {
+                    continue;
+                }
+                let params = ChaseParams {
+                    footprint,
+                    stride,
+                    space,
+                    pattern: crate::chase::ChasePattern::Sequential,
+                };
+                let m = measure_chase(config, &params)?;
+                points.push(SweepPoint {
+                    footprint,
+                    stride,
+                    latency: m.per_access,
+                });
+            }
+        }
+        Ok(Sweep { points })
+    }
+
+    /// All samples.
+    pub fn points(&self) -> &[SweepPoint] {
+        &self.points
+    }
+
+    /// Samples with the given stride, ordered by footprint.
+    pub fn by_stride(&self, stride: u64) -> Vec<SweepPoint> {
+        let mut v: Vec<SweepPoint> = self
+            .points
+            .iter()
+            .copied()
+            .filter(|p| p.stride == stride)
+            .collect();
+        v.sort_by_key(|p| p.footprint);
+        v
+    }
+
+    /// Latencies of all samples.
+    pub fn latencies(&self) -> Vec<f64> {
+        self.points.iter().map(|p| p.latency).collect()
+    }
+}
+
+impl fmt::Display for Sweep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:>12} {:>8} {:>10}", "footprint", "stride", "latency")?;
+        for p in &self.points {
+            writeln!(f, "{:>12} {:>8} {:>10.1}", p.footprint, p.stride, p.latency)?;
+        }
+        Ok(())
+    }
+}
+
+/// Geometric series of power-of-two values from `lo` to `hi` inclusive.
+///
+/// # Panics
+///
+/// Panics if `lo` is zero or greater than `hi`.
+pub fn pow2_range(lo: u64, hi: u64) -> Vec<u64> {
+    assert!(lo > 0 && lo <= hi, "need 0 < lo <= hi");
+    let mut v = Vec::new();
+    let mut x = lo.next_power_of_two();
+    while x <= hi {
+        v.push(x);
+        x *= 2;
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pow2_range_is_inclusive() {
+        assert_eq!(pow2_range(1024, 8192), vec![1024, 2048, 4096, 8192]);
+        assert_eq!(pow2_range(1000, 1024), vec![1024]);
+        assert_eq!(pow2_range(1, 1), vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "need 0 < lo <= hi")]
+    fn pow2_range_rejects_inverted() {
+        let _ = pow2_range(16, 8);
+    }
+
+    #[test]
+    fn sweep_filters_degenerate_and_sorts() {
+        // Build a tiny synthetic sweep via the real harness on a fast config.
+        let cfg = crate::ArchPreset::FermiGf106.config_microbench();
+        let s = Sweep::run(&cfg, ChaseSpace::Global, &[1024, 4096], &[512, 2048]).unwrap();
+        // (1024, 2048) is degenerate (count < 2) and must be skipped.
+        assert_eq!(s.points().len(), 3);
+        let col = s.by_stride(512);
+        assert_eq!(col.len(), 2);
+        assert!(col[0].footprint < col[1].footprint);
+        assert!(s.latencies().iter().all(|&l| l > 0.0));
+        let text = s.to_string();
+        assert!(text.contains("footprint"));
+    }
+}

@@ -1,0 +1,228 @@
+//! Reproduction harness for the paper's **Table I**: global-memory pipeline
+//! latencies (L1 / L2 / DRAM) across GPU generations.
+//!
+//! For each architecture preset, three chase operating points are derived
+//! from the preset's own cache capacities:
+//!
+//! - **L1 point**: footprint ≤ ¼ of the L1, line-sized stride → steady-state
+//!   L1 hits (through *local* memory on Kepler, whose L1 is local-only).
+//! - **L2 point**: footprint ≥ 8× the L1 but ≤ ½ of one L2 slice,
+//!   512 B stride → every access misses L1, hits L2.
+//! - **DRAM point**: footprint 4× the L2 slice, 4 KiB stride → every access
+//!   misses both caches.
+
+use std::fmt;
+
+use crate::chase::{measure_chase, ChaseError, ChaseParams};
+use crate::presets::{ArchPreset, Table1Row};
+
+/// Measured latencies for one architecture (same shape as the expected
+/// [`Table1Row`], but with fractional cycles).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeasuredRow {
+    /// Measured L1 hit latency (absent if the preset has no L1).
+    pub l1: Option<f64>,
+    /// Measured L2 hit latency (absent if the preset has no L2).
+    pub l2: Option<f64>,
+    /// Measured DRAM latency.
+    pub dram: f64,
+}
+
+impl MeasuredRow {
+    /// Largest relative error versus the expected row, over the levels that
+    /// exist (e.g. 0.02 = within 2%).
+    pub fn max_rel_error(&self, expected: &Table1Row) -> f64 {
+        let mut worst: f64 = 0.0;
+        if let (Some(m), Some(e)) = (self.l1, expected.l1) {
+            worst = worst.max((m - e as f64).abs() / e as f64);
+        }
+        if let (Some(m), Some(e)) = (self.l2, expected.l2) {
+            worst = worst.max((m - e as f64).abs() / e as f64);
+        }
+        worst.max((self.dram - expected.dram as f64).abs() / expected.dram as f64)
+    }
+}
+
+/// Measures one architecture's Table I row using the single-SM microbench
+/// machine (identical pipeline latencies, faster to simulate).
+///
+/// # Errors
+///
+/// Propagates simulator failures as [`ChaseError`].
+pub fn measure_row(preset: ArchPreset) -> Result<MeasuredRow, ChaseError> {
+    let cfg = preset.config_microbench();
+    let l1 = match &cfg.l1 {
+        Some(l1cfg) => {
+            let footprint = l1cfg.cache.capacity() / 4;
+            let params = if l1cfg.serve_global {
+                ChaseParams::global(footprint, 128)
+            } else {
+                // Kepler-style: only local accesses can hit the L1.
+                ChaseParams::local(footprint, 128)
+            };
+            Some(measure_chase(&cfg, &params)?.per_access)
+        }
+        None => None,
+    };
+    let l2 = match &cfg.l2 {
+        Some(l2cfg) => {
+            let slice = l2cfg.cache.capacity();
+            let l1cap = cfg.l1.as_ref().map_or(0, |l| l.cache.capacity());
+            let footprint = (l1cap * 8).max(32 * 1024).min(slice / 2);
+            Some(measure_chase(&cfg, &ChaseParams::global(footprint, 512))?.per_access)
+        }
+        None => None,
+    };
+    let slice = cfg.l2.as_ref().map_or(256 * 1024, |l| l.cache.capacity());
+    let dram = measure_chase(&cfg, &ChaseParams::global(slice * 4, 4096))?.per_access;
+    Ok(MeasuredRow { l1, l2, dram })
+}
+
+/// The reproduced Table I: per-architecture measured and expected values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1 {
+    rows: Vec<(ArchPreset, MeasuredRow)>,
+}
+
+impl Table1 {
+    /// Measures all four architectures of the paper's Table I.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first measurement failure.
+    pub fn measure() -> Result<Self, ChaseError> {
+        Self::measure_presets(&ArchPreset::TABLE1)
+    }
+
+    /// Measures a chosen subset of architectures, one thread per
+    /// architecture (the simulations are independent).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first measurement failure.
+    pub fn measure_presets(presets: &[ArchPreset]) -> Result<Self, ChaseError> {
+        let results: Vec<Result<MeasuredRow, ChaseError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = presets
+                .iter()
+                .map(|&p| scope.spawn(move || measure_row(p)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("measurement thread panicked"))
+                .collect()
+        });
+        let mut rows = Vec::with_capacity(presets.len());
+        for (&p, r) in presets.iter().zip(results) {
+            rows.push((p, r?));
+        }
+        Ok(Table1 { rows })
+    }
+
+    /// The measured rows.
+    pub fn rows(&self) -> &[(ArchPreset, MeasuredRow)] {
+        &self.rows
+    }
+
+    /// Largest relative error across all cells versus the paper.
+    pub fn max_rel_error(&self) -> f64 {
+        self.rows
+            .iter()
+            .map(|(p, m)| m.max_rel_error(&p.table1_expected()))
+            .fold(0.0, f64::max)
+    }
+}
+
+impl fmt::Display for Table1 {
+    /// Renders measured (and expected) values in the layout of the paper's
+    /// Table I.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:8}", "Unit")?;
+        for (p, _) in &self.rows {
+            write!(f, " | {:>22}", p.name())?;
+        }
+        writeln!(f)?;
+        let line_len = 8 + self.rows.len() * 25;
+        writeln!(f, "{}", "-".repeat(line_len))?;
+        let cell = |m: Option<f64>, e: Option<u64>| -> String {
+            match (m, e) {
+                (Some(m), Some(e)) => format!("{m:>8.0} (paper {e:>4})"),
+                (Some(m), None) => format!("{m:>8.0} (paper  ---)"),
+                _ => format!("{:>20}", "x"),
+            }
+        };
+        write!(f, "{:8}", "L1 D$")?;
+        for (p, m) in &self.rows {
+            write!(f, " | {:>22}", cell(m.l1, p.table1_expected().l1))?;
+        }
+        writeln!(f)?;
+        write!(f, "{:8}", "L2 D$")?;
+        for (p, m) in &self.rows {
+            write!(f, " | {:>22}", cell(m.l2, p.table1_expected().l2))?;
+        }
+        writeln!(f)?;
+        write!(f, "{:8}", "DRAM")?;
+        for (p, m) in &self.rows {
+            write!(
+                f,
+                " | {:>22}",
+                cell(Some(m.dram), Some(p.table1_expected().dram))
+            )?;
+        }
+        writeln!(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fermi_row_matches_paper_within_two_percent() {
+        let m = measure_row(ArchPreset::FermiGf106).unwrap();
+        let err = m.max_rel_error(&ArchPreset::FermiGf106.table1_expected());
+        assert!(err < 0.02, "relative error {err:.3}: {m:?}");
+    }
+
+    #[test]
+    fn kepler_row_matches_paper_within_two_percent() {
+        let m = measure_row(ArchPreset::KeplerGk104).unwrap();
+        let err = m.max_rel_error(&ArchPreset::KeplerGk104.table1_expected());
+        assert!(err < 0.02, "relative error {err:.3}: {m:?}");
+        assert!(m.l1.is_some(), "Kepler L1 measured via local chase");
+    }
+
+    #[test]
+    fn tesla_has_no_cache_plateaus() {
+        let m = measure_row(ArchPreset::TeslaGt200).unwrap();
+        assert!(m.l1.is_none() && m.l2.is_none());
+        assert!((m.dram - 440.0).abs() < 9.0);
+    }
+
+    #[test]
+    fn maxwell_row_matches_paper_within_two_percent() {
+        let m = measure_row(ArchPreset::MaxwellGm107).unwrap();
+        let err = m.max_rel_error(&ArchPreset::MaxwellGm107.table1_expected());
+        assert!(err < 0.02, "relative error {err:.3}: {m:?}");
+        assert!(m.l1.is_none(), "Maxwell has no L1");
+    }
+
+    #[test]
+    fn table_renders_paper_layout() {
+        let t = Table1 {
+            rows: vec![(
+                ArchPreset::FermiGf106,
+                MeasuredRow {
+                    l1: Some(45.0),
+                    l2: Some(310.0),
+                    dram: 685.0,
+                },
+            )],
+        };
+        let s = t.to_string();
+        assert!(s.contains("L1 D$"));
+        assert!(s.contains("DRAM"));
+        assert!(s.contains("GF106"));
+        assert!(s.contains("paper  310"));
+        assert!(t.max_rel_error() < 1e-9);
+    }
+}

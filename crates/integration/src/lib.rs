@@ -1,0 +1,1 @@
+//! Host crate for the repo-root integration tests (see `tests/`).

@@ -1,0 +1,581 @@
+//! Structured kernel construction.
+//!
+//! [`KernelBuilder`] allocates registers, emits instructions, and lowers
+//! structured control flow (`if`, `if/else`, `while`) to predicated branches
+//! carrying correct reconvergence PCs (each branch's immediate
+//! post-dominator), which is what the SIMT stack in [`crate::exec`] needs to
+//! handle divergence.
+
+use crate::instr::{AluOp, CmpOp, Guard, Instr, Operand, Pc, PredReg, Reg, Space, Special, Width};
+use crate::kernel::{Kernel, ValidateError};
+
+/// Maximum predicate registers per thread.
+pub const MAX_PREDS: usize = 8;
+
+/// Incrementally builds a [`Kernel`].
+///
+/// # Examples
+///
+/// A guarded vector-add body (`if (gtid < n) c[gtid] = a[gtid] + b[gtid]`):
+///
+/// ```
+/// use gpu_isa::{CmpOp, KernelBuilder, Special, Width};
+///
+/// let mut b = KernelBuilder::new("vecadd");
+/// let a = b.param(0);
+/// let n = b.param(3);
+/// let gtid = b.special(Special::GlobalTid);
+/// let p = b.setp(CmpOp::Lt, gtid, n);
+/// b.if_then(p, |b| {
+///     let off = b.shl(gtid, 2); // gtid * 4 bytes
+///     let pa = b.add(a, off);
+///     let _va = b.ld_global(Width::W4, pa, 0);
+///     // ... compute and store ...
+/// });
+/// b.exit();
+/// let kernel = b.build()?;
+/// assert!(kernel.len() > 0);
+/// # Ok::<(), gpu_isa::ValidateError>(())
+/// ```
+#[derive(Debug)]
+pub struct KernelBuilder {
+    name: String,
+    instrs: Vec<Instr>,
+    next_reg: Reg,
+    next_pred: PredReg,
+    shared_bytes: u64,
+    local_bytes_per_thread: u64,
+}
+
+impl KernelBuilder {
+    /// Starts building a kernel with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        KernelBuilder {
+            name: name.into(),
+            instrs: Vec::new(),
+            next_reg: 0,
+            next_pred: 0,
+            shared_bytes: 0,
+            local_bytes_per_thread: 0,
+        }
+    }
+
+    /// Allocates a fresh general-purpose register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `u16::MAX` registers are allocated.
+    pub fn reg(&mut self) -> Reg {
+        let r = self.next_reg;
+        self.next_reg = self.next_reg.checked_add(1).expect("out of registers");
+        r
+    }
+
+    /// Allocates a fresh predicate register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`MAX_PREDS`] predicates are allocated.
+    pub fn pred(&mut self) -> PredReg {
+        let p = self.next_pred;
+        assert!((p as usize) < MAX_PREDS, "out of predicate registers");
+        self.next_pred += 1;
+        p
+    }
+
+    /// Declares `bytes` of per-CTA shared memory; returns the byte offset of
+    /// the newly reserved region.
+    pub fn alloc_shared(&mut self, bytes: u64) -> u64 {
+        let off = self.shared_bytes;
+        self.shared_bytes += bytes;
+        off
+    }
+
+    /// Declares `bytes` of per-thread local memory; returns the byte offset
+    /// of the newly reserved region within the thread's local window.
+    pub fn alloc_local(&mut self, bytes: u64) -> u64 {
+        let off = self.local_bytes_per_thread;
+        self.local_bytes_per_thread += bytes;
+        off
+    }
+
+    /// Appends a raw instruction.
+    pub fn push(&mut self, instr: Instr) -> &mut Self {
+        self.instrs.push(instr);
+        self
+    }
+
+    /// Current PC (index of the next instruction to be emitted).
+    pub fn here(&self) -> Pc {
+        self.instrs.len()
+    }
+
+    // ---- straight-line emission helpers -------------------------------
+
+    /// Emits `dst = src` into a fresh register.
+    pub fn mov(&mut self, src: impl Into<Operand>) -> Reg {
+        let dst = self.reg();
+        self.push(Instr::Mov {
+            dst,
+            src: src.into(),
+        });
+        dst
+    }
+
+    /// Emits `dst = src` into an existing register.
+    pub fn mov_to(&mut self, dst: Reg, src: impl Into<Operand>) {
+        self.push(Instr::Mov {
+            dst,
+            src: src.into(),
+        });
+    }
+
+    /// Emits an ALU op into a fresh register.
+    pub fn alu(&mut self, op: AluOp, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        let dst = self.reg();
+        self.alu_to(op, dst, a, b);
+        dst
+    }
+
+    /// Emits an ALU op into an existing register.
+    pub fn alu_to(
+        &mut self,
+        op: AluOp,
+        dst: Reg,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+    ) {
+        self.push(Instr::Alu {
+            op,
+            dst,
+            a: a.into(),
+            b: b.into(),
+        });
+    }
+
+    /// `fresh = a + b`.
+    pub fn add(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.alu(AluOp::Add, a, b)
+    }
+
+    /// `fresh = a - b`.
+    pub fn sub(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.alu(AluOp::Sub, a, b)
+    }
+
+    /// `fresh = a * b`.
+    pub fn mul(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.alu(AluOp::Mul, a, b)
+    }
+
+    /// `fresh = a << b`.
+    pub fn shl(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.alu(AluOp::Shl, a, b)
+    }
+
+    /// `fresh = a & b`.
+    pub fn and(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.alu(AluOp::And, a, b)
+    }
+
+    /// Reads a special register into a fresh register.
+    pub fn special(&mut self, special: Special) -> Reg {
+        let dst = self.reg();
+        self.push(Instr::ReadSpecial { dst, special });
+        dst
+    }
+
+    /// Loads kernel parameter `index` into a fresh register.
+    pub fn param(&mut self, index: usize) -> Reg {
+        let dst = self.reg();
+        self.push(Instr::LdParam { dst, index });
+        dst
+    }
+
+    /// Emits `fresh_pred = a cmp b`.
+    pub fn setp(&mut self, op: CmpOp, a: impl Into<Operand>, b: impl Into<Operand>) -> PredReg {
+        let pred = self.pred();
+        self.setp_to(pred, op, a, b);
+        pred
+    }
+
+    /// Emits `pred = a cmp b` into an existing predicate register.
+    pub fn setp_to(
+        &mut self,
+        pred: PredReg,
+        op: CmpOp,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+    ) {
+        self.push(Instr::SetP {
+            pred,
+            op,
+            a: a.into(),
+            b: b.into(),
+        });
+    }
+
+    /// Emits a load into a fresh register.
+    pub fn ld(&mut self, space: Space, width: Width, addr: Reg, offset: i64) -> Reg {
+        let dst = self.reg();
+        self.ld_to(space, width, dst, addr, offset);
+        dst
+    }
+
+    /// Emits a load into an existing register.
+    pub fn ld_to(&mut self, space: Space, width: Width, dst: Reg, addr: Reg, offset: i64) {
+        self.push(Instr::Ld {
+            space,
+            width,
+            dst,
+            addr,
+            offset,
+        });
+    }
+
+    /// Emits a global-memory load into a fresh register.
+    pub fn ld_global(&mut self, width: Width, addr: Reg, offset: i64) -> Reg {
+        self.ld(Space::Global, width, addr, offset)
+    }
+
+    /// Emits a store.
+    pub fn st(
+        &mut self,
+        space: Space,
+        width: Width,
+        addr: Reg,
+        offset: i64,
+        src: impl Into<Operand>,
+    ) {
+        self.push(Instr::St {
+            space,
+            width,
+            src: src.into(),
+            addr,
+            offset,
+        });
+    }
+
+    /// Emits a global-memory store.
+    pub fn st_global(&mut self, width: Width, addr: Reg, offset: i64, src: impl Into<Operand>) {
+        self.st(Space::Global, width, addr, offset, src);
+    }
+
+    /// Emits `fresh = atomicAdd(&global[addr+offset], val)`.
+    pub fn atom_add(
+        &mut self,
+        width: Width,
+        addr: Reg,
+        offset: i64,
+        val: impl Into<Operand>,
+    ) -> Reg {
+        let dst = self.reg();
+        self.push(Instr::AtomAdd {
+            width,
+            dst,
+            addr,
+            offset,
+            val: val.into(),
+        });
+        dst
+    }
+
+    /// Emits a CTA barrier.
+    pub fn bar(&mut self) {
+        self.push(Instr::Bar);
+    }
+
+    /// Emits a memory fence.
+    pub fn membar(&mut self) {
+        self.push(Instr::MemBar);
+    }
+
+    /// Emits `exit`.
+    pub fn exit(&mut self) {
+        self.push(Instr::Exit);
+    }
+
+    // ---- structured control flow ---------------------------------------
+
+    /// Emits `if (pred) { body }`.
+    ///
+    /// Lowered as a branch over the body, taken by threads where the
+    /// predicate is `false`, reconverging right after the body.
+    pub fn if_then(&mut self, pred: PredReg, body: impl FnOnce(&mut Self)) {
+        self.if_pred_then(pred, true, body);
+    }
+
+    /// Emits `if (pred == expect) { body }`.
+    pub fn if_pred_then(&mut self, pred: PredReg, expect: bool, body: impl FnOnce(&mut Self)) {
+        let branch_pc = self.here();
+        self.push(Instr::Branch {
+            guard: Some(Guard {
+                pred,
+                expect: !expect,
+            }),
+            target: 0, // patched below
+            reconverge: 0,
+        });
+        body(self);
+        let end = self.here();
+        self.patch_branch(branch_pc, end, end);
+    }
+
+    /// Emits `if (pred) { then } else { otherwise }`.
+    pub fn if_then_else(
+        &mut self,
+        pred: PredReg,
+        then_body: impl FnOnce(&mut Self),
+        else_body: impl FnOnce(&mut Self),
+    ) {
+        let cond_pc = self.here();
+        self.push(Instr::Branch {
+            guard: Some(Guard {
+                pred,
+                expect: false,
+            }),
+            target: 0, // patched to else_pc
+            reconverge: 0,
+        });
+        then_body(self);
+        let jump_end_pc = self.here();
+        self.push(Instr::Branch {
+            guard: None,
+            target: 0, // patched to end
+            reconverge: 0,
+        });
+        let else_pc = self.here();
+        else_body(self);
+        let end = self.here();
+        self.patch_branch(cond_pc, else_pc, end);
+        self.patch_branch(jump_end_pc, end, end);
+    }
+
+    /// Emits `while (cond) { body }`.
+    ///
+    /// `cond` emits code evaluating the loop condition and returns the
+    /// predicate register holding it; threads where the predicate is `false`
+    /// leave the loop.
+    pub fn while_loop(
+        &mut self,
+        cond: impl FnOnce(&mut Self) -> PredReg,
+        body: impl FnOnce(&mut Self),
+    ) {
+        let head = self.here();
+        let pred = cond(self);
+        let exit_branch_pc = self.here();
+        self.push(Instr::Branch {
+            guard: Some(Guard {
+                pred,
+                expect: false,
+            }),
+            target: 0, // patched to end
+            reconverge: 0,
+        });
+        body(self);
+        self.push(Instr::Branch {
+            guard: None,
+            target: head,
+            reconverge: head,
+        });
+        let end = self.here();
+        self.patch_branch(exit_branch_pc, end, end);
+    }
+
+    /// Emits `for (i = start; i < bound; i += step) { body(i) }` using a
+    /// dedicated counter register, which is passed to `body`.
+    pub fn for_range(
+        &mut self,
+        start: impl Into<Operand>,
+        bound: impl Into<Operand>,
+        step: i64,
+        body: impl FnOnce(&mut Self, Reg),
+    ) {
+        let i = self.mov(start);
+        let bound = bound.into();
+        let pred = self.pred();
+        self.while_loop(
+            |b| {
+                b.setp_to(pred, CmpOp::Lt, i, bound);
+                pred
+            },
+            |b| {
+                body(b, i);
+                b.alu_to(AluOp::Add, i, i, Operand::Imm(step));
+            },
+        );
+    }
+
+    fn patch_branch(&mut self, pc: Pc, target: Pc, reconverge: Pc) {
+        match &mut self.instrs[pc] {
+            Instr::Branch {
+                target: t,
+                reconverge: r,
+                ..
+            } => {
+                *t = target;
+                *r = reconverge;
+            }
+            other => unreachable!("patch_branch at non-branch {other}"),
+        }
+    }
+
+    /// Finalizes and validates the kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ValidateError`] found; see [`Kernel::validate`].
+    pub fn build(self) -> Result<Kernel, ValidateError> {
+        let kernel = Kernel::from_parts(
+            self.name,
+            self.instrs,
+            self.next_reg,
+            self.shared_bytes,
+            self.local_bytes_per_thread,
+        );
+        kernel.validate()?;
+        Ok(kernel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn if_then_patches_targets() {
+        let mut b = KernelBuilder::new("k");
+        let p = b.pred();
+        b.if_then(p, |b| {
+            b.mov(Operand::Imm(1));
+        });
+        b.exit();
+        let k = b.build().unwrap();
+        // instr 0: branch over body to pc 2, reconverging at 2.
+        match k.instr(0) {
+            Instr::Branch {
+                guard: Some(g),
+                target,
+                reconverge,
+            } => {
+                assert_eq!(*target, 2);
+                assert_eq!(*reconverge, 2);
+                assert!(!g.expect, "skip branch taken when pred is false");
+            }
+            other => panic!("expected branch, got {other}"),
+        }
+    }
+
+    #[test]
+    fn if_then_else_shape() {
+        let mut b = KernelBuilder::new("k");
+        let p = b.pred();
+        b.if_then_else(
+            p,
+            |b| {
+                b.mov(Operand::Imm(1));
+            },
+            |b| {
+                b.mov(Operand::Imm(2));
+            },
+        );
+        b.exit();
+        let k = b.build().unwrap();
+        // 0: bra !p else(3) reconv 4 ; 1: then ; 2: bra end(4) ; 3: else ; 4: exit
+        match k.instr(0) {
+            Instr::Branch {
+                target, reconverge, ..
+            } => {
+                assert_eq!(*target, 3);
+                assert_eq!(*reconverge, 4);
+            }
+            other => panic!("expected branch, got {other}"),
+        }
+        match k.instr(2) {
+            Instr::Branch {
+                guard, target, ..
+            } => {
+                assert!(guard.is_none());
+                assert_eq!(*target, 4);
+            }
+            other => panic!("expected branch, got {other}"),
+        }
+    }
+
+    #[test]
+    fn while_loop_shape() {
+        let mut b = KernelBuilder::new("k");
+        let i = b.mov(Operand::Imm(0));
+        b.while_loop(
+            |b| b.setp(CmpOp::Lt, i, Operand::Imm(10)),
+            |b| {
+                b.alu_to(AluOp::Add, i, i, Operand::Imm(1));
+            },
+        );
+        b.exit();
+        let k = b.build().unwrap();
+        // 0: mov; 1: setp (head); 2: bra !p end(4? no: body at 3, backedge at 4 => end 5)...
+        match k.instr(2) {
+            Instr::Branch {
+                target, reconverge, ..
+            } => {
+                assert_eq!(*target, 5);
+                assert_eq!(*reconverge, 5);
+            }
+            other => panic!("expected exit branch, got {other}"),
+        }
+        match k.instr(4) {
+            Instr::Branch { guard, target, .. } => {
+                assert!(guard.is_none());
+                assert_eq!(*target, 1, "backedge to loop head");
+            }
+            other => panic!("expected backedge, got {other}"),
+        }
+    }
+
+    #[test]
+    fn resource_accounting() {
+        let mut b = KernelBuilder::new("k");
+        let s0 = b.alloc_shared(256);
+        let s1 = b.alloc_shared(128);
+        assert_eq!((s0, s1), (0, 256));
+        let l0 = b.alloc_local(64);
+        assert_eq!(l0, 0);
+        let r0 = b.reg();
+        let r1 = b.reg();
+        assert_eq!((r0, r1), (0, 1));
+        b.mov_to(r0, Operand::Imm(0));
+        b.exit();
+        let k = b.build().unwrap();
+        assert_eq!(k.shared_bytes(), 384);
+        assert_eq!(k.local_bytes_per_thread(), 64);
+        assert_eq!(k.num_regs(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of predicate registers")]
+    fn pred_exhaustion_panics() {
+        let mut b = KernelBuilder::new("k");
+        for _ in 0..=MAX_PREDS {
+            b.pred();
+        }
+    }
+
+    #[test]
+    fn build_validates() {
+        let b = KernelBuilder::new("empty");
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn for_range_emits_loop() {
+        let mut b = KernelBuilder::new("k");
+        b.for_range(Operand::Imm(0), Operand::Imm(4), 1, |b, i| {
+            b.add(i, Operand::Imm(100));
+        });
+        b.exit();
+        let k = b.build().unwrap();
+        assert!(k.validate().is_ok());
+        assert!(k.instrs().iter().any(|i| matches!(i, Instr::Branch { .. })));
+    }
+}

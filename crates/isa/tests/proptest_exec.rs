@@ -1,0 +1,242 @@
+//! Property-based tests of the SIMT executor.
+//!
+//! The central property is *SIMT transparency*: lock-step execution with a
+//! reconvergence stack is an implementation detail, so a warp of N threads
+//! must produce exactly the per-thread results of N independent single-lane
+//! warps, no matter how the threads diverge.
+
+use std::sync::Arc;
+
+use gpu_isa::{
+    AluOp, CmpOp, Kernel, KernelBuilder, LocalMap, MemBackend, Operand, PredReg, Space, Special,
+    ThreadCtx, WarpExec, Width,
+};
+use gpu_types::Addr;
+use proptest::prelude::*;
+
+const NUM_REGS: u16 = 8;
+const NUM_PREDS: u8 = 4;
+
+/// A tiny structured AST we can both lower to the IR and randomize safely
+/// (loops are bounded by construction).
+#[derive(Debug, Clone)]
+enum Node {
+    Alu(AluOp, u16, Operand, Operand),
+    SetP(PredReg, CmpOp, Operand, Operand),
+    If(PredReg, Vec<Node>),
+    IfElse(PredReg, Vec<Node>, Vec<Node>),
+    Repeat(u8, Vec<Node>),
+}
+
+fn operand() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        (0u16..NUM_REGS).prop_map(Operand::Reg),
+        (-50i64..50).prop_map(Operand::Imm),
+    ]
+}
+
+fn alu_op() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::Mul),
+        Just(AluOp::Div),
+        Just(AluOp::Rem),
+        Just(AluOp::Min),
+        Just(AluOp::Max),
+        Just(AluOp::And),
+        Just(AluOp::Or),
+        Just(AluOp::Xor),
+        Just(AluOp::Shl),
+        Just(AluOp::Shr),
+    ]
+}
+
+fn cmp_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+fn node(depth: u32) -> BoxedStrategy<Node> {
+    let leaf = prop_oneof![
+        (alu_op(), 0u16..NUM_REGS, operand(), operand())
+            .prop_map(|(op, d, a, b)| Node::Alu(op, d, a, b)),
+        (0u8..NUM_PREDS, cmp_op(), operand(), operand())
+            .prop_map(|(p, c, a, b)| Node::SetP(p, c, a, b)),
+    ];
+    if depth == 0 {
+        leaf.boxed()
+    } else {
+        let inner = proptest::collection::vec(node(depth - 1), 1..4);
+        prop_oneof![
+            3 => leaf,
+            1 => (0u8..NUM_PREDS, inner.clone()).prop_map(|(p, b)| Node::If(p, b)),
+            1 => (0u8..NUM_PREDS, inner.clone(), inner.clone())
+                .prop_map(|(p, t, e)| Node::IfElse(p, t, e)),
+            1 => (1u8..4, inner).prop_map(|(n, b)| Node::Repeat(n, b)),
+        ]
+        .boxed()
+    }
+}
+
+fn program() -> impl Strategy<Value = Vec<Node>> {
+    proptest::collection::vec(node(2), 1..8)
+}
+
+fn lower(nodes: &[Node], b: &mut KernelBuilder, loop_depth: u16) {
+    for n in nodes {
+        match n {
+            Node::Alu(op, d, a, x) => b.alu_to(*op, *d, *a, *x),
+            Node::SetP(p, c, a, x) => b.setp_to(*p, *c, *a, *x),
+            Node::If(p, body) => b.if_then(*p, |b| lower(body, b, loop_depth)),
+            Node::IfElse(p, t, e) => {
+                b.if_then_else(*p, |b| lower(t, b, loop_depth), |b| lower(e, b, loop_depth));
+            }
+            Node::Repeat(n, body) => {
+                // Dedicated counter register and predicate per nesting level
+                // (outside the AST's reach, so nested loops never clobber
+                // each other).
+                let i = NUM_REGS + 1 + loop_depth;
+                b.mov_to(i, 0i64);
+                let pred = NUM_PREDS + loop_depth as u8;
+                b.while_loop(
+                    |b| {
+                        b.setp_to(pred, CmpOp::Lt, i, *n as i64);
+                        pred
+                    },
+                    |b| {
+                        lower(body, b, loop_depth + 1);
+                        b.alu_to(AluOp::Add, i, i, 1i64);
+                    },
+                );
+            }
+        }
+    }
+}
+
+fn build(nodes: &[Node]) -> Kernel {
+    let mut b = KernelBuilder::new("prop");
+    // Register budget: NUM_REGS AST registers plus per-depth loop counters.
+    for _ in 0..NUM_REGS + 5 {
+        b.reg();
+    }
+    for _ in 0..=NUM_PREDS {
+        b.pred();
+    }
+    // Seed r0 with the thread id so lanes diverge.
+    b.push(gpu_isa::Instr::ReadSpecial {
+        dst: 0,
+        special: Special::TidX,
+    });
+    // Mix the tid into a second register for more varied predicates.
+    b.alu_to(AluOp::Mul, 1, Operand::Reg(0), Operand::Imm(7));
+    lower(nodes, &mut b, 0);
+    b.exit();
+    b.build().expect("generated program is structurally valid")
+}
+
+/// Memoryless backend (generated programs have no memory ops).
+struct NoMem;
+impl MemBackend for NoMem {
+    fn load(&mut self, _: Space, _: Addr, _: Width) -> u64 {
+        0
+    }
+    fn store(&mut self, _: Space, _: Addr, _: Width, _: u64) {}
+    fn atomic_add(&mut self, _: Addr, _: Width, _: u64) -> u64 {
+        0
+    }
+}
+
+fn run_warp(kernel: &Arc<Kernel>, ctxs: Vec<ThreadCtx>) -> Vec<Vec<u64>> {
+    let mut w = WarpExec::new(Arc::clone(kernel), Arc::from([]), ctxs.clone(), LocalMap::default());
+    let mut mem = NoMem;
+    let mut steps = 0u64;
+    while !w.is_finished() {
+        if w.at_barrier() {
+            w.release_barrier();
+        }
+        w.step(&mut mem);
+        steps += 1;
+        assert!(steps < 200_000, "runaway generated program");
+    }
+    (0..ctxs.len())
+        .map(|lane| (0..NUM_REGS).map(|r| w.reg(lane, r)).collect())
+        .collect()
+}
+
+fn ctx(tid: u32, lane: u32, ntid: u32) -> ThreadCtx {
+    ThreadCtx {
+        tid,
+        ctaid: 0,
+        ntid,
+        nctaid: 1,
+        lane,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// SIMT transparency: a warp of N divergent threads computes exactly
+    /// what N single-lane warps compute.
+    #[test]
+    fn warp_matches_single_lane_execution(prog in program(), lanes in 2usize..9) {
+        let kernel = Arc::new(build(&prog));
+        let warp_ctxs: Vec<ThreadCtx> =
+            (0..lanes as u32).map(|i| ctx(i, i, lanes as u32)).collect();
+        let together = run_warp(&kernel, warp_ctxs);
+        for tid in 0..lanes as u32 {
+            let alone = run_warp(&kernel, vec![ctx(tid, 0, lanes as u32)]);
+            prop_assert_eq!(
+                &together[tid as usize],
+                &alone[0],
+                "thread {} diverges from its solo run",
+                tid
+            );
+        }
+    }
+
+    /// Generated programs always pass static validation.
+    #[test]
+    fn generated_programs_validate(prog in program()) {
+        let kernel = build(&prog);
+        prop_assert!(kernel.validate().is_ok());
+    }
+
+    /// Determinism: running the same warp twice gives identical results.
+    #[test]
+    fn execution_is_deterministic(prog in program()) {
+        let kernel = Arc::new(build(&prog));
+        let ctxs: Vec<ThreadCtx> = (0..4u32).map(|i| ctx(i, i, 4)).collect();
+        let a = run_warp(&kernel, ctxs.clone());
+        let b = run_warp(&kernel, ctxs);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Disassemble → reassemble is the identity on every generated program.
+    #[test]
+    fn disassembly_round_trips(prog in program()) {
+        let kernel = build(&prog);
+        let text = kernel.to_string();
+        let reparsed = gpu_isa::parse_kernel(&text)
+            .map_err(|e| TestCaseError::fail(format!("{e}\n{text}")))?;
+        prop_assert_eq!(kernel.instrs(), reparsed.instrs());
+        prop_assert_eq!(kernel.num_regs(), reparsed.num_regs());
+    }
+
+    /// And the reassembled kernel executes identically.
+    #[test]
+    fn reassembled_kernel_executes_identically(prog in program(), lanes in 1usize..5) {
+        let kernel = Arc::new(build(&prog));
+        let reparsed = Arc::new(gpu_isa::parse_kernel(&kernel.to_string()).unwrap());
+        let ctxs: Vec<ThreadCtx> =
+            (0..lanes as u32).map(|i| ctx(i, i, lanes as u32)).collect();
+        prop_assert_eq!(run_warp(&kernel, ctxs.clone()), run_warp(&reparsed, ctxs));
+    }
+}

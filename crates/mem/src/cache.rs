@@ -1,0 +1,558 @@
+//! Set-associative cache timing model (tag array only — data lives in
+//! [`crate::DeviceMemory`], since functional and timing state are split).
+//!
+//! Used for both the per-SM L1 data caches and the per-partition L2 slices.
+//! Stores follow the Fermi-style global-store policy: write-through,
+//! no-allocate, and *write-evict* (a store invalidates a matching line so
+//! stale data is never served).
+
+use gpu_types::Addr;
+
+/// Replacement policy for a cache set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Replacement {
+    /// Least-recently-used (default on all modeled GPUs).
+    Lru,
+    /// FIFO by fill time (available for ablations).
+    Fifo,
+}
+
+/// Static cache geometry and policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Number of sets (power of two).
+    pub sets: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Line size in bytes (power of two).
+    pub line_size: u64,
+    /// Replacement policy.
+    pub replacement: Replacement,
+}
+
+impl CacheConfig {
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.sets as u64 * self.ways as u64 * self.line_size
+    }
+
+    /// Validates the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if sets/line size are not powers of two or ways is zero.
+    pub fn assert_valid(&self) {
+        assert!(self.sets.is_power_of_two(), "sets must be a power of two");
+        assert!(self.ways > 0, "ways must be positive");
+        assert!(
+            self.line_size.is_power_of_two(),
+            "line size must be a power of two"
+        );
+    }
+}
+
+/// Result of probing the cache with a load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadOutcome {
+    /// Line present.
+    Hit,
+    /// Line absent; a fill must be requested. `reserved` reports whether a
+    /// way could be reserved for the incoming fill.
+    Miss,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    /// Reserved for an in-flight fill (prevents double-allocation while the
+    /// MSHR tracks the outstanding request).
+    reserved: bool,
+    /// Holds data newer than memory (write-back caches only).
+    dirty: bool,
+    stamp: u64,
+}
+
+impl Line {
+    const EMPTY: Line = Line {
+        tag: 0,
+        valid: false,
+        reserved: false,
+        dirty: false,
+        stamp: 0,
+    };
+}
+
+/// A set-associative tag array.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_mem::{Cache, CacheConfig, Replacement, LoadOutcome};
+/// use gpu_types::Addr;
+///
+/// let mut l1 = Cache::new(CacheConfig {
+///     sets: 32,
+///     ways: 4,
+///     line_size: 128,
+///     replacement: Replacement::Lru,
+/// });
+/// assert_eq!(l1.load(Addr::new(0x1000)), LoadOutcome::Miss);
+/// l1.fill(Addr::new(0x1000));
+/// assert_eq!(l1.load(Addr::new(0x1000)), LoadOutcome::Hit);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    lines: Vec<Line>,
+    writebacks: std::collections::VecDeque<Addr>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is invalid (see [`CacheConfig::assert_valid`]).
+    pub fn new(config: CacheConfig) -> Self {
+        config.assert_valid();
+        Cache {
+            config,
+            lines: vec![Line::EMPTY; config.sets * config.ways],
+            writebacks: std::collections::VecDeque::new(),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Demand hits observed so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Demand misses observed so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    fn set_index(&self, addr: Addr) -> usize {
+        let line = addr.get() / self.config.line_size;
+        (line as usize) & (self.config.sets - 1)
+    }
+
+    fn tag(&self, addr: Addr) -> u64 {
+        addr.get() / self.config.line_size / self.config.sets as u64
+    }
+
+    fn set_range(&self, addr: Addr) -> std::ops::Range<usize> {
+        let s = self.set_index(addr);
+        s * self.config.ways..(s + 1) * self.config.ways
+    }
+
+    /// Probes for a load at `addr` (any address within the line).
+    ///
+    /// On a hit the line's recency is updated. On a miss nothing is
+    /// allocated — call [`Cache::reserve`] (on MSHR allocation) and
+    /// [`Cache::fill`] (when data returns) to complete the miss.
+    pub fn load(&mut self, addr: Addr) -> LoadOutcome {
+        self.tick += 1;
+        let tag = self.tag(addr);
+        let range = self.set_range(addr);
+        for i in range {
+            let line = &mut self.lines[i];
+            if line.valid && line.tag == tag {
+                if self.config.replacement == Replacement::Lru {
+                    line.stamp = self.tick;
+                }
+                self.hits += 1;
+                return LoadOutcome::Hit;
+            }
+        }
+        self.misses += 1;
+        LoadOutcome::Miss
+    }
+
+    /// Probes without updating recency or statistics.
+    pub fn probe(&self, addr: Addr) -> bool {
+        let tag = self.tag(addr);
+        self.set_range(addr)
+            .any(|i| self.lines[i].valid && self.lines[i].tag == tag)
+    }
+
+    /// Reserves a way in `addr`'s set for an in-flight fill, evicting a
+    /// victim if needed. Returns `false` if every way is already reserved
+    /// for other in-flight fills (the miss must stall).
+    pub fn reserve(&mut self, addr: Addr) -> bool {
+        self.tick += 1;
+        let tag = self.tag(addr);
+        let range = self.set_range(addr);
+        // Already reserved or present?
+        for i in range.clone() {
+            let line = &self.lines[i];
+            if line.tag == tag && (line.valid || line.reserved) {
+                return true;
+            }
+        }
+        // Find a victim among non-reserved ways.
+        let victim = range
+            .filter(|&i| !self.lines[i].reserved)
+            .min_by_key(|&i| {
+                let l = &self.lines[i];
+                (l.valid, l.stamp)
+            });
+        match victim {
+            Some(i) => {
+                let victim = self.lines[i];
+                if victim.valid && victim.dirty {
+                    self.push_writeback(victim.tag, addr);
+                }
+                self.lines[i] = Line {
+                    tag,
+                    valid: false,
+                    reserved: true,
+                    dirty: false,
+                    stamp: self.tick,
+                };
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Fills the line containing `addr` (fill-on-return). Clears any
+    /// reservation; allocates a victim way if none was reserved.
+    pub fn fill(&mut self, addr: Addr) {
+        self.tick += 1;
+        let tag = self.tag(addr);
+        let range = self.set_range(addr);
+        // Complete a reservation or refresh an existing line.
+        for i in range.clone() {
+            let line = &mut self.lines[i];
+            if line.tag == tag && (line.reserved || line.valid) {
+                line.valid = true;
+                line.reserved = false;
+                line.stamp = self.tick;
+                return;
+            }
+        }
+        // Unreserved fill: pick the LRU/FIFO victim among non-reserved ways.
+        if let Some(i) = range
+            .filter(|&i| !self.lines[i].reserved)
+            .min_by_key(|&i| {
+                let l = &self.lines[i];
+                (l.valid, l.stamp)
+            })
+        {
+            let victim = self.lines[i];
+            if victim.valid && victim.dirty {
+                self.push_writeback(victim.tag, addr);
+            }
+            self.lines[i] = Line {
+                tag,
+                valid: true,
+                reserved: false,
+                dirty: false,
+                stamp: self.tick,
+            };
+        }
+        // If all ways are reserved the fill is dropped; the reserved ways'
+        // own fills will bring their data. (Cannot happen when reserve() is
+        // required before the downstream request, which is how the pipeline
+        // uses this type.)
+    }
+
+    /// Applies the write-evict store policy: invalidates the line containing
+    /// `addr` if present (stores are write-through and never allocate).
+    pub fn store_invalidate(&mut self, addr: Addr) {
+        let tag = self.tag(addr);
+        for i in self.set_range(addr) {
+            let line = &mut self.lines[i];
+            if line.valid && line.tag == tag {
+                line.valid = false;
+                line.dirty = false;
+            }
+        }
+    }
+
+    // ---- write-back support -------------------------------------------
+
+    /// Write-back store: marks the line dirty on a hit. Returns `true` on a
+    /// hit; on a miss nothing changes (caller decides between
+    /// write-allocate via [`Cache::allocate_dirty`] or bypass).
+    pub fn store_mark_dirty(&mut self, addr: Addr) -> bool {
+        self.tick += 1;
+        let tag = self.tag(addr);
+        for i in self.set_range(addr) {
+            let line = &mut self.lines[i];
+            if line.valid && line.tag == tag {
+                line.dirty = true;
+                if self.config.replacement == Replacement::Lru {
+                    line.stamp = self.tick;
+                }
+                self.hits += 1;
+                return true;
+            }
+        }
+        self.misses += 1;
+        false
+    }
+
+    /// Write-allocates a dirty line for a store miss (no fetch: the model
+    /// is tag-only and the store overwrites the relevant bytes
+    /// functionally at issue). Evicted dirty victims join the writeback
+    /// queue. Returns `false` if every way is reserved for in-flight fills.
+    pub fn allocate_dirty(&mut self, addr: Addr) -> bool {
+        self.tick += 1;
+        let tag = self.tag(addr);
+        let range = self.set_range(addr);
+        for i in range.clone() {
+            let line = &mut self.lines[i];
+            if line.valid && line.tag == tag {
+                line.dirty = true;
+                line.stamp = self.tick;
+                return true;
+            }
+        }
+        let victim = range
+            .filter(|&i| !self.lines[i].reserved)
+            .min_by_key(|&i| {
+                let l = &self.lines[i];
+                (l.valid, l.stamp)
+            });
+        match victim {
+            Some(i) => {
+                let victim = self.lines[i];
+                if victim.valid && victim.dirty {
+                    self.push_writeback(victim.tag, addr);
+                }
+                self.lines[i] = Line {
+                    tag,
+                    valid: true,
+                    reserved: false,
+                    dirty: true,
+                    stamp: self.tick,
+                };
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Reconstructs the line-aligned address of an evicted line from its tag
+    /// and a sibling address in the same set, then queues it for writeback.
+    fn push_writeback(&mut self, victim_tag: u64, sibling: Addr) {
+        let set = self.set_index(sibling) as u64;
+        let line_addr =
+            (victim_tag * self.config.sets as u64 + set) * self.config.line_size;
+        self.writebacks.push_back(Addr::new(line_addr));
+    }
+
+    /// Takes the next dirty victim awaiting writeback to memory, if any.
+    pub fn pop_writeback(&mut self) -> Option<Addr> {
+        self.writebacks.pop_front()
+    }
+
+    /// Dirty victims currently awaiting writeback.
+    pub fn pending_writebacks(&self) -> usize {
+        self.writebacks.len()
+    }
+
+    /// Invalidates everything (e.g. between kernel launches when modeling
+    /// non-persistent L1s).
+    pub fn flush(&mut self) {
+        for line in &mut self.lines {
+            *line = Line::EMPTY;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cache(ways: usize) -> Cache {
+        Cache::new(CacheConfig {
+            sets: 2,
+            ways,
+            line_size: 128,
+            replacement: Replacement::Lru,
+        })
+    }
+
+    /// Address that maps to `set` with a distinct tag `k`.
+    fn addr(set: u64, k: u64) -> Addr {
+        Addr::new((k * 2 + set) * 128)
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = small_cache(2);
+        assert_eq!(c.load(addr(0, 0)), LoadOutcome::Miss);
+        c.fill(addr(0, 0));
+        assert_eq!(c.load(addr(0, 0)), LoadOutcome::Hit);
+        assert_eq!(c.load(addr(0, 0) + 64), LoadOutcome::Hit, "same line");
+        assert_eq!((c.hits(), c.misses()), (2, 1));
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = small_cache(2);
+        c.fill(addr(0, 0));
+        c.fill(addr(0, 1));
+        // Touch line 0 so line 1 becomes LRU.
+        assert_eq!(c.load(addr(0, 0)), LoadOutcome::Hit);
+        c.fill(addr(0, 2)); // evicts line 1
+        assert!(c.probe(addr(0, 0)));
+        assert!(!c.probe(addr(0, 1)));
+        assert!(c.probe(addr(0, 2)));
+    }
+
+    #[test]
+    fn fifo_evicts_oldest_fill() {
+        let mut c = Cache::new(CacheConfig {
+            sets: 2,
+            ways: 2,
+            line_size: 128,
+            replacement: Replacement::Fifo,
+        });
+        c.fill(addr(0, 0));
+        c.fill(addr(0, 1));
+        // Touching line 0 does not refresh its FIFO stamp.
+        assert_eq!(c.load(addr(0, 0)), LoadOutcome::Hit);
+        c.fill(addr(0, 2)); // evicts line 0 (oldest fill)
+        assert!(!c.probe(addr(0, 0)));
+        assert!(c.probe(addr(0, 1)));
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut c = small_cache(1);
+        c.fill(addr(0, 0));
+        c.fill(addr(1, 0));
+        assert!(c.probe(addr(0, 0)));
+        assert!(c.probe(addr(1, 0)));
+        c.fill(addr(0, 1)); // evicts only in set 0
+        assert!(!c.probe(addr(0, 0)));
+        assert!(c.probe(addr(1, 0)));
+    }
+
+    #[test]
+    fn reserve_blocks_when_all_ways_reserved() {
+        let mut c = small_cache(2);
+        assert!(c.reserve(addr(0, 0)));
+        assert!(c.reserve(addr(0, 1)));
+        assert!(!c.reserve(addr(0, 2)), "set exhausted by in-flight fills");
+        // Re-reserving an already reserved line succeeds (MSHR merge case).
+        assert!(c.reserve(addr(0, 0)));
+        // Fill completes the reservation and frees nothing else.
+        c.fill(addr(0, 0));
+        assert!(c.probe(addr(0, 0)));
+        assert!(c.reserve(addr(0, 2)), "way freed after fill (evicts line 0)");
+    }
+
+    #[test]
+    fn reserved_line_is_not_a_hit() {
+        let mut c = small_cache(2);
+        c.reserve(addr(0, 0));
+        assert_eq!(c.load(addr(0, 0)), LoadOutcome::Miss);
+    }
+
+    #[test]
+    fn store_invalidates_line() {
+        let mut c = small_cache(2);
+        c.fill(addr(0, 0));
+        c.store_invalidate(addr(0, 0) + 4);
+        assert!(!c.probe(addr(0, 0)));
+        // Invalidating an absent line is a no-op.
+        c.store_invalidate(addr(1, 5));
+    }
+
+    #[test]
+    fn flush_empties_cache() {
+        let mut c = small_cache(2);
+        c.fill(addr(0, 0));
+        c.fill(addr(1, 1));
+        c.flush();
+        assert!(!c.probe(addr(0, 0)));
+        assert!(!c.probe(addr(1, 1)));
+    }
+
+    #[test]
+    fn capacity_math() {
+        let cfg = CacheConfig {
+            sets: 64,
+            ways: 6,
+            line_size: 128,
+            replacement: Replacement::Lru,
+        };
+        assert_eq!(cfg.capacity(), 48 * 1024);
+    }
+
+    #[test]
+    fn store_mark_dirty_hits_and_misses() {
+        let mut c = small_cache(2);
+        assert!(!c.store_mark_dirty(addr(0, 0)), "cold store misses");
+        c.fill(addr(0, 0));
+        assert!(c.store_mark_dirty(addr(0, 0)));
+        // Evicting the dirty line queues a writeback with the right address.
+        c.fill(addr(0, 1));
+        c.fill(addr(0, 2)); // evicts line (0,0), which is dirty
+        assert_eq!(c.pop_writeback(), Some(addr(0, 0)));
+        assert_eq!(c.pop_writeback(), None);
+    }
+
+    #[test]
+    fn allocate_dirty_write_allocates_and_evicts() {
+        let mut c = small_cache(1);
+        assert!(c.allocate_dirty(addr(0, 0)));
+        assert!(c.probe(addr(0, 0)));
+        // Allocating another line in the same 1-way set evicts the dirty one.
+        assert!(c.allocate_dirty(addr(0, 1)));
+        assert_eq!(c.pop_writeback(), Some(addr(0, 0)));
+        assert_eq!(c.pending_writebacks(), 0);
+        // Clean evictions produce no writeback.
+        c.fill(addr(0, 2));
+        assert!(c.allocate_dirty(addr(0, 3)));
+        assert_eq!(c.pop_writeback(), Some(addr(0, 1)), "dirty line 1 evicted by fill");
+        assert_eq!(c.pop_writeback(), None, "clean line 2 evicted silently");
+    }
+
+    #[test]
+    fn store_invalidate_clears_dirty() {
+        let mut c = small_cache(2);
+        c.allocate_dirty(addr(0, 0));
+        c.store_invalidate(addr(0, 0));
+        // The invalidated line must not generate a writeback when reused.
+        c.fill(addr(0, 1));
+        c.fill(addr(0, 2));
+        assert_eq!(c.pop_writeback(), None);
+    }
+
+    #[test]
+    fn reserve_evicting_dirty_line_writes_back() {
+        let mut c = small_cache(1);
+        c.allocate_dirty(addr(0, 0));
+        assert!(c.reserve(addr(0, 1)));
+        assert_eq!(c.pop_writeback(), Some(addr(0, 0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn invalid_geometry_panics() {
+        let _ = Cache::new(CacheConfig {
+            sets: 3,
+            ways: 1,
+            line_size: 128,
+            replacement: Replacement::Lru,
+        });
+    }
+}

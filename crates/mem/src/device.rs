@@ -1,0 +1,204 @@
+//! Functional device memory: a sparse byte-addressable backing store with a
+//! bump allocator, playing the role of the GPU's DRAM contents.
+//!
+//! Timing is *not* modeled here — this is the architectural state that the
+//! functional executor reads and writes at issue time. The timing models
+//! (`cache`, `dram`, the `gpu-sim` pipeline) only ever see addresses.
+
+use std::collections::HashMap;
+
+use gpu_types::Addr;
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_SIZE: u64 = 1 << PAGE_SHIFT;
+
+/// Sparse functional device memory with a bump allocator.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_mem::DeviceMemory;
+///
+/// let mut mem = DeviceMemory::new();
+/// let buf = mem.alloc(1024, 128);
+/// mem.write_u32(buf, 0xdead_beef);
+/// assert_eq!(mem.read_u32(buf), 0xdead_beef);
+/// ```
+#[derive(Debug, Default)]
+pub struct DeviceMemory {
+    pages: HashMap<u64, Box<[u8]>>,
+    next: u64,
+}
+
+impl DeviceMemory {
+    /// Base of the allocation arena. Non-zero so that address 0 stays an
+    /// "invalid pointer" for kernels.
+    const ARENA_BASE: u64 = 0x1_0000;
+
+    /// Creates an empty device memory.
+    pub fn new() -> Self {
+        DeviceMemory {
+            pages: HashMap::new(),
+            next: Self::ARENA_BASE,
+        }
+    }
+
+    /// Allocates `bytes` with the given power-of-two `align`ment and returns
+    /// the region's base address. Memory is zero-initialized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two.
+    pub fn alloc(&mut self, bytes: u64, align: u64) -> Addr {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let base = Addr::new(self.next).align_up(align);
+        self.next = base.get() + bytes;
+        base
+    }
+
+    /// Bytes allocated so far.
+    pub fn allocated_bytes(&self) -> u64 {
+        self.next - Self::ARENA_BASE
+    }
+
+    fn page_mut(&mut self, page: u64) -> &mut [u8] {
+        self.pages
+            .entry(page)
+            .or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice())
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: Addr) -> u8 {
+        let a = addr.get();
+        match self.pages.get(&(a >> PAGE_SHIFT)) {
+            Some(p) => p[(a & (PAGE_SIZE - 1)) as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: Addr, value: u8) {
+        let a = addr.get();
+        self.page_mut(a >> PAGE_SHIFT)[(a & (PAGE_SIZE - 1)) as usize] = value;
+    }
+
+    /// Reads `n <= 8` bytes little-endian.
+    pub fn read_le(&self, addr: Addr, n: u64) -> u64 {
+        debug_assert!(n <= 8);
+        let mut v = 0u64;
+        for i in 0..n {
+            v |= (self.read_u8(addr + i) as u64) << (8 * i);
+        }
+        v
+    }
+
+    /// Writes the low `n <= 8` bytes of `value` little-endian.
+    pub fn write_le(&mut self, addr: Addr, n: u64, value: u64) {
+        debug_assert!(n <= 8);
+        for i in 0..n {
+            self.write_u8(addr + i, (value >> (8 * i)) as u8);
+        }
+    }
+
+    /// Reads a 32-bit little-endian word.
+    pub fn read_u32(&self, addr: Addr) -> u32 {
+        self.read_le(addr, 4) as u32
+    }
+
+    /// Writes a 32-bit little-endian word.
+    pub fn write_u32(&mut self, addr: Addr, value: u32) {
+        self.write_le(addr, 4, value as u64);
+    }
+
+    /// Reads a 64-bit little-endian word.
+    pub fn read_u64(&self, addr: Addr) -> u64 {
+        self.read_le(addr, 8)
+    }
+
+    /// Writes a 64-bit little-endian word.
+    pub fn write_u64(&mut self, addr: Addr, value: u64) {
+        self.write_le(addr, 8, value);
+    }
+
+    /// Copies a `u32` slice into device memory starting at `addr`.
+    pub fn write_u32_slice(&mut self, addr: Addr, values: &[u32]) {
+        for (i, v) in values.iter().enumerate() {
+            self.write_u32(addr + 4 * i as u64, *v);
+        }
+    }
+
+    /// Reads `len` consecutive `u32`s starting at `addr`.
+    pub fn read_u32_slice(&self, addr: Addr, len: usize) -> Vec<u32> {
+        (0..len).map(|i| self.read_u32(addr + 4 * i as u64)).collect()
+    }
+
+    /// Atomically (functionally) adds to the `n`-byte word at `addr`,
+    /// returning the previous value.
+    pub fn fetch_add(&mut self, addr: Addr, n: u64, value: u64) -> u64 {
+        let old = self.read_le(addr, n);
+        self.write_le(addr, n, old.wrapping_add(value));
+        old
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_respects_alignment_and_disjointness() {
+        let mut m = DeviceMemory::new();
+        let a = m.alloc(100, 128);
+        let b = m.alloc(16, 128);
+        assert!(a.is_aligned(128));
+        assert!(b.is_aligned(128));
+        assert!(b.get() >= a.get() + 100);
+        assert!(a.get() > 0, "null page must stay unallocated");
+    }
+
+    #[test]
+    fn rw_roundtrip_across_page_boundary() {
+        let mut m = DeviceMemory::new();
+        let boundary = Addr::new((1 << PAGE_SHIFT) - 2);
+        m.write_u32(boundary, 0xa1b2_c3d4);
+        assert_eq!(m.read_u32(boundary), 0xa1b2_c3d4);
+    }
+
+    #[test]
+    fn unwritten_memory_reads_zero() {
+        let m = DeviceMemory::new();
+        assert_eq!(m.read_u64(Addr::new(0x5000)), 0);
+    }
+
+    #[test]
+    fn u64_roundtrip() {
+        let mut m = DeviceMemory::new();
+        m.write_u64(Addr::new(0x100), u64::MAX - 3);
+        assert_eq!(m.read_u64(Addr::new(0x100)), u64::MAX - 3);
+    }
+
+    #[test]
+    fn slice_helpers() {
+        let mut m = DeviceMemory::new();
+        let buf = m.alloc(64, 4);
+        m.write_u32_slice(buf, &[1, 2, 3, 4]);
+        assert_eq!(m.read_u32_slice(buf, 4), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn fetch_add_returns_old() {
+        let mut m = DeviceMemory::new();
+        let c = m.alloc(4, 4);
+        assert_eq!(m.fetch_add(c, 4, 5), 0);
+        assert_eq!(m.fetch_add(c, 4, 7), 5);
+        assert_eq!(m.read_u32(c), 12);
+    }
+
+    #[test]
+    fn allocated_bytes_tracks_bump() {
+        let mut m = DeviceMemory::new();
+        assert_eq!(m.allocated_bytes(), 0);
+        m.alloc(10, 1);
+        assert_eq!(m.allocated_bytes(), 10);
+    }
+}

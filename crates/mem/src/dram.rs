@@ -1,0 +1,439 @@
+//! DRAM channel timing model with pluggable request scheduling.
+//!
+//! Models one GDDR channel per memory partition: a finite controller queue,
+//! per-bank row-buffer state with activate/precharge/CAS timing, a shared
+//! data bus, and a scheduler. Two schedulers are provided:
+//!
+//! - [`DramSched::FrFcfs`]: first-ready, first-come-first-served — prefers
+//!   row-buffer hits, falling back to the oldest request. This is the
+//!   arbitration whose queue-wait shows up as the paper's `DRAM(QtoSch)`
+//!   component.
+//! - [`DramSched::Fcfs`]: strict arrival order, the ablation baseline for the
+//!   paper's suggestion that "request latency could potentially be reduced
+//!   through usage of a different DRAM scheduling algorithm".
+
+use std::collections::VecDeque;
+
+use gpu_types::Cycle;
+
+use crate::mapping::AddressMap;
+use crate::request::{MemRequest, Stamp};
+
+/// DRAM core timing parameters, in hot-clock cycles.
+///
+/// A single clock domain is used for the whole model (see DESIGN.md), so
+/// these values are already scaled to core cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramTiming {
+    /// Row-activate to column-access delay (tRCD).
+    pub t_rcd: u64,
+    /// Precharge latency (tRP).
+    pub t_rp: u64,
+    /// Column-access (CAS) latency (tCL).
+    pub t_cl: u64,
+    /// Data-burst duration on the bus per request.
+    pub burst: u64,
+}
+
+impl DramTiming {
+    /// Latency from scheduling to data for a row hit.
+    pub fn row_hit(&self) -> u64 {
+        self.t_cl
+    }
+
+    /// Latency for a bank whose open row differs (precharge + activate +
+    /// CAS).
+    pub fn row_conflict(&self) -> u64 {
+        self.t_rp + self.t_rcd + self.t_cl
+    }
+
+    /// Latency for a bank with no open row (activate + CAS).
+    pub fn row_closed(&self) -> u64 {
+        self.t_rcd + self.t_cl
+    }
+}
+
+/// DRAM request scheduling algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DramSched {
+    /// First-ready FCFS: oldest row-hit first, then oldest overall.
+    FrFcfs,
+    /// Strict FCFS: only the oldest request is considered.
+    Fcfs,
+}
+
+/// Configuration of one DRAM channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramConfig {
+    /// Core timing.
+    pub timing: DramTiming,
+    /// Controller queue capacity.
+    pub queue_capacity: usize,
+    /// Scheduling algorithm.
+    pub sched: DramSched,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Bank {
+    open_row: Option<u64>,
+    ready_at: Cycle,
+}
+
+/// Aggregate DRAM statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DramStats {
+    /// Requests serviced.
+    pub serviced: u64,
+    /// Row-buffer hits.
+    pub row_hits: u64,
+    /// Row-buffer conflicts (different row open).
+    pub row_conflicts: u64,
+    /// Accesses to banks with no open row.
+    pub row_closed: u64,
+    /// Sum over requests of cycles spent waiting in the controller queue.
+    pub queue_wait_cycles: u64,
+}
+
+/// One DRAM channel: queue + banks + data bus + scheduler.
+pub struct DramController {
+    config: DramConfig,
+    map: AddressMap,
+    queue: VecDeque<MemRequest>,
+    banks: Vec<Bank>,
+    bus_free_at: Cycle,
+    in_service: Vec<(Cycle, MemRequest)>,
+    stats: DramStats,
+}
+
+impl std::fmt::Debug for DramController {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DramController")
+            .field("queued", &self.queue.len())
+            .field("in_service", &self.in_service.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl DramController {
+    /// Creates a channel for the partition described by `map`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue capacity is zero.
+    pub fn new(config: DramConfig, map: AddressMap) -> Self {
+        assert!(config.queue_capacity > 0, "DRAM queue capacity must be positive");
+        DramController {
+            config,
+            map,
+            queue: VecDeque::new(),
+            banks: vec![Bank::default(); map.banks()],
+            bus_free_at: Cycle::ZERO,
+            in_service: Vec::new(),
+            stats: DramStats::default(),
+        }
+    }
+
+    /// Returns `true` if the controller queue can accept a request.
+    pub fn can_accept(&self) -> bool {
+        self.queue.len() < self.config.queue_capacity
+    }
+
+    /// Requests waiting to be scheduled.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Requests currently in service (scheduled, data pending).
+    pub fn in_service(&self) -> usize {
+        self.in_service.len()
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> DramStats {
+        self.stats
+    }
+
+    /// Enqueues a request at time `now`, stamping its `DramQueueEnter`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is full; check [`DramController::can_accept`].
+    pub fn enqueue(&mut self, mut req: MemRequest, now: Cycle) {
+        assert!(self.can_accept(), "DRAM queue overflow");
+        req.timeline.record(Stamp::DramQueueEnter, now);
+        self.queue.push_back(req);
+    }
+
+    /// Advances the channel one cycle: schedules at most one request and
+    /// returns the requests whose data completed this cycle (stamped
+    /// `DramDone`).
+    pub fn tick(&mut self, now: Cycle) -> Vec<MemRequest> {
+        self.try_schedule(now);
+        let mut done = Vec::new();
+        let mut i = 0;
+        while i < self.in_service.len() {
+            if self.in_service[i].0 <= now {
+                let (_, mut req) = self.in_service.swap_remove(i);
+                req.timeline.record(Stamp::DramDone, now);
+                done.push(req);
+            } else {
+                i += 1;
+            }
+        }
+        done
+    }
+
+    /// Returns `true` when no work is queued or in flight.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty() && self.in_service.is_empty()
+    }
+
+    /// A request can start service when its bank accepts a command and the
+    /// data bus will be free by the time its access completes (commands
+    /// pipeline up to one access depth; anything beyond waits *in the
+    /// queue*, which is what the paper's `DRAM(QtoSch)` component measures).
+    fn can_start(&self, req: &MemRequest, now: Cycle) -> bool {
+        let bank = self.map.bank_of(req.addr);
+        if self.banks[bank].ready_at > now {
+            return false;
+        }
+        let access = match self.banks[bank].open_row {
+            Some(open) if open == self.map.row_of(req.addr) => self.config.timing.row_hit(),
+            Some(_) => self.config.timing.row_conflict(),
+            None => self.config.timing.row_closed(),
+        };
+        self.bus_free_at <= now + access
+    }
+
+    fn try_schedule(&mut self, now: Cycle) {
+        if self.queue.is_empty() {
+            return;
+        }
+        let pick = match self.config.sched {
+            DramSched::Fcfs => {
+                if self.can_start(&self.queue[0], now) {
+                    Some(0)
+                } else {
+                    None
+                }
+            }
+            DramSched::FrFcfs => {
+                let mut fallback = None;
+                let mut row_hit = None;
+                for (i, req) in self.queue.iter().enumerate() {
+                    if !self.can_start(req, now) {
+                        continue;
+                    }
+                    if fallback.is_none() {
+                        fallback = Some(i);
+                    }
+                    let bank = self.map.bank_of(req.addr);
+                    if self.banks[bank].open_row == Some(self.map.row_of(req.addr)) {
+                        row_hit = Some(i);
+                        break; // oldest ready row-hit
+                    }
+                }
+                row_hit.or(fallback)
+            }
+        };
+        let Some(idx) = pick else { return };
+        let mut req = self.queue.remove(idx).expect("picked index in range");
+        let bank_idx = self.map.bank_of(req.addr);
+        let row = self.map.row_of(req.addr);
+        let t = &self.config.timing;
+        // `access` is the pipeline *latency* to data; `busy` is how long the
+        // bank is occupied before it can accept the next command. Column
+        // accesses pipeline (a row hit only holds the bank for its burst),
+        // while precharge/activate serialize on the bank.
+        let (access, busy) = match self.banks[bank_idx].open_row {
+            Some(open) if open == row => {
+                self.stats.row_hits += 1;
+                (t.row_hit(), t.burst)
+            }
+            Some(_) => {
+                self.stats.row_conflicts += 1;
+                (t.row_conflict(), t.t_rp + t.t_rcd + t.burst)
+            }
+            None => {
+                self.stats.row_closed += 1;
+                (t.row_closed(), t.t_rcd + t.burst)
+            }
+        };
+        req.timeline.record(Stamp::DramScheduled, now);
+        if let Some(entered) = req.timeline.get(Stamp::DramQueueEnter) {
+            self.stats.queue_wait_cycles += now.since(entered);
+        }
+        self.stats.serviced += 1;
+        // Data burst serializes on the shared bus after the column access.
+        let data_start = (now + access).max(self.bus_free_at);
+        let done = data_start + t.burst;
+        self.bus_free_at = done;
+        let bank = &mut self.banks[bank_idx];
+        bank.open_row = Some(row);
+        bank.ready_at = now + busy;
+        self.in_service.push((done, req));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{AccessKind, PipelineSpace, RequestId};
+    use gpu_types::{Addr, SmId};
+
+    fn timing() -> DramTiming {
+        DramTiming {
+            t_rcd: 10,
+            t_rp: 10,
+            t_cl: 15,
+            burst: 4,
+        }
+    }
+
+    fn controller(sched: DramSched) -> DramController {
+        DramController::new(
+            DramConfig {
+                timing: timing(),
+                queue_capacity: 16,
+                sched,
+            },
+            AddressMap::new(1, 256, 4, 1024),
+        )
+    }
+
+    fn req(id: u64, addr: u64, now: u64) -> MemRequest {
+        MemRequest::new(
+            RequestId::new(id),
+            Addr::new(addr),
+            128,
+            AccessKind::Load,
+            PipelineSpace::Global,
+            SmId::new(0),
+            0,
+            Cycle::new(now),
+        )
+    }
+
+    fn run_until_done(c: &mut DramController, mut now: Cycle, limit: u64) -> Vec<(u64, MemRequest)> {
+        let mut out = Vec::new();
+        for _ in 0..limit {
+            for r in c.tick(now) {
+                out.push((now.get(), r));
+            }
+            if c.is_idle() {
+                break;
+            }
+            now.tick();
+        }
+        out
+    }
+
+    #[test]
+    fn closed_row_access_latency() {
+        let mut c = controller(DramSched::FrFcfs);
+        c.enqueue(req(1, 0, 0), Cycle::new(0));
+        let done = run_until_done(&mut c, Cycle::new(0), 1000);
+        assert_eq!(done.len(), 1);
+        // scheduled at cycle 0: closed row = tRCD + tCL = 25, + burst 4 = 29.
+        assert_eq!(done[0].0, 29);
+        assert_eq!(c.stats().row_closed, 1);
+    }
+
+    #[test]
+    fn row_hits_are_faster_than_conflicts() {
+        // Same row twice, then a different row in the same bank.
+        let mut c = controller(DramSched::FrFcfs);
+        c.enqueue(req(1, 0, 0), Cycle::new(0));
+        c.enqueue(req(2, 128, 0), Cycle::new(0)); // same row 0 of bank 0
+        let done = run_until_done(&mut c, Cycle::new(0), 10_000);
+        assert_eq!(done.len(), 2);
+        let s = c.stats();
+        assert_eq!(s.row_closed, 1);
+        assert_eq!(s.row_hits, 1);
+        // Conflict: bank 0 row 1 lives at local 4096 (4 banks * 1024).
+        let mut c2 = controller(DramSched::FrFcfs);
+        c2.enqueue(req(1, 0, 0), Cycle::new(0));
+        c2.enqueue(req(2, 4096, 0), Cycle::new(0));
+        run_until_done(&mut c2, Cycle::new(0), 10_000);
+        assert_eq!(c2.stats().row_conflicts, 1);
+    }
+
+    #[test]
+    fn frfcfs_reorders_for_row_hits_fcfs_does_not() {
+        // Queue: A(row0), B(row1 same bank), C(row0). FR-FCFS serves C before B.
+        let order = |sched| {
+            let mut c = controller(sched);
+            c.enqueue(req(1, 0, 0), Cycle::new(0)); // row 0
+            c.enqueue(req(2, 4096, 0), Cycle::new(0)); // row 1, bank 0
+            c.enqueue(req(3, 64, 0), Cycle::new(0)); // row 0
+            let done = run_until_done(&mut c, Cycle::new(0), 100_000);
+            done.iter().map(|(_, r)| r.id.get()).collect::<Vec<_>>()
+        };
+        assert_eq!(order(DramSched::FrFcfs), vec![1, 3, 2]);
+        assert_eq!(order(DramSched::Fcfs), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn banks_overlap_but_bus_serializes_bursts() {
+        // Two requests to different banks issued together: accesses overlap,
+        // bursts serialize (4 cycles apart at completion).
+        let mut c = controller(DramSched::FrFcfs);
+        c.enqueue(req(1, 0, 0), Cycle::new(0)); // bank 0
+        c.enqueue(req(2, 1024, 0), Cycle::new(0)); // bank 1
+        let done = run_until_done(&mut c, Cycle::new(0), 10_000);
+        assert_eq!(done.len(), 2);
+        let t1 = done[0].0;
+        let t2 = done[1].0;
+        // First: scheduled cycle 0, done 29. Second: scheduled cycle 1,
+        // access done 26 but bus busy until 29 -> done 33.
+        assert_eq!(t1, 29);
+        assert_eq!(t2, 33);
+    }
+
+    #[test]
+    fn queue_capacity_enforced() {
+        let mut c = DramController::new(
+            DramConfig {
+                timing: timing(),
+                queue_capacity: 1,
+                sched: DramSched::Fcfs,
+            },
+            AddressMap::new(1, 256, 4, 1024),
+        );
+        assert!(c.can_accept());
+        c.enqueue(req(1, 0, 0), Cycle::new(0));
+        assert!(!c.can_accept());
+    }
+
+    #[test]
+    fn stamps_are_recorded() {
+        let mut c = controller(DramSched::FrFcfs);
+        c.enqueue(req(1, 0, 5), Cycle::new(5));
+        let mut now = Cycle::new(5);
+        let done = loop {
+            let d = c.tick(now);
+            if !d.is_empty() {
+                break d;
+            }
+            now.tick();
+        };
+        let tl = &done[0].timeline;
+        assert_eq!(tl.get(Stamp::DramQueueEnter), Some(Cycle::new(5)));
+        assert_eq!(tl.get(Stamp::DramScheduled), Some(Cycle::new(5)));
+        assert_eq!(tl.get(Stamp::DramDone), Some(now));
+        assert!(c.stats().queue_wait_cycles == 0);
+    }
+
+    #[test]
+    fn queue_wait_accumulates_under_load() {
+        let mut c = controller(DramSched::Fcfs);
+        for i in 0..8 {
+            // All to the same bank, different rows: serialized conflicts.
+            c.enqueue(req(i, i * 4096, 0), Cycle::new(0));
+        }
+        run_until_done(&mut c, Cycle::new(0), 100_000);
+        assert!(c.stats().queue_wait_cycles > 0);
+        assert_eq!(c.stats().serviced, 8);
+    }
+}

@@ -1,0 +1,143 @@
+//! Physical address mapping: partition interleaving and DRAM bank/row
+//! decomposition.
+
+use gpu_types::{Addr, PartitionId};
+
+/// Maps device addresses to memory partitions, DRAM banks and rows.
+///
+/// Addresses are interleaved across partitions in `chunk_bytes` chunks (256 B
+/// on the modeled GPUs, i.e. two 128 B lines), then within a partition the
+/// partition-local address is split into row/bank/column with banks
+/// interleaved at row granularity.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_mem::AddressMap;
+/// use gpu_types::Addr;
+///
+/// let map = AddressMap::new(6, 256, 16, 2048);
+/// let p = map.partition_of(Addr::new(0x100));
+/// assert_eq!(p.index(), 1); // second 256-byte chunk -> partition 1
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddressMap {
+    partitions: usize,
+    chunk_bytes: u64,
+    banks: usize,
+    row_bytes: u64,
+}
+
+impl AddressMap {
+    /// Creates a map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any argument is zero or `chunk_bytes`/`row_bytes` is not a
+    /// power of two.
+    pub fn new(partitions: usize, chunk_bytes: u64, banks: usize, row_bytes: u64) -> Self {
+        assert!(partitions > 0 && banks > 0);
+        assert!(chunk_bytes.is_power_of_two() && row_bytes.is_power_of_two());
+        AddressMap {
+            partitions,
+            chunk_bytes,
+            banks,
+            row_bytes,
+        }
+    }
+
+    /// Number of memory partitions.
+    pub fn partitions(&self) -> usize {
+        self.partitions
+    }
+
+    /// Number of DRAM banks per partition.
+    pub fn banks(&self) -> usize {
+        self.banks
+    }
+
+    /// Row size in bytes.
+    pub fn row_bytes(&self) -> u64 {
+        self.row_bytes
+    }
+
+    /// The memory partition servicing `addr`.
+    pub fn partition_of(&self, addr: Addr) -> PartitionId {
+        PartitionId::new(((addr.get() / self.chunk_bytes) % self.partitions as u64) as u32)
+    }
+
+    /// Partition-local byte address (partition bits squeezed out).
+    pub fn local_addr(&self, addr: Addr) -> u64 {
+        let chunk = addr.get() / self.chunk_bytes;
+        (chunk / self.partitions as u64) * self.chunk_bytes + addr.get() % self.chunk_bytes
+    }
+
+    /// DRAM bank within the partition.
+    pub fn bank_of(&self, addr: Addr) -> usize {
+        ((self.local_addr(addr) / self.row_bytes) % self.banks as u64) as usize
+    }
+
+    /// DRAM row within the bank.
+    pub fn row_of(&self, addr: Addr) -> u64 {
+        self.local_addr(addr) / self.row_bytes / self.banks as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map() -> AddressMap {
+        AddressMap::new(4, 256, 8, 1024)
+    }
+
+    #[test]
+    fn partitions_interleave_by_chunk() {
+        let m = map();
+        assert_eq!(m.partition_of(Addr::new(0)).index(), 0);
+        assert_eq!(m.partition_of(Addr::new(255)).index(), 0);
+        assert_eq!(m.partition_of(Addr::new(256)).index(), 1);
+        assert_eq!(m.partition_of(Addr::new(1024)).index(), 0);
+    }
+
+    #[test]
+    fn local_addr_is_dense_per_partition() {
+        let m = map();
+        // Consecutive chunks of partition 0 are contiguous locally.
+        assert_eq!(m.local_addr(Addr::new(0)), 0);
+        assert_eq!(m.local_addr(Addr::new(4 * 256)), 256);
+        assert_eq!(m.local_addr(Addr::new(8 * 256)), 512);
+        // Offsets within a chunk are preserved.
+        assert_eq!(m.local_addr(Addr::new(4 * 256 + 17)), 256 + 17);
+    }
+
+    #[test]
+    fn banks_interleave_at_row_granularity() {
+        let m = map();
+        // Local addresses 0..1024 -> bank 0, 1024..2048 -> bank 1, ...
+        assert_eq!(m.bank_of(Addr::new(0)), 0);
+        // local_addr(4096) = 1024 (chunk 16 / 4 partitions = chunk 4 locally)
+        assert_eq!(m.bank_of(Addr::new(4096)), 1);
+        assert_eq!(m.row_of(Addr::new(0)), 0);
+    }
+
+    #[test]
+    fn rows_advance_after_all_banks() {
+        let m = map();
+        // 8 banks * 1024 row bytes = 8192 local bytes per row sweep.
+        // A local address of 8192 corresponds to a device address of
+        // 8192 * 4 (partitions) = 32768 for partition 0.
+        let a = Addr::new(32768);
+        assert_eq!(m.partition_of(a).index(), 0);
+        assert_eq!(m.bank_of(a), 0);
+        assert_eq!(m.row_of(a), 1);
+    }
+
+    #[test]
+    fn accessors() {
+        let m = map();
+        assert_eq!(m.partitions(), 4);
+        assert_eq!(m.banks(), 8);
+        assert_eq!(m.row_bytes(), 1024);
+    }
+}

@@ -1,0 +1,205 @@
+//! Miss-status holding registers (MSHRs).
+//!
+//! An MSHR table tracks outstanding line fills and merges subsequent misses
+//! to the same line so only one downstream request is in flight per line.
+//! The table's finite size is one of the resources whose exhaustion produces
+//! the queueing behavior the paper observes (a full MSHR table stalls the L1,
+//! extending "SM Base" / "L1toICNT" time).
+//!
+//! The table is generic over the *waiter* payload `T`: the primary miss's
+//! request object travels downstream, while merged requests are parked here
+//! until the fill returns.
+
+use std::collections::HashMap;
+
+use gpu_types::Addr;
+
+/// Configuration of an MSHR table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MshrConfig {
+    /// Maximum distinct outstanding lines.
+    pub entries: usize,
+    /// Maximum merged waiters per line (not counting the primary miss,
+    /// which travels downstream).
+    pub max_merged: usize,
+}
+
+/// A table of miss-status holding registers holding waiters of type `T`.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_mem::{MshrTable, MshrConfig};
+/// use gpu_types::Addr;
+///
+/// let mut mshr: MshrTable<&str> = MshrTable::new(MshrConfig { entries: 32, max_merged: 8 });
+/// let line = Addr::new(0x400);
+/// assert!(mshr.allocate(line));            // primary miss: goes downstream
+/// assert_eq!(mshr.try_merge(line, "w1"), Ok(()));
+/// assert_eq!(mshr.fill(line), vec!["w1"]); // fill wakes the merged waiter
+/// ```
+#[derive(Debug, Clone)]
+pub struct MshrTable<T> {
+    config: MshrConfig,
+    entries: HashMap<u64, Vec<T>>,
+}
+
+impl<T> MshrTable<T> {
+    /// Creates an empty table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero.
+    pub fn new(config: MshrConfig) -> Self {
+        assert!(config.entries > 0, "MSHR table needs at least one entry");
+        MshrTable {
+            config,
+            entries: HashMap::with_capacity(config.entries),
+        }
+    }
+
+    /// The table configuration.
+    pub fn config(&self) -> &MshrConfig {
+        &self.config
+    }
+
+    /// Number of outstanding lines.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if no fills are outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Returns `true` if a fill for `line` is outstanding.
+    pub fn is_pending(&self, line: Addr) -> bool {
+        self.entries.contains_key(&line.get())
+    }
+
+    /// Returns `true` if a new line entry can be allocated.
+    pub fn can_allocate(&self) -> bool {
+        self.entries.len() < self.config.entries
+    }
+
+    /// Allocates an entry for a primary miss on `line`. Returns `false` if
+    /// the table is full (the miss must stall and retry).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line` is already pending — the caller must check
+    /// [`MshrTable::is_pending`] and merge instead.
+    pub fn allocate(&mut self, line: Addr) -> bool {
+        assert!(
+            !self.is_pending(line),
+            "allocate on already-pending line {line}; merge instead"
+        );
+        if !self.can_allocate() {
+            return false;
+        }
+        self.entries.insert(line.get(), Vec::new());
+        true
+    }
+
+    /// Returns `true` if a waiter could merge onto the pending fill of
+    /// `line` right now.
+    pub fn can_merge(&self, line: Addr) -> bool {
+        self.entries
+            .get(&line.get())
+            .is_some_and(|list| list.len() < self.config.max_merged)
+    }
+
+    /// Parks `waiter` on the pending fill of `line`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the waiter back if `line` is not pending or its merge list is
+    /// full (the access must stall).
+    pub fn try_merge(&mut self, line: Addr, waiter: T) -> Result<(), T> {
+        match self.entries.get_mut(&line.get()) {
+            Some(list) if list.len() < self.config.max_merged => {
+                list.push(waiter);
+                Ok(())
+            }
+            _ => Err(waiter),
+        }
+    }
+
+    /// Completes the fill for `line`, returning the merged waiters in
+    /// arrival order (empty if the line was not pending or had no merges).
+    pub fn fill(&mut self, line: Addr) -> Vec<T> {
+        self.entries.remove(&line.get()).unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(entries: usize, merged: usize) -> MshrTable<u32> {
+        MshrTable::new(MshrConfig {
+            entries,
+            max_merged: merged,
+        })
+    }
+
+    #[test]
+    fn allocate_merge_fill_lifecycle() {
+        let mut m = table(2, 4);
+        let line = Addr::new(0x1000);
+        assert!(!m.is_pending(line));
+        assert!(m.allocate(line));
+        assert!(m.is_pending(line));
+        assert_eq!(m.try_merge(line, 11), Ok(()));
+        assert_eq!(m.try_merge(line, 12), Ok(()));
+        assert_eq!(m.fill(line), vec![11, 12]);
+        assert!(!m.is_pending(line));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn table_exhaustion_blocks_allocation() {
+        let mut m = table(2, 4);
+        assert!(m.allocate(Addr::new(0x000)));
+        assert!(m.allocate(Addr::new(0x080)));
+        assert!(!m.can_allocate());
+        assert!(!m.allocate(Addr::new(0x100)));
+        // Merging into existing entries still works while full.
+        assert_eq!(m.try_merge(Addr::new(0x000), 4), Ok(()));
+        m.fill(Addr::new(0x000));
+        assert!(m.allocate(Addr::new(0x100)));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn merge_limit_rejects() {
+        let mut m = table(4, 2);
+        let line = Addr::new(0x200);
+        assert!(m.allocate(line));
+        assert_eq!(m.try_merge(line, 1), Ok(()));
+        assert_eq!(m.try_merge(line, 2), Ok(()));
+        assert_eq!(m.try_merge(line, 3), Err(3));
+    }
+
+    #[test]
+    fn merge_on_unknown_line_rejects() {
+        let mut m = table(4, 2);
+        assert_eq!(m.try_merge(Addr::new(0x300), 9), Err(9));
+    }
+
+    #[test]
+    fn fill_of_unknown_line_is_empty() {
+        let mut m = table(1, 1);
+        assert!(m.fill(Addr::new(0x42)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "merge instead")]
+    fn double_allocate_panics() {
+        let mut m = table(2, 2);
+        let line = Addr::new(0x80);
+        m.allocate(line);
+        m.allocate(line);
+    }
+}

@@ -1,0 +1,222 @@
+//! Property-based tests for the memory substrates: the set-associative
+//! cache against a reference model, the address map's bijectivity, MSHR
+//! bookkeeping, and device-memory round trips.
+
+use gpu_mem::{
+    AddressMap, Cache, CacheConfig, DeviceMemory, LoadOutcome, MshrConfig, MshrTable,
+    Replacement,
+};
+use gpu_types::Addr;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Straightforward reference model of an LRU set-associative tag array.
+struct RefCache {
+    sets: usize,
+    ways: usize,
+    line: u64,
+    // per set: Vec of tags, most-recent last
+    content: HashMap<usize, Vec<u64>>,
+}
+
+impl RefCache {
+    fn new(sets: usize, ways: usize, line: u64) -> Self {
+        RefCache {
+            sets,
+            ways,
+            line,
+            content: HashMap::new(),
+        }
+    }
+    fn set_and_tag(&self, addr: u64) -> (usize, u64) {
+        let l = addr / self.line;
+        ((l as usize) % self.sets, l / self.sets as u64)
+    }
+    fn load(&mut self, addr: u64) -> bool {
+        let (s, t) = self.set_and_tag(addr);
+        let set = self.content.entry(s).or_default();
+        if let Some(pos) = set.iter().position(|&x| x == t) {
+            set.remove(pos);
+            set.push(t);
+            true
+        } else {
+            false
+        }
+    }
+    fn fill(&mut self, addr: u64) {
+        let (s, t) = self.set_and_tag(addr);
+        let ways = self.ways;
+        let set = self.content.entry(s).or_default();
+        if let Some(pos) = set.iter().position(|&x| x == t) {
+            set.remove(pos);
+        } else if set.len() == ways {
+            set.remove(0); // evict LRU
+        }
+        set.push(t);
+    }
+    fn store_invalidate(&mut self, addr: u64) {
+        let (s, t) = self.set_and_tag(addr);
+        if let Some(set) = self.content.get_mut(&s) {
+            set.retain(|&x| x != t);
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum CacheOp {
+    Load(u64),
+    Fill(u64),
+    StoreInvalidate(u64),
+}
+
+fn cache_ops() -> impl Strategy<Value = Vec<CacheOp>> {
+    // Confine addresses to a small region so sets/ways actually collide.
+    let addr = 0u64..8192;
+    proptest::collection::vec(
+        prop_oneof![
+            addr.clone().prop_map(CacheOp::Load),
+            addr.clone().prop_map(CacheOp::Fill),
+            addr.prop_map(CacheOp::StoreInvalidate),
+        ],
+        0..300,
+    )
+}
+
+proptest! {
+    /// The LRU cache agrees with the reference model on every hit/miss,
+    /// as long as no fills are outstanding (reservations are exercised by
+    /// the pipeline tests).
+    #[test]
+    fn lru_cache_matches_reference(
+        sets_pow in 0u32..4,
+        ways in 1usize..5,
+        ops in cache_ops(),
+    ) {
+        let sets = 1usize << sets_pow;
+        let mut cache = Cache::new(CacheConfig {
+            sets,
+            ways,
+            line_size: 128,
+            replacement: Replacement::Lru,
+        });
+        let mut model = RefCache::new(sets, ways, 128);
+        for op in ops {
+            match op {
+                CacheOp::Load(a) => {
+                    let got = cache.load(Addr::new(a)) == LoadOutcome::Hit;
+                    let want = model.load(a);
+                    prop_assert_eq!(got, want, "load {:#x}", a);
+                }
+                CacheOp::Fill(a) => {
+                    cache.fill(Addr::new(a));
+                    model.fill(a);
+                }
+                CacheOp::StoreInvalidate(a) => {
+                    cache.store_invalidate(Addr::new(a));
+                    model.store_invalidate(a);
+                }
+            }
+        }
+    }
+
+    /// Partition + local address uniquely reconstructs the device address:
+    /// the mapping loses no information and partitions tile the space.
+    #[test]
+    fn address_map_is_injective(
+        partitions in 1usize..9,
+        banks in 1usize..17,
+        addrs in proptest::collection::vec(0u64..1_000_000, 1..100),
+    ) {
+        let map = AddressMap::new(partitions, 256, banks, 2048);
+        let mut seen: HashMap<(u32, u64), u64> = HashMap::new();
+        for &a in &addrs {
+            let key = (map.partition_of(Addr::new(a)).get(), map.local_addr(Addr::new(a)));
+            if let Some(&prev) = seen.get(&key) {
+                prop_assert_eq!(prev, a, "two addresses map to same (partition, local)");
+            }
+            seen.insert(key, a);
+            prop_assert!(map.bank_of(Addr::new(a)) < banks);
+        }
+    }
+
+    /// Consecutive chunks rotate across all partitions evenly.
+    #[test]
+    fn partitions_interleave_uniformly(partitions in 1usize..9, chunks in 1u64..64) {
+        let map = AddressMap::new(partitions, 256, 8, 2048);
+        let mut counts = vec![0u64; partitions];
+        for c in 0..chunks * partitions as u64 {
+            counts[map.partition_of(Addr::new(c * 256)).index()] += 1;
+        }
+        for &c in &counts {
+            prop_assert_eq!(c, chunks);
+        }
+    }
+
+    /// MSHR: waiters come back exactly once, in order, and entry count
+    /// never exceeds the configured capacity.
+    #[test]
+    fn mshr_conserves_waiters(
+        entries in 1usize..8,
+        max_merged in 1usize..8,
+        lines in proptest::collection::vec(0u64..16, 1..100),
+    ) {
+        let mut mshr: MshrTable<u64> = MshrTable::new(MshrConfig { entries, max_merged });
+        let mut expected: HashMap<u64, Vec<u64>> = HashMap::new();
+        let mut ticket = 0u64;
+        for line in lines {
+            let addr = Addr::new(line * 128);
+            if mshr.is_pending(addr) {
+                let t = ticket;
+                ticket += 1;
+                match mshr.try_merge(addr, t) {
+                    Ok(()) => expected.entry(line).or_default().push(t),
+                    Err(_) => {
+                        prop_assert!(!mshr.can_merge(addr));
+                        // Full merge list: fill the line and retry later.
+                        let got = mshr.fill(addr);
+                        prop_assert_eq!(got, expected.remove(&line).unwrap_or_default());
+                    }
+                }
+            } else if mshr.allocate(addr) {
+                expected.insert(line, Vec::new());
+            } else {
+                prop_assert!(!mshr.can_allocate());
+                // Drain one arbitrary pending line to make room.
+                if let Some((&l, _)) = expected.iter().next() {
+                    let got = mshr.fill(Addr::new(l * 128));
+                    prop_assert_eq!(got, expected.remove(&l).unwrap_or_default());
+                }
+            }
+            prop_assert!(mshr.len() <= entries);
+        }
+        // Drain everything left.
+        let keys: Vec<u64> = expected.keys().copied().collect();
+        for l in keys {
+            let got = mshr.fill(Addr::new(l * 128));
+            prop_assert_eq!(got, expected.remove(&l).unwrap());
+        }
+        prop_assert!(mshr.is_empty());
+    }
+
+    /// Device memory: last write wins, reads never tear across pages.
+    #[test]
+    fn device_memory_read_your_writes(
+        writes in proptest::collection::vec((0u64..20_000, any::<u32>()), 1..200),
+    ) {
+        let mut mem = DeviceMemory::new();
+        let mut model: HashMap<u64, u8> = HashMap::new();
+        for &(a, v) in &writes {
+            mem.write_u32(Addr::new(a), v);
+            for (i, b) in v.to_le_bytes().iter().enumerate() {
+                model.insert(a + i as u64, *b);
+            }
+        }
+        for &(a, _) in &writes {
+            let mut want = [0u8; 4];
+            for (i, b) in want.iter_mut().enumerate() {
+                *b = *model.get(&(a + i as u64)).unwrap_or(&0);
+            }
+            prop_assert_eq!(mem.read_u32(Addr::new(a)), u32::from_le_bytes(want));
+        }
+    }
+}

@@ -1,0 +1,331 @@
+//! GPU configuration: every latency, queue depth and structural parameter of
+//! the modeled machine.
+//!
+//! A [`GpuConfig`] fully describes one simulated GPU. The per-generation
+//! presets that reproduce the paper's Table I live in `latency-core`
+//! (`ArchPreset`); this module only defines the knobs and a neutral
+//! Fermi-GF100-like default, mirroring how GPGPU-Sim separates the simulator
+//! from its config files.
+
+use gpu_icnt::IcntConfig;
+use gpu_mem::{CacheConfig, DramConfig, DramSched, DramTiming, MshrConfig, Replacement};
+
+/// Warp scheduling policy of an SM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedPolicy {
+    /// Loose round-robin: rotate priority one slot past the last issuer.
+    Lrr,
+    /// Greedy-then-oldest: keep issuing the same warp until it stalls, then
+    /// fall back to the oldest ready warp.
+    Gto,
+}
+
+/// L1 data-cache configuration, including which memory spaces it serves —
+/// the per-generation policy at the heart of the paper's §II discussion
+/// (Fermi: global+local; Kepler: local only; Maxwell: removed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct L1Config {
+    /// Tag-array geometry.
+    pub cache: CacheConfig,
+    /// MSHR table.
+    pub mshr: MshrConfig,
+    /// Hit latency: probe-to-data, in cycles.
+    pub hit_latency: u64,
+    /// Miss-queue capacity between the L1 and the interconnect injection
+    /// port (the paper's `L1toICNT` queue).
+    pub miss_queue: usize,
+    /// Does the L1 cache global-space accesses?
+    pub serve_global: bool,
+    /// Does the L1 cache local-space accesses?
+    pub serve_local: bool,
+}
+
+/// How the L2 handles global stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WritePolicy {
+    /// Write-through, no-allocate, write-evict: every store goes to DRAM
+    /// (the workspace default, and the policy the Table-I calibration
+    /// assumes).
+    WriteThrough,
+    /// Write-back with write-allocate (no fetch-on-write): stores complete
+    /// at the L2 and dirty victims are written back on eviction — closer to
+    /// real Fermi's L2 and available as an ablation (experiment E8).
+    WriteBack,
+}
+
+/// L2 slice configuration (one slice per memory partition).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct L2Config {
+    /// Tag-array geometry (per slice).
+    pub cache: CacheConfig,
+    /// MSHR table (per slice).
+    pub mshr: MshrConfig,
+    /// Hit latency: probe-to-data, in cycles.
+    pub hit_latency: u64,
+    /// Input queue between the ROP pipeline and the L2 access stage.
+    pub input_queue: usize,
+    /// Store handling policy.
+    pub write_policy: WritePolicy,
+}
+
+/// Complete description of a simulated GPU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuConfig {
+    /// Human-readable name ("GF100-like", …) used in reports.
+    pub name: String,
+    /// Number of streaming multiprocessors.
+    pub num_sms: usize,
+    /// Threads per warp (≤ 32).
+    pub warp_size: u32,
+    /// Warp slots per SM.
+    pub max_warps_per_sm: usize,
+    /// Maximum concurrent CTAs per SM.
+    pub max_ctas_per_sm: usize,
+    /// Instructions issued per SM per cycle (distinct warps).
+    pub issue_width: usize,
+    /// Warp scheduler policy.
+    pub scheduler: SchedPolicy,
+    /// Integer-ALU result latency.
+    pub alu_latency: u64,
+    /// FP32 result latency.
+    pub fp_latency: u64,
+    /// SFU (div/transcendental) result latency.
+    pub sfu_latency: u64,
+    /// Shared-memory access latency.
+    pub shared_latency: u64,
+    /// Fixed in-SM front-end time for a memory access: decode, address
+    /// generation, coalescing, up to the L1 tag probe (the head of the
+    /// paper's "SM Base" component).
+    pub sm_base_latency: u64,
+    /// Capacity of the in-SM memory front-end pipeline (coalesced
+    /// transactions in flight before the L1).
+    pub lsu_queue: usize,
+    /// Cache-line / memory-transaction size in bytes.
+    pub line_size: u64,
+    /// L1 data cache, if the architecture has one.
+    pub l1: Option<L1Config>,
+    /// Interconnect (applied to both request and reply networks).
+    pub icnt: IcntConfig,
+    /// Fixed raster-operations pipeline latency in front of the L2.
+    pub rop_latency: u64,
+    /// ROP pipeline slot capacity.
+    pub rop_queue: usize,
+    /// L2 cache, if the architecture has one.
+    pub l2: Option<L2Config>,
+    /// DRAM channel config (per partition).
+    pub dram: DramConfig,
+    /// Number of memory partitions.
+    pub num_partitions: usize,
+    /// Partition interleave chunk in bytes.
+    pub partition_chunk: u64,
+    /// DRAM banks per partition.
+    pub dram_banks: usize,
+    /// DRAM row size in bytes.
+    pub dram_row_bytes: u64,
+    /// Response-side writeback latency at the SM (reply ejection to register
+    /// writeback; tail of the paper's "Fetch2SM" component).
+    pub fill_latency: u64,
+}
+
+impl GpuConfig {
+    /// A neutral GF100 (Fermi)-like configuration: 15 SMs, 48 warps/SM,
+    /// 16 KB L1 (global+local), 6 partitions with 128 KB L2 slices, FR-FCFS
+    /// GDDR5 timing. Latencies are calibrated so the unloaded global-memory
+    /// pipeline matches the paper's Fermi column of Table I
+    /// (L1 ≈ 45, L2 ≈ 310, DRAM ≈ 685 cycles).
+    pub fn fermi_gf100() -> Self {
+        GpuConfig {
+            name: "GF100-like (Fermi)".to_string(),
+            num_sms: 15,
+            warp_size: 32,
+            max_warps_per_sm: 48,
+            max_ctas_per_sm: 8,
+            issue_width: 2,
+            scheduler: SchedPolicy::Lrr,
+            alu_latency: 18,
+            fp_latency: 18,
+            sfu_latency: 40,
+            shared_latency: 30,
+            sm_base_latency: 28,
+            lsu_queue: 34,
+            line_size: 128,
+            l1: Some(L1Config {
+                cache: CacheConfig {
+                    sets: 32,
+                    ways: 4,
+                    line_size: 128,
+                    replacement: Replacement::Lru,
+                },
+                mshr: MshrConfig {
+                    entries: 32,
+                    max_merged: 8,
+                },
+                hit_latency: 17,
+                miss_queue: 8,
+                serve_global: true,
+                serve_local: true,
+            }),
+            icnt: IcntConfig {
+                latency: 48,
+                output_queue: 8,
+                inject_per_src: 1,
+                eject_per_dst: 1,
+            },
+            rop_latency: 60,
+            rop_queue: 16,
+            l2: Some(L2Config {
+                cache: CacheConfig {
+                    sets: 128,
+                    ways: 8,
+                    line_size: 128,
+                    replacement: Replacement::Lru,
+                },
+                mshr: MshrConfig {
+                    entries: 32,
+                    max_merged: 8,
+                },
+                hit_latency: 115,
+                input_queue: 8,
+                write_policy: WritePolicy::WriteThrough,
+            }),
+            dram: DramConfig {
+                timing: DramTiming {
+                    t_rcd: 80,
+                    t_rp: 80,
+                    t_cl: 321,
+                    burst: 8,
+                },
+                queue_capacity: 128,
+                sched: DramSched::FrFcfs,
+            },
+            num_partitions: 6,
+            partition_chunk: 256,
+            dram_banks: 16,
+            dram_row_bytes: 2048,
+            fill_latency: 10,
+        }
+    }
+
+    /// Returns `true` if the L1 serves accesses of the given pipeline space.
+    pub fn l1_serves(&self, space: gpu_mem::PipelineSpace) -> bool {
+        match &self.l1 {
+            None => false,
+            Some(l1) => match space {
+                gpu_mem::PipelineSpace::Global => l1.serve_global,
+                gpu_mem::PipelineSpace::Local => l1.serve_local,
+            },
+        }
+    }
+
+    /// Analytic unloaded (zero-contention) latency of an L1 hit: front-end
+    /// plus tag/data access. The hit path writes back directly (it does not
+    /// traverse the response fill stage), so this matches the measured
+    /// dependent-load round trip exactly.
+    pub fn unloaded_l1_hit(&self) -> Option<u64> {
+        let l1 = self.l1.as_ref()?;
+        Some(self.sm_base_latency + l1.hit_latency)
+    }
+
+    /// Analytic unloaded latency of an L2 hit through the whole pipeline.
+    /// Miss detection at the L1 is a same-cycle tag probe, so the L1 hit
+    /// latency does not appear; the `+1` is the L2 input-queue hop.
+    pub fn unloaded_l2_hit(&self) -> Option<u64> {
+        let l2 = self.l2.as_ref()?;
+        Some(
+            self.sm_base_latency
+                + 2 * self.icnt.latency
+                + self.rop_latency
+                + l2.hit_latency
+                + self.fill_latency
+                + 1,
+        )
+    }
+
+    /// Analytic unloaded latency of a steady-state DRAM access through the
+    /// whole pipeline. A pointer-chase ring revisits each bank with a new
+    /// row, so steady state is the row-*conflict* path; the `+2` covers the
+    /// L2 input-queue and DRAM controller-queue hops.
+    pub fn unloaded_dram(&self) -> u64 {
+        self.sm_base_latency
+            + 2 * self.icnt.latency
+            + self.rop_latency
+            + self.dram.timing.row_conflict()
+            + self.dram.timing.burst
+            + self.fill_latency
+            + 2
+    }
+
+    /// Builds the address map implied by this config.
+    pub fn address_map(&self) -> gpu_mem::AddressMap {
+        gpu_mem::AddressMap::new(
+            self.num_partitions,
+            self.partition_chunk,
+            self.dram_banks,
+            self.dram_row_bytes,
+        )
+    }
+
+    /// Validates structural invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if structurally inconsistent (zero SMs/partitions, warp size
+    /// outside 1..=32, mismatched line sizes).
+    pub fn assert_valid(&self) {
+        assert!(self.num_sms > 0, "need at least one SM");
+        assert!(self.num_partitions > 0, "need at least one partition");
+        assert!(
+            (1..=32).contains(&self.warp_size),
+            "warp size must be 1..=32"
+        );
+        assert!(self.issue_width > 0, "issue width must be positive");
+        assert!(self.max_warps_per_sm > 0);
+        if let Some(l1) = &self.l1 {
+            assert_eq!(l1.cache.line_size, self.line_size, "L1 line size mismatch");
+        }
+        if let Some(l2) = &self.l2 {
+            assert_eq!(l2.cache.line_size, self.line_size, "L2 line size mismatch");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_mem::PipelineSpace;
+
+    #[test]
+    fn gf100_is_valid() {
+        let c = GpuConfig::fermi_gf100();
+        c.assert_valid();
+        assert!(c.l1_serves(PipelineSpace::Global));
+        assert!(c.l1_serves(PipelineSpace::Local));
+    }
+
+    #[test]
+    fn gf100_unloaded_latencies_near_table1() {
+        let c = GpuConfig::fermi_gf100();
+        let l1 = c.unloaded_l1_hit().unwrap();
+        let l2 = c.unloaded_l2_hit().unwrap();
+        let dram = c.unloaded_dram();
+        // Fermi column of Table I: 45 / 310 / 685.
+        assert!((40..=50).contains(&l1), "L1 {l1}");
+        assert!((300..=320).contains(&l2), "L2 {l2}");
+        assert!((670..=700).contains(&dram), "DRAM {dram}");
+    }
+
+    #[test]
+    fn l1_service_respects_absence() {
+        let mut c = GpuConfig::fermi_gf100();
+        c.l1 = None;
+        assert!(!c.l1_serves(PipelineSpace::Global));
+        assert!(!c.l1_serves(PipelineSpace::Local));
+        assert_eq!(c.unloaded_l1_hit(), None);
+    }
+
+    #[test]
+    fn address_map_matches_partitions() {
+        let c = GpuConfig::fermi_gf100();
+        assert_eq!(c.address_map().partitions(), c.num_partitions);
+    }
+}

@@ -1,0 +1,410 @@
+//! Whole-GPU simulation: SMs + interconnect + memory partitions, a CTA
+//! dispatcher, and the cycle loop.
+
+use std::fmt;
+use std::sync::Arc;
+
+use gpu_icnt::Crossbar;
+use gpu_isa::{Kernel, Launch, LocalMap, ValidateError};
+use gpu_mem::{AddressMap, DeviceMemory, MemRequest, Stamp};
+use gpu_types::{Addr, Cycle, CtaId, PartitionId, SmId};
+
+use crate::config::GpuConfig;
+use crate::partition::Partition;
+use crate::sm::Sm;
+use crate::stats::{CompletedRequest, LoadInstrRecord, RunSummary, SmStats, TraceSink};
+
+/// Error launching or running a kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The kernel failed static validation.
+    InvalidKernel(ValidateError),
+    /// A CTA needs more warp slots than an SM has.
+    BlockTooLarge {
+        /// Warps the CTA needs.
+        needed: usize,
+        /// Warp slots per SM.
+        available: usize,
+    },
+    /// `run` hit its cycle limit before the grid drained.
+    Timeout {
+        /// The limit that was hit.
+        max_cycles: u64,
+    },
+    /// `run` called with no kernel launched.
+    NothingLaunched,
+    /// The kernel reads more parameter slots than the launch supplies.
+    MissingParams {
+        /// Highest parameter slot the kernel reads, plus one.
+        needed: usize,
+        /// Parameters supplied by the launch.
+        supplied: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidKernel(e) => write!(f, "invalid kernel: {e}"),
+            SimError::BlockTooLarge { needed, available } => {
+                write!(f, "CTA needs {needed} warp slots, SM has {available}")
+            }
+            SimError::Timeout { max_cycles } => {
+                write!(f, "simulation exceeded {max_cycles} cycles")
+            }
+            SimError::NothingLaunched => f.write_str("no kernel launched"),
+            SimError::MissingParams { needed, supplied } => {
+                write!(f, "kernel reads {needed} parameters, launch supplies {supplied}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<ValidateError> for SimError {
+    fn from(e: ValidateError) -> Self {
+        SimError::InvalidKernel(e)
+    }
+}
+
+struct LaunchState {
+    kernel: Arc<Kernel>,
+    params: Arc<[u64]>,
+    launch: Launch,
+    local_map: LocalMap,
+    next_cta: u32,
+}
+
+/// The simulated GPU.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_sim::{Gpu, GpuConfig};
+/// use gpu_isa::{KernelBuilder, Launch, Special, Width};
+///
+/// let mut gpu = Gpu::new(GpuConfig::fermi_gf100());
+/// let buf = gpu.alloc(4 * 64, 128);
+///
+/// let mut b = KernelBuilder::new("fill");
+/// let base = b.param(0);
+/// let gtid = b.special(Special::GlobalTid);
+/// let off = b.shl(gtid, 2);
+/// let addr = b.add(base, off);
+/// b.st_global(Width::W4, addr, 0, gtid);
+/// b.exit();
+/// let kernel = b.build()?;
+///
+/// gpu.launch(kernel, Launch::new(2, 32, vec![buf.get()]))?;
+/// gpu.run(1_000_000)?;
+/// assert_eq!(gpu.device().read_u32(buf + 4 * 63), 63);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct Gpu {
+    cfg: Arc<GpuConfig>,
+    map: AddressMap,
+    device: DeviceMemory,
+    sms: Vec<Sm>,
+    partitions: Vec<Partition>,
+    req_net: Crossbar<MemRequest>,
+    reply_net: Crossbar<MemRequest>,
+    now: Cycle,
+    outstanding: u64,
+    sink: TraceSink,
+    launch: Option<LaunchState>,
+}
+
+impl Gpu {
+    /// Builds a GPU from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is structurally invalid.
+    pub fn new(config: GpuConfig) -> Self {
+        config.assert_valid();
+        let cfg = Arc::new(config);
+        let map = cfg.address_map();
+        let sms = (0..cfg.num_sms)
+            .map(|i| Sm::new(SmId::new(i as u32), Arc::clone(&cfg)))
+            .collect();
+        let partitions = (0..cfg.num_partitions)
+            .map(|i| Partition::new(PartitionId::new(i as u32), &cfg, map))
+            .collect();
+        let req_net = Crossbar::new(cfg.num_sms, cfg.num_partitions, cfg.icnt);
+        let reply_net = Crossbar::new(cfg.num_partitions, cfg.num_sms, cfg.icnt);
+        Gpu {
+            map,
+            device: DeviceMemory::new(),
+            sms,
+            partitions,
+            req_net,
+            reply_net,
+            now: Cycle::ZERO,
+            outstanding: 0,
+            sink: TraceSink::default(),
+            launch: None,
+            cfg,
+        }
+    }
+
+    /// The configuration this GPU was built from.
+    pub fn config(&self) -> &GpuConfig {
+        &self.cfg
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Functional device memory (for result readback).
+    pub fn device(&self) -> &DeviceMemory {
+        &self.device
+    }
+
+    /// Mutable functional device memory (for input upload).
+    pub fn device_mut(&mut self) -> &mut DeviceMemory {
+        &mut self.device
+    }
+
+    /// Allocates device memory.
+    pub fn alloc(&mut self, bytes: u64, align: u64) -> Addr {
+        self.device.alloc(bytes, align)
+    }
+
+    /// Enables or disables latency-trace collection.
+    pub fn set_tracing(&mut self, enabled: bool) {
+        self.sink.enabled = enabled;
+    }
+
+    /// Takes the collected traces (completed line fetches, completed load
+    /// instructions), leaving the sink empty.
+    pub fn take_traces(&mut self) -> (Vec<CompletedRequest>, Vec<LoadInstrRecord>) {
+        (
+            std::mem::take(&mut self.sink.requests),
+            std::mem::take(&mut self.sink.loads),
+        )
+    }
+
+    /// Per-SM statistics.
+    pub fn sm_stats(&self) -> Vec<SmStats> {
+        self.sms.iter().map(|s| s.stats()).collect()
+    }
+
+    /// Launches a kernel. The previous kernel must have drained (via
+    /// [`Gpu::run`]) first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidKernel`] for malformed kernels,
+    /// [`SimError::BlockTooLarge`] when a CTA cannot fit on an SM, and
+    /// [`SimError::MissingParams`] when the kernel reads a parameter slot
+    /// the launch does not supply.
+    pub fn launch(&mut self, kernel: Kernel, launch: Launch) -> Result<(), SimError> {
+        kernel.validate()?;
+        let max_param = kernel
+            .instrs()
+            .iter()
+            .filter_map(|i| match i {
+                gpu_isa::Instr::LdParam { index, .. } => Some(*index),
+                _ => None,
+            })
+            .max();
+        if let Some(max_param) = max_param {
+            if max_param >= launch.params.len() {
+                return Err(SimError::MissingParams {
+                    needed: max_param + 1,
+                    supplied: launch.params.len(),
+                });
+            }
+        }
+        let warps_needed = launch.warps_per_cta(self.cfg.warp_size) as usize;
+        if warps_needed > self.cfg.max_warps_per_sm {
+            return Err(SimError::BlockTooLarge {
+                needed: warps_needed,
+                available: self.cfg.max_warps_per_sm,
+            });
+        }
+        let local_map = if kernel.local_bytes_per_thread() > 0 {
+            let bytes = launch.total_threads() * kernel.local_bytes_per_thread();
+            LocalMap {
+                base: self.device.alloc(bytes, self.cfg.line_size),
+                bytes_per_thread: kernel.local_bytes_per_thread(),
+            }
+        } else {
+            LocalMap::default()
+        };
+        let params: Arc<[u64]> = launch.params.clone().into();
+        self.launch = Some(LaunchState {
+            kernel: Arc::new(kernel),
+            params,
+            launch,
+            local_map,
+            next_cta: 0,
+        });
+        Ok(())
+    }
+
+    /// Runs until the launched grid fully drains (all CTAs retired, all
+    /// memory traffic completed) or `max_cycles` elapse.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Timeout`] at the cycle limit and
+    /// [`SimError::NothingLaunched`] if no kernel was launched.
+    pub fn run(&mut self, max_cycles: u64) -> Result<RunSummary, SimError> {
+        if self.launch.is_none() {
+            return Err(SimError::NothingLaunched);
+        }
+        let start = self.now;
+        while !self.is_done() {
+            if self.now.since(start) >= max_cycles {
+                return Err(SimError::Timeout { max_cycles });
+            }
+            self.tick();
+        }
+        self.launch = None;
+        Ok(self.summary())
+    }
+
+    fn is_done(&self) -> bool {
+        let dispatched_all = match &self.launch {
+            Some(l) => l.next_cta >= l.launch.grid_dim,
+            None => true,
+        };
+        dispatched_all
+            && self.outstanding == 0
+            && self.sms.iter().all(Sm::is_idle)
+            && self.partitions.iter().all(Partition::is_idle)
+            && self.req_net.is_idle()
+            && self.reply_net.is_idle()
+    }
+
+    fn summary(&self) -> RunSummary {
+        let mut s = RunSummary {
+            cycles: self.now.get(),
+            ..RunSummary::default()
+        };
+        for sm in &self.sms {
+            let st = sm.stats();
+            s.instructions += st.instructions;
+            s.ctas += st.ctas_retired;
+            if let Some((h, m)) = sm.l1_counts() {
+                s.l1_hits += h;
+                s.l1_misses += m;
+            }
+        }
+        for p in &self.partitions {
+            if let Some((h, m)) = p.l2_counts() {
+                s.l2_hits += h;
+                s.l2_misses += m;
+            }
+            let d = p.dram_stats();
+            s.dram_serviced += d.serviced;
+            s.dram_row_hits += d.row_hits;
+        }
+        s
+    }
+
+    /// Advances the GPU by one cycle.
+    pub fn tick(&mut self) {
+        let now = self.now;
+        self.req_net.begin_cycle();
+        self.reply_net.begin_cycle();
+
+        // Memory partitions.
+        for p in &mut self.partitions {
+            let stores_done = p.tick(now);
+            self.outstanding -= stores_done;
+        }
+
+        // Partition returns into the reply network.
+        for (pi, p) in self.partitions.iter_mut().enumerate() {
+            while let Some(head) = p.peek_return() {
+                let dst = head.sm.index();
+                if !self.reply_net.can_inject(pi, dst) {
+                    break;
+                }
+                let req = p.pop_return().expect("peeked");
+                self.reply_net
+                    .try_inject(pi, dst, req, now)
+                    .ok()
+                    .expect("can_inject checked");
+            }
+        }
+
+        // Request network into partitions.
+        for (pi, p) in self.partitions.iter_mut().enumerate() {
+            while p.can_accept() {
+                match self.req_net.eject(pi, now) {
+                    Some(req) => p.accept(req, now),
+                    None => break,
+                }
+            }
+        }
+
+        // SMs.
+        for si in 0..self.sms.len() {
+            let sm = &mut self.sms[si];
+            let retired = sm.tick_writeback(now, &mut self.sink);
+            self.outstanding -= retired;
+
+            while sm.fill_space() {
+                match self.reply_net.eject(si, now) {
+                    Some(req) => sm.accept_response(req, now),
+                    None => break,
+                }
+            }
+
+            sm.tick_memory(now);
+
+            while let Some(head) = sm.peek_miss() {
+                let dst = self.map.partition_of(head.addr).index();
+                if !self.req_net.can_inject(si, dst) {
+                    break;
+                }
+                let mut req = sm.pop_miss().expect("peeked");
+                req.timeline.record(Stamp::IcntInject, now);
+                self.req_net
+                    .try_inject(si, dst, req, now)
+                    .ok()
+                    .expect("can_inject checked");
+            }
+
+            let created = sm.tick_issue(now, &mut self.device, &mut self.sink);
+            self.outstanding += created;
+            sm.maintain();
+        }
+
+        self.dispatch_ctas();
+        self.now.tick();
+    }
+
+    fn dispatch_ctas(&mut self) {
+        let Some(l) = self.launch.as_mut() else {
+            return;
+        };
+        let warps_needed = l.launch.warps_per_cta(self.cfg.warp_size) as usize;
+        let n_sms = self.sms.len();
+        while l.next_cta < l.launch.grid_dim {
+            let start = l.next_cta as usize % n_sms;
+            let target = (0..n_sms)
+                .map(|o| (start + o) % n_sms)
+                .find(|&s| self.sms[s].can_dispatch(warps_needed));
+            match target {
+                Some(s) => {
+                    self.sms[s].dispatch(
+                        CtaId::new(l.next_cta),
+                        &l.kernel,
+                        &l.params,
+                        &l.launch,
+                        l.local_map,
+                    );
+                    l.next_cta += 1;
+                }
+                None => break,
+            }
+        }
+    }
+}

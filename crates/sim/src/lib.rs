@@ -1,0 +1,34 @@
+//! Execution-driven GPU timing simulator.
+//!
+//! This crate wires the substrates of the `gpu-latency` workspace — the
+//! kernel IR and functional SIMT executor (`gpu-isa`), caches/MSHRs/DRAM
+//! (`gpu-mem`) and the crossbar interconnect (`gpu-icnt`) — into a
+//! cycle-level GPU in the spirit of GPGPU-Sim: SIMT cores with warp
+//! schedulers and scoreboards, per-SM L1 data caches, a two-network
+//! crossbar, and memory partitions with ROP pipelines, L2 slices and
+//! FR-FCFS DRAM channels.
+//!
+//! Every memory request carries a stamp [`gpu_mem::Timeline`]; with tracing
+//! enabled ([`Gpu::set_tracing`]) the simulator records the completed
+//! timelines and per-load exposure data that the `latency-core` crate turns
+//! into the paper's Figure 1 and Figure 2.
+//!
+//! # Examples
+//!
+//! See [`Gpu`] for an end-to-end kernel launch.
+
+pub mod coalesce;
+mod config;
+mod gpu;
+mod partition;
+mod scoreboard;
+mod sm;
+mod stats;
+
+pub use coalesce::coalesce;
+pub use config::{GpuConfig, L1Config, L2Config, SchedPolicy, WritePolicy};
+pub use gpu::{Gpu, SimError};
+pub use partition::Partition;
+pub use sm::Sm;
+pub use scoreboard::Scoreboard;
+pub use stats::{CompletedRequest, LoadInstrRecord, RunSummary, SmStats, TraceSink};

@@ -1,0 +1,279 @@
+//! Memory-partition timing model: ROP pipeline → L2 slice → DRAM channel.
+//!
+//! Each partition owns the stages behind the interconnect for its slice of
+//! the address space. The stamps recorded here delimit the paper's
+//! `ICNTtoROP`, `ROPtoL2Q`, `L2QtoDRAMQ`, `DRAM(QtoSch)` and `DRAM(SchToA)`
+//! latency components.
+
+use std::collections::VecDeque;
+
+use gpu_mem::{
+    AccessKind, AddressMap, Cache, DramController, MemRequest, MshrTable, RequestId, Stamp,
+};
+use gpu_types::{BoundedQueue, Cycle, DelayQueue, PartitionId};
+
+use crate::config::{GpuConfig, WritePolicy};
+
+/// Token marking internally-generated dirty-eviction writebacks (they are
+/// not tracked in the GPU's outstanding-request accounting).
+const EVICTION_TOKEN: u64 = u64::MAX - 1;
+
+/// One memory partition (ROP + L2 slice + DRAM channel).
+#[derive(Debug)]
+pub struct Partition {
+    id: PartitionId,
+    line_size: u64,
+    write_policy: WritePolicy,
+    next_eviction_id: u64,
+    rop: DelayQueue<MemRequest>,
+    l2_queue: BoundedQueue<MemRequest>,
+    l2_cache: Option<Cache>,
+    l2_mshr: MshrTable<MemRequest>,
+    l2_hit_pipe: DelayQueue<MemRequest>,
+    dram: DramController,
+    returns: VecDeque<MemRequest>,
+    stores_completed_total: u64,
+    stores_retired_here: u64,
+}
+
+impl Partition {
+    /// Creates a partition per the configuration.
+    pub fn new(id: PartitionId, cfg: &GpuConfig, map: AddressMap) -> Self {
+        let (l2_cache, l2_hit_latency, l2_mshr_cfg, l2_in_q, write_policy) = match &cfg.l2 {
+            Some(l2) => (
+                Some(Cache::new(l2.cache)),
+                l2.hit_latency,
+                l2.mshr,
+                l2.input_queue,
+                l2.write_policy,
+            ),
+            None => (
+                None,
+                0,
+                gpu_mem::MshrConfig {
+                    entries: 1,
+                    max_merged: 1,
+                },
+                8,
+                WritePolicy::WriteThrough,
+            ),
+        };
+        Partition {
+            id,
+            line_size: cfg.line_size,
+            write_policy,
+            next_eviction_id: 0,
+            rop: DelayQueue::new(cfg.rop_queue, cfg.rop_latency),
+            l2_queue: BoundedQueue::new(l2_in_q),
+            l2_cache,
+            l2_mshr: MshrTable::new(l2_mshr_cfg),
+            l2_hit_pipe: DelayQueue::new(64, l2_hit_latency),
+            dram: DramController::new(cfg.dram, map),
+            returns: VecDeque::new(),
+            stores_completed_total: 0,
+            stores_retired_here: 0,
+        }
+    }
+
+    /// This partition's id.
+    pub fn id(&self) -> PartitionId {
+        self.id
+    }
+
+    /// Returns `true` if the ROP pipeline can accept another request from
+    /// the interconnect.
+    pub fn can_accept(&self) -> bool {
+        !self.rop.is_full()
+    }
+
+    /// Accepts a request ejected from the request network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ROP queue is full; check [`Partition::can_accept`].
+    pub fn accept(&mut self, mut req: MemRequest, now: Cycle) {
+        req.timeline.record(Stamp::RopEnter, now);
+        self.rop
+            .push(now, req)
+            .unwrap_or_else(|_| panic!("ROP overflow; can_accept not checked"));
+    }
+
+    /// L2 hit/miss counts, if an L2 exists.
+    pub fn l2_counts(&self) -> Option<(u64, u64)> {
+        self.l2_cache.as_ref().map(|c| (c.hits(), c.misses()))
+    }
+
+    /// DRAM statistics.
+    pub fn dram_stats(&self) -> gpu_mem::DramStats {
+        self.dram.stats()
+    }
+
+    /// Total store requests retired at this partition.
+    pub fn stores_completed(&self) -> u64 {
+        self.stores_completed_total
+    }
+
+    /// Oldest response waiting to enter the reply network.
+    pub fn peek_return(&self) -> Option<&MemRequest> {
+        self.returns.front()
+    }
+
+    /// Removes the oldest response for reply-network injection.
+    pub fn pop_return(&mut self) -> Option<MemRequest> {
+        self.returns.pop_front()
+    }
+
+    /// Returns `true` when nothing is queued, in cache flight, in DRAM, or
+    /// awaiting return.
+    pub fn is_idle(&self) -> bool {
+        self.rop.is_empty()
+            && self.l2_queue.is_empty()
+            && self
+                .l2_cache
+                .as_ref()
+                .is_none_or(|c| c.pending_writebacks() == 0)
+            && self.l2_hit_pipe.is_empty()
+            && self.l2_mshr.is_empty()
+            && self.dram.is_idle()
+            && self.returns.is_empty()
+    }
+
+    /// Advances the partition one cycle. Returns the number of store
+    /// requests that retired this cycle (for global outstanding tracking).
+    pub fn tick(&mut self, now: Cycle) -> u64 {
+        let mut stores_done = std::mem::take(&mut self.stores_retired_here);
+
+        // 0. Dirty victims of the (write-back) L2 become DRAM writes.
+        if let Some(l2) = self.l2_cache.as_mut() {
+            while self.dram.can_accept() {
+                let Some(line) = l2.pop_writeback() else { break };
+                let id = RequestId::new((u64::from(self.id.get()) << 32) | self.next_eviction_id);
+                self.next_eviction_id += 1;
+                let wb = MemRequest::new(
+                    id,
+                    line,
+                    self.line_size as u32,
+                    AccessKind::Store,
+                    gpu_mem::PipelineSpace::Global,
+                    gpu_types::SmId::new(0),
+                    EVICTION_TOKEN,
+                    now,
+                );
+                self.dram.enqueue(wb, now);
+            }
+        }
+
+        // 1. DRAM completions: stores retire; loads fill the L2, wake MSHR
+        //    waiters, and join the return flow.
+        for req in self.dram.tick(now) {
+            if req.kind == AccessKind::Store {
+                if req.token != EVICTION_TOKEN {
+                    stores_done += 1;
+                }
+                continue;
+            }
+            if let Some(l2) = self.l2_cache.as_mut() {
+                let line = req.addr.align_down(self.line_size);
+                l2.fill(line);
+                for mut w in self.l2_mshr.fill(line) {
+                    // Merged waiters "ride along" with the primary fetch;
+                    // their DRAM wait is attributed to scheduling time.
+                    w.timeline.record(Stamp::DramScheduled, now);
+                    w.timeline.record(Stamp::DramDone, now);
+                    self.returns.push_back(w);
+                }
+            }
+            self.returns.push_back(req);
+        }
+
+        // 2. L2 hit pipe: one data return per cycle.
+        if let Some(req) = self.l2_hit_pipe.pop_ready(now) {
+            self.returns.push_back(req);
+        }
+
+        // 3. L2 access stage: one request per cycle from the input queue.
+        self.tick_l2(now);
+
+        // 4. ROP pipeline exit into the L2 input queue.
+        if self.rop.front_ready(now).is_some() && !self.l2_queue.is_full() {
+            let mut req = self.rop.pop_ready(now).expect("front was ready");
+            req.timeline.record(Stamp::L2QueueEnter, now);
+            self.l2_queue.push(req).expect("space checked");
+        }
+
+        self.stores_completed_total += stores_done;
+        stores_done
+    }
+
+    fn tick_l2(&mut self, now: Cycle) {
+        let Some(head) = self.l2_queue.front() else {
+            return;
+        };
+        // MSHR entries and cache lines are keyed by the line address; the
+        // coalescer always sends aligned transactions, but align defensively.
+        let addr = head.addr.align_down(self.line_size);
+        let kind = head.kind;
+
+        let Some(l2) = self.l2_cache.as_mut() else {
+            // No L2 (Tesla-style): straight to DRAM.
+            if self.dram.can_accept() {
+                let req = self.l2_queue.pop().expect("head exists");
+                self.dram.enqueue(req, now);
+            }
+            return;
+        };
+
+        if kind == AccessKind::Store {
+            match self.write_policy {
+                WritePolicy::WriteThrough => {
+                    // Write-through, no-allocate, write-evict.
+                    if self.dram.can_accept() {
+                        l2.store_invalidate(addr);
+                        let req = self.l2_queue.pop().expect("head exists");
+                        self.dram.enqueue(req, now);
+                    }
+                }
+                WritePolicy::WriteBack => {
+                    // Write-allocate (tag-only, no fetch): the store
+                    // completes here; dirty victims join the writeback
+                    // queue drained in `tick`.
+                    if !l2.store_mark_dirty(addr) && !l2.allocate_dirty(addr) {
+                        return; // all ways reserved: retry next cycle
+                    }
+                    let _ = self.l2_queue.pop().expect("head exists");
+                    self.stores_retired_here += 1;
+                }
+            }
+            return;
+        }
+
+        if l2.probe(addr) {
+            let req = self.l2_queue.pop().expect("head exists");
+            let _ = l2.load(addr); // records the hit
+            self.l2_hit_pipe
+                .push(now, req)
+                .expect("hit pipe sized for the input queue");
+        } else if self.l2_mshr.is_pending(addr) {
+            if self.l2_mshr.can_merge(addr) {
+                let mut req = self.l2_queue.pop().expect("head exists");
+                let _ = l2.load(addr); // records the miss
+                req.timeline.record(Stamp::DramQueueEnter, now);
+                self.l2_mshr
+                    .try_merge(addr, req)
+                    .ok()
+                    .expect("merge space checked");
+            }
+        } else {
+            if !self.l2_mshr.can_allocate() || !self.dram.can_accept() {
+                return;
+            }
+            if !l2.reserve(addr) {
+                return;
+            }
+            let req = self.l2_queue.pop().expect("head exists");
+            let _ = l2.load(addr); // records the miss
+            assert!(self.l2_mshr.allocate(addr), "capacity checked");
+            self.dram.enqueue(req, now);
+        }
+    }
+}

@@ -1,0 +1,744 @@
+//! Streaming-multiprocessor timing model.
+//!
+//! An [`Sm`] owns warp slots (each wrapping a functional
+//! [`gpu_isa::WarpExec`]), a scoreboard, ALU/SFU writeback tracking, and the
+//! in-SM half of the memory pipeline: the front-end (address
+//! generation/coalescing, the head of the paper's "SM Base" component), the
+//! L1 data cache with MSHRs, the L1 miss queue toward the interconnect (the
+//! paper's "L1toICNT" queue), and the response fill/writeback path (the tail
+//! of "Fetch2SM").
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
+
+use gpu_isa::{
+    InstrClass, Kernel, Launch, LocalMap, MemBackend, Reg, Space, StepOutcome, ThreadCtx, WarpExec,
+};
+use gpu_mem::{
+    AccessKind, Cache, MemRequest, MshrTable, PipelineSpace, RequestId, Stamp,
+};
+use gpu_types::{BoundedQueue, Cycle, CtaId, DelayQueue, SmId};
+
+use crate::coalesce::coalesce;
+use crate::config::{GpuConfig, SchedPolicy};
+use crate::scoreboard::Scoreboard;
+use crate::stats::{CompletedRequest, LoadInstrRecord, SmStats, TraceSink};
+
+/// Token value for requests with no pending-load entry (stores).
+const NO_TOKEN: u64 = u64::MAX;
+
+#[derive(Debug)]
+struct WarpSlot {
+    exec: WarpExec,
+    cta_index: usize,
+    age: u64,
+    pending_ops: u32,
+}
+
+#[derive(Debug)]
+struct CtaRt {
+    shared: Vec<u8>,
+    slots: Vec<usize>,
+    live: usize,
+    arrived: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PendingLoad {
+    warp: usize,
+    dst: Option<Reg>,
+    remaining: u32,
+    lines: u32,
+    issue: Cycle,
+    stalls_at_issue: u64,
+}
+
+/// One streaming multiprocessor.
+#[derive(Debug)]
+pub struct Sm {
+    id: SmId,
+    cfg: Arc<GpuConfig>,
+    slots: Vec<Option<WarpSlot>>,
+    ctas: Vec<Option<CtaRt>>,
+    scoreboard: Scoreboard,
+    alu_wb: BinaryHeap<Reverse<(u64, usize, Reg)>>,
+    front: DelayQueue<MemRequest>,
+    l1_cache: Option<Cache>,
+    l1_mshr: MshrTable<MemRequest>,
+    l1_hit_pipe: DelayQueue<MemRequest>,
+    miss_queue: BoundedQueue<MemRequest>,
+    fill_pipe: DelayQueue<MemRequest>,
+    pending_loads: HashMap<u64, PendingLoad>,
+    next_token: u64,
+    next_req_id: u64,
+    last_issued: usize,
+    greedy: Option<usize>,
+    age_counter: u64,
+    stats: SmStats,
+}
+
+impl Sm {
+    /// Creates an SM per the configuration.
+    pub fn new(id: SmId, cfg: Arc<GpuConfig>) -> Self {
+        let slots = cfg.max_warps_per_sm;
+        let (l1_cache, l1_hit_latency, l1_mshr_cfg, miss_q) = match &cfg.l1 {
+            Some(l1) => (
+                Some(Cache::new(l1.cache)),
+                l1.hit_latency,
+                l1.mshr,
+                l1.miss_queue,
+            ),
+            None => (
+                None,
+                0,
+                gpu_mem::MshrConfig {
+                    entries: 1,
+                    max_merged: 1,
+                },
+                8,
+            ),
+        };
+        Sm {
+            id,
+            slots: (0..slots).map(|_| None).collect(),
+            ctas: (0..cfg.max_ctas_per_sm).map(|_| None).collect(),
+            scoreboard: Scoreboard::new(slots),
+            alu_wb: BinaryHeap::new(),
+            front: DelayQueue::new(cfg.lsu_queue, cfg.sm_base_latency),
+            l1_cache,
+            l1_mshr: MshrTable::new(l1_mshr_cfg),
+            l1_hit_pipe: DelayQueue::new(cfg.lsu_queue, l1_hit_latency),
+            miss_queue: BoundedQueue::new(miss_q),
+            fill_pipe: DelayQueue::new(512, cfg.fill_latency),
+            pending_loads: HashMap::new(),
+            next_token: 0,
+            next_req_id: 0,
+            last_issued: 0,
+            greedy: None,
+            age_counter: 0,
+            stats: SmStats::default(),
+            cfg,
+        }
+    }
+
+    /// This SM's id.
+    pub fn id(&self) -> SmId {
+        self.id
+    }
+
+    /// Per-SM statistics.
+    pub fn stats(&self) -> SmStats {
+        self.stats
+    }
+
+    /// L1 hit/miss counts, if an L1 exists.
+    pub fn l1_counts(&self) -> Option<(u64, u64)> {
+        self.l1_cache.as_ref().map(|c| (c.hits(), c.misses()))
+    }
+
+    /// Number of occupied warp slots.
+    pub fn live_warps(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Returns `true` when the SM holds no warps and no in-flight memory
+    /// state.
+    pub fn is_idle(&self) -> bool {
+        self.live_warps() == 0
+            && self.pending_loads.is_empty()
+            && self.front.is_empty()
+            && self.miss_queue.is_empty()
+            && self.l1_hit_pipe.is_empty()
+            && self.fill_pipe.is_empty()
+    }
+
+    /// Returns `true` if a CTA of `warps_needed` warps can be dispatched.
+    pub fn can_dispatch(&self, warps_needed: usize) -> bool {
+        self.ctas.iter().any(|c| c.is_none())
+            && self.slots.iter().filter(|s| s.is_none()).count() >= warps_needed
+    }
+
+    /// Dispatches one CTA onto this SM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacity is insufficient; check [`Sm::can_dispatch`].
+    pub fn dispatch(
+        &mut self,
+        cta: CtaId,
+        kernel: &Arc<Kernel>,
+        params: &Arc<[u64]>,
+        launch: &Launch,
+        local_map: LocalMap,
+    ) {
+        let cta_index = self
+            .ctas
+            .iter()
+            .position(|c| c.is_none())
+            .expect("no free CTA slot");
+        let warp_size = self.cfg.warp_size;
+        let warps_needed = launch.warps_per_cta(warp_size) as usize;
+        let mut slot_ids = Vec::with_capacity(warps_needed);
+        let mut tid = 0u32;
+        for _ in 0..warps_needed {
+            let slot = self
+                .slots
+                .iter()
+                .position(|s| s.is_none())
+                .expect("no free warp slot");
+            let lanes = (launch.block_dim - tid).min(warp_size);
+            let ctxs: Vec<ThreadCtx> = (0..lanes)
+                .map(|lane| ThreadCtx {
+                    tid: tid + lane,
+                    ctaid: cta.get(),
+                    ntid: launch.block_dim,
+                    nctaid: launch.grid_dim,
+                    lane,
+                })
+                .collect();
+            tid += lanes;
+            let exec = WarpExec::new(Arc::clone(kernel), Arc::clone(params), ctxs, local_map);
+            self.age_counter += 1;
+            self.slots[slot] = Some(WarpSlot {
+                exec,
+                cta_index,
+                age: self.age_counter,
+                pending_ops: 0,
+            });
+            slot_ids.push(slot);
+        }
+        self.ctas[cta_index] = Some(CtaRt {
+            shared: vec![0u8; kernel.shared_bytes() as usize],
+            live: slot_ids.len(),
+            slots: slot_ids,
+            arrived: 0,
+        });
+    }
+
+    /// Retires CTAs whose warps have all exited and drained their pending
+    /// memory operations; returns the number retired.
+    pub fn maintain(&mut self) -> u64 {
+        let mut retired = 0;
+        for ci in 0..self.ctas.len() {
+            let done = match &self.ctas[ci] {
+                Some(c) => {
+                    c.live == 0
+                        && c.slots.iter().all(|&s| {
+                            self.slots[s]
+                                .as_ref()
+                                .is_none_or(|slot| slot.pending_ops == 0)
+                        })
+                }
+                None => false,
+            };
+            if done {
+                let c = self.ctas[ci].take().expect("checked above");
+                for s in c.slots {
+                    self.slots[s] = None;
+                    self.scoreboard.clear(s);
+                }
+                self.stats.ctas_retired += 1;
+                retired += 1;
+            }
+        }
+        retired
+    }
+
+    // ---- response path --------------------------------------------------
+
+    /// Returns `true` if the fill pipe can accept a network response (plus
+    /// any MSHR waiters it may wake).
+    pub fn fill_space(&self) -> bool {
+        // A response can wake up to `max_merged` waiters.
+        self.fill_pipe.capacity() - self.fill_pipe.len()
+            > self.l1_mshr.config().max_merged
+    }
+
+    /// Accepts a response ejected from the reply network: fills the L1 (if
+    /// this space is cached), wakes MSHR waiters, and queues everything for
+    /// writeback.
+    pub fn accept_response(&mut self, req: MemRequest, now: Cycle) {
+        let mut wake = Vec::new();
+        if req.is_load() && !req.bypass_l1 && self.cfg.l1_serves(req.space) {
+            if let Some(l1) = self.l1_cache.as_mut() {
+                let line = req.addr.align_down(self.cfg.line_size);
+                l1.fill(line);
+                wake = self.l1_mshr.fill(line);
+            }
+        }
+        self.fill_pipe
+            .push(now, req)
+            .unwrap_or_else(|_| panic!("fill pipe overflow; fill_space not checked"));
+        for w in wake {
+            self.fill_pipe
+                .push(now, w)
+                .unwrap_or_else(|_| panic!("fill pipe overflow on MSHR wake"));
+        }
+    }
+
+    /// Writeback stage: releases completed ALU results and retires returned
+    /// memory responses. Returns the number of memory requests retired.
+    pub fn tick_writeback(&mut self, now: Cycle, sink: &mut TraceSink) -> u64 {
+        while let Some(&Reverse((c, w, r))) = self.alu_wb.peek() {
+            if c > now.get() {
+                break;
+            }
+            self.alu_wb.pop();
+            self.scoreboard.release(w, r);
+        }
+        let mut retired = 0;
+        // Two writeback ports: returned fills and L1 hits.
+        for _ in 0..2 {
+            match self.fill_pipe.pop_ready(now) {
+                Some(req) => {
+                    self.complete_response(req, now, sink);
+                    retired += 1;
+                }
+                None => break,
+            }
+        }
+        if let Some(req) = self.l1_hit_pipe.pop_ready(now) {
+            self.complete_response(req, now, sink);
+            retired += 1;
+        }
+        retired
+    }
+
+    fn complete_response(&mut self, mut req: MemRequest, now: Cycle, sink: &mut TraceSink) {
+        // L1 hits reach writeback without an L1Access stamp; set it here so
+        // their whole lifetime is attributed to the SM Base component.
+        req.timeline.record(Stamp::L1Access, now);
+        req.timeline.record(Stamp::Returned, now);
+        if !req.is_load() {
+            return;
+        }
+        if !req.l1_merged {
+            sink.record_request(CompletedRequest {
+                timeline: req.timeline,
+                space: req.space,
+                sm: self.id,
+            });
+        }
+        if req.token == NO_TOKEN {
+            return;
+        }
+        let finished = match self.pending_loads.get_mut(&req.token) {
+            Some(pl) => {
+                pl.remaining -= 1;
+                pl.remaining == 0
+            }
+            None => panic!("response for unknown load token {}", req.token),
+        };
+        if finished {
+            let pl = self
+                .pending_loads
+                .remove(&req.token)
+                .expect("entry exists");
+            if let Some(d) = pl.dst {
+                self.scoreboard.release(pl.warp, d);
+            }
+            if let Some(slot) = self.slots[pl.warp].as_mut() {
+                slot.pending_ops -= 1;
+            }
+            sink.record_load(LoadInstrRecord {
+                sm: self.id,
+                issue: pl.issue,
+                complete: now,
+                exposed: self.stats.stall_cycles - pl.stalls_at_issue,
+                lines: pl.lines,
+            });
+        }
+    }
+
+    // ---- L1 stage --------------------------------------------------------
+
+    /// L1 access stage: moves at most one transaction from the front-end
+    /// pipe into the hit pipe or the miss queue.
+    pub fn tick_memory(&mut self, now: Cycle) {
+        let Some(head) = self.front.front_ready(now) else {
+            return;
+        };
+        // Cache lines and MSHR entries are keyed by the line address; the
+        // coalescer always sends aligned transactions, but align defensively.
+        let addr = head.addr.align_down(self.cfg.line_size);
+        let kind = head.kind;
+        let bypass = head.bypass_l1;
+        let space = head.space;
+        let served = !bypass && self.cfg.l1_serves(space) && self.l1_cache.is_some();
+
+        if kind == AccessKind::Store {
+            if self.miss_queue.is_full() {
+                return;
+            }
+            let mut req = self.front.pop_ready(now).expect("front head ready");
+            req.timeline.record(Stamp::L1Access, now);
+            if served {
+                self.l1_cache
+                    .as_mut()
+                    .expect("served implies L1")
+                    .store_invalidate(addr);
+            }
+            self.miss_queue.push(req).expect("capacity checked");
+            return;
+        }
+
+        if !served {
+            if self.miss_queue.is_full() {
+                return;
+            }
+            let mut req = self.front.pop_ready(now).expect("front head ready");
+            req.timeline.record(Stamp::L1Access, now);
+            self.miss_queue.push(req).expect("capacity checked");
+            return;
+        }
+
+        let l1 = self.l1_cache.as_mut().expect("served implies L1");
+        if l1.probe(addr) {
+            let req = self.front.pop_ready(now).expect("front head ready");
+            // No stamp here: a hit never leaves the SM, so its entire
+            // lifetime counts as "SM Base" (the L1Access stamp is set at
+            // writeback; see `complete_response`), matching the paper's
+            // all-SM-Base short-latency buckets.
+            let _ = l1.load(addr); // records the hit
+            self.l1_hit_pipe
+                .push(now, req)
+                .expect("hit pipe sized like the front pipe");
+        } else if self.l1_mshr.is_pending(addr) {
+            if !self.l1_mshr.can_merge(addr) {
+                return; // merge list full: stall
+            }
+            let mut req = self.front.pop_ready(now).expect("front head ready");
+            req.timeline.record(Stamp::L1Access, now);
+            req.l1_merged = true;
+            let _ = l1.load(addr); // records the miss
+            self.l1_mshr
+                .try_merge(addr, req)
+                .ok()
+                .expect("merge space checked");
+        } else {
+            if !self.l1_mshr.can_allocate() || self.miss_queue.is_full() {
+                return; // structural stall
+            }
+            if !l1.reserve(addr) {
+                return; // every way reserved by in-flight fills
+            }
+            let mut req = self.front.pop_ready(now).expect("front head ready");
+            req.timeline.record(Stamp::L1Access, now);
+            let _ = l1.load(addr); // records the miss
+            assert!(self.l1_mshr.allocate(addr), "capacity checked");
+            self.miss_queue.push(req).expect("capacity checked");
+        }
+    }
+
+    /// Oldest request waiting to enter the interconnect, if any.
+    pub fn peek_miss(&self) -> Option<&MemRequest> {
+        self.miss_queue.front()
+    }
+
+    /// Removes the oldest miss-queue request for network injection.
+    pub fn pop_miss(&mut self) -> Option<MemRequest> {
+        self.miss_queue.pop()
+    }
+
+    // ---- issue stage ------------------------------------------------------
+
+    /// Issue stage: schedules up to `issue_width` ready warps and executes
+    /// one instruction each. Returns the number of new memory requests
+    /// created (the caller tracks global outstanding counts).
+    pub fn tick_issue(
+        &mut self,
+        now: Cycle,
+        device: &mut gpu_mem::DeviceMemory,
+        sink: &mut TraceSink,
+    ) -> u64 {
+        let mut new_requests = 0;
+        let mut issued = 0u64;
+        let mut lsu_used = false;
+        let mut issued_mask = vec![false; self.slots.len()];
+        for _ in 0..self.cfg.issue_width {
+            let Some(w) = self.pick_warp(&issued_mask, lsu_used) else {
+                break;
+            };
+            issued_mask[w] = true;
+            new_requests += self.issue_warp(w, now, device, sink, &mut lsu_used);
+            issued += 1;
+        }
+        if issued > 0 {
+            self.stats.active_cycles += 1;
+            self.stats.instructions += issued;
+        } else if self.live_warps() > 0 {
+            self.stats.stall_cycles += 1;
+        }
+        new_requests
+    }
+
+    fn warp_ready(&self, w: usize, issued_mask: &[bool], lsu_used: bool) -> bool {
+        if issued_mask[w] {
+            return false;
+        }
+        let Some(slot) = self.slots[w].as_ref() else {
+            return false;
+        };
+        if slot.exec.is_finished() || slot.exec.at_barrier() {
+            return false;
+        }
+        let Some((_, instr)) = slot.exec.peek() else {
+            return false;
+        };
+        if !self.scoreboard.can_issue(w, instr) {
+            return false;
+        }
+        if let InstrClass::Mem { space, .. } = instr.class() {
+            if lsu_used {
+                return false;
+            }
+            if space != Space::Shared {
+                // Worst case: one line per lane plus one boundary crossing.
+                let need = self.cfg.warp_size as usize + 1;
+                if self.front.capacity() - self.front.len() < need {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn pick_warp(&mut self, issued_mask: &[bool], lsu_used: bool) -> Option<usize> {
+        let n = self.slots.len();
+        match self.cfg.scheduler {
+            SchedPolicy::Lrr => {
+                for off in 1..=n {
+                    let w = (self.last_issued + off) % n;
+                    if self.warp_ready(w, issued_mask, lsu_used) {
+                        self.last_issued = w;
+                        return Some(w);
+                    }
+                }
+                None
+            }
+            SchedPolicy::Gto => {
+                if let Some(g) = self.greedy {
+                    if self.warp_ready(g, issued_mask, lsu_used) {
+                        return Some(g);
+                    }
+                }
+                let oldest = (0..n)
+                    .filter(|&w| self.warp_ready(w, issued_mask, lsu_used))
+                    .min_by_key(|&w| self.slots[w].as_ref().expect("ready implies live").age);
+                if let Some(w) = oldest {
+                    self.greedy = Some(w);
+                }
+                oldest
+            }
+        }
+    }
+
+    fn issue_warp(
+        &mut self,
+        w: usize,
+        now: Cycle,
+        device: &mut gpu_mem::DeviceMemory,
+        sink: &mut TraceSink,
+        lsu_used: &mut bool,
+    ) -> u64 {
+        let mut slot = self.slots[w].take().expect("scheduler picked a live warp");
+        let cta_index = slot.cta_index;
+        let (_, instr) = slot.exec.peek().expect("scheduler checked peek");
+        let class = instr.class();
+        let dst = instr.def_reg();
+
+        let outcome = {
+            let cta = self.ctas[cta_index]
+                .as_mut()
+                .expect("warp belongs to a live CTA");
+            let mut backend = IssueBackend {
+                device,
+                shared: &mut cta.shared,
+            };
+            slot.exec.step(&mut backend)
+        };
+
+        let mut new_requests = 0;
+        match outcome {
+            StepOutcome::Ready => {
+                let lat = match class {
+                    InstrClass::IntAlu => Some(self.cfg.alu_latency),
+                    InstrClass::FpAlu => Some(self.cfg.fp_latency),
+                    InstrClass::Sfu => Some(self.cfg.sfu_latency),
+                    _ => None,
+                };
+                if let (Some(d), Some(lat)) = (dst, lat) {
+                    self.scoreboard.reserve(w, d);
+                    self.alu_wb.push(Reverse((now.get() + lat, w, d)));
+                }
+            }
+            StepOutcome::Mem(op) => {
+                *lsu_used = true;
+                if op.space == Space::Shared {
+                    if let Some(d) = op.dst {
+                        self.scoreboard.reserve(w, d);
+                        self.alu_wb
+                            .push(Reverse((now.get() + self.cfg.shared_latency, w, d)));
+                    }
+                } else {
+                    // Atomics are read-modify-writes: each lane's operation
+                    // is a separate transaction that serializes at the
+                    // memory partition (same-address atomics do not
+                    // coalesce, unlike plain loads/stores).
+                    let lines = if op.is_atomic {
+                        op.accesses
+                            .iter()
+                            .map(|a| a.addr.align_down(self.cfg.line_size))
+                            .collect()
+                    } else {
+                        coalesce(&op.accesses, self.cfg.line_size)
+                    };
+                    self.stats.transactions += lines.len() as u64;
+                    let pspace = match op.space {
+                        Space::Global => PipelineSpace::Global,
+                        Space::Local => PipelineSpace::Local,
+                        Space::Shared => unreachable!("handled above"),
+                    };
+                    // Atomics need a response (they release a register), so
+                    // they ride the load path; plain stores are fire-and-
+                    // forget write-throughs.
+                    let kind = if op.is_store && !op.is_atomic {
+                        AccessKind::Store
+                    } else {
+                        AccessKind::Load
+                    };
+                    let token = if kind == AccessKind::Load {
+                        let token = self.next_token;
+                        self.next_token += 1;
+                        if let Some(d) = op.dst {
+                            self.scoreboard.reserve(w, d);
+                        }
+                        self.pending_loads.insert(
+                            token,
+                            PendingLoad {
+                                warp: w,
+                                dst: op.dst,
+                                remaining: lines.len() as u32,
+                                lines: lines.len() as u32,
+                                issue: now,
+                                stalls_at_issue: self.stats.stall_cycles,
+                            },
+                        );
+                        slot.pending_ops += 1;
+                        self.stats.global_loads += 1;
+                        token
+                    } else {
+                        self.stats.global_stores += 1;
+                        NO_TOKEN
+                    };
+                    for line in lines {
+                        let id = RequestId::new(
+                            ((self.id.get() as u64) << 40) | self.next_req_id,
+                        );
+                        self.next_req_id += 1;
+                        let mut req = MemRequest::new(
+                            id,
+                            line,
+                            self.cfg.line_size as u32,
+                            kind,
+                            pspace,
+                            self.id,
+                            token,
+                            now,
+                        );
+                        req.bypass_l1 = op.is_atomic;
+                        self.front
+                            .push(now, req)
+                            .unwrap_or_else(|_| panic!("front capacity checked at ready"));
+                        new_requests += 1;
+                    }
+                }
+            }
+            StepOutcome::Barrier => {
+                let release = {
+                    let cta = self.ctas[cta_index].as_mut().expect("live CTA");
+                    cta.arrived += 1;
+                    cta.arrived >= cta.live
+                };
+                if release {
+                    self.release_cta_barrier(cta_index, w, &mut slot);
+                }
+            }
+            StepOutcome::Finished => {
+                let release = {
+                    let cta = self.ctas[cta_index].as_mut().expect("live CTA");
+                    cta.live -= 1;
+                    cta.live > 0 && cta.arrived >= cta.live
+                };
+                if release {
+                    self.release_cta_barrier(cta_index, w, &mut slot);
+                }
+            }
+        }
+        let _ = sink; // traces are recorded at writeback, not at issue
+        self.slots[w] = Some(slot);
+        new_requests
+    }
+
+    /// Releases every warp of the CTA waiting at the barrier. `current` (the
+    /// warp being issued, temporarily taken out of `slots`) is handled via
+    /// its moved-out slot.
+    fn release_cta_barrier(&mut self, cta_index: usize, current: usize, slot: &mut WarpSlot) {
+        let cta = self.ctas[cta_index].as_mut().expect("live CTA");
+        cta.arrived = 0;
+        let slots = cta.slots.clone();
+        for s in slots {
+            if s == current {
+                if slot.exec.at_barrier() {
+                    slot.exec.release_barrier();
+                }
+            } else if let Some(other) = self.slots[s].as_mut() {
+                if other.exec.at_barrier() {
+                    other.exec.release_barrier();
+                }
+            }
+        }
+    }
+}
+
+/// Functional memory backend used during issue: global space resolves to
+/// device memory, shared space to the executing CTA's scratchpad.
+struct IssueBackend<'a> {
+    device: &'a mut gpu_mem::DeviceMemory,
+    shared: &'a mut [u8],
+}
+
+impl MemBackend for IssueBackend<'_> {
+    fn load(&mut self, space: Space, addr: gpu_types::Addr, width: gpu_isa::Width) -> u64 {
+        match space {
+            Space::Shared => {
+                let mut v = 0u64;
+                for i in 0..width.bytes() {
+                    let idx = (addr.get() + i) as usize;
+                    v |= (*self.shared.get(idx).unwrap_or(&0) as u64) << (8 * i);
+                }
+                v
+            }
+            _ => self.device.read_le(addr, width.bytes()),
+        }
+    }
+
+    fn store(&mut self, space: Space, addr: gpu_types::Addr, width: gpu_isa::Width, value: u64) {
+        match space {
+            Space::Shared => {
+                for i in 0..width.bytes() {
+                    let idx = (addr.get() + i) as usize;
+                    if let Some(b) = self.shared.get_mut(idx) {
+                        *b = (value >> (8 * i)) as u8;
+                    }
+                }
+            }
+            _ => self.device.write_le(addr, width.bytes(), value),
+        }
+    }
+
+    fn atomic_add(&mut self, addr: gpu_types::Addr, width: gpu_isa::Width, value: u64) -> u64 {
+        self.device.fetch_add(addr, width.bytes(), value)
+    }
+}

@@ -1,0 +1,202 @@
+//! Simulation statistics and the latency trace types consumed by the
+//! dynamic-latency analysis in `latency-core`.
+
+use gpu_mem::{PipelineSpace, Timeline};
+use gpu_types::{Cycle, SmId};
+
+/// A completed, traced memory request (one line fetch), with its full stamp
+/// timeline — the unit of the paper's Figure 1 breakdown.
+#[derive(Debug, Clone)]
+pub struct CompletedRequest {
+    /// Stamps collected over the request's lifetime.
+    pub timeline: Timeline,
+    /// Global or local space.
+    pub space: PipelineSpace,
+    /// Issuing SM.
+    pub sm: SmId,
+}
+
+/// A completed warp-level load instruction — the unit of the paper's
+/// Figure 2 exposed/hidden analysis.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadInstrRecord {
+    /// Issuing SM.
+    pub sm: SmId,
+    /// Cycle the load issued.
+    pub issue: Cycle,
+    /// Cycle its last line returned and the destination was released.
+    pub complete: Cycle,
+    /// Cycles during the load's lifetime in which its SM issued no
+    /// instruction at all (exposed latency).
+    pub exposed: u64,
+    /// Number of line transactions the access coalesced into.
+    pub lines: u32,
+}
+
+impl LoadInstrRecord {
+    /// Total latency in cycles.
+    pub fn total(&self) -> u64 {
+        self.complete.since(self.issue)
+    }
+
+    /// Hidden cycles (total − exposed).
+    pub fn hidden(&self) -> u64 {
+        self.total().saturating_sub(self.exposed)
+    }
+
+    /// Exposed fraction in `[0, 1]` (zero for zero-latency records).
+    pub fn exposed_fraction(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.exposed as f64 / t as f64
+        }
+    }
+}
+
+/// Collects latency traces during a run. Collection is off by default; the
+/// latency lab enables it for instrumented runs.
+#[derive(Debug, Default)]
+pub struct TraceSink {
+    /// Whether traces are recorded.
+    pub enabled: bool,
+    /// Completed line fetches (Figure 1 input).
+    pub requests: Vec<CompletedRequest>,
+    /// Completed load instructions (Figure 2 input).
+    pub loads: Vec<LoadInstrRecord>,
+}
+
+impl TraceSink {
+    /// Records a completed request if collection is enabled.
+    pub fn record_request(&mut self, req: CompletedRequest) {
+        if self.enabled {
+            self.requests.push(req);
+        }
+    }
+
+    /// Records a completed load instruction if collection is enabled.
+    pub fn record_load(&mut self, load: LoadInstrRecord) {
+        if self.enabled {
+            self.loads.push(load);
+        }
+    }
+}
+
+/// Per-SM statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SmStats {
+    /// Warp instructions issued.
+    pub instructions: u64,
+    /// Cycles in which the SM issued at least one instruction.
+    pub active_cycles: u64,
+    /// Cycles with live warps in which the SM issued nothing (the cumulative
+    /// stall counter used for exposure attribution).
+    pub stall_cycles: u64,
+    /// Warp-level global/local load instructions issued.
+    pub global_loads: u64,
+    /// Warp-level global/local store instructions issued.
+    pub global_stores: u64,
+    /// Line transactions generated.
+    pub transactions: u64,
+    /// CTAs retired on this SM.
+    pub ctas_retired: u64,
+}
+
+/// Whole-GPU run summary returned by `Gpu::run`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunSummary {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Total warp instructions issued across SMs.
+    pub instructions: u64,
+    /// Total L1 data-cache hits (all SMs).
+    pub l1_hits: u64,
+    /// Total L1 data-cache misses (all SMs).
+    pub l1_misses: u64,
+    /// Total L2 hits (all partitions).
+    pub l2_hits: u64,
+    /// Total L2 misses (all partitions).
+    pub l2_misses: u64,
+    /// DRAM requests serviced.
+    pub dram_serviced: u64,
+    /// DRAM row-buffer hits.
+    pub dram_row_hits: u64,
+    /// CTAs executed.
+    pub ctas: u64,
+}
+
+impl RunSummary {
+    /// Instructions per cycle across the whole GPU.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_record_math() {
+        let r = LoadInstrRecord {
+            sm: SmId::new(0),
+            issue: Cycle::new(100),
+            complete: Cycle::new(500),
+            exposed: 100,
+            lines: 3,
+        };
+        assert_eq!(r.total(), 400);
+        assert_eq!(r.hidden(), 300);
+        assert!((r.exposed_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_latency_record_has_zero_fraction() {
+        let r = LoadInstrRecord {
+            sm: SmId::new(0),
+            issue: Cycle::new(5),
+            complete: Cycle::new(5),
+            exposed: 0,
+            lines: 1,
+        };
+        assert_eq!(r.exposed_fraction(), 0.0);
+    }
+
+    #[test]
+    fn sink_respects_enable_flag() {
+        let mut s = TraceSink::default();
+        s.record_load(LoadInstrRecord {
+            sm: SmId::new(0),
+            issue: Cycle::ZERO,
+            complete: Cycle::new(1),
+            exposed: 0,
+            lines: 1,
+        });
+        assert!(s.loads.is_empty());
+        s.enabled = true;
+        s.record_load(LoadInstrRecord {
+            sm: SmId::new(0),
+            issue: Cycle::ZERO,
+            complete: Cycle::new(1),
+            exposed: 0,
+            lines: 1,
+        });
+        assert_eq!(s.loads.len(), 1);
+    }
+
+    #[test]
+    fn ipc() {
+        let s = RunSummary {
+            cycles: 100,
+            instructions: 250,
+            ..RunSummary::default()
+        };
+        assert!((s.ipc() - 2.5).abs() < 1e-12);
+        assert_eq!(RunSummary::default().ipc(), 0.0);
+    }
+}

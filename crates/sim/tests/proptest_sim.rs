@@ -1,0 +1,167 @@
+//! Property-based tests of the timing simulator: functional results must be
+//! independent of timing configuration, and no configuration may deadlock.
+
+use gpu_isa::{CmpOp, KernelBuilder, Launch, LaneAccess, Special, Width};
+use gpu_sim::{coalesce, Gpu, GpuConfig, SchedPolicy};
+use gpu_types::Addr;
+use proptest::prelude::*;
+
+fn scaled_config(
+    num_sms: usize,
+    with_l1: bool,
+    with_l2: bool,
+    sched: SchedPolicy,
+    issue_width: usize,
+) -> GpuConfig {
+    let mut cfg = GpuConfig::fermi_gf100();
+    cfg.num_sms = num_sms;
+    cfg.num_partitions = 2;
+    cfg.scheduler = sched;
+    cfg.issue_width = issue_width;
+    if !with_l1 {
+        cfg.l1 = None;
+    }
+    if !with_l2 {
+        cfg.l2 = None;
+    }
+    cfg
+}
+
+fn saxpy_kernel() -> gpu_isa::Kernel {
+    let mut b = KernelBuilder::new("saxpy");
+    let x = b.param(0);
+    let y = b.param(1);
+    let n = b.param(2);
+    let gtid = b.special(Special::GlobalTid);
+    let p = b.setp(CmpOp::Lt, gtid, n);
+    b.if_then(p, |b| {
+        let off = b.shl(gtid, 2);
+        let xa = b.add(x, off);
+        let ya = b.add(y, off);
+        let xv = b.ld_global(Width::W4, xa, 0);
+        let yv = b.ld_global(Width::W4, ya, 0);
+        let t = b.mul(xv, 3);
+        let s = b.add(t, yv);
+        b.st_global(Width::W4, ya, 0, s);
+    });
+    b.exit();
+    b.build().expect("valid kernel")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Functional results are identical across machine shapes, schedulers
+    /// and cache configurations — timing never changes architectural state.
+    #[test]
+    fn results_independent_of_timing_config(
+        n in 1u64..600,
+        block_exp in 5u32..9, // 32..256
+        num_sms in 1usize..5,
+        with_l1 in any::<bool>(),
+        with_l2 in any::<bool>(),
+        gto in any::<bool>(),
+        issue_width in 1usize..3,
+    ) {
+        let block = 1u32 << block_exp;
+        let sched = if gto { SchedPolicy::Gto } else { SchedPolicy::Lrr };
+        let cfg = scaled_config(num_sms, with_l1, with_l2, sched, issue_width);
+        let mut gpu = Gpu::new(cfg);
+        let x = gpu.alloc(4 * n, 128);
+        let y = gpu.alloc(4 * n, 128);
+        for i in 0..n {
+            gpu.device_mut().write_u32(x + 4 * i, i as u32);
+            gpu.device_mut().write_u32(y + 4 * i, 7);
+        }
+        let grid = (n as u32).div_ceil(block);
+        gpu.launch(saxpy_kernel(), Launch::new(grid, block, vec![x.get(), y.get(), n]))
+            .expect("launch");
+        let summary = gpu.run(50_000_000).expect("no deadlock within bound");
+        for i in 0..n {
+            prop_assert_eq!(gpu.device().read_u32(y + 4 * i), 3 * i as u32 + 7);
+        }
+        prop_assert!(summary.cycles > 0);
+        prop_assert_eq!(summary.ctas, grid as u64);
+    }
+
+    /// Tiny queues everywhere must back-pressure, not deadlock or drop
+    /// requests.
+    #[test]
+    fn minimal_queues_never_deadlock(
+        n in 1u64..300,
+        miss_q in 1usize..3,
+        icnt_q in 1usize..3,
+        rop_q in 1usize..3,
+        dram_q in 1usize..3,
+    ) {
+        let mut cfg = GpuConfig::fermi_gf100();
+        cfg.num_sms = 2;
+        cfg.num_partitions = 2;
+        if let Some(l1) = cfg.l1.as_mut() {
+            l1.miss_queue = miss_q;
+            l1.mshr.entries = 2;
+            l1.mshr.max_merged = 1;
+        }
+        cfg.icnt.output_queue = icnt_q;
+        cfg.rop_queue = rop_q;
+        if let Some(l2) = cfg.l2.as_mut() {
+            l2.input_queue = 1;
+            l2.mshr.entries = 2;
+            l2.mshr.max_merged = 1;
+        }
+        cfg.dram.queue_capacity = dram_q;
+        let mut gpu = Gpu::new(cfg);
+        let x = gpu.alloc(4 * n, 128);
+        let y = gpu.alloc(4 * n, 128);
+        for i in 0..n {
+            gpu.device_mut().write_u32(x + 4 * i, 2);
+            gpu.device_mut().write_u32(y + 4 * i, i as u32);
+        }
+        let grid = (n as u32).div_ceil(64);
+        gpu.launch(saxpy_kernel(), Launch::new(grid, 64, vec![x.get(), y.get(), n]))
+            .expect("launch");
+        gpu.run(50_000_000).expect("no deadlock under minimal queues");
+        for i in 0..n {
+            prop_assert_eq!(gpu.device().read_u32(y + 4 * i), 6 + i as u32);
+        }
+    }
+
+    /// Coalescing covers every accessed byte with line-aligned, deduplicated
+    /// transactions.
+    #[test]
+    fn coalesce_covers_all_bytes(
+        accesses in proptest::collection::vec((0u64..4096, any::<bool>()), 1..33),
+    ) {
+        let lane_accesses: Vec<LaneAccess> = accesses
+            .iter()
+            .enumerate()
+            .map(|(lane, &(a, wide))| LaneAccess {
+                lane: lane as u32,
+                addr: Addr::new(a * 4),
+                width: if wide { Width::W8 } else { Width::W4 },
+            })
+            .collect();
+        let lines = coalesce(&lane_accesses, 128);
+        // Sorted, unique, aligned.
+        for w in lines.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+        for l in &lines {
+            prop_assert!(l.is_aligned(128));
+        }
+        // Coverage of every accessed byte.
+        for a in &lane_accesses {
+            for b in 0..a.width.bytes() {
+                let line = (a.addr + b).align_down(128);
+                prop_assert!(lines.contains(&line), "byte {} uncovered", (a.addr + b).get());
+            }
+        }
+        // Minimality: every returned line is touched by some access.
+        for line in &lines {
+            let touched = lane_accesses.iter().any(|a| {
+                (0..a.width.bytes()).any(|b| (a.addr + b).align_down(128) == *line)
+            });
+            prop_assert!(touched, "line {line} returned but never accessed");
+        }
+    }
+}

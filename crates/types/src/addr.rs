@@ -1,0 +1,175 @@
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// A byte address in the simulated device (global/local) memory space.
+///
+/// Addresses are 64-bit like on real GPUs; the simulator's allocator hands
+/// out regions of this space and the memory pipeline routes requests by
+/// address bits (partition interleaving, cache set index, DRAM bank/row).
+///
+/// # Examples
+///
+/// ```
+/// use gpu_types::Addr;
+///
+/// let a = Addr::new(0x1234);
+/// assert_eq!(a.align_down(128), Addr::new(0x1200));
+/// assert_eq!(a.offset_in(128), 0x34);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// The null address. The simulator's allocator never hands out a region
+    /// containing it, so kernels may use 0 as an "invalid pointer" sentinel.
+    pub const NULL: Addr = Addr(0);
+
+    /// Creates an address from a raw byte offset.
+    #[inline]
+    pub const fn new(addr: u64) -> Self {
+        Addr(addr)
+    }
+
+    /// Returns the raw byte address.
+    #[inline]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Rounds the address down to a multiple of `align`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `align` is not a power of two.
+    #[inline]
+    pub fn align_down(self, align: u64) -> Addr {
+        debug_assert!(align.is_power_of_two(), "alignment must be a power of two");
+        Addr(self.0 & !(align - 1))
+    }
+
+    /// Rounds the address up to a multiple of `align`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `align` is not a power of two.
+    #[inline]
+    pub fn align_up(self, align: u64) -> Addr {
+        debug_assert!(align.is_power_of_two(), "alignment must be a power of two");
+        Addr(self.0.checked_add(align - 1).expect("address overflow") & !(align - 1))
+    }
+
+    /// Returns the byte offset of this address within its `align`-sized block.
+    #[inline]
+    pub fn offset_in(self, align: u64) -> u64 {
+        debug_assert!(align.is_power_of_two(), "alignment must be a power of two");
+        self.0 & (align - 1)
+    }
+
+    /// Returns `true` if the address is a multiple of `align`.
+    #[inline]
+    pub fn is_aligned(self, align: u64) -> bool {
+        self.offset_in(align) == 0
+    }
+
+    /// Extracts bits `[lo, hi)` of the address, a helper for address mapping
+    /// (cache set index, DRAM bank/row decoding, partition interleaving).
+    #[inline]
+    pub fn bits(self, lo: u32, hi: u32) -> u64 {
+        debug_assert!(lo <= hi && hi <= 64);
+        if hi == lo {
+            return 0;
+        }
+        let shifted = self.0 >> lo;
+        if hi - lo >= 64 {
+            shifted
+        } else {
+            shifted & ((1u64 << (hi - lo)) - 1)
+        }
+    }
+}
+
+impl Add<u64> for Addr {
+    type Output = Addr;
+
+    #[inline]
+    fn add(self, rhs: u64) -> Addr {
+        Addr(self.0 + rhs)
+    }
+}
+
+impl Sub for Addr {
+    type Output = u64;
+
+    /// Byte distance between two addresses.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs > self`.
+    #[inline]
+    fn sub(self, rhs: Addr) -> u64 {
+        debug_assert!(rhs.0 <= self.0, "address underflow");
+        self.0 - rhs.0
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(addr: u64) -> Self {
+        Addr(addr)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_helpers() {
+        let a = Addr::new(0x1234);
+        assert_eq!(a.align_down(128).get(), 0x1200);
+        assert_eq!(a.align_up(128).get(), 0x1280);
+        assert_eq!(a.offset_in(128), 0x34);
+        assert!(!a.is_aligned(128));
+        assert!(Addr::new(0x1200).is_aligned(128));
+    }
+
+    #[test]
+    fn align_of_aligned_address_is_identity() {
+        let a = Addr::new(4096);
+        assert_eq!(a.align_down(4096), a);
+        assert_eq!(a.align_up(4096), a);
+    }
+
+    #[test]
+    fn bit_extraction() {
+        let a = Addr::new(0b1011_0110);
+        assert_eq!(a.bits(1, 4), 0b011);
+        assert_eq!(a.bits(4, 8), 0b1011);
+        assert_eq!(a.bits(3, 3), 0);
+        assert_eq!(Addr::new(u64::MAX).bits(0, 64), u64::MAX);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Addr::new(100);
+        assert_eq!((a + 28).get(), 128);
+        assert_eq!(Addr::new(128) - a, 28);
+    }
+
+    #[test]
+    fn display_formats_hex() {
+        assert_eq!(Addr::new(255).to_string(), "0xff");
+        assert_eq!(format!("{:x}", Addr::new(255)), "ff");
+    }
+}

@@ -1,0 +1,330 @@
+use std::fmt;
+
+/// A collection of raw `u64` samples (e.g. per-request latencies) that can be
+/// summarized or partitioned into equal-width [`Buckets`].
+///
+/// The paper's Figures 1 and 2 classify dynamic memory requests into
+/// equal-width latency ranges ("buckets"); [`Histogram::bucketize`] performs
+/// that classification.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_types::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for v in [3, 10, 40, 41, 78] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.len(), 5);
+/// assert_eq!(h.min(), Some(3));
+/// assert_eq!(h.max(), Some(78));
+/// let buckets = h.bucketize(2);
+/// assert_eq!(buckets.count(0) + buckets.count(1), 5);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    samples: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.samples.push(value);
+    }
+
+    /// Returns the number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Returns the smallest sample.
+    pub fn min(&self) -> Option<u64> {
+        self.samples.iter().copied().min()
+    }
+
+    /// Returns the largest sample.
+    pub fn max(&self) -> Option<u64> {
+        self.samples.iter().copied().max()
+    }
+
+    /// Returns the arithmetic mean, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.samples.iter().sum::<u64>() as f64 / self.samples.len() as f64)
+        }
+    }
+
+    /// Returns the `q`-quantile (0.0 ≤ `q` ≤ 1.0) using nearest-rank on the
+    /// sorted samples, or `None` if empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]` or NaN.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be within [0, 1]");
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        Some(sorted[rank - 1])
+    }
+
+    /// Returns a view of the raw samples.
+    pub fn samples(&self) -> &[u64] {
+        &self.samples
+    }
+
+    /// Partitions the sample range `[min, max]` into `n` equal-width buckets
+    /// and counts samples per bucket, like the latency ranges on the x-axis
+    /// of the paper's Figures 1 and 2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn bucketize(&self, n: usize) -> Buckets {
+        assert!(n > 0, "bucket count must be positive");
+        let (min, max) = match (self.min(), self.max()) {
+            (Some(min), Some(max)) => (min, max),
+            _ => {
+                return Buckets {
+                    min: 0,
+                    max: 0,
+                    counts: vec![0; n],
+                }
+            }
+        };
+        let mut buckets = Buckets {
+            min,
+            max,
+            counts: vec![0; n],
+        };
+        for &s in &self.samples {
+            let idx = buckets.index_of(s).expect("sample within [min, max]");
+            buckets.counts[idx] += 1;
+        }
+        buckets
+    }
+}
+
+impl Extend<u64> for Histogram {
+    fn extend<I: IntoIterator<Item = u64>>(&mut self, iter: I) {
+        self.samples.extend(iter);
+    }
+}
+
+impl FromIterator<u64> for Histogram {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        Histogram {
+            samples: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Equal-width bucketization of a sample range, produced by
+/// [`Histogram::bucketize`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Buckets {
+    min: u64,
+    max: u64,
+    counts: Vec<u64>,
+}
+
+impl Buckets {
+    /// Number of buckets.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Returns `true` if there are no buckets (never produced by
+    /// [`Histogram::bucketize`], which requires `n > 0`).
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Returns the bucket index for a value, or `None` if outside
+    /// `[min, max]`.
+    pub fn index_of(&self, value: u64) -> Option<usize> {
+        if value < self.min || value > self.max {
+            return None;
+        }
+        // Largest `i` with `range(i).0 <= value`, derived so that it is exactly
+        // consistent with the integer tiling used by `range`.
+        let n = self.counts.len() as u128;
+        let span = (self.max - self.min + 1) as u128;
+        let d = (value - self.min) as u128;
+        let idx = (((d + 1) * n - 1) / span) as usize;
+        Some(idx.min(self.counts.len() - 1))
+    }
+
+    /// Returns the count in bucket `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// Returns the inclusive value range `[lo, hi]` covered by bucket `i`,
+    /// matching the "lo-hi" labels on the paper's figure x-axes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn range(&self, i: usize) -> (u64, u64) {
+        assert!(i < self.counts.len(), "bucket index out of range");
+        let n = self.counts.len() as u128;
+        let span = (self.max - self.min + 1) as u128;
+        let lo = self.min + (i as u128 * span / n) as u64;
+        let hi = if i + 1 == self.counts.len() {
+            self.max
+        } else {
+            self.min + ((i as u128 + 1) * span / n) as u64 - 1
+        };
+        (lo, hi)
+    }
+
+    /// Returns the label for bucket `i` in the paper's "lo-hi" style.
+    pub fn label(&self, i: usize) -> String {
+        let (lo, hi) = self.range(i);
+        format!("{lo}-{hi}")
+    }
+
+    /// Iterates over `(range, count)` pairs from lowest to highest bucket.
+    pub fn iter(&self) -> impl Iterator<Item = ((u64, u64), u64)> + '_ {
+        (0..self.counts.len()).map(move |i| (self.range(i), self.counts[i]))
+    }
+
+    /// Total number of bucketed samples.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+impl fmt::Display for Buckets {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.counts.len() {
+            writeln!(f, "{:>16}: {}", self.label(i), self.counts[i])?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_stats() {
+        let h: Histogram = [5u64, 1, 9, 5].into_iter().collect();
+        assert_eq!(h.len(), 4);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(9));
+        assert_eq!(h.mean(), Some(5.0));
+    }
+
+    #[test]
+    fn empty_histogram_stats() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let h: Histogram = (1..=100u64).collect();
+        assert_eq!(h.quantile(0.0), Some(1));
+        assert_eq!(h.quantile(0.5), Some(50));
+        assert_eq!(h.quantile(0.99), Some(99));
+        assert_eq!(h.quantile(1.0), Some(100));
+    }
+
+    #[test]
+    fn bucketize_counts_everything_once() {
+        let h: Histogram = (0..1000u64).collect();
+        let b = h.bucketize(48);
+        assert_eq!(b.len(), 48);
+        assert_eq!(b.total(), 1000);
+        // Buckets of an even spread are nearly equal.
+        for i in 0..48 {
+            let c = b.count(i);
+            assert!((20..=22).contains(&c), "bucket {i} count {c}");
+        }
+    }
+
+    #[test]
+    fn bucket_ranges_tile_the_domain() {
+        let h: Histogram = [3u64, 1806].into_iter().collect();
+        let b = h.bucketize(48);
+        let mut expected_lo = 3;
+        for i in 0..b.len() {
+            let (lo, hi) = b.range(i);
+            assert_eq!(lo, expected_lo, "bucket {i} must start where previous ended");
+            assert!(hi >= lo);
+            expected_lo = hi + 1;
+        }
+        assert_eq!(expected_lo, 1807);
+    }
+
+    #[test]
+    fn index_of_is_consistent_with_range() {
+        let h: Histogram = [10u64, 110].into_iter().collect();
+        let b = h.bucketize(7);
+        for v in 10..=110u64 {
+            let i = b.index_of(v).unwrap();
+            let (lo, hi) = b.range(i);
+            assert!(v >= lo && v <= hi, "value {v} outside bucket {i} [{lo},{hi}]");
+        }
+        assert_eq!(b.index_of(9), None);
+        assert_eq!(b.index_of(111), None);
+    }
+
+    #[test]
+    fn single_value_histogram_buckets() {
+        let h: Histogram = [42u64, 42, 42].into_iter().collect();
+        let b = h.bucketize(4);
+        assert_eq!(b.total(), 3);
+        // With span < n some buckets are degenerate; the chosen bucket must
+        // still contain the value.
+        let i = b.index_of(42).unwrap();
+        let (lo, hi) = b.range(i);
+        assert!(lo <= 42 && 42 <= hi);
+        assert_eq!(b.count(i), 3);
+    }
+
+    #[test]
+    fn labels_match_paper_style() {
+        let h: Histogram = [0u64, 99].into_iter().collect();
+        let b = h.bucketize(2);
+        assert_eq!(b.label(0), "0-49");
+        assert_eq!(b.label(1), "50-99");
+        let display = b.to_string();
+        assert!(display.contains("0-49"));
+    }
+
+    #[test]
+    fn extend_adds_samples() {
+        let mut h = Histogram::new();
+        h.extend([1u64, 2, 3]);
+        h.record(4);
+        assert_eq!(h.samples(), &[1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,94 @@
+use std::fmt;
+
+macro_rules! id_newtype {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an id with the given index.
+            #[inline]
+            pub const fn new(index: u32) -> Self {
+                $name(index)
+            }
+
+            /// Returns the raw index.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Returns the raw index as `u32`.
+            #[inline]
+            pub const fn get(self) -> u32 {
+                self.0
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(index: u32) -> Self {
+                $name(index)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_newtype!(
+    /// Identifies a streaming multiprocessor (SM) in the simulated GPU.
+    SmId,
+    "sm"
+);
+
+id_newtype!(
+    /// Identifies a memory partition (an L2 slice plus its DRAM channel).
+    PartitionId,
+    "mp"
+);
+
+id_newtype!(
+    /// Identifies a warp *slot* within one SM (not globally unique).
+    WarpId,
+    "w"
+);
+
+id_newtype!(
+    /// Identifies a cooperative thread array (thread block) within a grid.
+    CtaId,
+    "cta"
+);
+
+id_newtype!(
+    /// Identifies a thread within its CTA (linearized).
+    ThreadId,
+    "t"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_display() {
+        let sm = SmId::new(3);
+        assert_eq!(sm.index(), 3);
+        assert_eq!(sm.get(), 3);
+        assert_eq!(sm.to_string(), "sm3");
+        assert_eq!(PartitionId::from(1).to_string(), "mp1");
+        assert_eq!(WarpId::new(4).to_string(), "w4");
+        assert_eq!(CtaId::new(9).to_string(), "cta9");
+        assert_eq!(ThreadId::new(31).to_string(), "t31");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(SmId::new(0) < SmId::new(1));
+        assert_eq!(WarpId::default(), WarpId::new(0));
+    }
+}

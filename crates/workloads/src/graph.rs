@@ -1,0 +1,247 @@
+//! Graph representation and generators for the BFS workload.
+//!
+//! Graphs are stored in CSR (compressed sparse row) form — the layout the
+//! Rodinia-style BFS kernel walks on the device, and the source of the
+//! data-dependent, poorly-coalesced loads that make BFS the paper's
+//! dynamic-latency exemplar.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A directed graph in CSR form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    row_offsets: Vec<u32>,
+    cols: Vec<u32>,
+}
+
+impl Graph {
+    /// Builds a graph from an adjacency list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any edge endpoint is out of range.
+    pub fn from_adjacency(adj: &[Vec<u32>]) -> Self {
+        let n = adj.len() as u32;
+        let mut row_offsets = Vec::with_capacity(adj.len() + 1);
+        let mut cols = Vec::new();
+        row_offsets.push(0);
+        for nbrs in adj {
+            for &v in nbrs {
+                assert!(v < n, "edge endpoint {v} out of range");
+                cols.push(v);
+            }
+            row_offsets.push(cols.len() as u32);
+        }
+        Graph { row_offsets, cols }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> u32 {
+        (self.row_offsets.len() - 1) as u32
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> u32 {
+        self.cols.len() as u32
+    }
+
+    /// CSR row offsets (length `num_nodes + 1`).
+    pub fn row_offsets(&self) -> &[u32] {
+        &self.row_offsets
+    }
+
+    /// CSR column indices.
+    pub fn cols(&self) -> &[u32] {
+        &self.cols
+    }
+
+    /// Neighbors of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn neighbors(&self, node: u32) -> &[u32] {
+        let s = self.row_offsets[node as usize] as usize;
+        let e = self.row_offsets[node as usize + 1] as usize;
+        &self.cols[s..e]
+    }
+
+    /// Uniform random directed graph: every node gets `avg_degree` edges to
+    /// uniformly random targets (self-loops allowed — BFS ignores them), in
+    /// the spirit of the graphs the Rodinia BFS inputs use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn uniform_random(n: u32, avg_degree: u32, seed: u64) -> Self {
+        assert!(n > 0, "graph needs at least one node");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let adj: Vec<Vec<u32>> = (0..n)
+            .map(|_| (0..avg_degree).map(|_| rng.gen_range(0..n)).collect())
+            .collect();
+        Graph::from_adjacency(&adj)
+    }
+
+    /// Skewed ("power-law-ish") random graph: edge targets are biased toward
+    /// low node ids with roughly Zipfian weight, creating the hub structure
+    /// of social/web graphs (heavier MSHR merging and row-buffer locality
+    /// than the uniform graph).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn skewed_random(n: u32, avg_degree: u32, seed: u64) -> Self {
+        assert!(n > 0, "graph needs at least one node");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let adj: Vec<Vec<u32>> = (0..n)
+            .map(|_| {
+                (0..avg_degree)
+                    .map(|_| {
+                        // Inverse-CDF sample of p(k) ~ 1/(k+1).
+                        let u: f64 = rng.gen();
+                        let t = ((n as f64 + 1.0).powf(u) - 1.0).max(0.0);
+                        (t as u32).min(n - 1)
+                    })
+                    .collect()
+            })
+            .collect();
+        Graph::from_adjacency(&adj)
+    }
+
+    /// 2-D grid graph with 4-neighborhood (deterministic, long BFS
+    /// frontiers with regular structure).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `height` is zero.
+    pub fn grid(width: u32, height: u32) -> Self {
+        assert!(width > 0 && height > 0);
+        let id = |x: u32, y: u32| y * width + x;
+        let adj: Vec<Vec<u32>> = (0..height)
+            .flat_map(|y| (0..width).map(move |x| (x, y)))
+            .map(|(x, y)| {
+                let mut nbrs = Vec::with_capacity(4);
+                if x > 0 {
+                    nbrs.push(id(x - 1, y));
+                }
+                if x + 1 < width {
+                    nbrs.push(id(x + 1, y));
+                }
+                if y > 0 {
+                    nbrs.push(id(x, y - 1));
+                }
+                if y + 1 < height {
+                    nbrs.push(id(x, y + 1));
+                }
+                nbrs
+            })
+            .collect();
+        Graph::from_adjacency(&adj)
+    }
+
+    /// Host-side reference BFS: level of each node from `source`
+    /// (`u32::MAX` for unreachable nodes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is out of range.
+    pub fn bfs_levels(&self, source: u32) -> Vec<u32> {
+        assert!(source < self.num_nodes(), "source out of range");
+        let mut levels = vec![u32::MAX; self.num_nodes() as usize];
+        levels[source as usize] = 0;
+        let mut frontier = vec![source];
+        let mut level = 0u32;
+        while !frontier.is_empty() {
+            level += 1;
+            let mut next = Vec::new();
+            for &u in &frontier {
+                for &v in self.neighbors(u) {
+                    if levels[v as usize] == u32::MAX {
+                        levels[v as usize] = level;
+                        next.push(v);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        levels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csr_roundtrip() {
+        let g = Graph::from_adjacency(&[vec![1, 2], vec![2], vec![]]);
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[2]);
+        assert!(g.neighbors(2).is_empty());
+        assert_eq!(g.row_offsets(), &[0, 2, 3, 3]);
+        assert_eq!(g.cols(), &[1, 2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_edge_rejected() {
+        let _ = Graph::from_adjacency(&[vec![5]]);
+    }
+
+    #[test]
+    fn uniform_random_has_requested_shape() {
+        let g = Graph::uniform_random(100, 8, 42);
+        assert_eq!(g.num_nodes(), 100);
+        assert_eq!(g.num_edges(), 800);
+        assert!(g.cols().iter().all(|&v| v < 100));
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        assert_eq!(
+            Graph::uniform_random(64, 4, 7),
+            Graph::uniform_random(64, 4, 7)
+        );
+        assert_ne!(
+            Graph::uniform_random(64, 4, 7),
+            Graph::uniform_random(64, 4, 8)
+        );
+        assert_eq!(
+            Graph::skewed_random(64, 4, 7),
+            Graph::skewed_random(64, 4, 7)
+        );
+    }
+
+    #[test]
+    fn skewed_graph_prefers_low_ids() {
+        let g = Graph::skewed_random(1000, 8, 1);
+        let low: usize = g.cols().iter().filter(|&&v| v < 100).count();
+        // Zipf-ish: far more than the uniform expectation (10%).
+        assert!(
+            low > g.num_edges() as usize / 5,
+            "only {low} of {} edges hit the low range",
+            g.num_edges()
+        );
+    }
+
+    #[test]
+    fn grid_bfs_levels_are_manhattan_distance() {
+        let g = Graph::grid(5, 4);
+        let levels = g.bfs_levels(0);
+        for y in 0..4u32 {
+            for x in 0..5u32 {
+                assert_eq!(levels[(y * 5 + x) as usize], x + y, "node ({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_marks_unreachable() {
+        let g = Graph::from_adjacency(&[vec![1], vec![], vec![0]]);
+        let levels = g.bfs_levels(0);
+        assert_eq!(levels, vec![0, 1, u32::MAX]);
+    }
+}

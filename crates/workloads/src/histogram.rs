@@ -1,0 +1,173 @@
+//! Histogram with global atomics — the atomic-contention stress workload:
+//! many threads funnel increments into a small number of bin addresses,
+//! serializing at the memory partitions exactly where BFS's ticket counter
+//! used to.
+
+use gpu_isa::{AluOp, CmpOp, Kernel, KernelBuilder, Launch, Special, Width};
+use gpu_sim::{Gpu, RunSummary, SimError};
+use gpu_types::Addr;
+
+/// Device buffers of a histogram instance.
+#[derive(Debug, Clone, Copy)]
+pub struct HistogramDevice {
+    /// Input values.
+    pub input: Addr,
+    /// Bin counters.
+    pub bins: Addr,
+    /// Element count.
+    pub n: u64,
+    /// Bin count (power of two).
+    pub num_bins: u32,
+}
+
+/// Builds the histogram kernel: `atomicAdd(&bins[input[i] % num_bins], 1)`.
+///
+/// Parameters: `[0]` input, `[1]` bins, `[2]` n, `[3]` bin mask
+/// (`num_bins - 1`).
+pub fn build_histogram_kernel() -> Kernel {
+    let mut b = KernelBuilder::new("histogram");
+    let input = b.param(0);
+    let bins = b.param(1);
+    let n = b.param(2);
+    let mask = b.param(3);
+    let gtid = b.special(Special::GlobalTid);
+    let inb = b.setp(CmpOp::Lt, gtid, n);
+    b.if_then(inb, |b| {
+        let off = b.shl(gtid, 2);
+        let addr = b.add(input, off);
+        let v = b.ld_global(Width::W4, addr, 0);
+        let bin = b.alu(AluOp::And, v, mask);
+        let bin_off = b.shl(bin, 2);
+        let bin_addr = b.add(bins, bin_off);
+        b.atom_add(Width::W4, bin_addr, 0, 1);
+    });
+    b.exit();
+    b.build().expect("histogram kernel is well-formed by construction")
+}
+
+/// Allocates and seeds an instance (`input[i] = i * 2654435761 mod 2^32`,
+/// a Knuth-hash spread).
+///
+/// # Panics
+///
+/// Panics unless `num_bins` is a power of two.
+pub fn setup(gpu: &mut Gpu, n: u64, num_bins: u32) -> HistogramDevice {
+    assert!(num_bins.is_power_of_two(), "bins must be a power of two");
+    let align = gpu.config().line_size;
+    let input = gpu.alloc(4 * n, align);
+    let bins = gpu.alloc(4 * num_bins as u64, align);
+    for i in 0..n {
+        gpu.device_mut()
+            .write_u32(input + 4 * i, (i as u32).wrapping_mul(2654435761));
+    }
+    HistogramDevice {
+        input,
+        bins,
+        n,
+        num_bins,
+    }
+}
+
+/// Launches and runs the kernel to completion.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn run(gpu: &mut Gpu, dev: &HistogramDevice, block_dim: u32) -> Result<RunSummary, SimError> {
+    for b in 0..dev.num_bins as u64 {
+        gpu.device_mut().write_u32(dev.bins + 4 * b, 0);
+    }
+    let grid = (dev.n as u32).div_ceil(block_dim);
+    gpu.launch(
+        build_histogram_kernel(),
+        Launch::new(
+            grid,
+            block_dim,
+            vec![
+                dev.input.get(),
+                dev.bins.get(),
+                dev.n,
+                (dev.num_bins - 1) as u64,
+            ],
+        ),
+    )?;
+    gpu.run(500_000_000)
+}
+
+/// Host reference histogram.
+pub fn reference(n: u64, num_bins: u32) -> Vec<u32> {
+    let mut bins = vec![0u32; num_bins as usize];
+    for i in 0..n {
+        let v = (i as u32).wrapping_mul(2654435761);
+        bins[(v & (num_bins - 1)) as usize] += 1;
+    }
+    bins
+}
+
+/// Verifies the bins against the host reference.
+///
+/// # Panics
+///
+/// Panics on the first mismatching bin.
+pub fn verify(gpu: &Gpu, dev: &HistogramDevice) {
+    let got = gpu.device().read_u32_slice(dev.bins, dev.num_bins as usize);
+    let want = reference(dev.n, dev.num_bins);
+    for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+        assert_eq!(g, w, "bin {i}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::GpuConfig;
+
+    fn small_gpu() -> Gpu {
+        let mut cfg = GpuConfig::fermi_gf100();
+        cfg.num_sms = 4;
+        Gpu::new(cfg)
+    }
+
+    #[test]
+    fn histogram_counts_exactly() {
+        let mut gpu = small_gpu();
+        let dev = setup(&mut gpu, 4096, 64);
+        run(&mut gpu, &dev, 128).unwrap();
+        verify(&gpu, &dev);
+        // Total mass is conserved.
+        let total: u64 = gpu
+            .device()
+            .read_u32_slice(dev.bins, 64)
+            .iter()
+            .map(|&v| v as u64)
+            .sum();
+        assert_eq!(total, 4096);
+    }
+
+    #[test]
+    fn single_bin_maximizes_contention() {
+        // num_bins = 1: every thread atomics the same address.
+        let mut gpu = small_gpu();
+        let dev = setup(&mut gpu, 1024, 1);
+        run(&mut gpu, &dev, 128).unwrap();
+        assert_eq!(gpu.device().read_u32(dev.bins), 1024);
+    }
+
+    #[test]
+    fn contention_slows_the_kernel() {
+        // Same work, fewer bins -> more serialization at the partitions.
+        let cycles_for = |bins: u32| {
+            let mut gpu = small_gpu();
+            let dev = setup(&mut gpu, 4096, bins);
+            let before = gpu.now().get();
+            run(&mut gpu, &dev, 128).unwrap();
+            gpu.now().get() - before
+        };
+        let spread = cycles_for(256);
+        let contended = cycles_for(1);
+        assert!(
+            contended > spread,
+            "single-bin histogram should serialize: {contended} vs {spread}"
+        );
+    }
+}

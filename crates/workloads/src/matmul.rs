@@ -1,0 +1,221 @@
+//! Tiled integer matrix multiplication with shared memory and barriers —
+//! the compute-bound, shared-memory-heavy workload of the comparison set.
+//!
+//! Classic CUDA tiling: each 16×16 thread block computes one 16×16 tile of
+//! `C = A × B`, staging tiles of `A` and `B` through shared memory with a
+//! barrier between load and use. Matrices hold `u32` values with wrapping
+//! arithmetic so verification is exact.
+
+use gpu_isa::{AluOp, Kernel, KernelBuilder, Launch, Operand, Space, Special, Width};
+use gpu_sim::{Gpu, RunSummary, SimError};
+use gpu_types::Addr;
+
+/// Tile edge (threads per block = TILE × TILE).
+pub const TILE: u32 = 16;
+
+/// Device buffers of a matmul instance (square `n × n`, `n` a multiple of
+/// [`TILE`]).
+#[derive(Debug, Clone, Copy)]
+pub struct MatmulDevice {
+    /// Left operand, row-major.
+    pub a: Addr,
+    /// Right operand, row-major.
+    pub b: Addr,
+    /// Output, row-major.
+    pub c: Addr,
+    /// Matrix dimension.
+    pub n: u32,
+}
+
+/// Builds the tiled matmul kernel for `n × n` matrices.
+///
+/// Parameters: `[0]` a, `[1]` b, `[2]` c, `[3]` n, `[4]` tiles per row of
+/// the grid (`n / TILE`).
+///
+/// The 1-D launch is mapped as: CTA id → (tile row, tile col), thread id →
+/// (row-in-tile, col-in-tile).
+pub fn build_matmul_kernel() -> Kernel {
+    let mut bld = KernelBuilder::new("matmul_tiled");
+    let tile = TILE as i64;
+    let a_base = bld.param(0);
+    let b_base = bld.param(1);
+    let c_base = bld.param(2);
+    let n = bld.param(3);
+    let tiles = bld.param(4);
+
+    let sa = bld.alloc_shared(4 * (TILE * TILE) as u64);
+    let sb = bld.alloc_shared(4 * (TILE * TILE) as u64);
+
+    let ctaid = bld.special(Special::CtaIdX);
+    let tid = bld.special(Special::TidX);
+    // 2-D decomposition.
+    let tile_row = bld.alu(AluOp::Div, ctaid, tiles);
+    let tile_col = bld.alu(AluOp::Rem, ctaid, tiles);
+    let ty = bld.alu(AluOp::Div, tid, tile);
+    let tx = bld.alu(AluOp::Rem, tid, tile);
+    let row_base = bld.mul(tile_row, tile);
+    let row = bld.add(row_base, ty);
+    let col_base = bld.mul(tile_col, tile);
+    let col = bld.add(col_base, tx);
+
+    let acc = bld.mov(0i64);
+    // Shared addresses reused each iteration: sa[ty][tx], sb[ty][tx].
+    let s_off_row = bld.mul(ty, tile);
+    let s_off = bld.add(s_off_row, tx);
+    let s_off4 = bld.shl(s_off, 2);
+    let sa_addr = bld.add(s_off4, sa as i64);
+    let sb_addr = bld.add(s_off4, sb as i64);
+
+    bld.for_range(Operand::Imm(0), tiles, 1, |bld, t| {
+        // Load A[row][t*TILE + tx] into sa[ty][tx].
+        let a_col_base = bld.mul(t, tile);
+        let a_col = bld.add(a_col_base, tx);
+        let a_row_off = bld.mul(row, n);
+        let a_idx = bld.add(a_row_off, a_col);
+        let a_off = bld.shl(a_idx, 2);
+        let a_addr = bld.add(a_base, a_off);
+        let a_val = bld.ld_global(Width::W4, a_addr, 0);
+        bld.st(Space::Shared, Width::W4, sa_addr, 0, a_val);
+        // Load B[t*TILE + ty][col] into sb[ty][tx].
+        let b_row = bld.add(a_col_base, ty);
+        let b_row_off = bld.mul(b_row, n);
+        let b_idx = bld.add(b_row_off, col);
+        let b_off = bld.shl(b_idx, 2);
+        let b_addr = bld.add(b_base, b_off);
+        let b_val = bld.ld_global(Width::W4, b_addr, 0);
+        bld.st(Space::Shared, Width::W4, sb_addr, 0, b_val);
+        bld.bar();
+        // acc += sum_k sa[ty][k] * sb[k][tx]
+        bld.for_range(Operand::Imm(0), Operand::Imm(tile), 1, |bld, k| {
+            let sa_row = bld.mul(ty, tile);
+            let sa_idx = bld.add(sa_row, k);
+            let sa_o = bld.shl(sa_idx, 2);
+            let sa_a = bld.add(sa_o, sa as i64);
+            let av = bld.ld(Space::Shared, Width::W4, sa_a, 0);
+            let sb_row = bld.mul(k, tile);
+            let sb_idx = bld.add(sb_row, tx);
+            let sb_o = bld.shl(sb_idx, 2);
+            let sb_a = bld.add(sb_o, sb as i64);
+            let bv = bld.ld(Space::Shared, Width::W4, sb_a, 0);
+            let prod = bld.mul(av, bv);
+            bld.alu_to(AluOp::Add, acc, acc, prod);
+        });
+        bld.bar();
+    });
+    // C[row][col] = acc (truncated to u32 by the 4-byte store).
+    let c_row_off = bld.mul(row, n);
+    let c_idx = bld.add(c_row_off, col);
+    let c_off = bld.shl(c_idx, 2);
+    let c_addr = bld.add(c_base, c_off);
+    bld.st_global(Width::W4, c_addr, 0, acc);
+    bld.exit();
+    bld.build().expect("matmul kernel is well-formed by construction")
+}
+
+/// Allocates and initializes an `n × n` instance with deterministic inputs.
+///
+/// # Panics
+///
+/// Panics unless `n` is a positive multiple of [`TILE`].
+pub fn setup(gpu: &mut Gpu, n: u32) -> MatmulDevice {
+    assert!(n > 0 && n % TILE == 0, "n must be a positive multiple of {TILE}");
+    let align = gpu.config().line_size;
+    let words = (n as u64) * (n as u64);
+    let a = gpu.alloc(4 * words, align);
+    let b = gpu.alloc(4 * words, align);
+    let c = gpu.alloc(4 * words, align);
+    for i in 0..words {
+        gpu.device_mut().write_u32(a + 4 * i, (i % 7 + 1) as u32);
+        gpu.device_mut().write_u32(b + 4 * i, (i % 5 + 1) as u32);
+    }
+    MatmulDevice { a, b, c, n }
+}
+
+/// Launches and runs the kernel to completion.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn run(gpu: &mut Gpu, dev: &MatmulDevice) -> Result<RunSummary, SimError> {
+    let tiles = dev.n / TILE;
+    gpu.launch(
+        build_matmul_kernel(),
+        Launch::new(
+            tiles * tiles,
+            TILE * TILE,
+            vec![
+                dev.a.get(),
+                dev.b.get(),
+                dev.c.get(),
+                dev.n as u64,
+                tiles as u64,
+            ],
+        ),
+    )?;
+    gpu.run(500_000_000)
+}
+
+/// Host reference multiply (wrapping u32).
+pub fn reference(a: &[u32], b: &[u32], n: u32) -> Vec<u32> {
+    let n = n as usize;
+    let mut c = vec![0u32; n * n];
+    for i in 0..n {
+        for k in 0..n {
+            let av = a[i * n + k];
+            for j in 0..n {
+                c[i * n + j] = c[i * n + j].wrapping_add(av.wrapping_mul(b[k * n + j]));
+            }
+        }
+    }
+    c
+}
+
+/// Verifies device output against the host reference.
+///
+/// # Panics
+///
+/// Panics on the first mismatching element.
+pub fn verify(gpu: &Gpu, dev: &MatmulDevice) {
+    let words = (dev.n as usize) * (dev.n as usize);
+    let a = gpu.device().read_u32_slice(dev.a, words);
+    let b = gpu.device().read_u32_slice(dev.b, words);
+    let got = gpu.device().read_u32_slice(dev.c, words);
+    let want = reference(&a, &b, dev.n);
+    for i in 0..words {
+        assert_eq!(got[i], want[i], "element {i}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::GpuConfig;
+
+    #[test]
+    fn tiled_matmul_matches_reference() {
+        let mut cfg = GpuConfig::fermi_gf100();
+        cfg.num_sms = 4;
+        let mut gpu = Gpu::new(cfg);
+        let dev = setup(&mut gpu, 32);
+        let summary = run(&mut gpu, &dev).unwrap();
+        verify(&gpu, &dev);
+        assert!(summary.instructions > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 16")]
+    fn non_tile_sizes_rejected() {
+        let mut gpu = Gpu::new(GpuConfig::fermi_gf100());
+        let _ = setup(&mut gpu, 17);
+    }
+
+    #[test]
+    fn reference_multiply_small_case() {
+        // 1x1 blocks sanity via 16x16 identity-ish structure is overkill;
+        // check the plain reference on a tiny case directly.
+        let a = vec![1, 2, 3, 4];
+        let b = vec![5, 6, 7, 8];
+        let c = reference(&a, &b, 2);
+        assert_eq!(c, vec![19, 22, 43, 50]);
+    }
+}

@@ -1,0 +1,146 @@
+//! Parallel reduction (sum) with shared-memory trees and an atomic final
+//! combine — a barrier-heavy, progressively-diverging workload.
+
+use gpu_isa::{AluOp, CmpOp, Kernel, KernelBuilder, Launch, Operand, Space, Special, Width};
+use gpu_sim::{Gpu, RunSummary, SimError};
+use gpu_types::Addr;
+
+/// Device buffers of a reduction instance.
+#[derive(Debug, Clone, Copy)]
+pub struct ReduceDevice {
+    /// Input vector.
+    pub input: Addr,
+    /// Scalar output (accumulated atomically by each CTA).
+    pub output: Addr,
+    /// Element count.
+    pub n: u64,
+}
+
+/// Builds the block-sum kernel: each CTA tree-reduces its slice in shared
+/// memory and atomically adds its partial sum to the output.
+///
+/// Parameters: `[0]` input, `[1]` output, `[2]` n.
+pub fn build_reduce_kernel(block_dim: u32) -> Kernel {
+    assert!(
+        block_dim.is_power_of_two(),
+        "tree reduction needs a power-of-two block"
+    );
+    let mut b = KernelBuilder::new("reduce_sum");
+    let sdata = b.alloc_shared(4 * block_dim as u64);
+    let input = b.param(0);
+    let output = b.param(1);
+    let n = b.param(2);
+    let tid = b.special(Special::TidX);
+    let gtid = b.special(Special::GlobalTid);
+
+    // sdata[tid] = gtid < n ? input[gtid] : 0
+    let val = b.mov(0i64);
+    let inb = b.setp(CmpOp::Lt, gtid, n);
+    b.if_then(inb, |b| {
+        let off = b.shl(gtid, 2);
+        let addr = b.add(input, off);
+        b.ld_to(gpu_isa::Space::Global, Width::W4, val, addr, 0);
+    });
+    let s_off = b.shl(tid, 2);
+    let s_addr = b.add(s_off, sdata as i64);
+    b.st(Space::Shared, Width::W4, s_addr, 0, val);
+    b.bar();
+
+    // for (s = block/2; s > 0; s >>= 1) { if tid < s: sdata[tid] += sdata[tid+s]; bar }
+    let stride = b.mov((block_dim / 2) as i64);
+    let loop_pred = b.pred();
+    b.while_loop(
+        |b| {
+            b.setp_to(loop_pred, CmpOp::Gt, stride, 0);
+            loop_pred
+        },
+        |b| {
+            let active = b.setp(CmpOp::Lt, tid, stride);
+            b.if_then(active, |b| {
+                let peer = b.add(tid, stride);
+                let p_off = b.shl(peer, 2);
+                let p_addr = b.add(p_off, sdata as i64);
+                let mine = b.ld(Space::Shared, Width::W4, s_addr, 0);
+                let theirs = b.ld(Space::Shared, Width::W4, p_addr, 0);
+                let sum = b.add(mine, theirs);
+                b.st(Space::Shared, Width::W4, s_addr, 0, sum);
+            });
+            b.bar();
+            b.alu_to(AluOp::Shr, stride, stride, Operand::Imm(1));
+        },
+    );
+
+    // Thread 0 publishes the block sum.
+    let is0 = b.setp(CmpOp::Eq, tid, 0);
+    b.if_then(is0, |b| {
+        let total = b.ld(Space::Shared, Width::W4, s_addr, 0);
+        b.atom_add(Width::W4, output, 0, total);
+    });
+    b.exit();
+    b.build().expect("reduce kernel is well-formed by construction")
+}
+
+/// Allocates and initializes a reduction instance (`input[i] = i % 97`).
+pub fn setup(gpu: &mut Gpu, n: u64) -> ReduceDevice {
+    let align = gpu.config().line_size;
+    let input = gpu.alloc(4 * n, align);
+    let output = gpu.alloc(4, align);
+    for i in 0..n {
+        gpu.device_mut().write_u32(input + 4 * i, (i % 97) as u32);
+    }
+    ReduceDevice { input, output, n }
+}
+
+/// Launches and runs the reduction.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn run(gpu: &mut Gpu, dev: &ReduceDevice, block_dim: u32) -> Result<RunSummary, SimError> {
+    gpu.device_mut().write_u32(dev.output, 0);
+    let grid = (dev.n as u32).div_ceil(block_dim);
+    gpu.launch(
+        build_reduce_kernel(block_dim),
+        Launch::new(grid, block_dim, vec![dev.input.get(), dev.output.get(), dev.n]),
+    )?;
+    gpu.run(500_000_000)
+}
+
+/// Host reference sum (wrapping).
+pub fn reference(n: u64) -> u32 {
+    (0..n).fold(0u32, |acc, i| acc.wrapping_add((i % 97) as u32))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::GpuConfig;
+
+    fn small_gpu() -> Gpu {
+        let mut cfg = GpuConfig::fermi_gf100();
+        cfg.num_sms = 4;
+        Gpu::new(cfg)
+    }
+
+    #[test]
+    fn reduction_matches_reference() {
+        let mut gpu = small_gpu();
+        let dev = setup(&mut gpu, 4096);
+        run(&mut gpu, &dev, 128).unwrap();
+        assert_eq!(gpu.device().read_u32(dev.output), reference(4096));
+    }
+
+    #[test]
+    fn ragged_tail_is_padded_with_zero() {
+        let mut gpu = small_gpu();
+        let dev = setup(&mut gpu, 1000);
+        run(&mut gpu, &dev, 256).unwrap();
+        assert_eq!(gpu.device().read_u32(dev.output), reference(1000));
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two block")]
+    fn non_pow2_block_rejected() {
+        let _ = build_reduce_kernel(96);
+    }
+}

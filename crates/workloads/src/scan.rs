@@ -1,0 +1,209 @@
+//! Per-CTA inclusive prefix sum (Hillis–Steele in shared memory) — the
+//! barrier-densest workload of the set: log2(block) barrier rounds with a
+//! shifting shared-memory access pattern.
+
+use gpu_isa::{AluOp, CmpOp, Kernel, KernelBuilder, Launch, Operand, Space, Special, Width};
+use gpu_sim::{Gpu, RunSummary, SimError};
+use gpu_types::Addr;
+
+/// Device buffers of a scan instance.
+#[derive(Debug, Clone, Copy)]
+pub struct ScanDevice {
+    /// Input vector.
+    pub input: Addr,
+    /// Output vector (inclusive per-CTA prefix sums).
+    pub output: Addr,
+    /// Element count.
+    pub n: u64,
+}
+
+/// Builds the per-CTA inclusive-scan kernel (Hillis–Steele double buffer).
+///
+/// Parameters: `[0]` input, `[1]` output, `[2]` n.
+///
+/// # Panics
+///
+/// Panics unless `block_dim` is a power of two.
+pub fn build_scan_kernel(block_dim: u32) -> Kernel {
+    assert!(
+        block_dim.is_power_of_two(),
+        "Hillis-Steele scan needs a power-of-two block"
+    );
+    let mut b = KernelBuilder::new("scan_cta");
+    // Double buffer to avoid intra-round races.
+    let buf_a = b.alloc_shared(4 * block_dim as u64);
+    let buf_b = b.alloc_shared(4 * block_dim as u64);
+    let input = b.param(0);
+    let output = b.param(1);
+    let n = b.param(2);
+    let tid = b.special(Special::TidX);
+    let gtid = b.special(Special::GlobalTid);
+
+    // Load input (0 beyond n) into buffer A.
+    let val = b.mov(0i64);
+    let inb = b.setp(CmpOp::Lt, gtid, n);
+    b.if_then(inb, |b| {
+        let off = b.shl(gtid, 2);
+        let addr = b.add(input, off);
+        b.ld_to(gpu_isa::Space::Global, Width::W4, val, addr, 0);
+    });
+    let t_off = b.shl(tid, 2);
+    let a_addr = b.add(t_off, buf_a as i64);
+    let b_addr = b.add(t_off, buf_b as i64);
+    b.st(Space::Shared, Width::W4, a_addr, 0, val);
+    b.bar();
+
+    // src/dst alternate each round; track with a parity register.
+    let parity = b.mov(0i64);
+    let offset = b.mov(1i64);
+    let loop_pred = b.pred();
+    b.while_loop(
+        |b| {
+            b.setp_to(loop_pred, CmpOp::Lt, offset, block_dim as i64);
+            loop_pred
+        },
+        |b| {
+            // src = parity == 0 ? A : B ; dst = the other.
+            let is_a = b.setp(CmpOp::Eq, parity, 0);
+            let src = b.reg();
+            let dst = b.reg();
+            b.if_then_else(
+                is_a,
+                |b| {
+                    b.mov_to(src, a_addr);
+                    b.mov_to(dst, b_addr);
+                },
+                |b| {
+                    b.mov_to(src, b_addr);
+                    b.mov_to(dst, a_addr);
+                },
+            );
+            let mine = b.ld(Space::Shared, Width::W4, src, 0);
+            let sum = b.mov(mine);
+            let has_peer = b.setp(CmpOp::Ge, tid, offset);
+            b.if_then(has_peer, |b| {
+                let peer_back = b.shl(offset, 2);
+                let peer_addr = b.sub(src, peer_back);
+                let theirs = b.ld(Space::Shared, Width::W4, peer_addr, 0);
+                b.alu_to(AluOp::Add, sum, sum, theirs);
+            });
+            b.st(Space::Shared, Width::W4, dst, 0, sum);
+            b.bar();
+            b.alu_to(AluOp::Shl, offset, offset, Operand::Imm(1));
+            b.alu_to(AluOp::Xor, parity, parity, Operand::Imm(1));
+        },
+    );
+
+    // Final values live in A if parity == 0, else B.
+    let is_a = b.setp(CmpOp::Eq, parity, 0);
+    let final_addr = b.reg();
+    b.if_then_else(
+        is_a,
+        |b| b.mov_to(final_addr, a_addr),
+        |b| b.mov_to(final_addr, b_addr),
+    );
+    let result = b.ld(Space::Shared, Width::W4, final_addr, 0);
+    b.if_then(inb, |b| {
+        let off = b.shl(gtid, 2);
+        let addr = b.add(output, off);
+        b.st_global(Width::W4, addr, 0, result);
+    });
+    b.exit();
+    b.build().expect("scan kernel is well-formed by construction")
+}
+
+/// Allocates and seeds an instance (`input[i] = i % 17 + 1`).
+pub fn setup(gpu: &mut Gpu, n: u64) -> ScanDevice {
+    let align = gpu.config().line_size;
+    let input = gpu.alloc(4 * n, align);
+    let output = gpu.alloc(4 * n, align);
+    for i in 0..n {
+        gpu.device_mut().write_u32(input + 4 * i, (i % 17 + 1) as u32);
+    }
+    ScanDevice { input, output, n }
+}
+
+/// Launches and runs the kernel to completion.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn run(gpu: &mut Gpu, dev: &ScanDevice, block_dim: u32) -> Result<RunSummary, SimError> {
+    let grid = (dev.n as u32).div_ceil(block_dim);
+    gpu.launch(
+        build_scan_kernel(block_dim),
+        Launch::new(grid, block_dim, vec![dev.input.get(), dev.output.get(), dev.n]),
+    )?;
+    gpu.run(500_000_000)
+}
+
+/// Host reference: per-CTA inclusive prefix sums.
+pub fn reference(n: u64, block_dim: u32) -> Vec<u32> {
+    let mut out = Vec::with_capacity(n as usize);
+    let mut acc = 0u32;
+    for i in 0..n {
+        if i % block_dim as u64 == 0 {
+            acc = 0;
+        }
+        acc = acc.wrapping_add((i % 17 + 1) as u32);
+        out.push(acc);
+    }
+    out
+}
+
+/// Verifies device output against the host reference.
+///
+/// # Panics
+///
+/// Panics on the first mismatching element.
+pub fn verify(gpu: &Gpu, dev: &ScanDevice, block_dim: u32) {
+    let got = gpu.device().read_u32_slice(dev.output, dev.n as usize);
+    let want = reference(dev.n, block_dim);
+    for i in 0..dev.n as usize {
+        assert_eq!(got[i], want[i], "element {i}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::GpuConfig;
+
+    fn small_gpu() -> Gpu {
+        let mut cfg = GpuConfig::fermi_gf100();
+        cfg.num_sms = 4;
+        Gpu::new(cfg)
+    }
+
+    #[test]
+    fn scan_matches_reference() {
+        let mut gpu = small_gpu();
+        let dev = setup(&mut gpu, 1024);
+        run(&mut gpu, &dev, 128).unwrap();
+        verify(&gpu, &dev, 128);
+    }
+
+    #[test]
+    fn ragged_tail_is_handled() {
+        let mut gpu = small_gpu();
+        let dev = setup(&mut gpu, 300);
+        run(&mut gpu, &dev, 64).unwrap();
+        verify(&gpu, &dev, 64);
+    }
+
+    #[test]
+    fn multi_warp_blocks_synchronize() {
+        // 256 threads = 8 warps per CTA: the scan is only correct if every
+        // barrier round synchronizes all of them.
+        let mut gpu = small_gpu();
+        let dev = setup(&mut gpu, 512);
+        run(&mut gpu, &dev, 256).unwrap();
+        verify(&gpu, &dev, 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two block")]
+    fn non_pow2_block_rejected() {
+        let _ = build_scan_kernel(100);
+    }
+}

@@ -1,0 +1,48 @@
+//! Dynamic latency analysis (paper §III, Figure 1) on a small BFS instance:
+//! trace every memory fetch through the pipeline and break its lifetime
+//! into the eight latency components.
+//!
+//! ```text
+//! cargo run --release -p latency-bench --example bfs_breakdown
+//! ```
+
+use latency_bench::{run_bfs_traced, BfsExperiment};
+use latency_core::{ArchPreset, Component, LatencyBreakdown};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let exp = BfsExperiment {
+        nodes: 4096,
+        degree: 8,
+        seed: 42,
+        block_dim: 128,
+    };
+    println!(
+        "BFS on {} ({} nodes, degree {})\n",
+        ArchPreset::FermiGf100.name(),
+        exp.nodes,
+        exp.degree
+    );
+    let run = run_bfs_traced(ArchPreset::FermiGf100.config(), &exp)?;
+    println!(
+        "completed in {} cycles; traced {} memory fetches and {} load instructions\n",
+        run.cycles,
+        run.requests.len(),
+        run.loads.len()
+    );
+    let (breakdown, overflow) =
+        LatencyBreakdown::from_requests_clipped(&run.requests, 16, 0.99);
+    print!("{breakdown}");
+    println!("({overflow} outlier fetches beyond the 99th percentile not shown)");
+    println!(
+        "\ndominant component overall: {}",
+        breakdown.dominant_component().label()
+    );
+    let shares = breakdown.overall_percentages();
+    println!(
+        "queueing (L1toICNT {:.1}%) and arbitration (DRAM QtoSch {:.1}%) are the\n\
+         knobs the paper points at for latency reduction.",
+        shares[Component::L1ToIcnt.index()],
+        shares[Component::DramQToSch.index()]
+    );
+    Ok(())
+}

@@ -1,0 +1,35 @@
+//! DRAM scheduling ablation: the paper suggests "request latency could
+//! potentially be reduced through usage of a different DRAM scheduling
+//! algorithm" — compare FR-FCFS against strict FCFS on BFS.
+//!
+//! ```text
+//! cargo run --release -p latency-bench --example dram_schedulers
+//! ```
+
+use latency_bench::{dram_sched_comparison, BfsExperiment};
+use latency_core::ArchPreset;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let exp = BfsExperiment {
+        nodes: 4096,
+        degree: 8,
+        seed: 42,
+        block_dim: 128,
+    };
+    let rows = dram_sched_comparison(ArchPreset::FermiGf100.config(), &exp)?;
+    println!("BFS, GF100, {} nodes:\n", exp.nodes);
+    println!(
+        "{:>10} {:>12} {:>16} {:>14}",
+        "scheduler", "cycles", "mean load lat", "QtoSch share"
+    );
+    for r in &rows {
+        println!(
+            "{:>10} {:>12} {:>16.1} {:>13.1}%",
+            format!("{:?}", r.sched),
+            r.cycles,
+            r.mean_load_latency,
+            r.qtosch_share
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,69 @@
+//! Quickstart: build a kernel with the IR builder, run it on the simulated
+//! Fermi GF100, and read results and statistics back.
+//!
+//! ```text
+//! cargo run --release -p latency-bench --example quickstart
+//! ```
+
+use gpu_isa::{CmpOp, KernelBuilder, Launch, Special, Width};
+use gpu_sim::{Gpu, GpuConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A GPU resembling NVIDIA's Fermi GF100: 15 SMs, L1+L2 caches, 6 GDDR5
+    // partitions with FR-FCFS scheduling.
+    let mut gpu = Gpu::new(GpuConfig::fermi_gf100());
+
+    // SAXPY-style kernel: y[i] = a * x[i] + y[i] for i < n.
+    let n: u64 = 10_000;
+    let x = gpu.alloc(4 * n, 128);
+    let y = gpu.alloc(4 * n, 128);
+    for i in 0..n {
+        gpu.device_mut().write_u32(x + 4 * i, i as u32);
+        gpu.device_mut().write_u32(y + 4 * i, 1000);
+    }
+
+    let mut b = KernelBuilder::new("saxpy");
+    let xp = b.param(0);
+    let yp = b.param(1);
+    let a = b.param(2);
+    let len = b.param(3);
+    let gtid = b.special(Special::GlobalTid);
+    let in_bounds = b.setp(CmpOp::Lt, gtid, len);
+    b.if_then(in_bounds, |b| {
+        let off = b.shl(gtid, 2);
+        let xa = b.add(xp, off);
+        let ya = b.add(yp, off);
+        let xv = b.ld_global(Width::W4, xa, 0);
+        let yv = b.ld_global(Width::W4, ya, 0);
+        let ax = b.mul(xv, a);
+        let sum = b.add(ax, yv);
+        b.st_global(Width::W4, ya, 0, sum);
+    });
+    b.exit();
+    let kernel = b.build()?;
+    println!("{kernel}");
+
+    // Launch 79 CTAs of 128 threads (enough for n with a guard).
+    let grid = (n as u32).div_ceil(128);
+    gpu.launch(kernel, Launch::new(grid, 128, vec![x.get(), y.get(), 3, n]))?;
+    let summary = gpu.run(100_000_000)?;
+
+    // Verify a few elements.
+    for i in [0u64, 1, 4999, 9999] {
+        let got = gpu.device().read_u32(y + 4 * i);
+        assert_eq!(got, 3 * i as u32 + 1000);
+    }
+    println!("saxpy of {n} elements verified");
+    println!(
+        "cycles: {}   instructions: {}   IPC: {:.2}",
+        summary.cycles,
+        summary.instructions,
+        summary.ipc()
+    );
+    println!(
+        "L1: {} hits / {} misses   L2: {} hits / {} misses   DRAM reqs: {}",
+        summary.l1_hits, summary.l1_misses, summary.l2_hits, summary.l2_misses,
+        summary.dram_serviced
+    );
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! Static latency analysis (paper §II): pointer-chase the memory hierarchy
+//! of two GPU generations and watch the latency plateaus appear as the
+//! footprint outgrows each cache level.
+//!
+//! ```text
+//! cargo run --release -p latency-bench --example static_latency
+//! ```
+
+use latency_core::{detect_plateaus, measure_chase, ArchPreset, ChaseParams, ChaseSpace, Sweep};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Footprint sweep on the Fermi GF106 (L1 16 KB, one 128 KB L2 slice in
+    // the single-partition microbench machine).
+    let preset = ArchPreset::FermiGf106;
+    let cfg = preset.config_microbench();
+    println!("footprint sweep on {} (stride 512 B):\n", preset.name());
+    let footprints = [
+        4 * 1024,
+        8 * 1024,
+        32 * 1024,
+        48 * 1024,
+        256 * 1024,
+        512 * 1024,
+    ];
+    let sweep = Sweep::run(&cfg, ChaseSpace::Global, &footprints, &[512])?;
+    print!("{sweep}");
+
+    let plateaus = detect_plateaus(&sweep.latencies(), 0.20);
+    println!("\ndetected plateaus:");
+    for p in &plateaus {
+        println!("  {p}");
+    }
+    println!("(paper Table I, Fermi column: L1 45, L2 310, DRAM 685)\n");
+
+    // The Kepler twist: its L1 serves only local accesses, so the same
+    // footprint measures very different latencies per space.
+    let kepler = ArchPreset::KeplerGk104;
+    let kcfg = kepler.config_microbench();
+    let local = measure_chase(&kcfg, &ChaseParams::local(4096, 128))?;
+    let global = measure_chase(&kcfg, &ChaseParams::global(4096, 128))?;
+    println!("{} with a 4 KB working set:", kepler.name());
+    println!(
+        "  local  chase: {:>6.1} cycles/access (L1 serves local loads)",
+        local.per_access
+    );
+    println!(
+        "  global chase: {:>6.1} cycles/access (global loads bypass the L1!)",
+        global.per_access
+    );
+    println!("(paper: Kepler global loads have a minimum latency of an L2 hit)");
+    Ok(())
+}

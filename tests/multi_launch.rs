@@ -1,0 +1,145 @@
+//! Multi-launch behavior of one `Gpu` instance: sequential kernels sharing
+//! device memory, cache warm-up across launches, statistics accumulation,
+//! and trace persistence — the substrate BFS's launch-per-level driver
+//! relies on.
+
+use gpu_isa::{CmpOp, Kernel, KernelBuilder, Launch, Special, Width};
+use gpu_sim::{Gpu, GpuConfig};
+
+fn small() -> GpuConfig {
+    let mut cfg = GpuConfig::fermi_gf100();
+    cfg.num_sms = 2;
+    cfg.num_partitions = 2;
+    cfg
+}
+
+fn incr_kernel() -> Kernel {
+    let mut b = KernelBuilder::new("incr");
+    let buf = b.param(0);
+    let n = b.param(1);
+    let gtid = b.special(Special::GlobalTid);
+    let p = b.setp(CmpOp::Lt, gtid, n);
+    b.if_then(p, |b| {
+        let off = b.shl(gtid, 2);
+        let addr = b.add(buf, off);
+        let v = b.ld_global(Width::W4, addr, 0);
+        let v2 = b.add(v, 1);
+        b.st_global(Width::W4, addr, 0, v2);
+    });
+    b.exit();
+    b.build().unwrap()
+}
+
+#[test]
+fn sequential_launches_compose() {
+    let mut gpu = Gpu::new(small());
+    let n = 256u64;
+    let buf = gpu.alloc(4 * n, 128);
+    for round in 1..=5u32 {
+        gpu.launch(
+            incr_kernel(),
+            Launch::new(4, 64, vec![buf.get(), n]),
+        )
+        .unwrap();
+        gpu.run(10_000_000).unwrap();
+        for i in 0..n {
+            assert_eq!(gpu.device().read_u32(buf + 4 * i), round, "round {round}");
+        }
+    }
+}
+
+#[test]
+fn cycles_and_stats_accumulate_monotonically() {
+    let mut gpu = Gpu::new(small());
+    let n = 128u64;
+    let buf = gpu.alloc(4 * n, 128);
+    let mut last_cycles = 0;
+    let mut last_instrs = 0;
+    for _ in 0..3 {
+        gpu.launch(incr_kernel(), Launch::new(2, 64, vec![buf.get(), n]))
+            .unwrap();
+        let s = gpu.run(10_000_000).unwrap();
+        assert!(s.cycles > last_cycles);
+        assert!(s.instructions > last_instrs);
+        last_cycles = s.cycles;
+        last_instrs = s.instructions;
+    }
+}
+
+fn copy_kernel() -> Kernel {
+    // Read-only on `src` (stores go to `dst`), so the write-evict store
+    // policy cannot invalidate the lines being measured.
+    let mut b = KernelBuilder::new("copy");
+    let src = b.param(0);
+    let dst = b.param(1);
+    let n = b.param(2);
+    let gtid = b.special(Special::GlobalTid);
+    let p = b.setp(CmpOp::Lt, gtid, n);
+    b.if_then(p, |b| {
+        let off = b.shl(gtid, 2);
+        let sa = b.add(src, off);
+        let da = b.add(dst, off);
+        let v = b.ld_global(Width::W4, sa, 0);
+        b.st_global(Width::W4, da, 0, v);
+    });
+    b.exit();
+    b.build().unwrap()
+}
+
+#[test]
+fn caches_stay_warm_across_launches() {
+    // Second launch re-reads the same (read-only) lines: its L1 hit count
+    // must rise (caches persist across launches, as on hardware).
+    let mut gpu = Gpu::new(small());
+    let n = 64u64;
+    let src = gpu.alloc(4 * n, 128);
+    let dst = gpu.alloc(4 * n, 128);
+    gpu.launch(copy_kernel(), Launch::new(1, 64, vec![src.get(), dst.get(), n]))
+        .unwrap();
+    let first = gpu.run(10_000_000).unwrap();
+    gpu.launch(copy_kernel(), Launch::new(1, 64, vec![src.get(), dst.get(), n]))
+        .unwrap();
+    let second = gpu.run(10_000_000).unwrap();
+    let hits_second_launch = second.l1_hits - first.l1_hits;
+    assert!(
+        hits_second_launch > 0,
+        "expected warm-cache hits on relaunch: {second:?}"
+    );
+}
+
+#[test]
+fn traces_accumulate_until_taken() {
+    let mut gpu = Gpu::new(small());
+    let n = 128u64;
+    let buf = gpu.alloc(4 * n, 128);
+    gpu.set_tracing(true);
+    gpu.launch(incr_kernel(), Launch::new(2, 64, vec![buf.get(), n]))
+        .unwrap();
+    gpu.run(10_000_000).unwrap();
+    gpu.launch(incr_kernel(), Launch::new(2, 64, vec![buf.get(), n]))
+        .unwrap();
+    gpu.run(10_000_000).unwrap();
+    let (reqs, loads) = gpu.take_traces();
+    assert!(!reqs.is_empty() && !loads.is_empty());
+    // Taking drains the sink.
+    let (reqs2, loads2) = gpu.take_traces();
+    assert!(reqs2.is_empty() && loads2.is_empty());
+}
+
+#[test]
+fn host_writes_between_launches_are_visible() {
+    let mut gpu = Gpu::new(small());
+    let n = 64u64;
+    let buf = gpu.alloc(4 * n, 128);
+    gpu.launch(incr_kernel(), Launch::new(1, 64, vec![buf.get(), n]))
+        .unwrap();
+    gpu.run(10_000_000).unwrap();
+    // Host rewrites an element; the next launch must see it (functional
+    // memory is shared — caches are tag-only).
+    gpu.device_mut().write_u32(buf, 100);
+    gpu.launch(incr_kernel(), Launch::new(1, 64, vec![buf.get(), n]))
+        .unwrap();
+    gpu.run(10_000_000).unwrap();
+    assert_eq!(gpu.device().read_u32(buf), 101);
+    assert_eq!(gpu.device().read_u32(buf + 4), 2);
+}
