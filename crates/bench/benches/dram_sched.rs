@@ -3,13 +3,12 @@
 //! against FCFS on throughput and on the row-hit rate that motivates
 //! first-ready scheduling.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gpu_mem::{
     AccessKind, AddressMap, DramConfig, DramController, DramSched, DramTiming, MemRequest,
     PipelineSpace, RequestId,
 };
 use gpu_types::{Addr, Cycle, SmId};
-use std::hint::black_box;
+use latency_bench::harness::{bench, keep};
 
 fn controller(sched: DramSched) -> DramController {
     DramController::new(
@@ -65,7 +64,7 @@ fn drain(sched: DramSched, n: u64) -> (u64, gpu_mem::DramStats) {
     (now.get(), ctrl.stats())
 }
 
-fn bench_dram_sched(c: &mut Criterion) {
+fn main() {
     // Print the ablation series into the bench log.
     println!("\n=== E5: DRAM scheduler ablation (synthetic stream) ===");
     for sched in [DramSched::FrFcfs, DramSched::Fcfs] {
@@ -76,16 +75,9 @@ fn bench_dram_sched(c: &mut Criterion) {
         );
     }
 
-    let mut group = c.benchmark_group("dram_sched");
     for sched in [DramSched::FrFcfs, DramSched::Fcfs] {
-        group.bench_with_input(
-            BenchmarkId::new("drain_2000", format!("{sched:?}")),
-            &sched,
-            |b, &sched| b.iter(|| black_box(drain(sched, 2000).0)),
-        );
+        bench(&format!("dram_sched/drain_2000/{sched:?}"), 20, || {
+            keep(drain(sched, 2000).0)
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_dram_sched);
-criterion_main!(benches);

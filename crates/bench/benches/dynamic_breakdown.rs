@@ -2,10 +2,9 @@
 //! breakdown once, then measures (a) the instrumented BFS simulation and
 //! (b) the breakdown analysis itself.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use latency_bench::harness::{bench, keep};
 use latency_bench::{run_bfs_traced, BfsExperiment};
 use latency_core::{ArchPreset, Component, LatencyBreakdown};
-use std::hint::black_box;
 
 fn small_exp() -> BfsExperiment {
     BfsExperiment {
@@ -23,7 +22,7 @@ fn small_cfg() -> gpu_sim::GpuConfig {
     cfg
 }
 
-fn bench_fig1(c: &mut Criterion) {
+fn main() {
     // The artifact, at reduced scale, printed into the bench log.
     let run = run_bfs_traced(small_cfg(), &small_exp()).expect("BFS runs");
     let (breakdown, _) = LatencyBreakdown::from_requests_clipped(&run.requests, 24, 0.99);
@@ -33,22 +32,12 @@ fn bench_fig1(c: &mut Criterion) {
         println!("  {:>12}: {share:>5.1}%", comp.label());
     }
 
-    let mut group = c.benchmark_group("fig1");
-    group.sample_size(10);
-    group.bench_function("instrumented_bfs_sim", |b| {
-        b.iter(|| {
-            let r = run_bfs_traced(small_cfg(), &small_exp()).unwrap();
-            black_box(r.requests.len())
-        })
+    bench("fig1/instrumented_bfs_sim", 10, || {
+        let r = run_bfs_traced(small_cfg(), &small_exp()).unwrap();
+        keep(r.requests.len())
     });
-    group.bench_function("breakdown_analysis", |b| {
-        b.iter(|| {
-            let bd = LatencyBreakdown::from_requests(&run.requests, 48);
-            black_box(bd.overall_percentages()[Component::DramQToSch.index()])
-        })
+    bench("fig1/breakdown_analysis", 10, || {
+        let bd = LatencyBreakdown::from_requests(&run.requests, 48);
+        keep(bd.overall_percentages()[Component::DramQToSch.index()])
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_fig1);
-criterion_main!(benches);

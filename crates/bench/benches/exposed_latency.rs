@@ -1,12 +1,11 @@
 //! Bench for **Figure 2** (experiment E3): regenerates a small-scale
 //! exposed/hidden split once, then measures the exposure analysis.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use latency_bench::harness::{bench, keep};
 use latency_bench::{run_bfs_traced, BfsExperiment};
 use latency_core::{ArchPreset, ExposureAnalysis};
-use std::hint::black_box;
 
-fn bench_fig2(c: &mut Criterion) {
+fn main() {
     let mut cfg = ArchPreset::FermiGf100.config();
     cfg.num_sms = 4;
     cfg.num_partitions = 2;
@@ -24,15 +23,8 @@ fn bench_fig2(c: &mut Criterion) {
         100.0 * analysis.overall_exposed_fraction()
     );
 
-    let mut group = c.benchmark_group("fig2");
-    group.bench_function("exposure_analysis", |b| {
-        b.iter(|| {
-            let a = ExposureAnalysis::from_loads(&run.loads, 24);
-            black_box(a.overall_exposed_fraction())
-        })
+    bench("fig2/exposure_analysis", 100, || {
+        let a = ExposureAnalysis::from_loads(&run.loads, 24);
+        keep(a.overall_exposed_fraction())
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_fig2);
-criterion_main!(benches);

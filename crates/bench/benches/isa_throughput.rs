@@ -4,13 +4,12 @@
 
 use std::sync::Arc;
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use gpu_isa::{
     AluOp, CmpOp, Kernel, KernelBuilder, LocalMap, MemBackend, Operand, Space, Special, ThreadCtx,
     WarpExec, Width,
 };
 use gpu_types::Addr;
-use std::hint::black_box;
+use latency_bench::harness::{bench_throughput, keep};
 
 struct FlatMem(Vec<u8>);
 
@@ -98,8 +97,7 @@ fn run_to_completion(kernel: &Arc<Kernel>, mem: &mut FlatMem) -> u64 {
     w.instructions_executed()
 }
 
-fn bench_exec(c: &mut Criterion) {
-    let mut group = c.benchmark_group("warp_exec");
+fn main() {
     for (name, kernel) in [
         ("alu", alu_kernel(256)),
         ("divergent", divergent_kernel(256)),
@@ -108,13 +106,8 @@ fn bench_exec(c: &mut Criterion) {
         let kernel = Arc::new(kernel);
         let mut mem = FlatMem(vec![0u8; 4096]);
         let instrs = run_to_completion(&kernel, &mut mem);
-        group.throughput(Throughput::Elements(instrs));
-        group.bench_function(name, |b| {
-            b.iter(|| black_box(run_to_completion(&kernel, &mut mem)))
+        bench_throughput(&format!("warp_exec/{name}"), 20, instrs, || {
+            keep(run_to_completion(&kernel, &mut mem))
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_exec);
-criterion_main!(benches);

@@ -2,12 +2,11 @@
 //! the core workloads — the number that decides how big an experiment the
 //! harness can afford. Also covers the E6 latency-hiding machinery.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use gpu_sim::{Gpu, GpuConfig, SchedPolicy};
 use gpu_workloads::vecadd;
+use latency_bench::harness::{bench_throughput, keep};
 use latency_bench::{hiding_sweep, BfsExperiment};
 use latency_core::ArchPreset;
-use std::hint::black_box;
 
 fn run_vecadd(cfg: GpuConfig, n: u64) -> u64 {
     let mut gpu = Gpu::new(cfg);
@@ -16,7 +15,7 @@ fn run_vecadd(cfg: GpuConfig, n: u64) -> u64 {
     summary.cycles
 }
 
-fn bench_throughput(c: &mut Criterion) {
+fn main() {
     // Print the E6 sweep (reduced scale) into the bench log.
     let mut cfg = ArchPreset::FermiGf100.config();
     cfg.num_sms = 4;
@@ -28,8 +27,13 @@ fn bench_throughput(c: &mut Criterion) {
         block_dim: 128,
     };
     println!("\n=== E6: latency hiding sweep (reduced scale) ===");
-    let points = hiding_sweep(cfg, &exp, &[4, 16, 48], &[SchedPolicy::Lrr, SchedPolicy::Gto])
-        .expect("sweep runs");
+    let points = hiding_sweep(
+        cfg,
+        &exp,
+        &[4, 16, 48],
+        &[SchedPolicy::Lrr, SchedPolicy::Gto],
+    )
+    .expect("sweep runs");
     for p in &points {
         println!(
             "{:>2} warps/SM {:?}: exposed {:>5.1}%  cycles {}",
@@ -40,22 +44,18 @@ fn bench_throughput(c: &mut Criterion) {
         );
     }
 
-    let mut group = c.benchmark_group("sim_throughput");
-    group.sample_size(10);
     for (name, build) in [
         ("gf100_full", GpuConfig::fermi_gf100 as fn() -> GpuConfig),
         ("gt200_cacheless", || ArchPreset::TeslaGt200.config()),
     ] {
-        // Report simulated cycles as "elements" so criterion prints
+        // Report simulated cycles as "elements" so the harness prints
         // cycles/second.
         let cycles = run_vecadd(build(), 32 * 1024);
-        group.throughput(Throughput::Elements(cycles));
-        group.bench_with_input(BenchmarkId::new("vecadd_32k", name), &build, |b, build| {
-            b.iter(|| black_box(run_vecadd(build(), 32 * 1024)))
-        });
+        bench_throughput(
+            &format!("sim_throughput/vecadd_32k/{name}"),
+            10,
+            cycles,
+            || keep(run_vecadd(build(), 32 * 1024)),
+        );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_throughput);
-criterion_main!(benches);

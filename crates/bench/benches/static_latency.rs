@@ -2,9 +2,8 @@
 //! measures the cost of each chase operating point so changes to the
 //! simulator's memory pipeline show up as latency-measurement regressions.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use latency_bench::harness::{bench, keep};
 use latency_core::{measure_chase, ArchPreset, ChaseParams, Table1};
-use std::hint::black_box;
 
 fn print_table1_once() {
     // The actual artifact: the paper's Table I, printed into the bench log.
@@ -20,42 +19,28 @@ fn print_table1_once() {
     }
 }
 
-fn bench_chase_points(c: &mut Criterion) {
+fn main() {
     print_table1_once();
-    let mut group = c.benchmark_group("table1_chase");
-    group.sample_size(10);
 
     let fermi = ArchPreset::FermiGf106.config_microbench();
-    group.bench_function("fermi_l1_point", |b| {
-        b.iter(|| {
-            let m = measure_chase(&fermi, &ChaseParams::global(4096, 128)).unwrap();
-            black_box(m.per_access)
-        })
+    bench("table1_chase/fermi_l1_point", 10, || {
+        let m = measure_chase(&fermi, &ChaseParams::global(4096, 128)).unwrap();
+        keep(m.per_access)
     });
-    group.bench_function("fermi_l2_point", |b| {
-        b.iter(|| {
-            let m = measure_chase(&fermi, &ChaseParams::global(64 * 1024, 512)).unwrap();
-            black_box(m.per_access)
-        })
+    bench("table1_chase/fermi_l2_point", 10, || {
+        let m = measure_chase(&fermi, &ChaseParams::global(64 * 1024, 512)).unwrap();
+        keep(m.per_access)
     });
 
     let kepler = ArchPreset::KeplerGk104.config_microbench();
-    group.bench_function("kepler_local_l1_point", |b| {
-        b.iter(|| {
-            let m = measure_chase(&kepler, &ChaseParams::local(4096, 128)).unwrap();
-            black_box(m.per_access)
-        })
+    bench("table1_chase/kepler_local_l1_point", 10, || {
+        let m = measure_chase(&kepler, &ChaseParams::local(4096, 128)).unwrap();
+        keep(m.per_access)
     });
 
     let tesla = ArchPreset::TeslaGt200.config_microbench();
-    group.bench_function("tesla_dram_point", |b| {
-        b.iter(|| {
-            let m = measure_chase(&tesla, &ChaseParams::global(32 * 1024, 4096)).unwrap();
-            black_box(m.per_access)
-        })
+    bench("table1_chase/tesla_dram_point", 10, || {
+        let m = measure_chase(&tesla, &ChaseParams::global(32 * 1024, 4096)).unwrap();
+        keep(m.per_access)
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_chase_points);
-criterion_main!(benches);

@@ -11,9 +11,7 @@ use latency_core::{ArchPreset, Component, LatencyBreakdown};
 
 fn main() {
     let exp = BfsExperiment::default();
-    println!(
-        "Figure 1: per-bucket memory fetch latency breakdown, BFS kernel"
-    );
+    println!("Figure 1: per-bucket memory fetch latency breakdown, BFS kernel");
     println!(
         "config: {}, graph: {} nodes, avg degree {}\n",
         ArchPreset::FermiGf100.name(),
@@ -29,8 +27,7 @@ fn main() {
     };
     // Clip the top 1% congestion outliers so the bucket domain matches the
     // readable range of the paper's figure (their x-axis tops out at ~1800).
-    let (breakdown, overflow) =
-        LatencyBreakdown::from_requests_clipped(&run.requests, 48, 0.99);
+    let (breakdown, overflow) = LatencyBreakdown::from_requests_clipped(&run.requests, 48, 0.99);
     print!("{breakdown}");
     println!(
         "\ntraced fetches: {} (+{overflow} beyond the 99th percentile)   simulated cycles: {}",

@@ -31,10 +31,7 @@ fn main() {
         for c in Component::ALL {
             print!(" {:>11.1}%", shares[c.index()]);
         }
-        println!(
-            " {:>8.1}%",
-            100.0 * exposure.overall_exposed_fraction()
-        );
+        println!(" {:>8.1}%", 100.0 * exposure.overall_exposed_fraction());
     }
     println!(
         "\nqueueing components: L1toICNT (miss queue / injection), ICNTtoROP;\n\

@@ -3,34 +3,61 @@
 //! capacities, and the L1 line size.
 //!
 //! ```text
-//! cargo run --release -p latency-bench --bin sweep [arch]
+//! cargo run --release -p latency-bench --bin sweep [arch] [--threads N]
 //! arch: tesla | fermi | kepler | maxwell   (default fermi)
 //! ```
+//!
+//! `--threads N` forces the measurement pool to N workers (`--threads 1`
+//! is fully serial); the printed grid is identical for every worker count.
 
 use latency_core::{
     detect_plateaus, infer_hierarchy, infer_line_size, pow2_range, ArchPreset, ChaseSpace, Sweep,
 };
 
-fn preset_from_arg() -> ArchPreset {
-    match std::env::args().nth(1).as_deref() {
-        Some("tesla") => ArchPreset::TeslaGt200,
-        Some("kepler") => ArchPreset::KeplerGk104,
-        Some("maxwell") => ArchPreset::MaxwellGm107,
-        Some("fermi") | None => ArchPreset::FermiGf106,
-        Some(other) => {
-            eprintln!("unknown arch '{other}' (tesla|fermi|kepler|maxwell)");
-            std::process::exit(2);
+fn parse_args() -> ArchPreset {
+    let mut preset = ArchPreset::FermiGf106;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "tesla" => preset = ArchPreset::TeslaGt200,
+            "kepler" => preset = ArchPreset::KeplerGk104,
+            "maxwell" => preset = ArchPreset::MaxwellGm107,
+            "fermi" => preset = ArchPreset::FermiGf106,
+            "--threads" => {
+                let n = args
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--threads needs a positive integer");
+                        std::process::exit(2);
+                    });
+                latency_core::parallel::set_worker_count(n);
+            }
+            other => {
+                eprintln!("unknown argument '{other}' (tesla|fermi|kepler|maxwell, --threads N)");
+                std::process::exit(2);
+            }
         }
     }
+    preset
 }
 
 fn main() {
-    let preset = preset_from_arg();
+    let preset = parse_args();
     let cfg = preset.config_microbench();
     println!("stride x footprint sweep on {}\n", preset.name());
 
     let footprints = pow2_range(2 * 1024, 512 * 1024);
     let strides = [128u64, 512, 2048, 8192];
+    // One batched run over the whole grid: every measurable point fans out
+    // across the worker pool at once.
+    let grid = Sweep::run(&cfg, ChaseSpace::Global, &footprints, &strides).expect("sweep runs");
+    let cells: std::collections::HashMap<(u64, u64), f64> = grid
+        .points()
+        .iter()
+        .map(|p| ((p.footprint, p.stride), p.latency))
+        .collect();
     print!("{:>10}", "footprint");
     for s in strides {
         print!(" {s:>9}B");
@@ -39,14 +66,19 @@ fn main() {
     for &f in &footprints {
         print!("{f:>10}");
         for &s in &strides {
-            if f / s < 2 {
-                print!(" {:>10}", "-");
-                continue;
+            match cells.get(&(f, s)) {
+                Some(lat) => print!(" {lat:>10.1}"),
+                None => print!(" {:>10}", "-"),
             }
-            let sweep = Sweep::run(&cfg, ChaseSpace::Global, &[f], &[s]).expect("sweep runs");
-            print!(" {:>10.1}", sweep.points()[0].latency);
         }
         println!();
+    }
+    if grid.skipped_count() > 0 {
+        println!(
+            "({} of {} grid points skipped: chain shorter than 2 elements)",
+            grid.skipped_count(),
+            grid.points().len() + grid.skipped_count()
+        );
     }
 
     // Mechanical inference over the 512 B column.

@@ -2,12 +2,35 @@
 //! global/local memory pipeline across four GPU generations.
 //!
 //! ```text
-//! cargo run --release -p latency-bench --bin table1
+//! cargo run --release -p latency-bench --bin table1 [--threads N]
 //! ```
+//!
+//! `--threads N` forces the measurement pool to N workers (`--threads 1`
+//! is fully serial); the printed table is identical for every worker count.
 
 use latency_bench::run_table1;
 
 fn main() {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threads" => {
+                let n = args
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--threads needs a positive integer");
+                        std::process::exit(2);
+                    });
+                latency_core::parallel::set_worker_count(n);
+            }
+            other => {
+                eprintln!("unknown argument '{other}' (usage: table1 [--threads N])");
+                std::process::exit(2);
+            }
+        }
+    }
     println!("Table I: latencies of memory loads through the global memory");
     println!("pipeline over four generations of NVIDIA GPUs (cycles)\n");
     match run_table1() {

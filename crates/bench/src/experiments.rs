@@ -227,7 +227,9 @@ pub struct DramSchedResult {
     pub qtosch_share: f64,
 }
 
-/// Runs the E5 ablation: BFS under each DRAM scheduler.
+/// Runs the E5 ablation: BFS under each DRAM scheduler. The per-scheduler
+/// runs are independent simulations and execute on the
+/// [`latency_core::parallel`] pool, gathered in scheduler order.
 ///
 /// # Errors
 ///
@@ -236,8 +238,8 @@ pub fn dram_sched_comparison(
     base: GpuConfig,
     exp: &BfsExperiment,
 ) -> Result<Vec<DramSchedResult>, SimError> {
-    let mut out = Vec::new();
-    for sched in [DramSched::FrFcfs, DramSched::Fcfs] {
+    let scheds = [DramSched::FrFcfs, DramSched::Fcfs];
+    latency_core::parallel::try_par_map(&scheds, |_, &sched| {
         let mut cfg = base.clone();
         cfg.dram.sched = sched;
         let run = run_bfs_traced(cfg, exp)?;
@@ -253,17 +255,15 @@ pub fn dram_sched_comparison(
             .copied()
             .unwrap_or(0);
         let breakdown = latency_core::LatencyBreakdown::from_requests(&run.requests, 48);
-        let qtosch =
-            breakdown.overall_percentages()[latency_core::Component::DramQToSch.index()];
-        out.push(DramSchedResult {
+        let qtosch = breakdown.overall_percentages()[latency_core::Component::DramQToSch.index()];
+        Ok(DramSchedResult {
             sched,
             cycles: run.cycles,
             mean_load_latency: mean,
             p95_load_latency: p95,
             qtosch_share: qtosch,
-        });
-    }
-    Ok(out)
+        })
+    })
 }
 
 /// One point of the latency-hiding sweep (E6).
@@ -280,7 +280,10 @@ pub struct HidingPoint {
 }
 
 /// Runs the E6 sweep: exposed latency fraction of BFS as a function of
-/// available thread-level parallelism and scheduler policy.
+/// available thread-level parallelism and scheduler policy. The
+/// (warp count × policy) grid is flattened in warp-major order and run on
+/// the [`latency_core::parallel`] pool, so the returned points are in the
+/// same order the old nested serial loop produced.
 ///
 /// # Errors
 ///
@@ -291,24 +294,24 @@ pub fn hiding_sweep(
     warp_counts: &[usize],
     policies: &[SchedPolicy],
 ) -> Result<Vec<HidingPoint>, SimError> {
-    let mut out = Vec::new();
-    for &w in warp_counts {
-        for &p in policies {
-            let mut cfg = base.clone();
-            cfg.max_warps_per_sm = w;
-            cfg.max_ctas_per_sm = cfg.max_ctas_per_sm.min(w.max(1));
-            cfg.scheduler = p;
-            let run = run_bfs_traced(cfg, exp)?;
-            let analysis = latency_core::ExposureAnalysis::from_loads(&run.loads, 24);
-            out.push(HidingPoint {
-                warps_per_sm: w,
-                scheduler: p,
-                exposed_fraction: analysis.overall_exposed_fraction(),
-                cycles: run.cycles,
-            });
-        }
-    }
-    Ok(out)
+    let grid: Vec<(usize, SchedPolicy)> = warp_counts
+        .iter()
+        .flat_map(|&w| policies.iter().map(move |&p| (w, p)))
+        .collect();
+    latency_core::parallel::try_par_map(&grid, |_, &(w, p)| {
+        let mut cfg = base.clone();
+        cfg.max_warps_per_sm = w;
+        cfg.max_ctas_per_sm = cfg.max_ctas_per_sm.min(w.max(1));
+        cfg.scheduler = p;
+        let run = run_bfs_traced(cfg, exp)?;
+        let analysis = latency_core::ExposureAnalysis::from_loads(&run.loads, 24);
+        Ok(HidingPoint {
+            warps_per_sm: w,
+            scheduler: p,
+            exposed_fraction: analysis.overall_exposed_fraction(),
+            cycles: run.cycles,
+        })
+    })
 }
 
 #[cfg(test)]
@@ -351,13 +354,7 @@ mod tests {
 
     #[test]
     fn hiding_sweep_exposed_fraction_decreases_with_more_warps() {
-        let pts = hiding_sweep(
-            small_gf100(),
-            &small_exp(),
-            &[2, 48],
-            &[SchedPolicy::Lrr],
-        )
-        .unwrap();
+        let pts = hiding_sweep(small_gf100(), &small_exp(), &[2, 48], &[SchedPolicy::Lrr]).unwrap();
         assert_eq!(pts.len(), 2);
         let few = pts[0].exposed_fraction;
         let many = pts[1].exposed_fraction;

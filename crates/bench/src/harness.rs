@@ -1,0 +1,146 @@
+//! Minimal std-only benchmark harness.
+//!
+//! The workspace builds fully offline, so the benches under `benches/` are
+//! plain `fn main()` programs (`harness = false`) timed with
+//! [`std::time::Instant`] instead of an external framework. The harness
+//! keeps the part that matters for this repo — stable median-of-N wall-clock
+//! reports and a `black_box` to keep results alive — and drops the rest.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Re-exported so benches can keep results observable without pulling in
+/// anything beyond std.
+pub use std::hint::black_box as keep;
+
+/// One benchmark's timing summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Timing {
+    /// Samples actually measured.
+    pub samples: usize,
+    /// Median wall-clock time per iteration.
+    pub median: Duration,
+    /// Fastest sample.
+    pub min: Duration,
+    /// Slowest sample.
+    pub max: Duration,
+}
+
+/// Runs `f` for `samples` timed iterations (after one untimed warm-up) and
+/// returns median/min/max wall-clock times. The closure's result is passed
+/// through [`black_box`] so the work cannot be optimized away.
+///
+/// # Panics
+///
+/// Panics if `samples` is zero.
+pub fn time<R>(samples: usize, mut f: impl FnMut() -> R) -> Timing {
+    assert!(samples > 0, "need at least one sample");
+    black_box(f());
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        black_box(f());
+        times.push(start.elapsed());
+    }
+    times.sort_unstable();
+    Timing {
+        samples,
+        median: times[times.len() / 2],
+        min: times[0],
+        max: times[times.len() - 1],
+    }
+}
+
+/// Times `f` and prints one aligned report line, Criterion-style:
+/// `name  median [min .. max]`.
+pub fn bench<R>(name: &str, samples: usize, f: impl FnMut() -> R) -> Timing {
+    let t = time(samples, f);
+    println!(
+        "{name:<40} {:>12} [{} .. {}] ({} samples)",
+        fmt_duration(t.median),
+        fmt_duration(t.min),
+        fmt_duration(t.max),
+        t.samples,
+    );
+    t
+}
+
+/// Like [`bench`], but also reports throughput as elements/second.
+pub fn bench_throughput<R>(
+    name: &str,
+    samples: usize,
+    elements: u64,
+    f: impl FnMut() -> R,
+) -> Timing {
+    let t = time(samples, f);
+    let secs = t.median.as_secs_f64();
+    let rate = if secs > 0.0 {
+        elements as f64 / secs
+    } else {
+        f64::INFINITY
+    };
+    println!(
+        "{name:<40} {:>12} [{} .. {}] {:>14}/s ({} samples)",
+        fmt_duration(t.median),
+        fmt_duration(t.min),
+        fmt_duration(t.max),
+        fmt_rate(rate),
+        t.samples,
+    );
+    t
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+fn fmt_rate(r: f64) -> String {
+    if r >= 1e9 {
+        format!("{:.2} G", r / 1e9)
+    } else if r >= 1e6 {
+        format!("{:.2} M", r / 1e6)
+    } else if r >= 1e3 {
+        format!("{:.2} K", r / 1e3)
+    } else {
+        format!("{r:.1}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_reports_ordered_stats() {
+        let t = time(5, || (0..1000u64).sum::<u64>());
+        assert_eq!(t.samples, 5);
+        assert!(t.min <= t.median && t.median <= t.max);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn zero_samples_rejected() {
+        let _ = time(0, || ());
+    }
+
+    #[test]
+    fn formats_cover_magnitudes() {
+        assert_eq!(fmt_duration(Duration::from_nanos(5)), "5 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(5)), "5.00 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(5)), "5.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(5)), "5.000 s");
+        assert_eq!(fmt_rate(2.5e9), "2.50 G");
+        assert_eq!(fmt_rate(2.5e6), "2.50 M");
+        assert_eq!(fmt_rate(2.5e3), "2.50 K");
+        assert_eq!(fmt_rate(25.0), "25.0");
+    }
+}

@@ -2,7 +2,7 @@
 //!
 //! Each experiment from DESIGN.md's index has a driver here, shared between
 //! the printable binaries (`cargo run -p latency-bench --bin table1`, …) and
-//! the Criterion benches:
+//! the plain-`main` benches timed by [`harness`]:
 //!
 //! - **E1 / Table I**: [`run_table1`] (wrapping [`latency_core::Table1`]).
 //! - **E2 / Figure 1**: [`run_bfs_traced`] + [`latency_core::LatencyBreakdown`].
@@ -12,6 +12,7 @@
 //! - **E6**: [`hiding_sweep`] (exposed latency vs. warps/SM and scheduler).
 
 pub mod experiments;
+pub mod harness;
 
 pub use experiments::{
     dram_sched_comparison, hiding_sweep, run_bfs_traced, run_table1, run_workload_traced,

@@ -167,7 +167,9 @@ impl LatencyBreakdown {
         let mut counts = vec![0u64; n_buckets];
         let mut grand_total = [0u64; 8];
         for (total, parts) in items {
-            let i = buckets.index_of(total).expect("total within histogram range");
+            let i = buckets
+                .index_of(total)
+                .expect("total within histogram range");
             counts[i] += 1;
             for c in 0..8 {
                 sums[i][c] += parts[c];

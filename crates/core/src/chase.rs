@@ -214,7 +214,8 @@ pub fn build_chase_kernel(params: &ChaseParams) -> Kernel {
     );
     b.st_global(Width::W8, sink, 0, p);
     b.exit();
-    b.build().expect("chase kernel is well-formed by construction")
+    b.build()
+        .expect("chase kernel is well-formed by construction")
 }
 
 /// Writes a sequential ring chain of `count` pointers with the given stride
@@ -258,11 +259,7 @@ pub fn write_shuffled_chain(gpu: &mut Gpu, base: Addr, count: u64, stride: u64, 
     }
 }
 
-fn run_once(
-    config: &GpuConfig,
-    params: &ChaseParams,
-    iters: u64,
-) -> Result<u64, ChaseError> {
+fn run_once(config: &GpuConfig, params: &ChaseParams, iters: u64) -> Result<u64, ChaseError> {
     let mut gpu = Gpu::new(config.clone());
     let kernel = build_chase_kernel(params);
     let (base, sink) = match params.space {
@@ -338,8 +335,7 @@ pub fn measure_chase(
     let cycles_short = run_once(config, params, iters_short)?;
     let cycles_long = run_once(config, params, iters_long)?;
     let extra_accesses = (iters_long - iters_short) * UNROLL as u64;
-    let per_access =
-        cycles_long.saturating_sub(cycles_short) as f64 / extra_accesses as f64;
+    let per_access = cycles_long.saturating_sub(cycles_short) as f64 / extra_accesses as f64;
     Ok(ChaseMeasurement {
         per_access,
         accesses: iters_long * UNROLL as u64,
@@ -431,8 +427,7 @@ mod shuffled_tests {
         // Inside the L1 the visiting order is irrelevant.
         let cfg = ArchPreset::FermiGf106.config_microbench();
         let seq = measure_chase(&cfg, &ChaseParams::global(4096, 128)).unwrap();
-        let shuf =
-            measure_chase(&cfg, &ChaseParams::global_shuffled(4096, 128, 7)).unwrap();
+        let shuf = measure_chase(&cfg, &ChaseParams::global_shuffled(4096, 128, 7)).unwrap();
         assert!(
             (seq.per_access - shuf.per_access).abs() < 2.0,
             "seq {} vs shuffled {}",
@@ -447,11 +442,7 @@ mod shuffled_tests {
         // the shuffled chain mostly does not.
         let cfg = ArchPreset::TeslaGt200.config_microbench();
         let seq = measure_chase(&cfg, &ChaseParams::global(256 * 1024, 512)).unwrap();
-        let shuf = measure_chase(
-            &cfg,
-            &ChaseParams::global_shuffled(256 * 1024, 512, 11),
-        )
-        .unwrap();
+        let shuf = measure_chase(&cfg, &ChaseParams::global_shuffled(256 * 1024, 512, 11)).unwrap();
         assert!(
             shuf.per_access > seq.per_access * 1.1,
             "shuffling should defeat row locality: seq {} vs shuffled {}",

@@ -62,7 +62,10 @@ pub fn infer_hierarchy(
     min_footprint: u64,
     max_footprint: u64,
 ) -> Result<Vec<CacheLevelEstimate>, ChaseError> {
-    assert!(stride >= 8 && max_footprint >= 4 * stride, "sweep too small");
+    assert!(
+        stride >= 8 && max_footprint >= 4 * stride,
+        "sweep too small"
+    );
     assert!(min_footprint <= max_footprint, "empty sweep range");
     let measure = |footprint: u64| -> Result<f64, ChaseError> {
         Ok(measure_chase(
@@ -92,10 +95,7 @@ pub fn infer_hierarchy(
         let is_last = i + 1 == points.len();
         let jumps = !is_last && points[i + 1].1 > points[i].1 * JUMP;
         if jumps || is_last {
-            let lat = points[plateau_start..=i]
-                .iter()
-                .map(|p| p.1)
-                .sum::<f64>()
+            let lat = points[plateau_start..=i].iter().map(|p| p.1).sum::<f64>()
                 / (i - plateau_start + 1) as f64;
             if jumps {
                 // Bisect the capacity between points[i] and points[i+1].
@@ -180,8 +180,7 @@ mod tests {
     #[test]
     fn fermi_hierarchy_is_recovered() {
         let cfg = ArchPreset::FermiGf106.config_microbench();
-        let levels =
-            infer_hierarchy(&cfg, ChaseSpace::Global, 512, 1024, 512 * 1024).unwrap();
+        let levels = infer_hierarchy(&cfg, ChaseSpace::Global, 512, 1024, 512 * 1024).unwrap();
         assert_eq!(levels.len(), 3, "{levels:?}");
         // L1: 16 KB at ~45 cycles.
         assert!((levels[0].latency - 45.0).abs() < 5.0, "{levels:?}");
@@ -228,10 +227,12 @@ mod tests {
     #[test]
     fn kepler_local_hierarchy_sees_the_l1() {
         let cfg = ArchPreset::KeplerGk104.config_microbench();
-        let levels =
-            infer_hierarchy(&cfg, ChaseSpace::Local, 512, 1024, 64 * 1024).unwrap();
+        let levels = infer_hierarchy(&cfg, ChaseSpace::Local, 512, 1024, 64 * 1024).unwrap();
         assert!(levels.len() >= 2, "{levels:?}");
-        assert!((levels[0].latency - 30.0).abs() < 4.0, "local L1 plateau: {levels:?}");
+        assert!(
+            (levels[0].latency - 30.0).abs() < 4.0,
+            "local L1 plateau: {levels:?}"
+        );
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub mod chase;
 pub mod exposure;
 pub mod inference;
 pub mod loaded;
+pub mod parallel;
 pub mod plateau;
 pub mod presets;
 pub mod report;
@@ -47,8 +48,9 @@ pub use chase::{
 pub use exposure::ExposureAnalysis;
 pub use inference::{infer_hierarchy, infer_line_size, CacheLevelEstimate};
 pub use loaded::{build_loaded_kernel, loaded_chase, measure_chase_under_load, LoadedChase};
+pub use parallel::{clear_worker_count, par_map, set_worker_count, try_par_map, worker_count};
 pub use plateau::{detect_plateaus, Plateau};
 pub use presets::{ArchPreset, Table1Row};
 pub use report::{breakdown_csv, exposure_csv, shares_markdown, table1_csv, table1_markdown};
-pub use sweep::{pow2_range, Sweep, SweepPoint};
-pub use table1::{measure_row, MeasuredRow, Table1};
+pub use sweep::{pow2_range, SkipReason, SkippedPoint, Sweep, SweepPoint};
+pub use table1::{measure_row, measure_row_serial, MeasuredRow, Table1};

@@ -120,7 +120,8 @@ pub fn build_loaded_kernel() -> Kernel {
         },
     );
     b.exit();
-    b.build().expect("loaded kernel is well-formed by construction")
+    b.build()
+        .expect("loaded kernel is well-formed by construction")
 }
 
 fn run_once(

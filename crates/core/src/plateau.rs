@@ -41,7 +41,11 @@ pub fn detect_plateaus(latencies: &[f64], rel_tol: f64) -> Vec<Plateau> {
         rel_tol > 0.0 && rel_tol.is_finite(),
         "rel_tol must be positive and finite"
     );
-    let mut sorted: Vec<f64> = latencies.iter().copied().filter(|l| l.is_finite()).collect();
+    let mut sorted: Vec<f64> = latencies
+        .iter()
+        .copied()
+        .filter(|l| l.is_finite())
+        .collect();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("filtered NaNs"));
     let mut plateaus: Vec<Plateau> = Vec::new();
     for l in sorted {

@@ -362,9 +362,15 @@ mod tests {
         let fermi = ArchPreset::FermiGf106.table1_expected();
         assert_eq!((fermi.l1, fermi.l2, fermi.dram), (Some(45), Some(310), 685));
         let kepler = ArchPreset::KeplerGk104.table1_expected();
-        assert_eq!((kepler.l1, kepler.l2, kepler.dram), (Some(30), Some(175), 300));
+        assert_eq!(
+            (kepler.l1, kepler.l2, kepler.dram),
+            (Some(30), Some(175), 300)
+        );
         let maxwell = ArchPreset::MaxwellGm107.table1_expected();
-        assert_eq!((maxwell.l1, maxwell.l2, maxwell.dram), (None, Some(194), 350));
+        assert_eq!(
+            (maxwell.l1, maxwell.l2, maxwell.dram),
+            (None, Some(194), 350)
+        );
     }
 
     #[test]

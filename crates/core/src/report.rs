@@ -46,11 +46,7 @@ pub fn table1_markdown(table: &Table1) -> String {
         (Some(m), None) => format!("{m:.0} (—)"),
         _ => "—".to_string(),
     };
-    for (unit, extract) in [
-        ("L1 D$", 0usize),
-        ("L2 D$", 1),
-        ("DRAM", 2),
-    ] {
+    for (unit, extract) in [("L1 D$", 0usize), ("L2 D$", 1), ("DRAM", 2)] {
         let _ = write!(out, "| {unit} |");
         for (preset, row) in table.rows() {
             let expected = preset.table1_expected();

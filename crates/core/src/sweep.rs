@@ -1,11 +1,17 @@
 //! Stride × footprint sweeps over the chase microbenchmark (the measurement
 //! grid of the paper's §II and of Wong et al.'s methodology).
+//!
+//! The grid points are independent simulations, so [`Sweep::run`] fans them
+//! out over the [`crate::parallel`] work pool; [`Sweep::run_serial`] is the
+//! single-threaded reference implementation that the parallel path must
+//! match bit-for-bit (covered by `tests/parallel_equivalence.rs`).
 
 use std::fmt;
 
 use gpu_sim::GpuConfig;
 
 use crate::chase::{measure_chase, ChaseError, ChaseParams, ChaseSpace};
+use crate::parallel;
 
 /// One sweep sample.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -18,52 +24,152 @@ pub struct SweepPoint {
     pub latency: f64,
 }
 
+/// Why a requested grid combination was not measured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SkipReason {
+    /// Fewer than two chain elements (`footprint / stride < 2`): the ring
+    /// cannot exercise the intended level.
+    ChainTooShort,
+}
+
+impl fmt::Display for SkipReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SkipReason::ChainTooShort => write!(f, "chain shorter than 2 elements"),
+        }
+    }
+}
+
+/// A grid combination the sweep did not measure, and why — recorded so
+/// reports can state actual coverage instead of implying the full cartesian
+/// grid ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SkippedPoint {
+    /// Requested working-set size in bytes.
+    pub footprint: u64,
+    /// Requested stride in bytes.
+    pub stride: u64,
+    /// Why the point was skipped.
+    pub reason: SkipReason,
+}
+
 /// Results of a stride × footprint sweep.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Sweep {
     points: Vec<SweepPoint>,
+    skipped: Vec<SkippedPoint>,
 }
 
 impl Sweep {
+    /// Splits the requested cartesian grid into measurable points (in
+    /// deterministic footprint-major order) and skipped combinations.
+    fn plan(footprints: &[u64], strides: &[u64]) -> (Vec<(u64, u64)>, Vec<SkippedPoint>) {
+        let mut grid = Vec::new();
+        let mut skipped = Vec::new();
+        for &footprint in footprints {
+            for &stride in strides {
+                if footprint / stride < 2 {
+                    skipped.push(SkippedPoint {
+                        footprint,
+                        stride,
+                        reason: SkipReason::ChainTooShort,
+                    });
+                } else {
+                    grid.push((footprint, stride));
+                }
+            }
+        }
+        (grid, skipped)
+    }
+
+    fn measure_point(
+        config: &GpuConfig,
+        space: ChaseSpace,
+        footprint: u64,
+        stride: u64,
+    ) -> Result<SweepPoint, ChaseError> {
+        let params = ChaseParams {
+            footprint,
+            stride,
+            space,
+            pattern: crate::chase::ChasePattern::Sequential,
+        };
+        let m = measure_chase(config, &params)?;
+        Ok(SweepPoint {
+            footprint,
+            stride,
+            latency: m.per_access,
+        })
+    }
+
     /// Runs the chase for the cartesian product of `footprints` ×
-    /// `strides` on `config`, skipping combinations with fewer than two
-    /// chain elements (they cannot exercise the intended level).
+    /// `strides` on `config`, recording (not silently dropping) the
+    /// combinations with fewer than two chain elements. Grid points are
+    /// distributed over the [`crate::parallel`] pool; results are gathered
+    /// in grid order, so the output is identical to [`Sweep::run_serial`].
     ///
     /// # Errors
     ///
-    /// Propagates the first [`ChaseError`] (typically a simulator timeout).
+    /// Propagates the grid-order-first [`ChaseError`] (typically a
+    /// simulator timeout) — the same error the serial path reports.
     pub fn run(
         config: &GpuConfig,
         space: ChaseSpace,
         footprints: &[u64],
         strides: &[u64],
     ) -> Result<Self, ChaseError> {
-        let mut points = Vec::new();
-        for &footprint in footprints {
-            for &stride in strides {
-                if footprint / stride < 2 {
-                    continue;
-                }
-                let params = ChaseParams {
-                    footprint,
-                    stride,
-                    space,
-                    pattern: crate::chase::ChasePattern::Sequential,
-                };
-                let m = measure_chase(config, &params)?;
-                points.push(SweepPoint {
-                    footprint,
-                    stride,
-                    latency: m.per_access,
-                });
-            }
+        let (grid, skipped) = Self::plan(footprints, strides);
+        let points = parallel::try_par_map(&grid, |_, &(footprint, stride)| {
+            Self::measure_point(config, space, footprint, stride)
+        })?;
+        Ok(Sweep { points, skipped })
+    }
+
+    /// Single-threaded reference implementation of [`Sweep::run`]: same
+    /// grid, same order, same values, one point at a time on the calling
+    /// thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`ChaseError`] in grid order.
+    pub fn run_serial(
+        config: &GpuConfig,
+        space: ChaseSpace,
+        footprints: &[u64],
+        strides: &[u64],
+    ) -> Result<Self, ChaseError> {
+        let (grid, skipped) = Self::plan(footprints, strides);
+        let mut points = Vec::with_capacity(grid.len());
+        for &(footprint, stride) in &grid {
+            points.push(Self::measure_point(config, space, footprint, stride)?);
         }
-        Ok(Sweep { points })
+        Ok(Sweep { points, skipped })
     }
 
     /// All samples.
     pub fn points(&self) -> &[SweepPoint] {
         &self.points
+    }
+
+    /// Requested grid combinations that were not measured, with reasons.
+    pub fn skipped(&self) -> &[SkippedPoint] {
+        &self.skipped
+    }
+
+    /// Number of requested combinations that were not measured.
+    pub fn skipped_count(&self) -> usize {
+        self.skipped.len()
+    }
+
+    /// Coverage of the requested grid: measured / (measured + skipped).
+    /// An empty request counts as fully covered.
+    pub fn coverage(&self) -> f64 {
+        let total = self.points.len() + self.skipped.len();
+        if total == 0 {
+            1.0
+        } else {
+            self.points.len() as f64 / total as f64
+        }
     }
 
     /// Samples with the given stride, ordered by footprint.
@@ -89,6 +195,16 @@ impl fmt::Display for Sweep {
         writeln!(f, "{:>12} {:>8} {:>10}", "footprint", "stride", "latency")?;
         for p in &self.points {
             writeln!(f, "{:>12} {:>8} {:>10.1}", p.footprint, p.stride, p.latency)?;
+        }
+        if !self.skipped.is_empty() {
+            writeln!(
+                f,
+                "coverage: {}/{} grid points measured ({} skipped: {})",
+                self.points.len(),
+                self.points.len() + self.skipped.len(),
+                self.skipped.len(),
+                self.skipped[0].reason
+            )?;
         }
         Ok(())
     }
@@ -128,17 +244,43 @@ mod tests {
     }
 
     #[test]
-    fn sweep_filters_degenerate_and_sorts() {
+    fn sweep_records_degenerate_and_sorts() {
         // Build a tiny synthetic sweep via the real harness on a fast config.
         let cfg = crate::ArchPreset::FermiGf106.config_microbench();
         let s = Sweep::run(&cfg, ChaseSpace::Global, &[1024, 4096], &[512, 2048]).unwrap();
-        // (1024, 2048) is degenerate (count < 2) and must be skipped.
+        // (1024, 2048) is degenerate (count < 2): skipped, but recorded.
         assert_eq!(s.points().len(), 3);
+        assert_eq!(s.skipped_count(), 1);
+        assert_eq!(
+            s.skipped(),
+            &[SkippedPoint {
+                footprint: 1024,
+                stride: 2048,
+                reason: SkipReason::ChainTooShort,
+            }]
+        );
+        assert!((s.coverage() - 0.75).abs() < 1e-12);
         let col = s.by_stride(512);
         assert_eq!(col.len(), 2);
         assert!(col[0].footprint < col[1].footprint);
         assert!(s.latencies().iter().all(|&l| l > 0.0));
         let text = s.to_string();
         assert!(text.contains("footprint"));
+        assert!(text.contains("coverage: 3/4"), "{text}");
+    }
+
+    #[test]
+    fn full_grid_reports_full_coverage() {
+        let cfg = crate::ArchPreset::FermiGf106.config_microbench();
+        let s = Sweep::run(&cfg, ChaseSpace::Global, &[4096], &[128]).unwrap();
+        assert_eq!(s.skipped_count(), 0);
+        assert!((s.coverage() - 1.0).abs() < 1e-12);
+        assert!(!s.to_string().contains("coverage:"));
+    }
+
+    #[test]
+    fn empty_sweep_is_fully_covered() {
+        let s = Sweep::default();
+        assert!((s.coverage() - 1.0).abs() < 1e-12);
     }
 }

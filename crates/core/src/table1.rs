@@ -13,7 +13,10 @@
 
 use std::fmt;
 
+use gpu_sim::GpuConfig;
+
 use crate::chase::{measure_chase, ChaseError, ChaseParams};
+use crate::parallel;
 use crate::presets::{ArchPreset, Table1Row};
 
 /// Measured latencies for one architecture (same shape as the expected
@@ -43,39 +46,74 @@ impl MeasuredRow {
     }
 }
 
+/// The chase operating points of one Table I row, derived from the
+/// preset's own cache capacities (see module docs). The `bool`s record
+/// which optional levels exist so results can be reassembled positionally.
+fn row_points(cfg: &GpuConfig) -> (Vec<ChaseParams>, bool, bool) {
+    let mut points = Vec::with_capacity(3);
+    let has_l1 = cfg.l1.is_some();
+    if let Some(l1cfg) = &cfg.l1 {
+        let footprint = l1cfg.cache.capacity() / 4;
+        points.push(if l1cfg.serve_global {
+            ChaseParams::global(footprint, 128)
+        } else {
+            // Kepler-style: only local accesses can hit the L1.
+            ChaseParams::local(footprint, 128)
+        });
+    }
+    let has_l2 = cfg.l2.is_some();
+    if let Some(l2cfg) = &cfg.l2 {
+        let slice = l2cfg.cache.capacity();
+        let l1cap = cfg.l1.as_ref().map_or(0, |l| l.cache.capacity());
+        let footprint = (l1cap * 8).max(32 * 1024).min(slice / 2);
+        points.push(ChaseParams::global(footprint, 512));
+    }
+    let slice = cfg.l2.as_ref().map_or(256 * 1024, |l| l.cache.capacity());
+    points.push(ChaseParams::global(slice * 4, 4096));
+    (points, has_l1, has_l2)
+}
+
+fn assemble_row(latencies: &[f64], has_l1: bool, has_l2: bool) -> MeasuredRow {
+    let mut it = latencies.iter().copied();
+    MeasuredRow {
+        l1: has_l1.then(|| it.next().expect("L1 latency present")),
+        l2: has_l2.then(|| it.next().expect("L2 latency present")),
+        dram: it.next().expect("DRAM latency present"),
+    }
+}
+
 /// Measures one architecture's Table I row using the single-SM microbench
-/// machine (identical pipeline latencies, faster to simulate).
+/// machine (identical pipeline latencies, faster to simulate). The row's
+/// up-to-three chase points are independent simulations and run on the
+/// [`crate::parallel`] pool; results are identical to
+/// [`measure_row_serial`].
 ///
 /// # Errors
 ///
 /// Propagates simulator failures as [`ChaseError`].
 pub fn measure_row(preset: ArchPreset) -> Result<MeasuredRow, ChaseError> {
     let cfg = preset.config_microbench();
-    let l1 = match &cfg.l1 {
-        Some(l1cfg) => {
-            let footprint = l1cfg.cache.capacity() / 4;
-            let params = if l1cfg.serve_global {
-                ChaseParams::global(footprint, 128)
-            } else {
-                // Kepler-style: only local accesses can hit the L1.
-                ChaseParams::local(footprint, 128)
-            };
-            Some(measure_chase(&cfg, &params)?.per_access)
-        }
-        None => None,
-    };
-    let l2 = match &cfg.l2 {
-        Some(l2cfg) => {
-            let slice = l2cfg.cache.capacity();
-            let l1cap = cfg.l1.as_ref().map_or(0, |l| l.cache.capacity());
-            let footprint = (l1cap * 8).max(32 * 1024).min(slice / 2);
-            Some(measure_chase(&cfg, &ChaseParams::global(footprint, 512))?.per_access)
-        }
-        None => None,
-    };
-    let slice = cfg.l2.as_ref().map_or(256 * 1024, |l| l.cache.capacity());
-    let dram = measure_chase(&cfg, &ChaseParams::global(slice * 4, 4096))?.per_access;
-    Ok(MeasuredRow { l1, l2, dram })
+    let (points, has_l1, has_l2) = row_points(&cfg);
+    let latencies = parallel::try_par_map(&points, |_, params| {
+        measure_chase(&cfg, params).map(|m| m.per_access)
+    })?;
+    Ok(assemble_row(&latencies, has_l1, has_l2))
+}
+
+/// Single-threaded reference implementation of [`measure_row`]: same
+/// operating points, measured one at a time in level order.
+///
+/// # Errors
+///
+/// Propagates simulator failures as [`ChaseError`].
+pub fn measure_row_serial(preset: ArchPreset) -> Result<MeasuredRow, ChaseError> {
+    let cfg = preset.config_microbench();
+    let (points, has_l1, has_l2) = row_points(&cfg);
+    let mut latencies = Vec::with_capacity(points.len());
+    for params in &points {
+        latencies.push(measure_chase(&cfg, params)?.per_access);
+    }
+    Ok(assemble_row(&latencies, has_l1, has_l2))
 }
 
 /// The reproduced Table I: per-architecture measured and expected values.
@@ -94,27 +132,63 @@ impl Table1 {
         Self::measure_presets(&ArchPreset::TABLE1)
     }
 
-    /// Measures a chosen subset of architectures, one thread per
-    /// architecture (the simulations are independent).
+    /// Single-threaded reference implementation of [`Table1::measure`]:
+    /// rows and their chase points measured one at a time, in order.
     ///
     /// # Errors
     ///
     /// Propagates the first measurement failure.
-    pub fn measure_presets(presets: &[ArchPreset]) -> Result<Self, ChaseError> {
-        let results: Vec<Result<MeasuredRow, ChaseError>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = presets
-                .iter()
-                .map(|&p| scope.spawn(move || measure_row(p)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("measurement thread panicked"))
-                .collect()
-        });
-        let mut rows = Vec::with_capacity(presets.len());
-        for (&p, r) in presets.iter().zip(results) {
-            rows.push((p, r?));
+    pub fn measure_serial() -> Result<Self, ChaseError> {
+        let mut rows = Vec::with_capacity(ArchPreset::TABLE1.len());
+        for &p in &ArchPreset::TABLE1 {
+            rows.push((p, measure_row_serial(p)?));
         }
+        Ok(Table1 { rows })
+    }
+
+    /// Measures a chosen subset of architectures. The independent
+    /// (preset, chase-point) simulations are flattened into one batch for
+    /// the [`crate::parallel`] pool, so all rows' points load-balance
+    /// across the available workers; results are reassembled in preset
+    /// order and are identical to [`Table1::measure_serial`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first measurement failure (in preset-major,
+    /// level-minor order — the same failure the serial path reports).
+    pub fn measure_presets(presets: &[ArchPreset]) -> Result<Self, ChaseError> {
+        struct RowPlan {
+            cfg: GpuConfig,
+            has_l1: bool,
+            has_l2: bool,
+            first_point: usize,
+            num_points: usize,
+        }
+        let mut plans = Vec::with_capacity(presets.len());
+        let mut batch: Vec<(usize, ChaseParams)> = Vec::new();
+        for (row, &p) in presets.iter().enumerate() {
+            let cfg = p.config_microbench();
+            let (points, has_l1, has_l2) = row_points(&cfg);
+            plans.push(RowPlan {
+                cfg,
+                has_l1,
+                has_l2,
+                first_point: batch.len(),
+                num_points: points.len(),
+            });
+            batch.extend(points.into_iter().map(|params| (row, params)));
+        }
+        let latencies = parallel::try_par_map(&batch, |_, (row, params)| {
+            measure_chase(&plans[*row].cfg, params).map(|m| m.per_access)
+        })?;
+        let rows = presets
+            .iter()
+            .zip(&plans)
+            .map(|(&p, plan)| {
+                let lats = &latencies[plan.first_point..plan.first_point + plan.num_points];
+                (p, assemble_row(lats, plan.has_l1, plan.has_l2))
+            })
+            .collect();
         Ok(Table1 { rows })
     }
 

@@ -1,0 +1,108 @@
+//! Determinism contract of the parallel experiment engine: for every entry
+//! point that fans out over the [`latency_core::parallel`] pool, the output
+//! must be *bit-identical* to the single-threaded reference path — same
+//! order, same values — for any worker count.
+//!
+//! Worker counts are forced via [`latency_core::set_worker_count`] so the
+//! parallel code path is exercised even on single-core CI machines; tests
+//! that mutate the process-wide override serialize on a lock.
+
+use std::sync::Mutex;
+
+use gpu_types::rng::Rng;
+use latency_core::chase::ChaseSpace;
+use latency_core::{
+    clear_worker_count, measure_row, measure_row_serial, set_worker_count, worker_count,
+    ArchPreset, Sweep, Table1,
+};
+
+static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Forced-parallel `Sweep::run` equals `Sweep::run_serial` exactly on a
+/// randomized grid, for every Table I preset.
+#[test]
+fn sweep_parallel_equals_serial_on_randomized_grids() {
+    let _guard = OVERRIDE_LOCK.lock().unwrap();
+    let mut rng = Rng::seed_from_u64(0x5EEE_2024);
+    for preset in ArchPreset::TABLE1 {
+        let cfg = preset.config_microbench();
+        // Random small grid: 2-3 footprints x 2-3 strides, including
+        // degenerate combinations so the skip bookkeeping is compared too.
+        let footprints: Vec<u64> = (0..rng.gen_range_usize(2, 4))
+            .map(|_| 1024u64 << rng.gen_range_u32(0, 4))
+            .collect();
+        let strides: Vec<u64> = (0..rng.gen_range_usize(2, 4))
+            .map(|_| 128u64 << rng.gen_range_u32(0, 5))
+            .collect();
+        clear_worker_count();
+        let serial = Sweep::run_serial(&cfg, ChaseSpace::Global, &footprints, &strides)
+            .expect("serial sweep runs");
+        for workers in [2, 5] {
+            set_worker_count(workers);
+            let parallel = Sweep::run(&cfg, ChaseSpace::Global, &footprints, &strides)
+                .expect("parallel sweep runs");
+            assert_eq!(
+                serial,
+                parallel,
+                "{}: sweep differs with {workers} workers (grid {footprints:?} x {strides:?})",
+                preset.name()
+            );
+        }
+        clear_worker_count();
+    }
+}
+
+/// `measure_row` (pooled) equals `measure_row_serial` bit-for-bit on all
+/// four paper presets.
+#[test]
+fn measure_row_parallel_equals_serial_for_all_presets() {
+    let _guard = OVERRIDE_LOCK.lock().unwrap();
+    for preset in ArchPreset::TABLE1 {
+        clear_worker_count();
+        let serial = measure_row_serial(preset).expect("serial row measures");
+        set_worker_count(8);
+        let parallel = measure_row(preset).expect("parallel row measures");
+        clear_worker_count();
+        assert_eq!(
+            serial,
+            parallel,
+            "{}: parallel row differs from serial",
+            preset.name()
+        );
+    }
+}
+
+/// The full Table I is identical between the batched parallel path and the
+/// one-at-a-time serial path, and stable across worker counts.
+#[test]
+fn table1_is_identical_across_worker_counts() {
+    let _guard = OVERRIDE_LOCK.lock().unwrap();
+    clear_worker_count();
+    let serial = Table1::measure_serial().expect("serial table measures");
+    let mut renders = Vec::new();
+    for workers in [1, 3, 8] {
+        set_worker_count(workers);
+        let t = Table1::measure().expect("parallel table measures");
+        assert_eq!(serial, t, "table differs with {workers} workers");
+        renders.push(t.to_string());
+    }
+    clear_worker_count();
+    // The printed artifact (what `--threads N` users diff) is identical too.
+    assert!(renders.windows(2).all(|w| w[0] == w[1]));
+}
+
+/// The `LATENCY_THREADS` environment variable steers the pool when no
+/// programmatic override is set, and a `set_worker_count` call wins over it.
+#[test]
+fn env_var_steers_worker_count() {
+    let _guard = OVERRIDE_LOCK.lock().unwrap();
+    clear_worker_count();
+    std::env::set_var(latency_core::parallel::THREADS_ENV, "6");
+    assert_eq!(worker_count(), 6);
+    set_worker_count(2);
+    assert_eq!(worker_count(), 2);
+    clear_worker_count();
+    std::env::set_var(latency_core::parallel::THREADS_ENV, "not-a-number");
+    assert!(worker_count() >= 1);
+    std::env::remove_var(latency_core::parallel::THREADS_ENV);
+}

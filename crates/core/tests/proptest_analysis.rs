@@ -1,136 +1,156 @@
-//! Property-based tests of the dynamic-latency analyses: for arbitrary
-//! (well-formed) request timelines and load records, the breakdown must
-//! partition time exactly and the exposure fractions must stay coherent.
+//! Randomized tests of the dynamic-latency analyses, driven by the
+//! workspace's hermetic [`gpu_types::rng`] (fixed seeds, fully
+//! reproducible): for arbitrary (well-formed) request timelines and load
+//! records, the breakdown must partition time exactly and the exposure
+//! fractions must stay coherent.
 
 use gpu_mem::{PipelineSpace, Stamp, Timeline};
 use gpu_sim::{CompletedRequest, LoadInstrRecord};
+use gpu_types::rng::Rng;
 use gpu_types::{Cycle, SmId};
 use latency_core::{components_of, ExposureAnalysis, LatencyBreakdown};
-use proptest::prelude::*;
 
-/// Strategy: a monotone timeline visiting `Issue`, a random subset of the
-/// interior stamps (in pipeline order), and `Returned`.
-fn timeline() -> impl Strategy<Value = Timeline> {
-    (
-        0u64..10_000,                                    // issue time
-        proptest::collection::vec(any::<bool>(), 7),     // which interior stamps exist
-        proptest::collection::vec(0u64..500, 8),         // gaps between present stamps
-    )
-        .prop_map(|(issue, present, gaps)| {
-            let mut t = Timeline::new();
-            let mut now = Cycle::new(issue);
-            t.record(Stamp::Issue, now);
-            let interior = [
-                Stamp::L1Access,
-                Stamp::IcntInject,
-                Stamp::RopEnter,
-                Stamp::L2QueueEnter,
-                Stamp::DramQueueEnter,
-                Stamp::DramScheduled,
-                Stamp::DramDone,
-            ];
-            let mut gap = gaps.into_iter();
-            for (stamp, keep) in interior.into_iter().zip(present) {
-                if keep {
-                    now += gap.next().unwrap_or(1);
-                    t.record(stamp, now);
-                }
-            }
-            now += gap.next().unwrap_or(1);
-            t.record(Stamp::Returned, now);
-            t
-        })
+/// A monotone timeline visiting `Issue`, a random subset of the interior
+/// stamps (in pipeline order), and `Returned`.
+fn gen_timeline(rng: &mut Rng) -> Timeline {
+    let mut t = Timeline::new();
+    let mut now = Cycle::new(rng.gen_range_u64(0, 10_000));
+    t.record(Stamp::Issue, now);
+    let interior = [
+        Stamp::L1Access,
+        Stamp::IcntInject,
+        Stamp::RopEnter,
+        Stamp::L2QueueEnter,
+        Stamp::DramQueueEnter,
+        Stamp::DramScheduled,
+        Stamp::DramDone,
+    ];
+    for stamp in interior {
+        if rng.gen_bool() {
+            now += rng.gen_range_u64(0, 500);
+            t.record(stamp, now);
+        }
+    }
+    now += rng.gen_range_u64(1, 500);
+    t.record(Stamp::Returned, now);
+    t
 }
 
-fn request() -> impl Strategy<Value = CompletedRequest> {
-    timeline().prop_map(|t| CompletedRequest {
-        timeline: t,
+fn gen_request(rng: &mut Rng) -> CompletedRequest {
+    CompletedRequest {
+        timeline: gen_timeline(rng),
         space: PipelineSpace::Global,
         sm: SmId::new(0),
-    })
+    }
 }
 
-fn load_record() -> impl Strategy<Value = LoadInstrRecord> {
-    (0u64..100_000, 1u64..5_000, 0u64..6_000, 1u32..33).prop_map(
-        |(issue, total, exposed, lines)| LoadInstrRecord {
-            sm: SmId::new(0),
-            issue: Cycle::new(issue),
-            complete: Cycle::new(issue + total),
-            exposed,
-            lines,
-        },
-    )
+fn gen_requests(rng: &mut Rng, min: usize, max: usize) -> Vec<CompletedRequest> {
+    let n = rng.gen_range_usize(min, max);
+    (0..n).map(|_| gen_request(rng)).collect()
 }
 
-proptest! {
-    /// The eight components always partition the total latency exactly.
-    #[test]
-    fn components_partition_total(t in timeline()) {
+fn gen_load_record(rng: &mut Rng) -> LoadInstrRecord {
+    let issue = rng.gen_range_u64(0, 100_000);
+    let total = rng.gen_range_u64(1, 5_000);
+    LoadInstrRecord {
+        sm: SmId::new(0),
+        issue: Cycle::new(issue),
+        complete: Cycle::new(issue + total),
+        exposed: rng.gen_range_u64(0, 6_000),
+        lines: rng.gen_range_u32(1, 33),
+    }
+}
+
+const CASES: u64 = 256;
+
+/// The eight components always partition the total latency exactly.
+#[test]
+fn components_partition_total() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x713E_0000 + case);
+        let t = gen_timeline(&mut rng);
         let parts = components_of(&t).expect("timeline is complete");
-        prop_assert_eq!(
+        assert_eq!(
             parts.iter().sum::<u64>(),
-            t.total_latency().expect("complete")
+            t.total_latency().expect("complete"),
+            "case {case}"
         );
     }
+}
 
-    /// Bucketizing never loses or duplicates requests, and per-bucket
-    /// percentages are non-negative and sum to ~100 for non-empty buckets.
-    #[test]
-    fn breakdown_conserves_requests(
-        reqs in proptest::collection::vec(request(), 1..100),
-        n_buckets in 1usize..32,
-    ) {
+/// Bucketizing never loses or duplicates requests, and per-bucket
+/// percentages are non-negative and sum to ~100 for non-empty buckets.
+#[test]
+fn breakdown_conserves_requests() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xB2EA_0000 + case);
+        let reqs = gen_requests(&mut rng, 1, 100);
+        let n_buckets = rng.gen_range_usize(1, 32);
         let b = LatencyBreakdown::from_requests(&reqs, n_buckets);
-        prop_assert_eq!(b.total_requests(), reqs.len() as u64);
+        assert_eq!(b.total_requests(), reqs.len() as u64, "case {case}");
         let mut counted = 0u64;
         for i in 0..b.buckets().len() {
             counted += b.count(i);
             if b.count(i) > 0 {
                 let p = b.percentages(i);
                 let sum: f64 = p.iter().sum();
-                prop_assert!(p.iter().all(|&x| (0.0..=100.0 + 1e-6).contains(&x)));
-                prop_assert!((sum - 100.0).abs() < 1e-6, "bucket {} sums to {}", i, sum);
+                assert!(
+                    p.iter().all(|&x| (0.0..=100.0 + 1e-6).contains(&x)),
+                    "case {case}"
+                );
+                assert!(
+                    (sum - 100.0).abs() < 1e-6,
+                    "case {case}: bucket {i} sums to {sum}"
+                );
             }
         }
-        prop_assert_eq!(counted, reqs.len() as u64);
+        assert_eq!(counted, reqs.len() as u64, "case {case}");
         // Overall shares also sum to ~100.
         let overall: f64 = b.overall_percentages().iter().sum();
-        prop_assert!((overall - 100.0).abs() < 1e-6);
+        assert!((overall - 100.0).abs() < 1e-6, "case {case}");
     }
+}
 
-    /// Clipping splits the population exactly into kept + overflow, and the
-    /// clipped breakdown never covers a larger range than the unclipped one.
-    #[test]
-    fn clipping_is_a_partition(
-        reqs in proptest::collection::vec(request(), 2..100),
-        quantile in 0.1f64..1.0,
-    ) {
-        let (clipped, overflow) =
-            LatencyBreakdown::from_requests_clipped(&reqs, 16, quantile);
-        prop_assert_eq!(
+/// Clipping splits the population exactly into kept + overflow, and the
+/// clipped breakdown never covers a larger range than the unclipped one.
+#[test]
+fn clipping_is_a_partition() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xC11_0000 + case);
+        let reqs = gen_requests(&mut rng, 2, 100);
+        let quantile = 0.1 + 0.9 * rng.gen_f64();
+        let (clipped, overflow) = LatencyBreakdown::from_requests_clipped(&reqs, 16, quantile);
+        assert_eq!(
             clipped.total_requests() + overflow,
-            reqs.len() as u64
+            reqs.len() as u64,
+            "case {case}"
         );
         let full = LatencyBreakdown::from_requests(&reqs, 16);
         let (_, full_hi) = full.buckets().range(15);
         let (_, clipped_hi) = clipped.buckets().range(15);
-        prop_assert!(clipped_hi <= full_hi);
+        assert!(clipped_hi <= full_hi, "case {case}");
     }
+}
 
-    /// Exposure fractions stay in [0, 1] per bucket and overall, and the
-    /// overall fraction is the cycle-weighted mean of the buckets.
-    #[test]
-    fn exposure_fractions_are_coherent(
-        loads in proptest::collection::vec(load_record(), 1..100),
-    ) {
+/// Exposure fractions stay in [0, 1] per bucket and overall, and the
+/// overall fraction is the cycle-weighted mean of the buckets.
+#[test]
+fn exposure_fractions_are_coherent() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xE870_0000 + case);
+        let n = rng.gen_range_usize(1, 100);
+        let loads: Vec<LoadInstrRecord> = (0..n).map(|_| gen_load_record(&mut rng)).collect();
         let a = ExposureAnalysis::from_loads(&loads, 12);
-        prop_assert_eq!(a.total_loads(), loads.len() as u64);
+        assert_eq!(a.total_loads(), loads.len() as u64, "case {case}");
         let mut weighted = 0.0f64;
         let mut weight = 0.0f64;
         for i in 0..a.buckets().len() {
             let f = a.exposed_fraction(i);
-            prop_assert!((0.0..=1.0).contains(&f), "bucket {} fraction {}", i, f);
-            prop_assert!((f + a.hidden_fraction(i) - 1.0).abs() < 1e-9);
+            assert!(
+                (0.0..=1.0).contains(&f),
+                "case {case}: bucket {i} fraction {f}"
+            );
+            assert!((f + a.hidden_fraction(i) - 1.0).abs() < 1e-9, "case {case}");
             // Reconstruct the bucket's total cycles from its loads.
             let (lo, hi) = a.buckets().range(i);
             let cyc: u64 = loads
@@ -142,11 +162,18 @@ proptest! {
             weight += cyc as f64;
         }
         if weight > 0.0 {
-            prop_assert!(
-                (a.overall_exposed_fraction() - weighted / weight).abs() < 1e-9
+            assert!(
+                (a.overall_exposed_fraction() - weighted / weight).abs() < 1e-9,
+                "case {case}"
             );
         }
-        prop_assert!((0.0..=1.0).contains(&a.overall_exposed_fraction()));
-        prop_assert!((0.0..=1.0).contains(&a.buckets_exceeding(0.5)));
+        assert!(
+            (0.0..=1.0).contains(&a.overall_exposed_fraction()),
+            "case {case}"
+        );
+        assert!(
+            (0.0..=1.0).contains(&a.buckets_exceeding(0.5)),
+            "case {case}"
+        );
     }
 }

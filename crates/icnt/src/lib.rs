@@ -80,7 +80,10 @@ impl<T> Crossbar<T> {
     ///
     /// Panics if any dimension or bandwidth/queue parameter is zero.
     pub fn new(sources: usize, dests: usize, config: IcntConfig) -> Self {
-        assert!(sources > 0 && dests > 0, "crossbar dimensions must be positive");
+        assert!(
+            sources > 0 && dests > 0,
+            "crossbar dimensions must be positive"
+        );
         assert!(
             config.inject_per_src > 0 && config.eject_per_dst > 0,
             "bandwidth limits must be positive"

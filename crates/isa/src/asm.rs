@@ -348,12 +348,20 @@ fn cmp_op(mnemonic: &str, lineno: usize) -> Result<CmpOp, AsmError> {
         "le" => CmpOp::Le,
         "gt" => CmpOp::Gt,
         "ge" => CmpOp::Ge,
-        other => return Err(AsmError::new(lineno, format!("unknown comparison '{other}'"))),
+        other => {
+            return Err(AsmError::new(
+                lineno,
+                format!("unknown comparison '{other}'"),
+            ))
+        }
     })
 }
 
 fn operands(rest: &str) -> Vec<&str> {
-    rest.split(',').map(str::trim).filter(|s| !s.is_empty()).collect()
+    rest.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect()
 }
 
 fn parse_instr(line: &str, lineno: usize) -> Result<Parsed, AsmError> {
@@ -588,7 +596,13 @@ mod tests {
         let src = ".kernel k // name\n# full-line comment\n\nmov r0, 5 // trailing\nexit\n";
         let k = parse_kernel(src).unwrap();
         assert_eq!(k.len(), 2);
-        assert_eq!(k.instr(0), &Instr::Mov { dst: 0, src: Operand::Imm(5) });
+        assert_eq!(
+            k.instr(0),
+            &Instr::Mov {
+                dst: 0,
+                src: Operand::Imm(5)
+            }
+        );
     }
 
     #[test]
@@ -605,7 +619,13 @@ mod tests {
                 offset: -8
             }
         );
-        assert_eq!(k.instr(1), &Instr::Mov { dst: 2, src: Operand::Imm(-42) });
+        assert_eq!(
+            k.instr(1),
+            &Instr::Mov {
+                dst: 2,
+                src: Operand::Imm(-42)
+            }
+        );
     }
 
     #[test]
@@ -679,8 +699,8 @@ mod tests {
         b.exit();
         let original = b.build().unwrap();
         let text = original.to_string();
-        let reparsed = parse_kernel(&text)
-            .unwrap_or_else(|e| panic!("reassembly failed: {e}\n{text}"));
+        let reparsed =
+            parse_kernel(&text).unwrap_or_else(|e| panic!("reassembly failed: {e}\n{text}"));
         assert_eq!(original.instrs(), reparsed.instrs(), "\n{text}");
         assert_eq!(original.name(), reparsed.name());
         assert_eq!(original.num_regs(), reparsed.num_regs());

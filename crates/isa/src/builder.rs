@@ -138,13 +138,7 @@ impl KernelBuilder {
     }
 
     /// Emits an ALU op into an existing register.
-    pub fn alu_to(
-        &mut self,
-        op: AluOp,
-        dst: Reg,
-        a: impl Into<Operand>,
-        b: impl Into<Operand>,
-    ) {
+    pub fn alu_to(&mut self, op: AluOp, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) {
         self.push(Instr::Alu {
             op,
             dst,
@@ -492,9 +486,7 @@ mod tests {
             other => panic!("expected branch, got {other}"),
         }
         match k.instr(2) {
-            Instr::Branch {
-                guard, target, ..
-            } => {
+            Instr::Branch { guard, target, .. } => {
                 assert!(guard.is_none());
                 assert_eq!(*target, 4);
             }

@@ -117,7 +117,10 @@ impl Kernel {
             } = instr
             {
                 if *target >= self.instrs.len() {
-                    return Err(ValidateError::BadBranch { pc, target: *target });
+                    return Err(ValidateError::BadBranch {
+                        pc,
+                        target: *target,
+                    });
                 }
                 if *reconverge != RECONV_NONE && *reconverge > self.instrs.len() {
                     return Err(ValidateError::BadBranch {
@@ -177,7 +180,10 @@ impl fmt::Display for ValidateError {
                 f.write_str("kernel does not end in exit or an unconditional branch")
             }
             ValidateError::RegOutOfRange { pc, reg } => {
-                write!(f, "instruction {pc} references register r{reg} out of range")
+                write!(
+                    f,
+                    "instruction {pc} references register r{reg} out of range"
+                )
             }
             ValidateError::BadBranch { pc, target } => {
                 write!(f, "branch at {pc} targets out-of-range pc {target}")
@@ -318,7 +324,10 @@ mod tests {
             0,
             0,
         );
-        assert_eq!(k.validate(), Err(ValidateError::BadBranch { pc: 0, target: 99 }));
+        assert_eq!(
+            k.validate(),
+            Err(ValidateError::BadBranch { pc: 0, target: 99 })
+        );
     }
 
     #[test]

@@ -1,4 +1,6 @@
-//! Property-based tests of the SIMT executor.
+//! Randomized tests of the SIMT executor, driven by the workspace's
+//! hermetic [`gpu_types::rng`] (fixed seeds, fully reproducible — the
+//! failing seed is printed in every assertion message).
 //!
 //! The central property is *SIMT transparency*: lock-step execution with a
 //! reconvergence stack is an implementation detail, so a warp of N threads
@@ -11,8 +13,8 @@ use gpu_isa::{
     AluOp, CmpOp, Kernel, KernelBuilder, LocalMap, MemBackend, Operand, PredReg, Space, Special,
     ThreadCtx, WarpExec, Width,
 };
+use gpu_types::rng::Rng;
 use gpu_types::Addr;
-use proptest::prelude::*;
 
 const NUM_REGS: u16 = 8;
 const NUM_PREDS: u8 = 4;
@@ -28,65 +30,85 @@ enum Node {
     Repeat(u8, Vec<Node>),
 }
 
-fn operand() -> impl Strategy<Value = Operand> {
-    prop_oneof![
-        (0u16..NUM_REGS).prop_map(Operand::Reg),
-        (-50i64..50).prop_map(Operand::Imm),
-    ]
-}
-
-fn alu_op() -> impl Strategy<Value = AluOp> {
-    prop_oneof![
-        Just(AluOp::Add),
-        Just(AluOp::Sub),
-        Just(AluOp::Mul),
-        Just(AluOp::Div),
-        Just(AluOp::Rem),
-        Just(AluOp::Min),
-        Just(AluOp::Max),
-        Just(AluOp::And),
-        Just(AluOp::Or),
-        Just(AluOp::Xor),
-        Just(AluOp::Shl),
-        Just(AluOp::Shr),
-    ]
-}
-
-fn cmp_op() -> impl Strategy<Value = CmpOp> {
-    prop_oneof![
-        Just(CmpOp::Eq),
-        Just(CmpOp::Ne),
-        Just(CmpOp::Lt),
-        Just(CmpOp::Le),
-        Just(CmpOp::Gt),
-        Just(CmpOp::Ge),
-    ]
-}
-
-fn node(depth: u32) -> BoxedStrategy<Node> {
-    let leaf = prop_oneof![
-        (alu_op(), 0u16..NUM_REGS, operand(), operand())
-            .prop_map(|(op, d, a, b)| Node::Alu(op, d, a, b)),
-        (0u8..NUM_PREDS, cmp_op(), operand(), operand())
-            .prop_map(|(p, c, a, b)| Node::SetP(p, c, a, b)),
-    ];
-    if depth == 0 {
-        leaf.boxed()
+fn gen_operand(rng: &mut Rng) -> Operand {
+    if rng.gen_bool() {
+        Operand::Reg(rng.gen_range_u32(0, NUM_REGS as u32) as u16)
     } else {
-        let inner = proptest::collection::vec(node(depth - 1), 1..4);
-        prop_oneof![
-            3 => leaf,
-            1 => (0u8..NUM_PREDS, inner.clone()).prop_map(|(p, b)| Node::If(p, b)),
-            1 => (0u8..NUM_PREDS, inner.clone(), inner.clone())
-                .prop_map(|(p, t, e)| Node::IfElse(p, t, e)),
-            1 => (1u8..4, inner).prop_map(|(n, b)| Node::Repeat(n, b)),
-        ]
-        .boxed()
+        Operand::Imm(rng.gen_range_i64(-50, 50))
     }
 }
 
-fn program() -> impl Strategy<Value = Vec<Node>> {
-    proptest::collection::vec(node(2), 1..8)
+const ALU_OPS: [AluOp; 12] = [
+    AluOp::Add,
+    AluOp::Sub,
+    AluOp::Mul,
+    AluOp::Div,
+    AluOp::Rem,
+    AluOp::Min,
+    AluOp::Max,
+    AluOp::And,
+    AluOp::Or,
+    AluOp::Xor,
+    AluOp::Shl,
+    AluOp::Shr,
+];
+
+const CMP_OPS: [CmpOp; 6] = [
+    CmpOp::Eq,
+    CmpOp::Ne,
+    CmpOp::Lt,
+    CmpOp::Le,
+    CmpOp::Gt,
+    CmpOp::Ge,
+];
+
+fn gen_leaf(rng: &mut Rng) -> Node {
+    if rng.gen_bool() {
+        Node::Alu(
+            ALU_OPS[rng.gen_range_usize(0, ALU_OPS.len())],
+            rng.gen_range_u32(0, NUM_REGS as u32) as u16,
+            gen_operand(rng),
+            gen_operand(rng),
+        )
+    } else {
+        Node::SetP(
+            rng.gen_range_u32(0, NUM_PREDS as u32) as u8,
+            CMP_OPS[rng.gen_range_usize(0, CMP_OPS.len())],
+            gen_operand(rng),
+            gen_operand(rng),
+        )
+    }
+}
+
+fn gen_body(rng: &mut Rng, depth: u32) -> Vec<Node> {
+    let len = rng.gen_range_usize(1, 4);
+    (0..len).map(|_| gen_node(rng, depth)).collect()
+}
+
+fn gen_node(rng: &mut Rng, depth: u32) -> Node {
+    // Weights match the original strategy: 3 leaf : 1 if : 1 if-else :
+    // 1 repeat (leaves only at depth 0).
+    if depth == 0 {
+        return gen_leaf(rng);
+    }
+    match rng.gen_range_u32(0, 6) {
+        0..=2 => gen_leaf(rng),
+        3 => Node::If(
+            rng.gen_range_u32(0, NUM_PREDS as u32) as u8,
+            gen_body(rng, depth - 1),
+        ),
+        4 => Node::IfElse(
+            rng.gen_range_u32(0, NUM_PREDS as u32) as u8,
+            gen_body(rng, depth - 1),
+            gen_body(rng, depth - 1),
+        ),
+        _ => Node::Repeat(rng.gen_range_u32(1, 4) as u8, gen_body(rng, depth - 1)),
+    }
+}
+
+fn gen_program(rng: &mut Rng) -> Vec<Node> {
+    let len = rng.gen_range_usize(1, 8);
+    (0..len).map(|_| gen_node(rng, 2)).collect()
 }
 
 fn lower(nodes: &[Node], b: &mut KernelBuilder, loop_depth: u16) {
@@ -154,7 +176,12 @@ impl MemBackend for NoMem {
 }
 
 fn run_warp(kernel: &Arc<Kernel>, ctxs: Vec<ThreadCtx>) -> Vec<Vec<u64>> {
-    let mut w = WarpExec::new(Arc::clone(kernel), Arc::from([]), ctxs.clone(), LocalMap::default());
+    let mut w = WarpExec::new(
+        Arc::clone(kernel),
+        Arc::from([]),
+        ctxs.clone(),
+        LocalMap::default(),
+    );
     let mut mem = NoMem;
     let mut steps = 0u64;
     while !w.is_finished() {
@@ -180,63 +207,81 @@ fn ctx(tid: u32, lane: u32, ntid: u32) -> ThreadCtx {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u64 = 64;
 
-    /// SIMT transparency: a warp of N divergent threads computes exactly
-    /// what N single-lane warps compute.
-    #[test]
-    fn warp_matches_single_lane_execution(prog in program(), lanes in 2usize..9) {
+/// SIMT transparency: a warp of N divergent threads computes exactly
+/// what N single-lane warps compute.
+#[test]
+fn warp_matches_single_lane_execution() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x51A7_0000 + case);
+        let prog = gen_program(&mut rng);
+        let lanes = rng.gen_range_usize(2, 9);
         let kernel = Arc::new(build(&prog));
         let warp_ctxs: Vec<ThreadCtx> =
             (0..lanes as u32).map(|i| ctx(i, i, lanes as u32)).collect();
         let together = run_warp(&kernel, warp_ctxs);
         for tid in 0..lanes as u32 {
             let alone = run_warp(&kernel, vec![ctx(tid, 0, lanes as u32)]);
-            prop_assert_eq!(
-                &together[tid as usize],
-                &alone[0],
-                "thread {} diverges from its solo run",
-                tid
+            assert_eq!(
+                together[tid as usize], alone[0],
+                "case {case}: thread {tid} diverges from its solo run\n{prog:?}"
             );
         }
     }
+}
 
-    /// Generated programs always pass static validation.
-    #[test]
-    fn generated_programs_validate(prog in program()) {
-        let kernel = build(&prog);
-        prop_assert!(kernel.validate().is_ok());
+/// Generated programs always pass static validation.
+#[test]
+fn generated_programs_validate() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x5A11_0000 + case);
+        let kernel = build(&gen_program(&mut rng));
+        assert!(kernel.validate().is_ok(), "case {case}");
     }
+}
 
-    /// Determinism: running the same warp twice gives identical results.
-    #[test]
-    fn execution_is_deterministic(prog in program()) {
-        let kernel = Arc::new(build(&prog));
+/// Determinism: running the same warp twice gives identical results.
+#[test]
+fn execution_is_deterministic() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xDE7E_0000 + case);
+        let kernel = Arc::new(build(&gen_program(&mut rng)));
         let ctxs: Vec<ThreadCtx> = (0..4u32).map(|i| ctx(i, i, 4)).collect();
         let a = run_warp(&kernel, ctxs.clone());
         let b = run_warp(&kernel, ctxs);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "case {case}");
     }
+}
 
-    /// Disassemble → reassemble is the identity on every generated program.
-    #[test]
-    fn disassembly_round_trips(prog in program()) {
-        let kernel = build(&prog);
+/// Disassemble → reassemble is the identity on every generated program.
+#[test]
+fn disassembly_round_trips() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xA53_0000 + case);
+        let kernel = build(&gen_program(&mut rng));
         let text = kernel.to_string();
         let reparsed = gpu_isa::parse_kernel(&text)
-            .map_err(|e| TestCaseError::fail(format!("{e}\n{text}")))?;
-        prop_assert_eq!(kernel.instrs(), reparsed.instrs());
-        prop_assert_eq!(kernel.num_regs(), reparsed.num_regs());
+            .unwrap_or_else(|e| panic!("case {case}: reparse failed: {e}\n{text}"));
+        assert_eq!(kernel.instrs(), reparsed.instrs(), "case {case}");
+        assert_eq!(kernel.num_regs(), reparsed.num_regs(), "case {case}");
     }
+}
 
-    /// And the reassembled kernel executes identically.
-    #[test]
-    fn reassembled_kernel_executes_identically(prog in program(), lanes in 1usize..5) {
+/// And the reassembled kernel executes identically.
+#[test]
+fn reassembled_kernel_executes_identically() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x2EA5_0000 + case);
+        let prog = gen_program(&mut rng);
+        let lanes = rng.gen_range_usize(1, 5);
         let kernel = Arc::new(build(&prog));
         let reparsed = Arc::new(gpu_isa::parse_kernel(&kernel.to_string()).unwrap());
-        let ctxs: Vec<ThreadCtx> =
-            (0..lanes as u32).map(|i| ctx(i, i, lanes as u32)).collect();
-        prop_assert_eq!(run_warp(&kernel, ctxs.clone()), run_warp(&reparsed, ctxs));
+        let ctxs: Vec<ThreadCtx> = (0..lanes as u32).map(|i| ctx(i, i, lanes as u32)).collect();
+        assert_eq!(
+            run_warp(&kernel, ctxs.clone()),
+            run_warp(&reparsed, ctxs),
+            "case {case}"
+        );
     }
 }

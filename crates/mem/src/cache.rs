@@ -203,12 +203,10 @@ impl Cache {
             }
         }
         // Find a victim among non-reserved ways.
-        let victim = range
-            .filter(|&i| !self.lines[i].reserved)
-            .min_by_key(|&i| {
-                let l = &self.lines[i];
-                (l.valid, l.stamp)
-            });
+        let victim = range.filter(|&i| !self.lines[i].reserved).min_by_key(|&i| {
+            let l = &self.lines[i];
+            (l.valid, l.stamp)
+        });
         match victim {
             Some(i) => {
                 let victim = self.lines[i];
@@ -245,13 +243,10 @@ impl Cache {
             }
         }
         // Unreserved fill: pick the LRU/FIFO victim among non-reserved ways.
-        if let Some(i) = range
-            .filter(|&i| !self.lines[i].reserved)
-            .min_by_key(|&i| {
-                let l = &self.lines[i];
-                (l.valid, l.stamp)
-            })
-        {
+        if let Some(i) = range.filter(|&i| !self.lines[i].reserved).min_by_key(|&i| {
+            let l = &self.lines[i];
+            (l.valid, l.stamp)
+        }) {
             let victim = self.lines[i];
             if victim.valid && victim.dirty {
                 self.push_writeback(victim.tag, addr);
@@ -322,12 +317,10 @@ impl Cache {
                 return true;
             }
         }
-        let victim = range
-            .filter(|&i| !self.lines[i].reserved)
-            .min_by_key(|&i| {
-                let l = &self.lines[i];
-                (l.valid, l.stamp)
-            });
+        let victim = range.filter(|&i| !self.lines[i].reserved).min_by_key(|&i| {
+            let l = &self.lines[i];
+            (l.valid, l.stamp)
+        });
         match victim {
             Some(i) => {
                 let victim = self.lines[i];
@@ -351,8 +344,7 @@ impl Cache {
     /// and a sibling address in the same set, then queues it for writeback.
     fn push_writeback(&mut self, victim_tag: u64, sibling: Addr) {
         let set = self.set_index(sibling) as u64;
-        let line_addr =
-            (victim_tag * self.config.sets as u64 + set) * self.config.line_size;
+        let line_addr = (victim_tag * self.config.sets as u64 + set) * self.config.line_size;
         self.writebacks.push_back(Addr::new(line_addr));
     }
 
@@ -456,7 +448,10 @@ mod tests {
         // Fill completes the reservation and frees nothing else.
         c.fill(addr(0, 0));
         assert!(c.probe(addr(0, 0)));
-        assert!(c.reserve(addr(0, 2)), "way freed after fill (evicts line 0)");
+        assert!(
+            c.reserve(addr(0, 2)),
+            "way freed after fill (evicts line 0)"
+        );
     }
 
     #[test]
@@ -522,7 +517,11 @@ mod tests {
         // Clean evictions produce no writeback.
         c.fill(addr(0, 2));
         assert!(c.allocate_dirty(addr(0, 3)));
-        assert_eq!(c.pop_writeback(), Some(addr(0, 1)), "dirty line 1 evicted by fill");
+        assert_eq!(
+            c.pop_writeback(),
+            Some(addr(0, 1)),
+            "dirty line 1 evicted by fill"
+        );
         assert_eq!(c.pop_writeback(), None, "clean line 2 evicted silently");
     }
 

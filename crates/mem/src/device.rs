@@ -129,7 +129,9 @@ impl DeviceMemory {
 
     /// Reads `len` consecutive `u32`s starting at `addr`.
     pub fn read_u32_slice(&self, addr: Addr, len: usize) -> Vec<u32> {
-        (0..len).map(|i| self.read_u32(addr + 4 * i as u64)).collect()
+        (0..len)
+            .map(|i| self.read_u32(addr + 4 * i as u64))
+            .collect()
     }
 
     /// Atomically (functionally) adds to the `n`-byte word at `addr`,

@@ -122,7 +122,10 @@ impl DramController {
     ///
     /// Panics if the queue capacity is zero.
     pub fn new(config: DramConfig, map: AddressMap) -> Self {
-        assert!(config.queue_capacity > 0, "DRAM queue capacity must be positive");
+        assert!(
+            config.queue_capacity > 0,
+            "DRAM queue capacity must be positive"
+        );
         DramController {
             config,
             map,
@@ -315,7 +318,11 @@ mod tests {
         )
     }
 
-    fn run_until_done(c: &mut DramController, mut now: Cycle, limit: u64) -> Vec<(u64, MemRequest)> {
+    fn run_until_done(
+        c: &mut DramController,
+        mut now: Cycle,
+        limit: u64,
+    ) -> Vec<(u64, MemRequest)> {
         let mut out = Vec::new();
         for _ in 0..limit {
             for r in c.tick(now) {

@@ -1,13 +1,13 @@
-//! Property-based tests for the memory substrates: the set-associative
-//! cache against a reference model, the address map's bijectivity, MSHR
-//! bookkeeping, and device-memory round trips.
+//! Randomized tests for the memory substrates, driven by the workspace's
+//! hermetic [`gpu_types::rng`] (fixed seeds, fully reproducible): the
+//! set-associative cache against a reference model, the address map's
+//! bijectivity, MSHR bookkeeping, and device-memory round trips.
 
 use gpu_mem::{
-    AddressMap, Cache, CacheConfig, DeviceMemory, LoadOutcome, MshrConfig, MshrTable,
-    Replacement,
+    AddressMap, Cache, CacheConfig, DeviceMemory, LoadOutcome, MshrConfig, MshrTable, Replacement,
 };
+use gpu_types::rng::Rng;
 use gpu_types::Addr;
-use proptest::prelude::*;
 use std::collections::HashMap;
 
 /// Straightforward reference model of an LRU set-associative tag array.
@@ -69,30 +69,33 @@ enum CacheOp {
     StoreInvalidate(u64),
 }
 
-fn cache_ops() -> impl Strategy<Value = Vec<CacheOp>> {
+fn gen_cache_ops(rng: &mut Rng) -> Vec<CacheOp> {
     // Confine addresses to a small region so sets/ways actually collide.
-    let addr = 0u64..8192;
-    proptest::collection::vec(
-        prop_oneof![
-            addr.clone().prop_map(CacheOp::Load),
-            addr.clone().prop_map(CacheOp::Fill),
-            addr.prop_map(CacheOp::StoreInvalidate),
-        ],
-        0..300,
-    )
+    let len = rng.gen_range_usize(0, 300);
+    (0..len)
+        .map(|_| {
+            let a = rng.gen_range_u64(0, 8192);
+            match rng.gen_range_u32(0, 3) {
+                0 => CacheOp::Load(a),
+                1 => CacheOp::Fill(a),
+                _ => CacheOp::StoreInvalidate(a),
+            }
+        })
+        .collect()
 }
 
-proptest! {
-    /// The LRU cache agrees with the reference model on every hit/miss,
-    /// as long as no fills are outstanding (reservations are exercised by
-    /// the pipeline tests).
-    #[test]
-    fn lru_cache_matches_reference(
-        sets_pow in 0u32..4,
-        ways in 1usize..5,
-        ops in cache_ops(),
-    ) {
-        let sets = 1usize << sets_pow;
+const CASES: u64 = 256;
+
+/// The LRU cache agrees with the reference model on every hit/miss,
+/// as long as no fills are outstanding (reservations are exercised by
+/// the pipeline tests).
+#[test]
+fn lru_cache_matches_reference() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xCAC4E_0000 + case);
+        let sets = 1usize << rng.gen_range_u32(0, 4);
+        let ways = rng.gen_range_usize(1, 5);
+        let ops = gen_cache_ops(&mut rng);
         let mut cache = Cache::new(CacheConfig {
             sets,
             ways,
@@ -105,7 +108,7 @@ proptest! {
                 CacheOp::Load(a) => {
                     let got = cache.load(Addr::new(a)) == LoadOutcome::Hit;
                     let want = model.load(a);
-                    prop_assert_eq!(got, want, "load {:#x}", a);
+                    assert_eq!(got, want, "case {case}: load {a:#x}");
                 }
                 CacheOp::Fill(a) => {
                     cache.fill(Addr::new(a));
@@ -118,49 +121,71 @@ proptest! {
             }
         }
     }
+}
 
-    /// Partition + local address uniquely reconstructs the device address:
-    /// the mapping loses no information and partitions tile the space.
-    #[test]
-    fn address_map_is_injective(
-        partitions in 1usize..9,
-        banks in 1usize..17,
-        addrs in proptest::collection::vec(0u64..1_000_000, 1..100),
-    ) {
+/// Partition + local address uniquely reconstructs the device address:
+/// the mapping loses no information and partitions tile the space.
+#[test]
+fn address_map_is_injective() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xADD2_0000 + case);
+        let partitions = rng.gen_range_usize(1, 9);
+        let banks = rng.gen_range_usize(1, 17);
+        let n_addrs = rng.gen_range_usize(1, 100);
+        let addrs: Vec<u64> = (0..n_addrs)
+            .map(|_| rng.gen_range_u64(0, 1_000_000))
+            .collect();
         let map = AddressMap::new(partitions, 256, banks, 2048);
         let mut seen: HashMap<(u32, u64), u64> = HashMap::new();
         for &a in &addrs {
-            let key = (map.partition_of(Addr::new(a)).get(), map.local_addr(Addr::new(a)));
+            let key = (
+                map.partition_of(Addr::new(a)).get(),
+                map.local_addr(Addr::new(a)),
+            );
             if let Some(&prev) = seen.get(&key) {
-                prop_assert_eq!(prev, a, "two addresses map to same (partition, local)");
+                assert_eq!(
+                    prev, a,
+                    "case {case}: two addresses map to same (partition, local)"
+                );
             }
             seen.insert(key, a);
-            prop_assert!(map.bank_of(Addr::new(a)) < banks);
+            assert!(map.bank_of(Addr::new(a)) < banks, "case {case}");
         }
     }
+}
 
-    /// Consecutive chunks rotate across all partitions evenly.
-    #[test]
-    fn partitions_interleave_uniformly(partitions in 1usize..9, chunks in 1u64..64) {
+/// Consecutive chunks rotate across all partitions evenly.
+#[test]
+fn partitions_interleave_uniformly() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x1A7E_0000 + case);
+        let partitions = rng.gen_range_usize(1, 9);
+        let chunks = rng.gen_range_u64(1, 64);
         let map = AddressMap::new(partitions, 256, 8, 2048);
         let mut counts = vec![0u64; partitions];
         for c in 0..chunks * partitions as u64 {
             counts[map.partition_of(Addr::new(c * 256)).index()] += 1;
         }
         for &c in &counts {
-            prop_assert_eq!(c, chunks);
+            assert_eq!(c, chunks, "case {case}");
         }
     }
+}
 
-    /// MSHR: waiters come back exactly once, in order, and entry count
-    /// never exceeds the configured capacity.
-    #[test]
-    fn mshr_conserves_waiters(
-        entries in 1usize..8,
-        max_merged in 1usize..8,
-        lines in proptest::collection::vec(0u64..16, 1..100),
-    ) {
-        let mut mshr: MshrTable<u64> = MshrTable::new(MshrConfig { entries, max_merged });
+/// MSHR: waiters come back exactly once, in order, and entry count
+/// never exceeds the configured capacity.
+#[test]
+fn mshr_conserves_waiters() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x354_0000 + case);
+        let entries = rng.gen_range_usize(1, 8);
+        let max_merged = rng.gen_range_usize(1, 8);
+        let n_lines = rng.gen_range_usize(1, 100);
+        let lines: Vec<u64> = (0..n_lines).map(|_| rng.gen_range_u64(0, 16)).collect();
+        let mut mshr: MshrTable<u64> = MshrTable::new(MshrConfig {
+            entries,
+            max_merged,
+        });
         let mut expected: HashMap<u64, Vec<u64>> = HashMap::new();
         let mut ticket = 0u64;
         for line in lines {
@@ -171,38 +196,47 @@ proptest! {
                 match mshr.try_merge(addr, t) {
                     Ok(()) => expected.entry(line).or_default().push(t),
                     Err(_) => {
-                        prop_assert!(!mshr.can_merge(addr));
+                        assert!(!mshr.can_merge(addr), "case {case}");
                         // Full merge list: fill the line and retry later.
                         let got = mshr.fill(addr);
-                        prop_assert_eq!(got, expected.remove(&line).unwrap_or_default());
+                        assert_eq!(
+                            got,
+                            expected.remove(&line).unwrap_or_default(),
+                            "case {case}"
+                        );
                     }
                 }
             } else if mshr.allocate(addr) {
                 expected.insert(line, Vec::new());
             } else {
-                prop_assert!(!mshr.can_allocate());
+                assert!(!mshr.can_allocate(), "case {case}");
                 // Drain one arbitrary pending line to make room.
                 if let Some((&l, _)) = expected.iter().next() {
                     let got = mshr.fill(Addr::new(l * 128));
-                    prop_assert_eq!(got, expected.remove(&l).unwrap_or_default());
+                    assert_eq!(got, expected.remove(&l).unwrap_or_default(), "case {case}");
                 }
             }
-            prop_assert!(mshr.len() <= entries);
+            assert!(mshr.len() <= entries, "case {case}");
         }
         // Drain everything left.
         let keys: Vec<u64> = expected.keys().copied().collect();
         for l in keys {
             let got = mshr.fill(Addr::new(l * 128));
-            prop_assert_eq!(got, expected.remove(&l).unwrap());
+            assert_eq!(got, expected.remove(&l).unwrap(), "case {case}");
         }
-        prop_assert!(mshr.is_empty());
+        assert!(mshr.is_empty(), "case {case}");
     }
+}
 
-    /// Device memory: last write wins, reads never tear across pages.
-    #[test]
-    fn device_memory_read_your_writes(
-        writes in proptest::collection::vec((0u64..20_000, any::<u32>()), 1..200),
-    ) {
+/// Device memory: last write wins, reads never tear across pages.
+#[test]
+fn device_memory_read_your_writes() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xD3A_0000 + case);
+        let n_writes = rng.gen_range_usize(1, 200);
+        let writes: Vec<(u64, u32)> = (0..n_writes)
+            .map(|_| (rng.gen_range_u64(0, 20_000), rng.next_u32()))
+            .collect();
         let mut mem = DeviceMemory::new();
         let mut model: HashMap<u64, u8> = HashMap::new();
         for &(a, v) in &writes {
@@ -216,7 +250,11 @@ proptest! {
             for (i, b) in want.iter_mut().enumerate() {
                 *b = *model.get(&(a + i as u64)).unwrap_or(&0);
             }
-            prop_assert_eq!(mem.read_u32(Addr::new(a)), u32::from_le_bytes(want));
+            assert_eq!(
+                mem.read_u32(Addr::new(a)),
+                u32::from_le_bytes(want),
+                "case {case}: read {a:#x}"
+            );
         }
     }
 }

@@ -35,7 +35,10 @@ use gpu_types::Addr;
 /// assert_eq!(coalesce(&accesses, 128), vec![Addr::new(0x1000)]);
 /// ```
 pub fn coalesce(accesses: &[LaneAccess], line_size: u64) -> Vec<Addr> {
-    assert!(line_size.is_power_of_two(), "line size must be a power of two");
+    assert!(
+        line_size.is_power_of_two(),
+        "line size must be a power of two"
+    );
     let mut lines: Vec<Addr> = Vec::with_capacity(accesses.len());
     for a in accesses {
         let first = a.addr.align_down(line_size);
@@ -65,7 +68,9 @@ mod tests {
 
     #[test]
     fn fully_coalesced_warp_is_one_line() {
-        let accesses: Vec<_> = (0..32).map(|l| acc(l, 0x8000 + 4 * l as u64, Width::W4)).collect();
+        let accesses: Vec<_> = (0..32)
+            .map(|l| acc(l, 0x8000 + 4 * l as u64, Width::W4))
+            .collect();
         assert_eq!(coalesce(&accesses, 128), vec![Addr::new(0x8000)]);
     }
 

@@ -289,6 +289,14 @@ impl GpuConfig {
     }
 }
 
+// `GpuConfig` is shared by reference across the `latency-core` worker pool
+// (each experiment point clones it into its own `Gpu`), so it must stay
+// `Clone + Send + Sync`; adding a non-thread-safe field breaks this build.
+const _: () = {
+    const fn pool_shareable<T: Clone + Send + Sync>() {}
+    pool_shareable::<GpuConfig>()
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -7,7 +7,7 @@ use std::sync::Arc;
 use gpu_icnt::Crossbar;
 use gpu_isa::{Kernel, Launch, LocalMap, ValidateError};
 use gpu_mem::{AddressMap, DeviceMemory, MemRequest, Stamp};
-use gpu_types::{Addr, Cycle, CtaId, PartitionId, SmId};
+use gpu_types::{Addr, CtaId, Cycle, PartitionId, SmId};
 
 use crate::config::GpuConfig;
 use crate::partition::Partition;
@@ -54,7 +54,10 @@ impl fmt::Display for SimError {
             }
             SimError::NothingLaunched => f.write_str("no kernel launched"),
             SimError::MissingParams { needed, supplied } => {
-                write!(f, "kernel reads {needed} parameters, launch supplies {supplied}")
+                write!(
+                    f,
+                    "kernel reads {needed} parameters, launch supplies {supplied}"
+                )
             }
         }
     }

@@ -29,6 +29,6 @@ pub use coalesce::coalesce;
 pub use config::{GpuConfig, L1Config, L2Config, SchedPolicy, WritePolicy};
 pub use gpu::{Gpu, SimError};
 pub use partition::Partition;
-pub use sm::Sm;
 pub use scoreboard::Scoreboard;
+pub use sm::Sm;
 pub use stats::{CompletedRequest, LoadInstrRecord, RunSummary, SmStats, TraceSink};

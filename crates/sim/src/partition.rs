@@ -146,7 +146,9 @@ impl Partition {
         // 0. Dirty victims of the (write-back) L2 become DRAM writes.
         if let Some(l2) = self.l2_cache.as_mut() {
             while self.dram.can_accept() {
-                let Some(line) = l2.pop_writeback() else { break };
+                let Some(line) = l2.pop_writeback() else {
+                    break;
+                };
                 let id = RequestId::new((u64::from(self.id.get()) << 32) | self.next_eviction_id);
                 self.next_eviction_id += 1;
                 let wb = MemRequest::new(

@@ -15,10 +15,8 @@ use std::sync::Arc;
 use gpu_isa::{
     InstrClass, Kernel, Launch, LocalMap, MemBackend, Reg, Space, StepOutcome, ThreadCtx, WarpExec,
 };
-use gpu_mem::{
-    AccessKind, Cache, MemRequest, MshrTable, PipelineSpace, RequestId, Stamp,
-};
-use gpu_types::{BoundedQueue, Cycle, CtaId, DelayQueue, SmId};
+use gpu_mem::{AccessKind, Cache, MemRequest, MshrTable, PipelineSpace, RequestId, Stamp};
+use gpu_types::{BoundedQueue, CtaId, Cycle, DelayQueue, SmId};
 
 use crate::coalesce::coalesce;
 use crate::config::{GpuConfig, SchedPolicy};
@@ -251,8 +249,7 @@ impl Sm {
     /// any MSHR waiters it may wake).
     pub fn fill_space(&self) -> bool {
         // A response can wake up to `max_merged` waiters.
-        self.fill_pipe.capacity() - self.fill_pipe.len()
-            > self.l1_mshr.config().max_merged
+        self.fill_pipe.capacity() - self.fill_pipe.len() > self.l1_mshr.config().max_merged
     }
 
     /// Accepts a response ejected from the reply network: fills the L1 (if
@@ -331,10 +328,7 @@ impl Sm {
             None => panic!("response for unknown load token {}", req.token),
         };
         if finished {
-            let pl = self
-                .pending_loads
-                .remove(&req.token)
-                .expect("entry exists");
+            let pl = self.pending_loads.remove(&req.token).expect("entry exists");
             if let Some(d) = pl.dst {
                 self.scoreboard.release(pl.warp, d);
             }
@@ -633,9 +627,7 @@ impl Sm {
                         NO_TOKEN
                     };
                     for line in lines {
-                        let id = RequestId::new(
-                            ((self.id.get() as u64) << 40) | self.next_req_id,
-                        );
+                        let id = RequestId::new(((self.id.get() as u64) << 40) | self.next_req_id);
                         self.next_req_id += 1;
                         let mut req = MemRequest::new(
                             id,

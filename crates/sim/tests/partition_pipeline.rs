@@ -96,7 +96,11 @@ fn second_load_hits_l2_and_skips_dram() {
     p.accept(load(2, 0x8000, t2), t2);
     let (done, _) = drain(&mut p, t2, 1, 10_000);
     let tl = &done[0].timeline;
-    assert_eq!(tl.get(Stamp::DramQueueEnter), None, "L2 hit must not touch DRAM");
+    assert_eq!(
+        tl.get(Stamp::DramQueueEnter),
+        None,
+        "L2 hit must not touch DRAM"
+    );
     assert_eq!(p.dram_stats().serviced, 1);
     assert_eq!(p.l2_counts().unwrap().0, 1, "one L2 hit");
     // Hit latency: l2 queue entry -> response exactly hit_latency later

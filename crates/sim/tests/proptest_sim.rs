@@ -1,10 +1,12 @@
-//! Property-based tests of the timing simulator: functional results must be
-//! independent of timing configuration, and no configuration may deadlock.
+//! Randomized tests of the timing simulator, driven by the workspace's
+//! hermetic [`gpu_types::rng`] (fixed seeds, fully reproducible): functional
+//! results must be independent of timing configuration, and no configuration
+//! may deadlock.
 
-use gpu_isa::{CmpOp, KernelBuilder, Launch, LaneAccess, Special, Width};
+use gpu_isa::{CmpOp, KernelBuilder, LaneAccess, Launch, Special, Width};
 use gpu_sim::{coalesce, Gpu, GpuConfig, SchedPolicy};
+use gpu_types::rng::Rng;
 use gpu_types::Addr;
-use proptest::prelude::*;
 
 fn scaled_config(
     num_sms: usize,
@@ -48,23 +50,23 @@ fn saxpy_kernel() -> gpu_isa::Kernel {
     b.build().expect("valid kernel")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Functional results are identical across machine shapes, schedulers
-    /// and cache configurations — timing never changes architectural state.
-    #[test]
-    fn results_independent_of_timing_config(
-        n in 1u64..600,
-        block_exp in 5u32..9, // 32..256
-        num_sms in 1usize..5,
-        with_l1 in any::<bool>(),
-        with_l2 in any::<bool>(),
-        gto in any::<bool>(),
-        issue_width in 1usize..3,
-    ) {
-        let block = 1u32 << block_exp;
-        let sched = if gto { SchedPolicy::Gto } else { SchedPolicy::Lrr };
+/// Functional results are identical across machine shapes, schedulers
+/// and cache configurations — timing never changes architectural state.
+#[test]
+fn results_independent_of_timing_config() {
+    for case in 0..24u64 {
+        let mut rng = Rng::seed_from_u64(0x7131_0000 + case);
+        let n = rng.gen_range_u64(1, 600);
+        let block = 1u32 << rng.gen_range_u32(5, 9); // 32..256
+        let num_sms = rng.gen_range_usize(1, 5);
+        let with_l1 = rng.gen_bool();
+        let with_l2 = rng.gen_bool();
+        let sched = if rng.gen_bool() {
+            SchedPolicy::Gto
+        } else {
+            SchedPolicy::Lrr
+        };
+        let issue_width = rng.gen_range_usize(1, 3);
         let cfg = scaled_config(num_sms, with_l1, with_l2, sched, issue_width);
         let mut gpu = Gpu::new(cfg);
         let x = gpu.alloc(4 * n, 128);
@@ -74,42 +76,47 @@ proptest! {
             gpu.device_mut().write_u32(y + 4 * i, 7);
         }
         let grid = (n as u32).div_ceil(block);
-        gpu.launch(saxpy_kernel(), Launch::new(grid, block, vec![x.get(), y.get(), n]))
-            .expect("launch");
+        gpu.launch(
+            saxpy_kernel(),
+            Launch::new(grid, block, vec![x.get(), y.get(), n]),
+        )
+        .expect("launch");
         let summary = gpu.run(50_000_000).expect("no deadlock within bound");
         for i in 0..n {
-            prop_assert_eq!(gpu.device().read_u32(y + 4 * i), 3 * i as u32 + 7);
+            assert_eq!(
+                gpu.device().read_u32(y + 4 * i),
+                3 * i as u32 + 7,
+                "case {case}: element {i}"
+            );
         }
-        prop_assert!(summary.cycles > 0);
-        prop_assert_eq!(summary.ctas, grid as u64);
+        assert!(summary.cycles > 0, "case {case}");
+        assert_eq!(summary.ctas, grid as u64, "case {case}");
     }
+}
 
-    /// Tiny queues everywhere must back-pressure, not deadlock or drop
-    /// requests.
-    #[test]
-    fn minimal_queues_never_deadlock(
-        n in 1u64..300,
-        miss_q in 1usize..3,
-        icnt_q in 1usize..3,
-        rop_q in 1usize..3,
-        dram_q in 1usize..3,
-    ) {
+/// Tiny queues everywhere must back-pressure, not deadlock or drop
+/// requests.
+#[test]
+fn minimal_queues_never_deadlock() {
+    for case in 0..24u64 {
+        let mut rng = Rng::seed_from_u64(0xDEAD_0000 + case);
+        let n = rng.gen_range_u64(1, 300);
         let mut cfg = GpuConfig::fermi_gf100();
         cfg.num_sms = 2;
         cfg.num_partitions = 2;
         if let Some(l1) = cfg.l1.as_mut() {
-            l1.miss_queue = miss_q;
+            l1.miss_queue = rng.gen_range_usize(1, 3);
             l1.mshr.entries = 2;
             l1.mshr.max_merged = 1;
         }
-        cfg.icnt.output_queue = icnt_q;
-        cfg.rop_queue = rop_q;
+        cfg.icnt.output_queue = rng.gen_range_usize(1, 3);
+        cfg.rop_queue = rng.gen_range_usize(1, 3);
         if let Some(l2) = cfg.l2.as_mut() {
             l2.input_queue = 1;
             l2.mshr.entries = 2;
             l2.mshr.max_merged = 1;
         }
-        cfg.dram.queue_capacity = dram_q;
+        cfg.dram.queue_capacity = rng.gen_range_usize(1, 3);
         let mut gpu = Gpu::new(cfg);
         let x = gpu.alloc(4 * n, 128);
         let y = gpu.alloc(4 * n, 128);
@@ -118,50 +125,65 @@ proptest! {
             gpu.device_mut().write_u32(y + 4 * i, i as u32);
         }
         let grid = (n as u32).div_ceil(64);
-        gpu.launch(saxpy_kernel(), Launch::new(grid, 64, vec![x.get(), y.get(), n]))
-            .expect("launch");
-        gpu.run(50_000_000).expect("no deadlock under minimal queues");
+        gpu.launch(
+            saxpy_kernel(),
+            Launch::new(grid, 64, vec![x.get(), y.get(), n]),
+        )
+        .expect("launch");
+        gpu.run(50_000_000)
+            .expect("no deadlock under minimal queues");
         for i in 0..n {
-            prop_assert_eq!(gpu.device().read_u32(y + 4 * i), 6 + i as u32);
+            assert_eq!(
+                gpu.device().read_u32(y + 4 * i),
+                6 + i as u32,
+                "case {case}: element {i}"
+            );
         }
     }
+}
 
-    /// Coalescing covers every accessed byte with line-aligned, deduplicated
-    /// transactions.
-    #[test]
-    fn coalesce_covers_all_bytes(
-        accesses in proptest::collection::vec((0u64..4096, any::<bool>()), 1..33),
-    ) {
-        let lane_accesses: Vec<LaneAccess> = accesses
-            .iter()
-            .enumerate()
-            .map(|(lane, &(a, wide))| LaneAccess {
+/// Coalescing covers every accessed byte with line-aligned, deduplicated
+/// transactions.
+#[test]
+fn coalesce_covers_all_bytes() {
+    for case in 0..256u64 {
+        let mut rng = Rng::seed_from_u64(0xC0A1_0000 + case);
+        let n_accesses = rng.gen_range_usize(1, 33);
+        let lane_accesses: Vec<LaneAccess> = (0..n_accesses)
+            .map(|lane| LaneAccess {
                 lane: lane as u32,
-                addr: Addr::new(a * 4),
-                width: if wide { Width::W8 } else { Width::W4 },
+                addr: Addr::new(rng.gen_range_u64(0, 4096) * 4),
+                width: if rng.gen_bool() { Width::W8 } else { Width::W4 },
             })
             .collect();
         let lines = coalesce(&lane_accesses, 128);
         // Sorted, unique, aligned.
         for w in lines.windows(2) {
-            prop_assert!(w[0] < w[1]);
+            assert!(w[0] < w[1], "case {case}");
         }
         for l in &lines {
-            prop_assert!(l.is_aligned(128));
+            assert!(l.is_aligned(128), "case {case}");
         }
         // Coverage of every accessed byte.
         for a in &lane_accesses {
             for b in 0..a.width.bytes() {
                 let line = (a.addr + b).align_down(128);
-                prop_assert!(lines.contains(&line), "byte {} uncovered", (a.addr + b).get());
+                assert!(
+                    lines.contains(&line),
+                    "case {case}: byte {} uncovered",
+                    (a.addr + b).get()
+                );
             }
         }
         // Minimality: every returned line is touched by some access.
         for line in &lines {
-            let touched = lane_accesses.iter().any(|a| {
-                (0..a.width.bytes()).any(|b| (a.addr + b).align_down(128) == *line)
-            });
-            prop_assert!(touched, "line {line} returned but never accessed");
+            let touched = lane_accesses
+                .iter()
+                .any(|a| (0..a.width.bytes()).any(|b| (a.addr + b).align_down(128) == *line));
+            assert!(
+                touched,
+                "case {case}: line {line} returned but never accessed"
+            );
         }
     }
 }

@@ -43,7 +43,11 @@ fn vecadd_end_to_end() {
     gpu.launch(vecadd_kernel(), launch).unwrap();
     let summary = gpu.run(5_000_000).unwrap();
     for i in 0..n {
-        assert_eq!(gpu.device().read_u32(out + 4 * i), (3 * i) as u32, "element {i}");
+        assert_eq!(
+            gpu.device().read_u32(out + 4 * i),
+            (3 * i) as u32,
+            "element {i}"
+        );
     }
     assert!(summary.instructions > 0);
     assert_eq!(summary.ctas, 8);
@@ -212,7 +216,11 @@ fn divergent_kernel_under_timing() {
         .unwrap();
     gpu.run(5_000_000).unwrap();
     for i in 0..n {
-        let expect = if i % 2 == 0 { i as u32 + 1 } else { 3 * i as u32 };
+        let expect = if i % 2 == 0 {
+            i as u32 + 1
+        } else {
+            3 * i as u32
+        };
         assert_eq!(gpu.device().read_u32(buf + 4 * i), expect, "element {i}");
     }
 }
@@ -291,7 +299,10 @@ fn block_too_large_rejected() {
     // 48 warp slots * 32 lanes = 1536 threads max; ask for 1568+.
     let launch = Launch::new(1, 49 * 32, vec![]);
     match gpu.launch(kernel, launch) {
-        Err(SimError::BlockTooLarge { needed: 49, available: 48 }) => {}
+        Err(SimError::BlockTooLarge {
+            needed: 49,
+            available: 48,
+        }) => {}
         other => panic!("expected BlockTooLarge, got {other:?}"),
     }
 }
@@ -340,8 +351,11 @@ fn l1_captures_rereferenced_lines() {
     let oaddr = b.add(outp, off);
     b.st_global(Width::W4, oaddr, 0, s);
     b.exit();
-    gpu.launch(b.build().unwrap(), Launch::new(1, n as u32, vec![buf.get(), out.get()]))
-        .unwrap();
+    gpu.launch(
+        b.build().unwrap(),
+        Launch::new(1, n as u32, vec![buf.get(), out.get()]),
+    )
+    .unwrap();
     let summary = gpu.run(5_000_000).unwrap();
     assert!(summary.l1_hits >= 1, "second load should hit: {summary:?}");
     for i in 0..n {
@@ -358,7 +372,10 @@ fn missing_params_rejected_at_launch() {
     b.exit();
     let kernel = b.build().unwrap();
     match gpu.launch(kernel, Launch::new(1, 32, vec![1, 2])) {
-        Err(SimError::MissingParams { needed: 4, supplied: 2 }) => {}
+        Err(SimError::MissingParams {
+            needed: 4,
+            supplied: 2,
+        }) => {}
         other => panic!("expected MissingParams, got {other:?}"),
     }
 }

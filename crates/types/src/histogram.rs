@@ -277,7 +277,10 @@ mod tests {
         let mut expected_lo = 3;
         for i in 0..b.len() {
             let (lo, hi) = b.range(i);
-            assert_eq!(lo, expected_lo, "bucket {i} must start where previous ended");
+            assert_eq!(
+                lo, expected_lo,
+                "bucket {i} must start where previous ended"
+            );
             assert!(hi >= lo);
             expected_lo = hi + 1;
         }
@@ -291,7 +294,10 @@ mod tests {
         for v in 10..=110u64 {
             let i = b.index_of(v).unwrap();
             let (lo, hi) = b.range(i);
-            assert!(v >= lo && v <= hi, "value {v} outside bucket {i} [{lo},{hi}]");
+            assert!(
+                v >= lo && v <= hi,
+                "value {v} outside bucket {i} [{lo},{hi}]"
+            );
         }
         assert_eq!(b.index_of(9), None);
         assert_eq!(b.index_of(111), None);

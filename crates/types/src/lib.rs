@@ -13,6 +13,9 @@
 //!   pipeline delay, used to model fixed-latency pipeline segments.
 //! - [`Histogram`] and [`Buckets`]: sample collection and the equal-width
 //!   latency bucketing used by the paper's Figures 1 and 2.
+//! - [`rng`]: hermetic, seedable pseudo-random number generation
+//!   (SplitMix64 + xoshiro256++) so the workspace needs no external `rand`
+//!   dependency and builds fully offline.
 //!
 //! # Examples
 //!
@@ -34,9 +37,11 @@ mod cycle;
 mod histogram;
 mod ids;
 mod queue;
+pub mod rng;
 
 pub use addr::Addr;
 pub use cycle::Cycle;
 pub use histogram::{Buckets, Histogram};
 pub use ids::{CtaId, PartitionId, SmId, ThreadId, WarpId};
 pub use queue::{BoundedQueue, DelayQueue, PushError};
+pub use rng::{Rng, SplitMix64, Xoshiro256pp};

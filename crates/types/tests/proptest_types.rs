@@ -1,49 +1,55 @@
-//! Property-based tests for the foundation types.
+//! Randomized model-based tests for the foundation types, driven by the
+//! workspace's hermetic [`gpu_types::rng`] (no external property-testing
+//! dependency, so the suite runs fully offline). Each property replays a
+//! fixed number of seeded cases; failures print the offending seed so the
+//! case can be replayed exactly.
 
+use gpu_types::rng::Rng;
 use gpu_types::{BoundedQueue, Cycle, DelayQueue, Histogram};
-use proptest::prelude::*;
 use std::collections::VecDeque;
 
-proptest! {
-    /// A BoundedQueue behaves exactly like a capacity-checked VecDeque.
-    #[test]
-    fn bounded_queue_matches_model(
-        capacity in 1usize..16,
-        ops in proptest::collection::vec(any::<Option<u8>>(), 0..200),
-    ) {
+const CASES: u64 = 128;
+
+/// A BoundedQueue behaves exactly like a capacity-checked VecDeque.
+#[test]
+fn bounded_queue_matches_model() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xB0_0000 + case);
+        let capacity = rng.gen_range_usize(1, 16);
+        let n_ops = rng.gen_range_usize(0, 200);
         let mut queue = BoundedQueue::new(capacity);
         let mut model: VecDeque<u8> = VecDeque::new();
-        for op in ops {
-            match op {
-                Some(v) => {
-                    let accepted = queue.push(v).is_ok();
-                    let model_accepts = model.len() < capacity;
-                    prop_assert_eq!(accepted, model_accepts);
-                    if accepted {
-                        model.push_back(v);
-                    }
+        for _ in 0..n_ops {
+            if rng.gen_bool() {
+                let v = rng.next_u32() as u8;
+                let accepted = queue.push(v).is_ok();
+                let model_accepts = model.len() < capacity;
+                assert_eq!(accepted, model_accepts, "case {case}");
+                if accepted {
+                    model.push_back(v);
                 }
-                None => {
-                    prop_assert_eq!(queue.pop(), model.pop_front());
-                }
+            } else {
+                assert_eq!(queue.pop(), model.pop_front(), "case {case}");
             }
-            prop_assert_eq!(queue.len(), model.len());
-            prop_assert_eq!(queue.is_empty(), model.is_empty());
-            prop_assert_eq!(queue.is_full(), model.len() == capacity);
-            prop_assert_eq!(queue.front(), model.front());
+            assert_eq!(queue.len(), model.len(), "case {case}");
+            assert_eq!(queue.is_empty(), model.is_empty(), "case {case}");
+            assert_eq!(queue.is_full(), model.len() == capacity, "case {case}");
+            assert_eq!(queue.front(), model.front(), "case {case}");
         }
     }
+}
 
-    /// DelayQueue never releases an element before its delay has elapsed,
-    /// and preserves FIFO order.
-    #[test]
-    fn delay_queue_respects_delay_and_order(
-        delay in 0u64..50,
-        pushes in proptest::collection::vec(0u64..100, 1..30),
-    ) {
-        let mut q = DelayQueue::new(64, delay);
-        let mut sorted = pushes.clone();
+/// DelayQueue never releases an element before its delay has elapsed, and
+/// preserves FIFO order.
+#[test]
+fn delay_queue_respects_delay_and_order() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xD0_0000 + case);
+        let delay = rng.gen_range_u64(0, 50);
+        let n_pushes = rng.gen_range_usize(1, 30);
+        let mut sorted: Vec<u64> = (0..n_pushes).map(|_| rng.gen_range_u64(0, 100)).collect();
         sorted.sort_unstable();
+        let mut q = DelayQueue::new(64, delay);
         for (i, &t) in sorted.iter().enumerate() {
             q.push(Cycle::new(t), i as u64).unwrap();
         }
@@ -54,71 +60,89 @@ proptest! {
                 let idx = v as usize;
                 // Element pushed at sorted[idx] must not appear before
                 // sorted[idx] + delay.
-                prop_assert!(now >= sorted[idx] + delay);
+                assert!(now >= sorted[idx] + delay, "case {case}");
                 popped.push(v);
             } else {
                 now += 1;
             }
-            prop_assert!(now < 10_000, "runaway drain loop");
+            assert!(now < 10_000, "case {case}: runaway drain loop");
         }
         // FIFO: popped in push order.
         let expect: Vec<u64> = (0..sorted.len() as u64).collect();
-        prop_assert_eq!(popped, expect);
+        assert_eq!(popped, expect, "case {case}");
     }
+}
 
-    /// Every sample lands in exactly one bucket and bucket ranges tile the
-    /// sampled domain.
-    #[test]
-    fn bucketize_partitions_samples(
-        samples in proptest::collection::vec(0u64..100_000, 1..300),
-        n_buckets in 1usize..64,
-    ) {
+/// Every sample lands in exactly one bucket and bucket ranges tile the
+/// sampled domain.
+#[test]
+fn bucketize_partitions_samples() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x0B_0000 + case);
+        let n_samples = rng.gen_range_usize(1, 300);
+        let samples: Vec<u64> = (0..n_samples)
+            .map(|_| rng.gen_range_u64(0, 100_000))
+            .collect();
+        let n_buckets = rng.gen_range_usize(1, 64);
         let hist: Histogram = samples.iter().copied().collect();
         let buckets = hist.bucketize(n_buckets);
-        prop_assert_eq!(buckets.total(), samples.len() as u64);
+        assert_eq!(buckets.total(), samples.len() as u64, "case {case}");
         let min = *samples.iter().min().unwrap();
         let max = *samples.iter().max().unwrap();
         for &s in &samples {
             let i = buckets.index_of(s).expect("sample in range");
             let (lo, hi) = buckets.range(i);
-            prop_assert!(lo <= s && s <= hi, "sample {} not in bucket {} [{},{}]", s, i, lo, hi);
+            assert!(
+                lo <= s && s <= hi,
+                "case {case}: sample {s} not in bucket {i} [{lo},{hi}]"
+            );
         }
         // When the domain has at least one value per bucket, the minimum
         // lands in bucket 0 (degenerate narrower domains may collapse
         // buckets, in which case only containment is guaranteed).
         if max - min + 1 >= n_buckets as u64 {
-            prop_assert_eq!(buckets.index_of(min), Some(0));
+            assert_eq!(buckets.index_of(min), Some(0), "case {case}");
         }
-        prop_assert!(buckets.index_of(min).is_some());
-        prop_assert!(buckets.index_of(max).is_some());
-        prop_assert_eq!(buckets.index_of(max.saturating_add(1)), None);
+        assert!(buckets.index_of(min).is_some(), "case {case}");
+        assert!(buckets.index_of(max).is_some(), "case {case}");
+        assert_eq!(buckets.index_of(max.saturating_add(1)), None, "case {case}");
     }
+}
 
-    /// Quantiles are monotone and bounded by min/max.
-    #[test]
-    fn quantiles_are_monotone(
-        samples in proptest::collection::vec(0u64..1_000_000, 1..200),
-    ) {
+/// Quantiles are monotone and bounded by min/max.
+#[test]
+fn quantiles_are_monotone() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x0A_0000 + case);
+        let n_samples = rng.gen_range_usize(1, 200);
+        let samples: Vec<u64> = (0..n_samples)
+            .map(|_| rng.gen_range_u64(0, 1_000_000))
+            .collect();
         let hist: Histogram = samples.iter().copied().collect();
         let min = *samples.iter().min().unwrap();
         let max = *samples.iter().max().unwrap();
         let mut last = min;
         for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
             let v = hist.quantile(q).unwrap();
-            prop_assert!(v >= last);
-            prop_assert!(v >= min && v <= max);
+            assert!(v >= last, "case {case}");
+            assert!(v >= min && v <= max, "case {case}");
             last = v;
         }
-        prop_assert_eq!(hist.quantile(1.0), Some(max));
+        assert_eq!(hist.quantile(1.0), Some(max), "case {case}");
     }
+}
 
-    /// Cycle arithmetic: (a + d) - a == d.
-    #[test]
-    fn cycle_roundtrip(a in 0u64..u64::MAX / 2, d in 0u64..1_000_000) {
+/// Cycle arithmetic: (a + d) - a == d.
+#[test]
+fn cycle_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xC0_0000 + case);
+        let a = rng.gen_range_u64(0, u64::MAX / 2);
+        let d = rng.gen_range_u64(0, 1_000_000);
         let start = Cycle::new(a);
         let end = start + d;
-        prop_assert_eq!(end - start, d);
-        prop_assert_eq!(end.checked_since(start), Some(d));
-        prop_assert_eq!(start.saturating_since(end), 0);
+        assert_eq!(end - start, d, "case {case}");
+        assert_eq!(end.checked_since(start), Some(d), "case {case}");
+        assert_eq!(start.saturating_since(end), 0, "case {case}");
     }
 }

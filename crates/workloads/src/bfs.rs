@@ -46,7 +46,8 @@ pub fn upload_graph(gpu: &mut Gpu, graph: &Graph) -> BfsDevice {
     let frontier_a = gpu.alloc(4 * n as u64, align);
     let frontier_b = gpu.alloc(4 * n as u64, align);
     let count = gpu.alloc(4, align);
-    gpu.device_mut().write_u32_slice(row_offsets, graph.row_offsets());
+    gpu.device_mut()
+        .write_u32_slice(row_offsets, graph.row_offsets());
     gpu.device_mut().write_u32_slice(cols, graph.cols());
     BfsDevice {
         row_offsets,
@@ -112,7 +113,8 @@ pub fn build_bfs_kernel() -> Kernel {
         );
     });
     b.exit();
-    b.build().expect("BFS kernel is well-formed by construction")
+    b.build()
+        .expect("BFS kernel is well-formed by construction")
 }
 
 /// Result of a device BFS traversal.
@@ -198,7 +200,8 @@ pub fn run_bfs(
 
 /// Reads back the level array.
 pub fn read_levels(gpu: &Gpu, dev: &BfsDevice) -> Vec<u32> {
-    gpu.device().read_u32_slice(dev.levels, dev.num_nodes as usize)
+    gpu.device()
+        .read_u32_slice(dev.levels, dev.num_nodes as usize)
 }
 
 // ---------------------------------------------------------------------------
@@ -240,7 +243,8 @@ pub fn upload_graph_mask(gpu: &mut Gpu, graph: &Graph) -> BfsMaskDevice {
     let updating = gpu.alloc(4 * n as u64, align);
     let visited = gpu.alloc(4 * n as u64, align);
     let more = gpu.alloc(4, align);
-    gpu.device_mut().write_u32_slice(row_offsets, graph.row_offsets());
+    gpu.device_mut()
+        .write_u32_slice(row_offsets, graph.row_offsets());
     gpu.device_mut().write_u32_slice(cols, graph.cols());
     BfsMaskDevice {
         row_offsets,
@@ -309,7 +313,8 @@ pub fn build_bfs_mask_kernel1() -> Kernel {
         });
     });
     b.exit();
-    b.build().expect("mask kernel 1 is well-formed by construction")
+    b.build()
+        .expect("mask kernel 1 is well-formed by construction")
 }
 
 /// Builds Rodinia BFS kernel 2: commit updated nodes and raise the flag.
@@ -339,7 +344,8 @@ pub fn build_bfs_mask_kernel2() -> Kernel {
         });
     });
     b.exit();
-    b.build().expect("mask kernel 2 is well-formed by construction")
+    b.build()
+        .expect("mask kernel 2 is well-formed by construction")
 }
 
 /// Runs the Rodinia-style mask BFS from `source`: two kernel launches per
@@ -361,7 +367,9 @@ pub fn run_bfs_mask(
     assert!(source < dev.num_nodes, "source out of range");
     assert!(block_dim > 0, "block_dim must be positive");
     let n = dev.num_nodes;
-    let cost_init: Vec<u32> = (0..n).map(|i| if i == source { 0 } else { UNVISITED }).collect();
+    let cost_init: Vec<u32> = (0..n)
+        .map(|i| if i == source { 0 } else { UNVISITED })
+        .collect();
     gpu.device_mut().write_u32_slice(dev.cost, &cost_init);
     let mut zeroes = vec![0u32; n as usize];
     gpu.device_mut().write_u32_slice(dev.updating, &zeroes);
@@ -424,7 +432,8 @@ pub fn run_bfs_mask(
 
 /// Reads back the cost (level) array of a mask-BFS run.
 pub fn read_costs(gpu: &Gpu, dev: &BfsMaskDevice) -> Vec<u32> {
-    gpu.device().read_u32_slice(dev.cost, dev.num_nodes as usize)
+    gpu.device()
+        .read_u32_slice(dev.cost, dev.num_nodes as usize)
 }
 
 #[cfg(test)]
@@ -515,6 +524,9 @@ mod tests {
         // modulo the benign Rodinia-style duplicate race, which can only
         // over-count.
         let tickets: u32 = run.frontier_sizes.iter().sum();
-        assert!(tickets >= reached - 1, "tickets {tickets} < reached {reached}");
+        assert!(
+            tickets >= reached - 1,
+            "tickets {tickets} < reached {reached}"
+        );
     }
 }

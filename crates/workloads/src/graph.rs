@@ -5,8 +5,7 @@
 //! data-dependent, poorly-coalesced loads that make BFS the paper's
 //! dynamic-latency exemplar.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use gpu_types::rng::Rng;
 
 /// A directed graph in CSR form.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -76,9 +75,9 @@ impl Graph {
     /// Panics if `n` is zero.
     pub fn uniform_random(n: u32, avg_degree: u32, seed: u64) -> Self {
         assert!(n > 0, "graph needs at least one node");
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let adj: Vec<Vec<u32>> = (0..n)
-            .map(|_| (0..avg_degree).map(|_| rng.gen_range(0..n)).collect())
+            .map(|_| (0..avg_degree).map(|_| rng.gen_range_u32(0, n)).collect())
             .collect();
         Graph::from_adjacency(&adj)
     }
@@ -93,13 +92,13 @@ impl Graph {
     /// Panics if `n` is zero.
     pub fn skewed_random(n: u32, avg_degree: u32, seed: u64) -> Self {
         assert!(n > 0, "graph needs at least one node");
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let adj: Vec<Vec<u32>> = (0..n)
             .map(|_| {
                 (0..avg_degree)
                     .map(|_| {
                         // Inverse-CDF sample of p(k) ~ 1/(k+1).
-                        let u: f64 = rng.gen();
+                        let u = rng.gen_f64();
                         let t = ((n as f64 + 1.0).powf(u) - 1.0).max(0.0);
                         (t as u32).min(n - 1)
                     })

@@ -42,7 +42,8 @@ pub fn build_histogram_kernel() -> Kernel {
         b.atom_add(Width::W4, bin_addr, 0, 1);
     });
     b.exit();
-    b.build().expect("histogram kernel is well-formed by construction")
+    b.build()
+        .expect("histogram kernel is well-formed by construction")
 }
 
 /// Allocates and seeds an instance (`input[i] = i * 2654435761 mod 2^32`,

@@ -109,7 +109,8 @@ pub fn build_matmul_kernel() -> Kernel {
     let c_addr = bld.add(c_base, c_off);
     bld.st_global(Width::W4, c_addr, 0, acc);
     bld.exit();
-    bld.build().expect("matmul kernel is well-formed by construction")
+    bld.build()
+        .expect("matmul kernel is well-formed by construction")
 }
 
 /// Allocates and initializes an `n × n` instance with deterministic inputs.
@@ -118,7 +119,10 @@ pub fn build_matmul_kernel() -> Kernel {
 ///
 /// Panics unless `n` is a positive multiple of [`TILE`].
 pub fn setup(gpu: &mut Gpu, n: u32) -> MatmulDevice {
-    assert!(n > 0 && n % TILE == 0, "n must be a positive multiple of {TILE}");
+    assert!(
+        n > 0 && n % TILE == 0,
+        "n must be a positive multiple of {TILE}"
+    );
     let align = gpu.config().line_size;
     let words = (n as u64) * (n as u64);
     let a = gpu.alloc(4 * words, align);

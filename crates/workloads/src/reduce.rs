@@ -77,7 +77,8 @@ pub fn build_reduce_kernel(block_dim: u32) -> Kernel {
         b.atom_add(Width::W4, output, 0, total);
     });
     b.exit();
-    b.build().expect("reduce kernel is well-formed by construction")
+    b.build()
+        .expect("reduce kernel is well-formed by construction")
 }
 
 /// Allocates and initializes a reduction instance (`input[i] = i % 97`).
@@ -101,7 +102,11 @@ pub fn run(gpu: &mut Gpu, dev: &ReduceDevice, block_dim: u32) -> Result<RunSumma
     let grid = (dev.n as u32).div_ceil(block_dim);
     gpu.launch(
         build_reduce_kernel(block_dim),
-        Launch::new(grid, block_dim, vec![dev.input.get(), dev.output.get(), dev.n]),
+        Launch::new(
+            grid,
+            block_dim,
+            vec![dev.input.get(), dev.output.get(), dev.n],
+        ),
     )?;
     gpu.run(500_000_000)
 }

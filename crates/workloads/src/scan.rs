@@ -109,7 +109,8 @@ pub fn build_scan_kernel(block_dim: u32) -> Kernel {
         b.st_global(Width::W4, addr, 0, result);
     });
     b.exit();
-    b.build().expect("scan kernel is well-formed by construction")
+    b.build()
+        .expect("scan kernel is well-formed by construction")
 }
 
 /// Allocates and seeds an instance (`input[i] = i % 17 + 1`).
@@ -118,7 +119,8 @@ pub fn setup(gpu: &mut Gpu, n: u64) -> ScanDevice {
     let input = gpu.alloc(4 * n, align);
     let output = gpu.alloc(4 * n, align);
     for i in 0..n {
-        gpu.device_mut().write_u32(input + 4 * i, (i % 17 + 1) as u32);
+        gpu.device_mut()
+            .write_u32(input + 4 * i, (i % 17 + 1) as u32);
     }
     ScanDevice { input, output, n }
 }
@@ -132,7 +134,11 @@ pub fn run(gpu: &mut Gpu, dev: &ScanDevice, block_dim: u32) -> Result<RunSummary
     let grid = (dev.n as u32).div_ceil(block_dim);
     gpu.launch(
         build_scan_kernel(block_dim),
-        Launch::new(grid, block_dim, vec![dev.input.get(), dev.output.get(), dev.n]),
+        Launch::new(
+            grid,
+            block_dim,
+            vec![dev.input.get(), dev.output.get(), dev.n],
+        ),
     )?;
     gpu.run(500_000_000)
 }

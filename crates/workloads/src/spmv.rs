@@ -3,9 +3,8 @@
 
 use gpu_isa::{AluOp, CmpOp, Kernel, KernelBuilder, Launch, Special, Width};
 use gpu_sim::{Gpu, RunSummary, SimError};
+use gpu_types::rng::Rng;
 use gpu_types::Addr;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// A sparse matrix in CSR form with `u32` values.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -30,15 +29,15 @@ impl CsrMatrix {
     /// Panics if `rows` or `cols` is zero.
     pub fn random(rows: u32, cols: u32, nnz_per_row: u32, seed: u64) -> Self {
         assert!(rows > 0 && cols > 0);
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let mut row_offsets = vec![0u32];
         let mut col_idx = Vec::new();
         let mut values = Vec::new();
         for _ in 0..rows {
-            let nnz = rng.gen_range(0..=2 * nnz_per_row);
+            let nnz = rng.gen_range_u32(0, 2 * nnz_per_row + 1);
             for _ in 0..nnz {
-                col_idx.push(rng.gen_range(0..cols));
-                values.push(rng.gen_range(1..100));
+                col_idx.push(rng.gen_range_u32(0, cols));
+                values.push(rng.gen_range_u32(1, 100));
             }
             row_offsets.push(col_idx.len() as u32);
         }
@@ -63,9 +62,7 @@ impl CsrMatrix {
                 let s = self.row_offsets[r] as usize;
                 let e = self.row_offsets[r + 1] as usize;
                 (s..e).fold(0u32, |acc, i| {
-                    acc.wrapping_add(
-                        self.values[i].wrapping_mul(x[self.col_idx[i] as usize]),
-                    )
+                    acc.wrapping_add(self.values[i].wrapping_mul(x[self.col_idx[i] as usize]))
                 })
             })
             .collect()
@@ -135,7 +132,8 @@ pub fn build_spmv_kernel() -> Kernel {
         b.st_global(Width::W4, y_addr, 0, acc);
     });
     b.exit();
-    b.build().expect("spmv kernel is well-formed by construction")
+    b.build()
+        .expect("spmv kernel is well-formed by construction")
 }
 
 /// Uploads a matrix and a deterministic `x` vector (`x[j] = j % 13 + 1`).
@@ -146,7 +144,8 @@ pub fn setup(gpu: &mut Gpu, m: &CsrMatrix) -> SpmvDevice {
     let values = gpu.alloc(4 * m.values.len().max(1) as u64, align);
     let x = gpu.alloc(4 * m.cols as u64, align);
     let y = gpu.alloc(4 * m.rows as u64, align);
-    gpu.device_mut().write_u32_slice(row_offsets, &m.row_offsets);
+    gpu.device_mut()
+        .write_u32_slice(row_offsets, &m.row_offsets);
     gpu.device_mut().write_u32_slice(col_idx, &m.col_idx);
     gpu.device_mut().write_u32_slice(values, &m.values);
     let xv: Vec<u32> = (0..m.cols).map(|j| j % 13 + 1).collect();

@@ -85,7 +85,8 @@ pub fn build_stencil_kernel() -> Kernel {
         );
     });
     bld.exit();
-    bld.build().expect("stencil kernel is well-formed by construction")
+    bld.build()
+        .expect("stencil kernel is well-formed by construction")
 }
 
 /// Allocates and seeds a `width × height` grid (`in[y][x] = (x*7 + y*13) %
@@ -102,11 +103,18 @@ pub fn setup(gpu: &mut Gpu, width: u32, height: u32) -> StencilDevice {
     let b = gpu.alloc(4 * words, align);
     for y in 0..height as u64 {
         for x in 0..width as u64 {
-            gpu.device_mut()
-                .write_u32(a + 4 * (y * width as u64 + x), ((x * 7 + y * 13) % 101) as u32);
+            gpu.device_mut().write_u32(
+                a + 4 * (y * width as u64 + x),
+                ((x * 7 + y * 13) % 101) as u32,
+            );
         }
     }
-    StencilDevice { a, b, width, height }
+    StencilDevice {
+        a,
+        b,
+        width,
+        height,
+    }
 }
 
 /// Runs `iterations` ping-pong Jacobi steps; returns the last summary and

@@ -97,7 +97,8 @@ pub fn build_transpose_kernel(variant: Variant) -> Kernel {
         }
     }
     bld.exit();
-    bld.build().expect("transpose kernel is well-formed by construction")
+    bld.build()
+        .expect("transpose kernel is well-formed by construction")
 }
 
 /// Allocates and seeds an `n × n` instance (`in[i] = i`).
@@ -106,7 +107,10 @@ pub fn build_transpose_kernel(variant: Variant) -> Kernel {
 ///
 /// Panics unless `n` is a positive multiple of [`TILE`].
 pub fn setup(gpu: &mut Gpu, n: u32) -> TransposeDevice {
-    assert!(n > 0 && n % TILE == 0, "n must be a positive multiple of {TILE}");
+    assert!(
+        n > 0 && n % TILE == 0,
+        "n must be a positive multiple of {TILE}"
+    );
     let words = n as u64 * n as u64;
     let align = gpu.config().line_size;
     let input = gpu.alloc(4 * words, align);
@@ -122,18 +126,19 @@ pub fn setup(gpu: &mut Gpu, n: u32) -> TransposeDevice {
 /// # Errors
 ///
 /// Propagates simulator errors.
-pub fn run(
-    gpu: &mut Gpu,
-    dev: &TransposeDevice,
-    variant: Variant,
-) -> Result<RunSummary, SimError> {
+pub fn run(gpu: &mut Gpu, dev: &TransposeDevice, variant: Variant) -> Result<RunSummary, SimError> {
     let tiles = dev.n / TILE;
     gpu.launch(
         build_transpose_kernel(variant),
         Launch::new(
             tiles * tiles,
             TILE * TILE,
-            vec![dev.input.get(), dev.output.get(), dev.n as u64, tiles as u64],
+            vec![
+                dev.input.get(),
+                dev.output.get(),
+                dev.n as u64,
+                tiles as u64,
+            ],
         ),
     )?;
     gpu.run(500_000_000)

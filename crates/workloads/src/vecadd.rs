@@ -40,7 +40,8 @@ pub fn build_vecadd_kernel() -> Kernel {
         bld.st_global(Width::W4, pc, 0, vc);
     });
     bld.exit();
-    bld.build().expect("vecadd kernel is well-formed by construction")
+    bld.build()
+        .expect("vecadd kernel is well-formed by construction")
 }
 
 /// Allocates and initializes a vector-add instance with deterministic

@@ -33,7 +33,11 @@ done:
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let kernel = parse_kernel(TRIAD)?;
-    println!("assembled '{}' ({} instructions):\n", kernel.name(), kernel.len());
+    println!(
+        "assembled '{}' ({} instructions):\n",
+        kernel.name(),
+        kernel.len()
+    );
     print!("{kernel}"); // disassembly round-trips through the parser
 
     let mut gpu = Gpu::new(GpuConfig::fermi_gf100());
@@ -54,6 +58,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for i in [0u64, 1, 2499, 4999] {
         assert_eq!(gpu.device().read_u32(a + 4 * i), i as u32 + 14);
     }
-    println!("\ntriad of {n} elements verified in {} cycles", summary.cycles);
+    println!(
+        "\ntriad of {n} elements verified in {} cycles",
+        summary.cycles
+    );
     Ok(())
 }

@@ -29,8 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         run.requests.len(),
         run.loads.len()
     );
-    let (breakdown, overflow) =
-        LatencyBreakdown::from_requests_clipped(&run.requests, 16, 0.99);
+    let (breakdown, overflow) = LatencyBreakdown::from_requests_clipped(&run.requests, 16, 0.99);
     print!("{breakdown}");
     println!("({overflow} outlier fetches beyond the 99th percentile not shown)");
     println!(

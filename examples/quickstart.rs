@@ -62,7 +62,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "L1: {} hits / {} misses   L2: {} hits / {} misses   DRAM reqs: {}",
-        summary.l1_hits, summary.l1_misses, summary.l2_hits, summary.l2_misses,
+        summary.l1_hits,
+        summary.l1_misses,
+        summary.l2_hits,
+        summary.l2_misses,
         summary.dram_serviced
     );
     Ok(())

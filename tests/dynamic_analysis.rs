@@ -151,5 +151,9 @@ fn tracing_does_not_change_timing() {
         bfs::run_bfs_mask(&mut gpu, &dev, 0, 128).unwrap();
         gpu.now().get()
     };
-    assert_eq!(run(false), run(true), "observer effect in the instrumentation");
+    assert_eq!(
+        run(false),
+        run(true),
+        "observer effect in the instrumentation"
+    );
 }

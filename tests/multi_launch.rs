@@ -36,11 +36,8 @@ fn sequential_launches_compose() {
     let n = 256u64;
     let buf = gpu.alloc(4 * n, 128);
     for round in 1..=5u32 {
-        gpu.launch(
-            incr_kernel(),
-            Launch::new(4, 64, vec![buf.get(), n]),
-        )
-        .unwrap();
+        gpu.launch(incr_kernel(), Launch::new(4, 64, vec![buf.get(), n]))
+            .unwrap();
         gpu.run(10_000_000).unwrap();
         for i in 0..n {
             assert_eq!(gpu.device().read_u32(buf + 4 * i), round, "round {round}");
@@ -94,11 +91,17 @@ fn caches_stay_warm_across_launches() {
     let n = 64u64;
     let src = gpu.alloc(4 * n, 128);
     let dst = gpu.alloc(4 * n, 128);
-    gpu.launch(copy_kernel(), Launch::new(1, 64, vec![src.get(), dst.get(), n]))
-        .unwrap();
+    gpu.launch(
+        copy_kernel(),
+        Launch::new(1, 64, vec![src.get(), dst.get(), n]),
+    )
+    .unwrap();
     let first = gpu.run(10_000_000).unwrap();
-    gpu.launch(copy_kernel(), Launch::new(1, 64, vec![src.get(), dst.get(), n]))
-        .unwrap();
+    gpu.launch(
+        copy_kernel(),
+        Launch::new(1, 64, vec![src.get(), dst.get(), n]),
+    )
+    .unwrap();
     let second = gpu.run(10_000_000).unwrap();
     let hits_second_launch = second.l1_hits - first.l1_hits;
     assert!(

@@ -18,8 +18,18 @@ fn every_architecture_matches_table1_within_two_percent() {
             preset.name()
         );
         // Structural presence/absence of levels must match the paper.
-        assert_eq!(measured.l1.is_some(), expected.l1.is_some(), "{}", preset.name());
-        assert_eq!(measured.l2.is_some(), expected.l2.is_some(), "{}", preset.name());
+        assert_eq!(
+            measured.l1.is_some(),
+            expected.l1.is_some(),
+            "{}",
+            preset.name()
+        );
+        assert_eq!(
+            measured.l2.is_some(),
+            expected.l2.is_some(),
+            "{}",
+            preset.name()
+        );
     }
 }
 
@@ -41,7 +51,14 @@ fn fermi_sweep_exposes_three_plateaus() {
     let sweep = Sweep::run(
         &cfg,
         ChaseSpace::Global,
-        &[4 * 1024, 8 * 1024, 48 * 1024, 64 * 1024, 512 * 1024, 1024 * 1024],
+        &[
+            4 * 1024,
+            8 * 1024,
+            48 * 1024,
+            64 * 1024,
+            512 * 1024,
+            1024 * 1024,
+        ],
         &[512],
     )
     .unwrap();
@@ -69,7 +86,11 @@ fn kepler_l1_serves_local_but_not_global() {
     let cfg = ArchPreset::KeplerGk104.config_microbench();
     let local = measure_chase(&cfg, &ChaseParams::local(4096, 128)).unwrap();
     let global = measure_chase(&cfg, &ChaseParams::global(4096, 128)).unwrap();
-    assert!((local.per_access - 30.0).abs() < 3.0, "local {}", local.per_access);
+    assert!(
+        (local.per_access - 30.0).abs() < 3.0,
+        "local {}",
+        local.per_access
+    );
     assert!(
         (global.per_access - 175.0).abs() < 6.0,
         "global {}",
