@@ -1,0 +1,48 @@
+//! Static analysis over every built-in workload kernel.
+//!
+//! ```text
+//! cargo run --release -p latency-bench --bin lint [--json] [--strict]
+//! ```
+//!
+//! Runs the `latency-check` analyzer (CFG + dataflow + memory-access
+//! lints) over each kernel the experiment drivers launch and prints one
+//! report per kernel. `--json` emits one JSON object per line instead of
+//! the human listing. Exit status is 1 when any kernel has error-severity
+//! diagnostics (`--strict` also fails on warnings), so CI can gate on it.
+
+use latency_check::{analyze, AnalysisConfig, Severity};
+
+fn main() {
+    let mut json = false;
+    let mut strict = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--strict" => strict = true,
+            other => {
+                eprintln!("unknown argument '{other}' (usage: lint [--json] [--strict])");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let config = AnalysisConfig::default();
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    for kernel in latency_bench::builtin_kernels() {
+        let report = analyze(&kernel, &config);
+        errors += report.count(Severity::Error);
+        warnings += report.count(Severity::Warning);
+        if json {
+            println!("{}", report.to_json());
+        } else {
+            print!("{}", report.to_human());
+        }
+    }
+    if !json {
+        println!("total: {errors} error(s), {warnings} warning(s)");
+    }
+    if errors > 0 || (strict && warnings > 0) {
+        std::process::exit(1);
+    }
+}

@@ -136,6 +136,26 @@ impl Workload {
     }
 }
 
+/// Every built-in workload kernel, as launched by the experiment drivers
+/// (both transpose variants, all three BFS kernels). This is the kernel set
+/// the `lint` bin analyzes.
+pub fn builtin_kernels() -> Vec<gpu_isa::Kernel> {
+    vec![
+        vecadd::build_vecadd_kernel(),
+        matmul::build_matmul_kernel(),
+        reduce::build_reduce_kernel(256),
+        spmv::build_spmv_kernel(),
+        stencil::build_stencil_kernel(),
+        histogram::build_histogram_kernel(),
+        transpose::build_transpose_kernel(transpose::Variant::Naive),
+        transpose::build_transpose_kernel(transpose::Variant::Tiled),
+        scan::build_scan_kernel(256),
+        bfs::build_bfs_kernel(),
+        bfs::build_bfs_mask_kernel1(),
+        bfs::build_bfs_mask_kernel2(),
+    ]
+}
+
 /// Runs one E4 workload on `config` with tracing enabled.
 ///
 /// # Errors

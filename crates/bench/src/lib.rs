@@ -15,6 +15,6 @@ pub mod experiments;
 pub mod harness;
 
 pub use experiments::{
-    dram_sched_comparison, hiding_sweep, run_bfs_traced, run_table1, run_workload_traced,
-    BfsExperiment, DramSchedResult, HidingPoint, TracedRun, Workload,
+    builtin_kernels, dram_sched_comparison, hiding_sweep, run_bfs_traced, run_table1,
+    run_workload_traced, BfsExperiment, DramSchedResult, HidingPoint, TracedRun, Workload,
 };

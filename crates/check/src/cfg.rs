@@ -1,0 +1,253 @@
+//! Control-flow-graph construction over kernel instruction sequences.
+//!
+//! Basic blocks are maximal straight-line runs; edges follow branch targets
+//! and fall-through. Guarded branches contribute both the taken and the
+//! fall-through edge (divergence means *some* lanes can take each side), so
+//! every dataflow pass built on this CFG is conservative with respect to the
+//! SIMT execution model in `gpu_isa::exec`.
+
+use gpu_isa::{Instr, Kernel, Pc};
+
+/// One basic block: the half-open instruction range `[start, end)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// First instruction PC.
+    pub start: Pc,
+    /// One past the last instruction PC.
+    pub end: Pc,
+    /// Successor block indices.
+    pub succs: Vec<usize>,
+    /// Predecessor block indices.
+    pub preds: Vec<usize>,
+}
+
+/// A kernel's control-flow graph.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    blocks: Vec<Block>,
+    block_of: Vec<usize>,
+    reachable: Vec<bool>,
+}
+
+impl Cfg {
+    /// Builds the CFG of `kernel`.
+    ///
+    /// Works on any non-empty instruction sequence, including ones that fail
+    /// [`Kernel::validate`]: out-of-range branch targets simply contribute no
+    /// edge (the structure pass reports them separately).
+    pub fn build(kernel: &Kernel) -> Self {
+        let instrs = kernel.instrs();
+        let n = instrs.len();
+
+        // Leaders: entry, every in-range branch target, every instruction
+        // after a control-flow instruction.
+        let mut leader = vec![false; n];
+        if n > 0 {
+            leader[0] = true;
+        }
+        for (pc, instr) in instrs.iter().enumerate() {
+            match instr {
+                Instr::Branch { target, .. } => {
+                    if *target < n {
+                        leader[*target] = true;
+                    }
+                    if pc + 1 < n {
+                        leader[pc + 1] = true;
+                    }
+                }
+                Instr::Exit if pc + 1 < n => {
+                    leader[pc + 1] = true;
+                }
+                _ => {}
+            }
+        }
+
+        // Blocks and the pc → block map.
+        let mut blocks: Vec<Block> = Vec::new();
+        let mut block_of = vec![0usize; n];
+        for pc in 0..n {
+            if leader[pc] {
+                blocks.push(Block {
+                    start: pc,
+                    end: pc + 1,
+                    succs: Vec::new(),
+                    preds: Vec::new(),
+                });
+            } else if let Some(b) = blocks.last_mut() {
+                b.end = pc + 1;
+            }
+            block_of[pc] = blocks.len().saturating_sub(1);
+        }
+
+        // Edges.
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        for (bi, block) in blocks.iter().enumerate() {
+            let last = block.end - 1;
+            match &instrs[last] {
+                Instr::Exit => {}
+                Instr::Branch { guard, target, .. } => {
+                    if *target < n {
+                        edges.push((bi, block_of[*target]));
+                    }
+                    if guard.is_some() && block.end < n {
+                        edges.push((bi, block_of[block.end]));
+                    }
+                }
+                _ => {
+                    if block.end < n {
+                        edges.push((bi, block_of[block.end]));
+                    }
+                }
+            }
+        }
+        for (from, to) in edges {
+            if !blocks[from].succs.contains(&to) {
+                blocks[from].succs.push(to);
+            }
+            if !blocks[to].preds.contains(&from) {
+                blocks[to].preds.push(from);
+            }
+        }
+
+        // Reachability from the entry block.
+        let mut reachable = vec![false; blocks.len()];
+        if !blocks.is_empty() {
+            let mut stack = vec![0usize];
+            while let Some(b) = stack.pop() {
+                if std::mem::replace(&mut reachable[b], true) {
+                    continue;
+                }
+                stack.extend(blocks[b].succs.iter().copied());
+            }
+        }
+
+        Cfg {
+            blocks,
+            block_of,
+            reachable,
+        }
+    }
+
+    /// The blocks, in instruction order.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// Index of the block containing `pc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc` is out of range.
+    pub fn block_of(&self, pc: Pc) -> usize {
+        self.block_of[pc]
+    }
+
+    /// Returns `true` if block `b` is reachable from the entry.
+    pub fn is_reachable(&self, b: usize) -> bool {
+        self.reachable[b]
+    }
+
+    /// Indices of blocks unreachable from the entry.
+    pub fn unreachable_blocks(&self) -> Vec<usize> {
+        (0..self.blocks.len())
+            .filter(|&b| !self.reachable[b])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_isa::{CmpOp, KernelBuilder, Operand, Special};
+
+    fn straight_line() -> Kernel {
+        let mut b = KernelBuilder::new("s");
+        b.mov(Operand::Imm(1));
+        b.mov(Operand::Imm(2));
+        b.exit();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let k = straight_line();
+        let cfg = Cfg::build(&k);
+        assert_eq!(cfg.blocks().len(), 1);
+        assert_eq!(cfg.blocks()[0].start, 0);
+        assert_eq!(cfg.blocks()[0].end, 3);
+        assert!(cfg.blocks()[0].succs.is_empty());
+        assert!(cfg.unreachable_blocks().is_empty());
+    }
+
+    #[test]
+    fn if_then_produces_diamond_edges() {
+        let mut b = KernelBuilder::new("k");
+        let t = b.special(Special::GlobalTid);
+        let p = b.setp(CmpOp::Lt, t, Operand::Imm(8));
+        b.if_then(p, |b| {
+            b.mov(Operand::Imm(1));
+        });
+        b.exit();
+        let k = b.build().unwrap();
+        let cfg = Cfg::build(&k);
+        // Blocks: [entry..branch], [body], [exit].
+        assert_eq!(cfg.blocks().len(), 3);
+        let entry = cfg.block_of(0);
+        assert_eq!(cfg.blocks()[entry].succs.len(), 2, "taken + fallthrough");
+        let exit_b = cfg.block_of(k.len() - 1);
+        assert_eq!(cfg.blocks()[exit_b].preds.len(), 2);
+        assert!((0..cfg.blocks().len()).all(|b| cfg.is_reachable(b)));
+    }
+
+    #[test]
+    fn loop_backedge_closes_cycle() {
+        let mut b = KernelBuilder::new("k");
+        let i = b.mov(Operand::Imm(0));
+        b.while_loop(
+            |b| b.setp(CmpOp::Lt, i, Operand::Imm(4)),
+            |b| {
+                b.alu_to(gpu_isa::AluOp::Add, i, i, Operand::Imm(1));
+            },
+        );
+        b.exit();
+        let k = b.build().unwrap();
+        let cfg = Cfg::build(&k);
+        let head = cfg.block_of(1); // setp at pc 1 starts the loop head block
+        assert!(
+            cfg.blocks()[head].preds.len() >= 2,
+            "entry edge and backedge"
+        );
+        assert!((0..cfg.blocks().len()).all(|b| cfg.is_reachable(b)));
+    }
+
+    #[test]
+    fn code_after_infinite_loop_is_unreachable() {
+        let src = ".kernel k\nloop:\nbra loop\nexit\n";
+        let k = gpu_isa::parse_kernel(src).unwrap();
+        let cfg = Cfg::build(&k);
+        let unreachable = cfg.unreachable_blocks();
+        assert_eq!(unreachable.len(), 1);
+        assert_eq!(cfg.blocks()[unreachable[0]].start, 1, "the trailing exit");
+    }
+
+    #[test]
+    fn out_of_range_target_contributes_no_edge() {
+        let k = Kernel::from_parts(
+            "bad",
+            vec![
+                Instr::Branch {
+                    guard: None,
+                    target: 99,
+                    reconverge: gpu_isa::RECONV_NONE,
+                },
+                Instr::Exit,
+            ],
+            0,
+            0,
+            0,
+        );
+        let cfg = Cfg::build(&k);
+        assert!(cfg.blocks()[0].succs.is_empty());
+        assert_eq!(cfg.unreachable_blocks().len(), 1);
+    }
+}

@@ -1,0 +1,324 @@
+//! Structured diagnostics emitted by the analyzer passes.
+//!
+//! A [`Diagnostic`] pins one finding to an instruction (by PC), names the
+//! pass that produced it, and carries a severity so callers can gate on
+//! "no errors" (the `lint` bin's exit code) while still surfacing advisory
+//! information. [`Report`] renders a kernel's findings as either a human
+//! listing or a line-oriented JSON document (hand-rolled: the workspace is
+//! hermetic and carries no serialization dependency).
+
+use std::fmt;
+
+use gpu_isa::Pc;
+
+/// How serious a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Advisory: expected behavior worth knowing about (e.g. a predicted
+    /// per-warp transaction count).
+    Info,
+    /// Suspicious but not certainly wrong (e.g. a dead write, a register
+    /// that may be read before initialization on one path).
+    Warning,
+    /// Certainly wrong on every execution (e.g. a read of a register no
+    /// path ever writes).
+    Error,
+}
+
+impl Severity {
+    /// Lowercase name used in both output formats.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The analyzer pass a diagnostic originated from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Pass {
+    /// Kernel-level structural validation ([`gpu_isa::Kernel::validate`]).
+    Structure,
+    /// Read-of-possibly-undefined-register dataflow pass.
+    UndefRead,
+    /// Dead-write (value never observed) liveness pass.
+    DeadWrite,
+    /// CFG reachability pass.
+    Unreachable,
+    /// Constant guard-predicate evaluation pass.
+    GuardConst,
+    /// Per-warp global/local coalescing prediction.
+    Coalescing,
+    /// Shared-memory bank-conflict estimation.
+    BankConflict,
+}
+
+impl Pass {
+    /// Stable kebab-case pass name used in both output formats.
+    pub fn name(self) -> &'static str {
+        match self {
+            Pass::Structure => "structure",
+            Pass::UndefRead => "undef-read",
+            Pass::DeadWrite => "dead-write",
+            Pass::Unreachable => "unreachable",
+            Pass::GuardConst => "guard-const",
+            Pass::Coalescing => "coalescing",
+            Pass::BankConflict => "bank-conflict",
+        }
+    }
+}
+
+impl fmt::Display for Pass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One finding produced by an analyzer pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Severity class.
+    pub severity: Severity,
+    /// Originating pass.
+    pub pass: Pass,
+    /// Instruction the finding is anchored to, if any (kernel-level
+    /// findings such as structural errors have none).
+    pub pc: Option<Pc>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic anchored to an instruction.
+    pub fn at(severity: Severity, pass: Pass, pc: Pc, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity,
+            pass,
+            pc: Some(pc),
+            message: message.into(),
+        }
+    }
+
+    /// Creates a kernel-level diagnostic.
+    pub fn kernel_level(severity: Severity, pass: Pass, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity,
+            pass,
+            pc: None,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.pc {
+            Some(pc) => write!(
+                f,
+                "{} [{}] at {pc}: {}",
+                self.severity, self.pass, self.message
+            ),
+            None => write!(f, "{} [{}]: {}", self.severity, self.pass, self.message),
+        }
+    }
+}
+
+/// All findings for one kernel.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    /// Name of the analyzed kernel.
+    pub kernel: String,
+    /// Findings in (pc, pass) order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// Number of findings at `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// Returns `true` when no error-severity findings exist.
+    pub fn is_clean(&self) -> bool {
+        self.count(Severity::Error) == 0
+    }
+
+    /// Sorts diagnostics into (pc, severity-descending) order for stable
+    /// output; kernel-level findings sort first.
+    pub fn sort(&mut self) {
+        self.diagnostics
+            .sort_by_key(|d| (d.pc, std::cmp::Reverse(d.severity)));
+    }
+
+    /// Renders the human listing (one line per finding).
+    pub fn to_human(&self) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}: {} error(s), {} warning(s), {} note(s)",
+            self.kernel,
+            self.count(Severity::Error),
+            self.count(Severity::Warning),
+            self.count(Severity::Info),
+        );
+        for d in &self.diagnostics {
+            let _ = writeln!(out, "  {d}");
+        }
+        out
+    }
+
+    /// Renders the report as a JSON object.
+    pub fn to_json(&self) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"kernel\":{},\"errors\":{},\"warnings\":{},\"diagnostics\":[",
+            json_string(&self.kernel),
+            self.count(Severity::Error),
+            self.count(Severity::Warning),
+        );
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"severity\":\"{}\",\"pass\":\"{}\",\"pc\":{},\"message\":{}}}",
+                d.severity,
+                d.pass,
+                match d.pc {
+                    Some(pc) => pc.to_string(),
+                    None => "null".to_string(),
+                },
+                json_string(&d.message),
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_and_names() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Info);
+        assert_eq!(Severity::Error.to_string(), "error");
+        assert_eq!(Pass::UndefRead.to_string(), "undef-read");
+    }
+
+    #[test]
+    fn report_counts_and_cleanliness() {
+        let mut r = Report {
+            kernel: "k".into(),
+            diagnostics: vec![
+                Diagnostic::at(Severity::Warning, Pass::DeadWrite, 3, "w"),
+                Diagnostic::kernel_level(Severity::Info, Pass::Coalescing, "i"),
+            ],
+        };
+        assert!(r.is_clean());
+        r.diagnostics
+            .push(Diagnostic::at(Severity::Error, Pass::UndefRead, 1, "e"));
+        assert!(!r.is_clean());
+        assert_eq!(r.count(Severity::Error), 1);
+        assert_eq!(r.count(Severity::Warning), 1);
+        assert_eq!(r.count(Severity::Info), 1);
+    }
+
+    #[test]
+    fn sort_puts_kernel_level_first_and_orders_by_pc() {
+        let mut r = Report {
+            kernel: "k".into(),
+            diagnostics: vec![
+                Diagnostic::at(Severity::Info, Pass::Coalescing, 9, "later"),
+                Diagnostic::at(Severity::Error, Pass::UndefRead, 2, "earlier"),
+                Diagnostic::kernel_level(Severity::Warning, Pass::Structure, "top"),
+            ],
+        };
+        r.sort();
+        assert_eq!(r.diagnostics[0].pc, None);
+        assert_eq!(r.diagnostics[1].pc, Some(2));
+        assert_eq!(r.diagnostics[2].pc, Some(9));
+    }
+
+    #[test]
+    fn human_output_lists_each_finding() {
+        let r = Report {
+            kernel: "vecadd".into(),
+            diagnostics: vec![Diagnostic::at(
+                Severity::Warning,
+                Pass::DeadWrite,
+                4,
+                "write to r3 is never read",
+            )],
+        };
+        let text = r.to_human();
+        assert!(text.contains("vecadd: 0 error(s), 1 warning(s)"));
+        assert!(text.contains("warning [dead-write] at 4: write to r3 is never read"));
+    }
+
+    #[test]
+    fn json_output_is_well_formed() {
+        let r = Report {
+            kernel: "k\"q".into(),
+            diagnostics: vec![
+                Diagnostic::at(Severity::Error, Pass::UndefRead, 1, "read of \"r9\"\n"),
+                Diagnostic::kernel_level(Severity::Info, Pass::Structure, "ok"),
+            ],
+        };
+        let json = r.to_json();
+        assert!(json.starts_with("{\"kernel\":\"k\\\"q\""));
+        assert!(json.contains("\"pc\":1"));
+        assert!(json.contains("\"pc\":null"));
+        assert!(json.contains("\\\"r9\\\"\\n"));
+        assert!(json.ends_with("]}"));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces"
+        );
+    }
+
+    #[test]
+    fn json_escapes_control_chars() {
+        assert_eq!(json_string("a\u{1}b"), "\"a\\u0001b\"");
+        assert_eq!(json_string("t\tn\n"), "\"t\\tn\\n\"");
+    }
+}

@@ -1,0 +1,583 @@
+//! Memory-access lints: per-warp global coalescing prediction and
+//! shared-memory bank-conflict estimation.
+//!
+//! Addresses are tracked through a small abstract domain that captures how
+//! a register varies across the lanes of one warp. When an address is
+//! affine in the lane index, the predicted per-lane accesses are fed
+//! through the *same* [`gpu_sim::coalesce`] routine the timing model uses,
+//! so the static prediction cannot drift from the simulator's transaction
+//! counting rules.
+
+use std::collections::HashMap;
+
+use gpu_isa::{AluOp, Instr, Kernel, LaneAccess, Operand, Pc, Space, Special, Width};
+use gpu_types::Addr;
+
+use crate::cfg::Cfg;
+use crate::diag::{Diagnostic, Pass, Severity};
+use crate::AnalysisConfig;
+
+/// Synthetic warp-uniform base address used when predicting transactions.
+///
+/// Real bases are unknown statically; assuming a well-aligned base gives
+/// the best-case (and, for allocator-aligned buffers, the actual) line
+/// count. Kept far from zero so negative strides stay in range.
+const SYNTH_BASE: u64 = 1 << 20;
+
+/// How a register's value varies across the 32 lanes of a warp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbsVal {
+    /// A known compile-time constant (also warp-uniform).
+    Const(i64),
+    /// Identical in every lane of a warp, value unknown.
+    Uniform,
+    /// `base + lane * stride` for a warp-uniform base (stride non-zero).
+    Affine {
+        /// Per-lane byte stride.
+        stride: i64,
+    },
+    /// No static knowledge.
+    Unknown,
+}
+
+impl AbsVal {
+    /// Canonicalizes degenerate affine values.
+    fn norm(self) -> Self {
+        match self {
+            AbsVal::Affine { stride: 0 } => AbsVal::Uniform,
+            v => v,
+        }
+    }
+
+    fn is_warp_uniform(self) -> bool {
+        matches!(self, AbsVal::Const(_) | AbsVal::Uniform)
+    }
+}
+
+/// Lattice meet at control-flow joins.
+///
+/// Divergent warps can reconverge with different lanes having taken
+/// different paths, so even two per-path warp-uniform values merge to
+/// `Unknown` unless they are identical.
+fn meet(a: AbsVal, b: AbsVal) -> AbsVal {
+    if a == b {
+        a
+    } else {
+        AbsVal::Unknown
+    }
+}
+
+fn operand_val(op: Operand, env: &[AbsVal]) -> AbsVal {
+    match op {
+        Operand::Imm(v) => AbsVal::Const(v),
+        Operand::Reg(r) => env.get(r as usize).copied().unwrap_or(AbsVal::Unknown),
+    }
+}
+
+/// Abstract transfer function for ALU operations.
+fn eval_alu(op: AluOp, a: AbsVal, b: AbsVal) -> AbsVal {
+    use AbsVal::{Affine, Const, Uniform, Unknown};
+    let v = match op {
+        AluOp::Add => match (a, b) {
+            (Const(x), Const(y)) => Const(x.wrapping_add(y)),
+            (Affine { stride: s1 }, Affine { stride: s2 }) => Affine {
+                stride: s1.wrapping_add(s2),
+            },
+            (Affine { stride }, u) | (u, Affine { stride }) if u.is_warp_uniform() => {
+                Affine { stride }
+            }
+            (x, y) if x.is_warp_uniform() && y.is_warp_uniform() => Uniform,
+            _ => Unknown,
+        },
+        AluOp::Sub => match (a, b) {
+            (Const(x), Const(y)) => Const(x.wrapping_sub(y)),
+            (Affine { stride: s1 }, Affine { stride: s2 }) => Affine {
+                stride: s1.wrapping_sub(s2),
+            },
+            (Affine { stride }, u) if u.is_warp_uniform() => Affine { stride },
+            (u, Affine { stride }) if u.is_warp_uniform() => Affine {
+                stride: stride.wrapping_neg(),
+            },
+            (x, y) if x.is_warp_uniform() && y.is_warp_uniform() => Uniform,
+            _ => Unknown,
+        },
+        AluOp::Mul => match (a, b) {
+            (Const(x), Const(y)) => Const(x.wrapping_mul(y)),
+            (Affine { stride }, Const(c)) | (Const(c), Affine { stride }) => Affine {
+                stride: stride.wrapping_mul(c),
+            },
+            (x, y) if x.is_warp_uniform() && y.is_warp_uniform() => Uniform,
+            _ => Unknown,
+        },
+        AluOp::Shl => match (a, b) {
+            (Const(x), Const(c)) => Const(x.wrapping_shl(c as u32)),
+            (Affine { stride }, Const(c)) if (0..64).contains(&c) => Affine {
+                stride: stride.wrapping_shl(c as u32),
+            },
+            (x, y) if x.is_warp_uniform() && y.is_warp_uniform() => Uniform,
+            _ => Unknown,
+        },
+        // Remaining ops: warp-uniform in, warp-uniform out; no lane-stride
+        // tracking through division, masking or float arithmetic.
+        _ => {
+            if a.is_warp_uniform() && b.is_warp_uniform() {
+                Uniform
+            } else {
+                Unknown
+            }
+        }
+    };
+    v.norm()
+}
+
+/// Applies one instruction to the abstract environment.
+fn transfer(instr: &Instr, env: &mut [AbsVal]) {
+    let set = |env: &mut [AbsVal], r: gpu_isa::Reg, v: AbsVal| {
+        if let Some(slot) = env.get_mut(r as usize) {
+            *slot = v;
+        }
+    };
+    match instr {
+        Instr::Mov { dst, src } => {
+            let v = operand_val(*src, env);
+            set(env, *dst, v);
+        }
+        Instr::ReadSpecial { dst, special } => {
+            let v = match special {
+                Special::TidX | Special::LaneId | Special::GlobalTid => {
+                    AbsVal::Affine { stride: 1 }
+                }
+                Special::CtaIdX | Special::NTidX | Special::NCtaIdX => AbsVal::Uniform,
+            };
+            set(env, *dst, v);
+        }
+        Instr::LdParam { dst, .. } => set(env, *dst, AbsVal::Uniform),
+        Instr::Alu { op, dst, a, b } => {
+            let v = eval_alu(*op, operand_val(*a, env), operand_val(*b, env));
+            set(env, *dst, v);
+        }
+        Instr::Ld { dst, .. } | Instr::AtomAdd { dst, .. } => set(env, *dst, AbsVal::Unknown),
+        _ => {}
+    }
+}
+
+/// The lane-variation pattern inferred for one memory access's address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessPattern {
+    /// Address is not affine in the lane index; no prediction possible.
+    Unknown,
+    /// Every lane accesses the same address.
+    Broadcast,
+    /// Lane `i` accesses `base + i * stride` bytes.
+    Affine {
+        /// Per-lane byte stride.
+        stride: i64,
+    },
+}
+
+/// Static prediction for one memory instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemPrediction {
+    /// Instruction analyzed.
+    pub pc: Pc,
+    /// Memory space accessed.
+    pub space: Space,
+    /// `true` for stores and atomics.
+    pub is_store: bool,
+    /// `true` for atomics.
+    pub is_atomic: bool,
+    /// Access width.
+    pub width: Width,
+    /// Inferred per-lane address pattern.
+    pub pattern: AccessPattern,
+    /// Predicted line-sized transactions per fully-active warp
+    /// (global/local accesses with a known pattern only).
+    pub lines_per_warp: Option<usize>,
+    /// Predicted worst-bank conflict degree (shared accesses with a known
+    /// pattern only); `1` means conflict-free.
+    pub conflict_ways: Option<u32>,
+}
+
+/// Runs the affine address analysis and predicts every reachable memory
+/// instruction's per-warp behavior.
+pub fn predict(kernel: &Kernel, cfg: &Cfg, config: &AnalysisConfig) -> Vec<MemPrediction> {
+    let instrs = kernel.instrs();
+    let nregs = kernel.num_regs() as usize;
+    let nb = cfg.blocks().len();
+    if nb == 0 {
+        return Vec::new();
+    }
+
+    // Forward fixpoint over block-entry environments.
+    let mut envs: Vec<Option<Vec<AbsVal>>> = vec![None; nb];
+    envs[0] = Some(vec![AbsVal::Unknown; nregs]);
+    let mut worklist = vec![0usize];
+    while let Some(bi) = worklist.pop() {
+        let Some(entry) = envs[bi].clone() else {
+            continue;
+        };
+        let mut env = entry;
+        let b = &cfg.blocks()[bi];
+        for instr in &instrs[b.start..b.end] {
+            transfer(instr, &mut env);
+        }
+        for &s in &b.succs {
+            let merged = match &envs[s] {
+                None => env.clone(),
+                Some(prev) => prev
+                    .iter()
+                    .zip(&env)
+                    .map(|(&a, &b)| meet(a, b))
+                    .collect::<Vec<_>>(),
+            };
+            if envs[s].as_ref() != Some(&merged) {
+                envs[s] = Some(merged);
+                worklist.push(s);
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for (bi, b) in cfg.blocks().iter().enumerate() {
+        let Some(entry) = &envs[bi] else {
+            continue; // unreachable
+        };
+        let mut env = entry.clone();
+        for (pc, instr) in instrs.iter().enumerate().take(b.end).skip(b.start) {
+            let (space, width, addr, offset, is_store, is_atomic) = match instr {
+                Instr::Ld {
+                    space,
+                    width,
+                    addr,
+                    offset,
+                    ..
+                } => (*space, *width, *addr, *offset, false, false),
+                Instr::St {
+                    space,
+                    width,
+                    addr,
+                    offset,
+                    ..
+                } => (*space, *width, *addr, *offset, true, false),
+                Instr::AtomAdd {
+                    width,
+                    addr,
+                    offset,
+                    ..
+                } => (Space::Global, *width, *addr, *offset, true, true),
+                other => {
+                    transfer(other, &mut env);
+                    continue;
+                }
+            };
+            let base_val = env.get(addr as usize).copied().unwrap_or(AbsVal::Unknown);
+            let pattern = match base_val {
+                AbsVal::Const(_) | AbsVal::Uniform => AccessPattern::Broadcast,
+                AbsVal::Affine { stride } => AccessPattern::Affine { stride },
+                AbsVal::Unknown => AccessPattern::Unknown,
+            };
+            let lane_addr = |lane: u64| -> Addr {
+                let stride = match pattern {
+                    AccessPattern::Affine { stride } => stride,
+                    _ => 0,
+                };
+                Addr::new(
+                    SYNTH_BASE
+                        .wrapping_add_signed(offset)
+                        .wrapping_add_signed(stride.wrapping_mul(lane as i64)),
+                )
+            };
+            let (lines_per_warp, conflict_ways) = match (pattern, space) {
+                (AccessPattern::Unknown, _) => (None, None),
+                (_, Space::Global | Space::Local) => {
+                    let accesses: Vec<LaneAccess> = (0..config.warp_size)
+                        .map(|lane| LaneAccess {
+                            lane,
+                            addr: lane_addr(lane as u64),
+                            width,
+                        })
+                        .collect();
+                    let lines = gpu_sim::coalesce(&accesses, config.line_size).len();
+                    (Some(lines), None)
+                }
+                (_, Space::Shared) => {
+                    // Distinct words per bank; the hardware broadcasts
+                    // same-word accesses, so only distinct words conflict.
+                    let mut words_per_bank: HashMap<u64, Vec<u64>> = HashMap::new();
+                    for lane in 0..config.warp_size {
+                        let word = lane_addr(lane as u64).get() / config.bank_bytes;
+                        let bank = word % config.shared_banks as u64;
+                        let words = words_per_bank.entry(bank).or_default();
+                        if !words.contains(&word) {
+                            words.push(word);
+                        }
+                    }
+                    let ways = words_per_bank
+                        .values()
+                        .map(|w| w.len() as u32)
+                        .max()
+                        .unwrap_or(1);
+                    (None, Some(ways))
+                }
+            };
+            out.push(MemPrediction {
+                pc,
+                space,
+                width,
+                is_store,
+                is_atomic,
+                pattern,
+                lines_per_warp,
+                conflict_ways,
+            });
+            transfer(instr, &mut env);
+        }
+    }
+    out
+}
+
+/// Converts memory predictions into coalescing / bank-conflict diagnostics.
+pub fn memory_pass(kernel: &Kernel, cfg: &Cfg, config: &AnalysisConfig, out: &mut Vec<Diagnostic>) {
+    for p in predict(kernel, cfg, config) {
+        let what = if p.is_atomic {
+            "atomic"
+        } else if p.is_store {
+            "store"
+        } else {
+            "load"
+        };
+        match p.space {
+            Space::Global | Space::Local => {
+                let pass = Pass::Coalescing;
+                match (p.pattern, p.lines_per_warp) {
+                    (AccessPattern::Unknown, _) => out.push(Diagnostic::at(
+                        Severity::Info,
+                        pass,
+                        p.pc,
+                        format!("{} {what}: address is not affine in the lane index; cannot predict coalescing", p.space),
+                    )),
+                    (AccessPattern::Broadcast, Some(lines)) => out.push(Diagnostic::at(
+                        Severity::Info,
+                        pass,
+                        p.pc,
+                        format!("{} {what}: warp-uniform address, {lines} transaction(s) per warp", p.space),
+                    )),
+                    (AccessPattern::Affine { stride }, Some(lines)) => {
+                        // Best case for this footprint: densely packed lanes.
+                        let dense = (config.warp_size as u64 * p.width.bytes())
+                            .div_ceil(config.line_size)
+                            .max(1) as usize;
+                        let (sev, verdict) = if lines <= dense {
+                            (Severity::Info, "fully coalesced")
+                        } else if lines >= config.warp_size as usize {
+                            (Severity::Warning, "uncoalesced")
+                        } else {
+                            (Severity::Info, "partially coalesced")
+                        };
+                        out.push(Diagnostic::at(
+                            sev,
+                            pass,
+                            p.pc,
+                            format!(
+                                "{} {what}: {verdict}, stride {stride} B, {lines} transaction(s) per fully-active warp",
+                                p.space
+                            ),
+                        ));
+                    }
+                    _ => {}
+                }
+            }
+            Space::Shared => match (p.pattern, p.conflict_ways) {
+                (AccessPattern::Unknown, _) => out.push(Diagnostic::at(
+                    Severity::Info,
+                    Pass::BankConflict,
+                    p.pc,
+                    format!("shared {what}: address is not affine in the lane index; cannot predict bank conflicts"),
+                )),
+                (_, Some(1)) => out.push(Diagnostic::at(
+                    Severity::Info,
+                    Pass::BankConflict,
+                    p.pc,
+                    format!("shared {what}: conflict-free (1 word per bank)"),
+                )),
+                (_, Some(ways)) => out.push(Diagnostic::at(
+                    Severity::Warning,
+                    Pass::BankConflict,
+                    p.pc,
+                    format!("shared {what}: predicted {ways}-way bank conflict"),
+                )),
+                _ => {}
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_isa::{CmpOp, KernelBuilder};
+
+    fn predictions(kernel: &Kernel) -> Vec<MemPrediction> {
+        let cfg = Cfg::build(kernel);
+        predict(kernel, &cfg, &AnalysisConfig::default())
+    }
+
+    #[test]
+    fn dense_w4_load_is_one_line() {
+        let mut b = KernelBuilder::new("k");
+        let base = b.param(0);
+        let t = b.special(Special::GlobalTid);
+        let off = b.shl(t, 2);
+        let a = b.add(base, off);
+        b.ld_global(Width::W4, a, 0);
+        b.exit();
+        let k = b.build().unwrap();
+        let p = predictions(&k);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].pattern, AccessPattern::Affine { stride: 4 });
+        assert_eq!(p[0].lines_per_warp, Some(1));
+    }
+
+    #[test]
+    fn line_strided_store_fans_to_32() {
+        let mut b = KernelBuilder::new("k");
+        let base = b.param(0);
+        let t = b.special(Special::GlobalTid);
+        let off = b.mul(t, 128i64);
+        let a = b.add(base, off);
+        b.st_global(Width::W4, a, 0, 7i64);
+        b.exit();
+        let k = b.build().unwrap();
+        let p = predictions(&k);
+        assert_eq!(p[0].pattern, AccessPattern::Affine { stride: 128 });
+        assert_eq!(p[0].lines_per_warp, Some(32));
+        assert!(p[0].is_store);
+    }
+
+    #[test]
+    fn uniform_address_broadcasts() {
+        let mut b = KernelBuilder::new("k");
+        let base = b.param(0);
+        b.ld_global(Width::W4, base, 16);
+        b.exit();
+        let k = b.build().unwrap();
+        let p = predictions(&k);
+        assert_eq!(p[0].pattern, AccessPattern::Broadcast);
+        assert_eq!(p[0].lines_per_warp, Some(1));
+    }
+
+    #[test]
+    fn loaded_address_is_unknown() {
+        let mut b = KernelBuilder::new("k");
+        let base = b.param(0);
+        let idx = b.ld_global(Width::W8, base, 0);
+        b.ld_global(Width::W4, idx, 0);
+        b.exit();
+        let k = b.build().unwrap();
+        let p = predictions(&k);
+        assert_eq!(p[1].pattern, AccessPattern::Unknown);
+        assert_eq!(p[1].lines_per_warp, None);
+    }
+
+    #[test]
+    fn shared_dense_is_conflict_free_and_row_stride_conflicts() {
+        let mut b = KernelBuilder::new("k");
+        b.alloc_shared(32 * 128);
+        let lane = b.special(Special::LaneId);
+        let dense = b.shl(lane, 2); // 4 B stride: one word per bank
+        b.ld(Space::Shared, Width::W4, dense, 0);
+        let strided = b.mul(lane, 128i64); // 128 B stride: all lanes hit bank 0
+        b.ld(Space::Shared, Width::W4, strided, 0);
+        b.exit();
+        let k = b.build().unwrap();
+        let p = predictions(&k);
+        assert_eq!(p[0].conflict_ways, Some(1));
+        assert_eq!(p[1].conflict_ways, Some(32));
+    }
+
+    #[test]
+    fn w8_dense_access_spans_two_lines() {
+        let mut b = KernelBuilder::new("k");
+        let base = b.param(0);
+        let t = b.special(Special::GlobalTid);
+        let off = b.shl(t, 3);
+        let a = b.add(base, off);
+        b.ld_global(Width::W8, a, 0);
+        b.exit();
+        let k = b.build().unwrap();
+        let p = predictions(&k);
+        assert_eq!(p[0].pattern, AccessPattern::Affine { stride: 8 });
+        // 32 lanes * 8 B = 256 B = two 128 B lines.
+        assert_eq!(p[0].lines_per_warp, Some(2));
+    }
+
+    #[test]
+    fn join_of_divergent_values_degrades_to_unknown() {
+        let mut b = KernelBuilder::new("k");
+        let base = b.param(0);
+        let t = b.special(Special::GlobalTid);
+        let p = b.setp(CmpOp::Lt, t, 8i64);
+        let r = b.mov(0i64);
+        b.if_then_else(p, |b| b.mov_to(r, 4i64), |b| b.mov_to(r, 8i64));
+        let off = b.mul(t, r);
+        let a = b.add(base, off);
+        b.ld_global(Width::W4, a, 0);
+        b.exit();
+        let k = b.build().unwrap();
+        let preds = predictions(&k);
+        assert_eq!(preds[0].pattern, AccessPattern::Unknown);
+    }
+
+    #[test]
+    fn negative_stride_predicts_like_positive() {
+        let mut b = KernelBuilder::new("k");
+        let base = b.param(0);
+        let t = b.special(Special::LaneId);
+        let neg = b.sub(0i64, t);
+        let off = b.mul(neg, 4i64);
+        let a = b.add(base, off);
+        b.ld_global(Width::W4, a, 0);
+        b.exit();
+        let k = b.build().unwrap();
+        let p = predictions(&k);
+        assert_eq!(p[0].pattern, AccessPattern::Affine { stride: -4 });
+        // 128 B of densely-packed lanes, possibly split across a boundary.
+        assert!(p[0].lines_per_warp.unwrap() <= 2);
+    }
+
+    #[test]
+    fn alu_domain_rules() {
+        use AbsVal::*;
+        assert_eq!(eval_alu(AluOp::Add, Const(3), Const(4)), Const(7));
+        assert_eq!(
+            eval_alu(AluOp::Add, Affine { stride: 4 }, Uniform),
+            Affine { stride: 4 }
+        );
+        assert_eq!(
+            eval_alu(AluOp::Sub, Uniform, Affine { stride: 4 }),
+            Affine { stride: -4 }
+        );
+        assert_eq!(
+            eval_alu(AluOp::Sub, Affine { stride: 4 }, Affine { stride: 4 }),
+            Uniform,
+        );
+        assert_eq!(
+            eval_alu(AluOp::Mul, Affine { stride: 1 }, Const(12)),
+            Affine { stride: 12 }
+        );
+        assert_eq!(
+            eval_alu(AluOp::Shl, Affine { stride: 1 }, Const(2)),
+            Affine { stride: 4 }
+        );
+        assert_eq!(eval_alu(AluOp::Mul, Affine { stride: 1 }, Uniform), Unknown);
+        assert_eq!(eval_alu(AluOp::Div, Uniform, Const(2)), Uniform);
+        assert_eq!(
+            eval_alu(AluOp::Xor, Affine { stride: 1 }, Const(1)),
+            Unknown
+        );
+        assert_eq!(
+            eval_alu(AluOp::Mul, Affine { stride: 1 }, Const(0)),
+            Uniform
+        );
+    }
+}

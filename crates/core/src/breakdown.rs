@@ -207,8 +207,8 @@ impl LatencyBreakdown {
         let total: u64 = self.sums[i].iter().sum();
         let mut out = [0.0; 8];
         if total > 0 {
-            for c in 0..8 {
-                out[c] = 100.0 * self.sums[i][c] as f64 / total as f64;
+            for (o, &sum) in out.iter_mut().zip(&self.sums[i]) {
+                *o = 100.0 * sum as f64 / total as f64;
             }
         }
         out
@@ -219,8 +219,8 @@ impl LatencyBreakdown {
         let total: u64 = self.grand_total.iter().sum();
         let mut out = [0.0; 8];
         if total > 0 {
-            for c in 0..8 {
-                out[c] = 100.0 * self.grand_total[c] as f64 / total as f64;
+            for (o, &sum) in out.iter_mut().zip(&self.grand_total) {
+                *o = 100.0 * sum as f64 / total as f64;
             }
         }
         out

@@ -94,7 +94,7 @@ impl ChaseParams {
     }
 
     fn validate(&self) -> Result<(), ChaseError> {
-        if self.stride < 8 || self.stride % 8 != 0 {
+        if self.stride < 8 || !self.stride.is_multiple_of(8) {
             return Err(ChaseError::BadStride(self.stride));
         }
         if self.count() == 0 {

@@ -169,7 +169,7 @@ pub fn measure_chase_under_load(
         ChaseSpace::Global,
         "loaded chase measures the shared global pipeline"
     );
-    if params.stride < 8 || params.stride % 8 != 0 {
+    if params.stride < 8 || !params.stride.is_multiple_of(8) {
         return Err(ChaseError::BadStride(params.stride));
     }
     if params.count() == 0 {

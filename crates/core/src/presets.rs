@@ -104,14 +104,23 @@ impl ArchPreset {
     }
 
     /// Builds the full simulated machine for this generation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the preset fails [`GpuConfig::assert_valid`] — presets are
+    /// hand-written literals, so a structural mistake (a zero queue, an L1
+    /// slower than its L2) should fail at construction, not as a mystery
+    /// deadlock deep in a run.
     pub fn config(self) -> GpuConfig {
-        match self {
+        let c = match self {
             ArchPreset::TeslaGt200 => tesla_gt200(),
             ArchPreset::FermiGf106 => fermi(4, 2, "GF106 (Fermi)"),
             ArchPreset::FermiGf100 => fermi(15, 6, "GF100 (Fermi)"),
             ArchPreset::KeplerGk104 => kepler_gk104(),
             ArchPreset::MaxwellGm107 => maxwell_gm107(),
-        }
+        };
+        c.assert_valid();
+        c
     }
 
     /// A single-SM, single-partition variant with identical pipeline
@@ -122,6 +131,7 @@ impl ArchPreset {
         let mut c = self.config();
         c.num_sms = 1;
         c.num_partitions = 1;
+        c.assert_valid();
         c
     }
 }
@@ -210,6 +220,7 @@ fn tesla_gt200() -> GpuConfig {
         dram_banks: 16,
         dram_row_bytes: 2048,
         fill_latency: 10,
+        sanitize: true,
     }
 }
 
@@ -247,6 +258,7 @@ fn fermi(num_sms: usize, num_partitions: usize, name: &str) -> GpuConfig {
         dram_banks: 16,
         dram_row_bytes: 2048,
         fill_latency: 10,
+        sanitize: true,
     }
 }
 
@@ -284,6 +296,7 @@ fn kepler_gk104() -> GpuConfig {
         dram_banks: 16,
         dram_row_bytes: 2048,
         fill_latency: 9,
+        sanitize: true,
     }
 }
 
@@ -321,6 +334,7 @@ fn maxwell_gm107() -> GpuConfig {
         dram_banks: 16,
         dram_row_bytes: 2048,
         fill_latency: 9,
+        sanitize: true,
     }
 }
 
@@ -335,6 +349,36 @@ mod tests {
             p.config().assert_valid();
             p.config_microbench().assert_valid();
         }
+    }
+
+    #[test]
+    fn presets_validate_at_construction() {
+        // `config()` routes through `assert_valid`, so a corrupted preset
+        // can only escape as a panic — prove the rejection paths fire on the
+        // exact classes of mistakes the validator covers.
+        for p in ArchPreset::ALL {
+            let c = p.config();
+            assert!(c.sanitize, "{}: sanitizer must default on", p.name());
+            if let (Some(l1), Some(l2)) = (&c.l1, &c.l2) {
+                assert!(l1.hit_latency < l2.hit_latency, "{}", p.name());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ROP queue capacity")]
+    fn corrupted_preset_zero_queue_is_rejected() {
+        let mut c = ArchPreset::FermiGf100.config();
+        c.rop_queue = 0;
+        c.assert_valid();
+    }
+
+    #[test]
+    #[should_panic(expected = "L1 hit latency")]
+    fn corrupted_preset_l1_slower_than_l2_is_rejected() {
+        let mut c = ArchPreset::KeplerGk104.config();
+        c.l1.as_mut().unwrap().hit_latency = 400;
+        c.assert_valid();
     }
 
     #[test]

@@ -39,29 +39,127 @@ pub struct AsmError {
     /// 1-based line the error was found on (0 for file-level errors).
     pub line: usize,
     /// What went wrong.
-    pub message: String,
+    pub kind: AsmErrorKind,
+}
+
+/// The specific failure behind an [`AsmError`].
+///
+/// Variants carry the offending token so callers can report or test
+/// against it without string-matching the rendered message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmErrorKind {
+    /// `.kernel` directive with no name argument.
+    MissingKernelName,
+    /// No `.kernel` directive anywhere in the input.
+    MissingKernelDirective,
+    /// A directive other than `.kernel`/`.regs`/`.shared`/`.local`.
+    UnknownDirective(String),
+    /// A label with characters outside `[A-Za-z0-9_]`.
+    BadLabel(String),
+    /// The same label defined twice.
+    DuplicateLabel(String),
+    /// A branch target label never defined.
+    UnknownLabel(String),
+    /// A directive argument that is not a number; `what` names the directive.
+    BadNumber {
+        /// Which directive expected the number (e.g. `.regs`).
+        what: &'static str,
+        /// The token found instead.
+        got: String,
+    },
+    /// A token where a register (`rN`) was expected.
+    ExpectedRegister(String),
+    /// A token where a predicate (`pN`) was expected.
+    ExpectedPredicate(String),
+    /// A token where a register or immediate was expected.
+    ExpectedOperand(String),
+    /// An unrecognized `%special` register name.
+    UnknownSpecial(String),
+    /// A memory operand not of the form `[reg+offset]`.
+    BadAddress(String),
+    /// A memory operand whose offset is not a number.
+    BadOffset(String),
+    /// An unrecognized address-space suffix.
+    UnknownSpace(String),
+    /// An unrecognized width suffix.
+    UnknownWidth(String),
+    /// An unrecognized `setp` comparison suffix.
+    UnknownComparison(String),
+    /// A branch tail that is not `(reconv TARGET)`.
+    BadReconverge(String),
+    /// `ld.param` without a literal `[index]` operand.
+    BadParamIndex,
+    /// A `@p` guard on an instruction other than `bra`.
+    GuardOnNonBranch,
+    /// Wrong number of comma-separated operands for a mnemonic.
+    WrongOperandCount {
+        /// The mnemonic as written.
+        mnemonic: String,
+        /// How many operands it takes.
+        expected: usize,
+    },
+    /// A mnemonic no instruction matches.
+    UnknownMnemonic(String),
+    /// The assembled kernel failed [`Kernel::validate`].
+    Validation(ValidateError),
 }
 
 impl AsmError {
-    fn new(line: usize, message: impl Into<String>) -> Self {
-        AsmError {
-            line,
-            message: message.into(),
-        }
+    fn new(line: usize, kind: AsmErrorKind) -> Self {
+        AsmError { line, kind }
     }
 }
 
 impl fmt::Display for AsmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        write!(f, "line {}: {}", self.line, self.kind)
     }
 }
 
-impl std::error::Error for AsmError {}
+impl fmt::Display for AsmErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use AsmErrorKind::*;
+        match self {
+            MissingKernelName => write!(f, ".kernel needs a name"),
+            MissingKernelDirective => write!(f, "missing .kernel directive"),
+            UnknownDirective(d) => write!(f, "unknown directive .{d}"),
+            BadLabel(l) => write!(f, "bad label '{l}'"),
+            DuplicateLabel(l) => write!(f, "duplicate label '{l}'"),
+            UnknownLabel(l) => write!(f, "unknown label '{l}'"),
+            BadNumber { what, got } => write!(f, "{what}: expected a number, got '{got}'"),
+            ExpectedRegister(s) => write!(f, "expected a register, got '{s}'"),
+            ExpectedPredicate(s) => write!(f, "expected a predicate, got '{s}'"),
+            ExpectedOperand(s) => write!(f, "expected an operand, got '{s}'"),
+            UnknownSpecial(s) => write!(f, "unknown special register '{s}'"),
+            BadAddress(s) => write!(f, "expected [reg+offset], got '{s}'"),
+            BadOffset(s) => write!(f, "bad offset in '{s}'"),
+            UnknownSpace(s) => write!(f, "unknown space '{s}'"),
+            UnknownWidth(s) => write!(f, "unknown width '{s}'"),
+            UnknownComparison(s) => write!(f, "unknown comparison '{s}'"),
+            BadReconverge(s) => write!(f, "expected (reconv TARGET), got '{s}'"),
+            BadParamIndex => write!(f, "ld.param needs [index]"),
+            GuardOnNonBranch => write!(f, "only branches may carry a predicate guard"),
+            WrongOperandCount { mnemonic, expected } => {
+                write!(f, "{mnemonic} needs {expected} operands")
+            }
+            UnknownMnemonic(m) => write!(f, "unknown mnemonic '{m}'"),
+            Validation(e) => write!(f, "validation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match &self.kind {
+            AsmErrorKind::Validation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<ValidateError> for AsmError {
     fn from(e: ValidateError) -> Self {
-        AsmError::new(0, format!("validation failed: {e}"))
+        AsmError::new(0, AsmErrorKind::Validation(e))
     }
 }
 
@@ -111,7 +209,7 @@ pub fn parse_kernel(text: &str) -> Result<Kernel, AsmError> {
             match dir {
                 "kernel" => {
                     if arg.is_empty() {
-                        return Err(AsmError::new(lineno, ".kernel needs a name"));
+                        return Err(AsmError::new(lineno, AsmErrorKind::MissingKernelName));
                     }
                     name = Some(arg.to_string());
                 }
@@ -121,7 +219,10 @@ pub fn parse_kernel(text: &str) -> Result<Kernel, AsmError> {
                 "shared" => shared = parse_num(arg, lineno, ".shared")?,
                 "local" => local = parse_num(arg, lineno, ".local")?,
                 other => {
-                    return Err(AsmError::new(lineno, format!("unknown directive .{other}")));
+                    return Err(AsmError::new(
+                        lineno,
+                        AsmErrorKind::UnknownDirective(other.to_string()),
+                    ));
                 }
             }
             continue;
@@ -130,13 +231,19 @@ pub fn parse_kernel(text: &str) -> Result<Kernel, AsmError> {
         while let Some(colon) = find_label_colon(line) {
             let label = line[..colon].trim();
             if !label.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
-                return Err(AsmError::new(lineno, format!("bad label '{label}'")));
+                return Err(AsmError::new(
+                    lineno,
+                    AsmErrorKind::BadLabel(label.to_string()),
+                ));
             }
             // Numeric "labels" from disassembly are positional and ignored.
             if label.parse::<usize>().is_err()
                 && labels.insert(label.to_string(), items.len()).is_some()
             {
-                return Err(AsmError::new(lineno, format!("duplicate label '{label}'")));
+                return Err(AsmError::new(
+                    lineno,
+                    AsmErrorKind::DuplicateLabel(label.to_string()),
+                ));
             }
             line = line[colon + 1..].trim();
             if line.is_empty() {
@@ -149,7 +256,7 @@ pub fn parse_kernel(text: &str) -> Result<Kernel, AsmError> {
         items.push((lineno, parse_instr(line, lineno)?));
     }
 
-    let name = name.ok_or_else(|| AsmError::new(0, "missing .kernel directive"))?;
+    let name = name.ok_or_else(|| AsmError::new(0, AsmErrorKind::MissingKernelDirective))?;
 
     // Resolve labels.
     let resolve = |t: &Target, lineno: usize| -> Result<Pc, AsmError> {
@@ -159,7 +266,7 @@ pub fn parse_kernel(text: &str) -> Result<Kernel, AsmError> {
             Target::Label(l) => labels
                 .get(l)
                 .copied()
-                .ok_or_else(|| AsmError::new(lineno, format!("unknown label '{l}'"))),
+                .ok_or_else(|| AsmError::new(lineno, AsmErrorKind::UnknownLabel(l.clone()))),
         }
     };
     let mut instrs = Vec::with_capacity(items.len());
@@ -193,6 +300,17 @@ pub fn parse_kernel(text: &str) -> Result<Kernel, AsmError> {
     Ok(kernel)
 }
 
+/// Shorthand for the operand-count error.
+fn wrong_operands(lineno: usize, mnemonic: &str, expected: usize) -> AsmError {
+    AsmError::new(
+        lineno,
+        AsmErrorKind::WrongOperandCount {
+            mnemonic: mnemonic.to_string(),
+            expected,
+        },
+    )
+}
+
 fn strip_comment(line: &str) -> &str {
     let cut = line
         .find("//")
@@ -222,21 +340,28 @@ fn find_label_colon(line: &str) -> Option<usize> {
     }
 }
 
-fn parse_num(s: &str, lineno: usize, what: &str) -> Result<u64, AsmError> {
-    s.parse::<u64>()
-        .map_err(|_| AsmError::new(lineno, format!("{what}: expected a number, got '{s}'")))
+fn parse_num(s: &str, lineno: usize, what: &'static str) -> Result<u64, AsmError> {
+    s.parse::<u64>().map_err(|_| {
+        AsmError::new(
+            lineno,
+            AsmErrorKind::BadNumber {
+                what,
+                got: s.to_string(),
+            },
+        )
+    })
 }
 
 fn parse_reg(s: &str, lineno: usize) -> Result<Reg, AsmError> {
     s.strip_prefix('r')
         .and_then(|n| n.parse::<Reg>().ok())
-        .ok_or_else(|| AsmError::new(lineno, format!("expected a register, got '{s}'")))
+        .ok_or_else(|| AsmError::new(lineno, AsmErrorKind::ExpectedRegister(s.to_string())))
 }
 
 fn parse_pred(s: &str, lineno: usize) -> Result<PredReg, AsmError> {
     s.strip_prefix('p')
         .and_then(|n| n.parse::<PredReg>().ok())
-        .ok_or_else(|| AsmError::new(lineno, format!("expected a predicate, got '{s}'")))
+        .ok_or_else(|| AsmError::new(lineno, AsmErrorKind::ExpectedPredicate(s.to_string())))
 }
 
 fn parse_operand(s: &str, lineno: usize) -> Result<Operand, AsmError> {
@@ -247,7 +372,7 @@ fn parse_operand(s: &str, lineno: usize) -> Result<Operand, AsmError> {
     }
     s.parse::<i64>()
         .map(Operand::Imm)
-        .map_err(|_| AsmError::new(lineno, format!("expected an operand, got '{s}'")))
+        .map_err(|_| AsmError::new(lineno, AsmErrorKind::ExpectedOperand(s.to_string())))
 }
 
 fn parse_special(s: &str, lineno: usize) -> Result<Special, AsmError> {
@@ -261,7 +386,7 @@ fn parse_special(s: &str, lineno: usize) -> Result<Special, AsmError> {
         other => {
             return Err(AsmError::new(
                 lineno,
-                format!("unknown special register '{other}'"),
+                AsmErrorKind::UnknownSpecial(other.to_string()),
             ))
         }
     })
@@ -272,20 +397,20 @@ fn parse_addr(s: &str, lineno: usize) -> Result<(Reg, i64), AsmError> {
     let inner = s
         .strip_prefix('[')
         .and_then(|x| x.strip_suffix(']'))
-        .ok_or_else(|| AsmError::new(lineno, format!("expected [reg+offset], got '{s}'")))?;
+        .ok_or_else(|| AsmError::new(lineno, AsmErrorKind::BadAddress(s.to_string())))?;
     if let Some(plus) = inner.find('+') {
         let reg = parse_reg(inner[..plus].trim(), lineno)?;
         let off = inner[plus + 1..]
             .trim()
             .parse::<i64>()
-            .map_err(|_| AsmError::new(lineno, format!("bad offset in '{s}'")))?;
+            .map_err(|_| AsmError::new(lineno, AsmErrorKind::BadOffset(s.to_string())))?;
         Ok((reg, off))
     } else if let Some(minus) = inner[1..].find('-') {
         let reg = parse_reg(inner[..minus + 1].trim(), lineno)?;
         let off = inner[minus + 1..]
             .trim()
             .parse::<i64>()
-            .map_err(|_| AsmError::new(lineno, format!("bad offset in '{s}'")))?;
+            .map_err(|_| AsmError::new(lineno, AsmErrorKind::BadOffset(s.to_string())))?;
         Ok((reg, off))
     } else {
         Ok((parse_reg(inner.trim(), lineno)?, 0))
@@ -297,7 +422,12 @@ fn parse_space(s: &str, lineno: usize) -> Result<Space, AsmError> {
         "global" => Space::Global,
         "local" => Space::Local,
         "shared" => Space::Shared,
-        other => return Err(AsmError::new(lineno, format!("unknown space '{other}'"))),
+        other => {
+            return Err(AsmError::new(
+                lineno,
+                AsmErrorKind::UnknownSpace(other.to_string()),
+            ))
+        }
     })
 }
 
@@ -305,7 +435,12 @@ fn parse_width(s: &str, lineno: usize) -> Result<Width, AsmError> {
     Ok(match s {
         "u32" => Width::W4,
         "u64" => Width::W8,
-        other => return Err(AsmError::new(lineno, format!("unknown width '{other}'"))),
+        other => {
+            return Err(AsmError::new(
+                lineno,
+                AsmErrorKind::UnknownWidth(other.to_string()),
+            ))
+        }
     })
 }
 
@@ -351,7 +486,7 @@ fn cmp_op(mnemonic: &str, lineno: usize) -> Result<CmpOp, AsmError> {
         other => {
             return Err(AsmError::new(
                 lineno,
-                format!("unknown comparison '{other}'"),
+                AsmErrorKind::UnknownComparison(other.to_string()),
             ))
         }
     })
@@ -404,7 +539,7 @@ fn parse_instr(line: &str, lineno: usize) -> Result<Parsed, AsmError> {
                 .and_then(|x| x.strip_suffix(')'))
                 .map(str::trim)
                 .ok_or_else(|| {
-                    AsmError::new(lineno, format!("expected (reconv TARGET), got '{tail}'"))
+                    AsmError::new(lineno, AsmErrorKind::BadReconverge(tail.to_string()))
                 })?;
             parse_target(inner)
         };
@@ -416,10 +551,7 @@ fn parse_instr(line: &str, lineno: usize) -> Result<Parsed, AsmError> {
     }
 
     if guard.is_some() {
-        return Err(AsmError::new(
-            lineno,
-            "only branches may carry a predicate guard",
-        ));
+        return Err(AsmError::new(lineno, AsmErrorKind::GuardOnNonBranch));
     }
 
     let parsed = match mnemonic {
@@ -429,7 +561,7 @@ fn parse_instr(line: &str, lineno: usize) -> Result<Parsed, AsmError> {
         "mov" => {
             let ops = operands(rest);
             if ops.len() != 2 {
-                return Err(AsmError::new(lineno, "mov needs 2 operands"));
+                return Err(wrong_operands(lineno, "mov", 2));
             }
             let dst = parse_reg(ops[0], lineno)?;
             if ops[1].starts_with('%') {
@@ -447,21 +579,21 @@ fn parse_instr(line: &str, lineno: usize) -> Result<Parsed, AsmError> {
         "ld.param" => {
             let ops = operands(rest);
             if ops.len() != 2 {
-                return Err(AsmError::new(lineno, "ld.param needs 2 operands"));
+                return Err(wrong_operands(lineno, "ld.param", 2));
             }
             let dst = parse_reg(ops[0], lineno)?;
             let idx = ops[1]
                 .strip_prefix('[')
                 .and_then(|x| x.strip_suffix(']'))
                 .and_then(|x| x.trim().parse::<usize>().ok())
-                .ok_or_else(|| AsmError::new(lineno, "ld.param needs [index]"))?;
+                .ok_or_else(|| AsmError::new(lineno, AsmErrorKind::BadParamIndex))?;
             Instr::LdParam { dst, index: idx }
         }
         m if m.starts_with("setp.") => {
             let op = cmp_op(&m[5..], lineno)?;
             let ops = operands(rest);
             if ops.len() != 3 {
-                return Err(AsmError::new(lineno, "setp needs 3 operands"));
+                return Err(wrong_operands(lineno, "setp", 3));
             }
             Instr::SetP {
                 pred: parse_pred(ops[0], lineno)?,
@@ -477,7 +609,7 @@ fn parse_instr(line: &str, lineno: usize) -> Result<Parsed, AsmError> {
             let width = parse_width(parts.next().unwrap_or(""), lineno)?;
             let ops = operands(rest);
             if ops.len() != 2 {
-                return Err(AsmError::new(lineno, "ld needs 2 operands"));
+                return Err(wrong_operands(lineno, "ld", 2));
             }
             let dst = parse_reg(ops[0], lineno)?;
             let (addr, offset) = parse_addr(ops[1], lineno)?;
@@ -496,7 +628,7 @@ fn parse_instr(line: &str, lineno: usize) -> Result<Parsed, AsmError> {
             let width = parse_width(parts.next().unwrap_or(""), lineno)?;
             let ops = operands(rest);
             if ops.len() != 2 {
-                return Err(AsmError::new(lineno, "st needs 2 operands"));
+                return Err(wrong_operands(lineno, "st", 2));
             }
             let (addr, offset) = parse_addr(ops[0], lineno)?;
             Instr::St {
@@ -511,7 +643,7 @@ fn parse_instr(line: &str, lineno: usize) -> Result<Parsed, AsmError> {
             let width = parse_width(&m[9..], lineno)?;
             let ops = operands(rest);
             if ops.len() != 3 {
-                return Err(AsmError::new(lineno, "atom.add needs 3 operands"));
+                return Err(wrong_operands(lineno, "atom.add", 3));
             }
             let dst = parse_reg(ops[0], lineno)?;
             let (addr, offset) = parse_addr(ops[1], lineno)?;
@@ -527,7 +659,7 @@ fn parse_instr(line: &str, lineno: usize) -> Result<Parsed, AsmError> {
             if let Some(op) = alu_op(m) {
                 let ops = operands(rest);
                 if ops.len() != 3 {
-                    return Err(AsmError::new(lineno, format!("{m} needs 3 operands")));
+                    return Err(wrong_operands(lineno, m, 3));
                 }
                 Instr::Alu {
                     op,
@@ -536,7 +668,10 @@ fn parse_instr(line: &str, lineno: usize) -> Result<Parsed, AsmError> {
                     b: parse_operand(ops[2], lineno)?,
                 }
             } else {
-                return Err(AsmError::new(lineno, format!("unknown mnemonic '{m}'")));
+                return Err(AsmError::new(
+                    lineno,
+                    AsmErrorKind::UnknownMnemonic(m.to_string()),
+                ));
             }
         }
     };
@@ -643,29 +778,92 @@ mod tests {
     }
 
     #[test]
-    fn errors_carry_line_numbers() {
+    fn errors_carry_line_numbers_and_kinds() {
         let err = parse_kernel(".kernel k\nbogus r0, r1\nexit\n").unwrap_err();
         assert_eq!(err.line, 2);
-        assert!(err.message.contains("bogus"));
+        assert_eq!(err.kind, AsmErrorKind::UnknownMnemonic("bogus".into()));
+        assert!(err.to_string().contains("bogus"));
 
         let err = parse_kernel(".kernel k\nbra nowhere\nexit\n").unwrap_err();
-        assert!(err.message.contains("nowhere"));
+        assert_eq!(err.kind, AsmErrorKind::UnknownLabel("nowhere".into()));
 
         let err = parse_kernel("exit\n").unwrap_err();
-        assert!(err.message.contains(".kernel"));
+        assert_eq!(err.line, 0, "file-level error");
+        assert_eq!(err.kind, AsmErrorKind::MissingKernelDirective);
 
         let err = parse_kernel(".kernel k\n@p0 add r0, r1, r2\nexit\n").unwrap_err();
-        assert!(err.message.contains("guard"));
+        assert_eq!(err.kind, AsmErrorKind::GuardOnNonBranch);
+        assert!(err.to_string().contains("guard"));
 
         let err = parse_kernel(".kernel k\nfoo:\nfoo:\nexit\n").unwrap_err();
-        assert!(err.message.contains("duplicate"));
+        assert_eq!(err.line, 3);
+        assert_eq!(err.kind, AsmErrorKind::DuplicateLabel("foo".into()));
+    }
+
+    #[test]
+    fn syntax_error_kinds_name_the_offending_token() {
+        for (src, kind) in [
+            (
+                ".kernel k\nmov r0\nexit\n",
+                AsmErrorKind::WrongOperandCount {
+                    mnemonic: "mov".into(),
+                    expected: 2,
+                },
+            ),
+            (
+                ".kernel k\nmov q7, 1\nexit\n",
+                AsmErrorKind::ExpectedRegister("q7".into()),
+            ),
+            (
+                ".kernel k\nmov r0, %bad\nexit\n",
+                AsmErrorKind::UnknownSpecial("%bad".into()),
+            ),
+            (
+                ".kernel k\nld.global.u16 r0, [r1+0]\nexit\n",
+                AsmErrorKind::UnknownWidth("u16".into()),
+            ),
+            (
+                ".kernel k\nld.weird.u32 r0, [r1+0]\nexit\n",
+                AsmErrorKind::UnknownSpace("weird".into()),
+            ),
+            (
+                ".kernel k\nsetp.xx p0, r0, r1\nexit\n",
+                AsmErrorKind::UnknownComparison("xx".into()),
+            ),
+            (
+                ".kernel k\nld.global.u32 r0, r1\nexit\n",
+                AsmErrorKind::BadAddress("r1".into()),
+            ),
+            (
+                ".kernel k\nld.param r0, 3\nexit\n",
+                AsmErrorKind::BadParamIndex,
+            ),
+            (
+                ".kernel k\n.regs lots\nexit\n",
+                AsmErrorKind::BadNumber {
+                    what: ".regs",
+                    got: "lots".into(),
+                },
+            ),
+            (
+                ".kernel k\n.frobnicate 3\nexit\n",
+                AsmErrorKind::UnknownDirective("frobnicate".into()),
+            ),
+        ] {
+            let err = parse_kernel(src).unwrap_err();
+            assert_eq!(err.kind, kind, "for source {src:?}");
+            assert_eq!(err.line, 2, "for source {src:?}");
+        }
     }
 
     #[test]
     fn validation_errors_surface() {
         // Branch to a PC beyond the end.
         let err = parse_kernel(".kernel k\nbra 99\nexit\n").unwrap_err();
-        assert!(err.message.contains("validation"), "{err}");
+        assert!(matches!(err.kind, AsmErrorKind::Validation(_)), "{err:?}");
+        assert!(err.to_string().contains("validation"), "{err}");
+        // The validation failure is chained as the error source.
+        assert!(std::error::Error::source(&err).is_some());
     }
 
     #[test]

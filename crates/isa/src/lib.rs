@@ -42,7 +42,7 @@ mod exec;
 mod instr;
 mod kernel;
 
-pub use asm::{parse_kernel, AsmError};
+pub use asm::{parse_kernel, AsmError, AsmErrorKind};
 pub use builder::{KernelBuilder, MAX_PREDS};
 pub use exec::{
     LaneAccess, LocalMap, MemBackend, MemOp, StepOutcome, ThreadCtx, WarpExec, MAX_WARP_SIZE,

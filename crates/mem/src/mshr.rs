@@ -131,6 +131,26 @@ impl<T> MshrTable<T> {
     pub fn fill(&mut self, line: Addr) -> Vec<T> {
         self.entries.remove(&line.get()).unwrap_or_default()
     }
+
+    // ---- audit accessors (used by the simulator's invariant sanitizer) ----
+
+    /// Total waiters parked across all merge lists (primary misses travel
+    /// downstream and are not counted).
+    pub fn waiters(&self) -> usize {
+        self.entries.values().map(Vec::len).sum()
+    }
+
+    /// Length of the longest merge list, zero when empty.
+    pub fn max_list_len(&self) -> usize {
+        self.entries.values().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// The outstanding line addresses, sorted (for reproducible reports).
+    pub fn pending_lines(&self) -> Vec<Addr> {
+        let mut lines: Vec<u64> = self.entries.keys().copied().collect();
+        lines.sort_unstable();
+        lines.into_iter().map(Addr::new).collect()
+    }
 }
 
 #[cfg(test)]
@@ -201,5 +221,69 @@ mod tests {
         let line = Addr::new(0x80);
         m.allocate(line);
         m.allocate(line);
+    }
+
+    #[test]
+    fn merge_at_table_capacity_still_works() {
+        // A full table blocks new allocations but must keep accepting
+        // merges on its existing lines up to each line's merge limit.
+        let mut m = table(1, 2);
+        let line = Addr::new(0x000);
+        assert!(m.allocate(line));
+        assert!(!m.can_allocate());
+        assert!(m.can_merge(line));
+        assert_eq!(m.try_merge(line, 1), Ok(()));
+        assert_eq!(m.try_merge(line, 2), Ok(()));
+        assert!(!m.can_merge(line), "merge list is at max_merged");
+        assert_eq!(m.try_merge(line, 3), Err(3));
+        assert_eq!(m.fill(line), vec![1, 2]);
+    }
+
+    #[test]
+    fn allocate_after_full_succeeds_only_after_release() {
+        let mut m = table(2, 1);
+        assert!(m.allocate(Addr::new(0x000)));
+        assert!(m.allocate(Addr::new(0x080)));
+        assert!(!m.allocate(Addr::new(0x100)), "table full: must stall");
+        // The failed allocation must not have touched the table.
+        assert!(!m.is_pending(Addr::new(0x100)));
+        assert_eq!(m.len(), 2);
+        m.fill(Addr::new(0x080));
+        assert!(m.allocate(Addr::new(0x100)));
+        assert!(m.is_pending(Addr::new(0x100)));
+    }
+
+    #[test]
+    fn release_of_unknown_line_is_harmless() {
+        let mut m = table(2, 2);
+        assert!(m.allocate(Addr::new(0x200)));
+        // Filling a line the table never saw returns no waiters and leaves
+        // the genuine entry untouched.
+        assert!(m.fill(Addr::new(0x999)).is_empty());
+        assert_eq!(m.len(), 1);
+        assert!(m.is_pending(Addr::new(0x200)));
+    }
+
+    #[test]
+    fn audit_accessors_track_occupancy() {
+        let mut m = table(4, 3);
+        assert_eq!(m.waiters(), 0);
+        assert_eq!(m.max_list_len(), 0);
+        assert!(m.pending_lines().is_empty());
+        m.allocate(Addr::new(0x300));
+        m.allocate(Addr::new(0x100));
+        assert_eq!(m.try_merge(Addr::new(0x300), 7), Ok(()));
+        assert_eq!(m.try_merge(Addr::new(0x300), 8), Ok(()));
+        assert_eq!(m.try_merge(Addr::new(0x100), 9), Ok(()));
+        assert_eq!(m.waiters(), 3);
+        assert_eq!(m.max_list_len(), 2);
+        assert_eq!(
+            m.pending_lines(),
+            vec![Addr::new(0x100), Addr::new(0x300)],
+            "lines come back sorted"
+        );
+        m.fill(Addr::new(0x300));
+        assert_eq!(m.waiters(), 1);
+        assert_eq!(m.max_list_len(), 1);
     }
 }

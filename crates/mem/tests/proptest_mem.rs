@@ -92,7 +92,7 @@ const CASES: u64 = 256;
 #[test]
 fn lru_cache_matches_reference() {
     for case in 0..CASES {
-        let mut rng = Rng::seed_from_u64(0xCAC4E_0000 + case);
+        let mut rng = Rng::seed_from_u64(0x000C_AC4E_0000 + case);
         let sets = 1usize << rng.gen_range_u32(0, 4);
         let ways = rng.gen_range_usize(1, 5);
         let ops = gen_cache_ops(&mut rng);

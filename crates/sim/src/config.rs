@@ -125,6 +125,11 @@ pub struct GpuConfig {
     /// Response-side writeback latency at the SM (reply ejection to register
     /// writeback; tail of the paper's "Fetch2SM" component).
     pub fill_latency: u64,
+    /// Run the cycle-level invariant sanitizer (see [`crate::Sanitizer`]):
+    /// request conservation, MSHR leak detection, queue-capacity audits and
+    /// per-request timeline checks. On by default; debug builds (including
+    /// `cargo test`) panic at the end of a run with violations.
+    pub sanitize: bool,
 }
 
 impl GpuConfig {
@@ -203,6 +208,7 @@ impl GpuConfig {
             dram_banks: 16,
             dram_row_bytes: 2048,
             fill_latency: 10,
+            sanitize: true,
         }
     }
 
@@ -269,8 +275,11 @@ impl GpuConfig {
     ///
     /// # Panics
     ///
-    /// Panics if structurally inconsistent (zero SMs/partitions, warp size
-    /// outside 1..=32, mismatched line sizes).
+    /// Panics if structurally inconsistent: zero SMs/partitions, warp size
+    /// outside 1..=32, mismatched or non-power-of-two line sizes, any
+    /// zero-capacity queue (a pipeline stage that can never hold a request
+    /// deadlocks the machine), empty MSHR tables, or an L1 that is slower
+    /// than the L2 behind it.
     pub fn assert_valid(&self) {
         assert!(self.num_sms > 0, "need at least one SM");
         assert!(self.num_partitions > 0, "need at least one partition");
@@ -280,11 +289,56 @@ impl GpuConfig {
         );
         assert!(self.issue_width > 0, "issue width must be positive");
         assert!(self.max_warps_per_sm > 0);
+        assert!(self.max_ctas_per_sm > 0, "need at least one CTA slot");
+        assert!(
+            self.line_size > 0 && self.line_size.is_power_of_two(),
+            "line size must be a nonzero power of two"
+        );
+        // The coalescer emits up to warp_size + 1 transactions per access
+        // and the issue stage requires that much free space, so a smaller
+        // front-end pipe could never issue a memory instruction.
+        assert!(
+            self.lsu_queue > self.warp_size as usize,
+            "LSU queue must hold a worst-case warp's transactions \
+             (> warp_size)"
+        );
+        assert!(self.rop_queue > 0, "ROP queue capacity must be positive");
+        assert!(
+            self.icnt.output_queue > 0,
+            "interconnect output queue capacity must be positive"
+        );
+        assert!(
+            self.dram.queue_capacity > 0,
+            "DRAM controller queue capacity must be positive"
+        );
         if let Some(l1) = &self.l1 {
             assert_eq!(l1.cache.line_size, self.line_size, "L1 line size mismatch");
+            assert!(l1.miss_queue > 0, "L1 miss queue capacity must be positive");
+            assert!(l1.mshr.entries > 0, "L1 MSHR table needs entries");
+            assert!(
+                l1.mshr.max_merged > 0,
+                "L1 MSHR merge depth must be positive"
+            );
         }
         if let Some(l2) = &self.l2 {
             assert_eq!(l2.cache.line_size, self.line_size, "L2 line size mismatch");
+            assert!(
+                l2.input_queue > 0,
+                "L2 input queue capacity must be positive"
+            );
+            assert!(l2.mshr.entries > 0, "L2 MSHR table needs entries");
+            assert!(
+                l2.mshr.max_merged > 0,
+                "L2 MSHR merge depth must be positive"
+            );
+        }
+        if let (Some(l1), Some(l2)) = (&self.l1, &self.l2) {
+            assert!(
+                l1.hit_latency < l2.hit_latency,
+                "L1 hit latency ({}) must be below L2 hit latency ({})",
+                l1.hit_latency,
+                l2.hit_latency
+            );
         }
     }
 }
@@ -335,5 +389,83 @@ mod tests {
     fn address_map_matches_partitions() {
         let c = GpuConfig::fermi_gf100();
         assert_eq!(c.address_map().partitions(), c.num_partitions);
+    }
+
+    #[test]
+    fn sanitizer_is_on_by_default() {
+        assert!(GpuConfig::fermi_gf100().sanitize);
+    }
+
+    #[test]
+    #[should_panic(expected = "ROP queue capacity")]
+    fn zero_rop_queue_is_rejected() {
+        let mut c = GpuConfig::fermi_gf100();
+        c.rop_queue = 0;
+        c.assert_valid();
+    }
+
+    #[test]
+    #[should_panic(expected = "DRAM controller queue")]
+    fn zero_dram_queue_is_rejected() {
+        let mut c = GpuConfig::fermi_gf100();
+        c.dram.queue_capacity = 0;
+        c.assert_valid();
+    }
+
+    #[test]
+    #[should_panic(expected = "LSU queue")]
+    fn undersized_lsu_queue_is_rejected() {
+        let mut c = GpuConfig::fermi_gf100();
+        c.lsu_queue = c.warp_size as usize; // one short of a worst-case warp
+        c.assert_valid();
+    }
+
+    #[test]
+    #[should_panic(expected = "L1 miss queue")]
+    fn zero_l1_miss_queue_is_rejected() {
+        let mut c = GpuConfig::fermi_gf100();
+        c.l1.as_mut().unwrap().miss_queue = 0;
+        c.assert_valid();
+    }
+
+    #[test]
+    #[should_panic(expected = "L2 input queue")]
+    fn zero_l2_input_queue_is_rejected() {
+        let mut c = GpuConfig::fermi_gf100();
+        c.l2.as_mut().unwrap().input_queue = 0;
+        c.assert_valid();
+    }
+
+    #[test]
+    #[should_panic(expected = "L1 MSHR merge depth")]
+    fn zero_l1_merge_depth_is_rejected() {
+        let mut c = GpuConfig::fermi_gf100();
+        c.l1.as_mut().unwrap().mshr.max_merged = 0;
+        c.assert_valid();
+    }
+
+    #[test]
+    #[should_panic(expected = "L1 hit latency")]
+    fn l1_slower_than_l2_is_rejected() {
+        let mut c = GpuConfig::fermi_gf100();
+        c.l1.as_mut().unwrap().hit_latency = c.l2.as_ref().unwrap().hit_latency;
+        c.assert_valid();
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_line_size_is_rejected() {
+        let mut c = GpuConfig::fermi_gf100();
+        c.line_size = 96;
+        c.assert_valid();
+    }
+
+    #[test]
+    fn missing_cache_levels_skip_their_checks() {
+        // A Tesla-style config (no caches) must not trip the L1/L2 checks.
+        let mut c = GpuConfig::fermi_gf100();
+        c.l1 = None;
+        c.l2 = None;
+        c.assert_valid();
     }
 }

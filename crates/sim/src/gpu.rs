@@ -11,6 +11,7 @@ use gpu_types::{Addr, CtaId, Cycle, PartitionId, SmId};
 
 use crate::config::GpuConfig;
 use crate::partition::Partition;
+use crate::sanitizer::{Sanitizer, Violation};
 use crate::sm::Sm;
 use crate::stats::{CompletedRequest, LoadInstrRecord, RunSummary, SmStats, TraceSink};
 
@@ -115,6 +116,7 @@ pub struct Gpu {
     now: Cycle,
     outstanding: u64,
     sink: TraceSink,
+    sanitizer: Sanitizer,
     launch: Option<LaunchState>,
 }
 
@@ -146,6 +148,7 @@ impl Gpu {
             now: Cycle::ZERO,
             outstanding: 0,
             sink: TraceSink::default(),
+            sanitizer: Sanitizer::new(),
             launch: None,
             cfg,
         }
@@ -263,12 +266,46 @@ impl Gpu {
         let start = self.now;
         while !self.is_done() {
             if self.now.since(start) >= max_cycles {
+                if self.cfg.sanitize {
+                    // Name any stuck MSHR lines before reporting the hang.
+                    for p in &self.partitions {
+                        p.audit_drained(&mut self.sanitizer);
+                    }
+                }
                 return Err(SimError::Timeout { max_cycles });
             }
             self.tick();
         }
         self.launch = None;
+        if self.cfg.sanitize {
+            for sm in &self.sms {
+                sm.audit_drained(&mut self.sanitizer);
+            }
+            for p in &self.partitions {
+                p.audit_drained(&mut self.sanitizer);
+            }
+            // Violations fail loudly in debug builds (which `cargo test`
+            // uses); release builds keep the report queryable instead of
+            // aborting long experiments.
+            if cfg!(debug_assertions) && !self.sanitizer.is_clean() {
+                panic!("{}", self.sanitizer.report());
+            }
+        }
         Ok(self.summary())
+    }
+
+    /// The invariant sanitizer's accumulated findings. Populated only when
+    /// [`GpuConfig::sanitize`] is set.
+    pub fn sanitizer(&self) -> &Sanitizer {
+        &self.sanitizer
+    }
+
+    /// Test hook: plants an L1 MSHR entry on SM 0 that no fill will ever
+    /// release. The run still drains normally — only the sanitizer's
+    /// end-of-run audit notices. Used to prove the sanitizer catches real
+    /// leaks (and that nothing else does).
+    pub fn debug_seed_mshr_leak(&mut self, line: Addr) {
+        self.sms[0].debug_seed_mshr_leak(line.align_down(self.cfg.line_size));
     }
 
     fn is_done(&self) -> bool {
@@ -307,6 +344,7 @@ impl Gpu {
             s.dram_serviced += d.serviced;
             s.dram_row_hits += d.row_hits;
         }
+        s.sanitizer_violations = self.sanitizer.total();
         s
     }
 
@@ -332,7 +370,6 @@ impl Gpu {
                 let req = p.pop_return().expect("peeked");
                 self.reply_net
                     .try_inject(pi, dst, req, now)
-                    .ok()
                     .expect("can_inject checked");
             }
         }
@@ -348,9 +385,11 @@ impl Gpu {
         }
 
         // SMs.
+        let sanitize = self.cfg.sanitize;
         for si in 0..self.sms.len() {
             let sm = &mut self.sms[si];
-            let retired = sm.tick_writeback(now, &mut self.sink);
+            let retired =
+                sm.tick_writeback(now, &mut self.sink, sanitize.then_some(&mut self.sanitizer));
             self.outstanding -= retired;
 
             while sm.fill_space() {
@@ -371,7 +410,6 @@ impl Gpu {
                 req.timeline.record(Stamp::IcntInject, now);
                 self.req_net
                     .try_inject(si, dst, req, now)
-                    .ok()
                     .expect("can_inject checked");
             }
 
@@ -381,7 +419,34 @@ impl Gpu {
         }
 
         self.dispatch_ctas();
+        if sanitize {
+            self.audit_cycle(now);
+        }
         self.now.tick();
+    }
+
+    /// Per-cycle sanitizer sweep: between ticks every live request must sit
+    /// in exactly one pipeline structure, so the global outstanding counter
+    /// must equal the sum of all per-component occupancies; each component's
+    /// queues and MSHR tables must respect their configured capacities.
+    fn audit_cycle(&mut self, now: Cycle) {
+        let san = &mut self.sanitizer;
+        let mut in_flight = self.req_net.in_flight() as u64 + self.reply_net.in_flight() as u64;
+        for sm in &self.sms {
+            sm.audit(san);
+            in_flight += sm.in_flight_requests();
+        }
+        for p in &self.partitions {
+            p.audit(san);
+            in_flight += p.in_flight_requests();
+        }
+        if in_flight != self.outstanding {
+            san.record(Violation::Conservation {
+                cycle: now,
+                outstanding: self.outstanding,
+                in_flight,
+            });
+        }
     }
 
     fn dispatch_ctas(&mut self) {

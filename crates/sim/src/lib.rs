@@ -13,6 +13,13 @@
 //! timelines and per-load exposure data that the `latency-core` crate turns
 //! into the paper's Figure 1 and Figure 2.
 //!
+//! A cycle-level invariant [`Sanitizer`] (on by default via
+//! [`GpuConfig::sanitize`]) audits the model as it runs: request
+//! conservation across all queues/MSHRs/networks, queue-capacity bounds,
+//! stamp monotonicity and stage-sum consistency, and end-of-run MSHR-leak
+//! detection. Violations accumulate in a queryable report
+//! ([`Gpu::sanitizer`]) and fail the run in debug builds.
+//!
 //! # Examples
 //!
 //! See [`Gpu`] for an end-to-end kernel launch.
@@ -21,6 +28,7 @@ pub mod coalesce;
 mod config;
 mod gpu;
 mod partition;
+mod sanitizer;
 mod scoreboard;
 mod sm;
 mod stats;
@@ -29,6 +37,7 @@ pub use coalesce::coalesce;
 pub use config::{GpuConfig, L1Config, L2Config, SchedPolicy, WritePolicy};
 pub use gpu::{Gpu, SimError};
 pub use partition::Partition;
+pub use sanitizer::{Sanitizer, Site, Violation};
 pub use scoreboard::Scoreboard;
 pub use sm::Sm;
 pub use stats::{CompletedRequest, LoadInstrRecord, RunSummary, SmStats, TraceSink};

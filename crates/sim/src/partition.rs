@@ -13,6 +13,7 @@ use gpu_mem::{
 use gpu_types::{BoundedQueue, Cycle, DelayQueue, PartitionId};
 
 use crate::config::{GpuConfig, WritePolicy};
+use crate::sanitizer::{Sanitizer, Site, Violation};
 
 /// Token marking internally-generated dirty-eviction writebacks (they are
 /// not tracked in the GPU's outstanding-request accounting).
@@ -34,6 +35,7 @@ pub struct Partition {
     returns: VecDeque<MemRequest>,
     stores_completed_total: u64,
     stores_retired_here: u64,
+    evictions_in_flight: u64,
 }
 
 impl Partition {
@@ -72,6 +74,7 @@ impl Partition {
             returns: VecDeque::new(),
             stores_completed_total: 0,
             stores_retired_here: 0,
+            evictions_in_flight: 0,
         }
     }
 
@@ -138,6 +141,61 @@ impl Partition {
             && self.returns.is_empty()
     }
 
+    // ---- sanitizer hooks -------------------------------------------------
+
+    /// SM-originated memory requests currently inside this partition: ROP
+    /// pipe, L2 input queue, hit pipe, MSHR merge lists, DRAM controller and
+    /// the return queue. Internally-generated eviction writebacks share the
+    /// DRAM queue but are not part of the GPU's outstanding accounting, so
+    /// they are subtracted out.
+    pub fn in_flight_requests(&self) -> u64 {
+        (self.rop.len()
+            + self.l2_queue.len()
+            + self.l2_hit_pipe.len()
+            + self.l2_mshr.waiters()
+            + self.dram.queued()
+            + self.dram.in_service()
+            + self.returns.len()) as u64
+            - self.evictions_in_flight
+    }
+
+    /// Per-cycle structural audit: queue occupancies against their
+    /// capacities, MSHR occupancy against its configuration.
+    pub fn audit(&self, san: &mut Sanitizer) {
+        let site = Site::Partition(self.id.index());
+        san.check_queue(site, "rop", self.rop.len(), self.rop.capacity());
+        san.check_queue(
+            site,
+            "l2-input",
+            self.l2_queue.len(),
+            self.l2_queue.capacity(),
+        );
+        san.check_queue(
+            site,
+            "l2-hit",
+            self.l2_hit_pipe.len(),
+            self.l2_hit_pipe.capacity(),
+        );
+        san.check_mshr_occupancy(
+            site,
+            self.l2_mshr.len(),
+            self.l2_mshr.max_list_len(),
+            self.l2_mshr.config(),
+        );
+    }
+
+    /// End-of-run audit: a drained partition may hold no MSHR entries. The
+    /// idle check already covers this (a leak here hangs the run as a
+    /// timeout), but on timeout the audit names the leaked lines.
+    pub fn audit_drained(&self, san: &mut Sanitizer) {
+        if !self.l2_mshr.is_empty() {
+            san.record(Violation::MshrLeak {
+                site: Site::Partition(self.id.index()),
+                lines: self.l2_mshr.pending_lines(),
+            });
+        }
+    }
+
     /// Advances the partition one cycle. Returns the number of store
     /// requests that retired this cycle (for global outstanding tracking).
     pub fn tick(&mut self, now: Cycle) -> u64 {
@@ -162,6 +220,7 @@ impl Partition {
                     now,
                 );
                 self.dram.enqueue(wb, now);
+                self.evictions_in_flight += 1;
             }
         }
 
@@ -171,6 +230,8 @@ impl Partition {
             if req.kind == AccessKind::Store {
                 if req.token != EVICTION_TOKEN {
                     stores_done += 1;
+                } else {
+                    self.evictions_in_flight -= 1;
                 }
                 continue;
             }
@@ -262,7 +323,6 @@ impl Partition {
                 req.timeline.record(Stamp::DramQueueEnter, now);
                 self.l2_mshr
                     .try_merge(addr, req)
-                    .ok()
                     .expect("merge space checked");
             }
         } else {

@@ -20,6 +20,7 @@ use gpu_types::{BoundedQueue, CtaId, Cycle, DelayQueue, SmId};
 
 use crate::coalesce::coalesce;
 use crate::config::{GpuConfig, SchedPolicy};
+use crate::sanitizer::{Sanitizer, Site, Violation};
 use crate::scoreboard::Scoreboard;
 use crate::stats::{CompletedRequest, LoadInstrRecord, SmStats, TraceSink};
 
@@ -151,6 +152,81 @@ impl Sm {
             && self.fill_pipe.is_empty()
     }
 
+    // ---- sanitizer hooks -------------------------------------------------
+
+    /// Memory requests currently inside this SM: front-end pipe, hit pipe,
+    /// miss queue, fill pipe, and waiters parked in L1 MSHR merge lists
+    /// (primary misses travel downstream and are counted wherever they are).
+    pub fn in_flight_requests(&self) -> u64 {
+        (self.front.len()
+            + self.l1_hit_pipe.len()
+            + self.miss_queue.len()
+            + self.fill_pipe.len()
+            + self.l1_mshr.waiters()) as u64
+    }
+
+    /// Per-cycle structural audit: queue occupancies against their
+    /// capacities, MSHR occupancy against its configuration.
+    pub fn audit(&self, san: &mut Sanitizer) {
+        let site = Site::Sm(self.id.index());
+        san.check_queue(site, "front", self.front.len(), self.front.capacity());
+        san.check_queue(
+            site,
+            "l1-hit",
+            self.l1_hit_pipe.len(),
+            self.l1_hit_pipe.capacity(),
+        );
+        san.check_queue(
+            site,
+            "miss",
+            self.miss_queue.len(),
+            self.miss_queue.capacity(),
+        );
+        san.check_queue(
+            site,
+            "fill",
+            self.fill_pipe.len(),
+            self.fill_pipe.capacity(),
+        );
+        san.check_mshr_occupancy(
+            site,
+            self.l1_mshr.len(),
+            self.l1_mshr.max_list_len(),
+            self.l1_mshr.config(),
+        );
+    }
+
+    /// End-of-run audit: after a drained run nothing may linger in the MSHR
+    /// table or the pending-load map. The idle check deliberately ignores
+    /// the MSHR table (a leaked entry blocks no queue), so this is the only
+    /// place such a leak becomes visible.
+    pub fn audit_drained(&self, san: &mut Sanitizer) {
+        let site = Site::Sm(self.id.index());
+        if !self.l1_mshr.is_empty() {
+            san.record(Violation::MshrLeak {
+                site,
+                lines: self.l1_mshr.pending_lines(),
+            });
+        }
+        if !self.pending_loads.is_empty() {
+            san.record(Violation::PendingLoadLeak {
+                site,
+                entries: self.pending_loads.len(),
+            });
+        }
+    }
+
+    /// Test hook: allocates an L1 MSHR entry that no fill will ever release,
+    /// modeling the classic lost-fill bug. The run still drains (the entry
+    /// holds no queue slot), so only the sanitizer's end-of-run audit can
+    /// catch it.
+    pub fn debug_seed_mshr_leak(&mut self, line: gpu_types::Addr) {
+        assert!(
+            self.l1_mshr.allocate(line),
+            "seeding requires a free MSHR entry"
+        );
+    }
+
     /// Returns `true` if a CTA of `warps_needed` warps can be dispatched.
     pub fn can_dispatch(&self, warps_needed: usize) -> bool {
         self.ctas.iter().any(|c| c.is_none())
@@ -276,7 +352,14 @@ impl Sm {
 
     /// Writeback stage: releases completed ALU results and retires returned
     /// memory responses. Returns the number of memory requests retired.
-    pub fn tick_writeback(&mut self, now: Cycle, sink: &mut TraceSink) -> u64 {
+    /// When the sanitizer is active, every retired request's timeline is
+    /// audited on its way out.
+    pub fn tick_writeback(
+        &mut self,
+        now: Cycle,
+        sink: &mut TraceSink,
+        mut sanitizer: Option<&mut Sanitizer>,
+    ) -> u64 {
         while let Some(&Reverse((c, w, r))) = self.alu_wb.peek() {
             if c > now.get() {
                 break;
@@ -289,24 +372,33 @@ impl Sm {
         for _ in 0..2 {
             match self.fill_pipe.pop_ready(now) {
                 Some(req) => {
-                    self.complete_response(req, now, sink);
+                    self.complete_response(req, now, sink, sanitizer.as_deref_mut());
                     retired += 1;
                 }
                 None => break,
             }
         }
         if let Some(req) = self.l1_hit_pipe.pop_ready(now) {
-            self.complete_response(req, now, sink);
+            self.complete_response(req, now, sink, sanitizer);
             retired += 1;
         }
         retired
     }
 
-    fn complete_response(&mut self, mut req: MemRequest, now: Cycle, sink: &mut TraceSink) {
+    fn complete_response(
+        &mut self,
+        mut req: MemRequest,
+        now: Cycle,
+        sink: &mut TraceSink,
+        sanitizer: Option<&mut Sanitizer>,
+    ) {
         // L1 hits reach writeback without an L1Access stamp; set it here so
         // their whole lifetime is attributed to the SM Base component.
         req.timeline.record(Stamp::L1Access, now);
         req.timeline.record(Stamp::Returned, now);
+        if let Some(san) = sanitizer {
+            san.check_retired(&req);
+        }
         if !req.is_load() {
             return;
         }
@@ -408,7 +500,6 @@ impl Sm {
             let _ = l1.load(addr); // records the miss
             self.l1_mshr
                 .try_merge(addr, req)
-                .ok()
                 .expect("merge space checked");
         } else {
             if !self.l1_mshr.can_allocate() || self.miss_queue.is_full() {

@@ -124,6 +124,9 @@ pub struct RunSummary {
     pub dram_row_hits: u64,
     /// CTAs executed.
     pub ctas: u64,
+    /// Invariant violations the sanitizer detected (zero when the sanitizer
+    /// is disabled — see `GpuConfig::sanitize`).
+    pub sanitizer_violations: u64,
 }
 
 impl RunSummary {

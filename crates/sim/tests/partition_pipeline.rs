@@ -106,14 +106,9 @@ fn second_load_hits_l2_and_skips_dram() {
     // Hit latency: l2 queue entry -> response exactly hit_latency later
     // (plus the single-cycle queue hop).
     let l2q = tl.get(Stamp::L2QueueEnter).unwrap();
-    let total_after_l2q = tl.get(Stamp::Returned).map(|_| 0); // Returned stamped at SM
-    assert!(total_after_l2q.is_none() || true);
-    let hit_latency = cfg.l2.as_ref().unwrap().hit_latency;
-    // The response appears in the return queue hit_latency cycles after the
-    // L2 access; we can't see the pop time on the timeline (Returned is an
-    // SM-side stamp), so check via drain timing instead.
     assert!(l2q.get() > 0);
-    let _ = hit_latency;
+    // Returned is an SM-side stamp; a partition-only drain never sets it.
+    assert_eq!(tl.get(Stamp::Returned), None);
 }
 
 #[test]

@@ -120,7 +120,7 @@ pub fn build_matmul_kernel() -> Kernel {
 /// Panics unless `n` is a positive multiple of [`TILE`].
 pub fn setup(gpu: &mut Gpu, n: u32) -> MatmulDevice {
     assert!(
-        n > 0 && n % TILE == 0,
+        n > 0 && n.is_multiple_of(TILE),
         "n must be a positive multiple of {TILE}"
     );
     let align = gpu.config().line_size;

@@ -108,7 +108,7 @@ pub fn build_transpose_kernel(variant: Variant) -> Kernel {
 /// Panics unless `n` is a positive multiple of [`TILE`].
 pub fn setup(gpu: &mut Gpu, n: u32) -> TransposeDevice {
     assert!(
-        n > 0 && n % TILE == 0,
+        n > 0 && n.is_multiple_of(TILE),
         "n must be a positive multiple of {TILE}"
     );
     let words = n as u64 * n as u64;
