@@ -1,0 +1,192 @@
+//! Emits a trace bundle — Perfetto-loadable Chrome trace JSON, raw event
+//! JSONL, sampled-counter CSV, Figure-1/2 analyses and a metrics report —
+//! for any builtin workload.
+//!
+//! ```text
+//! cargo run --release -p latency-bench --bin trace -- --workload bfs
+//! ```
+//!
+//! Open `trace-bundle/trace.json` at <https://ui.perfetto.dev> (or
+//! `chrome://tracing`): one track per SM and memory partition, one async
+//! span per traced request tiled into its eight pipeline stages, counter
+//! tracks for queue depths / MSHR occupancy / row-hit rate.
+
+use std::path::PathBuf;
+use std::process::exit;
+
+use latency_bench::{
+    run_bfs_traced, run_workload_traced, BfsExperiment, TraceBundle, TracedRun, Workload,
+};
+use latency_core::ArchPreset;
+
+struct Args {
+    workload: String,
+    nodes: u32,
+    degree: u32,
+    seed: u64,
+    block_dim: u32,
+    sms: Option<usize>,
+    partitions: Option<usize>,
+    out: PathBuf,
+    sample: u64,
+    max_events: usize,
+    validate: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: trace [--workload bfs|vecadd|matmul|reduce|spmv|stencil|histogram|transpose|scan]\n\
+         \x20            [--nodes N] [--degree N] [--seed N] [--block-dim N]\n\
+         \x20            [--sms N] [--partitions N] [--out DIR]\n\
+         \x20            [--sample CYCLES] [--max-events N] [--validate]"
+    );
+    exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        workload: "bfs".to_string(),
+        nodes: 4096,
+        degree: 8,
+        seed: 20150301,
+        block_dim: 128,
+        sms: None,
+        partitions: None,
+        out: PathBuf::from("trace-bundle"),
+        sample: 64,
+        max_events: 1 << 20,
+        validate: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--workload" => args.workload = val("--workload"),
+            "--nodes" => args.nodes = val("--nodes").parse().unwrap_or_else(|_| usage()),
+            "--degree" => args.degree = val("--degree").parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.seed = val("--seed").parse().unwrap_or_else(|_| usage()),
+            "--block-dim" => {
+                args.block_dim = val("--block-dim").parse().unwrap_or_else(|_| usage())
+            }
+            "--sms" => args.sms = Some(val("--sms").parse().unwrap_or_else(|_| usage())),
+            "--partitions" => {
+                args.partitions = Some(val("--partitions").parse().unwrap_or_else(|_| usage()));
+            }
+            "--out" => args.out = PathBuf::from(val("--out")),
+            "--sample" => args.sample = val("--sample").parse().unwrap_or_else(|_| usage()),
+            "--max-events" => {
+                args.max_events = val("--max-events").parse().unwrap_or_else(|_| usage());
+            }
+            "--validate" => args.validate = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag: {other}");
+                usage();
+            }
+        }
+    }
+    args
+}
+
+fn run(args: &Args) -> Result<TracedRun, gpu_sim::SimError> {
+    let mut cfg = ArchPreset::FermiGf100.config();
+    if let Some(n) = args.sms {
+        cfg.num_sms = n;
+    }
+    if let Some(n) = args.partitions {
+        cfg.num_partitions = n;
+    }
+    cfg.trace.enabled = true;
+    cfg.trace.sample_interval = args.sample.max(1);
+    cfg.trace.max_events = args.max_events;
+    if args.workload == "bfs" {
+        let exp = BfsExperiment {
+            nodes: args.nodes,
+            degree: args.degree,
+            seed: args.seed,
+            block_dim: args.block_dim,
+        };
+        return run_bfs_traced(cfg, &exp);
+    }
+    let workload = Workload::ALL
+        .into_iter()
+        .find(|w| w.name() == args.workload)
+        .unwrap_or_else(|| {
+            eprintln!("unknown workload: {}", args.workload);
+            usage();
+        });
+    run_workload_traced(cfg, workload)
+}
+
+fn main() {
+    let args = parse_args();
+    let run = match run(&args) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("trace run failed: {e}");
+            exit(1);
+        }
+    };
+    let cfg = {
+        let mut c = ArchPreset::FermiGf100.config();
+        if let Some(n) = args.sms {
+            c.num_sms = n;
+        }
+        if let Some(n) = args.partitions {
+            c.num_partitions = n;
+        }
+        c
+    };
+    let bundle = TraceBundle {
+        requests: &run.requests,
+        loads: &run.loads,
+        trace: &run.trace,
+        metrics: &run.metrics,
+        cycles: run.cycles,
+        num_sms: cfg.num_sms as u32,
+        num_partitions: cfg.num_partitions as u32,
+    };
+    if args.validate {
+        let json = bundle.chrome_json();
+        let doc = match gpu_trace::json::parse(&json) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("validation failed: trace.json does not parse: {e}");
+                exit(1);
+            }
+        };
+        match gpu_trace::check_span_sums(&doc) {
+            Ok(n) => println!("validated: {n} request spans tile their Timeline lifetimes"),
+            Err(e) => {
+                eprintln!("validation failed: {e}");
+                exit(1);
+            }
+        }
+    }
+    if let Err(e) = bundle.write(&args.out) {
+        eprintln!("failed to write bundle to {:?}: {e}", args.out);
+        exit(1);
+    }
+    println!(
+        "workload: {}   cycles: {}   events: {} ({} dropped)   samples: {}",
+        args.workload,
+        run.cycles,
+        run.metrics.events_recorded,
+        run.metrics.events_dropped,
+        run.metrics.samples
+    );
+    println!(
+        "throughput: {:.0} simulated cycles/s over {:.2?} host time",
+        run.metrics.cycles_per_second(run.cycles),
+        run.metrics.wall_clock()
+    );
+    println!(
+        "bundle written to {:?} — open trace.json at https://ui.perfetto.dev",
+        args.out
+    );
+}

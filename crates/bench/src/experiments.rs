@@ -51,6 +51,11 @@ pub struct TracedRun {
     pub requests: Vec<CompletedRequest>,
     /// Completed warp-level loads (Figure 2 input).
     pub loads: Vec<LoadInstrRecord>,
+    /// Event stream and counter samples (empty unless event tracing was
+    /// enabled via `GpuConfig::trace` or `LATENCY_TRACE`).
+    pub trace: gpu_sim::TraceData,
+    /// Counter summaries, stall attribution and host throughput.
+    pub metrics: gpu_sim::MetricsReport,
     /// Total simulated cycles.
     pub cycles: u64,
     /// Warp instructions issued.
@@ -58,12 +63,17 @@ pub struct TracedRun {
 }
 
 /// Runs BFS on `config` with tracing enabled and returns the latency traces
-/// (E2/E3 driver).
+/// (E2/E3 driver). Honours `LATENCY_TRACE` (see [`crate::tracebundle`]).
 ///
 /// # Errors
 ///
 /// Propagates simulator failures.
-pub fn run_bfs_traced(config: GpuConfig, exp: &BfsExperiment) -> Result<TracedRun, SimError> {
+pub fn run_bfs_traced(mut config: GpuConfig, exp: &BfsExperiment) -> Result<TracedRun, SimError> {
+    let env = crate::tracebundle::env_request();
+    if env.enabled() {
+        config.trace.enabled = true;
+    }
+    let (num_sms, num_partitions) = (config.num_sms as u32, config.num_partitions as u32);
     let graph = Graph::uniform_random(exp.nodes, exp.degree, exp.seed);
     let mut gpu = Gpu::new(config);
     // Rodinia-style mask BFS: the formulation GPGPU-Sim's standard workload
@@ -78,10 +88,23 @@ pub fn run_bfs_traced(config: GpuConfig, exp: &BfsExperiment) -> Result<TracedRu
         graph.bfs_levels(0),
         "device BFS diverged from reference"
     );
+    let summary = gpu.summary();
     let (requests, loads) = gpu.take_traces();
+    let trace = gpu.take_trace();
+    crate::tracebundle::export_if_requested(
+        &env,
+        &summary,
+        &requests,
+        &loads,
+        &trace,
+        num_sms,
+        num_partitions,
+    );
     Ok(TracedRun {
         requests,
         loads,
+        trace,
+        metrics: summary.metrics,
         cycles: gpu.now().get(),
         instructions: run.instructions,
     })
@@ -165,7 +188,15 @@ pub fn builtin_kernels() -> Vec<gpu_isa::Kernel> {
 /// # Panics
 ///
 /// Panics if the workload's device output fails verification.
-pub fn run_workload_traced(config: GpuConfig, workload: Workload) -> Result<TracedRun, SimError> {
+pub fn run_workload_traced(
+    mut config: GpuConfig,
+    workload: Workload,
+) -> Result<TracedRun, SimError> {
+    let env = crate::tracebundle::env_request();
+    if env.enabled() {
+        config.trace.enabled = true;
+    }
+    let (num_sms, num_partitions) = (config.num_sms as u32, config.num_partitions as u32);
     let mut gpu = Gpu::new(config);
     gpu.set_tracing(true);
     let summary = match workload {
@@ -223,9 +254,21 @@ pub fn run_workload_traced(config: GpuConfig, workload: Workload) -> Result<Trac
         }
     };
     let (requests, loads) = gpu.take_traces();
+    let trace = gpu.take_trace();
+    crate::tracebundle::export_if_requested(
+        &env,
+        &summary,
+        &requests,
+        &loads,
+        &trace,
+        num_sms,
+        num_partitions,
+    );
     Ok(TracedRun {
         requests,
         loads,
+        trace,
+        metrics: summary.metrics,
         cycles: summary.cycles,
         instructions: summary.instructions,
     })

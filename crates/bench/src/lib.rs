@@ -13,8 +13,10 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod tracebundle;
 
 pub use experiments::{
     builtin_kernels, dram_sched_comparison, hiding_sweep, run_bfs_traced, run_table1,
     run_workload_traced, BfsExperiment, DramSchedResult, HidingPoint, TracedRun, Workload,
 };
+pub use tracebundle::{env_request, EnvTrace, TraceBundle};

@@ -1,0 +1,20 @@
+//! Pins the Chrome-trace stage labels to the Figure-1 component labels.
+//!
+//! `gpu-trace` cannot depend on `latency-core` (the dependency points the
+//! other way), so its `stage_label` table duplicates the component legend.
+//! This cross-crate test is the guard that keeps the two in lockstep.
+
+use gpu_mem::Stamp;
+use latency_core::Component;
+
+#[test]
+fn chrome_stage_labels_match_figure1_components() {
+    for stamp in Stamp::ALL {
+        let expected = Component::ending_at(stamp).map(Component::label);
+        assert_eq!(
+            gpu_trace::stage_label(stamp),
+            expected,
+            "stage label for {stamp:?} diverged from the Figure-1 legend"
+        );
+    }
+}

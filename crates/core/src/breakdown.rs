@@ -10,7 +10,9 @@ use std::fmt;
 
 use gpu_mem::{Stamp, Timeline};
 use gpu_sim::CompletedRequest;
-use gpu_types::{Buckets, Histogram};
+use gpu_types::Buckets;
+
+use crate::bucketing::Bucketing;
 
 /// The eight latency components of the paper's Figure 1, in pipeline order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -136,49 +138,36 @@ impl LatencyBreakdown {
         n_buckets: usize,
         clip_quantile: f64,
     ) -> (Self, u64) {
-        assert!(
-            clip_quantile > 0.0 && clip_quantile <= 1.0,
-            "clip quantile must be in (0, 1]"
-        );
-        let mut all = Histogram::new();
         let mut items = Vec::with_capacity(requests.len());
         for r in requests {
             if let (Some(total), Some(parts)) =
                 (r.timeline.total_latency(), components_of(&r.timeline))
             {
-                all.record(total);
                 items.push((total, parts));
             }
         }
-        let cutoff = all.quantile(clip_quantile).unwrap_or(0);
-        let mut overflow = 0u64;
-        let mut hist = Histogram::new();
-        items.retain(|&(total, _)| {
-            if total > cutoff {
-                overflow += 1;
-                false
-            } else {
-                hist.record(total);
-                true
-            }
-        });
-        let buckets = hist.bucketize(n_buckets);
+        let bucketing = Bucketing::from_totals(
+            items.iter().map(|&(total, _)| total),
+            n_buckets,
+            clip_quantile,
+        );
         let mut sums = vec![[0u64; 8]; n_buckets];
         let mut counts = vec![0u64; n_buckets];
         let mut grand_total = [0u64; 8];
         for (total, parts) in items {
-            let i = buckets
-                .index_of(total)
-                .expect("total within histogram range");
+            let Some(i) = bucketing.index_of(total) else {
+                continue; // clipped into the overflow
+            };
             counts[i] += 1;
             for c in 0..8 {
                 sums[i][c] += parts[c];
                 grand_total[c] += parts[c];
             }
         }
+        let overflow = bucketing.overflow();
         (
             LatencyBreakdown {
-                buckets,
+                buckets: bucketing.into_buckets(),
                 sums,
                 counts,
                 grand_total,

@@ -1,0 +1,123 @@
+//! Quantile-clipped latency bucketing, shared by the Figure-1 breakdown,
+//! the Figure-2 exposure analysis and the trace-bundle histogram export.
+//!
+//! Both figures bucket a population by total latency over a domain that is
+//! clipped at a quantile so a heavy congestion tail cannot stretch the
+//! x-axis. The clip → histogram → equal-width-bucket pipeline used to be
+//! duplicated in each analysis; [`Bucketing`] is the single implementation.
+
+use gpu_types::{Buckets, Histogram};
+
+/// Equal-width latency buckets over a quantile-clipped domain.
+#[derive(Debug, Clone)]
+pub struct Bucketing {
+    buckets: Buckets,
+    cutoff: u64,
+    overflow: u64,
+}
+
+impl Bucketing {
+    /// Builds buckets from a population of total latencies. The bucket
+    /// domain spans latencies up to the `clip_quantile`-quantile; values
+    /// beyond it are excluded and counted in [`Bucketing::overflow`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_buckets` is zero or `clip_quantile` is outside `(0, 1]`.
+    pub fn from_totals(
+        totals: impl IntoIterator<Item = u64>,
+        n_buckets: usize,
+        clip_quantile: f64,
+    ) -> Self {
+        assert!(
+            clip_quantile > 0.0 && clip_quantile <= 1.0,
+            "clip quantile must be in (0, 1]"
+        );
+        let all: Histogram = totals.into_iter().collect();
+        let cutoff = all.quantile(clip_quantile).unwrap_or(0);
+        let mut overflow = 0u64;
+        let mut hist = Histogram::new();
+        for &value in all.samples() {
+            if value > cutoff {
+                overflow += 1;
+            } else {
+                hist.record(value);
+            }
+        }
+        let buckets = hist.bucketize(n_buckets);
+        Bucketing {
+            buckets,
+            cutoff,
+            overflow,
+        }
+    }
+
+    /// The equal-width buckets spanning the clipped domain.
+    pub fn buckets(&self) -> &Buckets {
+        &self.buckets
+    }
+
+    /// Consumes the bucketing, yielding its buckets.
+    pub fn into_buckets(self) -> Buckets {
+        self.buckets
+    }
+
+    /// The inclusive upper bound of the clipped domain (the clip-quantile
+    /// latency of the input population).
+    pub fn cutoff(&self) -> u64 {
+        self.cutoff
+    }
+
+    /// Values excluded by the clip.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// The bucket holding `total`, or `None` if the value was clipped.
+    pub fn index_of(&self, total: u64) -> Option<usize> {
+        if total > self.cutoff {
+            None
+        } else {
+            self.buckets.index_of(total)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unclipped_bucketing_covers_all_values() {
+        let b = Bucketing::from_totals([10, 20, 30, 40], 4, 1.0);
+        assert_eq!(b.overflow(), 0);
+        assert_eq!(b.cutoff(), 40);
+        for v in [10, 20, 30, 40] {
+            assert!(b.index_of(v).is_some());
+        }
+    }
+
+    #[test]
+    fn clip_excludes_the_tail() {
+        let mut totals: Vec<u64> = (0..99).map(|_| 100).collect();
+        totals.push(10_000); // one outlier
+        let b = Bucketing::from_totals(totals, 4, 0.99);
+        assert_eq!(b.overflow(), 1);
+        assert_eq!(b.cutoff(), 100);
+        assert!(b.index_of(100).is_some());
+        assert_eq!(b.index_of(10_000), None);
+    }
+
+    #[test]
+    fn empty_population_is_harmless() {
+        let b = Bucketing::from_totals([], 4, 0.5);
+        assert_eq!(b.overflow(), 0);
+        assert_eq!(b.cutoff(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "clip quantile")]
+    fn zero_quantile_is_rejected() {
+        let _ = Bucketing::from_totals([1], 4, 0.0);
+    }
+}

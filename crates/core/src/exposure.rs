@@ -9,7 +9,9 @@
 use std::fmt;
 
 use gpu_sim::LoadInstrRecord;
-use gpu_types::{Buckets, Histogram};
+use gpu_types::Buckets;
+
+use crate::bucketing::Bucketing;
 
 /// The Figure-2 artifact: per-latency-bucket exposed/hidden percentages of
 /// global-memory load instructions.
@@ -44,43 +46,25 @@ impl ExposureAnalysis {
         n_buckets: usize,
         clip_quantile: f64,
     ) -> (Self, u64) {
-        assert!(
-            clip_quantile > 0.0 && clip_quantile <= 1.0,
-            "clip quantile must be in (0, 1]"
-        );
-        let all: Histogram = loads.iter().map(|l| l.total()).collect();
-        let cutoff = all.quantile(clip_quantile).unwrap_or(0);
-        let mut overflow = 0u64;
-        let mut hist = Histogram::new();
-        let kept: Vec<&LoadInstrRecord> = loads
-            .iter()
-            .filter(|l| {
-                if l.total() > cutoff {
-                    overflow += 1;
-                    false
-                } else {
-                    hist.record(l.total());
-                    true
-                }
-            })
-            .collect();
-        let buckets = hist.bucketize(n_buckets);
+        let bucketing =
+            Bucketing::from_totals(loads.iter().map(|l| l.total()), n_buckets, clip_quantile);
         let mut exposed = vec![0u64; n_buckets];
         let mut total = vec![0u64; n_buckets];
         let mut counts = vec![0u64; n_buckets];
-        for l in kept {
-            let i = buckets
-                .index_of(l.total())
-                .expect("latency within histogram range");
+        for l in loads {
+            let Some(i) = bucketing.index_of(l.total()) else {
+                continue; // clipped into the overflow
+            };
             // Clamp: a load that issued in the same stall window as its
             // completion can attribute at most its own lifetime.
             exposed[i] += l.exposed.min(l.total());
             total[i] += l.total();
             counts[i] += 1;
         }
+        let overflow = bucketing.overflow();
         (
             ExposureAnalysis {
-                buckets,
+                buckets: bucketing.into_buckets(),
                 exposed,
                 total,
                 counts,
@@ -189,6 +173,7 @@ mod tests {
             complete: Cycle::new(1000 + total),
             exposed,
             lines: 1,
+            stall_reasons: gpu_sim::StallBreakdown::default(),
         }
     }
 

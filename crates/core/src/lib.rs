@@ -29,6 +29,7 @@
 //! ```
 
 pub mod breakdown;
+pub mod bucketing;
 pub mod chase;
 pub mod exposure;
 pub mod inference;
@@ -41,6 +42,7 @@ pub mod sweep;
 pub mod table1;
 
 pub use breakdown::{components_of, Component, LatencyBreakdown};
+pub use bucketing::Bucketing;
 pub use chase::{
     build_chase_kernel, measure_chase, write_chain, write_shuffled_chain, ChaseError,
     ChaseMeasurement, ChaseParams, ChasePattern, ChaseSpace, UNROLL,

@@ -221,6 +221,7 @@ fn tesla_gt200() -> GpuConfig {
         dram_row_bytes: 2048,
         fill_latency: 10,
         sanitize: true,
+        trace: gpu_sim::TraceConfig::default(),
     }
 }
 
@@ -259,6 +260,7 @@ fn fermi(num_sms: usize, num_partitions: usize, name: &str) -> GpuConfig {
         dram_row_bytes: 2048,
         fill_latency: 10,
         sanitize: true,
+        trace: gpu_sim::TraceConfig::default(),
     }
 }
 
@@ -297,6 +299,7 @@ fn kepler_gk104() -> GpuConfig {
         dram_row_bytes: 2048,
         fill_latency: 9,
         sanitize: true,
+        trace: gpu_sim::TraceConfig::default(),
     }
 }
 
@@ -335,6 +338,7 @@ fn maxwell_gm107() -> GpuConfig {
         dram_row_bytes: 2048,
         fill_latency: 9,
         sanitize: true,
+        trace: gpu_sim::TraceConfig::default(),
     }
 }
 

@@ -175,6 +175,7 @@ mod tests {
                 complete: Cycle::new(100),
                 exposed: 25,
                 lines: 1,
+                stall_reasons: gpu_sim::StallBreakdown::default(),
             };
             5
         ];

@@ -58,6 +58,7 @@ fn gen_load_record(rng: &mut Rng) -> LoadInstrRecord {
         complete: Cycle::new(issue + total),
         exposed: rng.gen_range_u64(0, 6_000),
         lines: rng.gen_range_u32(1, 33),
+        stall_reasons: gpu_sim::StallBreakdown::default(),
     }
 }
 

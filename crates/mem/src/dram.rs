@@ -17,7 +17,7 @@ use std::collections::VecDeque;
 use gpu_types::Cycle;
 
 use crate::mapping::AddressMap;
-use crate::request::{MemRequest, Stamp};
+use crate::request::{MemRequest, RequestId, Stamp};
 
 /// DRAM core timing parameters, in hot-clock cycles.
 ///
@@ -79,6 +79,36 @@ struct Bank {
     ready_at: Cycle,
 }
 
+/// What a logged DRAM command did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DramEventKind {
+    /// A row was activated (opened) in a bank.
+    Activate,
+    /// A bank's open row was precharged (closed) ahead of a conflicting
+    /// access.
+    Precharge,
+    /// A queued request was selected for service.
+    Schedule,
+}
+
+/// One logged DRAM command, emitted when event logging is enabled (see
+/// [`DramController::set_event_log`]). The tracing layer drains these into
+/// its own event stream; keeping the log here avoids a dependency from the
+/// memory model on the tracer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramEvent {
+    /// Cycle the command happened.
+    pub at: Cycle,
+    /// What happened.
+    pub kind: DramEventKind,
+    /// Bank index within this channel.
+    pub bank: u32,
+    /// Row the command refers to (for `Precharge`, the row that was open).
+    pub row: u64,
+    /// The request that triggered the command, when one did.
+    pub id: Option<RequestId>,
+}
+
 /// Aggregate DRAM statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DramStats {
@@ -103,6 +133,8 @@ pub struct DramController {
     bus_free_at: Cycle,
     in_service: Vec<(Cycle, MemRequest)>,
     stats: DramStats,
+    log_events: bool,
+    events: Vec<DramEvent>,
 }
 
 impl std::fmt::Debug for DramController {
@@ -134,7 +166,24 @@ impl DramController {
             bus_free_at: Cycle::ZERO,
             in_service: Vec::new(),
             stats: DramStats::default(),
+            log_events: false,
+            events: Vec::new(),
         }
+    }
+
+    /// Enables or disables the command event log. Disabled (the default)
+    /// costs nothing; enabled, every schedule/activate/precharge is
+    /// appended for [`DramController::drain_events`] to collect.
+    pub fn set_event_log(&mut self, on: bool) {
+        self.log_events = on;
+        if !on {
+            self.events.clear();
+        }
+    }
+
+    /// Takes the logged events accumulated since the last drain.
+    pub fn drain_events(&mut self) -> Vec<DramEvent> {
+        std::mem::take(&mut self.events)
     }
 
     /// Returns `true` if the controller queue can accept a request.
@@ -249,8 +298,9 @@ impl DramController {
         // bank is occupied before it can accept the next command. Column
         // accesses pipeline (a row hit only holds the bank for its burst),
         // while precharge/activate serialize on the bank.
-        let (access, busy) = match self.banks[bank_idx].open_row {
-            Some(open) if open == row => {
+        let open = self.banks[bank_idx].open_row;
+        let (access, busy) = match open {
+            Some(o) if o == row => {
                 self.stats.row_hits += 1;
                 (t.row_hit(), t.burst)
             }
@@ -263,6 +313,45 @@ impl DramController {
                 (t.row_closed(), t.t_rcd + t.burst)
             }
         };
+        if self.log_events {
+            let bank = bank_idx as u32;
+            let id = Some(req.id);
+            match open {
+                Some(o) if o == row => {}
+                Some(o) => {
+                    self.events.push(DramEvent {
+                        at: now,
+                        kind: DramEventKind::Precharge,
+                        bank,
+                        row: o,
+                        id,
+                    });
+                    self.events.push(DramEvent {
+                        at: now,
+                        kind: DramEventKind::Activate,
+                        bank,
+                        row,
+                        id,
+                    });
+                }
+                None => {
+                    self.events.push(DramEvent {
+                        at: now,
+                        kind: DramEventKind::Activate,
+                        bank,
+                        row,
+                        id,
+                    });
+                }
+            }
+            self.events.push(DramEvent {
+                at: now,
+                kind: DramEventKind::Schedule,
+                bank,
+                row,
+                id,
+            });
+        }
         req.timeline.record(Stamp::DramScheduled, now);
         if let Some(entered) = req.timeline.get(Stamp::DramQueueEnter) {
             self.stats.queue_wait_cycles += now.since(entered);
@@ -430,6 +519,46 @@ mod tests {
         assert_eq!(tl.get(Stamp::DramScheduled), Some(Cycle::new(5)));
         assert_eq!(tl.get(Stamp::DramDone), Some(now));
         assert!(c.stats().queue_wait_cycles == 0);
+    }
+
+    #[test]
+    fn event_log_records_row_commands() {
+        let mut c = controller(DramSched::Fcfs);
+        c.set_event_log(true);
+        c.enqueue(req(1, 0, 0), Cycle::new(0)); // closed bank: Activate
+        c.enqueue(req(2, 128, 0), Cycle::new(0)); // row hit: Schedule only
+        c.enqueue(req(3, 4096, 0), Cycle::new(0)); // conflict: Precharge+Activate
+        run_until_done(&mut c, Cycle::new(0), 100_000);
+        let events = c.drain_events();
+        let kinds: Vec<_> = events.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                DramEventKind::Activate,
+                DramEventKind::Schedule,
+                DramEventKind::Schedule,
+                DramEventKind::Precharge,
+                DramEventKind::Activate,
+                DramEventKind::Schedule,
+            ]
+        );
+        assert_eq!(events[0].id, Some(RequestId::new(1)));
+        assert_eq!(events[3].row, 0); // precharged row was row 0
+        assert_eq!(events[4].row, 1);
+        // Drain empties the log; once disabled, nothing is recorded.
+        assert!(c.drain_events().is_empty());
+        c.set_event_log(false);
+        c.enqueue(req(4, 0, 0), Cycle::new(500));
+        run_until_done(&mut c, Cycle::new(500), 100_000);
+        assert!(c.drain_events().is_empty());
+    }
+
+    #[test]
+    fn event_log_disabled_by_default() {
+        let mut c = controller(DramSched::FrFcfs);
+        c.enqueue(req(1, 0, 0), Cycle::new(0));
+        run_until_done(&mut c, Cycle::new(0), 1000);
+        assert!(c.drain_events().is_empty());
     }
 
     #[test]

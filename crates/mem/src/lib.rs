@@ -25,7 +25,9 @@ mod request;
 
 pub use cache::{Cache, CacheConfig, LoadOutcome, Replacement};
 pub use device::DeviceMemory;
-pub use dram::{DramConfig, DramController, DramSched, DramStats, DramTiming};
+pub use dram::{
+    DramConfig, DramController, DramEvent, DramEventKind, DramSched, DramStats, DramTiming,
+};
 pub use mapping::AddressMap;
 pub use mshr::{MshrConfig, MshrTable};
 pub use request::{AccessKind, MemRequest, PipelineSpace, RequestId, Stamp, Timeline};

@@ -9,6 +9,7 @@
 
 use gpu_icnt::IcntConfig;
 use gpu_mem::{CacheConfig, DramConfig, DramSched, DramTiming, MshrConfig, Replacement};
+use gpu_trace::TraceConfig;
 
 /// Warp scheduling policy of an SM.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -130,6 +131,10 @@ pub struct GpuConfig {
     /// per-request timeline checks. On by default; debug builds (including
     /// `cargo test`) panic at the end of a run with violations.
     pub sanitize: bool,
+    /// Event tracing and counter sampling (see `gpu-trace`). Disabled by
+    /// default; a disabled tracer records nothing and leaves simulated
+    /// timing bit-identical.
+    pub trace: TraceConfig,
 }
 
 impl GpuConfig {
@@ -209,6 +214,7 @@ impl GpuConfig {
             dram_row_bytes: 2048,
             fill_latency: 10,
             sanitize: true,
+            trace: TraceConfig::default(),
         }
     }
 
@@ -340,6 +346,10 @@ impl GpuConfig {
                 l2.hit_latency
             );
         }
+        assert!(
+            self.trace.sample_interval > 0,
+            "trace sample interval must be positive"
+        );
     }
 }
 
@@ -394,6 +404,19 @@ mod tests {
     #[test]
     fn sanitizer_is_on_by_default() {
         assert!(GpuConfig::fermi_gf100().sanitize);
+    }
+
+    #[test]
+    fn tracing_is_off_by_default() {
+        assert!(!GpuConfig::fermi_gf100().trace.enabled);
+    }
+
+    #[test]
+    #[should_panic(expected = "trace sample interval")]
+    fn zero_sample_interval_is_rejected() {
+        let mut c = GpuConfig::fermi_gf100();
+        c.trace.sample_interval = 0;
+        c.assert_valid();
     }
 
     #[test]

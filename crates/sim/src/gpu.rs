@@ -7,6 +7,7 @@ use std::sync::Arc;
 use gpu_icnt::Crossbar;
 use gpu_isa::{Kernel, Launch, LocalMap, ValidateError};
 use gpu_mem::{AddressMap, DeviceMemory, MemRequest, Stamp};
+use gpu_trace::{CounterKind, EventKind, NetDir, TraceData, TraceEvent, TraceSite, Tracer};
 use gpu_types::{Addr, CtaId, Cycle, PartitionId, SmId};
 
 use crate::config::GpuConfig;
@@ -116,6 +117,8 @@ pub struct Gpu {
     now: Cycle,
     outstanding: u64,
     sink: TraceSink,
+    tracer: Tracer,
+    host_nanos: u64,
     sanitizer: Sanitizer,
     launch: Option<LaunchState>,
 }
@@ -133,9 +136,15 @@ impl Gpu {
         let sms = (0..cfg.num_sms)
             .map(|i| Sm::new(SmId::new(i as u32), Arc::clone(&cfg)))
             .collect();
-        let partitions = (0..cfg.num_partitions)
+        let mut partitions: Vec<Partition> = (0..cfg.num_partitions)
             .map(|i| Partition::new(PartitionId::new(i as u32), &cfg, map))
             .collect();
+        let tracer = Tracer::new(cfg.trace);
+        if tracer.enabled() {
+            for p in &mut partitions {
+                p.set_event_log(true);
+            }
+        }
         let req_net = Crossbar::new(cfg.num_sms, cfg.num_partitions, cfg.icnt);
         let reply_net = Crossbar::new(cfg.num_partitions, cfg.num_sms, cfg.icnt);
         Gpu {
@@ -148,6 +157,8 @@ impl Gpu {
             now: Cycle::ZERO,
             outstanding: 0,
             sink: TraceSink::default(),
+            tracer,
+            host_nanos: 0,
             sanitizer: Sanitizer::new(),
             launch: None,
             cfg,
@@ -182,6 +193,28 @@ impl Gpu {
     /// Enables or disables latency-trace collection.
     pub fn set_tracing(&mut self, enabled: bool) {
         self.sink.enabled = enabled;
+    }
+
+    /// Enables or disables micro-architectural event tracing and counter
+    /// sampling at run time, overriding [`crate::GpuConfig::trace`].
+    pub fn set_event_tracing(&mut self, enabled: bool) {
+        self.tracer.set_enabled(enabled);
+        for p in &mut self.partitions {
+            p.set_event_log(enabled);
+        }
+    }
+
+    /// The event tracer (for inspecting counts without draining it).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Takes the recorded event trace and counter samples, leaving the
+    /// tracer empty. Call [`Gpu::run`] (or read the summary) first if the
+    /// counter summaries in [`crate::RunSummary::metrics`] are wanted —
+    /// taking resets them.
+    pub fn take_trace(&mut self) -> TraceData {
+        self.tracer.take()
     }
 
     /// Takes the collected traces (completed line fetches, completed load
@@ -264,8 +297,10 @@ impl Gpu {
             return Err(SimError::NothingLaunched);
         }
         let start = self.now;
+        let wall = std::time::Instant::now();
         while !self.is_done() {
             if self.now.since(start) >= max_cycles {
+                self.host_nanos += wall.elapsed().as_nanos() as u64;
                 if self.cfg.sanitize {
                     // Name any stuck MSHR lines before reporting the hang.
                     for p in &self.partitions {
@@ -276,6 +311,7 @@ impl Gpu {
             }
             self.tick();
         }
+        self.host_nanos += wall.elapsed().as_nanos() as u64;
         self.launch = None;
         if self.cfg.sanitize {
             for sm in &self.sms {
@@ -321,7 +357,9 @@ impl Gpu {
             && self.reply_net.is_idle()
     }
 
-    fn summary(&self) -> RunSummary {
+    /// The cumulative run summary so far (the same value [`Gpu::run`]
+    /// returns on success). Counters are never reset between launches.
+    pub fn summary(&self) -> RunSummary {
         let mut s = RunSummary {
             cycles: self.now.get(),
             ..RunSummary::default()
@@ -330,11 +368,14 @@ impl Gpu {
             let st = sm.stats();
             s.instructions += st.instructions;
             s.ctas += st.ctas_retired;
+            s.metrics.stalls.merge(&st.stalls);
             if let Some((h, m)) = sm.l1_counts() {
                 s.l1_hits += h;
                 s.l1_misses += m;
             }
         }
+        s.metrics.capture_from(&self.tracer);
+        s.metrics.host_nanos = self.host_nanos;
         for p in &self.partitions {
             if let Some((h, m)) = p.l2_counts() {
                 s.l2_hits += h;
@@ -356,7 +397,7 @@ impl Gpu {
 
         // Memory partitions.
         for p in &mut self.partitions {
-            let stores_done = p.tick(now);
+            let stores_done = p.tick(now, &mut self.tracer);
             self.outstanding -= stores_done;
         }
 
@@ -368,9 +409,21 @@ impl Gpu {
                     break;
                 }
                 let req = p.pop_return().expect("peeked");
+                let rid = req.id.get();
                 self.reply_net
                     .try_inject(pi, dst, req, now)
                     .expect("can_inject checked");
+                if self.tracer.enabled() {
+                    self.tracer.record(TraceEvent {
+                        cycle: now.get(),
+                        site: TraceSite::Gpu,
+                        kind: EventKind::IcntInject {
+                            net: NetDir::Reply,
+                            req: rid,
+                            port: pi as u32,
+                        },
+                    });
+                }
             }
         }
 
@@ -378,7 +431,20 @@ impl Gpu {
         for (pi, p) in self.partitions.iter_mut().enumerate() {
             while p.can_accept() {
                 match self.req_net.eject(pi, now) {
-                    Some(req) => p.accept(req, now),
+                    Some(req) => {
+                        if self.tracer.enabled() {
+                            self.tracer.record(TraceEvent {
+                                cycle: now.get(),
+                                site: TraceSite::Gpu,
+                                kind: EventKind::IcntEject {
+                                    net: NetDir::Request,
+                                    req: req.id.get(),
+                                    port: pi as u32,
+                                },
+                            });
+                        }
+                        p.accept(req, now, &mut self.tracer);
+                    }
                     None => break,
                 }
             }
@@ -394,12 +460,25 @@ impl Gpu {
 
             while sm.fill_space() {
                 match self.reply_net.eject(si, now) {
-                    Some(req) => sm.accept_response(req, now),
+                    Some(req) => {
+                        if self.tracer.enabled() {
+                            self.tracer.record(TraceEvent {
+                                cycle: now.get(),
+                                site: TraceSite::Gpu,
+                                kind: EventKind::IcntEject {
+                                    net: NetDir::Reply,
+                                    req: req.id.get(),
+                                    port: si as u32,
+                                },
+                            });
+                        }
+                        sm.accept_response(req, now, &mut self.tracer);
+                    }
                     None => break,
                 }
             }
 
-            sm.tick_memory(now);
+            sm.tick_memory(now, &mut self.tracer);
 
             while let Some(head) = sm.peek_miss() {
                 let dst = self.map.partition_of(head.addr).index();
@@ -408,12 +487,24 @@ impl Gpu {
                 }
                 let mut req = sm.pop_miss().expect("peeked");
                 req.timeline.record(Stamp::IcntInject, now);
+                let rid = req.id.get();
                 self.req_net
                     .try_inject(si, dst, req, now)
                     .expect("can_inject checked");
+                if self.tracer.enabled() {
+                    self.tracer.record(TraceEvent {
+                        cycle: now.get(),
+                        site: TraceSite::Gpu,
+                        kind: EventKind::IcntInject {
+                            net: NetDir::Request,
+                            req: rid,
+                            port: si as u32,
+                        },
+                    });
+                }
             }
 
-            let created = sm.tick_issue(now, &mut self.device, &mut self.sink);
+            let created = sm.tick_issue(now, &mut self.device, &mut self.sink, &mut self.tracer);
             self.outstanding += created;
             sm.maintain();
         }
@@ -422,7 +513,37 @@ impl Gpu {
         if sanitize {
             self.audit_cycle(now);
         }
+        if self.tracer.should_sample(now.get()) {
+            self.sample_counters(now);
+        }
         self.now.tick();
+    }
+
+    /// Reads the per-cycle gauges into one counter sample. Gauges are summed
+    /// across SMs / partitions; the row-hit rate is cumulative, in permille.
+    fn sample_counters(&mut self, now: Cycle) {
+        let mut values = [0u64; CounterKind::COUNT];
+        for sm in &self.sms {
+            values[CounterKind::L1MshrOccupancy.index()] += sm.l1_mshr_occupancy() as u64;
+            values[CounterKind::FrontDepth.index()] += sm.front_depth() as u64;
+            values[CounterKind::MissQueueDepth.index()] += sm.miss_queue_depth() as u64;
+        }
+        let mut serviced = 0u64;
+        let mut row_hits = 0u64;
+        for p in &self.partitions {
+            values[CounterKind::RopQueueDepth.index()] += p.rop_depth() as u64;
+            values[CounterKind::L2QueueDepth.index()] += p.l2_queue_depth() as u64;
+            values[CounterKind::L2MshrOccupancy.index()] += p.l2_mshr_occupancy() as u64;
+            values[CounterKind::DramQueueDepth.index()] += p.dram_queue_depth() as u64;
+            let d = p.dram_stats();
+            serviced += d.serviced;
+            row_hits += d.row_hits;
+        }
+        values[CounterKind::IcntInFlight.index()] =
+            (self.req_net.in_flight() + self.reply_net.in_flight()) as u64;
+        values[CounterKind::Outstanding.index()] = self.outstanding;
+        values[CounterKind::DramRowHitPermille.index()] = row_hits * 1000 / serviced.max(1);
+        self.tracer.sample(now.get(), values);
     }
 
     /// Per-cycle sanitizer sweep: between ticks every live request must sit

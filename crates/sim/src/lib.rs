@@ -41,3 +41,10 @@ pub use sanitizer::{Sanitizer, Site, Violation};
 pub use scoreboard::Scoreboard;
 pub use sm::Sm;
 pub use stats::{CompletedRequest, LoadInstrRecord, RunSummary, SmStats, TraceSink};
+
+// Observability types, re-exported so downstream crates can configure and
+// drain the tracer without naming `gpu-trace` directly.
+pub use gpu_trace::{
+    CounterKind, CounterSample, CounterSummary, EventKind, MetricsReport, StallBreakdown,
+    StallReason, TraceConfig, TraceData, TraceEvent, TraceSite, Tracer,
+};

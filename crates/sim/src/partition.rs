@@ -8,8 +8,10 @@
 use std::collections::VecDeque;
 
 use gpu_mem::{
-    AccessKind, AddressMap, Cache, DramController, MemRequest, MshrTable, RequestId, Stamp,
+    AccessKind, AddressMap, Cache, DramController, DramEventKind, MemRequest, MshrTable, RequestId,
+    Stamp,
 };
+use gpu_trace::{EventKind, QueueKind, TraceEvent, TraceSite, Tracer};
 use gpu_types::{BoundedQueue, Cycle, DelayQueue, PartitionId};
 
 use crate::config::{GpuConfig, WritePolicy};
@@ -94,11 +96,49 @@ impl Partition {
     /// # Panics
     ///
     /// Panics if the ROP queue is full; check [`Partition::can_accept`].
-    pub fn accept(&mut self, mut req: MemRequest, now: Cycle) {
+    pub fn accept(&mut self, mut req: MemRequest, now: Cycle, tracer: &mut Tracer) {
         req.timeline.record(Stamp::RopEnter, now);
+        if tracer.enabled() {
+            tracer.record(TraceEvent {
+                cycle: now.get(),
+                site: TraceSite::Partition(self.id.get()),
+                kind: EventKind::QueueEnter {
+                    queue: QueueKind::Rop,
+                    req: req.id.get(),
+                },
+            });
+        }
         self.rop
             .push(now, req)
             .unwrap_or_else(|_| panic!("ROP overflow; can_accept not checked"));
+    }
+
+    /// Enables or disables the DRAM controller's command event log (drained
+    /// into the tracer each tick).
+    pub fn set_event_log(&mut self, on: bool) {
+        self.dram.set_event_log(on);
+    }
+
+    // ---- counter gauges --------------------------------------------------
+
+    /// Requests in the ROP pipeline (counter gauge).
+    pub fn rop_depth(&self) -> usize {
+        self.rop.len()
+    }
+
+    /// Requests in the L2 input queue (counter gauge).
+    pub fn l2_queue_depth(&self) -> usize {
+        self.l2_queue.len()
+    }
+
+    /// Occupied L2 MSHR entries (counter gauge).
+    pub fn l2_mshr_occupancy(&self) -> usize {
+        self.l2_mshr.len()
+    }
+
+    /// Requests waiting in the DRAM controller queue (counter gauge).
+    pub fn dram_queue_depth(&self) -> usize {
+        self.dram.queued()
     }
 
     /// L2 hit/miss counts, if an L2 exists.
@@ -198,8 +238,9 @@ impl Partition {
 
     /// Advances the partition one cycle. Returns the number of store
     /// requests that retired this cycle (for global outstanding tracking).
-    pub fn tick(&mut self, now: Cycle) -> u64 {
+    pub fn tick(&mut self, now: Cycle, tracer: &mut Tracer) -> u64 {
         let mut stores_done = std::mem::take(&mut self.stores_retired_here);
+        let site = TraceSite::Partition(self.id.get());
 
         // 0. Dirty victims of the (write-back) L2 become DRAM writes.
         if let Some(l2) = self.l2_cache.as_mut() {
@@ -226,7 +267,31 @@ impl Partition {
 
         // 1. DRAM completions: stores retire; loads fill the L2, wake MSHR
         //    waiters, and join the return flow.
-        for req in self.dram.tick(now) {
+        let dram_done = self.dram.tick(now);
+        if tracer.enabled() {
+            for e in self.dram.drain_events() {
+                let kind = match e.kind {
+                    DramEventKind::Activate => EventKind::RowActivate {
+                        bank: e.bank,
+                        row: e.row,
+                    },
+                    DramEventKind::Precharge => EventKind::RowPrecharge {
+                        bank: e.bank,
+                        row: e.row,
+                    },
+                    DramEventKind::Schedule => EventKind::QueueLeave {
+                        queue: QueueKind::DramController,
+                        req: e.id.map_or(0, |id| id.get()),
+                    },
+                };
+                tracer.record(TraceEvent {
+                    cycle: e.at.get(),
+                    site,
+                    kind,
+                });
+            }
+        }
+        for req in dram_done {
             if req.kind == AccessKind::Store {
                 if req.token != EVICTION_TOKEN {
                     stores_done += 1;
@@ -255,12 +320,31 @@ impl Partition {
         }
 
         // 3. L2 access stage: one request per cycle from the input queue.
-        self.tick_l2(now);
+        self.tick_l2(now, tracer);
 
         // 4. ROP pipeline exit into the L2 input queue.
         if self.rop.front_ready(now).is_some() && !self.l2_queue.is_full() {
             let mut req = self.rop.pop_ready(now).expect("front was ready");
             req.timeline.record(Stamp::L2QueueEnter, now);
+            if tracer.enabled() {
+                let id = req.id.get();
+                tracer.record(TraceEvent {
+                    cycle: now.get(),
+                    site,
+                    kind: EventKind::QueueLeave {
+                        queue: QueueKind::Rop,
+                        req: id,
+                    },
+                });
+                tracer.record(TraceEvent {
+                    cycle: now.get(),
+                    site,
+                    kind: EventKind::QueueEnter {
+                        queue: QueueKind::L2Input,
+                        req: id,
+                    },
+                });
+            }
             self.l2_queue.push(req).expect("space checked");
         }
 
@@ -268,20 +352,43 @@ impl Partition {
         stores_done
     }
 
-    fn tick_l2(&mut self, now: Cycle) {
+    fn tick_l2(&mut self, now: Cycle, tracer: &mut Tracer) {
         let Some(head) = self.l2_queue.front() else {
             return;
         };
+        let site = TraceSite::Partition(self.id.get());
         // MSHR entries and cache lines are keyed by the line address; the
         // coalescer always sends aligned transactions, but align defensively.
         let addr = head.addr.align_down(self.line_size);
         let kind = head.kind;
+        let head_id = head.id.get();
+        // Emitted once a branch below actually pops the head.
+        let leave = EventKind::QueueLeave {
+            queue: QueueKind::L2Input,
+            req: head_id,
+        };
+        let dram_enter = EventKind::QueueEnter {
+            queue: QueueKind::DramController,
+            req: head_id,
+        };
 
         let Some(l2) = self.l2_cache.as_mut() else {
             // No L2 (Tesla-style): straight to DRAM.
             if self.dram.can_accept() {
                 let req = self.l2_queue.pop().expect("head exists");
                 self.dram.enqueue(req, now);
+                if tracer.enabled() {
+                    tracer.record(TraceEvent {
+                        cycle: now.get(),
+                        site,
+                        kind: leave,
+                    });
+                    tracer.record(TraceEvent {
+                        cycle: now.get(),
+                        site,
+                        kind: dram_enter,
+                    });
+                }
             }
             return;
         };
@@ -294,6 +401,18 @@ impl Partition {
                         l2.store_invalidate(addr);
                         let req = self.l2_queue.pop().expect("head exists");
                         self.dram.enqueue(req, now);
+                        if tracer.enabled() {
+                            tracer.record(TraceEvent {
+                                cycle: now.get(),
+                                site,
+                                kind: leave,
+                            });
+                            tracer.record(TraceEvent {
+                                cycle: now.get(),
+                                site,
+                                kind: dram_enter,
+                            });
+                        }
                     }
                 }
                 WritePolicy::WriteBack => {
@@ -305,6 +424,13 @@ impl Partition {
                     }
                     let _ = self.l2_queue.pop().expect("head exists");
                     self.stores_retired_here += 1;
+                    if tracer.enabled() {
+                        tracer.record(TraceEvent {
+                            cycle: now.get(),
+                            site,
+                            kind: leave,
+                        });
+                    }
                 }
             }
             return;
@@ -316,6 +442,13 @@ impl Partition {
             self.l2_hit_pipe
                 .push(now, req)
                 .expect("hit pipe sized for the input queue");
+            if tracer.enabled() {
+                tracer.record(TraceEvent {
+                    cycle: now.get(),
+                    site,
+                    kind: leave,
+                });
+            }
         } else if self.l2_mshr.is_pending(addr) {
             if self.l2_mshr.can_merge(addr) {
                 let mut req = self.l2_queue.pop().expect("head exists");
@@ -324,6 +457,18 @@ impl Partition {
                 self.l2_mshr
                     .try_merge(addr, req)
                     .expect("merge space checked");
+                if tracer.enabled() {
+                    tracer.record(TraceEvent {
+                        cycle: now.get(),
+                        site,
+                        kind: leave,
+                    });
+                    tracer.record(TraceEvent {
+                        cycle: now.get(),
+                        site,
+                        kind: EventKind::MshrMerge { line: addr.get() },
+                    });
+                }
             }
         } else {
             if !self.l2_mshr.can_allocate() || !self.dram.can_accept() {
@@ -336,6 +481,23 @@ impl Partition {
             let _ = l2.load(addr); // records the miss
             assert!(self.l2_mshr.allocate(addr), "capacity checked");
             self.dram.enqueue(req, now);
+            if tracer.enabled() {
+                tracer.record(TraceEvent {
+                    cycle: now.get(),
+                    site,
+                    kind: leave,
+                });
+                tracer.record(TraceEvent {
+                    cycle: now.get(),
+                    site,
+                    kind: EventKind::MshrAllocate { line: addr.get() },
+                });
+                tracer.record(TraceEvent {
+                    cycle: now.get(),
+                    site,
+                    kind: dram_enter,
+                });
+            }
         }
     }
 }

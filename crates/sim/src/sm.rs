@@ -16,6 +16,7 @@ use gpu_isa::{
     InstrClass, Kernel, Launch, LocalMap, MemBackend, Reg, Space, StepOutcome, ThreadCtx, WarpExec,
 };
 use gpu_mem::{AccessKind, Cache, MemRequest, MshrTable, PipelineSpace, RequestId, Stamp};
+use gpu_trace::{EventKind, StallBreakdown, StallReason, TraceEvent, TraceSite, Tracer};
 use gpu_types::{BoundedQueue, CtaId, Cycle, DelayQueue, SmId};
 
 use crate::coalesce::coalesce;
@@ -51,6 +52,7 @@ struct PendingLoad {
     lines: u32,
     issue: Cycle,
     stalls_at_issue: u64,
+    stall_reasons_at_issue: StallBreakdown,
 }
 
 /// One streaming multiprocessor.
@@ -139,6 +141,23 @@ impl Sm {
     /// Number of occupied warp slots.
     pub fn live_warps(&self) -> usize {
         self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    // ---- counter gauges --------------------------------------------------
+
+    /// Transactions in the memory front-end pipe (counter gauge).
+    pub fn front_depth(&self) -> usize {
+        self.front.len()
+    }
+
+    /// Requests waiting in the L1 miss queue (counter gauge).
+    pub fn miss_queue_depth(&self) -> usize {
+        self.miss_queue.len()
+    }
+
+    /// Occupied L1 MSHR entries (counter gauge).
+    pub fn l1_mshr_occupancy(&self) -> usize {
+        self.l1_mshr.len()
     }
 
     /// Returns `true` when the SM holds no warps and no in-flight memory
@@ -331,13 +350,23 @@ impl Sm {
     /// Accepts a response ejected from the reply network: fills the L1 (if
     /// this space is cached), wakes MSHR waiters, and queues everything for
     /// writeback.
-    pub fn accept_response(&mut self, req: MemRequest, now: Cycle) {
+    pub fn accept_response(&mut self, req: MemRequest, now: Cycle, tracer: &mut Tracer) {
         let mut wake = Vec::new();
         if req.is_load() && !req.bypass_l1 && self.cfg.l1_serves(req.space) {
             if let Some(l1) = self.l1_cache.as_mut() {
                 let line = req.addr.align_down(self.cfg.line_size);
                 l1.fill(line);
                 wake = self.l1_mshr.fill(line);
+                if tracer.enabled() {
+                    tracer.record(TraceEvent {
+                        cycle: now.get(),
+                        site: TraceSite::Sm(self.id.get()),
+                        kind: EventKind::MshrFill {
+                            line: line.get(),
+                            waiters: wake.len() as u32,
+                        },
+                    });
+                }
             }
         }
         self.fill_pipe
@@ -427,12 +456,22 @@ impl Sm {
             if let Some(slot) = self.slots[pl.warp].as_mut() {
                 slot.pending_ops -= 1;
             }
+            let exposed = self.stats.stall_cycles - pl.stalls_at_issue;
+            // The SM can stall at most once per cycle, so the exposure
+            // counted against a load can never exceed its lifetime.
+            debug_assert!(
+                exposed <= now.since(pl.issue),
+                "exposed {} exceeds load lifetime {}",
+                exposed,
+                now.since(pl.issue)
+            );
             sink.record_load(LoadInstrRecord {
                 sm: self.id,
                 issue: pl.issue,
                 complete: now,
-                exposed: self.stats.stall_cycles - pl.stalls_at_issue,
+                exposed,
                 lines: pl.lines,
+                stall_reasons: self.stats.stalls.since(&pl.stall_reasons_at_issue),
             });
         }
     }
@@ -441,7 +480,7 @@ impl Sm {
 
     /// L1 access stage: moves at most one transaction from the front-end
     /// pipe into the hit pipe or the miss queue.
-    pub fn tick_memory(&mut self, now: Cycle) {
+    pub fn tick_memory(&mut self, now: Cycle, tracer: &mut Tracer) {
         let Some(head) = self.front.front_ready(now) else {
             return;
         };
@@ -501,6 +540,13 @@ impl Sm {
             self.l1_mshr
                 .try_merge(addr, req)
                 .expect("merge space checked");
+            if tracer.enabled() {
+                tracer.record(TraceEvent {
+                    cycle: now.get(),
+                    site: TraceSite::Sm(self.id.get()),
+                    kind: EventKind::MshrMerge { line: addr.get() },
+                });
+            }
         } else {
             if !self.l1_mshr.can_allocate() || self.miss_queue.is_full() {
                 return; // structural stall
@@ -513,6 +559,13 @@ impl Sm {
             let _ = l1.load(addr); // records the miss
             assert!(self.l1_mshr.allocate(addr), "capacity checked");
             self.miss_queue.push(req).expect("capacity checked");
+            if tracer.enabled() {
+                tracer.record(TraceEvent {
+                    cycle: now.get(),
+                    site: TraceSite::Sm(self.id.get()),
+                    kind: EventKind::MshrAllocate { line: addr.get() },
+                });
+            }
         }
     }
 
@@ -536,6 +589,7 @@ impl Sm {
         now: Cycle,
         device: &mut gpu_mem::DeviceMemory,
         sink: &mut TraceSink,
+        tracer: &mut Tracer,
     ) -> u64 {
         let mut new_requests = 0;
         let mut issued = 0u64;
@@ -546,7 +600,7 @@ impl Sm {
                 break;
             };
             issued_mask[w] = true;
-            new_requests += self.issue_warp(w, now, device, sink, &mut lsu_used);
+            new_requests += self.issue_warp(w, now, device, sink, tracer, &mut lsu_used);
             issued += 1;
         }
         if issued > 0 {
@@ -554,8 +608,74 @@ impl Sm {
             self.stats.instructions += issued;
         } else if self.live_warps() > 0 {
             self.stats.stall_cycles += 1;
+            let reason = self.classify_stall();
+            self.stats.stalls.bump(reason);
+            if tracer.enabled() {
+                tracer.record(TraceEvent {
+                    cycle: now.get(),
+                    site: TraceSite::Sm(self.id.get()),
+                    kind: EventKind::Stall { reason },
+                });
+            }
         }
         new_requests
+    }
+
+    /// Names the dominant reason this SM issued nothing despite live warps:
+    /// every blocked warp votes for the first condition that blocks it, and
+    /// the reason with the most votes wins (ties break in
+    /// [`StallReason::ALL`] order). This refines the paper's Fig. 2
+    /// exposed/hidden split — a zero-issue cycle becomes exposed *because
+    /// of* something.
+    fn classify_stall(&self) -> StallReason {
+        let mut votes = [0u64; StallReason::COUNT];
+        for (w, slot) in self.slots.iter().enumerate() {
+            let Some(slot) = slot.as_ref() else { continue };
+            if slot.exec.is_finished() {
+                // Drained warps waiting for CTA retirement don't vote.
+                continue;
+            }
+            let reason = if slot.exec.at_barrier() {
+                StallReason::Barrier
+            } else {
+                match slot.exec.peek() {
+                    None => StallReason::Other,
+                    Some((_, instr)) => {
+                        if !self.scoreboard.can_issue(w, instr) {
+                            StallReason::Scoreboard
+                        } else if matches!(
+                            instr.class(),
+                            InstrClass::Mem { space, .. } if space != Space::Shared
+                        ) {
+                            let need = self.cfg.warp_size as usize + 1;
+                            if self.front.capacity() - self.front.len() < need {
+                                if !self.l1_mshr.can_allocate() {
+                                    StallReason::MshrFull
+                                } else if self.miss_queue.is_full() {
+                                    StallReason::IcntBackpressure
+                                } else {
+                                    StallReason::Other
+                                }
+                            } else {
+                                StallReason::Other
+                            }
+                        } else {
+                            StallReason::Other
+                        }
+                    }
+                }
+            };
+            votes[reason.index()] += 1;
+        }
+        let mut best = StallReason::Other;
+        let mut best_votes = 0u64;
+        for r in StallReason::ALL {
+            if votes[r.index()] > best_votes {
+                best = r;
+                best_votes = votes[r.index()];
+            }
+        }
+        best
     }
 
     fn warp_ready(&self, w: usize, issued_mask: &[bool], lsu_used: bool) -> bool {
@@ -625,6 +745,7 @@ impl Sm {
         now: Cycle,
         device: &mut gpu_mem::DeviceMemory,
         sink: &mut TraceSink,
+        tracer: &mut Tracer,
         lsu_used: &mut bool,
     ) -> u64 {
         let mut slot = self.slots[w].take().expect("scheduler picked a live warp");
@@ -680,6 +801,17 @@ impl Sm {
                         coalesce(&op.accesses, self.cfg.line_size)
                     };
                     self.stats.transactions += lines.len() as u64;
+                    if tracer.enabled() {
+                        tracer.record(TraceEvent {
+                            cycle: now.get(),
+                            site: TraceSite::Sm(self.id.get()),
+                            kind: EventKind::Coalesce {
+                                warp: w as u32,
+                                accesses: op.accesses.len() as u32,
+                                lines: lines.len() as u32,
+                            },
+                        });
+                    }
                     let pspace = match op.space {
                         Space::Global => PipelineSpace::Global,
                         Space::Local => PipelineSpace::Local,
@@ -708,6 +840,7 @@ impl Sm {
                                 lines: lines.len() as u32,
                                 issue: now,
                                 stalls_at_issue: self.stats.stall_cycles,
+                                stall_reasons_at_issue: self.stats.stalls,
                             },
                         );
                         slot.pending_ops += 1;
@@ -759,7 +892,7 @@ impl Sm {
                 }
             }
         }
-        let _ = sink; // traces are recorded at writeback, not at issue
+        let _ = sink; // latency traces are recorded at writeback, not at issue
         self.slots[w] = Some(slot);
         new_requests
     }

@@ -2,6 +2,7 @@
 //! dynamic-latency analysis in `latency-core`.
 
 use gpu_mem::{PipelineSpace, Timeline};
+use gpu_trace::{MetricsReport, StallBreakdown};
 use gpu_types::{Cycle, SmId};
 
 /// A completed, traced memory request (one line fetch), with its full stamp
@@ -31,6 +32,9 @@ pub struct LoadInstrRecord {
     pub exposed: u64,
     /// Number of line transactions the access coalesced into.
     pub lines: u32,
+    /// The SM's stall cycles during this load's lifetime, attributed to
+    /// named reasons — the explainable refinement of `exposed`.
+    pub stall_reasons: StallBreakdown,
 }
 
 impl LoadInstrRecord {
@@ -44,13 +48,16 @@ impl LoadInstrRecord {
         self.total().saturating_sub(self.exposed)
     }
 
-    /// Exposed fraction in `[0, 1]` (zero for zero-latency records).
+    /// Exposed fraction, clamped to `[0, 1]` (zero for zero-latency
+    /// records). The raw counter can nominally exceed the lifetime only
+    /// through an attribution bug; a debug assertion guards the record
+    /// site, and the clamp keeps release-build analysis sane regardless.
     pub fn exposed_fraction(&self) -> f64 {
         let t = self.total();
         if t == 0 {
             0.0
         } else {
-            self.exposed as f64 / t as f64
+            (self.exposed as f64 / t as f64).clamp(0.0, 1.0)
         }
     }
 }
@@ -93,6 +100,10 @@ pub struct SmStats {
     /// Cycles with live warps in which the SM issued nothing (the cumulative
     /// stall counter used for exposure attribution).
     pub stall_cycles: u64,
+    /// `stall_cycles` split by dominant reason (scoreboard, MSHR-full,
+    /// icnt-backpressure, barrier, other). Its total always equals
+    /// `stall_cycles`.
+    pub stalls: StallBreakdown,
     /// Warp-level global/local load instructions issued.
     pub global_loads: u64,
     /// Warp-level global/local store instructions issued.
@@ -127,6 +138,11 @@ pub struct RunSummary {
     /// Invariant violations the sanitizer detected (zero when the sanitizer
     /// is disabled — see `GpuConfig::sanitize`).
     pub sanitizer_violations: u64,
+    /// Observability metrics: counter summaries, stall attribution and host
+    /// throughput. `metrics.host_nanos` is the summary's only
+    /// non-deterministic field — normalise it before comparing summaries
+    /// for run-identity.
+    pub metrics: MetricsReport,
 }
 
 impl RunSummary {
@@ -138,20 +154,33 @@ impl RunSummary {
             self.instructions as f64 / self.cycles as f64
         }
     }
+
+    /// Simulated cycles per host second for this run.
+    pub fn cycles_per_second(&self) -> f64 {
+        self.metrics.cycles_per_second(self.cycles)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn record(issue: u64, complete: u64, exposed: u64) -> LoadInstrRecord {
+        LoadInstrRecord {
+            sm: SmId::new(0),
+            issue: Cycle::new(issue),
+            complete: Cycle::new(complete),
+            exposed,
+            lines: 1,
+            stall_reasons: StallBreakdown::default(),
+        }
+    }
+
     #[test]
     fn load_record_math() {
         let r = LoadInstrRecord {
-            sm: SmId::new(0),
-            issue: Cycle::new(100),
-            complete: Cycle::new(500),
-            exposed: 100,
             lines: 3,
+            ..record(100, 500, 100)
         };
         assert_eq!(r.total(), 400);
         assert_eq!(r.hidden(), 300);
@@ -160,35 +189,25 @@ mod tests {
 
     #[test]
     fn zero_latency_record_has_zero_fraction() {
-        let r = LoadInstrRecord {
-            sm: SmId::new(0),
-            issue: Cycle::new(5),
-            complete: Cycle::new(5),
-            exposed: 0,
-            lines: 1,
-        };
+        let r = record(5, 5, 0);
         assert_eq!(r.exposed_fraction(), 0.0);
+    }
+
+    #[test]
+    fn exposed_fraction_clamps_to_unit_interval() {
+        // A corrupted counter larger than the lifetime must not escape [0, 1].
+        let r = record(0, 10, 25);
+        assert_eq!(r.exposed_fraction(), 1.0);
+        assert_eq!(r.hidden(), 0);
     }
 
     #[test]
     fn sink_respects_enable_flag() {
         let mut s = TraceSink::default();
-        s.record_load(LoadInstrRecord {
-            sm: SmId::new(0),
-            issue: Cycle::ZERO,
-            complete: Cycle::new(1),
-            exposed: 0,
-            lines: 1,
-        });
+        s.record_load(record(0, 1, 0));
         assert!(s.loads.is_empty());
         s.enabled = true;
-        s.record_load(LoadInstrRecord {
-            sm: SmId::new(0),
-            issue: Cycle::ZERO,
-            complete: Cycle::new(1),
-            exposed: 0,
-            lines: 1,
-        });
+        s.record_load(record(0, 1, 0));
         assert_eq!(s.loads.len(), 1);
     }
 
@@ -201,5 +220,18 @@ mod tests {
         };
         assert!((s.ipc() - 2.5).abs() < 1e-12);
         assert_eq!(RunSummary::default().ipc(), 0.0);
+    }
+
+    #[test]
+    fn throughput_derives_from_metrics() {
+        let s = RunSummary {
+            cycles: 1_000,
+            metrics: MetricsReport {
+                host_nanos: 500_000_000,
+                ..MetricsReport::default()
+            },
+            ..RunSummary::default()
+        };
+        assert!((s.cycles_per_second() - 2_000.0).abs() < 1e-9);
     }
 }

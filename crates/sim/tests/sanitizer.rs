@@ -107,9 +107,14 @@ fn sanitized_and_unsanitized_runs_time_identically() {
     let b = run_copy(&mut without, 4096).expect("plain run");
     assert_eq!(a.cycles, b.cycles);
     assert_eq!(a.instructions, b.instructions);
+    // Host wall-clock is the summary's only non-deterministic field.
     assert_eq!(
         gpu_sim::RunSummary {
             sanitizer_violations: 0,
+            metrics: gpu_sim::MetricsReport {
+                host_nanos: b.metrics.host_nanos,
+                ..a.metrics
+            },
             ..a
         },
         b

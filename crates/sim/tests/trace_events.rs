@@ -1,0 +1,175 @@
+//! End-to-end tests of the observability layer: event tracing must never
+//! perturb timing, and the exported Chrome-trace spans must tile each
+//! request's Timeline lifetime exactly.
+
+use gpu_isa::{KernelBuilder, Launch, Special, Width};
+use gpu_sim::{Gpu, GpuConfig, MetricsReport, RunSummary};
+use gpu_trace::{json, ChromeTraceBuilder, EventKind};
+
+fn small_config() -> GpuConfig {
+    let mut cfg = GpuConfig::fermi_gf100();
+    cfg.num_sms = 2;
+    cfg.num_partitions = 2;
+    cfg
+}
+
+/// A copy kernel: every thread loads one word and stores it shifted.
+fn copy_kernel() -> gpu_isa::Kernel {
+    let mut b = KernelBuilder::new("copy");
+    let src = b.param(0);
+    let dst = b.param(1);
+    let gtid = b.special(Special::GlobalTid);
+    let off = b.shl(gtid, 2);
+    let sa = b.add(src, off);
+    let da = b.add(dst, off);
+    let v = b.ld_global(Width::W4, sa, 0);
+    b.st_global(Width::W4, da, 0, v);
+    b.exit();
+    b.build().expect("valid kernel")
+}
+
+fn run_copy(gpu: &mut Gpu, n: u64) -> RunSummary {
+    let src = gpu.alloc(4 * n, 128);
+    let dst = gpu.alloc(4 * n, 128);
+    for i in 0..n {
+        gpu.device_mut().write_u32(src + 4 * i, (i * 3) as u32);
+    }
+    let grid = (n as u32).div_ceil(128);
+    gpu.launch(
+        copy_kernel(),
+        Launch::new(grid, 128, vec![src.get(), dst.get()]),
+    )
+    .expect("launch");
+    gpu.run(10_000_000).expect("run drains")
+}
+
+#[test]
+fn event_tracing_is_cycle_identical() {
+    let mut plain = Gpu::new(small_config());
+    let mut traced = Gpu::new(small_config());
+    traced.set_event_tracing(true);
+
+    let a = run_copy(&mut plain, 2048);
+    let b = run_copy(&mut traced, 2048);
+
+    assert_eq!(a.cycles, b.cycles, "tracing must not perturb timing");
+    // Everything except the tracer's own bookkeeping (and wall clock) must
+    // match exactly.
+    let normalized = RunSummary {
+        metrics: MetricsReport {
+            host_nanos: a.metrics.host_nanos,
+            samples: a.metrics.samples,
+            counters: a.metrics.counters,
+            events_recorded: a.metrics.events_recorded,
+            events_dropped: a.metrics.events_dropped,
+            ..b.metrics
+        },
+        ..b
+    };
+    assert_eq!(a, normalized);
+
+    assert_eq!(plain.tracer().events_recorded(), 0);
+    assert!(traced.tracer().events_recorded() > 0);
+}
+
+#[test]
+fn enabled_run_emits_the_event_taxonomy() {
+    let mut cfg = small_config();
+    cfg.trace.enabled = true;
+    cfg.trace.sample_interval = 16;
+    let mut gpu = Gpu::new(cfg);
+    let summary = run_copy(&mut gpu, 2048);
+    let data = gpu.take_trace();
+
+    assert!(!data.events.is_empty());
+    assert!(!data.samples.is_empty());
+    assert_eq!(data.dropped_events, 0);
+    assert_eq!(summary.metrics.events_recorded, data.events.len() as u64);
+    assert!(summary.metrics.samples >= data.samples.len() as u64);
+
+    let mut seen = std::collections::BTreeSet::new();
+    for e in &data.events {
+        seen.insert(e.kind.name());
+    }
+    for kind in [
+        "coalesce",
+        "mshr_alloc",
+        "mshr_fill",
+        "icnt_inject",
+        "icnt_eject",
+        "queue_enter",
+        "queue_leave",
+        "row_activate",
+    ] {
+        assert!(seen.contains(kind), "missing event kind {kind}: {seen:?}");
+    }
+    // Events are recorded in simulation order.
+    assert!(data.events.windows(2).all(|w| w[0].cycle <= w[1].cycle));
+    let _ = data
+        .events
+        .iter()
+        .find(|e| matches!(e.kind, EventKind::QueueEnter { .. }))
+        .expect("at least one queue event");
+}
+
+#[test]
+fn exported_spans_tile_each_request_lifetime() {
+    let mut cfg = small_config();
+    cfg.trace.enabled = true;
+    let mut gpu = Gpu::new(cfg);
+    gpu.set_tracing(true); // latency sink: collect completed timelines
+    run_copy(&mut gpu, 2048);
+
+    let (requests, _) = gpu.take_traces();
+    assert!(!requests.is_empty());
+    let data = gpu.take_trace();
+
+    let mut builder = ChromeTraceBuilder::new(2, 2);
+    for (i, r) in requests.iter().enumerate() {
+        builder.add_request_span(r.sm.get(), i as u64, &r.timeline);
+    }
+    for e in &data.events {
+        builder.add_event(e);
+    }
+    for s in &data.samples {
+        builder.add_counter_sample(s);
+    }
+    let json_text = builder.finish();
+    let doc = json::parse(&json_text).expect("exported trace must be valid JSON");
+    let verified = gpu_trace::check_span_sums(&doc).expect("span stage sums must tile lifetimes");
+    let complete = requests.iter().filter(|r| r.timeline.is_complete()).count() as u64;
+    assert_eq!(verified, complete);
+    assert!(verified > 0);
+}
+
+#[test]
+fn stall_attribution_sums_to_stall_cycles() {
+    let mut gpu = Gpu::new(small_config());
+    let summary = run_copy(&mut gpu, 2048);
+
+    let mut total = 0;
+    for st in gpu.sm_stats() {
+        assert_eq!(
+            st.stalls.total(),
+            st.stall_cycles,
+            "every stall cycle must be attributed to a reason"
+        );
+        total += st.stall_cycles;
+    }
+    assert!(total > 0, "a memory-bound copy must stall somewhere");
+    assert_eq!(summary.metrics.stalls.total(), total);
+}
+
+#[test]
+fn per_load_stall_reasons_are_bounded_by_lifetime() {
+    let mut gpu = Gpu::new(small_config());
+    gpu.set_tracing(true);
+    run_copy(&mut gpu, 2048);
+    let (_, loads) = gpu.take_traces();
+    assert!(!loads.is_empty());
+    for l in &loads {
+        assert_eq!(l.stall_reasons.total(), l.exposed);
+        assert!(l.exposed <= l.total());
+        assert!(l.exposed_fraction() <= 1.0);
+    }
+}

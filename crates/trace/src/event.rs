@@ -1,0 +1,341 @@
+//! The event taxonomy of the tracing layer.
+//!
+//! Every discrete thing the simulator can report — an SM stalling, a
+//! coalesced access, an MSHR transition, a crossbar hop, a queue move, a
+//! DRAM row-buffer command — becomes one [`TraceEvent`]: a cycle, a site,
+//! and a payload. Events are plain `Copy` data so recording one is a couple
+//! of stores into a pre-grown buffer, never an allocation.
+
+/// Why an SM issued nothing on a cycle with live warps.
+///
+/// This extends the paper's Figure-2 exposed/hidden split: a zero-issue
+/// cycle is not just *exposed*, it is exposed *for a reason*. The reasons
+/// are tallied per SM ([`StallBreakdown`]) and attributed per load
+/// (`LoadInstrRecord::stall_reasons` in `gpu-sim`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StallReason {
+    /// A warp's next instruction waits on a register an outstanding
+    /// load/ALU op still owns — the classic exposed-latency case.
+    Scoreboard,
+    /// The L1 MSHR table is full, so misses cannot leave the SM.
+    MshrFull,
+    /// The L1 miss queue toward the interconnect is full (network
+    /// backpressure reaching into the SM).
+    IcntBackpressure,
+    /// Warps are parked at a CTA barrier.
+    Barrier,
+    /// None of the above: front-end/writeback structural limits or warps
+    /// draining after exit.
+    Other,
+}
+
+impl StallReason {
+    /// All reasons, in attribution-priority order.
+    pub const ALL: [StallReason; 5] = [
+        StallReason::Scoreboard,
+        StallReason::MshrFull,
+        StallReason::IcntBackpressure,
+        StallReason::Barrier,
+        StallReason::Other,
+    ];
+
+    /// Number of reasons.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Index into [`StallBreakdown`] storage.
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Short machine-readable name (JSONL/CSV key).
+    pub fn name(self) -> &'static str {
+        match self {
+            StallReason::Scoreboard => "scoreboard",
+            StallReason::MshrFull => "mshr_full",
+            StallReason::IcntBackpressure => "icnt_backpressure",
+            StallReason::Barrier => "barrier",
+            StallReason::Other => "other",
+        }
+    }
+}
+
+/// Per-reason stall-cycle counters (one slot per [`StallReason`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StallBreakdown {
+    counts: [u64; StallReason::COUNT],
+}
+
+impl StallBreakdown {
+    /// An all-zero breakdown.
+    pub fn new() -> Self {
+        StallBreakdown::default()
+    }
+
+    /// Adds one stall cycle to `reason`.
+    pub fn bump(&mut self, reason: StallReason) {
+        self.counts[reason.index()] += 1;
+    }
+
+    /// Stall cycles attributed to `reason`.
+    pub fn get(&self, reason: StallReason) -> u64 {
+        self.counts[reason.index()]
+    }
+
+    /// Total stall cycles across all reasons.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Adds another breakdown into this one.
+    pub fn merge(&mut self, other: &StallBreakdown) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+
+    /// Per-reason counts accumulated since an `earlier` snapshot of the same
+    /// counter set (used to attribute a load's lifetime stalls).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` is not a prefix snapshot (any
+    /// reason counted more in `earlier` than in `self`).
+    pub fn since(&self, earlier: &StallBreakdown) -> StallBreakdown {
+        let mut out = StallBreakdown::default();
+        for (i, slot) in out.counts.iter_mut().enumerate() {
+            debug_assert!(
+                self.counts[i] >= earlier.counts[i],
+                "stall counters must be monotonic"
+            );
+            *slot = self.counts[i].saturating_sub(earlier.counts[i]);
+        }
+        out
+    }
+
+    /// Iterates `(reason, count)` pairs in [`StallReason::ALL`] order.
+    pub fn iter(&self) -> impl Iterator<Item = (StallReason, u64)> + '_ {
+        StallReason::ALL
+            .iter()
+            .map(|&r| (r, self.counts[r.index()]))
+    }
+}
+
+/// Which pipeline component recorded an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceSite {
+    /// A streaming multiprocessor, by index.
+    Sm(u32),
+    /// A memory partition, by index.
+    Partition(u32),
+    /// The whole-GPU cycle loop (interconnect, dispatch).
+    Gpu,
+}
+
+/// Which crossbar network a hop event belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NetDir {
+    /// SM → partition request network.
+    Request,
+    /// Partition → SM reply network.
+    Reply,
+}
+
+impl NetDir {
+    /// Short machine-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            NetDir::Request => "req",
+            NetDir::Reply => "reply",
+        }
+    }
+}
+
+/// Which bounded queue a queue-transition event refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueueKind {
+    /// The partition's ROP pipeline queue.
+    Rop,
+    /// The L2 slice input queue.
+    L2Input,
+    /// The DRAM controller queue.
+    DramController,
+}
+
+impl QueueKind {
+    /// Short machine-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            QueueKind::Rop => "rop",
+            QueueKind::L2Input => "l2_input",
+            QueueKind::DramController => "dram",
+        }
+    }
+}
+
+/// The payload of one trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// An SM issued nothing this cycle despite live warps.
+    Stall {
+        /// Dominant reason among the blocked warps.
+        reason: StallReason,
+    },
+    /// The coalescer turned one warp memory access into line transactions.
+    Coalesce {
+        /// Issuing warp slot.
+        warp: u32,
+        /// Active lanes in the access.
+        accesses: u32,
+        /// Line transactions generated.
+        lines: u32,
+    },
+    /// An L1/L2 MSHR entry was allocated for a line.
+    MshrAllocate {
+        /// Line address.
+        line: u64,
+    },
+    /// A request merged into an existing MSHR entry.
+    MshrMerge {
+        /// Line address.
+        line: u64,
+    },
+    /// A fill released an MSHR entry and woke its merged waiters.
+    MshrFill {
+        /// Line address.
+        line: u64,
+        /// Waiters woken.
+        waiters: u32,
+    },
+    /// A request entered a crossbar network.
+    IcntInject {
+        /// Which network.
+        net: NetDir,
+        /// Request id.
+        req: u64,
+        /// Source port index.
+        port: u32,
+    },
+    /// A request left a crossbar network.
+    IcntEject {
+        /// Which network.
+        net: NetDir,
+        /// Request id.
+        req: u64,
+        /// Destination port index.
+        port: u32,
+    },
+    /// A request entered a bounded queue.
+    QueueEnter {
+        /// Which queue.
+        queue: QueueKind,
+        /// Request id.
+        req: u64,
+    },
+    /// A request left a bounded queue.
+    QueueLeave {
+        /// Which queue.
+        queue: QueueKind,
+        /// Request id.
+        req: u64,
+    },
+    /// DRAM activated a row in a bank.
+    RowActivate {
+        /// Bank index.
+        bank: u32,
+        /// Row number.
+        row: u64,
+    },
+    /// DRAM precharged (closed) a bank's open row.
+    RowPrecharge {
+        /// Bank index.
+        bank: u32,
+        /// Row that was open.
+        row: u64,
+    },
+}
+
+impl EventKind {
+    /// Short machine-readable name (JSONL `kind` field, Chrome event name).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::Stall { .. } => "stall",
+            EventKind::Coalesce { .. } => "coalesce",
+            EventKind::MshrAllocate { .. } => "mshr_alloc",
+            EventKind::MshrMerge { .. } => "mshr_merge",
+            EventKind::MshrFill { .. } => "mshr_fill",
+            EventKind::IcntInject { .. } => "icnt_inject",
+            EventKind::IcntEject { .. } => "icnt_eject",
+            EventKind::QueueEnter { .. } => "queue_enter",
+            EventKind::QueueLeave { .. } => "queue_leave",
+            EventKind::RowActivate { .. } => "row_activate",
+            EventKind::RowPrecharge { .. } => "row_precharge",
+        }
+    }
+}
+
+/// One recorded event: when, where, what.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulated cycle.
+    pub cycle: u64,
+    /// Recording component.
+    pub site: TraceSite,
+    /// Payload.
+    pub kind: EventKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stall_breakdown_accumulates_and_diffs() {
+        let mut b = StallBreakdown::new();
+        b.bump(StallReason::Scoreboard);
+        b.bump(StallReason::Scoreboard);
+        b.bump(StallReason::Barrier);
+        assert_eq!(b.get(StallReason::Scoreboard), 2);
+        assert_eq!(b.total(), 3);
+
+        let snapshot = b;
+        b.bump(StallReason::MshrFull);
+        b.bump(StallReason::Scoreboard);
+        let delta = b.since(&snapshot);
+        assert_eq!(delta.get(StallReason::MshrFull), 1);
+        assert_eq!(delta.get(StallReason::Scoreboard), 1);
+        assert_eq!(delta.total(), 2);
+    }
+
+    #[test]
+    fn merge_sums_per_reason() {
+        let mut a = StallBreakdown::new();
+        a.bump(StallReason::Other);
+        let mut b = StallBreakdown::new();
+        b.bump(StallReason::Other);
+        b.bump(StallReason::Barrier);
+        a.merge(&b);
+        assert_eq!(a.get(StallReason::Other), 2);
+        assert_eq!(a.get(StallReason::Barrier), 1);
+    }
+
+    #[test]
+    fn reason_indices_cover_all() {
+        for (i, r) in StallReason::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+        }
+        let names: Vec<_> = StallReason::ALL.iter().map(|r| r.name()).collect();
+        assert_eq!(names.len(), StallReason::COUNT);
+    }
+
+    #[test]
+    fn event_names_are_stable() {
+        let e = TraceEvent {
+            cycle: 7,
+            site: TraceSite::Sm(3),
+            kind: EventKind::MshrAllocate { line: 0x80 },
+        };
+        assert_eq!(e.kind.name(), "mshr_alloc");
+        assert_eq!(QueueKind::DramController.name(), "dram");
+        assert_eq!(NetDir::Reply.name(), "reply");
+    }
+}

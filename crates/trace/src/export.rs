@@ -1,0 +1,137 @@
+//! Scripting-friendly exporters: one JSON object per line for events, CSV
+//! for counter samples. Both are plain-text sidecars of the Chrome trace so
+//! ad-hoc analysis does not need a trace viewer.
+
+use crate::event::{EventKind, TraceEvent, TraceSite};
+use crate::json;
+use crate::tracer::{CounterKind, CounterSample};
+
+fn site_fields(out: &mut String, site: TraceSite) {
+    match site {
+        TraceSite::Sm(i) => out.push_str(&format!("\"site\":\"sm\",\"index\":{i}")),
+        TraceSite::Partition(i) => out.push_str(&format!("\"site\":\"partition\",\"index\":{i}")),
+        TraceSite::Gpu => out.push_str("\"site\":\"gpu\",\"index\":0"),
+    }
+}
+
+/// Serialises events as JSONL: one compact object per line with `cycle`,
+/// `site`, `index`, `kind` and the payload fields flattened in.
+pub fn events_jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        out.push_str(&format!("{{\"cycle\":{},", ev.cycle));
+        site_fields(&mut out, ev.site);
+        out.push_str(",\"kind\":");
+        json::escape_into(&mut out, ev.kind.name());
+        match ev.kind {
+            EventKind::Stall { reason } => {
+                out.push_str(",\"reason\":");
+                json::escape_into(&mut out, reason.name());
+            }
+            EventKind::Coalesce {
+                warp,
+                accesses,
+                lines,
+            } => {
+                out.push_str(&format!(
+                    ",\"warp\":{warp},\"accesses\":{accesses},\"lines\":{lines}"
+                ));
+            }
+            EventKind::MshrAllocate { line } | EventKind::MshrMerge { line } => {
+                out.push_str(&format!(",\"line\":{line}"));
+            }
+            EventKind::MshrFill { line, waiters } => {
+                out.push_str(&format!(",\"line\":{line},\"waiters\":{waiters}"));
+            }
+            EventKind::IcntInject { net, req, port } | EventKind::IcntEject { net, req, port } => {
+                out.push_str(",\"net\":");
+                json::escape_into(&mut out, net.name());
+                out.push_str(&format!(",\"req\":{req},\"port\":{port}"));
+            }
+            EventKind::QueueEnter { queue, req } | EventKind::QueueLeave { queue, req } => {
+                out.push_str(",\"queue\":");
+                json::escape_into(&mut out, queue.name());
+                out.push_str(&format!(",\"req\":{req}"));
+            }
+            EventKind::RowActivate { bank, row } | EventKind::RowPrecharge { bank, row } => {
+                out.push_str(&format!(",\"bank\":{bank},\"row\":{row}"));
+            }
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+/// Serialises counter samples as CSV: a `cycle` column followed by one
+/// column per counter, in [`CounterKind::ALL`] order.
+pub fn counters_csv(samples: &[CounterSample]) -> String {
+    let mut out = String::from("cycle");
+    for kind in CounterKind::ALL {
+        out.push(',');
+        out.push_str(kind.name());
+    }
+    out.push('\n');
+    for s in samples {
+        out.push_str(&s.cycle.to_string());
+        for v in s.values {
+            out.push(',');
+            out.push_str(&v.to_string());
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{QueueKind, StallReason};
+    use crate::json;
+
+    #[test]
+    fn jsonl_lines_parse_individually() {
+        let events = [
+            TraceEvent {
+                cycle: 10,
+                site: TraceSite::Sm(2),
+                kind: EventKind::Stall {
+                    reason: StallReason::Scoreboard,
+                },
+            },
+            TraceEvent {
+                cycle: 11,
+                site: TraceSite::Partition(1),
+                kind: EventKind::QueueEnter {
+                    queue: QueueKind::L2Input,
+                    req: 44,
+                },
+            },
+        ];
+        let text = events_jsonl(&events);
+        let lines: Vec<_> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let v = json::parse(lines[0]).unwrap();
+        assert_eq!(v.get("cycle").unwrap().as_num(), Some(10.0));
+        assert_eq!(v.get("site").unwrap().as_str(), Some("sm"));
+        assert_eq!(v.get("reason").unwrap().as_str(), Some("scoreboard"));
+        let v = json::parse(lines[1]).unwrap();
+        assert_eq!(v.get("queue").unwrap().as_str(), Some("l2_input"));
+        assert_eq!(v.get("req").unwrap().as_num(), Some(44.0));
+    }
+
+    #[test]
+    fn csv_has_header_and_full_rows() {
+        let samples = [CounterSample {
+            cycle: 128,
+            values: [7; CounterKind::COUNT],
+        }];
+        let text = counters_csv(&samples);
+        let mut lines = text.lines();
+        let header = lines.next().unwrap();
+        assert!(header.starts_with("cycle,l1_mshr,"));
+        assert_eq!(header.split(',').count(), 1 + CounterKind::COUNT);
+        let row = lines.next().unwrap();
+        assert_eq!(row.split(',').count(), 1 + CounterKind::COUNT);
+        assert!(row.starts_with("128,7,"));
+    }
+}

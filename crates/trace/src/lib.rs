@@ -1,0 +1,37 @@
+//! # gpu-trace — observability layer for the GPU latency simulator
+//!
+//! The paper's dynamic analysis (Section III) is an observability exercise:
+//! GPGPU-Sim instrumented to follow every memory fetch through the
+//! pipeline. This crate generalises our simulator's fixed Figure-1/2
+//! aggregations into a first-class tracing layer:
+//!
+//! * [`Tracer`] — a zero-cost-when-disabled event sink plus a per-cycle
+//!   sampled counter registry with bounded ring-buffer storage;
+//! * [`TraceEvent`]/[`EventKind`] — the event taxonomy (SM stalls with
+//!   [`StallReason`] attribution, coalescer, MSHR transitions, crossbar
+//!   hops, queue moves, DRAM row commands);
+//! * [`MetricsReport`] — counter summaries, stall breakdowns and host
+//!   throughput, embedded in the simulator's `RunSummary`;
+//! * exporters — Chrome trace-event JSON for Perfetto
+//!   ([`ChromeTraceBuilder`]), JSONL and CSV for scripting, and a
+//!   [`check_span_sums`] validator that re-parses the emitted JSON with the
+//!   built-in [`json`] parser and re-checks the sanitizer's stage-sum
+//!   invariant on the exported spans.
+//!
+//! The crate deliberately depends only on `gpu-types` and `gpu-mem` (for
+//! `Timeline`): the simulator depends on *it*, not the other way around.
+
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod event;
+pub mod export;
+pub mod json;
+pub mod metrics;
+pub mod tracer;
+
+pub use chrome::{check_span_sums, stage_label, ChromeTraceBuilder};
+pub use event::{EventKind, NetDir, QueueKind, StallBreakdown, StallReason, TraceEvent, TraceSite};
+pub use export::{counters_csv, events_jsonl};
+pub use metrics::MetricsReport;
+pub use tracer::{CounterKind, CounterSample, CounterSummary, TraceConfig, TraceData, Tracer};

@@ -1,0 +1,363 @@
+//! The event sink and sampled-counter registry.
+//!
+//! A [`Tracer`] is owned by the simulator's cycle loop. It is built from a
+//! [`TraceConfig`] and is *zero-cost when disabled*: every recording entry
+//! point checks a single `bool` and returns — no formatting, no allocation,
+//! no hashing (verified by the `no_alloc` integration test).
+
+use std::collections::VecDeque;
+
+use crate::event::TraceEvent;
+
+/// Tracing configuration, carried inside the simulator's `GpuConfig`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Master switch. Off by default; when off the tracer records nothing
+    /// and the simulated timing is bit-identical to an untraced build.
+    pub enabled: bool,
+    /// Sample the counter registry every this many cycles.
+    pub sample_interval: u64,
+    /// Cap on stored events; recording past it increments a drop counter
+    /// instead of growing without bound.
+    pub max_events: usize,
+    /// Ring-buffer capacity for counter samples. The per-counter summaries
+    /// keep integrating over *all* samples even after old ones rotate out.
+    pub counter_capacity: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            enabled: false,
+            sample_interval: 64,
+            max_events: 1 << 20,
+            counter_capacity: 1 << 16,
+        }
+    }
+}
+
+/// The gauges sampled each interval (instantaneous occupancies plus the
+/// cumulative DRAM row-hit rate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CounterKind {
+    /// Occupied L1 MSHR entries, summed over SMs.
+    L1MshrOccupancy,
+    /// SM memory front-end pipe occupancy, summed over SMs.
+    FrontDepth,
+    /// L1 miss-queue occupancy, summed over SMs.
+    MissQueueDepth,
+    /// ROP pipeline occupancy, summed over partitions.
+    RopQueueDepth,
+    /// L2 input-queue occupancy, summed over partitions.
+    L2QueueDepth,
+    /// Occupied L2 MSHR entries, summed over partitions.
+    L2MshrOccupancy,
+    /// DRAM controller-queue occupancy, summed over partitions.
+    DramQueueDepth,
+    /// Requests in flight inside both crossbar networks.
+    IcntInFlight,
+    /// The GPU's global outstanding-request counter.
+    Outstanding,
+    /// Cumulative DRAM row-hit rate in permille (row hits × 1000 /
+    /// serviced), all partitions.
+    DramRowHitPermille,
+}
+
+impl CounterKind {
+    /// All counters, in sample-array order.
+    pub const ALL: [CounterKind; 10] = [
+        CounterKind::L1MshrOccupancy,
+        CounterKind::FrontDepth,
+        CounterKind::MissQueueDepth,
+        CounterKind::RopQueueDepth,
+        CounterKind::L2QueueDepth,
+        CounterKind::L2MshrOccupancy,
+        CounterKind::DramQueueDepth,
+        CounterKind::IcntInFlight,
+        CounterKind::Outstanding,
+        CounterKind::DramRowHitPermille,
+    ];
+
+    /// Number of counters.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Index into sample arrays.
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Short machine-readable name (CSV header, Chrome counter-track name).
+    pub fn name(self) -> &'static str {
+        match self {
+            CounterKind::L1MshrOccupancy => "l1_mshr",
+            CounterKind::FrontDepth => "sm_front",
+            CounterKind::MissQueueDepth => "l1_miss_queue",
+            CounterKind::RopQueueDepth => "rop_queue",
+            CounterKind::L2QueueDepth => "l2_queue",
+            CounterKind::L2MshrOccupancy => "l2_mshr",
+            CounterKind::DramQueueDepth => "dram_queue",
+            CounterKind::IcntInFlight => "icnt_in_flight",
+            CounterKind::Outstanding => "outstanding",
+            CounterKind::DramRowHitPermille => "dram_row_hit_permille",
+        }
+    }
+}
+
+/// One row of the counter registry: every gauge at one cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterSample {
+    /// Sample cycle.
+    pub cycle: u64,
+    /// Gauge values, indexed by [`CounterKind::index`].
+    pub values: [u64; CounterKind::COUNT],
+}
+
+/// Running summary of one counter over every sample taken (survives the
+/// ring buffer rotating old samples out).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CounterSummary {
+    /// Smallest sampled value (zero when no samples).
+    pub min: u64,
+    /// Largest sampled value.
+    pub max: u64,
+    /// Sum of sampled values.
+    pub sum: u64,
+    /// Samples integrated.
+    pub samples: u64,
+}
+
+impl CounterSummary {
+    /// Integrates one sampled value.
+    pub fn observe(&mut self, v: u64) {
+        if self.samples == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.sum += v;
+        self.samples += 1;
+    }
+
+    /// Arithmetic mean of the sampled values (0.0 when no samples).
+    pub fn mean(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.samples as f64
+        }
+    }
+}
+
+/// Everything a traced run collected, taken out of the tracer in one move.
+#[derive(Debug, Default)]
+pub struct TraceData {
+    /// Recorded events, in recording order.
+    pub events: Vec<TraceEvent>,
+    /// Counter samples still in the ring (newest `counter_capacity`).
+    pub samples: Vec<CounterSample>,
+    /// Events dropped after `max_events` was reached.
+    pub dropped_events: u64,
+}
+
+/// The simulator-side trace sink: bounded event buffer plus the sampled
+/// counter registry.
+#[derive(Debug)]
+pub struct Tracer {
+    enabled: bool,
+    sample_interval: u64,
+    max_events: usize,
+    counter_capacity: usize,
+    events: Vec<TraceEvent>,
+    dropped: u64,
+    ring: VecDeque<CounterSample>,
+    summaries: [CounterSummary; CounterKind::COUNT],
+    samples_taken: u64,
+}
+
+impl Tracer {
+    /// Builds a tracer from its configuration. Degenerate values are
+    /// clamped (a zero sample interval samples every cycle).
+    pub fn new(cfg: TraceConfig) -> Self {
+        Tracer {
+            enabled: cfg.enabled,
+            sample_interval: cfg.sample_interval.max(1),
+            max_events: cfg.max_events,
+            counter_capacity: cfg.counter_capacity.max(1),
+            events: Vec::new(),
+            dropped: 0,
+            ring: VecDeque::new(),
+            summaries: [CounterSummary::default(); CounterKind::COUNT],
+            samples_taken: 0,
+        }
+    }
+
+    /// Is the tracer recording? Call sites use this to skip event
+    /// construction entirely on the hot path.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Turns recording on or off mid-run.
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+    }
+
+    /// Records one event. A disabled tracer returns immediately; a full
+    /// buffer counts the drop instead of growing.
+    #[inline]
+    pub fn record(&mut self, event: TraceEvent) {
+        if !self.enabled {
+            return;
+        }
+        if self.events.len() >= self.max_events {
+            self.dropped += 1;
+            return;
+        }
+        self.events.push(event);
+    }
+
+    /// Returns `true` when the counter registry should be sampled at
+    /// `cycle` (enabled, and the cycle hits the sample interval).
+    #[inline]
+    pub fn should_sample(&self, cycle: u64) -> bool {
+        self.enabled && cycle.is_multiple_of(self.sample_interval)
+    }
+
+    /// Stores one counter sample: pushed into the bounded ring (oldest
+    /// rotates out) and integrated into the running summaries.
+    pub fn sample(&mut self, cycle: u64, values: [u64; CounterKind::COUNT]) {
+        if !self.enabled {
+            return;
+        }
+        if self.ring.len() >= self.counter_capacity {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(CounterSample { cycle, values });
+        for (summary, &v) in self.summaries.iter_mut().zip(&values) {
+            summary.observe(v);
+        }
+        self.samples_taken += 1;
+    }
+
+    /// Per-counter summaries over every sample taken so far.
+    pub fn summaries(&self) -> &[CounterSummary; CounterKind::COUNT] {
+        &self.summaries
+    }
+
+    /// Samples integrated (including any rotated out of the ring).
+    pub fn samples_taken(&self) -> u64 {
+        self.samples_taken
+    }
+
+    /// Events recorded and retained so far.
+    pub fn events_recorded(&self) -> u64 {
+        self.events.len() as u64
+    }
+
+    /// Events dropped at the `max_events` cap.
+    pub fn events_dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Moves the collected data out, leaving the tracer empty (summaries
+    /// and counts reset too).
+    pub fn take(&mut self) -> TraceData {
+        let data = TraceData {
+            events: std::mem::take(&mut self.events),
+            samples: self.ring.drain(..).collect(),
+            dropped_events: std::mem::take(&mut self.dropped),
+        };
+        self.summaries = [CounterSummary::default(); CounterKind::COUNT];
+        self.samples_taken = 0;
+        data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, TraceSite};
+
+    fn ev(cycle: u64) -> TraceEvent {
+        TraceEvent {
+            cycle,
+            site: TraceSite::Gpu,
+            kind: EventKind::MshrAllocate { line: cycle },
+        }
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let mut t = Tracer::new(TraceConfig::default());
+        assert!(!t.enabled());
+        t.record(ev(1));
+        t.sample(0, [1; CounterKind::COUNT]);
+        assert!(!t.should_sample(0));
+        let data = t.take();
+        assert!(data.events.is_empty());
+        assert!(data.samples.is_empty());
+    }
+
+    #[test]
+    fn event_cap_counts_drops() {
+        let mut t = Tracer::new(TraceConfig {
+            enabled: true,
+            max_events: 2,
+            ..TraceConfig::default()
+        });
+        for c in 0..5 {
+            t.record(ev(c));
+        }
+        assert_eq!(t.events_recorded(), 2);
+        assert_eq!(t.events_dropped(), 3);
+        let data = t.take();
+        assert_eq!(data.events.len(), 2);
+        assert_eq!(data.dropped_events, 3);
+    }
+
+    #[test]
+    fn counter_ring_rotates_but_summary_integrates_all() {
+        let mut t = Tracer::new(TraceConfig {
+            enabled: true,
+            counter_capacity: 2,
+            ..TraceConfig::default()
+        });
+        for (i, v) in [5u64, 1, 9, 3].into_iter().enumerate() {
+            t.sample(i as u64, [v; CounterKind::COUNT]);
+        }
+        assert_eq!(t.samples_taken(), 4);
+        let s = t.summaries()[0];
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 9);
+        assert_eq!(s.sum, 18);
+        assert_eq!(s.samples, 4);
+        assert!((s.mean() - 4.5).abs() < 1e-12);
+        let data = t.take();
+        // Only the newest two samples survive the ring.
+        assert_eq!(data.samples.len(), 2);
+        assert_eq!(data.samples[0].values[0], 9);
+        assert_eq!(data.samples[1].values[0], 3);
+    }
+
+    #[test]
+    fn sample_interval_gates_should_sample() {
+        let t = Tracer::new(TraceConfig {
+            enabled: true,
+            sample_interval: 8,
+            ..TraceConfig::default()
+        });
+        assert!(t.should_sample(0));
+        assert!(!t.should_sample(7));
+        assert!(t.should_sample(16));
+    }
+
+    #[test]
+    fn counter_kind_indices_cover_all() {
+        for (i, k) in CounterKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
+    }
+}
