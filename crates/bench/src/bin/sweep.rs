@@ -4,25 +4,64 @@
 //!
 //! ```text
 //! cargo run --release -p latency-bench --bin sweep [arch] [--threads N]
+//!     [--cache DIR] [--json] [--bench-out FILE]
 //! arch: tesla | fermi | kepler | maxwell   (default fermi)
 //! ```
 //!
 //! `--threads N` forces the measurement pool to N workers (`--threads 1`
 //! is fully serial); the printed grid is identical for every worker count.
+//! `--cache DIR` stores every measured grid point content-addressed under
+//! DIR (same as the `LATENCY_CACHE` environment variable): a repeated sweep
+//! then completes from disk without simulating anything. `--json` prints
+//! the grid as JSON instead of the human tables. `--bench-out FILE` runs
+//! the grid twice — cold, then warm from the cache — writes the wall-clock
+//! comparison to FILE as JSON, and **fails** (exit 1) unless the warm pass
+//! served at least 95% of its lookups from the cache and was faster.
+
+use std::path::PathBuf;
+use std::time::Instant;
 
 use latency_core::{
-    detect_plateaus, infer_hierarchy, infer_line_size, pow2_range, ArchPreset, ChaseSpace, Sweep,
+    cache_stats, detect_plateaus, infer_hierarchy, infer_line_size, pow2_range, reset_cache_stats,
+    set_cache_dir, ArchPreset, CacheStats, ChaseSpace, Sweep,
 };
 
-fn parse_args() -> ArchPreset {
-    let mut preset = ArchPreset::FermiGf106;
+struct Args {
+    preset: ArchPreset,
+    json: bool,
+    cache: Option<PathBuf>,
+    bench_out: Option<PathBuf>,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        preset: ArchPreset::FermiGf106,
+        json: false,
+        cache: None,
+        bench_out: None,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "tesla" => preset = ArchPreset::TeslaGt200,
-            "kepler" => preset = ArchPreset::KeplerGk104,
-            "maxwell" => preset = ArchPreset::MaxwellGm107,
-            "fermi" => preset = ArchPreset::FermiGf106,
+            "tesla" => parsed.preset = ArchPreset::TeslaGt200,
+            "kepler" => parsed.preset = ArchPreset::KeplerGk104,
+            "maxwell" => parsed.preset = ArchPreset::MaxwellGm107,
+            "fermi" => parsed.preset = ArchPreset::FermiGf106,
+            "--json" => parsed.json = true,
+            "--cache" => {
+                let dir = args.next().unwrap_or_else(|| {
+                    eprintln!("--cache needs a directory");
+                    std::process::exit(2);
+                });
+                parsed.cache = Some(PathBuf::from(dir));
+            }
+            "--bench-out" => {
+                let file = args.next().unwrap_or_else(|| {
+                    eprintln!("--bench-out needs a file path");
+                    std::process::exit(2);
+                });
+                parsed.bench_out = Some(PathBuf::from(file));
+            }
             "--threads" => {
                 let n = args
                     .next()
@@ -35,17 +74,170 @@ fn parse_args() -> ArchPreset {
                 latency_core::parallel::set_worker_count(n);
             }
             other => {
-                eprintln!("unknown argument '{other}' (tesla|fermi|kepler|maxwell, --threads N)");
+                eprintln!(
+                    "unknown argument '{other}' (tesla|fermi|kepler|maxwell, --threads N, \
+                     --cache DIR, --json, --bench-out FILE)"
+                );
                 std::process::exit(2);
             }
         }
     }
-    preset
+    parsed
+}
+
+/// The sweep grid shared by all output modes.
+fn grid_spec() -> (Vec<u64>, [u64; 4]) {
+    (pow2_range(2 * 1024, 512 * 1024), [128u64, 512, 2048, 8192])
+}
+
+fn json_cache_stats(s: CacheStats) -> String {
+    format!(
+        "{{\"hits\": {}, \"misses\": {}, \"stores\": {}}}",
+        s.hits, s.misses, s.stores
+    )
+}
+
+/// Renders the measured grid as JSON (points, skipped combinations, and
+/// this process's cache traffic).
+fn grid_json(preset: ArchPreset, grid: &Sweep) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"preset\": \"{}\",\n", preset.name()));
+    out.push_str("  \"points\": [\n");
+    for (i, p) in grid.points().iter().enumerate() {
+        let sep = if i + 1 == grid.points().len() {
+            ""
+        } else {
+            ","
+        };
+        out.push_str(&format!(
+            "    {{\"footprint\": {}, \"stride\": {}, \"latency\": {}}}{sep}\n",
+            p.footprint, p.stride, p.latency
+        ));
+    }
+    out.push_str("  ],\n  \"skipped\": [\n");
+    for (i, s) in grid.skipped().iter().enumerate() {
+        let sep = if i + 1 == grid.skipped().len() {
+            ""
+        } else {
+            ","
+        };
+        out.push_str(&format!(
+            "    {{\"footprint\": {}, \"stride\": {}, \"reason\": \"{}\"}}{sep}\n",
+            s.footprint, s.stride, s.reason
+        ));
+    }
+    out.push_str(&format!(
+        "  ],\n  \"cache\": {}\n}}\n",
+        json_cache_stats(cache_stats())
+    ));
+    out
+}
+
+/// The `--bench-out` mode: measures the same grid cold (empty cache) and
+/// warm (fully populated cache), writes the comparison as JSON, and fails
+/// unless the cache actually carried the warm pass.
+fn run_bench(preset: ArchPreset, cache: Option<PathBuf>, out_file: &PathBuf) {
+    let cfg = preset.config_microbench();
+    let (footprints, strides) = grid_spec();
+    let dir = cache.unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("latency-sweep-bench-{}", std::process::id()))
+    });
+    set_cache_dir(&dir);
+
+    reset_cache_stats();
+    let t0 = Instant::now();
+    let cold = Sweep::run(&cfg, ChaseSpace::Global, &footprints, &strides).expect("cold sweep");
+    let cold_wall = t0.elapsed().as_secs_f64();
+    let cold_stats = cache_stats();
+
+    reset_cache_stats();
+    let t1 = Instant::now();
+    let warm = Sweep::run(&cfg, ChaseSpace::Global, &footprints, &strides).expect("warm sweep");
+    let warm_wall = t1.elapsed().as_secs_f64();
+    let warm_stats = cache_stats();
+
+    assert_eq!(
+        cold.points(),
+        warm.points(),
+        "warm-cache sweep must reproduce the cold sweep bit-for-bit"
+    );
+    let simulated_cycles = cold_grid_cycles(&cfg, &footprints, &strides);
+    let cold_rate = simulated_cycles as f64 / cold_wall.max(1e-9);
+    let speedup = cold_wall / warm_wall.max(1e-9);
+
+    let json = format!(
+        "{{\n  \"name\": \"sweep\",\n  \"preset\": \"{}\",\n  \"grid_points\": {},\n  \
+         \"skipped\": {},\n  \"simulated_cycles\": {},\n  \
+         \"cold\": {{\"wall_seconds\": {:.6}, \"cycles_per_second\": {:.0}, \"cache\": {}}},\n  \
+         \"warm\": {{\"wall_seconds\": {:.6}, \"cache\": {}}},\n  \
+         \"warm_hit_rate\": {:.4},\n  \"speedup\": {:.2}\n}}\n",
+        preset.name(),
+        cold.points().len(),
+        cold.skipped_count(),
+        simulated_cycles,
+        cold_wall,
+        cold_rate,
+        json_cache_stats(cold_stats),
+        warm_wall,
+        json_cache_stats(warm_stats),
+        warm_stats.hit_rate(),
+        speedup,
+    );
+    std::fs::write(out_file, &json).unwrap_or_else(|e| {
+        eprintln!("failed to write {}: {e}", out_file.display());
+        std::process::exit(1);
+    });
+    print!("{json}");
+
+    if warm_stats.hit_rate() < 0.95 {
+        eprintln!(
+            "FAIL: warm pass hit rate {:.2}% < 95%",
+            warm_stats.hit_rate() * 100.0
+        );
+        std::process::exit(1);
+    }
+    if warm_wall >= cold_wall {
+        eprintln!("FAIL: warm pass ({warm_wall:.3}s) not faster than cold ({cold_wall:.3}s)");
+        std::process::exit(1);
+    }
+}
+
+/// Total simulated cycles the cold pass spent, recovered from the cached
+/// measurements themselves (each grid point runs the microbench twice).
+fn cold_grid_cycles(cfg: &gpu_sim::GpuConfig, footprints: &[u64], strides: &[u64]) -> u64 {
+    use latency_core::{measure_chase, ChaseParams};
+    let mut total = 0u64;
+    for &f in footprints {
+        for &s in strides {
+            if f / s < 2 {
+                continue;
+            }
+            // Served from the just-populated cache: no simulation here.
+            if let Ok(m) = measure_chase(cfg, &ChaseParams::global(f, s)) {
+                total += m.cycles_short + m.cycles_long;
+            }
+        }
+    }
+    total
 }
 
 fn main() {
-    let preset = parse_args();
+    let args = parse_args();
+    if let Some(dir) = &args.cache {
+        set_cache_dir(dir);
+    }
+    if let Some(out_file) = &args.bench_out {
+        run_bench(args.preset, args.cache.clone(), out_file);
+        return;
+    }
+    let preset = args.preset;
     let cfg = preset.config_microbench();
+    if args.json {
+        let (footprints, strides) = grid_spec();
+        let grid = Sweep::run(&cfg, ChaseSpace::Global, &footprints, &strides).expect("sweep runs");
+        print!("{}", grid_json(preset, &grid));
+        return;
+    }
     println!("stride x footprint sweep on {}\n", preset.name());
 
     let footprints = pow2_range(2 * 1024, 512 * 1024);

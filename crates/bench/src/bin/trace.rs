@@ -14,8 +14,10 @@
 use std::path::PathBuf;
 use std::process::exit;
 
+use gpu_sim::CheckpointPolicy;
 use latency_bench::{
-    run_bfs_traced, run_workload_traced, BfsExperiment, TraceBundle, TracedRun, Workload,
+    resume_bfs_checkpointed, run_bfs_checkpointed, run_bfs_traced, run_workload_traced,
+    BfsCheckpointOutcome, BfsExperiment, TraceBundle, TracedRun, Workload,
 };
 use latency_core::ArchPreset;
 
@@ -31,6 +33,10 @@ struct Args {
     sample: u64,
     max_events: usize,
     validate: bool,
+    checkpoint_every: u64,
+    checkpoint_dir: Option<PathBuf>,
+    resume: Option<PathBuf>,
+    kill_at: Option<u64>,
 }
 
 fn usage() -> ! {
@@ -38,7 +44,9 @@ fn usage() -> ! {
         "usage: trace [--workload bfs|vecadd|matmul|reduce|spmv|stencil|histogram|transpose|scan]\n\
          \x20            [--nodes N] [--degree N] [--seed N] [--block-dim N]\n\
          \x20            [--sms N] [--partitions N] [--out DIR]\n\
-         \x20            [--sample CYCLES] [--max-events N] [--validate]"
+         \x20            [--sample CYCLES] [--max-events N] [--validate]\n\
+         \x20            [--checkpoint-every CYCLES] [--checkpoint-dir DIR]\n\
+         \x20            [--resume DIR] [--kill-at CYCLE]   (BFS only)"
     );
     exit(2);
 }
@@ -56,6 +64,10 @@ fn parse_args() -> Args {
         sample: 64,
         max_events: 1 << 20,
         validate: false,
+        checkpoint_every: 0,
+        checkpoint_dir: None,
+        resume: None,
+        kill_at: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -83,6 +95,18 @@ fn parse_args() -> Args {
                 args.max_events = val("--max-events").parse().unwrap_or_else(|_| usage());
             }
             "--validate" => args.validate = true,
+            "--checkpoint-every" => {
+                args.checkpoint_every = val("--checkpoint-every")
+                    .parse()
+                    .unwrap_or_else(|_| usage());
+            }
+            "--checkpoint-dir" => {
+                args.checkpoint_dir = Some(PathBuf::from(val("--checkpoint-dir")));
+            }
+            "--resume" => args.resume = Some(PathBuf::from(val("--resume"))),
+            "--kill-at" => {
+                args.kill_at = Some(val("--kill-at").parse().unwrap_or_else(|_| usage()))
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag: {other}");
@@ -93,7 +117,7 @@ fn parse_args() -> Args {
     args
 }
 
-fn run(args: &Args) -> Result<TracedRun, gpu_sim::SimError> {
+fn build_cfg(args: &Args) -> gpu_sim::GpuConfig {
     let mut cfg = ArchPreset::FermiGf100.config();
     if let Some(n) = args.sms {
         cfg.num_sms = n;
@@ -104,14 +128,22 @@ fn run(args: &Args) -> Result<TracedRun, gpu_sim::SimError> {
     cfg.trace.enabled = true;
     cfg.trace.sample_interval = args.sample.max(1);
     cfg.trace.max_events = args.max_events;
+    cfg
+}
+
+fn bfs_exp(args: &Args) -> BfsExperiment {
+    BfsExperiment {
+        nodes: args.nodes,
+        degree: args.degree,
+        seed: args.seed,
+        block_dim: args.block_dim,
+    }
+}
+
+fn run(args: &Args) -> Result<TracedRun, gpu_sim::SimError> {
+    let cfg = build_cfg(args);
     if args.workload == "bfs" {
-        let exp = BfsExperiment {
-            nodes: args.nodes,
-            degree: args.degree,
-            seed: args.seed,
-            block_dim: args.block_dim,
-        };
-        return run_bfs_traced(cfg, &exp);
+        return run_bfs_traced(cfg, &bfs_exp(args));
     }
     let workload = Workload::ALL
         .into_iter()
@@ -123,13 +155,74 @@ fn run(args: &Args) -> Result<TracedRun, gpu_sim::SimError> {
     run_workload_traced(cfg, workload)
 }
 
+fn checkpointing_requested(args: &Args) -> bool {
+    args.checkpoint_every > 0
+        || args.checkpoint_dir.is_some()
+        || args.resume.is_some()
+        || args.kill_at.is_some()
+}
+
+/// The checkpoint/resume path (BFS only): either starts a fresh traversal
+/// under the policy or continues one from the newest checkpoint. A killed
+/// run prints where it stopped and exits 0 — rerun with `--resume DIR` to
+/// finish it; the finished run is bit-identical to an uninterrupted one.
+fn run_checkpointed(args: &Args) -> TracedRun {
+    if args.workload != "bfs" {
+        eprintln!("--checkpoint-every/--resume/--kill-at are only supported for --workload bfs");
+        exit(2);
+    }
+    let exp = bfs_exp(args);
+    let dir = args
+        .checkpoint_dir
+        .clone()
+        .or_else(|| args.resume.clone())
+        .unwrap_or_else(|| PathBuf::from("checkpoints"));
+    let mut policy = CheckpointPolicy::new(args.checkpoint_every, dir.clone());
+    policy.kill_at = args.kill_at;
+    let outcome = if let Some(rdir) = &args.resume {
+        match resume_bfs_checkpointed(rdir, &exp, &policy) {
+            Ok(Some(o)) => o,
+            Ok(None) => {
+                eprintln!("no checkpoint found in {rdir:?}");
+                exit(1);
+            }
+            Err(e) => {
+                eprintln!("resume failed: {e}");
+                exit(1);
+            }
+        }
+    } else {
+        match run_bfs_checkpointed(build_cfg(args), &exp, &policy) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("checkpointed run failed: {e}");
+                exit(1);
+            }
+        }
+    };
+    match outcome {
+        BfsCheckpointOutcome::Killed { at } => {
+            println!(
+                "killed at cycle {at}; checkpoints in {} — rerun with --resume {0}",
+                dir.display()
+            );
+            exit(0);
+        }
+        BfsCheckpointOutcome::Completed(done) => done.traced,
+    }
+}
+
 fn main() {
     let args = parse_args();
-    let run = match run(&args) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("trace run failed: {e}");
-            exit(1);
+    let run = if checkpointing_requested(&args) {
+        run_checkpointed(&args)
+    } else {
+        match run(&args) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("trace run failed: {e}");
+                exit(1);
+            }
         }
     };
     let cfg = {
@@ -148,6 +241,7 @@ fn main() {
         trace: &run.trace,
         metrics: &run.metrics,
         cycles: run.cycles,
+        content_hash: run.content_hash,
         num_sms: cfg.num_sms as u32,
         num_partitions: cfg.num_partitions as u32,
     };
@@ -179,6 +273,10 @@ fn main() {
         run.metrics.events_recorded,
         run.metrics.events_dropped,
         run.metrics.samples
+    );
+    println!(
+        "content_hash: {:016x}   instructions: {}",
+        run.content_hash, run.instructions
     );
     println!(
         "throughput: {:.0} simulated cycles/s over {:.2?} host time",

@@ -1,7 +1,13 @@
 //! Shared experiment drivers (see crate docs for the experiment index).
 
+use std::path::Path;
+
 use gpu_mem::DramSched;
-use gpu_sim::{CompletedRequest, Gpu, GpuConfig, LoadInstrRecord, SchedPolicy, SimError};
+use gpu_sim::{
+    CheckpointPolicy, CompletedRequest, Gpu, GpuConfig, LoadInstrRecord, RunSummary, SchedPolicy,
+    SimError,
+};
+use gpu_workloads::bfs::BfsMaskOutcome;
 use gpu_workloads::{
     bfs, graph::Graph, histogram, matmul, reduce, scan, spmv, stencil, transpose, vecadd,
 };
@@ -60,6 +66,9 @@ pub struct TracedRun {
     pub cycles: u64,
     /// Warp instructions issued.
     pub instructions: u64,
+    /// Stable content hash of the run (configuration timing + workload +
+    /// inputs; see `RunSummary::content_hash`).
+    pub content_hash: u64,
 }
 
 /// Runs BFS on `config` with tracing enabled and returns the latency traces
@@ -107,7 +116,156 @@ pub fn run_bfs_traced(mut config: GpuConfig, exp: &BfsExperiment) -> Result<Trac
         metrics: summary.metrics,
         cycles: gpu.now().get(),
         instructions: run.instructions,
+        content_hash: summary.content_hash,
     })
+}
+
+/// Everything a completed checkpointed BFS produced.
+#[derive(Debug)]
+pub struct BfsCheckpointed {
+    /// The final run summary (includes `content_hash` — the stable
+    /// identity of the whole multi-launch run).
+    pub summary: RunSummary,
+    /// The latency traces, same shape as [`run_bfs_traced`] returns.
+    pub traced: TracedRun,
+}
+
+/// Outcome of a checkpointed BFS experiment.
+#[derive(Debug)]
+pub enum BfsCheckpointOutcome {
+    /// The traversal ran to completion (verified against the host
+    /// reference).
+    Completed(Box<BfsCheckpointed>),
+    /// The deterministic kill switch fired; resume from the newest
+    /// checkpoint with [`resume_bfs_checkpointed`].
+    Killed {
+        /// Cycle at which the run was killed.
+        at: u64,
+    },
+}
+
+fn finish_bfs_checkpointed(
+    mut gpu: Gpu,
+    graph: &Graph,
+    dev: &bfs::BfsMaskDevice,
+    run: bfs::BfsRun,
+    num_sms: u32,
+    num_partitions: u32,
+    env: &crate::tracebundle::EnvTrace,
+) -> BfsCheckpointOutcome {
+    assert_eq!(
+        bfs::read_costs(&gpu, dev),
+        graph.bfs_levels(0),
+        "device BFS diverged from reference"
+    );
+    let summary = gpu.summary();
+    let (requests, loads) = gpu.take_traces();
+    let trace = gpu.take_trace();
+    crate::tracebundle::export_if_requested(
+        env,
+        &summary,
+        &requests,
+        &loads,
+        &trace,
+        num_sms,
+        num_partitions,
+    );
+    let traced = TracedRun {
+        requests,
+        loads,
+        trace,
+        metrics: summary.metrics,
+        cycles: gpu.now().get(),
+        instructions: run.instructions,
+        content_hash: summary.content_hash,
+    };
+    BfsCheckpointOutcome::Completed(Box::new(BfsCheckpointed { summary, traced }))
+}
+
+/// [`run_bfs_traced`] under a checkpoint policy: periodic snapshots land in
+/// `policy.dir` (carrying the BFS host loop's position) and the optional
+/// `policy.kill_at` stops the run deterministically mid-flight. An
+/// uninterrupted run and a killed-then-resumed run produce bit-identical
+/// summaries and traces.
+///
+/// # Errors
+///
+/// Propagates simulator and checkpoint-write failures.
+pub fn run_bfs_checkpointed(
+    mut config: GpuConfig,
+    exp: &BfsExperiment,
+    policy: &CheckpointPolicy,
+) -> Result<BfsCheckpointOutcome, SimError> {
+    let env = crate::tracebundle::env_request();
+    if env.enabled() {
+        config.trace.enabled = true;
+    }
+    let (num_sms, num_partitions) = (config.num_sms as u32, config.num_partitions as u32);
+    let graph = Graph::uniform_random(exp.nodes, exp.degree, exp.seed);
+    let mut gpu = Gpu::new(config);
+    let dev = bfs::upload_graph_mask(&mut gpu, &graph);
+    gpu.set_tracing(true);
+    match bfs::run_bfs_mask_checkpointed(&mut gpu, &dev, 0, exp.block_dim, policy)? {
+        BfsMaskOutcome::Killed { at } => Ok(BfsCheckpointOutcome::Killed { at }),
+        BfsMaskOutcome::Completed(run) => Ok(finish_bfs_checkpointed(
+            gpu,
+            &graph,
+            &dev,
+            run,
+            num_sms,
+            num_partitions,
+            &env,
+        )),
+    }
+}
+
+/// Resumes a killed checkpointed BFS from the newest checkpoint in `dir`
+/// and drives it to completion (or the next kill). `exp` must describe the
+/// same experiment the checkpoint came from — it regenerates the host
+/// reference graph for end-of-run verification (everything else, including
+/// the in-flight kernel and the BFS loop position, lives in the
+/// checkpoint). Returns `None` when `dir` holds no checkpoint.
+///
+/// # Errors
+///
+/// Propagates checkpoint-decode failures as [`SimError::Checkpoint`] and
+/// simulator failures unchanged.
+pub fn resume_bfs_checkpointed(
+    dir: &Path,
+    exp: &BfsExperiment,
+    policy: &CheckpointPolicy,
+) -> Result<Option<BfsCheckpointOutcome>, SimError> {
+    let env = crate::tracebundle::env_request();
+    let Some(mut gpu) = Gpu::resume_latest(dir)
+        .map_err(|e| SimError::Checkpoint(format!("resume from {}: {e}", dir.display())))?
+    else {
+        return Ok(None);
+    };
+    let (num_sms, num_partitions) = (
+        gpu.config().num_sms as u32,
+        gpu.config().num_partitions as u32,
+    );
+    let graph = Graph::uniform_random(exp.nodes, exp.degree, exp.seed);
+    let dev = decode_mask_dev(&gpu)?;
+    match bfs::resume_bfs_mask(&mut gpu, policy)? {
+        BfsMaskOutcome::Killed { at } => Ok(Some(BfsCheckpointOutcome::Killed { at })),
+        BfsMaskOutcome::Completed(run) => Ok(Some(finish_bfs_checkpointed(
+            gpu,
+            &graph,
+            &dev,
+            run,
+            num_sms,
+            num_partitions,
+            &env,
+        ))),
+    }
+}
+
+/// The device layout travels inside the checkpoint's host tag; re-decode it
+/// here only for the end-of-run cost readback.
+fn decode_mask_dev(gpu: &Gpu) -> Result<bfs::BfsMaskDevice, SimError> {
+    bfs::peek_mask_tag(gpu.host_tag())
+        .map_err(|e| SimError::Checkpoint(format!("checkpoint carries no BFS host tag: {e}")))
 }
 
 /// The non-BFS workloads of experiment E4.
@@ -271,6 +429,7 @@ pub fn run_workload_traced(
         metrics: summary.metrics,
         cycles: summary.cycles,
         instructions: summary.instructions,
+        content_hash: summary.content_hash,
     })
 }
 

@@ -16,7 +16,8 @@ pub mod harness;
 pub mod tracebundle;
 
 pub use experiments::{
-    builtin_kernels, dram_sched_comparison, hiding_sweep, run_bfs_traced, run_table1,
-    run_workload_traced, BfsExperiment, DramSchedResult, HidingPoint, TracedRun, Workload,
+    builtin_kernels, dram_sched_comparison, hiding_sweep, resume_bfs_checkpointed,
+    run_bfs_checkpointed, run_bfs_traced, run_table1, run_workload_traced, BfsCheckpointOutcome,
+    BfsCheckpointed, BfsExperiment, DramSchedResult, HidingPoint, TracedRun, Workload,
 };
 pub use tracebundle::{env_request, EnvTrace, TraceBundle};

@@ -64,6 +64,11 @@ pub struct TraceBundle<'a> {
     pub metrics: &'a MetricsReport,
     /// Total simulated cycles.
     pub cycles: u64,
+    /// Stable content hash of the run (configuration timing + workload +
+    /// inputs — see `RunSummary::content_hash`); doubles as the sweep
+    /// cache key derivation, so two bundles with equal hashes came from
+    /// identical simulations.
+    pub content_hash: u64,
     /// SMs in the simulated machine (Perfetto track layout).
     pub num_sms: u32,
     /// Memory partitions in the simulated machine.
@@ -94,6 +99,7 @@ impl TraceBundle<'_> {
         let m = self.metrics;
         let mut out = String::new();
         out.push_str(&format!("cycles = {}\n", self.cycles));
+        out.push_str(&format!("content_hash = {:016x}\n", self.content_hash));
         out.push_str(&format!("host_nanos = {}\n", m.host_nanos));
         out.push_str(&format!(
             "cycles_per_second = {:.0}\n",
@@ -189,6 +195,7 @@ pub fn export_if_requested(
             trace,
             metrics: &summary.metrics,
             cycles: summary.cycles,
+            content_hash: summary.content_hash,
             num_sms,
             num_partitions,
         }
@@ -221,6 +228,7 @@ mod tests {
             trace: &run.trace,
             metrics: &run.metrics,
             cycles: run.cycles,
+            content_hash: run.content_hash,
             num_sms: 2,
             num_partitions: 2,
         };
@@ -246,6 +254,11 @@ mod tests {
         let metrics = std::fs::read_to_string(dir.join("metrics.txt")).unwrap();
         assert!(metrics.contains("cycles_per_second"));
         assert!(metrics.contains("[stalls]"));
+        assert!(
+            metrics.contains(&format!("content_hash = {:016x}", run.content_hash)),
+            "metrics.txt must carry the run's content hash"
+        );
+        assert_ne!(run.content_hash, 0, "BFS run must hash its content");
         std::fs::remove_dir_all(&dir).ok();
     }
 

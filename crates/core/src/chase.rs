@@ -327,6 +327,23 @@ pub fn measure_chase(
     params: &ChaseParams,
 ) -> Result<ChaseMeasurement, ChaseError> {
     params.validate()?;
+    if let Some(dir) = crate::cache::cache_dir() {
+        let key = crate::cache::chase_key(config, params);
+        if let Some(m) = crate::cache::lookup_chase(&dir, key) {
+            return Ok(m);
+        }
+        let m = measure_chase_uncached(config, params)?;
+        crate::cache::store_chase(&dir, key, &m);
+        return Ok(m);
+    }
+    measure_chase_uncached(config, params)
+}
+
+/// [`measure_chase`] minus the cache: always simulates.
+fn measure_chase_uncached(
+    config: &GpuConfig,
+    params: &ChaseParams,
+) -> Result<ChaseMeasurement, ChaseError> {
     let count = params.count();
     // Both runs must reach steady state (>= one full traversal of the ring).
     let min_accesses = (2 * count).max(256);

@@ -30,6 +30,7 @@
 
 pub mod breakdown;
 pub mod bucketing;
+pub mod cache;
 pub mod chase;
 pub mod exposure;
 pub mod inference;
@@ -43,6 +44,10 @@ pub mod table1;
 
 pub use breakdown::{components_of, Component, LatencyBreakdown};
 pub use bucketing::Bucketing;
+pub use cache::{
+    cache_dir, cache_stats, chase_key, clear_cache_dir, disable_cache, reset_cache_stats,
+    set_cache_dir, CacheStats, CACHE_ENV, CACHE_FORMAT_VERSION,
+};
 pub use chase::{
     build_chase_kernel, measure_chase, write_chain, write_shuffled_chain, ChaseError,
     ChaseMeasurement, ChaseParams, ChasePattern, ChaseSpace, UNROLL,

@@ -1,0 +1,60 @@
+//! Shared snapshot-codec helpers for the pipeline queues that both the SM
+//! and the memory partition own.
+
+use gpu_mem::MemRequest;
+use gpu_snapshot::{Decoder, Encoder, SnapshotError};
+use gpu_types::{BoundedQueue, Cycle, DelayQueue};
+
+/// Serializes a delay queue of memory requests: occupancy, then each entry
+/// with its absolute ready time (so a restored run replays the exact same
+/// pop schedule).
+pub(crate) fn encode_req_queue(e: &mut Encoder, q: &DelayQueue<MemRequest>) {
+    e.usize(q.len());
+    for (ready_at, req) in q.entries() {
+        e.u64(ready_at.get());
+        req.encode_state(e);
+    }
+}
+
+/// Rebuilds `q` (keeping its configured capacity and delay) from a decoded
+/// checkpoint. `over` names the queue in the over-capacity error.
+pub(crate) fn restore_req_queue(
+    q: &mut DelayQueue<MemRequest>,
+    d: &mut Decoder,
+    over: &'static str,
+) -> Result<(), SnapshotError> {
+    let mut fresh = DelayQueue::new(q.capacity(), q.delay());
+    for _ in 0..d.usize()? {
+        let ready_at = Cycle::new(d.u64()?);
+        let req = MemRequest::decode(d)?;
+        fresh
+            .push_with_ready_at(ready_at, req)
+            .map_err(|_| SnapshotError::InvalidValue(over))?;
+    }
+    *q = fresh;
+    Ok(())
+}
+
+/// Serializes a bounded FIFO of memory requests in queue order.
+pub(crate) fn encode_req_fifo(e: &mut Encoder, q: &BoundedQueue<MemRequest>) {
+    e.usize(q.len());
+    for req in q.iter() {
+        req.encode_state(e);
+    }
+}
+
+/// Rebuilds `q` (keeping its configured capacity) from a decoded checkpoint.
+pub(crate) fn restore_req_fifo(
+    q: &mut BoundedQueue<MemRequest>,
+    d: &mut Decoder,
+    over: &'static str,
+) -> Result<(), SnapshotError> {
+    let mut fresh = BoundedQueue::new(q.capacity());
+    for _ in 0..d.usize()? {
+        fresh
+            .push(MemRequest::decode(d)?)
+            .map_err(|_| SnapshotError::InvalidValue(over))?;
+    }
+    *q = fresh;
+    Ok(())
+}

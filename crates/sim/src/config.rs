@@ -9,6 +9,7 @@
 
 use gpu_icnt::IcntConfig;
 use gpu_mem::{CacheConfig, DramConfig, DramSched, DramTiming, MshrConfig, Replacement};
+use gpu_snapshot::{Decoder, Encoder, SnapshotError, StableHasher};
 use gpu_trace::TraceConfig;
 
 /// Warp scheduling policy of an SM.
@@ -277,80 +278,404 @@ impl GpuConfig {
         )
     }
 
-    /// Validates structural invariants.
+    /// Validates structural invariants, returning the first problem found:
+    /// zero SMs/partitions, warp size outside 1..=32, mismatched or
+    /// non-power-of-two line sizes, any zero-capacity queue (a pipeline
+    /// stage that can never hold a request deadlocks the machine), empty
+    /// MSHR tables, or an L1 that is slower than the L2 behind it.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if structurally inconsistent: zero SMs/partitions, warp size
-    /// outside 1..=32, mismatched or non-power-of-two line sizes, any
-    /// zero-capacity queue (a pipeline stage that can never hold a request
-    /// deadlocks the machine), empty MSHR tables, or an L1 that is slower
-    /// than the L2 behind it.
-    pub fn assert_valid(&self) {
-        assert!(self.num_sms > 0, "need at least one SM");
-        assert!(self.num_partitions > 0, "need at least one partition");
-        assert!(
+    /// Returns a human-readable description of the violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        fn check(ok: bool, msg: &str) -> Result<(), String> {
+            if ok {
+                Ok(())
+            } else {
+                Err(msg.to_string())
+            }
+        }
+        check(self.num_sms > 0, "need at least one SM")?;
+        check(self.num_partitions > 0, "need at least one partition")?;
+        check(
             (1..=32).contains(&self.warp_size),
-            "warp size must be 1..=32"
-        );
-        assert!(self.issue_width > 0, "issue width must be positive");
-        assert!(self.max_warps_per_sm > 0);
-        assert!(self.max_ctas_per_sm > 0, "need at least one CTA slot");
-        assert!(
+            "warp size must be 1..=32",
+        )?;
+        check(self.issue_width > 0, "issue width must be positive")?;
+        check(self.max_warps_per_sm > 0, "need at least one warp slot")?;
+        check(self.max_ctas_per_sm > 0, "need at least one CTA slot")?;
+        check(
             self.line_size > 0 && self.line_size.is_power_of_two(),
-            "line size must be a nonzero power of two"
-        );
+            "line size must be a nonzero power of two",
+        )?;
         // The coalescer emits up to warp_size + 1 transactions per access
         // and the issue stage requires that much free space, so a smaller
         // front-end pipe could never issue a memory instruction.
-        assert!(
+        check(
             self.lsu_queue > self.warp_size as usize,
             "LSU queue must hold a worst-case warp's transactions \
-             (> warp_size)"
-        );
-        assert!(self.rop_queue > 0, "ROP queue capacity must be positive");
-        assert!(
+             (> warp_size)",
+        )?;
+        check(self.rop_queue > 0, "ROP queue capacity must be positive")?;
+        check(
             self.icnt.output_queue > 0,
-            "interconnect output queue capacity must be positive"
-        );
-        assert!(
+            "interconnect output queue capacity must be positive",
+        )?;
+        check(
             self.dram.queue_capacity > 0,
-            "DRAM controller queue capacity must be positive"
-        );
+            "DRAM controller queue capacity must be positive",
+        )?;
         if let Some(l1) = &self.l1 {
-            assert_eq!(l1.cache.line_size, self.line_size, "L1 line size mismatch");
-            assert!(l1.miss_queue > 0, "L1 miss queue capacity must be positive");
-            assert!(l1.mshr.entries > 0, "L1 MSHR table needs entries");
-            assert!(
+            check(
+                l1.cache.line_size == self.line_size,
+                "L1 line size mismatch",
+            )?;
+            check(l1.miss_queue > 0, "L1 miss queue capacity must be positive")?;
+            check(l1.mshr.entries > 0, "L1 MSHR table needs entries")?;
+            check(
                 l1.mshr.max_merged > 0,
-                "L1 MSHR merge depth must be positive"
-            );
+                "L1 MSHR merge depth must be positive",
+            )?;
         }
         if let Some(l2) = &self.l2 {
-            assert_eq!(l2.cache.line_size, self.line_size, "L2 line size mismatch");
-            assert!(
+            check(
+                l2.cache.line_size == self.line_size,
+                "L2 line size mismatch",
+            )?;
+            check(
                 l2.input_queue > 0,
-                "L2 input queue capacity must be positive"
-            );
-            assert!(l2.mshr.entries > 0, "L2 MSHR table needs entries");
-            assert!(
+                "L2 input queue capacity must be positive",
+            )?;
+            check(l2.mshr.entries > 0, "L2 MSHR table needs entries")?;
+            check(
                 l2.mshr.max_merged > 0,
-                "L2 MSHR merge depth must be positive"
-            );
+                "L2 MSHR merge depth must be positive",
+            )?;
         }
         if let (Some(l1), Some(l2)) = (&self.l1, &self.l2) {
-            assert!(
-                l1.hit_latency < l2.hit_latency,
-                "L1 hit latency ({}) must be below L2 hit latency ({})",
-                l1.hit_latency,
-                l2.hit_latency
-            );
+            if l1.hit_latency >= l2.hit_latency {
+                return Err(format!(
+                    "L1 hit latency ({}) must be below L2 hit latency ({})",
+                    l1.hit_latency, l2.hit_latency
+                ));
+            }
         }
-        assert!(
+        check(
             self.trace.sample_interval > 0,
-            "trace sample interval must be positive"
-        );
+            "trace sample interval must be positive",
+        )?;
+        Ok(())
     }
+
+    /// Validates structural invariants (see [`GpuConfig::validate`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics with the violated invariant's description.
+    pub fn assert_valid(&self) {
+        if let Err(msg) = self.validate() {
+            panic!("{msg}");
+        }
+    }
+
+    // ---- snapshot codec and content hashing --------------------------------
+
+    /// Serializes the complete configuration into a checkpoint, including
+    /// the display name and the trace/sanitize switches — a restored GPU
+    /// must be indistinguishable from the one that was checkpointed.
+    pub fn encode_state(&self, e: &mut Encoder) {
+        e.str(&self.name);
+        e.usize(self.num_sms);
+        e.u32(self.warp_size);
+        e.usize(self.max_warps_per_sm);
+        e.usize(self.max_ctas_per_sm);
+        e.usize(self.issue_width);
+        e.u8(match self.scheduler {
+            SchedPolicy::Lrr => 0,
+            SchedPolicy::Gto => 1,
+        });
+        e.u64(self.alu_latency);
+        e.u64(self.fp_latency);
+        e.u64(self.sfu_latency);
+        e.u64(self.shared_latency);
+        e.u64(self.sm_base_latency);
+        e.usize(self.lsu_queue);
+        e.u64(self.line_size);
+        match &self.l1 {
+            None => e.bool(false),
+            Some(l1) => {
+                e.bool(true);
+                encode_cache_cfg(e, &l1.cache);
+                encode_mshr_cfg(e, &l1.mshr);
+                e.u64(l1.hit_latency);
+                e.usize(l1.miss_queue);
+                e.bool(l1.serve_global);
+                e.bool(l1.serve_local);
+            }
+        }
+        e.u64(self.icnt.latency);
+        e.usize(self.icnt.output_queue);
+        e.usize(self.icnt.inject_per_src);
+        e.usize(self.icnt.eject_per_dst);
+        e.u64(self.rop_latency);
+        e.usize(self.rop_queue);
+        match &self.l2 {
+            None => e.bool(false),
+            Some(l2) => {
+                e.bool(true);
+                encode_cache_cfg(e, &l2.cache);
+                encode_mshr_cfg(e, &l2.mshr);
+                e.u64(l2.hit_latency);
+                e.usize(l2.input_queue);
+                e.u8(match l2.write_policy {
+                    WritePolicy::WriteThrough => 0,
+                    WritePolicy::WriteBack => 1,
+                });
+            }
+        }
+        e.u64(self.dram.timing.t_rcd);
+        e.u64(self.dram.timing.t_rp);
+        e.u64(self.dram.timing.t_cl);
+        e.u64(self.dram.timing.burst);
+        e.usize(self.dram.queue_capacity);
+        e.u8(match self.dram.sched {
+            DramSched::FrFcfs => 0,
+            DramSched::Fcfs => 1,
+        });
+        e.usize(self.num_partitions);
+        e.u64(self.partition_chunk);
+        e.usize(self.dram_banks);
+        e.u64(self.dram_row_bytes);
+        e.u64(self.fill_latency);
+        e.bool(self.sanitize);
+        e.bool(self.trace.enabled);
+        e.u64(self.trace.sample_interval);
+        e.usize(self.trace.max_events);
+        e.usize(self.trace.counter_capacity);
+    }
+
+    /// Decodes a configuration written by [`GpuConfig::encode_state`].
+    /// Callers must still run [`GpuConfig::validate`] before building a GPU
+    /// from the result — the codec checks tags, not structural invariants.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown enum tags and propagates decoder errors.
+    pub fn decode(d: &mut Decoder) -> Result<Self, SnapshotError> {
+        use SnapshotError::InvalidValue;
+        let name = d.str()?.to_string();
+        let num_sms = d.usize()?;
+        let warp_size = d.u32()?;
+        let max_warps_per_sm = d.usize()?;
+        let max_ctas_per_sm = d.usize()?;
+        let issue_width = d.usize()?;
+        let scheduler = match d.u8()? {
+            0 => SchedPolicy::Lrr,
+            1 => SchedPolicy::Gto,
+            _ => return Err(InvalidValue("unknown scheduler tag")),
+        };
+        let alu_latency = d.u64()?;
+        let fp_latency = d.u64()?;
+        let sfu_latency = d.u64()?;
+        let shared_latency = d.u64()?;
+        let sm_base_latency = d.u64()?;
+        let lsu_queue = d.usize()?;
+        let line_size = d.u64()?;
+        let l1 = if d.bool()? {
+            Some(L1Config {
+                cache: decode_cache_cfg(d)?,
+                mshr: decode_mshr_cfg(d)?,
+                hit_latency: d.u64()?,
+                miss_queue: d.usize()?,
+                serve_global: d.bool()?,
+                serve_local: d.bool()?,
+            })
+        } else {
+            None
+        };
+        let icnt = IcntConfig {
+            latency: d.u64()?,
+            output_queue: d.usize()?,
+            inject_per_src: d.usize()?,
+            eject_per_dst: d.usize()?,
+        };
+        let rop_latency = d.u64()?;
+        let rop_queue = d.usize()?;
+        let l2 = if d.bool()? {
+            Some(L2Config {
+                cache: decode_cache_cfg(d)?,
+                mshr: decode_mshr_cfg(d)?,
+                hit_latency: d.u64()?,
+                input_queue: d.usize()?,
+                write_policy: match d.u8()? {
+                    0 => WritePolicy::WriteThrough,
+                    1 => WritePolicy::WriteBack,
+                    _ => return Err(InvalidValue("unknown write-policy tag")),
+                },
+            })
+        } else {
+            None
+        };
+        let dram = DramConfig {
+            timing: DramTiming {
+                t_rcd: d.u64()?,
+                t_rp: d.u64()?,
+                t_cl: d.u64()?,
+                burst: d.u64()?,
+            },
+            queue_capacity: d.usize()?,
+            sched: match d.u8()? {
+                0 => DramSched::FrFcfs,
+                1 => DramSched::Fcfs,
+                _ => return Err(InvalidValue("unknown DRAM scheduler tag")),
+            },
+        };
+        Ok(GpuConfig {
+            name,
+            num_sms,
+            warp_size,
+            max_warps_per_sm,
+            max_ctas_per_sm,
+            issue_width,
+            scheduler,
+            alu_latency,
+            fp_latency,
+            sfu_latency,
+            shared_latency,
+            sm_base_latency,
+            lsu_queue,
+            line_size,
+            l1,
+            icnt,
+            rop_latency,
+            rop_queue,
+            l2,
+            dram,
+            num_partitions: d.usize()?,
+            partition_chunk: d.u64()?,
+            dram_banks: d.usize()?,
+            dram_row_bytes: d.u64()?,
+            fill_latency: d.u64()?,
+            sanitize: d.bool()?,
+            trace: TraceConfig {
+                enabled: d.bool()?,
+                sample_interval: d.u64()?,
+                max_events: d.usize()?,
+                counter_capacity: d.usize()?,
+            },
+        })
+    }
+
+    /// Feeds every field that can change simulated timing into `h`, in a
+    /// fixed order. Deliberately excludes the display `name` and the
+    /// `sanitize`/`trace` switches: observability must not change a run's
+    /// content hash (the traced-vs-untraced identity guarantee), and
+    /// renaming a preset must not invalidate its cached results.
+    pub fn hash_timing(&self, h: &mut StableHasher) {
+        h.usize(self.num_sms);
+        h.u32(self.warp_size);
+        h.usize(self.max_warps_per_sm);
+        h.usize(self.max_ctas_per_sm);
+        h.usize(self.issue_width);
+        h.u8(match self.scheduler {
+            SchedPolicy::Lrr => 0,
+            SchedPolicy::Gto => 1,
+        });
+        h.u64(self.alu_latency);
+        h.u64(self.fp_latency);
+        h.u64(self.sfu_latency);
+        h.u64(self.shared_latency);
+        h.u64(self.sm_base_latency);
+        h.usize(self.lsu_queue);
+        h.u64(self.line_size);
+        h.bool(self.l1.is_some());
+        if let Some(l1) = &self.l1 {
+            hash_cache_cfg(h, &l1.cache);
+            h.usize(l1.mshr.entries);
+            h.usize(l1.mshr.max_merged);
+            h.u64(l1.hit_latency);
+            h.usize(l1.miss_queue);
+            h.bool(l1.serve_global);
+            h.bool(l1.serve_local);
+        }
+        h.u64(self.icnt.latency);
+        h.usize(self.icnt.output_queue);
+        h.usize(self.icnt.inject_per_src);
+        h.usize(self.icnt.eject_per_dst);
+        h.u64(self.rop_latency);
+        h.usize(self.rop_queue);
+        h.bool(self.l2.is_some());
+        if let Some(l2) = &self.l2 {
+            hash_cache_cfg(h, &l2.cache);
+            h.usize(l2.mshr.entries);
+            h.usize(l2.mshr.max_merged);
+            h.u64(l2.hit_latency);
+            h.usize(l2.input_queue);
+            h.u8(match l2.write_policy {
+                WritePolicy::WriteThrough => 0,
+                WritePolicy::WriteBack => 1,
+            });
+        }
+        h.u64(self.dram.timing.t_rcd);
+        h.u64(self.dram.timing.t_rp);
+        h.u64(self.dram.timing.t_cl);
+        h.u64(self.dram.timing.burst);
+        h.usize(self.dram.queue_capacity);
+        h.u8(match self.dram.sched {
+            DramSched::FrFcfs => 0,
+            DramSched::Fcfs => 1,
+        });
+        h.usize(self.num_partitions);
+        h.u64(self.partition_chunk);
+        h.usize(self.dram_banks);
+        h.u64(self.dram_row_bytes);
+        h.u64(self.fill_latency);
+    }
+}
+
+fn encode_cache_cfg(e: &mut Encoder, c: &CacheConfig) {
+    e.usize(c.sets);
+    e.usize(c.ways);
+    e.u64(c.line_size);
+    e.u8(match c.replacement {
+        Replacement::Lru => 0,
+        Replacement::Fifo => 1,
+    });
+}
+
+fn decode_cache_cfg(d: &mut Decoder) -> Result<CacheConfig, SnapshotError> {
+    Ok(CacheConfig {
+        sets: d.usize()?,
+        ways: d.usize()?,
+        line_size: d.u64()?,
+        replacement: match d.u8()? {
+            0 => Replacement::Lru,
+            1 => Replacement::Fifo,
+            _ => return Err(SnapshotError::InvalidValue("unknown replacement tag")),
+        },
+    })
+}
+
+fn hash_cache_cfg(h: &mut StableHasher, c: &CacheConfig) {
+    h.usize(c.sets);
+    h.usize(c.ways);
+    h.u64(c.line_size);
+    h.u8(match c.replacement {
+        Replacement::Lru => 0,
+        Replacement::Fifo => 1,
+    });
+}
+
+fn encode_mshr_cfg(e: &mut Encoder, m: &MshrConfig) {
+    e.usize(m.entries);
+    e.usize(m.max_merged);
+}
+
+fn decode_mshr_cfg(d: &mut Decoder) -> Result<MshrConfig, SnapshotError> {
+    Ok(MshrConfig {
+        entries: d.usize()?,
+        max_merged: d.usize()?,
+    })
 }
 
 // `GpuConfig` is shared by reference across the `latency-core` worker pool

@@ -2,11 +2,13 @@
 //! dispatcher, and the cycle loop.
 
 use std::fmt;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use gpu_icnt::Crossbar;
 use gpu_isa::{Kernel, Launch, LocalMap, ValidateError};
 use gpu_mem::{AddressMap, DeviceMemory, MemRequest, Stamp};
+use gpu_snapshot::{store, Decoder, Encoder, SnapshotError, StableHasher};
 use gpu_trace::{CounterKind, EventKind, NetDir, TraceData, TraceEvent, TraceSite, Tracer};
 use gpu_types::{Addr, CtaId, Cycle, PartitionId, SmId};
 
@@ -42,6 +44,9 @@ pub enum SimError {
         /// Parameters supplied by the launch.
         supplied: usize,
     },
+    /// A periodic checkpoint could not be written (the message names the
+    /// target path and the I/O failure).
+    Checkpoint(String),
 }
 
 impl fmt::Display for SimError {
@@ -61,6 +66,7 @@ impl fmt::Display for SimError {
                     "kernel reads {needed} parameters, launch supplies {supplied}"
                 )
             }
+            SimError::Checkpoint(msg) => write!(f, "checkpoint write failed: {msg}"),
         }
     }
 }
@@ -79,6 +85,49 @@ struct LaunchState {
     launch: Launch,
     local_map: LocalMap,
     next_cta: u32,
+}
+
+/// Where and how often [`Gpu::run_checkpointed`] writes checkpoints.
+#[derive(Debug, Clone)]
+pub struct CheckpointPolicy {
+    /// Write a checkpoint at every cycle that is a positive multiple of
+    /// this interval (0 disables periodic checkpoints). The cycle the run
+    /// started (or resumed) at never re-checkpoints, so an uninterrupted
+    /// run and a kill-and-resume run write the same checkpoint set and
+    /// record identical trace-event streams.
+    pub every: u64,
+    /// Directory checkpoint files are written into.
+    pub dir: PathBuf,
+    /// Deterministic kill switch for resume testing: stop before ticking
+    /// this absolute cycle and return [`RunOutcome::Killed`] — the
+    /// cycle-accurate stand-in for `kill -9` mid-run. The run's first
+    /// (or resumed-at) cycle never triggers the kill, so re-running with
+    /// the same policy after a resume makes progress.
+    pub kill_at: Option<u64>,
+}
+
+impl CheckpointPolicy {
+    /// A policy that checkpoints every `every` cycles into `dir`, with no
+    /// kill switch.
+    pub fn new(every: u64, dir: impl Into<PathBuf>) -> Self {
+        CheckpointPolicy {
+            every,
+            dir: dir.into(),
+            kill_at: None,
+        }
+    }
+}
+
+/// How a checkpointed run ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunOutcome {
+    /// The grid drained; the summary is the same one [`Gpu::run`] returns.
+    Completed(Box<RunSummary>),
+    /// The run stopped at [`CheckpointPolicy::kill_at`] without finishing.
+    Killed {
+        /// The cycle the run stopped at.
+        at: u64,
+    },
 }
 
 /// The simulated GPU.
@@ -121,6 +170,8 @@ pub struct Gpu {
     host_nanos: u64,
     sanitizer: Sanitizer,
     launch: Option<LaunchState>,
+    content_hash: u64,
+    host_tag: Vec<u8>,
 }
 
 impl Gpu {
@@ -161,6 +212,8 @@ impl Gpu {
             host_nanos: 0,
             sanitizer: Sanitizer::new(),
             launch: None,
+            content_hash: 0,
+            host_tag: Vec::new(),
             cfg,
         }
     }
@@ -265,6 +318,23 @@ impl Gpu {
                 available: self.cfg.max_warps_per_sm,
             });
         }
+        // Fold this launch into the run's content hash: the timing-relevant
+        // config, the kernel program (via its round-trippable disassembly),
+        // the launch geometry and parameters, and the device-memory contents
+        // at launch. Chaining on the previous hash makes multi-launch hosts
+        // (e.g. iterative BFS) hash their whole launch sequence.
+        let mut h = StableHasher::new();
+        h.u64(self.content_hash);
+        self.cfg.hash_timing(&mut h);
+        h.str(&kernel.to_string());
+        h.u32(launch.grid_dim);
+        h.u32(launch.block_dim);
+        h.usize(launch.params.len());
+        for &p in &launch.params {
+            h.u64(p);
+        }
+        self.device.hash_state(&mut h);
+        self.content_hash = h.finish();
         let local_map = if kernel.local_bytes_per_thread() > 0 {
             let bytes = launch.total_threads() * kernel.local_bytes_per_thread();
             LocalMap {
@@ -386,7 +456,254 @@ impl Gpu {
             s.dram_row_hits += d.row_hits;
         }
         s.sanitizer_violations = self.sanitizer.total();
+        s.content_hash = self.content_hash;
         s
+    }
+
+    // ---- checkpoint / restore ----------------------------------------------
+
+    /// The run's content hash so far (see [`RunSummary::content_hash`]).
+    pub fn content_hash(&self) -> u64 {
+        self.content_hash
+    }
+
+    /// Attaches an opaque host-side tag that rides inside every checkpoint.
+    /// Multi-launch drivers (e.g. the iterative BFS host loop) store their
+    /// own loop state here so a resumed process can pick up mid-iteration.
+    pub fn set_host_tag(&mut self, tag: Vec<u8>) {
+        self.host_tag = tag;
+    }
+
+    /// The host-side tag carried by this GPU (empty unless a driver set one
+    /// or a checkpoint restored one).
+    pub fn host_tag(&self) -> &[u8] {
+        &self.host_tag
+    }
+
+    /// Serializes the complete simulator state — configuration, cycle
+    /// counter, device memory, the in-flight launch (kernel program as its
+    /// round-trippable disassembly), every SM and partition, both crossbar
+    /// networks, the latency-trace sink, the event tracer and the sanitizer
+    /// — into a framed, versioned, checksummed byte stream that
+    /// [`Gpu::restore`] turns back into a bit-identical simulator.
+    ///
+    /// Snapshots are taken at cycle boundaries (between [`Gpu::tick`]s);
+    /// mid-tick state never exists in a checkpoint.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        self.cfg.encode_state(&mut e);
+        e.u64(self.now.get());
+        e.u64(self.outstanding);
+        e.u64(self.host_nanos);
+        e.u64(self.content_hash);
+        e.bytes(&self.host_tag);
+        self.device.encode_state(&mut e);
+        match &self.launch {
+            None => e.bool(false),
+            Some(l) => {
+                e.bool(true);
+                e.str(&l.kernel.to_string());
+                e.u32(l.launch.grid_dim);
+                e.u32(l.launch.block_dim);
+                e.usize(l.launch.params.len());
+                for &p in &l.launch.params {
+                    e.u64(p);
+                }
+                e.u64(l.local_map.base.get());
+                e.u64(l.local_map.bytes_per_thread);
+                e.u32(l.next_cta);
+            }
+        }
+        for sm in &self.sms {
+            sm.encode_state(&mut e);
+        }
+        for p in &self.partitions {
+            p.encode_state(&mut e);
+        }
+        self.req_net
+            .encode_state_with(&mut e, |req, e| req.encode_state(e));
+        self.reply_net
+            .encode_state_with(&mut e, |req, e| req.encode_state(e));
+        self.sink.encode_state(&mut e);
+        self.tracer.encode_state(&mut e);
+        self.sanitizer.encode_state(&mut e);
+        e.finish()
+    }
+
+    /// Rebuilds a GPU from a [`Gpu::snapshot`] byte stream. The restored
+    /// simulator continues cycle-identically to the one that was snapshotted
+    /// — same [`RunSummary`], same trace events, same sanitizer findings.
+    ///
+    /// # Errors
+    ///
+    /// Rejects corrupted, truncated or wrong-version streams (framing),
+    /// unknown tags, structural inconsistencies between the embedded
+    /// configuration and the serialized state, and kernels that fail to
+    /// re-parse. Never panics on malformed input.
+    pub fn restore(bytes: &[u8]) -> Result<Gpu, SnapshotError> {
+        use SnapshotError::InvalidValue;
+        let mut d = Decoder::open(bytes)?;
+        let cfg = GpuConfig::decode(&mut d)?;
+        cfg.validate()
+            .map_err(|_| InvalidValue("configuration fails structural validation"))?;
+        let mut gpu = Gpu::new(cfg);
+        gpu.now = Cycle::new(d.u64()?);
+        gpu.outstanding = d.u64()?;
+        gpu.host_nanos = d.u64()?;
+        gpu.content_hash = d.u64()?;
+        gpu.host_tag = d.bytes()?.to_vec();
+        gpu.device.restore_state(&mut d)?;
+        gpu.launch = if d.bool()? {
+            let text = d.str()?;
+            let kernel = gpu_isa::parse_kernel(text)
+                .map_err(|_| InvalidValue("checkpoint kernel fails to parse"))?;
+            kernel
+                .validate()
+                .map_err(|_| InvalidValue("checkpoint kernel fails validation"))?;
+            let grid_dim = d.u32()?;
+            let block_dim = d.u32()?;
+            if grid_dim == 0 || block_dim == 0 {
+                return Err(InvalidValue("launch dimensions must be nonzero"));
+            }
+            let mut params = Vec::new();
+            for _ in 0..d.usize()? {
+                params.push(d.u64()?);
+            }
+            let local_map = LocalMap {
+                base: Addr::new(d.u64()?),
+                bytes_per_thread: d.u64()?,
+            };
+            let next_cta = d.u32()?;
+            let launch = Launch {
+                grid_dim,
+                block_dim,
+                params: params.clone(),
+            };
+            if launch.warps_per_cta(gpu.cfg.warp_size) as usize > gpu.cfg.max_warps_per_sm {
+                return Err(InvalidValue("checkpoint CTA exceeds SM warp capacity"));
+            }
+            Some(LaunchState {
+                kernel: Arc::new(kernel),
+                params: params.into(),
+                launch,
+                local_map,
+                next_cta,
+            })
+        } else {
+            None
+        };
+        let kp = gpu.launch.as_ref().map(|l| (&l.kernel, &l.params));
+        for sm in &mut gpu.sms {
+            sm.restore_state(&mut d, kp)?;
+        }
+        for p in &mut gpu.partitions {
+            p.restore_state(&mut d)?;
+        }
+        gpu.req_net.restore_state_with(&mut d, MemRequest::decode)?;
+        gpu.reply_net
+            .restore_state_with(&mut d, MemRequest::decode)?;
+        gpu.sink.restore_state(&mut d)?;
+        gpu.tracer.restore_state(&mut d)?;
+        gpu.sanitizer.restore_state(&mut d)?;
+        d.expect_end()?;
+        Ok(gpu)
+    }
+
+    /// Records a checkpoint event and writes a full snapshot atomically into
+    /// `dir`, named after the current cycle. The event is recorded *before*
+    /// the snapshot is encoded so it lands inside the serialized tracer
+    /// state: a run resumed from this checkpoint replays the identical event
+    /// stream an uninterrupted run records. Returns the snapshot size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Checkpoint`] when the file cannot be written.
+    pub fn write_checkpoint(&mut self, dir: &Path) -> Result<u64, SimError> {
+        if self.tracer.enabled() {
+            // The snapshot size is unknowable before encoding, and encoding
+            // must happen after this event is recorded; 0 marks "pending".
+            self.tracer.record(TraceEvent {
+                cycle: self.now.get(),
+                site: TraceSite::Gpu,
+                kind: EventKind::Checkpoint { bytes: 0 },
+            });
+        }
+        let bytes = self.snapshot();
+        let path = store::checkpoint_path(dir, self.now.get());
+        store::write_atomic(&path, &bytes)
+            .map_err(|e| SimError::Checkpoint(format!("{}: {e}", path.display())))?;
+        Ok(bytes.len() as u64)
+    }
+
+    /// Restores the GPU from the newest checkpoint in `dir`, if any.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory/file I/O errors and checkpoint-format errors.
+    pub fn resume_latest(dir: &Path) -> Result<Option<Gpu>, SnapshotError> {
+        match store::latest_checkpoint(dir)? {
+            None => Ok(None),
+            Some((_, path)) => {
+                let bytes = std::fs::read(path)?;
+                Ok(Some(Gpu::restore(&bytes)?))
+            }
+        }
+    }
+
+    /// Like [`Gpu::run`], but writes periodic checkpoints per `policy` and
+    /// honors its deterministic kill switch. With `policy.every == 0` and no
+    /// `kill_at` this is exactly [`Gpu::run`] (same drain condition, same
+    /// audits, same summary).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Timeout`] at the cycle limit,
+    /// [`SimError::NothingLaunched`] if no kernel was launched, and
+    /// [`SimError::Checkpoint`] when a checkpoint cannot be written.
+    pub fn run_checkpointed(
+        &mut self,
+        max_cycles: u64,
+        policy: &CheckpointPolicy,
+    ) -> Result<RunOutcome, SimError> {
+        if self.launch.is_none() {
+            return Err(SimError::NothingLaunched);
+        }
+        let start = self.now;
+        let wall = std::time::Instant::now();
+        while !self.is_done() {
+            if self.now.since(start) >= max_cycles {
+                self.host_nanos += wall.elapsed().as_nanos() as u64;
+                if self.cfg.sanitize {
+                    for p in &self.partitions {
+                        p.audit_drained(&mut self.sanitizer);
+                    }
+                }
+                return Err(SimError::Timeout { max_cycles });
+            }
+            let cycle = self.now.get();
+            if policy.every > 0 && cycle > start.get() && cycle.is_multiple_of(policy.every) {
+                self.write_checkpoint(&policy.dir)?;
+            }
+            if policy.kill_at == Some(cycle) && cycle > start.get() {
+                self.host_nanos += wall.elapsed().as_nanos() as u64;
+                return Ok(RunOutcome::Killed { at: cycle });
+            }
+            self.tick();
+        }
+        self.host_nanos += wall.elapsed().as_nanos() as u64;
+        self.launch = None;
+        if self.cfg.sanitize {
+            for sm in &self.sms {
+                sm.audit_drained(&mut self.sanitizer);
+            }
+            for p in &self.partitions {
+                p.audit_drained(&mut self.sanitizer);
+            }
+            if cfg!(debug_assertions) && !self.sanitizer.is_clean() {
+                panic!("{}", self.sanitizer.report());
+            }
+        }
+        Ok(RunOutcome::Completed(Box::new(self.summary())))
     }
 
     /// Advances the GPU by one cycle.

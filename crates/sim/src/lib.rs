@@ -25,6 +25,7 @@
 //! See [`Gpu`] for an end-to-end kernel launch.
 
 pub mod coalesce;
+mod codec;
 mod config;
 mod gpu;
 mod partition;
@@ -35,7 +36,7 @@ mod stats;
 
 pub use coalesce::coalesce;
 pub use config::{GpuConfig, L1Config, L2Config, SchedPolicy, WritePolicy};
-pub use gpu::{Gpu, SimError};
+pub use gpu::{CheckpointPolicy, Gpu, RunOutcome, SimError};
 pub use partition::Partition;
 pub use sanitizer::{Sanitizer, Site, Violation};
 pub use scoreboard::Scoreboard;

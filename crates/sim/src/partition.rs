@@ -11,9 +11,11 @@ use gpu_mem::{
     AccessKind, AddressMap, Cache, DramController, DramEventKind, MemRequest, MshrTable, RequestId,
     Stamp,
 };
+use gpu_snapshot::{Decoder, Encoder, SnapshotError};
 use gpu_trace::{EventKind, QueueKind, TraceEvent, TraceSite, Tracer};
 use gpu_types::{BoundedQueue, Cycle, DelayQueue, PartitionId};
 
+use crate::codec;
 use crate::config::{GpuConfig, WritePolicy};
 use crate::sanitizer::{Sanitizer, Site, Violation};
 
@@ -234,6 +236,81 @@ impl Partition {
                 lines: self.l2_mshr.pending_lines(),
             });
         }
+    }
+
+    // ---- snapshot codec ---------------------------------------------------
+
+    /// Serializes the partition's complete dynamic state: the ROP and hit
+    /// pipes with absolute ready times, the L2 input queue, L2 cache arrays
+    /// and MSHR table, the DRAM controller (banks, scheduler queue, stats)
+    /// and the return queue. Structural configuration is *not* serialized —
+    /// the GPU checkpoint stores the full config once and rebuilds each
+    /// partition from it before restoring.
+    pub fn encode_state(&self, e: &mut Encoder) {
+        e.u64(self.next_eviction_id);
+        codec::encode_req_queue(e, &self.rop);
+        e.usize(self.l2_queue.len());
+        for req in self.l2_queue.iter() {
+            req.encode_state(e);
+        }
+        match &self.l2_cache {
+            None => e.bool(false),
+            Some(c) => {
+                e.bool(true);
+                c.encode_state(e);
+            }
+        }
+        self.l2_mshr
+            .encode_state_with(e, |req, e| req.encode_state(e));
+        codec::encode_req_queue(e, &self.l2_hit_pipe);
+        self.dram.encode_state(e);
+        e.usize(self.returns.len());
+        for req in &self.returns {
+            req.encode_state(e);
+        }
+        e.u64(self.stores_completed_total);
+        e.u64(self.stores_retired_here);
+        e.u64(self.evictions_in_flight);
+    }
+
+    /// Overwrites this partition's dynamic state with a decoded checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Rejects structural mismatches with this partition's configuration
+    /// (queue capacities, L2 presence, cache geometry) and propagates
+    /// decoder errors.
+    pub fn restore_state(&mut self, d: &mut Decoder) -> Result<(), SnapshotError> {
+        use SnapshotError::InvalidValue;
+        self.next_eviction_id = d.u64()?;
+        codec::restore_req_queue(&mut self.rop, d, "ROP pipe occupancy exceeds capacity")?;
+        let mut l2_queue = BoundedQueue::new(self.l2_queue.capacity());
+        for _ in 0..d.usize()? {
+            l2_queue
+                .push(MemRequest::decode(d)?)
+                .map_err(|_| InvalidValue("L2 input queue occupancy exceeds capacity"))?;
+        }
+        self.l2_queue = l2_queue;
+        match (d.bool()?, &mut self.l2_cache) {
+            (true, Some(c)) => c.restore_state(d)?,
+            (false, None) => {}
+            _ => return Err(InvalidValue("L2 presence mismatch with configuration")),
+        }
+        self.l2_mshr.restore_state_with(d, MemRequest::decode)?;
+        codec::restore_req_queue(
+            &mut self.l2_hit_pipe,
+            d,
+            "L2 hit pipe occupancy exceeds capacity",
+        )?;
+        self.dram.restore_state(d)?;
+        self.returns.clear();
+        for _ in 0..d.usize()? {
+            self.returns.push_back(MemRequest::decode(d)?);
+        }
+        self.stores_completed_total = d.u64()?;
+        self.stores_retired_here = d.u64()?;
+        self.evictions_in_flight = d.u64()?;
+        Ok(())
     }
 
     /// Advances the partition one cycle. Returns the number of store

@@ -185,6 +185,204 @@ impl fmt::Display for Violation {
     }
 }
 
+impl Site {
+    /// Serializes this site. Tag values are part of the checkpoint format
+    /// and must never be reordered; new variants append new tags.
+    pub fn encode_state(&self, e: &mut gpu_snapshot::Encoder) {
+        match self {
+            Site::Sm(i) => {
+                e.u8(0);
+                e.usize(*i);
+            }
+            Site::Partition(i) => {
+                e.u8(1);
+                e.usize(*i);
+            }
+            Site::Gpu => e.u8(2),
+        }
+    }
+
+    /// Decodes a site written by [`Site::encode_state`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown tags and propagates decoder errors.
+    pub fn decode(d: &mut gpu_snapshot::Decoder) -> Result<Self, gpu_snapshot::SnapshotError> {
+        match d.u8()? {
+            0 => Ok(Site::Sm(d.usize()?)),
+            1 => Ok(Site::Partition(d.usize()?)),
+            2 => Ok(Site::Gpu),
+            _ => Err(gpu_snapshot::SnapshotError::InvalidValue(
+                "unknown sanitizer-site tag",
+            )),
+        }
+    }
+}
+
+/// The queue names the audits use, in checkpoint-tag order. Violations
+/// carry `&'static str` queue names; the codec maps them through this table
+/// so a decoded violation points back at the same static string.
+const QUEUE_NAMES: [&str; 7] = [
+    "front", "l1-hit", "miss", "fill", "rop", "l2-input", "l2-hit",
+];
+
+impl Violation {
+    /// Serializes this violation. Tag values are part of the checkpoint
+    /// format and must never be reordered; new variants append new tags.
+    pub fn encode_state(&self, e: &mut gpu_snapshot::Encoder) {
+        match self {
+            Violation::Conservation {
+                cycle,
+                outstanding,
+                in_flight,
+            } => {
+                e.u8(0);
+                e.u64(cycle.get());
+                e.u64(*outstanding);
+                e.u64(*in_flight);
+            }
+            Violation::MshrLeak { site, lines } => {
+                e.u8(1);
+                site.encode_state(e);
+                e.usize(lines.len());
+                for l in lines {
+                    e.u64(l.get());
+                }
+            }
+            Violation::MshrOverMerge {
+                site,
+                waiters,
+                max_merged,
+            } => {
+                e.u8(2);
+                site.encode_state(e);
+                e.usize(*waiters);
+                e.usize(*max_merged);
+            }
+            Violation::MshrOverCapacity { site, len, entries } => {
+                e.u8(3);
+                site.encode_state(e);
+                e.usize(*len);
+                e.usize(*entries);
+            }
+            Violation::QueueOverflow {
+                site,
+                queue,
+                len,
+                capacity,
+            } => {
+                e.u8(4);
+                site.encode_state(e);
+                // Index into QUEUE_NAMES; u8::MAX marks a name added without
+                // a table entry (decodes as "unknown", never fails encode).
+                let idx = QUEUE_NAMES.iter().position(|n| n == queue);
+                e.u8(idx.map_or(u8::MAX, |i| i as u8));
+                e.usize(*len);
+                e.usize(*capacity);
+            }
+            Violation::NonMonotonicTimeline {
+                id,
+                stamp,
+                earlier,
+                later,
+            } => {
+                e.u8(5);
+                e.u64(id.get());
+                let idx = Stamp::ALL
+                    .iter()
+                    .position(|s| s == stamp)
+                    .expect("every stamp is in Stamp::ALL");
+                e.u8(idx as u8);
+                e.u64(earlier.get());
+                e.u64(later.get());
+            }
+            Violation::StageSumMismatch { id, sum, total } => {
+                e.u8(6);
+                e.u64(id.get());
+                e.u64(*sum);
+                e.u64(*total);
+            }
+            Violation::PendingLoadLeak { site, entries } => {
+                e.u8(7);
+                site.encode_state(e);
+                e.usize(*entries);
+            }
+        }
+    }
+
+    /// Decodes a violation written by [`Violation::encode_state`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown variant, queue-name and stamp tags, and propagates
+    /// decoder errors.
+    pub fn decode(d: &mut gpu_snapshot::Decoder) -> Result<Self, gpu_snapshot::SnapshotError> {
+        use gpu_snapshot::SnapshotError::InvalidValue;
+        match d.u8()? {
+            0 => Ok(Violation::Conservation {
+                cycle: Cycle::new(d.u64()?),
+                outstanding: d.u64()?,
+                in_flight: d.u64()?,
+            }),
+            1 => {
+                let site = Site::decode(d)?;
+                let mut lines = Vec::new();
+                for _ in 0..d.usize()? {
+                    lines.push(Addr::new(d.u64()?));
+                }
+                Ok(Violation::MshrLeak { site, lines })
+            }
+            2 => Ok(Violation::MshrOverMerge {
+                site: Site::decode(d)?,
+                waiters: d.usize()?,
+                max_merged: d.usize()?,
+            }),
+            3 => Ok(Violation::MshrOverCapacity {
+                site: Site::decode(d)?,
+                len: d.usize()?,
+                entries: d.usize()?,
+            }),
+            4 => {
+                let site = Site::decode(d)?;
+                let queue = match d.u8()? {
+                    u8::MAX => "unknown",
+                    i => *QUEUE_NAMES
+                        .get(i as usize)
+                        .ok_or(InvalidValue("unknown queue-name tag"))?,
+                };
+                Ok(Violation::QueueOverflow {
+                    site,
+                    queue,
+                    len: d.usize()?,
+                    capacity: d.usize()?,
+                })
+            }
+            5 => {
+                let id = RequestId::new(d.u64()?);
+                let stamp = *Stamp::ALL
+                    .get(d.u8()? as usize)
+                    .ok_or(InvalidValue("unknown stamp tag"))?;
+                Ok(Violation::NonMonotonicTimeline {
+                    id,
+                    stamp,
+                    earlier: Cycle::new(d.u64()?),
+                    later: Cycle::new(d.u64()?),
+                })
+            }
+            6 => Ok(Violation::StageSumMismatch {
+                id: RequestId::new(d.u64()?),
+                sum: d.u64()?,
+                total: d.u64()?,
+            }),
+            7 => Ok(Violation::PendingLoadLeak {
+                site: Site::decode(d)?,
+                entries: d.usize()?,
+            }),
+            _ => Err(InvalidValue("unknown violation tag")),
+        }
+    }
+}
+
 /// Cap on stored violations: a per-tick invariant breaking once tends to
 /// break every subsequent tick, and storing millions of identical records
 /// helps nobody. The total count keeps counting past the cap.
@@ -301,6 +499,41 @@ impl Sanitizer {
                 capacity,
             });
         }
+    }
+
+    // ---- snapshot codec ---------------------------------------------------
+
+    /// Serializes the total count and the stored violations.
+    pub fn encode_state(&self, e: &mut gpu_snapshot::Encoder) {
+        e.u64(self.total);
+        e.usize(self.violations.len());
+        for v in &self.violations {
+            v.encode_state(e);
+        }
+    }
+
+    /// Overwrites this sanitizer with a decoded checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Rejects stored-violation counts past [`MAX_STORED`] or past the total
+    /// (the recorder can never produce either), and propagates decoder
+    /// errors.
+    pub fn restore_state(
+        &mut self,
+        d: &mut gpu_snapshot::Decoder,
+    ) -> Result<(), gpu_snapshot::SnapshotError> {
+        use gpu_snapshot::SnapshotError::InvalidValue;
+        self.total = d.u64()?;
+        let n = d.usize()?;
+        if n > MAX_STORED || n as u64 > self.total {
+            return Err(InvalidValue("stored violations exceed their own cap"));
+        }
+        self.violations.clear();
+        for _ in 0..n {
+            self.violations.push(Violation::decode(d)?);
+        }
+        Ok(())
     }
 
     /// Renders the full report, one violation per line.

@@ -66,6 +66,48 @@ impl Scoreboard {
     pub fn clear(&mut self, warp: usize) {
         self.pending[warp].clear();
     }
+
+    // ---- snapshot codec ---------------------------------------------------
+
+    /// Serializes every slot's reserved registers in ascending register
+    /// order (the per-slot set is a hash set, so iteration order must be
+    /// pinned for deterministic snapshots).
+    pub fn encode_state(&self, e: &mut gpu_snapshot::Encoder) {
+        e.usize(self.pending.len());
+        for set in &self.pending {
+            let mut regs: Vec<Reg> = set.iter().copied().collect();
+            regs.sort_unstable();
+            e.usize(regs.len());
+            for r in regs {
+                e.u32(u32::from(r));
+            }
+        }
+    }
+
+    /// Overwrites this scoreboard with a decoded checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Rejects slot-count mismatches and out-of-range register numbers, and
+    /// propagates decoder errors.
+    pub fn restore_state(
+        &mut self,
+        d: &mut gpu_snapshot::Decoder,
+    ) -> Result<(), gpu_snapshot::SnapshotError> {
+        use gpu_snapshot::SnapshotError::InvalidValue;
+        if d.usize()? != self.pending.len() {
+            return Err(InvalidValue("scoreboard slot count mismatch"));
+        }
+        for set in &mut self.pending {
+            set.clear();
+            for _ in 0..d.usize()? {
+                let r = d.u32()?;
+                let r = Reg::try_from(r).map_err(|_| InvalidValue("register number overflow"))?;
+                set.insert(r);
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

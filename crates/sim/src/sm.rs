@@ -19,11 +19,14 @@ use gpu_mem::{AccessKind, Cache, MemRequest, MshrTable, PipelineSpace, RequestId
 use gpu_trace::{EventKind, StallBreakdown, StallReason, TraceEvent, TraceSite, Tracer};
 use gpu_types::{BoundedQueue, CtaId, Cycle, DelayQueue, SmId};
 
+use gpu_snapshot::{Decoder, Encoder, SnapshotError};
+
 use crate::coalesce::coalesce;
+use crate::codec;
 use crate::config::{GpuConfig, SchedPolicy};
 use crate::sanitizer::{Sanitizer, Site, Violation};
 use crate::scoreboard::Scoreboard;
-use crate::stats::{CompletedRequest, LoadInstrRecord, SmStats, TraceSink};
+use crate::stats::{self, CompletedRequest, LoadInstrRecord, SmStats, TraceSink};
 
 /// Token value for requests with no pending-load entry (stores).
 const NO_TOKEN: u64 = u64::MAX;
@@ -895,6 +898,243 @@ impl Sm {
         let _ = sink; // latency traces are recorded at writeback, not at issue
         self.slots[w] = Some(slot);
         new_requests
+    }
+
+    // ---- snapshot codec ---------------------------------------------------
+
+    /// Serializes the SM's complete dynamic state: warp slots (each warp's
+    /// functional state via [`WarpExec::encode_state`]), CTA runtimes with
+    /// their shared-memory contents, the scoreboard, ALU writeback heap (in
+    /// sorted order — the heap's internal layout is not deterministic), all
+    /// memory-pipeline queues with absolute ready times, the MSHR table,
+    /// pending-load bookkeeping (in token order) and statistics. Structural
+    /// configuration (capacities, latencies) is *not* serialized — the GPU
+    /// checkpoint stores the full [`GpuConfig`] once and rebuilds each SM
+    /// from it before restoring.
+    pub fn encode_state(&self, e: &mut Encoder) {
+        e.usize(self.slots.len());
+        for slot in &self.slots {
+            match slot {
+                None => e.bool(false),
+                Some(s) => {
+                    e.bool(true);
+                    s.exec.encode_state(e);
+                    e.usize(s.cta_index);
+                    e.u64(s.age);
+                    e.u32(s.pending_ops);
+                }
+            }
+        }
+        e.usize(self.ctas.len());
+        for cta in &self.ctas {
+            match cta {
+                None => e.bool(false),
+                Some(c) => {
+                    e.bool(true);
+                    e.bytes(&c.shared);
+                    e.usize(c.slots.len());
+                    for &s in &c.slots {
+                        e.usize(s);
+                    }
+                    e.usize(c.live);
+                    e.usize(c.arrived);
+                }
+            }
+        }
+        self.scoreboard.encode_state(e);
+        let mut wb: Vec<(u64, usize, Reg)> = self.alu_wb.iter().map(|r| r.0).collect();
+        wb.sort_unstable();
+        e.usize(wb.len());
+        for (at, warp, reg) in wb {
+            e.u64(at);
+            e.usize(warp);
+            e.u32(u32::from(reg));
+        }
+        codec::encode_req_queue(e, &self.front);
+        match &self.l1_cache {
+            None => e.bool(false),
+            Some(c) => {
+                e.bool(true);
+                c.encode_state(e);
+            }
+        }
+        self.l1_mshr
+            .encode_state_with(e, |req, e| req.encode_state(e));
+        codec::encode_req_queue(e, &self.l1_hit_pipe);
+        codec::encode_req_fifo(e, &self.miss_queue);
+        codec::encode_req_queue(e, &self.fill_pipe);
+        let mut tokens: Vec<u64> = self.pending_loads.keys().copied().collect();
+        tokens.sort_unstable();
+        e.usize(tokens.len());
+        for t in tokens {
+            let pl = &self.pending_loads[&t];
+            e.u64(t);
+            e.usize(pl.warp);
+            e.opt_u64(pl.dst.map(u64::from));
+            e.u32(pl.remaining);
+            e.u32(pl.lines);
+            e.u64(pl.issue.get());
+            e.u64(pl.stalls_at_issue);
+            stats::encode_breakdown(e, &pl.stall_reasons_at_issue);
+        }
+        e.u64(self.next_token);
+        e.u64(self.next_req_id);
+        e.usize(self.last_issued);
+        e.opt_u64(self.greedy.map(|g| g as u64));
+        e.u64(self.age_counter);
+        self.stats.encode_state(e);
+    }
+
+    /// Overwrites this SM's dynamic state with a decoded checkpoint.
+    /// `kernel` supplies the shared kernel and parameters live warps
+    /// re-attach to (`None` when the checkpoint holds no launch, in which
+    /// case any live warp is rejected).
+    ///
+    /// # Errors
+    ///
+    /// Rejects structural mismatches with this SM's configuration (slot and
+    /// CTA counts, queue capacities, L1 presence), out-of-range indices and
+    /// duplicate tokens, and propagates decoder errors.
+    pub fn restore_state(
+        &mut self,
+        d: &mut Decoder,
+        kernel: Option<(&Arc<Kernel>, &Arc<[u64]>)>,
+    ) -> Result<(), SnapshotError> {
+        use SnapshotError::InvalidValue;
+        let n_slots = self.slots.len();
+        let n_ctas = self.ctas.len();
+        if d.usize()? != n_slots {
+            return Err(InvalidValue("warp slot count mismatch"));
+        }
+        for i in 0..n_slots {
+            self.slots[i] = if d.bool()? {
+                let Some((k, p)) = kernel else {
+                    return Err(InvalidValue("live warp state without a launched kernel"));
+                };
+                let exec = WarpExec::decode(d, Arc::clone(k), Arc::clone(p))?;
+                let cta_index = d.usize()?;
+                if cta_index >= n_ctas {
+                    return Err(InvalidValue("warp CTA index out of range"));
+                }
+                Some(WarpSlot {
+                    exec,
+                    cta_index,
+                    age: d.u64()?,
+                    pending_ops: d.u32()?,
+                })
+            } else {
+                None
+            };
+        }
+        if d.usize()? != n_ctas {
+            return Err(InvalidValue("CTA slot count mismatch"));
+        }
+        for i in 0..n_ctas {
+            self.ctas[i] = if d.bool()? {
+                let shared = d.bytes()?.to_vec();
+                let mut slot_ids = Vec::new();
+                for _ in 0..d.usize()? {
+                    let s = d.usize()?;
+                    if s >= n_slots {
+                        return Err(InvalidValue("CTA warp-slot index out of range"));
+                    }
+                    slot_ids.push(s);
+                }
+                let live = d.usize()?;
+                let arrived = d.usize()?;
+                if live > slot_ids.len() {
+                    return Err(InvalidValue("CTA live-warp count exceeds its slots"));
+                }
+                Some(CtaRt {
+                    shared,
+                    slots: slot_ids,
+                    live,
+                    arrived,
+                })
+            } else {
+                None
+            };
+        }
+        self.scoreboard.restore_state(d)?;
+        self.alu_wb.clear();
+        for _ in 0..d.usize()? {
+            let at = d.u64()?;
+            let warp = d.usize()?;
+            if warp >= n_slots {
+                return Err(InvalidValue("writeback warp index out of range"));
+            }
+            let reg =
+                Reg::try_from(d.u32()?).map_err(|_| InvalidValue("register number overflow"))?;
+            self.alu_wb.push(Reverse((at, warp, reg)));
+        }
+        codec::restore_req_queue(&mut self.front, d, "front pipe occupancy exceeds capacity")?;
+        match (d.bool()?, &mut self.l1_cache) {
+            (true, Some(c)) => c.restore_state(d)?,
+            (false, None) => {}
+            _ => return Err(InvalidValue("L1 presence mismatch with configuration")),
+        }
+        self.l1_mshr.restore_state_with(d, MemRequest::decode)?;
+        codec::restore_req_queue(
+            &mut self.l1_hit_pipe,
+            d,
+            "L1 hit pipe occupancy exceeds capacity",
+        )?;
+        codec::restore_req_fifo(
+            &mut self.miss_queue,
+            d,
+            "miss queue occupancy exceeds capacity",
+        )?;
+        codec::restore_req_queue(
+            &mut self.fill_pipe,
+            d,
+            "fill pipe occupancy exceeds capacity",
+        )?;
+        self.pending_loads.clear();
+        for _ in 0..d.usize()? {
+            let token = d.u64()?;
+            let warp = d.usize()?;
+            if warp >= n_slots {
+                return Err(InvalidValue("pending-load warp index out of range"));
+            }
+            let dst = match d.opt_u64()? {
+                None => None,
+                Some(v) => {
+                    Some(Reg::try_from(v).map_err(|_| InvalidValue("register number overflow"))?)
+                }
+            };
+            let pl = PendingLoad {
+                warp,
+                dst,
+                remaining: d.u32()?,
+                lines: d.u32()?,
+                issue: Cycle::new(d.u64()?),
+                stalls_at_issue: d.u64()?,
+                stall_reasons_at_issue: stats::decode_breakdown(d)?,
+            };
+            if self.pending_loads.insert(token, pl).is_some() {
+                return Err(InvalidValue("duplicate pending-load token"));
+            }
+        }
+        self.next_token = d.u64()?;
+        self.next_req_id = d.u64()?;
+        let last_issued = d.usize()?;
+        if last_issued >= n_slots {
+            return Err(InvalidValue("scheduler rotation index out of range"));
+        }
+        self.last_issued = last_issued;
+        self.greedy = match d.opt_u64()? {
+            None => None,
+            Some(g) => {
+                let g = g as usize;
+                if g >= n_slots {
+                    return Err(InvalidValue("greedy warp index out of range"));
+                }
+                Some(g)
+            }
+        };
+        self.age_counter = d.u64()?;
+        self.stats = SmStats::decode(d)?;
+        Ok(())
     }
 
     /// Releases every warp of the CTA waiting at the barrier. `current` (the

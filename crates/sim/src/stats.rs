@@ -2,7 +2,8 @@
 //! dynamic-latency analysis in `latency-core`.
 
 use gpu_mem::{PipelineSpace, Timeline};
-use gpu_trace::{MetricsReport, StallBreakdown};
+use gpu_snapshot::{Decoder, Encoder, SnapshotError};
+use gpu_trace::{MetricsReport, StallBreakdown, StallReason};
 use gpu_types::{Cycle, SmId};
 
 /// A completed, traced memory request (one line fetch), with its full stamp
@@ -15,6 +16,38 @@ pub struct CompletedRequest {
     pub space: PipelineSpace,
     /// Issuing SM.
     pub sm: SmId,
+}
+
+impl CompletedRequest {
+    /// Serializes this record.
+    pub fn encode_state(&self, e: &mut Encoder) {
+        self.timeline.encode_state(e);
+        e.u8(match self.space {
+            PipelineSpace::Global => 0,
+            PipelineSpace::Local => 1,
+        });
+        e.u32(self.sm.get());
+    }
+
+    /// Decodes a record written by [`CompletedRequest::encode_state`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown space tags and propagates decoder errors.
+    pub fn decode(d: &mut Decoder) -> Result<Self, SnapshotError> {
+        let timeline = Timeline::decode(d)?;
+        let space = match d.u8()? {
+            0 => PipelineSpace::Global,
+            1 => PipelineSpace::Local,
+            _ => return Err(SnapshotError::InvalidValue("unknown pipeline-space tag")),
+        };
+        let sm = SmId::new(d.u32()?);
+        Ok(CompletedRequest {
+            timeline,
+            space,
+            sm,
+        })
+    }
 }
 
 /// A completed warp-level load instruction — the unit of the paper's
@@ -60,6 +93,49 @@ impl LoadInstrRecord {
             (self.exposed as f64 / t as f64).clamp(0.0, 1.0)
         }
     }
+
+    /// Serializes this record.
+    pub fn encode_state(&self, e: &mut Encoder) {
+        e.u32(self.sm.get());
+        e.u64(self.issue.get());
+        e.u64(self.complete.get());
+        e.u64(self.exposed);
+        e.u32(self.lines);
+        encode_breakdown(e, &self.stall_reasons);
+    }
+
+    /// Decodes a record written by [`LoadInstrRecord::encode_state`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates decoder errors.
+    pub fn decode(d: &mut Decoder) -> Result<Self, SnapshotError> {
+        Ok(LoadInstrRecord {
+            sm: SmId::new(d.u32()?),
+            issue: Cycle::new(d.u64()?),
+            complete: Cycle::new(d.u64()?),
+            exposed: d.u64()?,
+            lines: d.u32()?,
+            stall_reasons: decode_breakdown(d)?,
+        })
+    }
+}
+
+/// Serializes a stall breakdown as its per-reason counters in
+/// [`StallReason::ALL`] order.
+pub(crate) fn encode_breakdown(e: &mut Encoder, b: &StallBreakdown) {
+    for v in b.to_array() {
+        e.u64(v);
+    }
+}
+
+/// Decodes a stall breakdown written by [`encode_breakdown`].
+pub(crate) fn decode_breakdown(d: &mut Decoder) -> Result<StallBreakdown, SnapshotError> {
+    let mut counts = [0u64; StallReason::COUNT];
+    for c in &mut counts {
+        *c = d.u64()?;
+    }
+    Ok(StallBreakdown::from_array(counts))
 }
 
 /// Collects latency traces during a run. Collection is off by default; the
@@ -88,6 +164,37 @@ impl TraceSink {
             self.loads.push(load);
         }
     }
+
+    /// Serializes the enable flag and every collected record.
+    pub fn encode_state(&self, e: &mut Encoder) {
+        e.bool(self.enabled);
+        e.usize(self.requests.len());
+        for r in &self.requests {
+            r.encode_state(e);
+        }
+        e.usize(self.loads.len());
+        for l in &self.loads {
+            l.encode_state(e);
+        }
+    }
+
+    /// Overwrites this sink with a decoded checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decoder errors.
+    pub fn restore_state(&mut self, d: &mut Decoder) -> Result<(), SnapshotError> {
+        self.enabled = d.bool()?;
+        self.requests.clear();
+        for _ in 0..d.usize()? {
+            self.requests.push(CompletedRequest::decode(d)?);
+        }
+        self.loads.clear();
+        for _ in 0..d.usize()? {
+            self.loads.push(LoadInstrRecord::decode(d)?);
+        }
+        Ok(())
+    }
 }
 
 /// Per-SM statistics.
@@ -114,6 +221,38 @@ pub struct SmStats {
     pub ctas_retired: u64,
 }
 
+impl SmStats {
+    /// Serializes these statistics.
+    pub fn encode_state(&self, e: &mut Encoder) {
+        e.u64(self.instructions);
+        e.u64(self.active_cycles);
+        e.u64(self.stall_cycles);
+        encode_breakdown(e, &self.stalls);
+        e.u64(self.global_loads);
+        e.u64(self.global_stores);
+        e.u64(self.transactions);
+        e.u64(self.ctas_retired);
+    }
+
+    /// Decodes statistics written by [`SmStats::encode_state`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates decoder errors.
+    pub fn decode(d: &mut Decoder) -> Result<Self, SnapshotError> {
+        Ok(SmStats {
+            instructions: d.u64()?,
+            active_cycles: d.u64()?,
+            stall_cycles: d.u64()?,
+            stalls: decode_breakdown(d)?,
+            global_loads: d.u64()?,
+            global_stores: d.u64()?,
+            transactions: d.u64()?,
+            ctas_retired: d.u64()?,
+        })
+    }
+}
+
 /// Whole-GPU run summary returned by `Gpu::run`.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RunSummary {
@@ -138,6 +277,15 @@ pub struct RunSummary {
     /// Invariant violations the sanitizer detected (zero when the sanitizer
     /// is disabled — see `GpuConfig::sanitize`).
     pub sanitizer_violations: u64,
+    /// Stable hash of everything that determines this run's simulated
+    /// timing: the timing-relevant configuration fields, the kernel program,
+    /// the launch geometry and parameters, and the device-memory contents at
+    /// launch. Chained across launches on the same GPU. Identical inputs
+    /// produce identical hashes across processes and platforms, so this
+    /// doubles as the content-addressed sweep-cache key. Excludes the
+    /// config's display name and the trace/sanitize switches, which cannot
+    /// change simulated timing.
+    pub content_hash: u64,
     /// Observability metrics: counter summaries, stall attribution and host
     /// throughput. `metrics.host_nanos` is the summary's only
     /// non-deterministic field — normalise it before comparing summaries

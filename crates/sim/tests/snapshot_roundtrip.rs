@@ -1,0 +1,197 @@
+//! Checkpoint codec integration tests: a snapshot taken mid-flight must
+//! decode back into a simulator whose own snapshot is byte-identical
+//! (encode → decode → encode equality across every serialized state type at
+//! once), and malformed streams of every flavour must be rejected with a
+//! typed [`SnapshotError`] — never a panic.
+
+use gpu_isa::{KernelBuilder, Launch, Special, Width};
+use gpu_sim::{Gpu, GpuConfig};
+use gpu_snapshot::{SnapshotError, FORMAT_VERSION, MAGIC};
+
+fn small_config() -> GpuConfig {
+    let mut cfg = GpuConfig::fermi_gf100();
+    cfg.num_sms = 2;
+    cfg.num_partitions = 2;
+    cfg.trace.enabled = true;
+    cfg.trace.sample_interval = 16;
+    cfg
+}
+
+/// A copy kernel: every thread loads one word and stores it shifted.
+fn copy_kernel() -> gpu_isa::Kernel {
+    let mut b = KernelBuilder::new("copy");
+    let src = b.param(0);
+    let dst = b.param(1);
+    let gtid = b.special(Special::GlobalTid);
+    let off = b.shl(gtid, 2);
+    let sa = b.add(src, off);
+    let da = b.add(dst, off);
+    let v = b.ld_global(Width::W4, sa, 0);
+    b.st_global(Width::W4, da, 0, v);
+    b.exit();
+    b.build().expect("valid kernel")
+}
+
+/// Launches the copy kernel and advances `cycles` ticks, leaving the GPU
+/// mid-flight with live warps, occupied queues/MSHRs/networks and pending
+/// DRAM traffic — the richest state a snapshot can capture.
+fn mid_flight_gpu(cycles: u64) -> Gpu {
+    let mut gpu = Gpu::new(small_config());
+    gpu.set_tracing(true);
+    let n = 2048u64;
+    let src = gpu.alloc(4 * n, 128);
+    let dst = gpu.alloc(4 * n, 128);
+    for i in 0..n {
+        gpu.device_mut().write_u32(src + 4 * i, (i * 3) as u32);
+    }
+    gpu.launch(
+        copy_kernel(),
+        Launch::new((n as u32).div_ceil(128), 128, vec![src.get(), dst.get()]),
+    )
+    .expect("launch");
+    for _ in 0..cycles {
+        gpu.tick();
+    }
+    gpu
+}
+
+#[test]
+fn encode_decode_encode_is_byte_identical() {
+    // Several depths: idle-after-launch, warm-up, deep mid-flight with the
+    // memory system saturated, and fully drained.
+    for cycles in [0u64, 10, 200, 1000] {
+        let gpu = mid_flight_gpu(cycles);
+        let bytes = gpu.snapshot();
+        let restored = Gpu::restore(&bytes).expect("restore succeeds");
+        assert_eq!(
+            bytes,
+            restored.snapshot(),
+            "snapshot of restored GPU differs at {cycles} cycles"
+        );
+    }
+}
+
+#[test]
+fn drained_gpu_roundtrips_too() {
+    let mut gpu = mid_flight_gpu(0);
+    gpu.run(10_000_000).expect("run drains");
+    let bytes = gpu.snapshot();
+    let restored = Gpu::restore(&bytes).expect("restore succeeds");
+    assert_eq!(bytes, restored.snapshot());
+    assert_eq!(gpu.summary(), restored.summary());
+}
+
+#[test]
+fn truncated_stream_is_rejected_at_every_length() {
+    let bytes = mid_flight_gpu(100).snapshot();
+    // Every strict prefix must fail with a typed error, never a panic.
+    // Stride keeps the test fast; the ends and the header region are dense.
+    let mut cuts: Vec<usize> = (0..bytes.len().min(64)).collect();
+    cuts.extend((64..bytes.len()).step_by(997));
+    cuts.push(bytes.len() - 1);
+    for cut in cuts {
+        let err = match Gpu::restore(&bytes[..cut]) {
+            Err(e) => e,
+            Ok(_) => panic!("prefix of {cut} bytes must fail to restore"),
+        };
+        assert!(
+            matches!(
+                err,
+                SnapshotError::UnexpectedEof { .. }
+                    | SnapshotError::BadMagic
+                    | SnapshotError::UnsupportedVersion(_)
+                    | SnapshotError::ChecksumMismatch { .. }
+            ),
+            "cut at {cut}: unexpected error {err:?}"
+        );
+    }
+}
+
+#[test]
+fn bad_magic_is_rejected() {
+    let mut bytes = mid_flight_gpu(50).snapshot();
+    bytes[0] ^= 0xFF;
+    assert!(matches!(Gpu::restore(&bytes), Err(SnapshotError::BadMagic)));
+}
+
+#[test]
+fn wrong_version_is_rejected() {
+    let mut bytes = mid_flight_gpu(50).snapshot();
+    let future = (FORMAT_VERSION + 1).to_le_bytes();
+    bytes[MAGIC.len()..MAGIC.len() + 4].copy_from_slice(&future);
+    assert!(matches!(
+        Gpu::restore(&bytes),
+        Err(SnapshotError::UnsupportedVersion(v)) if v == FORMAT_VERSION + 1
+    ));
+}
+
+#[test]
+fn payload_corruption_is_rejected_everywhere() {
+    let bytes = mid_flight_gpu(100).snapshot();
+    // Flip one byte at a spread of offsets; the checksum (or, for header
+    // bytes, the frame validation) must catch every single one.
+    for pos in (0..bytes.len()).step_by(501) {
+        let mut bad = bytes.clone();
+        bad[pos] ^= 0x5A;
+        assert!(
+            Gpu::restore(&bad).is_err(),
+            "flip at byte {pos} was not detected"
+        );
+    }
+}
+
+#[test]
+fn garbage_and_empty_streams_are_rejected() {
+    assert!(matches!(
+        Gpu::restore(&[]),
+        Err(SnapshotError::UnexpectedEof { .. })
+    ));
+    assert!(Gpu::restore(b"not a snapshot at all").is_err());
+    // A well-framed stream whose payload is not a GPU state.
+    let mut e = gpu_snapshot::Encoder::new();
+    e.str("hello");
+    e.u64(42);
+    assert!(Gpu::restore(&e.finish()).is_err());
+}
+
+#[test]
+fn restored_gpu_completes_identically() {
+    let mut original = mid_flight_gpu(300);
+    let mut restored = Gpu::restore(&original.snapshot()).expect("restore");
+    let a = original.run(10_000_000).expect("original drains");
+    let b = restored.run(10_000_000).expect("restored drains");
+    // Only host wall-clock may differ: the restored GPU lost the nanos
+    // spent before the snapshot.
+    let normalized = gpu_sim::RunSummary {
+        metrics: gpu_sim::MetricsReport {
+            host_nanos: a.metrics.host_nanos,
+            ..b.metrics
+        },
+        ..b
+    };
+    assert_eq!(a, normalized);
+    assert_eq!(a.content_hash, b.content_hash);
+    assert_ne!(a.content_hash, 0);
+}
+
+#[test]
+fn resume_latest_picks_newest_checkpoint() {
+    let dir = std::env::temp_dir().join(format!("gsnp-latest-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(Gpu::resume_latest(&dir)
+        .expect("missing dir is None")
+        .is_none());
+
+    let mut gpu = mid_flight_gpu(100);
+    gpu.write_checkpoint(&dir).expect("checkpoint 1");
+    for _ in 0..100 {
+        gpu.tick();
+    }
+    let at = gpu.now().get();
+    gpu.write_checkpoint(&dir).expect("checkpoint 2");
+    let resumed = Gpu::resume_latest(&dir)
+        .expect("resume reads")
+        .expect("checkpoint exists");
+    assert_eq!(resumed.now().get(), at, "newest checkpoint wins");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,179 @@
+//! On-disk storage for checkpoints and the content-addressed result cache.
+//!
+//! Two directory layouts, both flat:
+//!
+//! * **Checkpoint directory** — `ckpt-<cycle, zero-padded to 20>.bin`, one
+//!   file per checkpoint. Writes go through a temp-file + atomic rename so
+//!   a process killed mid-write can never leave a truncated checkpoint
+//!   with a valid name; [`latest_checkpoint`] picks the highest cycle.
+//! * **Cache directory** — `<key as 16 lowercase hex digits>.bin`, one file
+//!   per content-addressed entry. Lookups treat any unreadable or
+//!   unparsable entry as a miss (the caller recomputes and overwrites), so
+//!   a corrupted cache degrades to a slow run, never a wrong one.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic discriminator for temp-file names: two threads (or the same
+/// thread twice) writing the same target never collide on the temp path.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Writes `data` to `path` atomically: the bytes land in a unique temp file
+/// in the same directory, then rename into place. Readers see either the
+/// old file or the complete new one, never a torn write.
+///
+/// # Errors
+///
+/// Propagates filesystem errors (the temp file is cleaned up best-effort).
+pub fn write_atomic(path: &Path, data: &[u8]) -> std::io::Result<()> {
+    let dir = path.parent().unwrap_or_else(|| Path::new("."));
+    std::fs::create_dir_all(dir)?;
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| std::io::Error::other("write_atomic target has no file name"))?;
+    let tmp = dir.join(format!(
+        ".{}.tmp-{}-{}",
+        file_name.to_string_lossy(),
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    if let Err(e) = std::fs::write(&tmp, data) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+/// The checkpoint file name for a given cycle (fixed-width so
+/// lexicographic and numeric order agree).
+#[must_use]
+pub fn checkpoint_path(dir: &Path, cycle: u64) -> PathBuf {
+    dir.join(format!("ckpt-{cycle:020}.bin"))
+}
+
+/// Finds the newest checkpoint (highest cycle) in `dir`.
+///
+/// Returns `Ok(None)` when the directory does not exist or holds no
+/// checkpoint files; non-checkpoint files are ignored.
+///
+/// # Errors
+///
+/// Propagates directory-read errors other than the directory being absent.
+pub fn latest_checkpoint(dir: &Path) -> std::io::Result<Option<(u64, PathBuf)>> {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let mut best: Option<(u64, PathBuf)> = None;
+    for entry in entries {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(cycle) = name
+            .strip_prefix("ckpt-")
+            .and_then(|rest| rest.strip_suffix(".bin"))
+            .and_then(|digits| digits.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        if best.as_ref().is_none_or(|(c, _)| cycle > *c) {
+            best = Some((cycle, entry.path()));
+        }
+    }
+    Ok(best)
+}
+
+/// The cache file path for a content key.
+#[must_use]
+pub fn cache_path(dir: &Path, key: u64) -> PathBuf {
+    dir.join(format!("{key:016x}.bin"))
+}
+
+/// Loads a cache entry's raw (framed) bytes. Any error — missing file,
+/// permission problem, unreadable directory — reads as a miss.
+#[must_use]
+pub fn cache_load(dir: &Path, key: u64) -> Option<Vec<u8>> {
+    std::fs::read(cache_path(dir, key)).ok()
+}
+
+/// Stores a cache entry atomically.
+///
+/// # Errors
+///
+/// Propagates filesystem errors; callers treat a failed store as
+/// best-effort (the result was computed, only the reuse is lost).
+pub fn cache_store(dir: &Path, key: u64, framed: &[u8]) -> std::io::Result<()> {
+    write_atomic(&cache_path(dir, key), framed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "gpu-snapshot-store-{tag}-{}-{}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn atomic_write_round_trips() {
+        let dir = tmp_dir("atomic");
+        let p = dir.join("file.bin");
+        write_atomic(&p, b"hello").unwrap();
+        assert_eq!(std::fs::read(&p).unwrap(), b"hello");
+        write_atomic(&p, b"replaced").unwrap();
+        assert_eq!(std::fs::read(&p).unwrap(), b"replaced");
+        // No temp litter.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .filter(|n| n.to_string_lossy().contains("tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn latest_checkpoint_picks_highest_cycle() {
+        let dir = tmp_dir("latest");
+        assert_eq!(latest_checkpoint(&dir).unwrap(), None);
+        write_atomic(&checkpoint_path(&dir, 100), b"a").unwrap();
+        write_atomic(&checkpoint_path(&dir, 2000), b"b").unwrap();
+        write_atomic(&checkpoint_path(&dir, 30), b"c").unwrap();
+        std::fs::write(dir.join("unrelated.txt"), b"x").unwrap();
+        let (cycle, path) = latest_checkpoint(&dir).unwrap().unwrap();
+        assert_eq!(cycle, 2000);
+        assert_eq!(std::fs::read(path).unwrap(), b"b");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_directory_is_no_checkpoint() {
+        let dir = tmp_dir("missing").join("does-not-exist");
+        assert_eq!(latest_checkpoint(&dir).unwrap(), None);
+    }
+
+    #[test]
+    fn cache_load_store_round_trips_and_misses_cleanly() {
+        let dir = tmp_dir("cache");
+        assert_eq!(cache_load(&dir, 0xABCD), None);
+        cache_store(&dir, 0xABCD, b"entry").unwrap();
+        assert_eq!(cache_load(&dir, 0xABCD).unwrap(), b"entry");
+        assert_eq!(cache_load(&dir, 0xABCE), None);
+        // Key formatting is 16 lowercase hex digits.
+        assert!(cache_path(&dir, 0xABCD).ends_with("000000000000abcd.bin"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

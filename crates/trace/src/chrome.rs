@@ -178,6 +178,12 @@ impl ChromeTraceBuilder {
             EventKind::RowActivate { bank, row } | EventKind::RowPrecharge { bank, row } => {
                 e.push_str(&format!("\"bank\":{bank},\"row\":{row}"));
             }
+            EventKind::Checkpoint { bytes } => {
+                e.push_str(&format!("\"bytes\":{bytes}"));
+            }
+            EventKind::CacheHit { key } => {
+                e.push_str(&format!("\"key\":{key}"));
+            }
         }
         e.push_str("}}");
         self.events.push(e);

@@ -118,6 +118,17 @@ impl StallBreakdown {
             .iter()
             .map(|&r| (r, self.counts[r.index()]))
     }
+
+    /// The raw per-reason counters in [`StallReason::ALL`] order (snapshot
+    /// codecs serialize breakdowns through this).
+    pub fn to_array(&self) -> [u64; StallReason::COUNT] {
+        self.counts
+    }
+
+    /// Rebuilds a breakdown from counters in [`StallReason::ALL`] order.
+    pub fn from_array(counts: [u64; StallReason::COUNT]) -> Self {
+        StallBreakdown { counts }
+    }
 }
 
 /// Which pipeline component recorded an event.
@@ -252,6 +263,20 @@ pub enum EventKind {
         /// Row that was open.
         row: u64,
     },
+    /// The cycle loop wrote a checkpoint. Recorded *before* the snapshot is
+    /// taken so the event itself lands inside the serialized tracer state
+    /// and a resumed run replays an identical event stream.
+    Checkpoint {
+        /// Framed checkpoint size in bytes (0 when recorded pre-snapshot,
+        /// before the size is known).
+        bytes: u64,
+    },
+    /// A sweep grid point was answered from the content-addressed result
+    /// cache instead of being simulated.
+    CacheHit {
+        /// The stable cache key (config + workload content hash).
+        key: u64,
+    },
 }
 
 impl EventKind {
@@ -269,6 +294,8 @@ impl EventKind {
             EventKind::QueueLeave { .. } => "queue_leave",
             EventKind::RowActivate { .. } => "row_activate",
             EventKind::RowPrecharge { .. } => "row_precharge",
+            EventKind::Checkpoint { .. } => "checkpoint",
+            EventKind::CacheHit { .. } => "cache_hit",
         }
     }
 }
@@ -282,6 +309,229 @@ pub struct TraceEvent {
     pub site: TraceSite,
     /// Payload.
     pub kind: EventKind,
+}
+
+// ---- snapshot codec --------------------------------------------------------
+//
+// Events are `Copy` data with small closed enums, so the codec is a flat
+// tag-plus-fields layout. Tag values are part of the checkpoint format and
+// must never be reordered; new variants append new tags.
+
+use gpu_snapshot::{Decoder, Encoder, SnapshotError};
+
+impl TraceSite {
+    fn encode_state(&self, e: &mut Encoder) {
+        match *self {
+            TraceSite::Sm(i) => {
+                e.u8(0);
+                e.u32(i);
+            }
+            TraceSite::Partition(i) => {
+                e.u8(1);
+                e.u32(i);
+            }
+            TraceSite::Gpu => e.u8(2),
+        }
+    }
+
+    fn decode(d: &mut Decoder) -> Result<Self, SnapshotError> {
+        Ok(match d.u8()? {
+            0 => TraceSite::Sm(d.u32()?),
+            1 => TraceSite::Partition(d.u32()?),
+            2 => TraceSite::Gpu,
+            _ => return Err(SnapshotError::InvalidValue("unknown trace site tag")),
+        })
+    }
+}
+
+impl NetDir {
+    fn encode_state(&self, e: &mut Encoder) {
+        e.u8(match self {
+            NetDir::Request => 0,
+            NetDir::Reply => 1,
+        });
+    }
+
+    fn decode(d: &mut Decoder) -> Result<Self, SnapshotError> {
+        Ok(match d.u8()? {
+            0 => NetDir::Request,
+            1 => NetDir::Reply,
+            _ => return Err(SnapshotError::InvalidValue("unknown net direction tag")),
+        })
+    }
+}
+
+impl QueueKind {
+    fn encode_state(&self, e: &mut Encoder) {
+        e.u8(match self {
+            QueueKind::Rop => 0,
+            QueueKind::L2Input => 1,
+            QueueKind::DramController => 2,
+        });
+    }
+
+    fn decode(d: &mut Decoder) -> Result<Self, SnapshotError> {
+        Ok(match d.u8()? {
+            0 => QueueKind::Rop,
+            1 => QueueKind::L2Input,
+            2 => QueueKind::DramController,
+            _ => return Err(SnapshotError::InvalidValue("unknown queue kind tag")),
+        })
+    }
+}
+
+impl StallReason {
+    fn decode(d: &mut Decoder) -> Result<Self, SnapshotError> {
+        StallReason::ALL
+            .get(d.u8()? as usize)
+            .copied()
+            .ok_or(SnapshotError::InvalidValue("unknown stall reason tag"))
+    }
+}
+
+impl EventKind {
+    fn encode_state(&self, e: &mut Encoder) {
+        match *self {
+            EventKind::Stall { reason } => {
+                e.u8(0);
+                e.u8(reason.index() as u8);
+            }
+            EventKind::Coalesce {
+                warp,
+                accesses,
+                lines,
+            } => {
+                e.u8(1);
+                e.u32(warp);
+                e.u32(accesses);
+                e.u32(lines);
+            }
+            EventKind::MshrAllocate { line } => {
+                e.u8(2);
+                e.u64(line);
+            }
+            EventKind::MshrMerge { line } => {
+                e.u8(3);
+                e.u64(line);
+            }
+            EventKind::MshrFill { line, waiters } => {
+                e.u8(4);
+                e.u64(line);
+                e.u32(waiters);
+            }
+            EventKind::IcntInject { net, req, port } => {
+                e.u8(5);
+                net.encode_state(e);
+                e.u64(req);
+                e.u32(port);
+            }
+            EventKind::IcntEject { net, req, port } => {
+                e.u8(6);
+                net.encode_state(e);
+                e.u64(req);
+                e.u32(port);
+            }
+            EventKind::QueueEnter { queue, req } => {
+                e.u8(7);
+                queue.encode_state(e);
+                e.u64(req);
+            }
+            EventKind::QueueLeave { queue, req } => {
+                e.u8(8);
+                queue.encode_state(e);
+                e.u64(req);
+            }
+            EventKind::RowActivate { bank, row } => {
+                e.u8(9);
+                e.u32(bank);
+                e.u64(row);
+            }
+            EventKind::RowPrecharge { bank, row } => {
+                e.u8(10);
+                e.u32(bank);
+                e.u64(row);
+            }
+            EventKind::Checkpoint { bytes } => {
+                e.u8(11);
+                e.u64(bytes);
+            }
+            EventKind::CacheHit { key } => {
+                e.u8(12);
+                e.u64(key);
+            }
+        }
+    }
+
+    fn decode(d: &mut Decoder) -> Result<Self, SnapshotError> {
+        Ok(match d.u8()? {
+            0 => EventKind::Stall {
+                reason: StallReason::decode(d)?,
+            },
+            1 => EventKind::Coalesce {
+                warp: d.u32()?,
+                accesses: d.u32()?,
+                lines: d.u32()?,
+            },
+            2 => EventKind::MshrAllocate { line: d.u64()? },
+            3 => EventKind::MshrMerge { line: d.u64()? },
+            4 => EventKind::MshrFill {
+                line: d.u64()?,
+                waiters: d.u32()?,
+            },
+            5 => EventKind::IcntInject {
+                net: NetDir::decode(d)?,
+                req: d.u64()?,
+                port: d.u32()?,
+            },
+            6 => EventKind::IcntEject {
+                net: NetDir::decode(d)?,
+                req: d.u64()?,
+                port: d.u32()?,
+            },
+            7 => EventKind::QueueEnter {
+                queue: QueueKind::decode(d)?,
+                req: d.u64()?,
+            },
+            8 => EventKind::QueueLeave {
+                queue: QueueKind::decode(d)?,
+                req: d.u64()?,
+            },
+            9 => EventKind::RowActivate {
+                bank: d.u32()?,
+                row: d.u64()?,
+            },
+            10 => EventKind::RowPrecharge {
+                bank: d.u32()?,
+                row: d.u64()?,
+            },
+            11 => EventKind::Checkpoint { bytes: d.u64()? },
+            12 => EventKind::CacheHit { key: d.u64()? },
+            _ => return Err(SnapshotError::InvalidValue("unknown event kind tag")),
+        })
+    }
+}
+
+impl TraceEvent {
+    /// Serializes one event (cycle, site, tagged payload).
+    pub fn encode_state(&self, e: &mut Encoder) {
+        e.u64(self.cycle);
+        self.site.encode_state(e);
+        self.kind.encode_state(e);
+    }
+
+    /// Decodes one event, rejecting unknown tags with a typed error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::InvalidValue`] on an unknown site, kind,
+    /// reason, net or queue tag, and propagates decoder errors.
+    pub fn decode(d: &mut Decoder) -> Result<Self, SnapshotError> {
+        Ok(TraceEvent {
+            cycle: d.u64()?,
+            site: TraceSite::decode(d)?,
+            kind: EventKind::decode(d)?,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -325,6 +575,120 @@ mod tests {
         }
         let names: Vec<_> = StallReason::ALL.iter().map(|r| r.name()).collect();
         assert_eq!(names.len(), StallReason::COUNT);
+    }
+
+    /// One event of every kind, covering each tag and payload shape.
+    fn one_of_each_kind() -> Vec<TraceEvent> {
+        let kinds = [
+            EventKind::Stall {
+                reason: StallReason::IcntBackpressure,
+            },
+            EventKind::Coalesce {
+                warp: 3,
+                accesses: 32,
+                lines: 5,
+            },
+            EventKind::MshrAllocate { line: 0x1280 },
+            EventKind::MshrMerge { line: 0x1280 },
+            EventKind::MshrFill {
+                line: 0x1280,
+                waiters: 2,
+            },
+            EventKind::IcntInject {
+                net: NetDir::Request,
+                req: 12,
+                port: 0,
+            },
+            EventKind::IcntEject {
+                net: NetDir::Reply,
+                req: 12,
+                port: 7,
+            },
+            EventKind::QueueEnter {
+                queue: QueueKind::L2Input,
+                req: 44,
+            },
+            EventKind::QueueLeave {
+                queue: QueueKind::DramController,
+                req: 44,
+            },
+            EventKind::RowActivate { bank: 5, row: 900 },
+            EventKind::RowPrecharge { bank: 5, row: 900 },
+            EventKind::Checkpoint { bytes: 1 << 20 },
+            EventKind::CacheHit {
+                key: 0xdead_beef_cafe_f00d,
+            },
+        ];
+        let sites = [TraceSite::Sm(2), TraceSite::Partition(1), TraceSite::Gpu];
+        kinds
+            .into_iter()
+            .enumerate()
+            .map(|(i, kind)| TraceEvent {
+                cycle: 100 + i as u64,
+                site: sites[i % sites.len()],
+                kind,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn event_codec_round_trips_every_kind() {
+        let events = one_of_each_kind();
+        let mut e = gpu_snapshot::Encoder::new();
+        for ev in &events {
+            ev.encode_state(&mut e);
+        }
+        let framed = e.finish();
+
+        let mut d = gpu_snapshot::Decoder::open(&framed).unwrap();
+        let mut decoded = Vec::new();
+        for _ in 0..events.len() {
+            decoded.push(TraceEvent::decode(&mut d).unwrap());
+        }
+        d.expect_end().unwrap();
+        assert_eq!(decoded, events);
+
+        // Re-encoding the decoded events reproduces identical bytes.
+        let mut e2 = gpu_snapshot::Encoder::new();
+        for ev in &decoded {
+            ev.encode_state(&mut e2);
+        }
+        assert_eq!(e2.finish(), framed);
+    }
+
+    #[test]
+    fn event_decode_rejects_unknown_tags() {
+        // A site tag of 9 does not exist.
+        let mut e = gpu_snapshot::Encoder::new();
+        e.u64(5);
+        e.u8(9);
+        let framed = e.finish();
+        let mut d = gpu_snapshot::Decoder::open(&framed).unwrap();
+        assert!(matches!(
+            TraceEvent::decode(&mut d),
+            Err(gpu_snapshot::SnapshotError::InvalidValue(_))
+        ));
+
+        // A kind tag of 200 does not exist.
+        let mut e = gpu_snapshot::Encoder::new();
+        e.u64(5);
+        e.u8(2); // Gpu site
+        e.u8(200);
+        let framed = e.finish();
+        let mut d = gpu_snapshot::Decoder::open(&framed).unwrap();
+        assert!(matches!(
+            TraceEvent::decode(&mut d),
+            Err(gpu_snapshot::SnapshotError::InvalidValue(_))
+        ));
+    }
+
+    #[test]
+    fn breakdown_array_round_trip() {
+        let mut b = StallBreakdown::new();
+        b.bump(StallReason::Barrier);
+        b.bump(StallReason::Other);
+        b.bump(StallReason::Other);
+        assert_eq!(StallBreakdown::from_array(b.to_array()), b);
     }
 
     #[test]

@@ -56,6 +56,12 @@ pub fn events_jsonl(events: &[TraceEvent]) -> String {
             EventKind::RowActivate { bank, row } | EventKind::RowPrecharge { bank, row } => {
                 out.push_str(&format!(",\"bank\":{bank},\"row\":{row}"));
             }
+            EventKind::Checkpoint { bytes } => {
+                out.push_str(&format!(",\"bytes\":{bytes}"));
+            }
+            EventKind::CacheHit { key } => {
+                out.push_str(&format!(",\"key\":{key}"));
+            }
         }
         out.push_str("}\n");
     }

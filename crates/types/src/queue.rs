@@ -218,6 +218,30 @@ impl<T> DelayQueue<T> {
     pub fn capacity(&self) -> usize {
         self.capacity
     }
+
+    /// Iterates over in-flight entries from oldest to newest as
+    /// `(ready_at, item)` pairs — the raw state a snapshot must capture to
+    /// reconstruct the queue exactly.
+    pub fn entries(&self) -> impl Iterator<Item = (Cycle, &T)> {
+        self.items.iter().map(|(at, item)| (*at, item))
+    }
+
+    /// Enqueues `item` with an explicit absolute ready time, bypassing the
+    /// `now + delay` computation. This exists for snapshot restore: entries
+    /// must re-enter the queue with their original ready times, in their
+    /// original order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PushError`] carrying `item` back if all slots are occupied.
+    pub fn push_with_ready_at(&mut self, ready_at: Cycle, item: T) -> Result<(), PushError<T>> {
+        if self.items.len() >= self.capacity {
+            Err(PushError(item))
+        } else {
+            self.items.push_back((ready_at, item));
+            Ok(())
+        }
+    }
 }
 
 #[cfg(test)]
@@ -291,6 +315,35 @@ mod tests {
         assert_eq!(q.pop_ready(Cycle::new(3)), Some(7));
         assert_eq!(q.delay(), 0);
         assert_eq!(q.capacity(), 1);
+    }
+
+    #[test]
+    fn delay_queue_state_round_trips_through_entries() {
+        let mut q = DelayQueue::new(4, 10);
+        q.push(Cycle::new(0), 'x').unwrap();
+        q.push(Cycle::new(3), 'y').unwrap();
+        let saved: Vec<(Cycle, char)> = q.entries().map(|(at, c)| (at, *c)).collect();
+        assert_eq!(saved, vec![(Cycle::new(10), 'x'), (Cycle::new(13), 'y')]);
+
+        let mut restored = DelayQueue::new(4, 10);
+        for (at, c) in saved {
+            restored.push_with_ready_at(at, c).unwrap();
+        }
+        assert_eq!(restored.pop_ready(Cycle::new(9)), None);
+        assert_eq!(restored.pop_ready(Cycle::new(10)), Some('x'));
+        assert_eq!(restored.pop_ready(Cycle::new(13)), Some('y'));
+    }
+
+    #[test]
+    fn push_with_ready_at_respects_capacity() {
+        let mut q = DelayQueue::new(1, 0);
+        q.push_with_ready_at(Cycle::new(5), 1u8).unwrap();
+        assert_eq!(
+            q.push_with_ready_at(Cycle::new(5), 2u8)
+                .unwrap_err()
+                .into_inner(),
+            2
+        );
     }
 
     #[test]

@@ -9,7 +9,8 @@
 //! latency-critical.
 
 use gpu_isa::{CmpOp, Kernel, KernelBuilder, Launch, Special, Width};
-use gpu_sim::{Gpu, SimError};
+use gpu_sim::{CheckpointPolicy, Gpu, RunOutcome, SimError};
+use gpu_snapshot::{Decoder, Encoder, SnapshotError};
 use gpu_types::Addr;
 
 use crate::graph::Graph;
@@ -367,15 +368,7 @@ pub fn run_bfs_mask(
     assert!(source < dev.num_nodes, "source out of range");
     assert!(block_dim > 0, "block_dim must be positive");
     let n = dev.num_nodes;
-    let cost_init: Vec<u32> = (0..n)
-        .map(|i| if i == source { 0 } else { UNVISITED })
-        .collect();
-    gpu.device_mut().write_u32_slice(dev.cost, &cost_init);
-    let mut zeroes = vec![0u32; n as usize];
-    gpu.device_mut().write_u32_slice(dev.updating, &zeroes);
-    zeroes[source as usize] = 1;
-    gpu.device_mut().write_u32_slice(dev.mask, &zeroes);
-    gpu.device_mut().write_u32_slice(dev.visited, &zeroes);
+    init_mask_state(gpu, dev, source);
 
     let k1 = build_bfs_mask_kernel1();
     let k2 = build_bfs_mask_kernel2();
@@ -434,6 +427,221 @@ pub fn run_bfs_mask(
 pub fn read_costs(gpu: &Gpu, dev: &BfsMaskDevice) -> Vec<u32> {
     gpu.device()
         .read_u32_slice(dev.cost, dev.num_nodes as usize)
+}
+
+/// Seeds the device arrays for a mask BFS from `source`.
+fn init_mask_state(gpu: &mut Gpu, dev: &BfsMaskDevice, source: u32) {
+    let n = dev.num_nodes;
+    let cost_init: Vec<u32> = (0..n)
+        .map(|i| if i == source { 0 } else { UNVISITED })
+        .collect();
+    gpu.device_mut().write_u32_slice(dev.cost, &cost_init);
+    let mut zeroes = vec![0u32; n as usize];
+    gpu.device_mut().write_u32_slice(dev.updating, &zeroes);
+    zeroes[source as usize] = 1;
+    gpu.device_mut().write_u32_slice(dev.mask, &zeroes);
+    gpu.device_mut().write_u32_slice(dev.visited, &zeroes);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpointed mask BFS: the host loop state rides inside the GPU checkpoint
+// as an opaque tag, so a killed traversal resumes mid-level and completes
+// cycle-identically to an uninterrupted one.
+// ---------------------------------------------------------------------------
+
+/// Kernel 1 (expand) of the tagged level is in flight.
+const PHASE_EXPAND: u8 = 1;
+/// Kernel 2 (commit) of the tagged level is in flight.
+const PHASE_COMMIT: u8 = 2;
+
+/// Outcome of a checkpointed mask-BFS traversal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BfsMaskOutcome {
+    /// The traversal ran to completion.
+    Completed(BfsRun),
+    /// The deterministic kill switch fired at this cycle; resume from the
+    /// newest checkpoint with [`resume_bfs_mask`].
+    Killed {
+        /// Cycle at which the run was killed.
+        at: u64,
+    },
+}
+
+fn encode_mask_tag(dev: &BfsMaskDevice, block_dim: u32, levels_run: u32, phase: u8) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.u64(dev.row_offsets.get());
+    e.u64(dev.cols.get());
+    e.u64(dev.cost.get());
+    e.u64(dev.mask.get());
+    e.u64(dev.updating.get());
+    e.u64(dev.visited.get());
+    e.u64(dev.more.get());
+    e.u32(dev.num_nodes);
+    e.u32(block_dim);
+    e.u32(levels_run);
+    e.u8(phase);
+    e.finish()
+}
+
+fn decode_mask_tag(bytes: &[u8]) -> Result<(BfsMaskDevice, u32, u32, u8), SnapshotError> {
+    let mut d = Decoder::open(bytes)?;
+    let dev = BfsMaskDevice {
+        row_offsets: Addr::new(d.u64()?),
+        cols: Addr::new(d.u64()?),
+        cost: Addr::new(d.u64()?),
+        mask: Addr::new(d.u64()?),
+        updating: Addr::new(d.u64()?),
+        visited: Addr::new(d.u64()?),
+        more: Addr::new(d.u64()?),
+        num_nodes: d.u32()?,
+    };
+    let block_dim = d.u32()?;
+    let levels_run = d.u32()?;
+    let phase = d.u8()?;
+    if block_dim == 0 || dev.num_nodes == 0 {
+        return Err(SnapshotError::InvalidValue("BFS tag has empty geometry"));
+    }
+    if phase != PHASE_EXPAND && phase != PHASE_COMMIT {
+        return Err(SnapshotError::InvalidValue("BFS tag has an unknown phase"));
+    }
+    d.expect_end()?;
+    Ok((dev, block_dim, levels_run, phase))
+}
+
+/// Decodes just the device layout from a checkpoint's host tag, so a
+/// resuming driver can read results back after the traversal completes.
+///
+/// # Errors
+///
+/// Rejects tags not written by [`run_bfs_mask_checkpointed`].
+pub fn peek_mask_tag(bytes: &[u8]) -> Result<BfsMaskDevice, SnapshotError> {
+    decode_mask_tag(bytes).map(|(dev, ..)| dev)
+}
+
+/// Runs the Rodinia-style mask BFS under a checkpoint policy: periodic
+/// snapshots land in `policy.dir`, each carrying the host loop's position
+/// (level and in-flight kernel) so [`resume_bfs_mask`] can pick the
+/// traversal up mid-level. With `policy.kill_at` set, the run stops
+/// deterministically at that cycle and reports [`BfsMaskOutcome::Killed`].
+///
+/// # Errors
+///
+/// Propagates simulator and checkpoint-write errors.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range or `block_dim` is zero.
+pub fn run_bfs_mask_checkpointed(
+    gpu: &mut Gpu,
+    dev: &BfsMaskDevice,
+    source: u32,
+    block_dim: u32,
+    policy: &CheckpointPolicy,
+) -> Result<BfsMaskOutcome, SimError> {
+    assert!(source < dev.num_nodes, "source out of range");
+    assert!(block_dim > 0, "block_dim must be positive");
+    init_mask_state(gpu, dev, source);
+    gpu.device_mut().write_u32(dev.more, 0);
+    launch_mask_expand(gpu, dev, block_dim)?;
+    gpu.set_host_tag(encode_mask_tag(dev, block_dim, 0, PHASE_EXPAND));
+    drive_mask_loop(gpu, dev, block_dim, 0, PHASE_EXPAND, policy)
+}
+
+/// Continues a mask BFS restored from a checkpoint (the in-flight kernel and
+/// the host loop position both live in the checkpoint). The `gpu` must come
+/// from [`Gpu::restore`] / [`Gpu::resume_latest`] on a checkpoint written by
+/// [`run_bfs_mask_checkpointed`].
+///
+/// # Errors
+///
+/// Returns [`SimError::Checkpoint`] when the checkpoint carries no valid
+/// BFS host tag; otherwise propagates simulator errors.
+pub fn resume_bfs_mask(
+    gpu: &mut Gpu,
+    policy: &CheckpointPolicy,
+) -> Result<BfsMaskOutcome, SimError> {
+    let (dev, block_dim, levels_run, phase) = decode_mask_tag(gpu.host_tag())
+        .map_err(|e| SimError::Checkpoint(format!("checkpoint carries no BFS host tag: {e}")))?;
+    drive_mask_loop(gpu, &dev, block_dim, levels_run, phase, policy)
+}
+
+fn launch_mask_expand(gpu: &mut Gpu, dev: &BfsMaskDevice, block_dim: u32) -> Result<(), SimError> {
+    let grid = dev.num_nodes.div_ceil(block_dim);
+    gpu.launch(
+        build_bfs_mask_kernel1(),
+        Launch::new(
+            grid,
+            block_dim,
+            vec![
+                dev.row_offsets.get(),
+                dev.cols.get(),
+                dev.cost.get(),
+                dev.mask.get(),
+                dev.updating.get(),
+                dev.visited.get(),
+                dev.num_nodes as u64,
+            ],
+        ),
+    )
+}
+
+fn launch_mask_commit(gpu: &mut Gpu, dev: &BfsMaskDevice, block_dim: u32) -> Result<(), SimError> {
+    let grid = dev.num_nodes.div_ceil(block_dim);
+    gpu.launch(
+        build_bfs_mask_kernel2(),
+        Launch::new(
+            grid,
+            block_dim,
+            vec![
+                dev.mask.get(),
+                dev.updating.get(),
+                dev.visited.get(),
+                dev.more.get(),
+                dev.num_nodes as u64,
+            ],
+        ),
+    )
+}
+
+/// The shared level loop: finishes the in-flight kernel for `phase`, then
+/// alternates expand/commit launches until the commit kernel discovers
+/// nothing. The host tag is refreshed before every run so any checkpoint
+/// written during it carries the loop position that produced it.
+fn drive_mask_loop(
+    gpu: &mut Gpu,
+    dev: &BfsMaskDevice,
+    block_dim: u32,
+    mut levels_run: u32,
+    mut phase: u8,
+    policy: &CheckpointPolicy,
+) -> Result<BfsMaskOutcome, SimError> {
+    let n = dev.num_nodes;
+    let mut instructions;
+    loop {
+        match gpu.run_checkpointed(500_000_000, policy)? {
+            RunOutcome::Killed { at } => return Ok(BfsMaskOutcome::Killed { at }),
+            RunOutcome::Completed(summary) => instructions = summary.instructions,
+        }
+        if phase == PHASE_EXPAND {
+            launch_mask_commit(gpu, dev, block_dim)?;
+            phase = PHASE_COMMIT;
+        } else {
+            levels_run += 1;
+            if gpu.device().read_u32(dev.more) == 0 || levels_run > n {
+                break;
+            }
+            gpu.device_mut().write_u32(dev.more, 0);
+            launch_mask_expand(gpu, dev, block_dim)?;
+            phase = PHASE_EXPAND;
+        }
+        gpu.set_host_tag(encode_mask_tag(dev, block_dim, levels_run, phase));
+    }
+    Ok(BfsMaskOutcome::Completed(BfsRun {
+        levels_run,
+        frontier_sizes: Vec::new(),
+        total_cycles: gpu.now().get(),
+        instructions,
+    }))
 }
 
 #[cfg(test)]
