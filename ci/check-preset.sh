@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Run one architecture preset end to end and pin its timing:
+#   1. table1 --preset <p>  — the paper's Table I row (asserts internally
+#      that measured latencies match the analytic unloaded model).
+#   2. trace  --preset <p>  — a small deterministic BFS with --validate
+#      (span tiling + sanitizer), producing a metrics.txt.
+#   3. Hash metrics.txt minus the wall-clock lines and diff against the
+#      committed golden in ci/metrics-goldens.txt.
+#
+# Usage: ci/check-preset.sh <preset> [--update]
+#   --update rewrites the preset's golden line instead of checking it.
+set -euo pipefail
+
+preset="${1:?usage: ci/check-preset.sh <preset> [--update]}"
+mode="${2:-}"
+goldens="$(dirname "$0")/metrics-goldens.txt"
+out="target/ci-bundle-$preset"
+
+cargo run --release --offline -p latency-bench --bin table1 -- --preset "$preset"
+cargo run --release --offline -p latency-bench --bin trace -- \
+  --preset "$preset" --workload bfs --nodes 512 --degree 4 --block-dim 64 \
+  --out "$out" --validate
+
+actual=$(grep -Ev '^(host_nanos|cycles_per_second) ' "$out/metrics.txt" |
+  sha256sum | awk '{print $1}')
+
+if [ "$mode" = "--update" ]; then
+  sed -i "s/^$preset .*/$preset $actual/" "$goldens"
+  echo "updated golden: $preset $actual"
+  exit 0
+fi
+
+expected=$(awk -v p="$preset" '$1 == p {print $2}' "$goldens")
+if [ -z "$expected" ]; then
+  echo "error: no golden recorded for preset '$preset' in $goldens" >&2
+  exit 1
+fi
+if [ "$actual" != "$expected" ]; then
+  echo "metrics drift for preset '$preset':" >&2
+  echo "  expected $expected" >&2
+  echo "  actual   $actual" >&2
+  echo "filtered metrics.txt:" >&2
+  grep -Ev '^(host_nanos|cycles_per_second) ' "$out/metrics.txt" >&2
+  exit 1
+fi
+echo "$preset: metrics match committed golden ($actual)"

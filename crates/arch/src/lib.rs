@@ -1,0 +1,1374 @@
+//! Declarative GPU architecture descriptions.
+//!
+//! The paper's central observation (§II, Table I) is that latency *structure*
+//! varies by generation: which cache levels exist, which address spaces each
+//! serves (Tesla: uncached global; Kepler: L1 local-only; Maxwell: no L1),
+//! and how deep the queues between them are. An [`ArchDesc`] captures that
+//! structure as data — an ordered list of [`LevelDesc`] entries plus SM,
+//! fabric and DRAM timing — so a new generation is a new table, not new
+//! `match` arms scattered across the simulator.
+//!
+//! The `gpu-sim` crate constructs its `GpuConfig` *from* a description
+//! (`GpuConfig::from_arch`) and can reconstruct the description from any
+//! config (`GpuConfig::arch_desc`); the two forms are interconvertible.
+//! Validation lives here ([`ArchDesc::validate`], typed [`ConfigError`]),
+//! as do the generic level-list walks for unloaded latencies
+//! ([`ArchDesc::unloaded_latency`]) and the derivation of the paper's
+//! Figure-1 stage labels ([`ArchDesc::fig1_stage_labels`]).
+
+use std::fmt;
+
+use gpu_icnt::IcntConfig;
+use gpu_mem::{CacheConfig, DramSched, DramTiming, MshrConfig, PipelineSpace, Replacement};
+use gpu_snapshot::{Decoder, Encoder, SnapshotError, StableHasher};
+
+/// Version tag of the [`ArchDesc`] snapshot frame. Bumped whenever the
+/// encoded field set changes; [`ArchDesc::decode`] rejects mismatches with a
+/// typed error instead of misreading the stream.
+pub const ARCH_DESC_VERSION: u32 = 1;
+
+/// Warp scheduling policy of an SM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedPolicy {
+    /// Loose round-robin: rotate priority one slot past the last issuer.
+    Lrr,
+    /// Greedy-then-oldest: keep issuing the same warp until it stalls, then
+    /// fall back to the oldest ready warp.
+    Gto,
+}
+
+/// How a cache level handles stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WritePolicy {
+    /// Write-through, no-allocate, write-evict: every store goes to DRAM
+    /// (the workspace default, and the policy the Table-I calibration
+    /// assumes).
+    WriteThrough,
+    /// Write-back with write-allocate (no fetch-on-write): stores complete
+    /// at the cache and dirty victims are written back on eviction — closer
+    /// to real Fermi's L2 and available as an ablation (experiment E8).
+    WriteBack,
+}
+
+/// The position a level occupies in the memory pipeline. The kind fixes a
+/// level's structural role (where its queues sit, which stamps delimit it);
+/// everything tunable about it lives in its [`LevelDesc`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LevelKind {
+    /// Per-SM first-level cache, probed before the interconnect.
+    L1,
+    /// Per-partition second-level slice behind the ROP pipeline.
+    L2,
+    /// The DRAM channel front: controller queue + banked timing. Always the
+    /// last level; never carries a tag array.
+    DramFront,
+}
+
+impl LevelKind {
+    /// Every kind, in pipeline order.
+    pub const ALL: [LevelKind; 3] = [LevelKind::L1, LevelKind::L2, LevelKind::DramFront];
+
+    /// Display label used in error messages and derived stage names.
+    pub const fn label(self) -> &'static str {
+        match self {
+            LevelKind::L1 => "L1",
+            LevelKind::L2 => "L2",
+            LevelKind::DramFront => "DRAM",
+        }
+    }
+
+    /// Sanitizer label of the bounded queue feeding this level (the L1's
+    /// miss queue toward the interconnect, the L2's input queue from the
+    /// ROP, the DRAM controller queue). These are `&'static str` so the
+    /// sanitizer's violation codec can round-trip them by table index.
+    pub const fn queue_label(self) -> &'static str {
+        match self {
+            LevelKind::L1 => "miss",
+            LevelKind::L2 => "l2-input",
+            LevelKind::DramFront => "dram",
+        }
+    }
+
+    /// Sanitizer label of this level's hit-return pipe.
+    pub const fn hit_pipe_label(self) -> &'static str {
+        match self {
+            LevelKind::L1 => "l1-hit",
+            LevelKind::L2 => "l2-hit",
+            LevelKind::DramFront => "dram-return",
+        }
+    }
+
+    fn tag(self) -> u8 {
+        match self {
+            LevelKind::L1 => 0,
+            LevelKind::L2 => 1,
+            LevelKind::DramFront => 2,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<Self, SnapshotError> {
+        match tag {
+            0 => Ok(LevelKind::L1),
+            1 => Ok(LevelKind::L2),
+            2 => Ok(LevelKind::DramFront),
+            _ => Err(SnapshotError::InvalidValue("unknown level-kind tag")),
+        }
+    }
+}
+
+impl fmt::Display for LevelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Which pipeline address spaces a cache level serves — the per-generation
+/// routing table at the heart of the paper's §II discussion (Fermi L1:
+/// global+local; Kepler L1: local only; GK110 read-only path: global too).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Routing {
+    /// Serve global-space accesses?
+    pub global: bool,
+    /// Serve local-space accesses?
+    pub local: bool,
+}
+
+impl Routing {
+    /// Serves every pipeline space.
+    pub const ALL: Routing = Routing {
+        global: true,
+        local: true,
+    };
+    /// Serves nothing (the routing of an absent cache).
+    pub const NONE: Routing = Routing {
+        global: false,
+        local: false,
+    };
+
+    /// Returns `true` if accesses of `space` are routed through this level.
+    pub fn serves(self, space: PipelineSpace) -> bool {
+        match space {
+            PipelineSpace::Global => self.global,
+            PipelineSpace::Local => self.local,
+        }
+    }
+}
+
+/// Tag-array geometry of a cache level: the part of a [`LevelDesc`] that
+/// exists only when the level actually has a cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheGeom {
+    /// Set/way/line geometry.
+    pub cache: CacheConfig,
+    /// MSHR table (entries × merge depth).
+    pub mshr: MshrConfig,
+    /// Hit latency: probe-to-data, in cycles.
+    pub hit_latency: u64,
+}
+
+/// One level of the memory hierarchy. The simulator instantiates the level's
+/// structural skeleton (its bounded queue, its hit pipe) whether or not the
+/// tag array exists — a Tesla partition still has an input queue in front of
+/// its DRAM path — so `queue` and the labels are always meaningful, while
+/// `geom` and `routing` matter only for levels that cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LevelDesc {
+    /// Structural role of this level.
+    pub kind: LevelKind,
+    /// Tag array, MSHRs and hit latency; `None` for generations without
+    /// this cache (and always `None` for the DRAM front).
+    pub geom: Option<CacheGeom>,
+    /// Capacity of the bounded queue feeding this level: the L1's miss
+    /// queue toward the interconnect (the paper's `L1toICNT` queue), the
+    /// L2's input queue behind the ROP, the DRAM controller queue.
+    pub queue: usize,
+    /// Address spaces this level serves ([`Routing::NONE`] when `geom` is
+    /// absent).
+    pub routing: Routing,
+    /// Store handling at this level (meaningful for the L2).
+    pub write_policy: WritePolicy,
+}
+
+impl LevelDesc {
+    /// The MSHR configuration to size this level's table with: the real one
+    /// when a cache exists, or a 1×1 placeholder for the always-empty table
+    /// of a cacheless level (the simulator instantiates the table either
+    /// way so the fill path is uniform).
+    pub fn mshr_config(&self) -> MshrConfig {
+        self.geom.map_or(
+            MshrConfig {
+                entries: 1,
+                max_merged: 1,
+            },
+            |g| g.mshr,
+        )
+    }
+
+    /// This level's routing, masked by cache presence: an absent cache
+    /// serves nothing regardless of what the routing table says.
+    pub fn effective_routing(&self) -> Routing {
+        if self.geom.is_some() {
+            self.routing
+        } else {
+            Routing::NONE
+        }
+    }
+}
+
+/// SM core timing and geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SmDesc {
+    /// Threads per warp (≤ 32).
+    pub warp_size: u32,
+    /// Warp slots per SM.
+    pub max_warps: usize,
+    /// Maximum concurrent CTAs per SM.
+    pub max_ctas: usize,
+    /// Instructions issued per SM per cycle (distinct warps).
+    pub issue_width: usize,
+    /// Warp scheduler policy.
+    pub scheduler: SchedPolicy,
+    /// Integer-ALU result latency.
+    pub alu_latency: u64,
+    /// FP32 result latency.
+    pub fp_latency: u64,
+    /// SFU (div/transcendental) result latency.
+    pub sfu_latency: u64,
+    /// Shared-memory access latency.
+    pub shared_latency: u64,
+    /// Fixed in-SM front-end time for a memory access (the head of the
+    /// paper's "SM Base" component).
+    pub base_latency: u64,
+    /// Capacity of the in-SM memory front-end pipeline.
+    pub lsu_queue: usize,
+    /// Response-side writeback latency at the SM (tail of "Fetch2SM").
+    pub fill_latency: u64,
+}
+
+/// Interconnect and ROP timing between the SMs and the partitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FabricDesc {
+    /// Crossbar configuration (applied to both request and reply networks).
+    pub icnt: IcntConfig,
+    /// Fixed raster-operations pipeline latency in front of the L2.
+    pub rop_latency: u64,
+    /// ROP pipeline slot capacity.
+    pub rop_queue: usize,
+}
+
+/// DRAM channel timing and the partition-interleaved address map geometry.
+/// The controller queue capacity lives in the [`LevelKind::DramFront`]
+/// level's `queue`, with the rest of the hierarchy's queues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemDesc {
+    /// Channel timing (per partition).
+    pub timing: DramTiming,
+    /// Request scheduling algorithm.
+    pub sched: DramSched,
+    /// Number of memory partitions.
+    pub num_partitions: usize,
+    /// Partition interleave chunk in bytes.
+    pub partition_chunk: u64,
+    /// DRAM banks per partition.
+    pub banks: usize,
+    /// DRAM row size in bytes.
+    pub row_bytes: u64,
+}
+
+/// Complete declarative description of one GPU generation.
+///
+/// # Examples
+///
+/// Walk a description's hierarchy:
+///
+/// ```
+/// use gpu_arch::{ArchDesc, LevelKind};
+/// # fn demo(desc: &ArchDesc) {
+/// for level in &desc.levels {
+///     println!("{}: queue {}", level.kind, level.queue);
+/// }
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArchDesc {
+    /// Human-readable name ("GF100-like (Fermi)", …) used in reports.
+    /// Excluded from [`ArchDesc::hash_desc`] — renaming a generation must
+    /// not invalidate cached results.
+    pub name: String,
+    /// Number of streaming multiprocessors.
+    pub num_sms: usize,
+    /// Cache-line / memory-transaction size in bytes, shared by every level.
+    pub line_size: u64,
+    /// SM core timing.
+    pub sm: SmDesc,
+    /// The memory hierarchy, in pipeline order: L1, L2, DRAM front. Levels
+    /// whose cache a generation lacks keep their entry (the structural
+    /// queues still exist) with `geom: None`.
+    pub levels: Vec<LevelDesc>,
+    /// Interconnect and ROP timing.
+    pub fabric: FabricDesc,
+    /// DRAM channel timing and address-map geometry.
+    pub mem: MemDesc,
+}
+
+impl ArchDesc {
+    /// The level of the given kind, if the description lists it.
+    pub fn level(&self, kind: LevelKind) -> Option<&LevelDesc> {
+        self.levels.iter().find(|l| l.kind == kind)
+    }
+
+    /// Returns `true` if the level of `kind` exists, has a cache, and its
+    /// routing serves `space`.
+    pub fn serves(&self, kind: LevelKind, space: PipelineSpace) -> bool {
+        self.level(kind)
+            .is_some_and(|l| l.effective_routing().serves(space))
+    }
+
+    /// The microbenchmark transform: the same machine shrunk to one SM and
+    /// one partition. Every pipeline latency, queue depth and cache
+    /// geometry is untouched, so a single-threaded pointer chase measures
+    /// identical per-access latencies while the simulator does a fraction
+    /// of the work. This is the documented relationship between
+    /// `ArchPreset::config()` and `ArchPreset::config_microbench()`: one
+    /// description, two machine sizes.
+    pub fn microbench(&self) -> ArchDesc {
+        let mut d = self.clone();
+        d.num_sms = 1;
+        d.mem.num_partitions = 1;
+        d
+    }
+
+    /// Validates structural invariants, returning the first problem found
+    /// in a fixed order: machine geometry, SM front-end, fabric queues,
+    /// then each level in pipeline order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the violated invariant as a typed [`ConfigError`] (its
+    /// `Display` text names the problem).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.validate_topology()?;
+        if self.num_sms == 0 {
+            return Err(ConfigError::NoSms);
+        }
+        if self.mem.num_partitions == 0 {
+            return Err(ConfigError::NoPartitions);
+        }
+        if !(1..=32).contains(&self.sm.warp_size) {
+            return Err(ConfigError::WarpSize);
+        }
+        if self.sm.issue_width == 0 {
+            return Err(ConfigError::IssueWidth);
+        }
+        if self.sm.max_warps == 0 {
+            return Err(ConfigError::NoWarpSlots);
+        }
+        if self.sm.max_ctas == 0 {
+            return Err(ConfigError::NoCtaSlots);
+        }
+        if self.line_size == 0 || !self.line_size.is_power_of_two() {
+            return Err(ConfigError::LineSize);
+        }
+        // The coalescer emits up to warp_size + 1 transactions per access
+        // and the issue stage requires that much free space, so a smaller
+        // front-end pipe could never issue a memory instruction.
+        if self.sm.lsu_queue <= self.sm.warp_size as usize {
+            return Err(ConfigError::LsuQueue);
+        }
+        if self.fabric.rop_queue == 0 {
+            return Err(ConfigError::RopQueue);
+        }
+        if self.fabric.icnt.output_queue == 0 {
+            return Err(ConfigError::IcntQueue);
+        }
+        // A zero-capacity queue is a pipeline stage that can never hold a
+        // request: the machine deadlocks. The DRAM front's queue is checked
+        // first (matching the historical check order); cache levels follow
+        // in pipeline order.
+        let dram = self.level(LevelKind::DramFront).expect("topology checked");
+        if dram.queue == 0 {
+            return Err(ConfigError::LevelQueue(LevelKind::DramFront));
+        }
+        for level in &self.levels {
+            let Some(geom) = &level.geom else { continue };
+            if geom.cache.line_size != self.line_size {
+                return Err(ConfigError::LevelLineSize(level.kind));
+            }
+            if level.queue == 0 {
+                return Err(ConfigError::LevelQueue(level.kind));
+            }
+            if geom.mshr.entries == 0 {
+                return Err(ConfigError::MshrEntries(level.kind));
+            }
+            if geom.mshr.max_merged == 0 {
+                return Err(ConfigError::MshrMergeDepth(level.kind));
+            }
+        }
+        // Adjacent cache levels must be ordered: a hit further out can
+        // never be faster than a hit closer in.
+        let caches: Vec<&LevelDesc> = self.levels.iter().filter(|l| l.geom.is_some()).collect();
+        for pair in caches.windows(2) {
+            let (upper, lower) = (pair[0], pair[1]);
+            let (ug, lg) = (upper.geom.expect("filtered"), lower.geom.expect("filtered"));
+            if ug.hit_latency >= lg.hit_latency {
+                return Err(ConfigError::LevelOrdering {
+                    upper: upper.kind,
+                    upper_hit: ug.hit_latency,
+                    lower: lower.kind,
+                    lower_hit: lg.hit_latency,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The level list must name each kind exactly once, in pipeline order,
+    /// and the DRAM front can never carry a tag array — the shape the
+    /// simulator's component skeleton is built around.
+    fn validate_topology(&self) -> Result<(), ConfigError> {
+        if self.levels.len() != LevelKind::ALL.len()
+            || self
+                .levels
+                .iter()
+                .zip(LevelKind::ALL)
+                .any(|(l, k)| l.kind != k)
+        {
+            return Err(ConfigError::UnsupportedTopology(
+                "level list must name L1, L2 and the DRAM front exactly once, in pipeline order",
+            ));
+        }
+        let dram = self.level(LevelKind::DramFront).expect("length checked");
+        if dram.geom.is_some() {
+            return Err(ConfigError::UnsupportedTopology(
+                "the DRAM front never carries a tag array",
+            ));
+        }
+        Ok(())
+    }
+
+    // ---- generic latency walks --------------------------------------------
+
+    /// Analytic unloaded (zero-contention) latency of a hit at the level of
+    /// the given kind, as one generic walk over the level list:
+    ///
+    /// - The first (SM-side) level resolves hits locally over the direct
+    ///   writeback path: `base + hit`.
+    /// - A miss is detected by a same-cycle tag probe, and the miss queue
+    ///   drains into interconnect injection without a residency cycle, so
+    ///   leaving the SM costs the fabric alone: request traversal + ROP +
+    ///   reply traversal.
+    /// - Every partition-side level is entered through a bounded queue that
+    ///   costs one cycle of residency whether or not its tag array exists
+    ///   (a Tesla partition still queues in front of its DRAM path).
+    /// - The target level's access cost is its hit latency — or, for the
+    ///   DRAM front, the steady-state row-*conflict* path plus the data
+    ///   burst (a pointer-chase ring revisits each bank with a new row).
+    /// - Responses re-enter the SM through the fill stage.
+    ///
+    /// Returns `None` when the target level has no cache (and is not the
+    /// DRAM front), or is not listed.
+    pub fn unloaded_latency(&self, target: LevelKind) -> Option<u64> {
+        let mut levels = self.levels.iter();
+        let mut cost = self.sm.base_latency;
+        if let Some(first) = levels.next() {
+            if first.kind == target {
+                return Some(cost + first.geom?.hit_latency);
+            }
+        }
+        cost += 2 * self.fabric.icnt.latency + self.fabric.rop_latency;
+        for level in levels {
+            cost += 1;
+            if level.kind != target {
+                continue;
+            }
+            let access = match level.kind {
+                LevelKind::DramFront => self.mem.timing.row_conflict() + self.mem.timing.burst,
+                _ => level.geom?.hit_latency,
+            };
+            return Some(cost + access + self.sm.fill_latency);
+        }
+        None
+    }
+
+    /// The eight Figure-1 stage labels, derived from the level list: the
+    /// SM-side level names the injection queue, the partition-side levels
+    /// name the queue-to-queue hops and the DRAM scheduling/access stages.
+    /// For every paper generation this yields exactly the paper's labels
+    /// ("SM Base", "L1toICNT", …, "Fetch2SM") because the structural
+    /// skeleton — and therefore the level list — is the same; a description
+    /// with a different hierarchy would label its stages after its own
+    /// levels.
+    pub fn fig1_stage_labels(&self) -> [String; 8] {
+        let name = |kind: LevelKind| {
+            self.level(kind)
+                .map_or(kind.label(), |l| l.kind.label())
+                .to_string()
+        };
+        let (l1, l2, dram) = (
+            name(LevelKind::L1),
+            name(LevelKind::L2),
+            name(LevelKind::DramFront),
+        );
+        [
+            "SM Base".to_string(),
+            format!("{l1}toICNT"),
+            "ICNTtoROP".to_string(),
+            format!("ROPto{l2}Q"),
+            format!("{l2}Qto{dram}Q"),
+            format!("{dram}(QtoSch)"),
+            format!("{dram}(SchToA)"),
+            "Fetch2SM".to_string(),
+        ]
+    }
+
+    // ---- hashing and snapshot codec ---------------------------------------
+
+    /// Feeds every timing- and structure-relevant field into `h`, in a
+    /// fixed order. Deliberately excludes the display `name`: renaming a
+    /// generation must not invalidate cached results keyed on the
+    /// description.
+    pub fn hash_desc(&self, h: &mut StableHasher) {
+        h.usize(self.num_sms);
+        h.u64(self.line_size);
+        h.u32(self.sm.warp_size);
+        h.usize(self.sm.max_warps);
+        h.usize(self.sm.max_ctas);
+        h.usize(self.sm.issue_width);
+        h.u8(sched_tag(self.sm.scheduler));
+        h.u64(self.sm.alu_latency);
+        h.u64(self.sm.fp_latency);
+        h.u64(self.sm.sfu_latency);
+        h.u64(self.sm.shared_latency);
+        h.u64(self.sm.base_latency);
+        h.usize(self.sm.lsu_queue);
+        h.u64(self.sm.fill_latency);
+        h.usize(self.levels.len());
+        for level in &self.levels {
+            h.u8(level.kind.tag());
+            h.bool(level.geom.is_some());
+            if let Some(g) = &level.geom {
+                h.usize(g.cache.sets);
+                h.usize(g.cache.ways);
+                h.u64(g.cache.line_size);
+                h.u8(replacement_tag(g.cache.replacement));
+                h.usize(g.mshr.entries);
+                h.usize(g.mshr.max_merged);
+                h.u64(g.hit_latency);
+            }
+            h.usize(level.queue);
+            h.bool(level.routing.global);
+            h.bool(level.routing.local);
+            h.u8(write_policy_tag(level.write_policy));
+        }
+        h.u64(self.fabric.icnt.latency);
+        h.usize(self.fabric.icnt.output_queue);
+        h.usize(self.fabric.icnt.inject_per_src);
+        h.usize(self.fabric.icnt.eject_per_dst);
+        h.u64(self.fabric.rop_latency);
+        h.usize(self.fabric.rop_queue);
+        h.u64(self.mem.timing.t_rcd);
+        h.u64(self.mem.timing.t_rp);
+        h.u64(self.mem.timing.t_cl);
+        h.u64(self.mem.timing.burst);
+        h.u8(dram_sched_tag(self.mem.sched));
+        h.usize(self.mem.num_partitions);
+        h.u64(self.mem.partition_chunk);
+        h.usize(self.mem.banks);
+        h.u64(self.mem.row_bytes);
+    }
+
+    /// Serializes the description as a self-versioned frame (the
+    /// [`ARCH_DESC_VERSION`] tag first, then every field).
+    pub fn encode_state(&self, e: &mut Encoder) {
+        e.u32(ARCH_DESC_VERSION);
+        e.str(&self.name);
+        e.usize(self.num_sms);
+        e.u64(self.line_size);
+        e.u32(self.sm.warp_size);
+        e.usize(self.sm.max_warps);
+        e.usize(self.sm.max_ctas);
+        e.usize(self.sm.issue_width);
+        e.u8(sched_tag(self.sm.scheduler));
+        e.u64(self.sm.alu_latency);
+        e.u64(self.sm.fp_latency);
+        e.u64(self.sm.sfu_latency);
+        e.u64(self.sm.shared_latency);
+        e.u64(self.sm.base_latency);
+        e.usize(self.sm.lsu_queue);
+        e.u64(self.sm.fill_latency);
+        e.usize(self.levels.len());
+        for level in &self.levels {
+            e.u8(level.kind.tag());
+            match &level.geom {
+                None => e.bool(false),
+                Some(g) => {
+                    e.bool(true);
+                    e.usize(g.cache.sets);
+                    e.usize(g.cache.ways);
+                    e.u64(g.cache.line_size);
+                    e.u8(replacement_tag(g.cache.replacement));
+                    e.usize(g.mshr.entries);
+                    e.usize(g.mshr.max_merged);
+                    e.u64(g.hit_latency);
+                }
+            }
+            e.usize(level.queue);
+            e.bool(level.routing.global);
+            e.bool(level.routing.local);
+            e.u8(write_policy_tag(level.write_policy));
+        }
+        e.u64(self.fabric.icnt.latency);
+        e.usize(self.fabric.icnt.output_queue);
+        e.usize(self.fabric.icnt.inject_per_src);
+        e.usize(self.fabric.icnt.eject_per_dst);
+        e.u64(self.fabric.rop_latency);
+        e.usize(self.fabric.rop_queue);
+        e.u64(self.mem.timing.t_rcd);
+        e.u64(self.mem.timing.t_rp);
+        e.u64(self.mem.timing.t_cl);
+        e.u64(self.mem.timing.burst);
+        e.u8(dram_sched_tag(self.mem.sched));
+        e.usize(self.mem.num_partitions);
+        e.u64(self.mem.partition_chunk);
+        e.usize(self.mem.banks);
+        e.u64(self.mem.row_bytes);
+    }
+
+    /// Decodes a description written by [`ArchDesc::encode_state`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown frame versions and enum tags (typed
+    /// [`SnapshotError`], never a panic) and propagates decoder errors.
+    pub fn decode(d: &mut Decoder) -> Result<Self, SnapshotError> {
+        let version = d.u32()?;
+        if version != ARCH_DESC_VERSION {
+            return Err(SnapshotError::InvalidValue(
+                "unsupported architecture-description frame version",
+            ));
+        }
+        let name = d.str()?.to_string();
+        let num_sms = d.usize()?;
+        let line_size = d.u64()?;
+        let sm = SmDesc {
+            warp_size: d.u32()?,
+            max_warps: d.usize()?,
+            max_ctas: d.usize()?,
+            issue_width: d.usize()?,
+            scheduler: sched_from_tag(d.u8()?)?,
+            alu_latency: d.u64()?,
+            fp_latency: d.u64()?,
+            sfu_latency: d.u64()?,
+            shared_latency: d.u64()?,
+            base_latency: d.u64()?,
+            lsu_queue: d.usize()?,
+            fill_latency: d.u64()?,
+        };
+        let mut levels = Vec::new();
+        for _ in 0..d.usize()? {
+            let kind = LevelKind::from_tag(d.u8()?)?;
+            let geom = if d.bool()? {
+                Some(CacheGeom {
+                    cache: CacheConfig {
+                        sets: d.usize()?,
+                        ways: d.usize()?,
+                        line_size: d.u64()?,
+                        replacement: replacement_from_tag(d.u8()?)?,
+                    },
+                    mshr: MshrConfig {
+                        entries: d.usize()?,
+                        max_merged: d.usize()?,
+                    },
+                    hit_latency: d.u64()?,
+                })
+            } else {
+                None
+            };
+            levels.push(LevelDesc {
+                kind,
+                geom,
+                queue: d.usize()?,
+                routing: Routing {
+                    global: d.bool()?,
+                    local: d.bool()?,
+                },
+                write_policy: write_policy_from_tag(d.u8()?)?,
+            });
+        }
+        let fabric = FabricDesc {
+            icnt: IcntConfig {
+                latency: d.u64()?,
+                output_queue: d.usize()?,
+                inject_per_src: d.usize()?,
+                eject_per_dst: d.usize()?,
+            },
+            rop_latency: d.u64()?,
+            rop_queue: d.usize()?,
+        };
+        let mem = MemDesc {
+            timing: DramTiming {
+                t_rcd: d.u64()?,
+                t_rp: d.u64()?,
+                t_cl: d.u64()?,
+                burst: d.u64()?,
+            },
+            sched: dram_sched_from_tag(d.u8()?)?,
+            num_partitions: d.usize()?,
+            partition_chunk: d.u64()?,
+            banks: d.usize()?,
+            row_bytes: d.u64()?,
+        };
+        Ok(ArchDesc {
+            name,
+            num_sms,
+            line_size,
+            sm,
+            levels,
+            fabric,
+            mem,
+        })
+    }
+}
+
+fn sched_tag(s: SchedPolicy) -> u8 {
+    match s {
+        SchedPolicy::Lrr => 0,
+        SchedPolicy::Gto => 1,
+    }
+}
+
+fn sched_from_tag(tag: u8) -> Result<SchedPolicy, SnapshotError> {
+    match tag {
+        0 => Ok(SchedPolicy::Lrr),
+        1 => Ok(SchedPolicy::Gto),
+        _ => Err(SnapshotError::InvalidValue("unknown scheduler tag")),
+    }
+}
+
+fn write_policy_tag(w: WritePolicy) -> u8 {
+    match w {
+        WritePolicy::WriteThrough => 0,
+        WritePolicy::WriteBack => 1,
+    }
+}
+
+fn write_policy_from_tag(tag: u8) -> Result<WritePolicy, SnapshotError> {
+    match tag {
+        0 => Ok(WritePolicy::WriteThrough),
+        1 => Ok(WritePolicy::WriteBack),
+        _ => Err(SnapshotError::InvalidValue("unknown write-policy tag")),
+    }
+}
+
+fn replacement_tag(r: Replacement) -> u8 {
+    match r {
+        Replacement::Lru => 0,
+        Replacement::Fifo => 1,
+    }
+}
+
+fn replacement_from_tag(tag: u8) -> Result<Replacement, SnapshotError> {
+    match tag {
+        0 => Ok(Replacement::Lru),
+        1 => Ok(Replacement::Fifo),
+        _ => Err(SnapshotError::InvalidValue("unknown replacement tag")),
+    }
+}
+
+fn dram_sched_tag(s: DramSched) -> u8 {
+    match s {
+        DramSched::FrFcfs => 0,
+        DramSched::Fcfs => 1,
+    }
+}
+
+fn dram_sched_from_tag(tag: u8) -> Result<DramSched, SnapshotError> {
+    match tag {
+        0 => Ok(DramSched::FrFcfs),
+        1 => Ok(DramSched::Fcfs),
+        _ => Err(SnapshotError::InvalidValue("unknown DRAM scheduler tag")),
+    }
+}
+
+/// A violated structural invariant of an [`ArchDesc`] (or of the
+/// `GpuConfig` built from one). The `Display` text is stable — downstream
+/// panics and tests match on it — and reproduces the historical
+/// string-error messages verbatim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The machine has no SMs.
+    NoSms,
+    /// The machine has no memory partitions.
+    NoPartitions,
+    /// Warp size outside `1..=32`.
+    WarpSize,
+    /// Zero issue width.
+    IssueWidth,
+    /// No warp slots per SM.
+    NoWarpSlots,
+    /// No CTA slots per SM.
+    NoCtaSlots,
+    /// Line size zero or not a power of two.
+    LineSize,
+    /// LSU front-end pipe too small for a worst-case warp.
+    LsuQueue,
+    /// Zero-capacity ROP pipeline.
+    RopQueue,
+    /// Zero-capacity interconnect output queue.
+    IcntQueue,
+    /// A level's cache line size disagrees with the machine line size.
+    LevelLineSize(LevelKind),
+    /// A level's feeding queue has zero capacity.
+    LevelQueue(LevelKind),
+    /// A level's MSHR table has no entries.
+    MshrEntries(LevelKind),
+    /// A level's MSHR merge depth is zero.
+    MshrMergeDepth(LevelKind),
+    /// An outer cache level is not slower than the level before it.
+    LevelOrdering {
+        /// The closer-to-the-SM level.
+        upper: LevelKind,
+        /// Its hit latency.
+        upper_hit: u64,
+        /// The further-from-the-SM level.
+        lower: LevelKind,
+        /// Its hit latency.
+        lower_hit: u64,
+    },
+    /// Zero trace sample interval (checked at the `GpuConfig` layer, where
+    /// the observability knobs live).
+    TraceSampleInterval,
+    /// The level list does not describe a hierarchy the simulator can
+    /// instantiate.
+    UnsupportedTopology(&'static str),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NoSms => f.write_str("need at least one SM"),
+            ConfigError::NoPartitions => f.write_str("need at least one partition"),
+            ConfigError::WarpSize => f.write_str("warp size must be 1..=32"),
+            ConfigError::IssueWidth => f.write_str("issue width must be positive"),
+            ConfigError::NoWarpSlots => f.write_str("need at least one warp slot"),
+            ConfigError::NoCtaSlots => f.write_str("need at least one CTA slot"),
+            ConfigError::LineSize => f.write_str("line size must be a nonzero power of two"),
+            ConfigError::LsuQueue => {
+                f.write_str("LSU queue must hold a worst-case warp's transactions (> warp_size)")
+            }
+            ConfigError::RopQueue => f.write_str("ROP queue capacity must be positive"),
+            ConfigError::IcntQueue => {
+                f.write_str("interconnect output queue capacity must be positive")
+            }
+            ConfigError::LevelLineSize(k) => write!(f, "{k} line size mismatch"),
+            ConfigError::LevelQueue(LevelKind::L1) => {
+                f.write_str("L1 miss queue capacity must be positive")
+            }
+            ConfigError::LevelQueue(LevelKind::L2) => {
+                f.write_str("L2 input queue capacity must be positive")
+            }
+            ConfigError::LevelQueue(LevelKind::DramFront) => {
+                f.write_str("DRAM controller queue capacity must be positive")
+            }
+            ConfigError::MshrEntries(k) => write!(f, "{k} MSHR table needs entries"),
+            ConfigError::MshrMergeDepth(k) => write!(f, "{k} MSHR merge depth must be positive"),
+            ConfigError::LevelOrdering {
+                upper,
+                upper_hit,
+                lower,
+                lower_hit,
+            } => write!(
+                f,
+                "{upper} hit latency ({upper_hit}) must be below {lower} hit latency ({lower_hit})"
+            ),
+            ConfigError::TraceSampleInterval => {
+                f.write_str("trace sample interval must be positive")
+            }
+            ConfigError::UnsupportedTopology(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A Fermi-GF100-shaped description used by the unit tests.
+    fn fermi() -> ArchDesc {
+        ArchDesc {
+            name: "test (Fermi)".to_string(),
+            num_sms: 15,
+            line_size: 128,
+            sm: SmDesc {
+                warp_size: 32,
+                max_warps: 48,
+                max_ctas: 8,
+                issue_width: 2,
+                scheduler: SchedPolicy::Lrr,
+                alu_latency: 18,
+                fp_latency: 18,
+                sfu_latency: 40,
+                shared_latency: 30,
+                base_latency: 28,
+                lsu_queue: 34,
+                fill_latency: 10,
+            },
+            levels: vec![
+                LevelDesc {
+                    kind: LevelKind::L1,
+                    geom: Some(CacheGeom {
+                        cache: CacheConfig {
+                            sets: 32,
+                            ways: 4,
+                            line_size: 128,
+                            replacement: Replacement::Lru,
+                        },
+                        mshr: MshrConfig {
+                            entries: 32,
+                            max_merged: 8,
+                        },
+                        hit_latency: 17,
+                    }),
+                    queue: 8,
+                    routing: Routing::ALL,
+                    write_policy: WritePolicy::WriteThrough,
+                },
+                LevelDesc {
+                    kind: LevelKind::L2,
+                    geom: Some(CacheGeom {
+                        cache: CacheConfig {
+                            sets: 128,
+                            ways: 8,
+                            line_size: 128,
+                            replacement: Replacement::Lru,
+                        },
+                        mshr: MshrConfig {
+                            entries: 32,
+                            max_merged: 8,
+                        },
+                        hit_latency: 115,
+                    }),
+                    queue: 8,
+                    routing: Routing::ALL,
+                    write_policy: WritePolicy::WriteThrough,
+                },
+                LevelDesc {
+                    kind: LevelKind::DramFront,
+                    geom: None,
+                    queue: 128,
+                    routing: Routing::ALL,
+                    write_policy: WritePolicy::WriteThrough,
+                },
+            ],
+            fabric: FabricDesc {
+                icnt: IcntConfig {
+                    latency: 48,
+                    output_queue: 8,
+                    inject_per_src: 1,
+                    eject_per_dst: 1,
+                },
+                rop_latency: 60,
+                rop_queue: 16,
+            },
+            mem: MemDesc {
+                timing: DramTiming {
+                    t_rcd: 80,
+                    t_rp: 80,
+                    t_cl: 321,
+                    burst: 8,
+                },
+                sched: DramSched::FrFcfs,
+                num_partitions: 6,
+                partition_chunk: 256,
+                banks: 16,
+                row_bytes: 2048,
+            },
+        }
+    }
+
+    fn level_mut(d: &mut ArchDesc, kind: LevelKind) -> &mut LevelDesc {
+        d.levels.iter_mut().find(|l| l.kind == kind).unwrap()
+    }
+
+    #[test]
+    fn fermi_description_is_valid() {
+        fermi().validate().unwrap();
+    }
+
+    #[test]
+    fn unloaded_walk_reproduces_fermi_formulas() {
+        let d = fermi();
+        // sm_base + l1_hit.
+        assert_eq!(d.unloaded_latency(LevelKind::L1), Some(28 + 17));
+        // sm_base + 2*icnt + rop + 1 (L2 input-queue hop) + hit + fill.
+        assert_eq!(
+            d.unloaded_latency(LevelKind::L2),
+            Some(28 + 2 * 48 + 60 + 1 + 115 + 10)
+        );
+        // sm_base + 2*icnt + rop + 2 hops + row conflict + burst + fill.
+        assert_eq!(
+            d.unloaded_latency(LevelKind::DramFront),
+            Some(28 + 2 * 48 + 60 + 2 + (80 + 80 + 321) + 8 + 10)
+        );
+    }
+
+    #[test]
+    fn unloaded_walk_skips_absent_caches() {
+        let mut d = fermi();
+        level_mut(&mut d, LevelKind::L1).geom = None;
+        level_mut(&mut d, LevelKind::L2).geom = None;
+        assert_eq!(d.unloaded_latency(LevelKind::L1), None);
+        assert_eq!(d.unloaded_latency(LevelKind::L2), None);
+        // The structural queues of the absent levels still cost their hops.
+        assert_eq!(
+            d.unloaded_latency(LevelKind::DramFront),
+            Some(28 + 2 * 48 + 60 + 2 + (80 + 80 + 321) + 8 + 10)
+        );
+    }
+
+    #[test]
+    fn routing_masks_absent_caches() {
+        let mut d = fermi();
+        assert!(d.serves(LevelKind::L1, PipelineSpace::Global));
+        level_mut(&mut d, LevelKind::L1).geom = None;
+        assert!(!d.serves(LevelKind::L1, PipelineSpace::Global));
+        assert!(!d.serves(LevelKind::L1, PipelineSpace::Local));
+    }
+
+    #[test]
+    fn microbench_shrinks_machine_only() {
+        let d = fermi();
+        let m = d.microbench();
+        assert_eq!(m.num_sms, 1);
+        assert_eq!(m.mem.num_partitions, 1);
+        assert_eq!(m.levels, d.levels);
+        assert_eq!(m.sm, d.sm);
+        assert_eq!(m.fabric, d.fabric);
+        assert_eq!(
+            m.unloaded_latency(LevelKind::DramFront),
+            d.unloaded_latency(LevelKind::DramFront)
+        );
+    }
+
+    #[test]
+    fn fig1_labels_match_the_paper() {
+        assert_eq!(
+            fermi().fig1_stage_labels(),
+            [
+                "SM Base",
+                "L1toICNT",
+                "ICNTtoROP",
+                "ROPtoL2Q",
+                "L2QtoDRAMQ",
+                "DRAM(QtoSch)",
+                "DRAM(SchToA)",
+                "Fetch2SM",
+            ]
+        );
+    }
+
+    #[test]
+    fn hash_ignores_name_but_sees_structure() {
+        let d = fermi();
+        let digest = |d: &ArchDesc| {
+            let mut h = StableHasher::new();
+            d.hash_desc(&mut h);
+            h.finish()
+        };
+        let mut renamed = d.clone();
+        renamed.name = "same machine, new name".to_string();
+        assert_eq!(digest(&d), digest(&renamed));
+        let mut rerouted = d.clone();
+        level_mut(&mut rerouted, LevelKind::L1).routing.global = false;
+        assert_ne!(digest(&d), digest(&rerouted));
+        let mut retimed = d.clone();
+        retimed.mem.timing.t_cl += 1;
+        assert_ne!(digest(&d), digest(&retimed));
+    }
+
+    #[test]
+    fn codec_roundtrips() {
+        let d = fermi();
+        let mut e = Encoder::new();
+        d.encode_state(&mut e);
+        let bytes = e.finish();
+        let mut dec = Decoder::open(&bytes).unwrap();
+        let back = ArchDesc::decode(&mut dec).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn codec_rejects_wrong_frame_version() {
+        let d = fermi();
+        let mut e = Encoder::new();
+        e.u32(ARCH_DESC_VERSION + 1);
+        d.encode_state(&mut e); // payload after a bogus version tag
+        let bytes = e.finish();
+        let mut dec = Decoder::open(&bytes).unwrap();
+        assert!(matches!(
+            ArchDesc::decode(&mut dec),
+            Err(SnapshotError::InvalidValue(_))
+        ));
+    }
+
+    // ---- one test per ConfigError variant ---------------------------------
+
+    #[test]
+    fn error_no_sms() {
+        let mut d = fermi();
+        d.num_sms = 0;
+        assert_eq!(d.validate(), Err(ConfigError::NoSms));
+        assert_eq!(ConfigError::NoSms.to_string(), "need at least one SM");
+    }
+
+    #[test]
+    fn error_no_partitions() {
+        let mut d = fermi();
+        d.mem.num_partitions = 0;
+        assert_eq!(d.validate(), Err(ConfigError::NoPartitions));
+        assert_eq!(
+            ConfigError::NoPartitions.to_string(),
+            "need at least one partition"
+        );
+    }
+
+    #[test]
+    fn error_warp_size() {
+        let mut d = fermi();
+        d.sm.warp_size = 33;
+        assert_eq!(d.validate(), Err(ConfigError::WarpSize));
+        assert_eq!(
+            ConfigError::WarpSize.to_string(),
+            "warp size must be 1..=32"
+        );
+    }
+
+    #[test]
+    fn error_issue_width() {
+        let mut d = fermi();
+        d.sm.issue_width = 0;
+        assert_eq!(d.validate(), Err(ConfigError::IssueWidth));
+        assert_eq!(
+            ConfigError::IssueWidth.to_string(),
+            "issue width must be positive"
+        );
+    }
+
+    #[test]
+    fn error_no_warp_slots() {
+        let mut d = fermi();
+        d.sm.max_warps = 0;
+        assert_eq!(d.validate(), Err(ConfigError::NoWarpSlots));
+        assert_eq!(
+            ConfigError::NoWarpSlots.to_string(),
+            "need at least one warp slot"
+        );
+    }
+
+    #[test]
+    fn error_no_cta_slots() {
+        let mut d = fermi();
+        d.sm.max_ctas = 0;
+        assert_eq!(d.validate(), Err(ConfigError::NoCtaSlots));
+        assert_eq!(
+            ConfigError::NoCtaSlots.to_string(),
+            "need at least one CTA slot"
+        );
+    }
+
+    #[test]
+    fn error_line_size() {
+        let mut d = fermi();
+        d.line_size = 96;
+        assert_eq!(d.validate(), Err(ConfigError::LineSize));
+        assert_eq!(
+            ConfigError::LineSize.to_string(),
+            "line size must be a nonzero power of two"
+        );
+    }
+
+    #[test]
+    fn error_lsu_queue() {
+        let mut d = fermi();
+        d.sm.lsu_queue = d.sm.warp_size as usize;
+        assert_eq!(d.validate(), Err(ConfigError::LsuQueue));
+        assert_eq!(
+            ConfigError::LsuQueue.to_string(),
+            "LSU queue must hold a worst-case warp's transactions (> warp_size)"
+        );
+    }
+
+    #[test]
+    fn error_rop_queue() {
+        let mut d = fermi();
+        d.fabric.rop_queue = 0;
+        assert_eq!(d.validate(), Err(ConfigError::RopQueue));
+        assert_eq!(
+            ConfigError::RopQueue.to_string(),
+            "ROP queue capacity must be positive"
+        );
+    }
+
+    #[test]
+    fn error_icnt_queue() {
+        let mut d = fermi();
+        d.fabric.icnt.output_queue = 0;
+        assert_eq!(d.validate(), Err(ConfigError::IcntQueue));
+        assert_eq!(
+            ConfigError::IcntQueue.to_string(),
+            "interconnect output queue capacity must be positive"
+        );
+    }
+
+    #[test]
+    fn error_level_line_size() {
+        let mut d = fermi();
+        level_mut(&mut d, LevelKind::L1)
+            .geom
+            .as_mut()
+            .unwrap()
+            .cache
+            .line_size = 64;
+        assert_eq!(d.validate(), Err(ConfigError::LevelLineSize(LevelKind::L1)));
+        assert_eq!(
+            ConfigError::LevelLineSize(LevelKind::L2).to_string(),
+            "L2 line size mismatch"
+        );
+    }
+
+    #[test]
+    fn error_level_queue() {
+        let mut d = fermi();
+        level_mut(&mut d, LevelKind::L1).queue = 0;
+        assert_eq!(d.validate(), Err(ConfigError::LevelQueue(LevelKind::L1)));
+        assert_eq!(
+            ConfigError::LevelQueue(LevelKind::L1).to_string(),
+            "L1 miss queue capacity must be positive"
+        );
+        assert_eq!(
+            ConfigError::LevelQueue(LevelKind::L2).to_string(),
+            "L2 input queue capacity must be positive"
+        );
+        let mut d = fermi();
+        level_mut(&mut d, LevelKind::DramFront).queue = 0;
+        assert_eq!(
+            d.validate(),
+            Err(ConfigError::LevelQueue(LevelKind::DramFront))
+        );
+        assert_eq!(
+            ConfigError::LevelQueue(LevelKind::DramFront).to_string(),
+            "DRAM controller queue capacity must be positive"
+        );
+    }
+
+    #[test]
+    fn error_mshr_entries() {
+        let mut d = fermi();
+        level_mut(&mut d, LevelKind::L2)
+            .geom
+            .as_mut()
+            .unwrap()
+            .mshr
+            .entries = 0;
+        assert_eq!(d.validate(), Err(ConfigError::MshrEntries(LevelKind::L2)));
+        assert_eq!(
+            ConfigError::MshrEntries(LevelKind::L2).to_string(),
+            "L2 MSHR table needs entries"
+        );
+    }
+
+    #[test]
+    fn error_mshr_merge_depth() {
+        let mut d = fermi();
+        level_mut(&mut d, LevelKind::L1)
+            .geom
+            .as_mut()
+            .unwrap()
+            .mshr
+            .max_merged = 0;
+        assert_eq!(
+            d.validate(),
+            Err(ConfigError::MshrMergeDepth(LevelKind::L1))
+        );
+        assert_eq!(
+            ConfigError::MshrMergeDepth(LevelKind::L1).to_string(),
+            "L1 MSHR merge depth must be positive"
+        );
+    }
+
+    #[test]
+    fn error_level_ordering() {
+        let mut d = fermi();
+        level_mut(&mut d, LevelKind::L1)
+            .geom
+            .as_mut()
+            .unwrap()
+            .hit_latency = 115;
+        assert_eq!(
+            d.validate(),
+            Err(ConfigError::LevelOrdering {
+                upper: LevelKind::L1,
+                upper_hit: 115,
+                lower: LevelKind::L2,
+                lower_hit: 115,
+            })
+        );
+        let msg = ConfigError::LevelOrdering {
+            upper: LevelKind::L1,
+            upper_hit: 17,
+            lower: LevelKind::L2,
+            lower_hit: 15,
+        }
+        .to_string();
+        assert_eq!(msg, "L1 hit latency (17) must be below L2 hit latency (15)");
+    }
+
+    #[test]
+    fn error_trace_sample_interval_text() {
+        // The invariant itself is checked at the GpuConfig layer (the trace
+        // knobs are not part of the description); the variant and its text
+        // live here with the rest of the enum.
+        assert_eq!(
+            ConfigError::TraceSampleInterval.to_string(),
+            "trace sample interval must be positive"
+        );
+    }
+
+    #[test]
+    fn error_unsupported_topology() {
+        let mut d = fermi();
+        d.levels.swap(0, 1);
+        let err = d.validate().unwrap_err();
+        assert!(matches!(err, ConfigError::UnsupportedTopology(_)));
+        assert!(err.to_string().contains("pipeline order"));
+
+        let mut d = fermi();
+        d.levels.remove(1);
+        assert!(matches!(
+            d.validate(),
+            Err(ConfigError::UnsupportedTopology(_))
+        ));
+
+        let mut d = fermi();
+        level_mut(&mut d, LevelKind::DramFront).geom = level_mut(&mut d, LevelKind::L1).geom;
+        let err = d.validate().unwrap_err();
+        assert!(err.to_string().contains("tag array"));
+    }
+
+    #[test]
+    fn absent_levels_size_placeholder_mshrs() {
+        let mut d = fermi();
+        let l1 = level_mut(&mut d, LevelKind::L1);
+        l1.geom = None;
+        assert_eq!(
+            l1.mshr_config(),
+            MshrConfig {
+                entries: 1,
+                max_merged: 1
+            }
+        );
+        assert_eq!(d.level(LevelKind::L2).unwrap().mshr_config().entries, 32);
+    }
+}

@@ -5,7 +5,8 @@
 //! ```text
 //! cargo run --release -p latency-bench --bin sweep [arch] [--threads N]
 //!     [--cache DIR] [--json] [--bench-out FILE]
-//! arch: tesla | fermi | kepler | maxwell   (default fermi)
+//! arch: tesla | fermi | gf100 | kepler | gk110 | maxwell   (default fermi;
+//!       chip names like gt200/gf106/gk104/gm107 also work)
 //! ```
 //!
 //! `--threads N` forces the measurement pool to N workers (`--threads 1`
@@ -20,6 +21,9 @@
 
 use std::path::PathBuf;
 use std::time::Instant;
+
+use gpu_mem::PipelineSpace;
+use gpu_sim::LevelKind;
 
 use latency_core::{
     cache_stats, detect_plateaus, infer_hierarchy, infer_line_size, pow2_range, reset_cache_stats,
@@ -43,10 +47,9 @@ fn parse_args() -> Args {
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "tesla" => parsed.preset = ArchPreset::TeslaGt200,
-            "kepler" => parsed.preset = ArchPreset::KeplerGk104,
-            "maxwell" => parsed.preset = ArchPreset::MaxwellGm107,
-            "fermi" => parsed.preset = ArchPreset::FermiGf106,
+            name if ArchPreset::parse(name).is_some() => {
+                parsed.preset = ArchPreset::parse(name).expect("guard checked");
+            }
             "--json" => parsed.json = true,
             "--cache" => {
                 let dir = args.next().unwrap_or_else(|| {
@@ -75,8 +78,8 @@ fn parse_args() -> Args {
             }
             other => {
                 eprintln!(
-                    "unknown argument '{other}' (tesla|fermi|kepler|maxwell, --threads N, \
-                     --cache DIR, --json, --bench-out FILE)"
+                    "unknown argument '{other}' (tesla|fermi|gf100|kepler|gk110|maxwell, \
+                     --threads N, --cache DIR, --json, --bench-out FILE)"
                 );
                 std::process::exit(2);
             }
@@ -301,7 +304,7 @@ fn main() {
         Err(e) => eprintln!("  inference failed: {e}"),
     }
 
-    if cfg.l1.as_ref().is_some_and(|l1| l1.serve_global) {
+    if cfg.arch_desc().serves(LevelKind::L1, PipelineSpace::Global) {
         match infer_line_size(&cfg, 64 * 1024) {
             Ok(line) => println!("\ninferred L1 line size: {line} B"),
             Err(e) => eprintln!("line-size inference failed: {e}"),

@@ -3,14 +3,21 @@
 //!
 //! ```text
 //! cargo run --release -p latency-bench --bin table1 [--threads N]
+//!     [--preset NAME]...
 //! ```
 //!
 //! `--threads N` forces the measurement pool to N workers (`--threads 1`
 //! is fully serial); the printed table is identical for every worker count.
+//! `--preset NAME` (repeatable) restricts the table to the named
+//! architectures — any registered preset works, including ones outside the
+//! paper's four Table I columns (e.g. `gk110`) — which is how the CI matrix
+//! measures one generation per job.
 
 use latency_bench::run_table1;
+use latency_core::{ArchPreset, Table1};
 
 fn main() {
+    let mut presets: Vec<ArchPreset> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -25,15 +32,32 @@ fn main() {
                     });
                 latency_core::parallel::set_worker_count(n);
             }
+            "--preset" => {
+                let name = args.next().unwrap_or_else(|| {
+                    eprintln!("--preset needs a name");
+                    std::process::exit(2);
+                });
+                presets.push(ArchPreset::parse(&name).unwrap_or_else(|| {
+                    eprintln!("unknown preset: {name}");
+                    std::process::exit(2);
+                }));
+            }
             other => {
-                eprintln!("unknown argument '{other}' (usage: table1 [--threads N])");
+                eprintln!(
+                    "unknown argument '{other}' (usage: table1 [--threads N] [--preset NAME]...)"
+                );
                 std::process::exit(2);
             }
         }
     }
     println!("Table I: latencies of memory loads through the global memory");
     println!("pipeline over four generations of NVIDIA GPUs (cycles)\n");
-    match run_table1() {
+    let result = if presets.is_empty() {
+        run_table1()
+    } else {
+        Table1::measure_presets(&presets)
+    };
+    match result {
         Ok(table) => {
             print!("{table}");
             println!(

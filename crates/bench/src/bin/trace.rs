@@ -22,6 +22,7 @@ use latency_bench::{
 use latency_core::ArchPreset;
 
 struct Args {
+    preset: ArchPreset,
     workload: String,
     nodes: u32,
     degree: u32,
@@ -41,7 +42,8 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: trace [--workload bfs|vecadd|matmul|reduce|spmv|stencil|histogram|transpose|scan]\n\
+        "usage: trace [--preset gt200|fermi|gf100|gf106|kepler|gk104|gk110|maxwell|gm107]\n\
+         \x20            [--workload bfs|vecadd|matmul|reduce|spmv|stencil|histogram|transpose|scan]\n\
          \x20            [--nodes N] [--degree N] [--seed N] [--block-dim N]\n\
          \x20            [--sms N] [--partitions N] [--out DIR]\n\
          \x20            [--sample CYCLES] [--max-events N] [--validate]\n\
@@ -53,6 +55,7 @@ fn usage() -> ! {
 
 fn parse_args() -> Args {
     let mut args = Args {
+        preset: ArchPreset::FermiGf100,
         workload: "bfs".to_string(),
         nodes: 4096,
         degree: 8,
@@ -78,6 +81,13 @@ fn parse_args() -> Args {
             })
         };
         match flag.as_str() {
+            "--preset" => {
+                let name = val("--preset");
+                args.preset = ArchPreset::parse(&name).unwrap_or_else(|| {
+                    eprintln!("unknown preset: {name}");
+                    usage();
+                });
+            }
             "--workload" => args.workload = val("--workload"),
             "--nodes" => args.nodes = val("--nodes").parse().unwrap_or_else(|_| usage()),
             "--degree" => args.degree = val("--degree").parse().unwrap_or_else(|_| usage()),
@@ -118,7 +128,7 @@ fn parse_args() -> Args {
 }
 
 fn build_cfg(args: &Args) -> gpu_sim::GpuConfig {
-    let mut cfg = ArchPreset::FermiGf100.config();
+    let mut cfg = args.preset.config();
     if let Some(n) = args.sms {
         cfg.num_sms = n;
     }
@@ -225,16 +235,7 @@ fn main() {
             }
         }
     };
-    let cfg = {
-        let mut c = ArchPreset::FermiGf100.config();
-        if let Some(n) = args.sms {
-            c.num_sms = n;
-        }
-        if let Some(n) = args.partitions {
-            c.num_partitions = n;
-        }
-        c
-    };
+    let cfg = build_cfg(&args);
     let bundle = TraceBundle {
         requests: &run.requests,
         loads: &run.loads,
@@ -244,6 +245,7 @@ fn main() {
         content_hash: run.content_hash,
         num_sms: cfg.num_sms as u32,
         num_partitions: cfg.num_partitions as u32,
+        stage_labels: latency_bench::stage_labels_for(&cfg),
     };
     if args.validate {
         let json = bundle.chrome_json();
@@ -267,7 +269,8 @@ fn main() {
         exit(1);
     }
     println!(
-        "workload: {}   cycles: {}   events: {} ({} dropped)   samples: {}",
+        "preset: {}   workload: {}   cycles: {}   events: {} ({} dropped)   samples: {}",
+        args.preset.name(),
         args.workload,
         run.cycles,
         run.metrics.events_recorded,

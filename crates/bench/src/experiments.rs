@@ -82,7 +82,6 @@ pub fn run_bfs_traced(mut config: GpuConfig, exp: &BfsExperiment) -> Result<Trac
     if env.enabled() {
         config.trace.enabled = true;
     }
-    let (num_sms, num_partitions) = (config.num_sms as u32, config.num_partitions as u32);
     let graph = Graph::uniform_random(exp.nodes, exp.degree, exp.seed);
     let mut gpu = Gpu::new(config);
     // Rodinia-style mask BFS: the formulation GPGPU-Sim's standard workload
@@ -106,8 +105,7 @@ pub fn run_bfs_traced(mut config: GpuConfig, exp: &BfsExperiment) -> Result<Trac
         &requests,
         &loads,
         &trace,
-        num_sms,
-        num_partitions,
+        gpu.config(),
     );
     Ok(TracedRun {
         requests,
@@ -149,8 +147,6 @@ fn finish_bfs_checkpointed(
     graph: &Graph,
     dev: &bfs::BfsMaskDevice,
     run: bfs::BfsRun,
-    num_sms: u32,
-    num_partitions: u32,
     env: &crate::tracebundle::EnvTrace,
 ) -> BfsCheckpointOutcome {
     assert_eq!(
@@ -161,15 +157,7 @@ fn finish_bfs_checkpointed(
     let summary = gpu.summary();
     let (requests, loads) = gpu.take_traces();
     let trace = gpu.take_trace();
-    crate::tracebundle::export_if_requested(
-        env,
-        &summary,
-        &requests,
-        &loads,
-        &trace,
-        num_sms,
-        num_partitions,
-    );
+    crate::tracebundle::export_if_requested(env, &summary, &requests, &loads, &trace, gpu.config());
     let traced = TracedRun {
         requests,
         loads,
@@ -200,22 +188,13 @@ pub fn run_bfs_checkpointed(
     if env.enabled() {
         config.trace.enabled = true;
     }
-    let (num_sms, num_partitions) = (config.num_sms as u32, config.num_partitions as u32);
     let graph = Graph::uniform_random(exp.nodes, exp.degree, exp.seed);
     let mut gpu = Gpu::new(config);
     let dev = bfs::upload_graph_mask(&mut gpu, &graph);
     gpu.set_tracing(true);
     match bfs::run_bfs_mask_checkpointed(&mut gpu, &dev, 0, exp.block_dim, policy)? {
         BfsMaskOutcome::Killed { at } => Ok(BfsCheckpointOutcome::Killed { at }),
-        BfsMaskOutcome::Completed(run) => Ok(finish_bfs_checkpointed(
-            gpu,
-            &graph,
-            &dev,
-            run,
-            num_sms,
-            num_partitions,
-            &env,
-        )),
+        BfsMaskOutcome::Completed(run) => Ok(finish_bfs_checkpointed(gpu, &graph, &dev, run, &env)),
     }
 }
 
@@ -241,23 +220,13 @@ pub fn resume_bfs_checkpointed(
     else {
         return Ok(None);
     };
-    let (num_sms, num_partitions) = (
-        gpu.config().num_sms as u32,
-        gpu.config().num_partitions as u32,
-    );
     let graph = Graph::uniform_random(exp.nodes, exp.degree, exp.seed);
     let dev = decode_mask_dev(&gpu)?;
     match bfs::resume_bfs_mask(&mut gpu, policy)? {
         BfsMaskOutcome::Killed { at } => Ok(Some(BfsCheckpointOutcome::Killed { at })),
-        BfsMaskOutcome::Completed(run) => Ok(Some(finish_bfs_checkpointed(
-            gpu,
-            &graph,
-            &dev,
-            run,
-            num_sms,
-            num_partitions,
-            &env,
-        ))),
+        BfsMaskOutcome::Completed(run) => {
+            Ok(Some(finish_bfs_checkpointed(gpu, &graph, &dev, run, &env)))
+        }
     }
 }
 
@@ -354,7 +323,6 @@ pub fn run_workload_traced(
     if env.enabled() {
         config.trace.enabled = true;
     }
-    let (num_sms, num_partitions) = (config.num_sms as u32, config.num_partitions as u32);
     let mut gpu = Gpu::new(config);
     gpu.set_tracing(true);
     let summary = match workload {
@@ -419,8 +387,7 @@ pub fn run_workload_traced(
         &requests,
         &loads,
         &trace,
-        num_sms,
-        num_partitions,
+        gpu.config(),
     );
     Ok(TracedRun {
         requests,

@@ -20,4 +20,4 @@ pub use experiments::{
     run_bfs_checkpointed, run_bfs_traced, run_table1, run_workload_traced, BfsCheckpointOutcome,
     BfsCheckpointed, BfsExperiment, DramSchedResult, HidingPoint, TracedRun, Workload,
 };
-pub use tracebundle::{env_request, EnvTrace, TraceBundle};
+pub use tracebundle::{env_request, stage_labels_for, EnvTrace, TraceBundle};

@@ -16,8 +16,12 @@
 use std::io;
 use std::path::{Path, PathBuf};
 
-use gpu_sim::{CompletedRequest, LoadInstrRecord, MetricsReport, RunSummary, StallReason};
-use gpu_trace::{counters_csv, events_jsonl, ChromeTraceBuilder, CounterKind, TraceData};
+use gpu_sim::{
+    CompletedRequest, GpuConfig, LoadInstrRecord, MetricsReport, RunSummary, StallReason,
+};
+use gpu_trace::{
+    counters_csv, events_jsonl, ChromeTraceBuilder, CounterKind, StageLabels, TraceData,
+};
 use latency_core::{breakdown_csv, exposure_csv, Bucketing, ExposureAnalysis, LatencyBreakdown};
 
 /// Tracing behaviour requested through the `LATENCY_TRACE` environment
@@ -73,6 +77,19 @@ pub struct TraceBundle<'a> {
     pub num_sms: u32,
     /// Memory partitions in the simulated machine.
     pub num_partitions: u32,
+    /// Per-stage span labels, derived from the machine's architecture
+    /// description (see [`stage_labels_for`]); `StageLabels::default()`
+    /// yields the paper's Figure-1 legend.
+    pub stage_labels: StageLabels,
+}
+
+/// The request-span stage labels for a machine: derived from the
+/// architecture description's level list. For every paper preset this
+/// equals `StageLabels::default()` — the hierarchy skeleton is the same —
+/// so traces stay bit-identical; a description with differently-labeled
+/// levels names its Perfetto slices after them.
+pub fn stage_labels_for(cfg: &GpuConfig) -> StageLabels {
+    StageLabels::new(cfg.arch_desc().fig1_stage_labels())
 }
 
 impl TraceBundle<'_> {
@@ -81,6 +98,7 @@ impl TraceBundle<'_> {
     /// instants for events and counter tracks for samples.
     pub fn chrome_json(&self) -> String {
         let mut b = ChromeTraceBuilder::new(self.num_sms, self.num_partitions);
+        b.set_stage_labels(self.stage_labels.clone());
         for (i, r) in self.requests.iter().enumerate() {
             b.add_request_span(r.sm.get(), i as u64, &r.timeline);
         }
@@ -178,15 +196,15 @@ impl TraceBundle<'_> {
 }
 
 /// Applies the `LATENCY_TRACE` request to a run summary + traced data,
-/// writing a bundle when a directory was named.
+/// writing a bundle when a directory was named. Machine shape and stage
+/// labels are derived from the run's configuration.
 pub fn export_if_requested(
     req: &EnvTrace,
     summary: &RunSummary,
     requests: &[CompletedRequest],
     loads: &[LoadInstrRecord],
     trace: &TraceData,
-    num_sms: u32,
-    num_partitions: u32,
+    cfg: &GpuConfig,
 ) {
     if let EnvTrace::Bundle(dir) = req {
         TraceBundle {
@@ -196,8 +214,9 @@ pub fn export_if_requested(
             metrics: &summary.metrics,
             cycles: summary.cycles,
             content_hash: summary.content_hash,
-            num_sms,
-            num_partitions,
+            num_sms: cfg.num_sms as u32,
+            num_partitions: cfg.num_partitions as u32,
+            stage_labels: stage_labels_for(cfg),
         }
         .write_best_effort(dir);
     }
@@ -221,6 +240,8 @@ mod tests {
             seed: 7,
             block_dim: 64,
         };
+        let stage_labels = stage_labels_for(&cfg);
+        assert_eq!(stage_labels, StageLabels::default());
         let run = run_bfs_traced(cfg, &exp).unwrap();
         let bundle = TraceBundle {
             requests: &run.requests,
@@ -231,6 +252,7 @@ mod tests {
             content_hash: run.content_hash,
             num_sms: 2,
             num_partitions: 2,
+            stage_labels,
         };
 
         let json = bundle.chrome_json();

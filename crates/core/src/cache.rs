@@ -32,9 +32,12 @@ pub const CACHE_ENV: &str = "LATENCY_CACHE";
 
 /// Version of the key derivation *and* the value encoding. Bump it whenever
 /// either changes (or whenever the simulator's timing model changes in a way
-/// [`GpuConfig::hash_timing`] cannot see); old entries then miss instead of
-/// serving stale values.
-pub const CACHE_FORMAT_VERSION: u32 = 1;
+/// the architecture-description hash cannot see); old entries then miss
+/// instead of serving stale values.
+///
+/// Version 2: keys hash the declarative [`gpu_sim::ArchDesc`]
+/// (via [`GpuConfig::arch_desc`]) instead of the flat config fields.
+pub const CACHE_FORMAT_VERSION: u32 = 2;
 
 /// Process-wide override of the cache directory:
 /// `None` = no override (consult [`CACHE_ENV`]),
@@ -120,13 +123,13 @@ pub fn reset_cache_stats() {
 }
 
 /// The content address of one chase grid point: a stable hash over the
-/// format version, everything in `config` that determines simulated timing
-/// (its display name and observability switches are excluded — see
-/// [`GpuConfig::hash_timing`]) and the full chase parameters.
+/// format version, the config's architecture description (its display name
+/// and observability switches are excluded — see
+/// [`gpu_sim::ArchDesc::hash_desc`]) and the full chase parameters.
 pub fn chase_key(config: &GpuConfig, params: &ChaseParams) -> u64 {
     let mut h = StableHasher::new();
     h.u32(CACHE_FORMAT_VERSION);
-    config.hash_timing(&mut h);
+    config.arch_desc().hash_desc(&mut h);
     h.u64(params.footprint);
     h.u64(params.stride);
     h.u8(match params.space {

@@ -1,5 +1,5 @@
 //! Per-generation GPU presets reproducing the machines of the paper's
-//! Table I.
+//! Table I, expressed as declarative [`ArchDesc`] data tables.
 //!
 //! Each preset encodes the *structure* the paper attributes to its
 //! generation — which cache levels exist and which memory spaces they serve
@@ -11,10 +11,20 @@
 //! | L1 D$ | —     | 45    | 30 (local only) | — |
 //! | L2 D$ | —     | 310   | 175   | 194   |
 //! | DRAM  | 440   | 685   | 300   | 350   |
+//!
+//! A preset is nothing but an [`ArchDesc`]: [`ArchPreset::desc`] returns the
+//! description and [`ArchPreset::config`] lowers it through
+//! [`GpuConfig::from_arch`]. Adding a generation means writing one more data
+//! table (see the GK110 entry, which reuses GK104's geometry with the
+//! read-only global path routed through the L1 per Mei & Chu's Kepler study)
+//! — no simulator code changes.
 
 use gpu_icnt::IcntConfig;
-use gpu_mem::{CacheConfig, DramConfig, DramSched, DramTiming, MshrConfig, Replacement};
-use gpu_sim::{GpuConfig, L1Config, L2Config, SchedPolicy, WritePolicy};
+use gpu_mem::{CacheConfig, DramSched, DramTiming, MshrConfig, Replacement};
+use gpu_sim::{
+    ArchDesc, CacheGeom, FabricDesc, GpuConfig, LevelDesc, LevelKind, MemDesc, Routing,
+    SchedPolicy, SmDesc, WritePolicy,
+};
 
 /// The paper's expected Table I latencies for one architecture (hot-clock
 /// cycles). `None` means the unit does not exist (or is bypassed for global
@@ -43,6 +53,9 @@ pub enum ArchPreset {
     /// NVIDIA Kepler GK104: L1 serves only local accesses; global loads see
     /// L2 at best.
     KeplerGk104,
+    /// NVIDIA Kepler GK110: GK104's geometry with global loads routed
+    /// through the L1 (the read-only data path measured by Mei & Chu).
+    KeplerGk110,
     /// NVIDIA Maxwell GM107: L1 data cache removed; L2 and DRAM slower than
     /// Kepler's.
     MaxwellGm107,
@@ -50,11 +63,12 @@ pub enum ArchPreset {
 
 impl ArchPreset {
     /// All presets in generation order.
-    pub const ALL: [ArchPreset; 5] = [
+    pub const ALL: [ArchPreset; 6] = [
         ArchPreset::TeslaGt200,
         ArchPreset::FermiGf106,
         ArchPreset::FermiGf100,
         ArchPreset::KeplerGk104,
+        ArchPreset::KeplerGk110,
         ArchPreset::MaxwellGm107,
     ];
 
@@ -73,11 +87,29 @@ impl ArchPreset {
             ArchPreset::FermiGf106 => "GF106 (Fermi)",
             ArchPreset::FermiGf100 => "GF100 (Fermi)",
             ArchPreset::KeplerGk104 => "GK104 (Kepler)",
+            ArchPreset::KeplerGk110 => "GK110 (Kepler)",
             ArchPreset::MaxwellGm107 => "GM107 (Maxwell)",
         }
     }
 
-    /// The paper's Table I values for this architecture.
+    /// Parses a user-facing preset name as the sweep/trace binaries accept
+    /// it: a chip name (`gk104`) or a generation name (`kepler`, which maps
+    /// to the generation's Table I representative). Case-insensitive.
+    pub fn parse(s: &str) -> Option<ArchPreset> {
+        match s.to_ascii_lowercase().as_str() {
+            "tesla" | "gt200" => Some(ArchPreset::TeslaGt200),
+            "fermi" | "gf106" => Some(ArchPreset::FermiGf106),
+            "gf100" => Some(ArchPreset::FermiGf100),
+            "kepler" | "gk104" => Some(ArchPreset::KeplerGk104),
+            "gk110" => Some(ArchPreset::KeplerGk110),
+            "maxwell" | "gm107" => Some(ArchPreset::MaxwellGm107),
+            _ => None,
+        }
+    }
+
+    /// The paper's Table I values for this architecture. The GK110 preset is
+    /// not a Table I column; its expectations are GK104's timings with the
+    /// L1 row observable from the global pipeline.
     pub fn table1_expected(self) -> Table1Row {
         match self {
             ArchPreset::TeslaGt200 => Table1Row {
@@ -95,6 +127,11 @@ impl ArchPreset {
                 l2: Some(175),
                 dram: 300,
             },
+            ArchPreset::KeplerGk110 => Table1Row {
+                l1: Some(30), // read-only global path through the L1
+                l2: Some(175),
+                dram: 300,
+            },
             ArchPreset::MaxwellGm107 => Table1Row {
                 l1: None,
                 l2: Some(194),
@@ -103,44 +140,50 @@ impl ArchPreset {
         }
     }
 
+    /// The declarative machine description for this generation — the
+    /// authoritative data table everything else (config, tick schedule,
+    /// sweep cache keys, trace stage labels) derives from.
+    pub fn desc(self) -> ArchDesc {
+        match self {
+            ArchPreset::TeslaGt200 => tesla_gt200(),
+            ArchPreset::FermiGf106 => fermi(4, 2, "GF106 (Fermi)"),
+            ArchPreset::FermiGf100 => fermi(15, 6, "GF100 (Fermi)"),
+            ArchPreset::KeplerGk104 => kepler(false, "GK104 (Kepler)"),
+            ArchPreset::KeplerGk110 => kepler(true, "GK110 (Kepler)"),
+            ArchPreset::MaxwellGm107 => maxwell_gm107(),
+        }
+    }
+
     /// Builds the full simulated machine for this generation.
     ///
     /// # Panics
     ///
-    /// Panics if the preset fails [`GpuConfig::assert_valid`] — presets are
-    /// hand-written literals, so a structural mistake (a zero queue, an L1
-    /// slower than its L2) should fail at construction, not as a mystery
+    /// Panics if the preset fails description validation — presets are
+    /// hand-written data tables, so a structural mistake (a zero queue, an
+    /// L1 slower than its L2) should fail at construction, not as a mystery
     /// deadlock deep in a run.
     pub fn config(self) -> GpuConfig {
-        let c = match self {
-            ArchPreset::TeslaGt200 => tesla_gt200(),
-            ArchPreset::FermiGf106 => fermi(4, 2, "GF106 (Fermi)"),
-            ArchPreset::FermiGf100 => fermi(15, 6, "GF100 (Fermi)"),
-            ArchPreset::KeplerGk104 => kepler_gk104(),
-            ArchPreset::MaxwellGm107 => maxwell_gm107(),
-        };
-        c.assert_valid();
-        c
+        GpuConfig::from_arch(&self.desc()).expect("preset data tables are structurally valid")
     }
 
     /// A single-SM, single-partition variant with identical pipeline
     /// latencies, used by the static-latency microbenchmarks: a lone thread
     /// cannot create contention, so shrinking the machine changes nothing
-    /// but simulation speed.
+    /// but simulation speed. This is [`ArchDesc::microbench`] applied to the
+    /// same description that [`ArchPreset::config`] lowers.
     pub fn config_microbench(self) -> GpuConfig {
-        let mut c = self.config();
-        c.num_sms = 1;
-        c.num_partitions = 1;
-        c.assert_valid();
-        c
+        GpuConfig::from_arch(&self.desc().microbench())
+            .expect("shrinking a valid description keeps it valid")
     }
 }
 
-fn common_l2(sets: usize, hit_latency: u64) -> L2Config {
-    L2Config {
+/// Tag/MSHR geometry shared by every modeled cache: 128-byte lines, LRU,
+/// a 32-entry MSHR table merging up to 8 accesses per line.
+fn geom(sets: usize, ways: usize, hit_latency: u64) -> CacheGeom {
+    CacheGeom {
         cache: CacheConfig {
             sets,
-            ways: 8,
+            ways,
             line_size: 128,
             replacement: Replacement::Lru,
         },
@@ -149,196 +192,215 @@ fn common_l2(sets: usize, hit_latency: u64) -> L2Config {
             max_merged: 8,
         },
         hit_latency,
-        input_queue: 8,
+    }
+}
+
+/// An L1 level: 4-way, 8-deep miss queue (the paper's `L1toICNT` queue).
+fn l1_level(sets: usize, hit_latency: u64, routing: Routing) -> LevelDesc {
+    LevelDesc {
+        kind: LevelKind::L1,
+        geom: Some(geom(sets, 4, hit_latency)),
+        queue: 8,
+        routing,
         write_policy: WritePolicy::WriteThrough,
     }
 }
 
-fn common_l1(sets: usize, hit_latency: u64, serve_global: bool, serve_local: bool) -> L1Config {
-    L1Config {
-        cache: CacheConfig {
-            sets,
-            ways: 4,
-            line_size: 128,
-            replacement: Replacement::Lru,
-        },
-        mshr: MshrConfig {
-            entries: 32,
-            max_merged: 8,
-        },
-        hit_latency,
-        miss_queue: 8,
-        serve_global,
-        serve_local,
+/// An L2 slice level: 8-way, 8-deep input queue, serving both spaces.
+fn l2_level(sets: usize, hit_latency: u64) -> LevelDesc {
+    LevelDesc {
+        kind: LevelKind::L2,
+        geom: Some(geom(sets, 8, hit_latency)),
+        queue: 8,
+        routing: Routing::ALL,
+        write_policy: WritePolicy::WriteThrough,
     }
 }
 
-fn dram(t_rcd: u64, t_rp: u64, t_cl: u64, burst: u64) -> DramConfig {
-    DramConfig {
+/// A cache level the generation does not have: no geometry, no routing,
+/// only the structural queue every level keeps.
+fn absent_level(kind: LevelKind) -> LevelDesc {
+    LevelDesc {
+        kind,
+        geom: None,
+        queue: 8,
+        routing: Routing::NONE,
+        write_policy: WritePolicy::WriteThrough,
+    }
+}
+
+/// The DRAM front: a 128-deep controller queue, no cache geometry.
+fn dram_front() -> LevelDesc {
+    LevelDesc {
+        kind: LevelKind::DramFront,
+        geom: None,
+        queue: 128,
+        routing: Routing::ALL,
+        write_policy: WritePolicy::WriteThrough,
+    }
+}
+
+/// GDDR timing shared across the tables except for the four paper-visible
+/// parameters.
+fn mem(t_rcd: u64, t_rp: u64, t_cl: u64, burst: u64, num_partitions: usize) -> MemDesc {
+    MemDesc {
         timing: DramTiming {
             t_rcd,
             t_rp,
             t_cl,
             burst,
         },
-        queue_capacity: 128,
         sched: DramSched::FrFcfs,
+        num_partitions,
+        partition_chunk: 256,
+        banks: 16,
+        row_bytes: 2048,
+    }
+}
+
+fn fabric(latency: u64, rop_latency: u64) -> FabricDesc {
+    FabricDesc {
+        icnt: IcntConfig {
+            latency,
+            output_queue: 8,
+            inject_per_src: 1,
+            eject_per_dst: 1,
+        },
+        rop_latency,
+        rop_queue: 16,
     }
 }
 
 /// Tesla GT200: 30 SMs, 8 partitions, no data caches for global memory.
 /// Target: DRAM 440.
-fn tesla_gt200() -> GpuConfig {
-    GpuConfig {
+fn tesla_gt200() -> ArchDesc {
+    ArchDesc {
         name: "GT200 (Tesla)".to_string(),
         num_sms: 30,
-        warp_size: 32,
-        max_warps_per_sm: 32,
-        max_ctas_per_sm: 8,
-        issue_width: 1,
-        scheduler: SchedPolicy::Lrr,
-        alu_latency: 24,
-        fp_latency: 24,
-        sfu_latency: 48,
-        shared_latency: 38,
-        sm_base_latency: 24,
-        lsu_queue: 34,
         line_size: 128,
-        l1: None,
-        icnt: IcntConfig {
-            latency: 40,
-            output_queue: 8,
-            inject_per_src: 1,
-            eject_per_dst: 1,
+        sm: SmDesc {
+            warp_size: 32,
+            max_warps: 32,
+            max_ctas: 8,
+            issue_width: 1,
+            scheduler: SchedPolicy::Lrr,
+            alu_latency: 24,
+            fp_latency: 24,
+            sfu_latency: 48,
+            shared_latency: 38,
+            base_latency: 24,
+            lsu_queue: 34,
+            fill_latency: 10,
         },
-        rop_latency: 45,
-        rop_queue: 16,
-        l2: None,
-        dram: dram(60, 60, 151, 8),
-        num_partitions: 8,
-        partition_chunk: 256,
-        dram_banks: 16,
-        dram_row_bytes: 2048,
-        fill_latency: 10,
-        sanitize: true,
-        trace: gpu_sim::TraceConfig::default(),
+        levels: vec![
+            absent_level(LevelKind::L1),
+            absent_level(LevelKind::L2),
+            dram_front(),
+        ],
+        fabric: fabric(40, 45),
+        mem: mem(60, 60, 151, 8, 8),
     }
 }
 
 /// Fermi GF100/GF106: two-level hierarchy, L1 serves global and local.
 /// Targets: L1 45, L2 310, DRAM 685.
-fn fermi(num_sms: usize, num_partitions: usize, name: &str) -> GpuConfig {
-    GpuConfig {
+fn fermi(num_sms: usize, num_partitions: usize, name: &str) -> ArchDesc {
+    ArchDesc {
         name: name.to_string(),
         num_sms,
-        warp_size: 32,
-        max_warps_per_sm: 48,
-        max_ctas_per_sm: 8,
-        issue_width: 2,
-        scheduler: SchedPolicy::Lrr,
-        alu_latency: 18,
-        fp_latency: 18,
-        sfu_latency: 40,
-        shared_latency: 30,
-        sm_base_latency: 28,
-        lsu_queue: 34,
         line_size: 128,
-        l1: Some(common_l1(32, 17, true, true)), // 16 KB
-        icnt: IcntConfig {
-            latency: 48,
-            output_queue: 8,
-            inject_per_src: 1,
-            eject_per_dst: 1,
+        sm: SmDesc {
+            warp_size: 32,
+            max_warps: 48,
+            max_ctas: 8,
+            issue_width: 2,
+            scheduler: SchedPolicy::Lrr,
+            alu_latency: 18,
+            fp_latency: 18,
+            sfu_latency: 40,
+            shared_latency: 30,
+            base_latency: 28,
+            lsu_queue: 34,
+            fill_latency: 10,
         },
-        rop_latency: 60,
-        rop_queue: 16,
-        l2: Some(common_l2(128, 115)), // 128 KB per slice
-        dram: dram(80, 80, 321, 8),
-        num_partitions,
-        partition_chunk: 256,
-        dram_banks: 16,
-        dram_row_bytes: 2048,
-        fill_latency: 10,
-        sanitize: true,
-        trace: gpu_sim::TraceConfig::default(),
+        levels: vec![
+            l1_level(32, 17, Routing::ALL), // 16 KB
+            l2_level(128, 115),             // 128 KB per slice
+            dram_front(),
+        ],
+        fabric: fabric(48, 60),
+        mem: mem(80, 80, 321, 8, num_partitions),
     }
 }
 
-/// Kepler GK104: L1 is local-only; global loads hit L2 at best.
-/// Targets: L1 (local) 30, L2 175, DRAM 300.
-fn kepler_gk104() -> GpuConfig {
-    GpuConfig {
-        name: "GK104 (Kepler)".to_string(),
+/// Kepler GK104/GK110: identical geometry; the chips differ only in the L1
+/// routing table — GK104 caches local accesses only, GK110's read-only
+/// global path goes through the L1 as well.
+/// Targets: L1 30, L2 175, DRAM 300.
+fn kepler(l1_serves_global: bool, name: &str) -> ArchDesc {
+    ArchDesc {
+        name: name.to_string(),
         num_sms: 8,
-        warp_size: 32,
-        max_warps_per_sm: 64,
-        max_ctas_per_sm: 16,
-        issue_width: 2,
-        scheduler: SchedPolicy::Lrr,
-        alu_latency: 11,
-        fp_latency: 11,
-        sfu_latency: 30,
-        shared_latency: 26,
-        sm_base_latency: 14,
-        lsu_queue: 34,
         line_size: 128,
-        l1: Some(common_l1(32, 16, false, true)), // 16 KB, local only
-        icnt: IcntConfig {
-            latency: 25,
-            output_queue: 8,
-            inject_per_src: 1,
-            eject_per_dst: 1,
+        sm: SmDesc {
+            warp_size: 32,
+            max_warps: 64,
+            max_ctas: 16,
+            issue_width: 2,
+            scheduler: SchedPolicy::Lrr,
+            alu_latency: 11,
+            fp_latency: 11,
+            sfu_latency: 30,
+            shared_latency: 26,
+            base_latency: 14,
+            lsu_queue: 34,
+            fill_latency: 9,
         },
-        rop_latency: 30,
-        rop_queue: 16,
-        l2: Some(common_l2(128, 71)), // 128 KB per slice
-        dram: dram(28, 28, 129, 10),
-        num_partitions: 4,
-        partition_chunk: 256,
-        dram_banks: 16,
-        dram_row_bytes: 2048,
-        fill_latency: 9,
-        sanitize: true,
-        trace: gpu_sim::TraceConfig::default(),
+        levels: vec![
+            l1_level(
+                32, // 16 KB
+                16,
+                Routing {
+                    global: l1_serves_global,
+                    local: true,
+                },
+            ),
+            l2_level(128, 71), // 128 KB per slice
+            dram_front(),
+        ],
+        fabric: fabric(25, 30),
+        mem: mem(28, 28, 129, 10, 4),
     }
 }
 
 /// Maxwell GM107: no L1 data cache; larger but slower L2 than Kepler.
 /// Targets: L2 194, DRAM 350.
-fn maxwell_gm107() -> GpuConfig {
-    GpuConfig {
+fn maxwell_gm107() -> ArchDesc {
+    ArchDesc {
         name: "GM107 (Maxwell)".to_string(),
         num_sms: 5,
-        warp_size: 32,
-        max_warps_per_sm: 64,
-        max_ctas_per_sm: 32,
-        issue_width: 2,
-        scheduler: SchedPolicy::Lrr,
-        alu_latency: 6,
-        fp_latency: 6,
-        sfu_latency: 20,
-        shared_latency: 24,
-        sm_base_latency: 16,
-        lsu_queue: 34,
         line_size: 128,
-        l1: None,
-        icnt: IcntConfig {
-            latency: 28,
-            output_queue: 8,
-            inject_per_src: 1,
-            eject_per_dst: 1,
+        sm: SmDesc {
+            warp_size: 32,
+            max_warps: 64,
+            max_ctas: 32,
+            issue_width: 2,
+            scheduler: SchedPolicy::Lrr,
+            alu_latency: 6,
+            fp_latency: 6,
+            sfu_latency: 20,
+            shared_latency: 24,
+            base_latency: 16,
+            lsu_queue: 34,
+            fill_latency: 9,
         },
-        rop_latency: 34,
-        rop_queue: 16,
-        l2: Some(common_l2(1024, 78)), // 1 MB per slice (2 MB total)
-        dram: dram(36, 36, 150, 11),
-        num_partitions: 2,
-        partition_chunk: 256,
-        dram_banks: 16,
-        dram_row_bytes: 2048,
-        fill_latency: 9,
-        sanitize: true,
-        trace: gpu_sim::TraceConfig::default(),
+        levels: vec![
+            absent_level(LevelKind::L1),
+            l2_level(1024, 78), // 1 MB per slice (2 MB total)
+            dram_front(),
+        ],
+        fabric: fabric(28, 34),
+        mem: mem(36, 36, 150, 11, 2),
     }
 }
 
@@ -356,10 +418,21 @@ mod tests {
     }
 
     #[test]
+    fn configs_roundtrip_to_their_descriptions() {
+        // `from_arch` and `arch_desc` are inverses on the preset tables, so
+        // nothing is lost (or silently defaulted) in the lowering.
+        for p in ArchPreset::ALL {
+            let desc = p.desc();
+            let cfg = p.config();
+            assert_eq!(cfg.arch_desc(), desc, "{}", p.name());
+        }
+    }
+
+    #[test]
     fn presets_validate_at_construction() {
-        // `config()` routes through `assert_valid`, so a corrupted preset
-        // can only escape as a panic — prove the rejection paths fire on the
-        // exact classes of mistakes the validator covers.
+        // `config()` routes through description validation, so a corrupted
+        // preset can only escape as a panic — prove the rejection paths fire
+        // on the exact classes of mistakes the validator covers.
         for p in ArchPreset::ALL {
             let c = p.config();
             assert!(c.sanitize, "{}: sanitizer must default on", p.name());
@@ -394,14 +467,27 @@ mod tests {
         let f = ArchPreset::FermiGf106.config();
         assert!(f.l1_serves(PipelineSpace::Global));
         assert!(f.l1_serves(PipelineSpace::Local));
-        // Kepler: L1 local-only.
+        // Kepler GK104: L1 local-only.
         let k = ArchPreset::KeplerGk104.config();
         assert!(!k.l1_serves(PipelineSpace::Global));
         assert!(k.l1_serves(PipelineSpace::Local));
+        // Kepler GK110: the global read path goes through the L1 too.
+        let k110 = ArchPreset::KeplerGk110.config();
+        assert!(k110.l1_serves(PipelineSpace::Global));
+        assert!(k110.l1_serves(PipelineSpace::Local));
         // Maxwell: L1 gone.
         let m = ArchPreset::MaxwellGm107.config();
         assert!(m.l1.is_none());
         assert!(m.l2.is_some());
+    }
+
+    #[test]
+    fn gk110_differs_from_gk104_only_in_l1_routing() {
+        let mut base = ArchPreset::KeplerGk104.desc();
+        let gk110 = ArchPreset::KeplerGk110.desc();
+        base.name = gk110.name.clone();
+        base.levels[0].routing = Routing::ALL;
+        assert_eq!(base, gk110);
     }
 
     #[test]
@@ -432,6 +518,18 @@ mod tests {
             assert_eq!(micro.icnt.latency, full.icnt.latency);
             assert_eq!(micro.dram.timing, full.dram.timing);
         }
+    }
+
+    #[test]
+    fn parse_accepts_chip_and_generation_names() {
+        assert_eq!(ArchPreset::parse("tesla"), Some(ArchPreset::TeslaGt200));
+        assert_eq!(ArchPreset::parse("GT200"), Some(ArchPreset::TeslaGt200));
+        assert_eq!(ArchPreset::parse("fermi"), Some(ArchPreset::FermiGf106));
+        assert_eq!(ArchPreset::parse("gf100"), Some(ArchPreset::FermiGf100));
+        assert_eq!(ArchPreset::parse("kepler"), Some(ArchPreset::KeplerGk104));
+        assert_eq!(ArchPreset::parse("gk110"), Some(ArchPreset::KeplerGk110));
+        assert_eq!(ArchPreset::parse("maxwell"), Some(ArchPreset::MaxwellGm107));
+        assert_eq!(ArchPreset::parse("volta"), None);
     }
 
     #[test]

@@ -13,7 +13,7 @@
 
 use std::fmt;
 
-use gpu_sim::GpuConfig;
+use gpu_sim::{ArchDesc, GpuConfig, LevelKind};
 
 use crate::chase::{measure_chase, ChaseError, ChaseParams};
 use crate::parallel;
@@ -46,31 +46,44 @@ impl MeasuredRow {
     }
 }
 
-/// The chase operating points of one Table I row, derived from the
-/// preset's own cache capacities (see module docs). The `bool`s record
+/// The chase operating points of one Table I row: a generic walk over the
+/// architecture description's level list, deriving each point's footprint
+/// from the levels' own capacities (see module docs). The `bool`s record
 /// which optional levels exist so results can be reassembled positionally.
-fn row_points(cfg: &GpuConfig) -> (Vec<ChaseParams>, bool, bool) {
-    let mut points = Vec::with_capacity(3);
-    let has_l1 = cfg.l1.is_some();
-    if let Some(l1cfg) = &cfg.l1 {
-        let footprint = l1cfg.cache.capacity() / 4;
-        points.push(if l1cfg.serve_global {
-            ChaseParams::global(footprint, 128)
-        } else {
-            // Kepler-style: only local accesses can hit the L1.
-            ChaseParams::local(footprint, 128)
-        });
+fn row_points(desc: &ArchDesc) -> (Vec<ChaseParams>, bool, bool) {
+    let cap = |kind: LevelKind| {
+        desc.level(kind)
+            .and_then(|l| l.geom)
+            .map(|g| g.cache.capacity())
+    };
+    let (l1_cap, l2_cap) = (cap(LevelKind::L1), cap(LevelKind::L2));
+    let mut points = Vec::with_capacity(desc.levels.len());
+    for level in &desc.levels {
+        match (level.kind, level.geom) {
+            (LevelKind::L1, Some(g)) => {
+                let footprint = g.cache.capacity() / 4;
+                points.push(if level.routing.global {
+                    ChaseParams::global(footprint, 128)
+                } else {
+                    // Kepler-style: only local accesses can hit the L1.
+                    ChaseParams::local(footprint, 128)
+                });
+            }
+            (LevelKind::L2, Some(g)) => {
+                let slice = g.cache.capacity();
+                let footprint = (l1_cap.unwrap_or(0) * 8).max(32 * 1024).min(slice / 2);
+                points.push(ChaseParams::global(footprint, 512));
+            }
+            (LevelKind::DramFront, _) => {
+                let slice = l2_cap.unwrap_or(256 * 1024);
+                points.push(ChaseParams::global(slice * 4, 4096));
+            }
+            // A cache level the generation does not have contributes no
+            // operating point.
+            (_, None) => {}
+        }
     }
-    let has_l2 = cfg.l2.is_some();
-    if let Some(l2cfg) = &cfg.l2 {
-        let slice = l2cfg.cache.capacity();
-        let l1cap = cfg.l1.as_ref().map_or(0, |l| l.cache.capacity());
-        let footprint = (l1cap * 8).max(32 * 1024).min(slice / 2);
-        points.push(ChaseParams::global(footprint, 512));
-    }
-    let slice = cfg.l2.as_ref().map_or(256 * 1024, |l| l.cache.capacity());
-    points.push(ChaseParams::global(slice * 4, 4096));
-    (points, has_l1, has_l2)
+    (points, l1_cap.is_some(), l2_cap.is_some())
 }
 
 fn assemble_row(latencies: &[f64], has_l1: bool, has_l2: bool) -> MeasuredRow {
@@ -93,7 +106,7 @@ fn assemble_row(latencies: &[f64], has_l1: bool, has_l2: bool) -> MeasuredRow {
 /// Propagates simulator failures as [`ChaseError`].
 pub fn measure_row(preset: ArchPreset) -> Result<MeasuredRow, ChaseError> {
     let cfg = preset.config_microbench();
-    let (points, has_l1, has_l2) = row_points(&cfg);
+    let (points, has_l1, has_l2) = row_points(&cfg.arch_desc());
     let latencies = parallel::try_par_map(&points, |_, params| {
         measure_chase(&cfg, params).map(|m| m.per_access)
     })?;
@@ -108,7 +121,7 @@ pub fn measure_row(preset: ArchPreset) -> Result<MeasuredRow, ChaseError> {
 /// Propagates simulator failures as [`ChaseError`].
 pub fn measure_row_serial(preset: ArchPreset) -> Result<MeasuredRow, ChaseError> {
     let cfg = preset.config_microbench();
-    let (points, has_l1, has_l2) = row_points(&cfg);
+    let (points, has_l1, has_l2) = row_points(&cfg.arch_desc());
     let mut latencies = Vec::with_capacity(points.len());
     for params in &points {
         latencies.push(measure_chase(&cfg, params)?.per_access);
@@ -168,7 +181,7 @@ impl Table1 {
         let mut batch: Vec<(usize, ChaseParams)> = Vec::new();
         for (row, &p) in presets.iter().enumerate() {
             let cfg = p.config_microbench();
-            let (points, has_l1, has_l2) = row_points(&cfg);
+            let (points, has_l1, has_l2) = row_points(&cfg.arch_desc());
             plans.push(RowPlan {
                 cfg,
                 has_l1,

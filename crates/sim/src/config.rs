@@ -1,26 +1,24 @@
 //! GPU configuration: every latency, queue depth and structural parameter of
 //! the modeled machine.
 //!
-//! A [`GpuConfig`] fully describes one simulated GPU. The per-generation
-//! presets that reproduce the paper's Table I live in `latency-core`
-//! (`ArchPreset`); this module only defines the knobs and a neutral
+//! A [`GpuConfig`] fully describes one simulated GPU. It is interconvertible
+//! with the declarative [`ArchDesc`] from `gpu-arch`
+//! ([`GpuConfig::from_arch`] / [`GpuConfig::arch_desc`]): the description is
+//! the authoritative per-generation data table (the presets in
+//! `latency-core` are built as descriptions), while the config is the flat
+//! working form the simulator components read. Validation, the typed
+//! [`ConfigError`], and the generic unloaded-latency walks all live on the
+//! description; this module only defines the knobs and a neutral
 //! Fermi-GF100-like default, mirroring how GPGPU-Sim separates the simulator
 //! from its config files.
 
+use gpu_arch::{ArchDesc, CacheGeom, FabricDesc, LevelDesc, LevelKind, MemDesc, Routing, SmDesc};
 use gpu_icnt::IcntConfig;
 use gpu_mem::{CacheConfig, DramConfig, DramSched, DramTiming, MshrConfig, Replacement};
 use gpu_snapshot::{Decoder, Encoder, SnapshotError, StableHasher};
 use gpu_trace::TraceConfig;
 
-/// Warp scheduling policy of an SM.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum SchedPolicy {
-    /// Loose round-robin: rotate priority one slot past the last issuer.
-    Lrr,
-    /// Greedy-then-oldest: keep issuing the same warp until it stalls, then
-    /// fall back to the oldest ready warp.
-    Gto,
-}
+pub use gpu_arch::{ConfigError, SchedPolicy, WritePolicy};
 
 /// L1 data-cache configuration, including which memory spaces it serves —
 /// the per-generation policy at the heart of the paper's §II discussion
@@ -42,19 +40,6 @@ pub struct L1Config {
     pub serve_local: bool,
 }
 
-/// How the L2 handles global stores.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum WritePolicy {
-    /// Write-through, no-allocate, write-evict: every store goes to DRAM
-    /// (the workspace default, and the policy the Table-I calibration
-    /// assumes).
-    WriteThrough,
-    /// Write-back with write-allocate (no fetch-on-write): stores complete
-    /// at the L2 and dirty victims are written back on eviction — closer to
-    /// real Fermi's L2 and available as an ablation (experiment E8).
-    WriteBack,
-}
-
 /// L2 slice configuration (one slice per memory partition).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct L2Config {
@@ -69,6 +54,11 @@ pub struct L2Config {
     /// Store handling policy.
     pub write_policy: WritePolicy,
 }
+
+/// Fallback capacity of the structural queue a level keeps even when its
+/// cache is absent (a Tesla partition still has an input queue in front of
+/// its DRAM path).
+const ABSENT_LEVEL_QUEUE: usize = 8;
 
 /// Complete description of a simulated GPU.
 #[derive(Debug, Clone, PartialEq)]
@@ -219,15 +209,198 @@ impl GpuConfig {
         }
     }
 
-    /// Returns `true` if the L1 serves accesses of the given pipeline space.
-    pub fn l1_serves(&self, space: gpu_mem::PipelineSpace) -> bool {
-        match &self.l1 {
-            None => false,
-            Some(l1) => match space {
-                gpu_mem::PipelineSpace::Global => l1.serve_global,
-                gpu_mem::PipelineSpace::Local => l1.serve_local,
+    // ---- ArchDesc interconversion -----------------------------------------
+
+    /// Builds a validated config from a declarative architecture
+    /// description. The sanitizer defaults on and tracing off, exactly as
+    /// in [`GpuConfig::fermi_gf100`] — observability switches are run
+    /// settings, not part of the architecture.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated structural invariant of the description.
+    pub fn from_arch(desc: &ArchDesc) -> Result<Self, ConfigError> {
+        desc.validate()?;
+        let l1 = desc.level(LevelKind::L1).and_then(|level| {
+            level.geom.map(|g| L1Config {
+                cache: g.cache,
+                mshr: g.mshr,
+                hit_latency: g.hit_latency,
+                miss_queue: level.queue,
+                serve_global: level.routing.global,
+                serve_local: level.routing.local,
+            })
+        });
+        let l2 = desc.level(LevelKind::L2).and_then(|level| {
+            level.geom.map(|g| L2Config {
+                cache: g.cache,
+                mshr: g.mshr,
+                hit_latency: g.hit_latency,
+                input_queue: level.queue,
+                write_policy: level.write_policy,
+            })
+        });
+        let dram_queue = desc
+            .level(LevelKind::DramFront)
+            .expect("validated topology lists the DRAM front")
+            .queue;
+        Ok(GpuConfig {
+            name: desc.name.clone(),
+            num_sms: desc.num_sms,
+            warp_size: desc.sm.warp_size,
+            max_warps_per_sm: desc.sm.max_warps,
+            max_ctas_per_sm: desc.sm.max_ctas,
+            issue_width: desc.sm.issue_width,
+            scheduler: desc.sm.scheduler,
+            alu_latency: desc.sm.alu_latency,
+            fp_latency: desc.sm.fp_latency,
+            sfu_latency: desc.sm.sfu_latency,
+            shared_latency: desc.sm.shared_latency,
+            sm_base_latency: desc.sm.base_latency,
+            lsu_queue: desc.sm.lsu_queue,
+            line_size: desc.line_size,
+            l1,
+            icnt: desc.fabric.icnt,
+            rop_latency: desc.fabric.rop_latency,
+            rop_queue: desc.fabric.rop_queue,
+            l2,
+            dram: DramConfig {
+                timing: desc.mem.timing,
+                queue_capacity: dram_queue,
+                sched: desc.mem.sched,
+            },
+            num_partitions: desc.mem.num_partitions,
+            partition_chunk: desc.mem.partition_chunk,
+            dram_banks: desc.mem.banks,
+            dram_row_bytes: desc.mem.row_bytes,
+            fill_latency: desc.sm.fill_latency,
+            sanitize: true,
+            trace: TraceConfig::default(),
+        })
+    }
+
+    /// The declarative description of this machine. Round-trips through
+    /// [`GpuConfig::from_arch`] up to the structural queue defaults of
+    /// absent cache levels (an absent L1/L2 reconstructs with the fallback
+    /// queue capacity and [`Routing::NONE`]).
+    pub fn arch_desc(&self) -> ArchDesc {
+        ArchDesc {
+            name: self.name.clone(),
+            num_sms: self.num_sms,
+            line_size: self.line_size,
+            sm: SmDesc {
+                warp_size: self.warp_size,
+                max_warps: self.max_warps_per_sm,
+                max_ctas: self.max_ctas_per_sm,
+                issue_width: self.issue_width,
+                scheduler: self.scheduler,
+                alu_latency: self.alu_latency,
+                fp_latency: self.fp_latency,
+                sfu_latency: self.sfu_latency,
+                shared_latency: self.shared_latency,
+                base_latency: self.sm_base_latency,
+                lsu_queue: self.lsu_queue,
+                fill_latency: self.fill_latency,
+            },
+            levels: self.level_descs().to_vec(),
+            fabric: FabricDesc {
+                icnt: self.icnt,
+                rop_latency: self.rop_latency,
+                rop_queue: self.rop_queue,
+            },
+            mem: MemDesc {
+                timing: self.dram.timing,
+                sched: self.dram.sched,
+                num_partitions: self.num_partitions,
+                partition_chunk: self.partition_chunk,
+                banks: self.dram_banks,
+                row_bytes: self.dram_row_bytes,
             },
         }
+    }
+
+    /// The memory hierarchy as level descriptors, in pipeline order. Built
+    /// on the stack (no allocation) so simulator constructors and hot
+    /// audits can walk the hierarchy freely; absent caches keep their
+    /// structural entry with no geometry.
+    pub fn level_descs(&self) -> [LevelDesc; 3] {
+        let l1 = match &self.l1 {
+            Some(l1) => LevelDesc {
+                kind: LevelKind::L1,
+                geom: Some(CacheGeom {
+                    cache: l1.cache,
+                    mshr: l1.mshr,
+                    hit_latency: l1.hit_latency,
+                }),
+                queue: l1.miss_queue,
+                routing: Routing {
+                    global: l1.serve_global,
+                    local: l1.serve_local,
+                },
+                // The modeled L1 is always write-through write-evict; only
+                // the L2 has a configurable store policy.
+                write_policy: WritePolicy::WriteThrough,
+            },
+            None => LevelDesc {
+                kind: LevelKind::L1,
+                geom: None,
+                queue: ABSENT_LEVEL_QUEUE,
+                routing: Routing::NONE,
+                write_policy: WritePolicy::WriteThrough,
+            },
+        };
+        let l2 = match &self.l2 {
+            Some(l2) => LevelDesc {
+                kind: LevelKind::L2,
+                geom: Some(CacheGeom {
+                    cache: l2.cache,
+                    mshr: l2.mshr,
+                    hit_latency: l2.hit_latency,
+                }),
+                queue: l2.input_queue,
+                routing: Routing::ALL,
+                write_policy: l2.write_policy,
+            },
+            None => LevelDesc {
+                kind: LevelKind::L2,
+                geom: None,
+                queue: ABSENT_LEVEL_QUEUE,
+                routing: Routing::NONE,
+                write_policy: WritePolicy::WriteThrough,
+            },
+        };
+        let dram = LevelDesc {
+            kind: LevelKind::DramFront,
+            geom: None,
+            queue: self.dram.queue_capacity,
+            routing: Routing::ALL,
+            write_policy: WritePolicy::WriteThrough,
+        };
+        [l1, l2, dram]
+    }
+
+    /// The descriptor of one hierarchy level (stack-built, no allocation).
+    pub fn level_desc(&self, kind: LevelKind) -> LevelDesc {
+        let idx = match kind {
+            LevelKind::L1 => 0,
+            LevelKind::L2 => 1,
+            LevelKind::DramFront => 2,
+        };
+        self.level_descs()[idx]
+    }
+
+    /// Returns `true` if the L1 serves accesses of the given pipeline space.
+    pub fn l1_serves(&self, space: gpu_mem::PipelineSpace) -> bool {
+        self.level_desc(LevelKind::L1)
+            .effective_routing()
+            .serves(space)
+    }
+
+    /// Analytic unloaded (zero-contention) latency of a hit at the given
+    /// hierarchy level, as a generic walk over the level list (see
+    /// [`ArchDesc::unloaded_latency`]).
+    pub fn unloaded_latency(&self, kind: LevelKind) -> Option<u64> {
+        self.arch_desc().unloaded_latency(kind)
     }
 
     /// Analytic unloaded (zero-contention) latency of an L1 hit: front-end
@@ -235,37 +408,22 @@ impl GpuConfig {
     /// traverse the response fill stage), so this matches the measured
     /// dependent-load round trip exactly.
     pub fn unloaded_l1_hit(&self) -> Option<u64> {
-        let l1 = self.l1.as_ref()?;
-        Some(self.sm_base_latency + l1.hit_latency)
+        self.unloaded_latency(LevelKind::L1)
     }
 
     /// Analytic unloaded latency of an L2 hit through the whole pipeline.
     /// Miss detection at the L1 is a same-cycle tag probe, so the L1 hit
-    /// latency does not appear; the `+1` is the L2 input-queue hop.
+    /// latency does not appear.
     pub fn unloaded_l2_hit(&self) -> Option<u64> {
-        let l2 = self.l2.as_ref()?;
-        Some(
-            self.sm_base_latency
-                + 2 * self.icnt.latency
-                + self.rop_latency
-                + l2.hit_latency
-                + self.fill_latency
-                + 1,
-        )
+        self.unloaded_latency(LevelKind::L2)
     }
 
     /// Analytic unloaded latency of a steady-state DRAM access through the
     /// whole pipeline. A pointer-chase ring revisits each bank with a new
-    /// row, so steady state is the row-*conflict* path; the `+2` covers the
-    /// L2 input-queue and DRAM controller-queue hops.
+    /// row, so steady state is the row-*conflict* path.
     pub fn unloaded_dram(&self) -> u64 {
-        self.sm_base_latency
-            + 2 * self.icnt.latency
-            + self.rop_latency
-            + self.dram.timing.row_conflict()
-            + self.dram.timing.burst
-            + self.fill_latency
-            + 2
+        self.unloaded_latency(LevelKind::DramFront)
+            .expect("the DRAM front is always walkable")
     }
 
     /// Builds the address map implied by this config.
@@ -282,88 +440,18 @@ impl GpuConfig {
     /// zero SMs/partitions, warp size outside 1..=32, mismatched or
     /// non-power-of-two line sizes, any zero-capacity queue (a pipeline
     /// stage that can never hold a request deadlocks the machine), empty
-    /// MSHR tables, or an L1 that is slower than the L2 behind it.
+    /// MSHR tables, or an L1 that is slower than the L2 behind it. The
+    /// structural checks are [`ArchDesc::validate`] applied to this
+    /// config's description; only the trace sampling knob is checked here.
     ///
     /// # Errors
     ///
-    /// Returns a human-readable description of the violated invariant.
-    pub fn validate(&self) -> Result<(), String> {
-        fn check(ok: bool, msg: &str) -> Result<(), String> {
-            if ok {
-                Ok(())
-            } else {
-                Err(msg.to_string())
-            }
+    /// Returns the violated invariant as a typed [`ConfigError`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.arch_desc().validate()?;
+        if self.trace.sample_interval == 0 {
+            return Err(ConfigError::TraceSampleInterval);
         }
-        check(self.num_sms > 0, "need at least one SM")?;
-        check(self.num_partitions > 0, "need at least one partition")?;
-        check(
-            (1..=32).contains(&self.warp_size),
-            "warp size must be 1..=32",
-        )?;
-        check(self.issue_width > 0, "issue width must be positive")?;
-        check(self.max_warps_per_sm > 0, "need at least one warp slot")?;
-        check(self.max_ctas_per_sm > 0, "need at least one CTA slot")?;
-        check(
-            self.line_size > 0 && self.line_size.is_power_of_two(),
-            "line size must be a nonzero power of two",
-        )?;
-        // The coalescer emits up to warp_size + 1 transactions per access
-        // and the issue stage requires that much free space, so a smaller
-        // front-end pipe could never issue a memory instruction.
-        check(
-            self.lsu_queue > self.warp_size as usize,
-            "LSU queue must hold a worst-case warp's transactions \
-             (> warp_size)",
-        )?;
-        check(self.rop_queue > 0, "ROP queue capacity must be positive")?;
-        check(
-            self.icnt.output_queue > 0,
-            "interconnect output queue capacity must be positive",
-        )?;
-        check(
-            self.dram.queue_capacity > 0,
-            "DRAM controller queue capacity must be positive",
-        )?;
-        if let Some(l1) = &self.l1 {
-            check(
-                l1.cache.line_size == self.line_size,
-                "L1 line size mismatch",
-            )?;
-            check(l1.miss_queue > 0, "L1 miss queue capacity must be positive")?;
-            check(l1.mshr.entries > 0, "L1 MSHR table needs entries")?;
-            check(
-                l1.mshr.max_merged > 0,
-                "L1 MSHR merge depth must be positive",
-            )?;
-        }
-        if let Some(l2) = &self.l2 {
-            check(
-                l2.cache.line_size == self.line_size,
-                "L2 line size mismatch",
-            )?;
-            check(
-                l2.input_queue > 0,
-                "L2 input queue capacity must be positive",
-            )?;
-            check(l2.mshr.entries > 0, "L2 MSHR table needs entries")?;
-            check(
-                l2.mshr.max_merged > 0,
-                "L2 MSHR merge depth must be positive",
-            )?;
-        }
-        if let (Some(l1), Some(l2)) = (&self.l1, &self.l2) {
-            if l1.hit_latency >= l2.hit_latency {
-                return Err(format!(
-                    "L1 hit latency ({}) must be below L2 hit latency ({})",
-                    l1.hit_latency, l2.hit_latency
-                ));
-            }
-        }
-        check(
-            self.trace.sample_interval > 0,
-            "trace sample interval must be positive",
-        )?;
         Ok(())
     }
 
@@ -373,80 +461,19 @@ impl GpuConfig {
     ///
     /// Panics with the violated invariant's description.
     pub fn assert_valid(&self) {
-        if let Err(msg) = self.validate() {
-            panic!("{msg}");
+        if let Err(e) = self.validate() {
+            panic!("{e}");
         }
     }
 
     // ---- snapshot codec and content hashing --------------------------------
 
-    /// Serializes the complete configuration into a checkpoint, including
-    /// the display name and the trace/sanitize switches — a restored GPU
-    /// must be indistinguishable from the one that was checkpointed.
+    /// Serializes the complete configuration into a checkpoint: the
+    /// versioned [`ArchDesc`] frame, then the trace/sanitize switches — a
+    /// restored GPU must be indistinguishable from the one that was
+    /// checkpointed.
     pub fn encode_state(&self, e: &mut Encoder) {
-        e.str(&self.name);
-        e.usize(self.num_sms);
-        e.u32(self.warp_size);
-        e.usize(self.max_warps_per_sm);
-        e.usize(self.max_ctas_per_sm);
-        e.usize(self.issue_width);
-        e.u8(match self.scheduler {
-            SchedPolicy::Lrr => 0,
-            SchedPolicy::Gto => 1,
-        });
-        e.u64(self.alu_latency);
-        e.u64(self.fp_latency);
-        e.u64(self.sfu_latency);
-        e.u64(self.shared_latency);
-        e.u64(self.sm_base_latency);
-        e.usize(self.lsu_queue);
-        e.u64(self.line_size);
-        match &self.l1 {
-            None => e.bool(false),
-            Some(l1) => {
-                e.bool(true);
-                encode_cache_cfg(e, &l1.cache);
-                encode_mshr_cfg(e, &l1.mshr);
-                e.u64(l1.hit_latency);
-                e.usize(l1.miss_queue);
-                e.bool(l1.serve_global);
-                e.bool(l1.serve_local);
-            }
-        }
-        e.u64(self.icnt.latency);
-        e.usize(self.icnt.output_queue);
-        e.usize(self.icnt.inject_per_src);
-        e.usize(self.icnt.eject_per_dst);
-        e.u64(self.rop_latency);
-        e.usize(self.rop_queue);
-        match &self.l2 {
-            None => e.bool(false),
-            Some(l2) => {
-                e.bool(true);
-                encode_cache_cfg(e, &l2.cache);
-                encode_mshr_cfg(e, &l2.mshr);
-                e.u64(l2.hit_latency);
-                e.usize(l2.input_queue);
-                e.u8(match l2.write_policy {
-                    WritePolicy::WriteThrough => 0,
-                    WritePolicy::WriteBack => 1,
-                });
-            }
-        }
-        e.u64(self.dram.timing.t_rcd);
-        e.u64(self.dram.timing.t_rp);
-        e.u64(self.dram.timing.t_cl);
-        e.u64(self.dram.timing.burst);
-        e.usize(self.dram.queue_capacity);
-        e.u8(match self.dram.sched {
-            DramSched::FrFcfs => 0,
-            DramSched::Fcfs => 1,
-        });
-        e.usize(self.num_partitions);
-        e.u64(self.partition_chunk);
-        e.usize(self.dram_banks);
-        e.u64(self.dram_row_bytes);
-        e.u64(self.fill_latency);
+        self.arch_desc().encode_state(e);
         e.bool(self.sanitize);
         e.bool(self.trace.enabled);
         e.u64(self.trace.sample_interval);
@@ -454,116 +481,27 @@ impl GpuConfig {
         e.usize(self.trace.counter_capacity);
     }
 
-    /// Decodes a configuration written by [`GpuConfig::encode_state`].
-    /// Callers must still run [`GpuConfig::validate`] before building a GPU
-    /// from the result — the codec checks tags, not structural invariants.
+    /// Decodes a configuration written by [`GpuConfig::encode_state`]:
+    /// the architecture-description frame is decoded, structurally
+    /// validated and lowered via [`GpuConfig::from_arch`].
     ///
     /// # Errors
     ///
-    /// Rejects unknown enum tags and propagates decoder errors.
+    /// Rejects unknown frame versions and enum tags, and descriptions that
+    /// fail structural validation — always a typed error, never a panic.
     pub fn decode(d: &mut Decoder) -> Result<Self, SnapshotError> {
-        use SnapshotError::InvalidValue;
-        let name = d.str()?.to_string();
-        let num_sms = d.usize()?;
-        let warp_size = d.u32()?;
-        let max_warps_per_sm = d.usize()?;
-        let max_ctas_per_sm = d.usize()?;
-        let issue_width = d.usize()?;
-        let scheduler = match d.u8()? {
-            0 => SchedPolicy::Lrr,
-            1 => SchedPolicy::Gto,
-            _ => return Err(InvalidValue("unknown scheduler tag")),
+        let desc = ArchDesc::decode(d)?;
+        let mut cfg = GpuConfig::from_arch(&desc).map_err(|_| {
+            SnapshotError::InvalidValue("configuration fails structural validation")
+        })?;
+        cfg.sanitize = d.bool()?;
+        cfg.trace = TraceConfig {
+            enabled: d.bool()?,
+            sample_interval: d.u64()?,
+            max_events: d.usize()?,
+            counter_capacity: d.usize()?,
         };
-        let alu_latency = d.u64()?;
-        let fp_latency = d.u64()?;
-        let sfu_latency = d.u64()?;
-        let shared_latency = d.u64()?;
-        let sm_base_latency = d.u64()?;
-        let lsu_queue = d.usize()?;
-        let line_size = d.u64()?;
-        let l1 = if d.bool()? {
-            Some(L1Config {
-                cache: decode_cache_cfg(d)?,
-                mshr: decode_mshr_cfg(d)?,
-                hit_latency: d.u64()?,
-                miss_queue: d.usize()?,
-                serve_global: d.bool()?,
-                serve_local: d.bool()?,
-            })
-        } else {
-            None
-        };
-        let icnt = IcntConfig {
-            latency: d.u64()?,
-            output_queue: d.usize()?,
-            inject_per_src: d.usize()?,
-            eject_per_dst: d.usize()?,
-        };
-        let rop_latency = d.u64()?;
-        let rop_queue = d.usize()?;
-        let l2 = if d.bool()? {
-            Some(L2Config {
-                cache: decode_cache_cfg(d)?,
-                mshr: decode_mshr_cfg(d)?,
-                hit_latency: d.u64()?,
-                input_queue: d.usize()?,
-                write_policy: match d.u8()? {
-                    0 => WritePolicy::WriteThrough,
-                    1 => WritePolicy::WriteBack,
-                    _ => return Err(InvalidValue("unknown write-policy tag")),
-                },
-            })
-        } else {
-            None
-        };
-        let dram = DramConfig {
-            timing: DramTiming {
-                t_rcd: d.u64()?,
-                t_rp: d.u64()?,
-                t_cl: d.u64()?,
-                burst: d.u64()?,
-            },
-            queue_capacity: d.usize()?,
-            sched: match d.u8()? {
-                0 => DramSched::FrFcfs,
-                1 => DramSched::Fcfs,
-                _ => return Err(InvalidValue("unknown DRAM scheduler tag")),
-            },
-        };
-        Ok(GpuConfig {
-            name,
-            num_sms,
-            warp_size,
-            max_warps_per_sm,
-            max_ctas_per_sm,
-            issue_width,
-            scheduler,
-            alu_latency,
-            fp_latency,
-            sfu_latency,
-            shared_latency,
-            sm_base_latency,
-            lsu_queue,
-            line_size,
-            l1,
-            icnt,
-            rop_latency,
-            rop_queue,
-            l2,
-            dram,
-            num_partitions: d.usize()?,
-            partition_chunk: d.u64()?,
-            dram_banks: d.usize()?,
-            dram_row_bytes: d.u64()?,
-            fill_latency: d.u64()?,
-            sanitize: d.bool()?,
-            trace: TraceConfig {
-                enabled: d.bool()?,
-                sample_interval: d.u64()?,
-                max_events: d.usize()?,
-                counter_capacity: d.usize()?,
-            },
-        })
+        Ok(cfg)
     }
 
     /// Feeds every field that can change simulated timing into `h`, in a
@@ -571,6 +509,10 @@ impl GpuConfig {
     /// `sanitize`/`trace` switches: observability must not change a run's
     /// content hash (the traced-vs-untraced identity guarantee), and
     /// renaming a preset must not invalidate its cached results.
+    ///
+    /// The byte stream is pinned by the preset golden test — it feeds
+    /// `RunSummary::content_hash` — so it keeps the flat historical field
+    /// order rather than delegating to [`ArchDesc::hash_desc`].
     pub fn hash_timing(&self, h: &mut StableHasher) {
         h.usize(self.num_sms);
         h.u32(self.warp_size);
@@ -633,29 +575,6 @@ impl GpuConfig {
     }
 }
 
-fn encode_cache_cfg(e: &mut Encoder, c: &CacheConfig) {
-    e.usize(c.sets);
-    e.usize(c.ways);
-    e.u64(c.line_size);
-    e.u8(match c.replacement {
-        Replacement::Lru => 0,
-        Replacement::Fifo => 1,
-    });
-}
-
-fn decode_cache_cfg(d: &mut Decoder) -> Result<CacheConfig, SnapshotError> {
-    Ok(CacheConfig {
-        sets: d.usize()?,
-        ways: d.usize()?,
-        line_size: d.u64()?,
-        replacement: match d.u8()? {
-            0 => Replacement::Lru,
-            1 => Replacement::Fifo,
-            _ => return Err(SnapshotError::InvalidValue("unknown replacement tag")),
-        },
-    })
-}
-
 fn hash_cache_cfg(h: &mut StableHasher, c: &CacheConfig) {
     h.usize(c.sets);
     h.usize(c.ways);
@@ -664,18 +583,6 @@ fn hash_cache_cfg(h: &mut StableHasher, c: &CacheConfig) {
         Replacement::Lru => 0,
         Replacement::Fifo => 1,
     });
-}
-
-fn encode_mshr_cfg(e: &mut Encoder, m: &MshrConfig) {
-    e.usize(m.entries);
-    e.usize(m.max_merged);
-}
-
-fn decode_mshr_cfg(d: &mut Decoder) -> Result<MshrConfig, SnapshotError> {
-    Ok(MshrConfig {
-        entries: d.usize()?,
-        max_merged: d.usize()?,
-    })
 }
 
 // `GpuConfig` is shared by reference across the `latency-core` worker pool
@@ -734,6 +641,71 @@ mod tests {
     #[test]
     fn tracing_is_off_by_default() {
         assert!(!GpuConfig::fermi_gf100().trace.enabled);
+    }
+
+    #[test]
+    fn arch_desc_roundtrips_through_from_arch() {
+        let c = GpuConfig::fermi_gf100();
+        let back = GpuConfig::from_arch(&c.arch_desc()).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn cacheless_config_roundtrips_with_structural_defaults() {
+        let mut c = GpuConfig::fermi_gf100();
+        c.l1 = None;
+        c.l2 = None;
+        let back = GpuConfig::from_arch(&c.arch_desc()).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn from_arch_rejects_invalid_descriptions() {
+        let mut desc = GpuConfig::fermi_gf100().arch_desc();
+        desc.fabric.rop_queue = 0;
+        assert_eq!(GpuConfig::from_arch(&desc), Err(ConfigError::RopQueue));
+    }
+
+    #[test]
+    fn validate_reports_typed_errors() {
+        let mut c = GpuConfig::fermi_gf100();
+        c.num_sms = 0;
+        assert_eq!(c.validate(), Err(ConfigError::NoSms));
+        let mut c = GpuConfig::fermi_gf100();
+        c.trace.sample_interval = 0;
+        assert_eq!(c.validate(), Err(ConfigError::TraceSampleInterval));
+    }
+
+    #[test]
+    fn unloaded_walk_matches_historical_formulas() {
+        let c = GpuConfig::fermi_gf100();
+        let l1 = c.l1.as_ref().unwrap();
+        let l2 = c.l2.as_ref().unwrap();
+        assert_eq!(
+            c.unloaded_l1_hit(),
+            Some(c.sm_base_latency + l1.hit_latency)
+        );
+        assert_eq!(
+            c.unloaded_l2_hit(),
+            Some(
+                c.sm_base_latency
+                    + 2 * c.icnt.latency
+                    + c.rop_latency
+                    + l2.hit_latency
+                    + c.fill_latency
+                    + 1
+            )
+        );
+        assert_eq!(
+            c.unloaded_dram(),
+            c.sm_base_latency
+                + 2 * c.icnt.latency
+                + c.rop_latency
+                + c.dram.timing.row_conflict()
+                + c.dram.timing.burst
+                + c.fill_latency
+                + 2
+        );
     }
 
     #[test]

@@ -12,6 +12,7 @@ use gpu_snapshot::{store, Decoder, Encoder, SnapshotError, StableHasher};
 use gpu_trace::{CounterKind, EventKind, NetDir, TraceData, TraceEvent, TraceSite, Tracer};
 use gpu_types::{Addr, CtaId, Cycle, PartitionId, SmId};
 
+use crate::clock::{ClockedComponent, TickSchedule, TickStage};
 use crate::config::GpuConfig;
 use crate::partition::Partition;
 use crate::sanitizer::{Sanitizer, Violation};
@@ -172,6 +173,7 @@ pub struct Gpu {
     launch: Option<LaunchState>,
     content_hash: u64,
     host_tag: Vec<u8>,
+    schedule: TickSchedule,
 }
 
 impl Gpu {
@@ -214,8 +216,37 @@ impl Gpu {
             launch: None,
             content_hash: 0,
             host_tag: Vec::new(),
+            schedule: TickSchedule::derive(&cfg),
             cfg,
         }
+    }
+
+    /// The per-cycle stage schedule this GPU executes (derived from its
+    /// configuration at construction).
+    pub fn schedule(&self) -> &TickSchedule {
+        &self.schedule
+    }
+
+    /// Every clocked component of the machine, in audit order: SMs, memory
+    /// partitions, then the two crossbar networks. Borrows the component
+    /// fields only, so callers can hold the sanitizer mutably alongside.
+    fn components_of<'a>(
+        sms: &'a [Sm],
+        partitions: &'a [Partition],
+        req_net: &'a Crossbar<MemRequest>,
+        reply_net: &'a Crossbar<MemRequest>,
+    ) -> impl Iterator<Item = &'a dyn ClockedComponent> {
+        sms.iter()
+            .map(|s| s as &dyn ClockedComponent)
+            .chain(partitions.iter().map(|p| p as &dyn ClockedComponent))
+            .chain([
+                req_net as &dyn ClockedComponent,
+                reply_net as &dyn ClockedComponent,
+            ])
+    }
+
+    fn components(&self) -> impl Iterator<Item = &dyn ClockedComponent> {
+        Self::components_of(&self.sms, &self.partitions, &self.req_net, &self.reply_net)
     }
 
     /// The configuration this GPU was built from.
@@ -384,11 +415,11 @@ impl Gpu {
         self.host_nanos += wall.elapsed().as_nanos() as u64;
         self.launch = None;
         if self.cfg.sanitize {
-            for sm in &self.sms {
-                sm.audit_drained(&mut self.sanitizer);
-            }
-            for p in &self.partitions {
-                p.audit_drained(&mut self.sanitizer);
+            let san = &mut self.sanitizer;
+            for c in
+                Self::components_of(&self.sms, &self.partitions, &self.req_net, &self.reply_net)
+            {
+                c.audit_drained(san);
             }
             // Violations fail loudly in debug builds (which `cargo test`
             // uses); release builds keep the report queryable instead of
@@ -419,12 +450,7 @@ impl Gpu {
             Some(l) => l.next_cta >= l.launch.grid_dim,
             None => true,
         };
-        dispatched_all
-            && self.outstanding == 0
-            && self.sms.iter().all(Sm::is_idle)
-            && self.partitions.iter().all(Partition::is_idle)
-            && self.req_net.is_idle()
-            && self.reply_net.is_idle()
+        dispatched_all && self.outstanding == 0 && self.components().all(|c| c.is_idle())
     }
 
     /// The cumulative run summary so far (the same value [`Gpu::run`]
@@ -693,11 +719,11 @@ impl Gpu {
         self.host_nanos += wall.elapsed().as_nanos() as u64;
         self.launch = None;
         if self.cfg.sanitize {
-            for sm in &self.sms {
-                sm.audit_drained(&mut self.sanitizer);
-            }
-            for p in &self.partitions {
-                p.audit_drained(&mut self.sanitizer);
+            let san = &mut self.sanitizer;
+            for c in
+                Self::components_of(&self.sms, &self.partitions, &self.req_net, &self.reply_net)
+            {
+                c.audit_drained(san);
             }
             if cfg!(debug_assertions) && !self.sanitizer.is_clean() {
                 panic!("{}", self.sanitizer.report());
@@ -706,134 +732,150 @@ impl Gpu {
         Ok(RunOutcome::Completed(Box::new(self.summary())))
     }
 
-    /// Advances the GPU by one cycle.
+    /// Advances the GPU by one cycle: a plain interpreter over the tick
+    /// schedule derived from the machine description at construction.
     pub fn tick(&mut self) {
-        let now = self.now;
-        self.req_net.begin_cycle();
-        self.reply_net.begin_cycle();
-
-        // Memory partitions.
-        for p in &mut self.partitions {
-            let stores_done = p.tick(now, &mut self.tracer);
-            self.outstanding -= stores_done;
+        for i in 0..self.schedule.len() {
+            self.run_stage(self.schedule.stage(i));
         }
+    }
 
-        // Partition returns into the reply network.
-        for (pi, p) in self.partitions.iter_mut().enumerate() {
-            while let Some(head) = p.peek_return() {
-                let dst = head.sm.index();
-                if !self.reply_net.can_inject(pi, dst) {
-                    break;
-                }
-                let req = p.pop_return().expect("peeked");
-                let rid = req.id.get();
-                self.reply_net
-                    .try_inject(pi, dst, req, now)
-                    .expect("can_inject checked");
-                if self.tracer.enabled() {
-                    self.tracer.record(TraceEvent {
-                        cycle: now.get(),
-                        site: TraceSite::Gpu,
-                        kind: EventKind::IcntInject {
-                            net: NetDir::Reply,
-                            req: rid,
-                            port: pi as u32,
-                        },
-                    });
+    /// Executes one stage of the per-cycle schedule.
+    fn run_stage(&mut self, stage: TickStage) {
+        let now = self.now;
+        match stage {
+            TickStage::BeginNetworks => {
+                self.req_net.begin_cycle();
+                self.reply_net.begin_cycle();
+            }
+            TickStage::TickPartitions => {
+                for p in &mut self.partitions {
+                    let stores_done = p.tick(now, &mut self.tracer);
+                    self.outstanding -= stores_done;
                 }
             }
-        }
-
-        // Request network into partitions.
-        for (pi, p) in self.partitions.iter_mut().enumerate() {
-            while p.can_accept() {
-                match self.req_net.eject(pi, now) {
-                    Some(req) => {
+            TickStage::InjectReplies => {
+                for (pi, p) in self.partitions.iter_mut().enumerate() {
+                    while let Some(head) = p.peek_return() {
+                        let dst = head.sm.index();
+                        if !self.reply_net.can_inject(pi, dst) {
+                            break;
+                        }
+                        let req = p.pop_return().expect("peeked");
+                        let rid = req.id.get();
+                        self.reply_net
+                            .try_inject(pi, dst, req, now)
+                            .expect("can_inject checked");
                         if self.tracer.enabled() {
                             self.tracer.record(TraceEvent {
                                 cycle: now.get(),
                                 site: TraceSite::Gpu,
-                                kind: EventKind::IcntEject {
-                                    net: NetDir::Request,
-                                    req: req.id.get(),
+                                kind: EventKind::IcntInject {
+                                    net: NetDir::Reply,
+                                    req: rid,
                                     port: pi as u32,
                                 },
                             });
                         }
-                        p.accept(req, now, &mut self.tracer);
                     }
-                    None => break,
                 }
             }
-        }
+            TickStage::EjectRequests => {
+                for (pi, p) in self.partitions.iter_mut().enumerate() {
+                    while p.can_accept() {
+                        match self.req_net.eject(pi, now) {
+                            Some(req) => {
+                                if self.tracer.enabled() {
+                                    self.tracer.record(TraceEvent {
+                                        cycle: now.get(),
+                                        site: TraceSite::Gpu,
+                                        kind: EventKind::IcntEject {
+                                            net: NetDir::Request,
+                                            req: req.id.get(),
+                                            port: pi as u32,
+                                        },
+                                    });
+                                }
+                                p.accept(req, now, &mut self.tracer);
+                            }
+                            None => break,
+                        }
+                    }
+                }
+            }
+            TickStage::TickSms => {
+                let sanitize = self.cfg.sanitize;
+                for si in 0..self.sms.len() {
+                    let sm = &mut self.sms[si];
+                    let retired = sm.tick_writeback(
+                        now,
+                        &mut self.sink,
+                        sanitize.then_some(&mut self.sanitizer),
+                    );
+                    self.outstanding -= retired;
 
-        // SMs.
-        let sanitize = self.cfg.sanitize;
-        for si in 0..self.sms.len() {
-            let sm = &mut self.sms[si];
-            let retired =
-                sm.tick_writeback(now, &mut self.sink, sanitize.then_some(&mut self.sanitizer));
-            self.outstanding -= retired;
+                    while sm.fill_space() {
+                        match self.reply_net.eject(si, now) {
+                            Some(req) => {
+                                if self.tracer.enabled() {
+                                    self.tracer.record(TraceEvent {
+                                        cycle: now.get(),
+                                        site: TraceSite::Gpu,
+                                        kind: EventKind::IcntEject {
+                                            net: NetDir::Reply,
+                                            req: req.id.get(),
+                                            port: si as u32,
+                                        },
+                                    });
+                                }
+                                sm.accept_response(req, now, &mut self.tracer);
+                            }
+                            None => break,
+                        }
+                    }
 
-            while sm.fill_space() {
-                match self.reply_net.eject(si, now) {
-                    Some(req) => {
+                    sm.tick_memory(now, &mut self.tracer);
+
+                    while let Some(head) = sm.peek_miss() {
+                        let dst = self.map.partition_of(head.addr).index();
+                        if !self.req_net.can_inject(si, dst) {
+                            break;
+                        }
+                        let mut req = sm.pop_miss().expect("peeked");
+                        req.timeline.record(Stamp::IcntInject, now);
+                        let rid = req.id.get();
+                        self.req_net
+                            .try_inject(si, dst, req, now)
+                            .expect("can_inject checked");
                         if self.tracer.enabled() {
                             self.tracer.record(TraceEvent {
                                 cycle: now.get(),
                                 site: TraceSite::Gpu,
-                                kind: EventKind::IcntEject {
-                                    net: NetDir::Reply,
-                                    req: req.id.get(),
+                                kind: EventKind::IcntInject {
+                                    net: NetDir::Request,
+                                    req: rid,
                                     port: si as u32,
                                 },
                             });
                         }
-                        sm.accept_response(req, now, &mut self.tracer);
                     }
-                    None => break,
+
+                    let created =
+                        sm.tick_issue(now, &mut self.device, &mut self.sink, &mut self.tracer);
+                    self.outstanding += created;
+                    sm.maintain();
                 }
             }
-
-            sm.tick_memory(now, &mut self.tracer);
-
-            while let Some(head) = sm.peek_miss() {
-                let dst = self.map.partition_of(head.addr).index();
-                if !self.req_net.can_inject(si, dst) {
-                    break;
-                }
-                let mut req = sm.pop_miss().expect("peeked");
-                req.timeline.record(Stamp::IcntInject, now);
-                let rid = req.id.get();
-                self.req_net
-                    .try_inject(si, dst, req, now)
-                    .expect("can_inject checked");
-                if self.tracer.enabled() {
-                    self.tracer.record(TraceEvent {
-                        cycle: now.get(),
-                        site: TraceSite::Gpu,
-                        kind: EventKind::IcntInject {
-                            net: NetDir::Request,
-                            req: rid,
-                            port: si as u32,
-                        },
-                    });
+            TickStage::DispatchCtas => self.dispatch_ctas(),
+            // Scheduled only on sanitizing machines (see TickSchedule::derive).
+            TickStage::AuditInvariants => self.audit_cycle(now),
+            TickStage::SampleCounters => {
+                if self.tracer.should_sample(now.get()) {
+                    self.sample_counters(now);
                 }
             }
-
-            let created = sm.tick_issue(now, &mut self.device, &mut self.sink, &mut self.tracer);
-            self.outstanding += created;
-            sm.maintain();
+            TickStage::AdvanceClock => self.now.tick(),
         }
-
-        self.dispatch_ctas();
-        if sanitize {
-            self.audit_cycle(now);
-        }
-        if self.tracer.should_sample(now.get()) {
-            self.sample_counters(now);
-        }
-        self.now.tick();
     }
 
     /// Reads the per-cycle gauges into one counter sample. Gauges are summed
@@ -869,14 +911,10 @@ impl Gpu {
     /// queues and MSHR tables must respect their configured capacities.
     fn audit_cycle(&mut self, now: Cycle) {
         let san = &mut self.sanitizer;
-        let mut in_flight = self.req_net.in_flight() as u64 + self.reply_net.in_flight() as u64;
-        for sm in &self.sms {
-            sm.audit(san);
-            in_flight += sm.in_flight_requests();
-        }
-        for p in &self.partitions {
-            p.audit(san);
-            in_flight += p.in_flight_requests();
+        let mut in_flight = 0u64;
+        for c in Self::components_of(&self.sms, &self.partitions, &self.req_net, &self.reply_net) {
+            c.audit(san);
+            in_flight += c.in_flight_requests();
         }
         if in_flight != self.outstanding {
             san.record(Violation::Conservation {

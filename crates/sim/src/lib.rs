@@ -24,6 +24,7 @@
 //!
 //! See [`Gpu`] for an end-to-end kernel launch.
 
+mod clock;
 pub mod coalesce;
 mod codec;
 mod config;
@@ -34,9 +35,16 @@ mod scoreboard;
 mod sm;
 mod stats;
 
+pub use clock::{ClockedComponent, TickSchedule, TickStage};
 pub use coalesce::coalesce;
-pub use config::{GpuConfig, L1Config, L2Config, SchedPolicy, WritePolicy};
+pub use config::{ConfigError, GpuConfig, L1Config, L2Config, SchedPolicy, WritePolicy};
 pub use gpu::{CheckpointPolicy, Gpu, RunOutcome, SimError};
+
+// Architecture-description types, re-exported so downstream crates can build
+// and inspect configs declaratively without naming `gpu-arch` directly.
+pub use gpu_arch::{
+    ArchDesc, CacheGeom, FabricDesc, LevelDesc, LevelKind, MemDesc, Routing, SmDesc,
+};
 pub use partition::Partition;
 pub use sanitizer::{Sanitizer, Site, Violation};
 pub use scoreboard::Scoreboard;

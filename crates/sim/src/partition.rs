@@ -7,6 +7,7 @@
 
 use std::collections::VecDeque;
 
+use gpu_arch::{LevelDesc, LevelKind};
 use gpu_mem::{
     AccessKind, AddressMap, Cache, DramController, DramEventKind, MemRequest, MshrTable, RequestId,
     Stamp,
@@ -28,6 +29,9 @@ const EVICTION_TOKEN: u64 = u64::MAX - 1;
 pub struct Partition {
     id: PartitionId,
     line_size: u64,
+    /// The partition-side cache-level descriptor (cached at construction;
+    /// structural, not serialized). Audit labels derive from its kind.
+    l2_desc: LevelDesc,
     write_policy: WritePolicy,
     next_eviction_id: u64,
     rop: DelayQueue<MemRequest>,
@@ -45,34 +49,21 @@ pub struct Partition {
 impl Partition {
     /// Creates a partition per the configuration.
     pub fn new(id: PartitionId, cfg: &GpuConfig, map: AddressMap) -> Self {
-        let (l2_cache, l2_hit_latency, l2_mshr_cfg, l2_in_q, write_policy) = match &cfg.l2 {
-            Some(l2) => (
-                Some(Cache::new(l2.cache)),
-                l2.hit_latency,
-                l2.mshr,
-                l2.input_queue,
-                l2.write_policy,
-            ),
-            None => (
-                None,
-                0,
-                gpu_mem::MshrConfig {
-                    entries: 1,
-                    max_merged: 1,
-                },
-                8,
-                WritePolicy::WriteThrough,
-            ),
+        let l2_desc = cfg.level_desc(LevelKind::L2);
+        let (l2_cache, l2_hit_latency) = match l2_desc.geom {
+            Some(g) => (Some(Cache::new(g.cache)), g.hit_latency),
+            None => (None, 0),
         };
         Partition {
             id,
             line_size: cfg.line_size,
-            write_policy,
+            l2_desc,
+            write_policy: l2_desc.write_policy,
             next_eviction_id: 0,
             rop: DelayQueue::new(cfg.rop_queue, cfg.rop_latency),
-            l2_queue: BoundedQueue::new(l2_in_q),
+            l2_queue: BoundedQueue::new(l2_desc.queue),
             l2_cache,
-            l2_mshr: MshrTable::new(l2_mshr_cfg),
+            l2_mshr: MshrTable::new(l2_desc.mshr_config()),
             l2_hit_pipe: DelayQueue::new(64, l2_hit_latency),
             dram: DramController::new(cfg.dram, map),
             returns: VecDeque::new(),
@@ -208,13 +199,13 @@ impl Partition {
         san.check_queue(site, "rop", self.rop.len(), self.rop.capacity());
         san.check_queue(
             site,
-            "l2-input",
+            self.l2_desc.kind.queue_label(),
             self.l2_queue.len(),
             self.l2_queue.capacity(),
         );
         san.check_queue(
             site,
-            "l2-hit",
+            self.l2_desc.kind.hit_pipe_label(),
             self.l2_hit_pipe.len(),
             self.l2_hit_pipe.capacity(),
         );

@@ -12,6 +12,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
 
+use gpu_arch::{LevelDesc, LevelKind, Routing};
 use gpu_isa::{
     InstrClass, Kernel, Launch, LocalMap, MemBackend, Reg, Space, StepOutcome, ThreadCtx, WarpExec,
 };
@@ -68,6 +69,12 @@ pub struct Sm {
     scoreboard: Scoreboard,
     alu_wb: BinaryHeap<Reverse<(u64, usize, Reg)>>,
     front: DelayQueue<MemRequest>,
+    /// The SM-side level descriptor (cached at construction; structural, not
+    /// serialized). Audit labels derive from its kind.
+    l1_desc: LevelDesc,
+    /// Effective routing of the SM-side level, precomputed so the per-access
+    /// hot path is a field read, not a descriptor walk.
+    l1_routing: Routing,
     l1_cache: Option<Cache>,
     l1_mshr: MshrTable<MemRequest>,
     l1_hit_pipe: DelayQueue<MemRequest>,
@@ -86,22 +93,10 @@ impl Sm {
     /// Creates an SM per the configuration.
     pub fn new(id: SmId, cfg: Arc<GpuConfig>) -> Self {
         let slots = cfg.max_warps_per_sm;
-        let (l1_cache, l1_hit_latency, l1_mshr_cfg, miss_q) = match &cfg.l1 {
-            Some(l1) => (
-                Some(Cache::new(l1.cache)),
-                l1.hit_latency,
-                l1.mshr,
-                l1.miss_queue,
-            ),
-            None => (
-                None,
-                0,
-                gpu_mem::MshrConfig {
-                    entries: 1,
-                    max_merged: 1,
-                },
-                8,
-            ),
+        let l1_desc = cfg.level_desc(LevelKind::L1);
+        let (l1_cache, l1_hit_latency) = match l1_desc.geom {
+            Some(g) => (Some(Cache::new(g.cache)), g.hit_latency),
+            None => (None, 0),
         };
         Sm {
             id,
@@ -110,10 +105,12 @@ impl Sm {
             scoreboard: Scoreboard::new(slots),
             alu_wb: BinaryHeap::new(),
             front: DelayQueue::new(cfg.lsu_queue, cfg.sm_base_latency),
+            l1_desc,
+            l1_routing: l1_desc.effective_routing(),
             l1_cache,
-            l1_mshr: MshrTable::new(l1_mshr_cfg),
+            l1_mshr: MshrTable::new(l1_desc.mshr_config()),
             l1_hit_pipe: DelayQueue::new(cfg.lsu_queue, l1_hit_latency),
-            miss_queue: BoundedQueue::new(miss_q),
+            miss_queue: BoundedQueue::new(l1_desc.queue),
             fill_pipe: DelayQueue::new(512, cfg.fill_latency),
             pending_loads: HashMap::new(),
             next_token: 0,
@@ -194,13 +191,13 @@ impl Sm {
         san.check_queue(site, "front", self.front.len(), self.front.capacity());
         san.check_queue(
             site,
-            "l1-hit",
+            self.l1_desc.kind.hit_pipe_label(),
             self.l1_hit_pipe.len(),
             self.l1_hit_pipe.capacity(),
         );
         san.check_queue(
             site,
-            "miss",
+            self.l1_desc.kind.queue_label(),
             self.miss_queue.len(),
             self.miss_queue.capacity(),
         );
@@ -355,7 +352,7 @@ impl Sm {
     /// writeback.
     pub fn accept_response(&mut self, req: MemRequest, now: Cycle, tracer: &mut Tracer) {
         let mut wake = Vec::new();
-        if req.is_load() && !req.bypass_l1 && self.cfg.l1_serves(req.space) {
+        if req.is_load() && !req.bypass_l1 && self.l1_routing.serves(req.space) {
             if let Some(l1) = self.l1_cache.as_mut() {
                 let line = req.addr.align_down(self.cfg.line_size);
                 l1.fill(line);
@@ -493,7 +490,9 @@ impl Sm {
         let kind = head.kind;
         let bypass = head.bypass_l1;
         let space = head.space;
-        let served = !bypass && self.cfg.l1_serves(space) && self.l1_cache.is_some();
+        // Effective routing is masked by cache presence, so `served` implies
+        // the L1 exists.
+        let served = !bypass && self.l1_routing.serves(space);
 
         if kind == AccessKind::Store {
             if self.miss_queue.is_full() {

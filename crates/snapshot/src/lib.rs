@@ -55,8 +55,10 @@ pub const MAGIC: [u8; 4] = *b"GSNP";
 /// any serialized structure; old checkpoints and cache entries are rejected
 /// (checkpoints) or transparently recomputed (cache) rather than
 /// misinterpreted. See DESIGN.md ("Checkpoint format") for the
-/// compatibility policy.
-pub const FORMAT_VERSION: u32 = 1;
+/// compatibility policy. Version 2: the configuration is serialized as a
+/// self-versioned architecture-description frame (`gpu-arch`) instead of
+/// flat `GpuConfig` fields.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Why a snapshot could not be decoded.
 #[derive(Debug)]

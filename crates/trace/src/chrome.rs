@@ -43,6 +43,63 @@ pub fn stage_label(stamp: Stamp) -> Option<&'static str> {
     })
 }
 
+/// Labels for the eight non-`Issue` timeline stages, in [`Stamp::ALL`]
+/// order. The default reproduces [`stage_label`]'s paper-legend strings;
+/// bundles built from an architecture description derive them from the
+/// hierarchy's level descriptors (`ArchDesc::fig1_stage_labels`), which
+/// yields those exact strings for every paper generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageLabels {
+    labels: [String; 8],
+}
+
+impl Default for StageLabels {
+    fn default() -> Self {
+        StageLabels::new(
+            Stamp::ALL[1..]
+                .iter()
+                .map(|&s| {
+                    stage_label(s)
+                        .expect("non-Issue stamp has a label")
+                        .to_string()
+                })
+                .collect::<Vec<_>>()
+                .try_into()
+                .expect("eight non-Issue stamps"),
+        )
+    }
+}
+
+impl StageLabels {
+    /// Wraps an explicit label table (e.g. one derived from an architecture
+    /// description).
+    pub fn new(labels: [String; 8]) -> Self {
+        StageLabels { labels }
+    }
+
+    /// The label for the stage ending at `stamp` (`None` for `Issue`,
+    /// which starts the span and owns no stage).
+    pub fn get(&self, stamp: Stamp) -> Option<&str> {
+        let i = match stamp {
+            Stamp::Issue => return None,
+            Stamp::L1Access => 0,
+            Stamp::IcntInject => 1,
+            Stamp::RopEnter => 2,
+            Stamp::L2QueueEnter => 3,
+            Stamp::DramQueueEnter => 4,
+            Stamp::DramScheduled => 5,
+            Stamp::DramDone => 6,
+            Stamp::Returned => 7,
+        };
+        Some(&self.labels[i])
+    }
+
+    /// The raw label table, in [`Stamp::ALL`] order.
+    pub fn as_slice(&self) -> &[String; 8] {
+        &self.labels
+    }
+}
+
 const PID_SMS: u32 = 1;
 const PID_PARTITIONS: u32 = 2;
 const PID_GPU: u32 = 3;
@@ -59,13 +116,18 @@ fn site_coords(site: TraceSite) -> (u32, u32) {
 #[derive(Debug)]
 pub struct ChromeTraceBuilder {
     events: Vec<String>,
+    stage_labels: StageLabels,
 }
 
 impl ChromeTraceBuilder {
     /// Starts a trace document with name metadata for `num_sms` SM tracks
-    /// and `num_partitions` partition tracks.
+    /// and `num_partitions` partition tracks, using the default (Figure-1)
+    /// stage labels.
     pub fn new(num_sms: u32, num_partitions: u32) -> Self {
-        let mut b = ChromeTraceBuilder { events: Vec::new() };
+        let mut b = ChromeTraceBuilder {
+            events: Vec::new(),
+            stage_labels: StageLabels::default(),
+        };
         b.metadata(PID_SMS, None, "process_name", "SMs");
         b.metadata(PID_PARTITIONS, None, "process_name", "Memory partitions");
         b.metadata(PID_GPU, None, "process_name", "GPU");
@@ -82,6 +144,12 @@ impl ChromeTraceBuilder {
             );
         }
         b
+    }
+
+    /// Replaces the per-stage span labels (derived from an architecture
+    /// description by bundle writers).
+    pub fn set_stage_labels(&mut self, labels: StageLabels) {
+        self.stage_labels = labels;
     }
 
     fn metadata(&mut self, pid: u32, tid: Option<u32>, what: &str, name: &str) {
@@ -113,9 +181,9 @@ impl ChromeTraceBuilder {
             let Some(t) = timeline.get(stamp) else {
                 continue;
             };
-            if let Some(label) = stage_label(stamp) {
-                self.async_edge("b", sm, id, label, prev.get());
-                self.async_edge("e", sm, id, label, t.get());
+            if let Some(label) = self.stage_labels.get(stamp).map(str::to_string) {
+                self.async_edge("b", sm, id, &label, prev.get());
+                self.async_edge("e", sm, id, &label, t.get());
             }
             prev = t;
         }
@@ -423,5 +491,28 @@ mod tests {
         for stamp in &Stamp::ALL[1..] {
             assert!(stage_label(*stamp).is_some());
         }
+    }
+
+    #[test]
+    fn default_stage_labels_match_the_static_table() {
+        let labels = StageLabels::default();
+        for stamp in Stamp::ALL {
+            assert_eq!(labels.get(stamp), stage_label(stamp));
+        }
+    }
+
+    #[test]
+    fn custom_stage_labels_rename_span_children() {
+        let mut b = ChromeTraceBuilder::new(1, 1);
+        let mut renamed = StageLabels::default().as_slice().clone();
+        renamed[0] = "Warmup".to_string();
+        b.set_stage_labels(StageLabels::new(renamed));
+        b.add_request_span(0, 7, &dram_timeline(100));
+        let text = b.finish();
+        assert!(text.contains("\"Warmup\""));
+        assert!(!text.contains("\"SM Base\""));
+        // Renaming must not break the tiling invariant.
+        let doc = json::parse(&text).unwrap();
+        assert_eq!(check_span_sums(&doc).unwrap(), 1);
     }
 }

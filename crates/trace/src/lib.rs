@@ -30,7 +30,7 @@ pub mod json;
 pub mod metrics;
 pub mod tracer;
 
-pub use chrome::{check_span_sums, stage_label, ChromeTraceBuilder};
+pub use chrome::{check_span_sums, stage_label, ChromeTraceBuilder, StageLabels};
 pub use event::{EventKind, NetDir, QueueKind, StallBreakdown, StallReason, TraceEvent, TraceSite};
 pub use export::{counters_csv, events_jsonl};
 pub use metrics::MetricsReport;

@@ -1,0 +1,113 @@
+//! Bit-identity pins for the preset data tables.
+//!
+//! The per-generation machines are now pure [`ArchDesc`] data tables lowered
+//! through `GpuConfig::from_arch`. These tests pin the *byte-level* identity
+//! of that lowering:
+//!
+//! * `GpuConfig::hash_timing` for every preset (full and microbench
+//!   machine) is pinned to the exact value the flat, hand-written configs
+//!   produced before the description refactor — proving the data tables
+//!   lower to byte-identical timing streams, and therefore that every
+//!   `RunSummary::content_hash` (which chains off this stream) is unchanged.
+//! * The description round-trip `from_arch ∘ arch_desc` is the identity on
+//!   every preset, and the snapshot codec reproduces descriptions exactly.
+//!
+//! Any timing change — intended or not — must show up here as a conscious,
+//! reviewed golden update.
+
+use gpu_sim::{ArchDesc, GpuConfig};
+use gpu_snapshot::{Decoder, Encoder, StableHasher};
+use latency_core::ArchPreset;
+
+fn timing_hash(cfg: &GpuConfig) -> u64 {
+    let mut h = StableHasher::new();
+    cfg.hash_timing(&mut h);
+    h.finish()
+}
+
+/// (full-machine, microbench-machine) timing hashes, captured from the
+/// pre-refactor flat configs for the five original presets. GK110 did not
+/// exist before the refactor; its values pin the data table as first
+/// committed.
+fn golden_hashes(preset: ArchPreset) -> (u64, u64) {
+    match preset {
+        ArchPreset::TeslaGt200 => (0x7bed11ef0f1c4147, 0x71a429f5b20a73f9),
+        // GF106 and GF100 differ only in machine size, so their single-SM
+        // microbench machines hash identically (the name is excluded).
+        ArchPreset::FermiGf106 => (0x264b3943b7cac158, 0x7eedad25f6d93f18),
+        ArchPreset::FermiGf100 => (0xbbfb8ffc085c1791, 0x7eedad25f6d93f18),
+        ArchPreset::KeplerGk104 => (0x043e8a9d508e4db9, 0x50cc1c2d457e8973),
+        ArchPreset::KeplerGk110 => (0x0fe4a052385aff00, 0x632e09e9d925d342),
+        ArchPreset::MaxwellGm107 => (0x0fdca0a4c5bfadae, 0x5fd8faf64a862919),
+    }
+}
+
+#[test]
+fn timing_hashes_match_preflat_goldens() {
+    for p in ArchPreset::ALL {
+        let (full, micro) = golden_hashes(p);
+        assert_eq!(
+            timing_hash(&p.config()),
+            full,
+            "{}: full-machine timing hash drifted",
+            p.name()
+        );
+        assert_eq!(
+            timing_hash(&p.config_microbench()),
+            micro,
+            "{}: microbench timing hash drifted",
+            p.name()
+        );
+    }
+}
+
+#[test]
+fn descriptions_roundtrip_through_config_and_codec() {
+    for p in ArchPreset::ALL {
+        let desc = p.desc();
+        // Lowering to the flat config and re-deriving the description is
+        // the identity on preset tables.
+        assert_eq!(p.config().arch_desc(), desc, "{}", p.name());
+        // The self-versioned snapshot frame reproduces the description.
+        let mut e = Encoder::new();
+        desc.encode_state(&mut e);
+        let bytes = e.finish();
+        let mut d = Decoder::open(&bytes).expect("frame opens");
+        let decoded = ArchDesc::decode(&mut d).expect("frame decodes");
+        d.expect_end().expect("no trailing bytes");
+        assert_eq!(decoded, desc, "{}: codec round-trip drifted", p.name());
+    }
+}
+
+#[test]
+fn description_hash_separates_presets_but_ignores_names() {
+    let hash = |d: &ArchDesc| {
+        let mut h = StableHasher::new();
+        d.hash_desc(&mut h);
+        h.finish()
+    };
+    // Renaming must not move cache keys…
+    let mut renamed = ArchPreset::FermiGf106.desc();
+    renamed.name = "renamed".into();
+    assert_eq!(hash(&renamed), hash(&ArchPreset::FermiGf106.desc()));
+    // …but every structurally distinct preset must key differently.
+    let presets = [
+        ArchPreset::TeslaGt200,
+        ArchPreset::FermiGf106,
+        ArchPreset::FermiGf100,
+        ArchPreset::KeplerGk104,
+        ArchPreset::KeplerGk110,
+        ArchPreset::MaxwellGm107,
+    ];
+    for (i, a) in presets.iter().enumerate() {
+        for b in &presets[i + 1..] {
+            assert_ne!(
+                hash(&a.desc()),
+                hash(&b.desc()),
+                "{} and {} must not collide",
+                a.name(),
+                b.name()
+            );
+        }
+    }
+}

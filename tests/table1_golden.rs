@@ -31,6 +31,14 @@ fn golden(preset: ArchPreset) -> MeasuredRow {
             l2: Some(175.0),
             dram: 300.0,
         },
+        // GK110 shares GK104's timings; its L1 row is observable from the
+        // *global* pipeline (read-only path), measured by its own test
+        // below rather than the Table I loops.
+        ArchPreset::KeplerGk110 => MeasuredRow {
+            l1: Some(30.0),
+            l2: Some(175.0),
+            dram: 300.0,
+        },
         ArchPreset::MaxwellGm107 => MeasuredRow {
             l1: None,
             l2: Some(194.0),
@@ -68,4 +76,13 @@ fn full_table_matches_golden_snapshot_exactly() {
             preset.name()
         );
     }
+}
+
+/// GK110 — the description-driven preset outside the paper's four columns —
+/// recovers GK104's timings exactly, with the L1 row measured through the
+/// global pipeline (its routing table caches global reads in the L1).
+#[test]
+fn gk110_row_matches_golden_snapshot_exactly() {
+    let measured = measure_row(ArchPreset::KeplerGk110).expect("chase runs");
+    assert_eq!(measured, golden(ArchPreset::KeplerGk110));
 }

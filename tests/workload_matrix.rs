@@ -14,7 +14,7 @@ fn small(preset: ArchPreset) -> Gpu {
     Gpu::new(cfg)
 }
 
-fn all_presets() -> [ArchPreset; 5] {
+fn all_presets() -> [ArchPreset; 6] {
     ArchPreset::ALL
 }
 
