@@ -4,13 +4,17 @@
 //!
 //! ```text
 //! cargo run --release -p latency-bench --bin sweep [arch] [--threads N]
-//!     [--cache DIR] [--json] [--bench-out FILE]
+//!     [--tick-threads N] [--cache DIR] [--json] [--bench-out FILE]
 //! arch: tesla | fermi | gf100 | kepler | gk110 | maxwell   (default fermi;
 //!       chip names like gt200/gf106/gk104/gm107 also work)
 //! ```
 //!
 //! `--threads N` forces the measurement pool to N workers (`--threads 1`
 //! is fully serial); the printed grid is identical for every worker count.
+//! `--tick-threads N` additionally parallelises *inside* each simulated GPU
+//! (SMs and partitions tick concurrently); results stay bit-identical, and
+//! the grid pool shrinks to `threads / tick_threads` so the two compose
+//! within one budget.
 //! `--cache DIR` stores every measured grid point content-addressed under
 //! DIR (same as the `LATENCY_CACHE` environment variable): a repeated sweep
 //! then completes from disk without simulating anything. `--json` prints
@@ -76,10 +80,21 @@ fn parse_args() -> Args {
                     });
                 latency_core::parallel::set_worker_count(n);
             }
+            "--tick-threads" => {
+                let n = args
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--tick-threads needs a positive integer");
+                        std::process::exit(2);
+                    });
+                latency_core::set_tick_threads(n);
+            }
             other => {
                 eprintln!(
                     "unknown argument '{other}' (tesla|fermi|gf100|kepler|gk110|maxwell, \
-                     --threads N, --cache DIR, --json, --bench-out FILE)"
+                     --threads N, --tick-threads N, --cache DIR, --json, --bench-out FILE)"
                 );
                 std::process::exit(2);
             }

@@ -1,0 +1,177 @@
+//! Intra-run tick-parallelism benchmark: one multi-SM workload measured at
+//! several tick-thread counts, verifying bit-identity while timing each.
+//!
+//! ```text
+//! cargo run --release -p latency-bench --bin tick -- [arch]
+//!     [--nodes N] [--degree N] [--threads LIST] [--out FILE]
+//! ```
+//!
+//! Runs a mask BFS on the full (all-SMs) preset once per entry in LIST
+//! (default `1,2,4,8`), writes the wall-clock comparison to FILE
+//! (default `BENCH_tick.json`), and **fails** unless every parallel run
+//! produced exactly the serial run's `content_hash`. Host CPU count is
+//! recorded alongside the timings: on a single-core host the parallel
+//! schedule cannot be faster than serial, and the numbers will honestly
+//! say so — the artifact is a scaling record, not a marketing claim.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use gpu_sim::Gpu;
+use gpu_workloads::bfs::{read_costs, run_bfs_mask, upload_graph_mask};
+use gpu_workloads::Graph;
+use latency_core::ArchPreset;
+
+struct Args {
+    preset: ArchPreset,
+    nodes: u32,
+    degree: u32,
+    threads: Vec<usize>,
+    out: PathBuf,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tick [tesla|fermi|gf100|kepler|gk110|maxwell] [--nodes N] [--degree N]\n\
+         \x20           [--threads LIST] [--out FILE]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        preset: ArchPreset::FermiGf100,
+        nodes: 4096,
+        degree: 8,
+        threads: vec![1, 2, 4, 8],
+        out: PathBuf::from("BENCH_tick.json"),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut val = |name: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            name if ArchPreset::parse(name).is_some() => {
+                parsed.preset = ArchPreset::parse(name).expect("guard checked");
+            }
+            "--nodes" => parsed.nodes = val("--nodes").parse().unwrap_or_else(|_| usage()),
+            "--degree" => parsed.degree = val("--degree").parse().unwrap_or_else(|_| usage()),
+            "--threads" => {
+                parsed.threads = val("--threads")
+                    .split(',')
+                    .map(|t| t.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+                if parsed.threads.is_empty() || parsed.threads.contains(&0) {
+                    usage();
+                }
+            }
+            "--out" => parsed.out = PathBuf::from(val("--out")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+    }
+    parsed
+}
+
+struct Measured {
+    tick_threads: usize,
+    wall_seconds: f64,
+    cycles: u64,
+    content_hash: u64,
+}
+
+fn measure(args: &Args, graph: &Graph, tick_threads: usize) -> Measured {
+    let cfg = args.preset.config();
+    let mut gpu = Gpu::new(cfg);
+    gpu.set_tick_threads(tick_threads);
+    let dev = upload_graph_mask(&mut gpu, graph);
+    let t0 = Instant::now();
+    run_bfs_mask(&mut gpu, &dev, 0, 128).expect("bfs runs");
+    let wall_seconds = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        read_costs(&gpu, &dev),
+        graph.bfs_levels(0),
+        "BFS answer wrong at {tick_threads} tick threads"
+    );
+    let summary = gpu.summary();
+    Measured {
+        tick_threads,
+        wall_seconds,
+        cycles: summary.cycles,
+        content_hash: summary.content_hash,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let num_sms = args.preset.config().num_sms;
+    let graph = Graph::uniform_random(args.nodes, args.degree, 20150301);
+
+    let runs: Vec<Measured> = args
+        .threads
+        .iter()
+        .map(|&t| {
+            let m = measure(&args, &graph, t);
+            println!(
+                "tick_threads={:<2}  wall={:.3}s  cycles={}  cycles/s={:.0}  hash={:016x}",
+                m.tick_threads,
+                m.wall_seconds,
+                m.cycles,
+                m.cycles as f64 / m.wall_seconds.max(1e-9),
+                m.content_hash
+            );
+            m
+        })
+        .collect();
+
+    let serial = &runs[0];
+    let mut json = String::from("{\n  \"name\": \"tick\",\n");
+    json.push_str(&format!("  \"preset\": \"{}\",\n", args.preset.name()));
+    json.push_str(&format!("  \"num_sms\": {num_sms},\n"));
+    json.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
+    json.push_str(&format!(
+        "  \"workload\": \"bfs nodes={} degree={}\",\n",
+        args.nodes, args.degree
+    ));
+    json.push_str(&format!(
+        "  \"content_hash\": \"{:016x}\",\n  \"runs\": [\n",
+        serial.content_hash
+    ));
+    for (i, m) in runs.iter().enumerate() {
+        let sep = if i + 1 == runs.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"tick_threads\": {}, \"wall_seconds\": {:.6}, \"simulated_cycles\": {}, \
+             \"cycles_per_second\": {:.0}, \"speedup_vs_serial\": {:.3}}}{sep}\n",
+            m.tick_threads,
+            m.wall_seconds,
+            m.cycles,
+            m.cycles as f64 / m.wall_seconds.max(1e-9),
+            serial.wall_seconds / m.wall_seconds.max(1e-9),
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&args.out, &json).unwrap_or_else(|e| {
+        eprintln!("failed to write {}: {e}", args.out.display());
+        std::process::exit(1);
+    });
+    println!("written to {}", args.out.display());
+
+    for m in &runs[1..] {
+        if m.content_hash != serial.content_hash || m.cycles != serial.cycles {
+            eprintln!(
+                "FAIL: {} tick threads diverged from serial (hash {:016x} vs {:016x}, \
+                 cycles {} vs {})",
+                m.tick_threads, m.content_hash, serial.content_hash, m.cycles, serial.cycles
+            );
+            std::process::exit(1);
+        }
+    }
+}

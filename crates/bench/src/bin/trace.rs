@@ -47,6 +47,7 @@ fn usage() -> ! {
          \x20            [--nodes N] [--degree N] [--seed N] [--block-dim N]\n\
          \x20            [--sms N] [--partitions N] [--out DIR]\n\
          \x20            [--sample CYCLES] [--max-events N] [--validate]\n\
+         \x20            [--tick-threads N]\n\
          \x20            [--checkpoint-every CYCLES] [--checkpoint-dir DIR]\n\
          \x20            [--resume DIR] [--kill-at CYCLE]   (BFS only)"
     );
@@ -105,6 +106,15 @@ fn parse_args() -> Args {
                 args.max_events = val("--max-events").parse().unwrap_or_else(|_| usage());
             }
             "--validate" => args.validate = true,
+            "--tick-threads" => {
+                let n: usize = val("--tick-threads").parse().unwrap_or_else(|_| usage());
+                if n == 0 {
+                    usage();
+                }
+                // Picked up by every Gpu the experiment helpers build; the
+                // emitted bundle is bit-identical for every value of N.
+                latency_core::set_tick_threads(n);
+            }
             "--checkpoint-every" => {
                 args.checkpoint_every = val("--checkpoint-every")
                     .parse()

@@ -84,6 +84,7 @@ pub fn run_bfs_traced(mut config: GpuConfig, exp: &BfsExperiment) -> Result<Trac
     }
     let graph = Graph::uniform_random(exp.nodes, exp.degree, exp.seed);
     let mut gpu = Gpu::new(config);
+    gpu.set_tick_threads(latency_core::tick_threads());
     // Rodinia-style mask BFS: the formulation GPGPU-Sim's standard workload
     // suite uses, i.e. the kernel behind the paper's Figures 1 and 2.
     let dev = bfs::upload_graph_mask(&mut gpu, &graph);
@@ -190,6 +191,7 @@ pub fn run_bfs_checkpointed(
     }
     let graph = Graph::uniform_random(exp.nodes, exp.degree, exp.seed);
     let mut gpu = Gpu::new(config);
+    gpu.set_tick_threads(latency_core::tick_threads());
     let dev = bfs::upload_graph_mask(&mut gpu, &graph);
     gpu.set_tracing(true);
     match bfs::run_bfs_mask_checkpointed(&mut gpu, &dev, 0, exp.block_dim, policy)? {
@@ -220,6 +222,8 @@ pub fn resume_bfs_checkpointed(
     else {
         return Ok(None);
     };
+    // Snapshots never carry host-side executor state: re-apply it.
+    gpu.set_tick_threads(latency_core::tick_threads());
     let graph = Graph::uniform_random(exp.nodes, exp.degree, exp.seed);
     let dev = decode_mask_dev(&gpu)?;
     match bfs::resume_bfs_mask(&mut gpu, policy)? {
@@ -324,6 +328,7 @@ pub fn run_workload_traced(
         config.trace.enabled = true;
     }
     let mut gpu = Gpu::new(config);
+    gpu.set_tick_threads(latency_core::tick_threads());
     gpu.set_tracing(true);
     let summary = match workload {
         Workload::VecAdd => {

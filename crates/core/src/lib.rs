@@ -55,7 +55,10 @@ pub use chase::{
 pub use exposure::ExposureAnalysis;
 pub use inference::{infer_hierarchy, infer_line_size, CacheLevelEstimate};
 pub use loaded::{build_loaded_kernel, loaded_chase, measure_chase_under_load, LoadedChase};
-pub use parallel::{clear_worker_count, par_map, set_worker_count, try_par_map, worker_count};
+pub use parallel::{
+    clear_tick_threads, clear_worker_count, grid_worker_count, par_map, set_tick_threads,
+    set_worker_count, tick_threads, try_par_map, worker_count,
+};
 pub use plateau::{detect_plateaus, Plateau};
 pub use presets::{ArchPreset, Table1Row};
 pub use report::{breakdown_csv, exposure_csv, shares_markdown, table1_csv, table1_markdown};

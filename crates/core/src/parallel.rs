@@ -36,8 +36,15 @@ use std::sync::Mutex;
 /// Environment variable overriding the worker count (a positive integer).
 pub const THREADS_ENV: &str = "LATENCY_THREADS";
 
+/// Environment variable setting the intra-run tick-thread count (a positive
+/// integer). `1` (the default) runs every simulated cycle serially.
+pub const TICK_THREADS_ENV: &str = "LATENCY_TICK_THREADS";
+
 /// Process-wide programmatic override; 0 means "unset".
 static WORKER_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Process-wide tick-thread override; 0 means "unset".
+static TICK_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 
 /// Forces the pool to `n` workers for the rest of the process (e.g. from a
 /// `--threads N` CLI flag). `n = 1` forces fully serial execution. Takes
@@ -74,6 +81,52 @@ pub fn worker_count() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
+/// Forces every simulator built by this crate's runners to tick with `n`
+/// threads (e.g. from a `--tick-threads N` CLI flag). `n = 1` forces the
+/// serial cycle loop. Takes precedence over [`TICK_THREADS_ENV`].
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+pub fn set_tick_threads(n: usize) {
+    assert!(n > 0, "tick-thread count must be positive");
+    TICK_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// Clears a previous [`set_tick_threads`] override.
+pub fn clear_tick_threads() {
+    TICK_OVERRIDE.store(0, Ordering::Relaxed);
+}
+
+/// The intra-run tick-thread count: the programmatic override if set, else
+/// `LATENCY_TICK_THREADS` if set to a positive integer, else 1 (serial).
+///
+/// Unlike [`worker_count`], this does *not* default to the machine's CPU
+/// count: grid-level parallelism (many independent simulators) is the better
+/// use of cores, so intra-run ticking is opt-in.
+pub fn tick_threads() -> usize {
+    let forced = TICK_OVERRIDE.load(Ordering::Relaxed);
+    if forced > 0 {
+        return forced;
+    }
+    if let Ok(v) = std::env::var(TICK_THREADS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    1
+}
+
+/// The worker count available to a *grid-level* parallel region once each
+/// grid point spends [`tick_threads`] threads ticking its own simulator:
+/// `max(1, worker_count() / tick_threads())`, so the total thread budget
+/// (`LATENCY_THREADS`) bounds `grid workers × tick threads`.
+pub fn grid_worker_count() -> usize {
+    (worker_count() / tick_threads()).max(1)
+}
+
 /// Applies `f` to every item, possibly in parallel, returning results in
 /// input order.
 ///
@@ -93,7 +146,7 @@ where
     F: Fn(usize, &T) -> R + Sync,
 {
     let n = items.len();
-    let workers = worker_count().min(n);
+    let workers = grid_worker_count().min(n);
     if workers <= 1 {
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
@@ -189,6 +242,21 @@ mod tests {
         assert_eq!(worker_count(), 1);
         clear_worker_count();
         assert!(worker_count() >= 1);
+    }
+
+    #[test]
+    fn tick_threads_divide_the_grid_budget() {
+        let _guard = OVERRIDE_LOCK.lock().unwrap();
+        set_worker_count(8);
+        set_tick_threads(1);
+        assert_eq!(grid_worker_count(), 8);
+        set_tick_threads(4);
+        assert_eq!(grid_worker_count(), 2);
+        set_tick_threads(16); // oversubscribed: grid still gets one worker
+        assert_eq!(grid_worker_count(), 1);
+        clear_tick_threads();
+        clear_worker_count();
+        assert_eq!(tick_threads(), 1, "serial ticking is the default");
     }
 
     #[test]

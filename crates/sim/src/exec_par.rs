@@ -1,0 +1,422 @@
+//! The intra-run parallel tick executor: a tiny persistent thread pool that
+//! fans one stage of the cycle schedule out across components.
+//!
+//! # Why not `std::thread::scope` per cycle?
+//!
+//! A simulated cycle costs a few hundred nanoseconds; spawning OS threads
+//! costs tens of microseconds. The only way intra-run parallelism can pay is
+//! a pool that is spawned once per [`crate::Gpu`] and handed a new job every
+//! cycle through atomics. [`TickPool`] is that pool: `n - 1` persistent
+//! workers plus the calling thread, self-scheduling over component indices.
+//!
+//! # Determinism
+//!
+//! The pool itself guarantees nothing about ordering — workers claim indices
+//! in whatever order the OS schedules them. Determinism is the *caller's*
+//! contract: every job runs components against disjoint per-component state
+//! (enforced here by handing each index a distinct `&mut` slice element),
+//! and all cross-component effects are merged serially afterwards in fixed
+//! component-index order (see the `gpu-sim` DESIGN notes on the parallel
+//! tick executor).
+//!
+//! # Safety
+//!
+//! The job closure is published through a raw pointer and an epoch counter
+//! (release/acquire pairs on `epoch` and `completed`). A worker only
+//! dereferences the job pointer *after* claiming an index `i < total`, which
+//! can only happen while the caller is still parked inside [`TickPool::run`]
+//! waiting for `completed == total`; `run` additionally waits for every
+//! worker to leave the claim loop (`active == 0`) before returning, so no
+//! reference to the closure or the data it borrows outlives the call.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type Job = dyn Fn(usize) + Sync;
+
+struct PoolShared {
+    /// Fat pointer to the current job, valid between an epoch bump and the
+    /// caller's return from `run`. Written (published and cleared) and read
+    /// only under the `sleep` lock; dereferenced only while `active` pins
+    /// the caller inside `run`.
+    job: UnsafeCell<Option<*const Job>>,
+    /// Bumped (release) once per job; workers acquire-load it to see the job.
+    epoch: AtomicU64,
+    /// Next component index to claim.
+    next: AtomicUsize,
+    /// Component count of the current job.
+    total: AtomicUsize,
+    /// Components finished; the caller waits for `completed == total`.
+    completed: AtomicUsize,
+    /// Workers currently inside the claim loop; `run` waits for 0 on entry
+    /// so a late worker can never claim indices from a *previous* job after
+    /// the counters reset.
+    active: AtomicUsize,
+    /// Set (before the final epoch bump) to shut the workers down.
+    shutdown: AtomicBool,
+    /// A worker's job panicked; surfaced as a panic on the calling thread.
+    panicked: AtomicBool,
+    /// Workers currently blocked (or about to block) on `wake`. `run` only
+    /// takes the sleep lock and notifies when this is nonzero, so the
+    /// steady-state hot path (workers spinning between back-to-back stages)
+    /// costs no syscalls. Workers are accelerators, not required labour —
+    /// the caller claims every index itself if none shows up — so a racily
+    /// missed wake merely lets a worker nap out its bounded timeout.
+    sleepers: AtomicUsize,
+    /// Sleep support: workers that spun without seeing a new epoch block
+    /// here; `run` notifies after an epoch bump when `sleepers > 0`.
+    sleep: Mutex<()>,
+    wake: Condvar,
+}
+
+// SAFETY: the raw job pointer inside the UnsafeCell is only written by the
+// thread inside `run` (while it holds exclusive publication rights via the
+// epoch protocol) and only read by workers after the release/acquire pair on
+// `epoch`, as described in the module docs.
+unsafe impl Sync for PoolShared {}
+unsafe impl Send for PoolShared {}
+
+/// Persistent worker pool for parallel tick stages. See the module docs.
+pub struct TickPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl std::fmt::Debug for TickPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TickPool")
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+/// Bounded spin before a waiter yields, and bounded yields before it sleeps.
+/// Yields are kept short: on an oversubscribed host every yield is a context
+/// switch stolen from the caller, and a worker that sleeps instead costs the
+/// hot path nothing (see `PoolShared::sleepers`).
+const SPINS: u32 = 128;
+const YIELDS: u32 = 4;
+
+impl TickPool {
+    /// Spawns a pool that runs jobs on `threads` threads total: `threads - 1`
+    /// persistent workers plus the thread that calls [`TickPool::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads < 2` (a one-thread pool is just the serial loop;
+    /// callers keep `None` instead).
+    pub fn new(threads: usize) -> Self {
+        assert!(threads >= 2, "a tick pool needs at least two threads");
+        let shared = Arc::new(PoolShared {
+            job: UnsafeCell::new(None),
+            epoch: AtomicU64::new(0),
+            next: AtomicUsize::new(0),
+            total: AtomicUsize::new(0),
+            completed: AtomicUsize::new(0),
+            active: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            panicked: AtomicBool::new(false),
+            sleepers: AtomicUsize::new(0),
+            sleep: Mutex::new(()),
+            wake: Condvar::new(),
+        });
+        let handles = (0..threads - 1)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("tick-worker-{w}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn tick worker")
+            })
+            .collect();
+        TickPool {
+            shared,
+            handles,
+            threads,
+        }
+    }
+
+    /// Total threads participating in each job (workers + caller).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f(i)` for every `i in 0..total`, distributing indices across
+    /// the pool. Blocks until all indices completed. `f` must tolerate any
+    /// execution order and any assignment of indices to threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any invocation of `f` panicked (on any thread).
+    pub fn run<'f>(&self, total: usize, f: &'f (dyn Fn(usize) + Sync + 'f)) {
+        let s = &*self.shared;
+        if total == 0 {
+            return;
+        }
+        // Drain stragglers from the previous job before resetting counters.
+        wait(|| s.active.load(Ordering::Acquire) == 0);
+        {
+            // Publish under the sleep lock: workers read the slot under the
+            // same lock (see `worker_loop`), so a late joiner can never
+            // observe a torn or mid-write slot, and a worker deciding to
+            // sleep cannot miss the wake.
+            let _g = s.sleep.lock().expect("tick pool sleep lock");
+            // SAFETY: slot writes and worker reads are serialised by the
+            // sleep lock. The transmute erases the borrow's lifetime from
+            // the trait-object type; validity ends when `run` returns, which
+            // the epoch/active protocol enforces.
+            let ptr: *const (dyn Fn(usize) + Sync + 'f) = f;
+            unsafe {
+                *s.job.get() = Some(std::mem::transmute::<
+                    *const (dyn Fn(usize) + Sync + 'f),
+                    *const Job,
+                >(ptr));
+            }
+            s.total.store(total, Ordering::Relaxed);
+            s.completed.store(0, Ordering::Relaxed);
+            s.next.store(0, Ordering::Relaxed);
+            s.epoch.fetch_add(1, Ordering::Release);
+            if s.sleepers.load(Ordering::Acquire) > 0 {
+                self.shared.wake.notify_all();
+            }
+        }
+        // The caller is a worker too.
+        claim_loop(s, f);
+        wait(|| s.completed.load(Ordering::Acquire) >= total);
+        wait(|| s.active.load(Ordering::Acquire) == 0);
+        // Clear the slot so a worker waking long after this job finished
+        // (its epoch-change check cannot tell "new job" from "job come and
+        // gone") finds nothing to join rather than a dangling closure.
+        {
+            let _g = s.sleep.lock().expect("tick pool sleep lock");
+            // SAFETY: every worker has left the claim loop, and slot access
+            // is serialised by the sleep lock.
+            unsafe {
+                *s.job.get() = None;
+            }
+        }
+        if s.panicked.swap(false, Ordering::AcqRel) {
+            panic!("a tick-pool worker panicked while executing a parallel stage");
+        }
+    }
+}
+
+impl Drop for TickPool {
+    fn drop(&mut self) {
+        let s = &*self.shared;
+        wait(|| s.active.load(Ordering::Acquire) == 0);
+        s.shutdown.store(true, Ordering::Release);
+        s.epoch.fetch_add(1, Ordering::Release);
+        {
+            let _g = s.sleep.lock().expect("tick pool sleep lock");
+            s.wake.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Spin → yield → sleep until `done()` holds. Used only for the short
+/// end-of-job waits on the calling thread.
+fn wait(done: impl Fn() -> bool) {
+    let mut spins = 0u32;
+    while !done() {
+        if spins < SPINS {
+            std::hint::spin_loop();
+        } else {
+            std::thread::yield_now();
+        }
+        spins += 1;
+    }
+}
+
+fn claim_loop(s: &PoolShared, f: &(dyn Fn(usize) + Sync + '_)) {
+    let total = s.total.load(Ordering::Relaxed);
+    loop {
+        let i = s.next.fetch_add(1, Ordering::Relaxed);
+        if i >= total {
+            break;
+        }
+        let ok = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i))).is_ok();
+        if !ok {
+            s.panicked.store(true, Ordering::Release);
+        }
+        s.completed.fetch_add(1, Ordering::Release);
+    }
+}
+
+fn worker_loop(s: &PoolShared) {
+    let mut seen = 0u64;
+    loop {
+        let e = s.epoch.load(Ordering::Acquire);
+        if e == seen {
+            // No new job yet: spin briefly, yield a while, then sleep.
+            let mut tries = 0u32;
+            loop {
+                let e = s.epoch.load(Ordering::Acquire);
+                if e != seen {
+                    break;
+                }
+                if tries < SPINS {
+                    std::hint::spin_loop();
+                } else if tries < SPINS + YIELDS {
+                    std::thread::yield_now();
+                } else {
+                    let g = s.sleep.lock().expect("tick pool sleep lock");
+                    if s.epoch.load(Ordering::Acquire) == seen {
+                        s.sleepers.fetch_add(1, Ordering::Release);
+                        let _g = s
+                            .wake
+                            .wait_timeout(g, std::time::Duration::from_millis(50))
+                            .expect("tick pool sleep lock");
+                        s.sleepers.fetch_sub(1, Ordering::Release);
+                    }
+                }
+                tries += 1;
+            }
+            continue;
+        }
+        if s.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        // Join job `e`: announce participation, then read the slot under the
+        // sleep lock. Publication and clearing hold the same lock, so the
+        // read cannot race a write, and the epoch re-check under the lock
+        // distinguishes a live job from one that has come and gone (slot
+        // cleared) or been superseded (epoch moved on).
+        s.active.fetch_add(1, Ordering::AcqRel);
+        let job = {
+            let _g = s.sleep.lock().expect("tick pool sleep lock");
+            if s.epoch.load(Ordering::Acquire) == e {
+                // SAFETY: slot access is serialised by the sleep lock.
+                unsafe { *s.job.get() }
+            } else {
+                None
+            }
+        };
+        match job {
+            Some(job) => {
+                seen = e;
+                // SAFETY: `active` was incremented before the slot read, so
+                // the caller's end-of-run `active == 0` wait cannot have
+                // passed; the closure (and everything it borrows) stays
+                // alive until this worker decrements `active`.
+                claim_loop(s, unsafe { &*job });
+                s.active.fetch_sub(1, Ordering::AcqRel);
+            }
+            None => {
+                // Epoch `e`'s job already finished (or the epoch advanced);
+                // never re-join it. If the epoch moved on, the outer loop
+                // picks the new value up immediately.
+                s.active.fetch_sub(1, Ordering::AcqRel);
+                seen = e;
+            }
+        }
+    }
+}
+
+/// Raw-pointer wrapper that lets the fan-out closure hand each worker a
+/// distinct `&mut` element of one slice.
+struct SendPtr<T>(*mut T);
+// SAFETY: every index is claimed exactly once (fetch_add), so each element
+// is mutably borrowed by at most one thread.
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Pointer to element `i`. A method (not direct field access) so closures
+    /// capture the `Sync` wrapper, not the raw pointer itself.
+    ///
+    /// # Safety
+    ///
+    /// `i` must be in bounds of the wrapped slice.
+    unsafe fn element(&self, i: usize) -> *mut T {
+        unsafe { self.0.add(i) }
+    }
+}
+
+/// Runs `f(i, &mut items[i])` for every element — serially in index order
+/// when `pool` is `None`, else fanned out across the pool. Each element is
+/// visited exactly once, by exactly one thread.
+pub fn par_for_each_mut<T, F>(pool: Option<&TickPool>, items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    match pool {
+        None => {
+            for (i, item) in items.iter_mut().enumerate() {
+                f(i, item);
+            }
+        }
+        Some(pool) => {
+            let base = SendPtr(items.as_mut_ptr());
+            let n = items.len();
+            pool.run(n, &|i| {
+                // SAFETY: `i < n` and every index is claimed exactly once,
+                // so this is a unique borrow of a live element.
+                let item = unsafe { &mut *base.element(i) };
+                f(i, item);
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn pool_runs_every_index_exactly_once() {
+        let pool = TickPool::new(4);
+        for round in 0..50 {
+            let n = 1 + (round % 13) as usize;
+            let hits: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+            pool.run(n, &|i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            for (i, h) in hits.iter().enumerate() {
+                assert_eq!(h.load(Ordering::Relaxed), 1, "index {i} round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn par_for_each_mut_matches_serial() {
+        let pool = TickPool::new(3);
+        let mut serial: Vec<u64> = (0..37).collect();
+        let mut parallel = serial.clone();
+        let bump = |i: usize, v: &mut u64| *v = v.wrapping_mul(0x9E37_79B9) ^ i as u64;
+        par_for_each_mut(None, &mut serial, bump);
+        par_for_each_mut(Some(&pool), &mut parallel, bump);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn empty_job_is_a_no_op() {
+        let pool = TickPool::new(2);
+        pool.run(0, &|_| panic!("no index to run"));
+        let mut empty: Vec<u8> = Vec::new();
+        par_for_each_mut(Some(&pool), &mut empty, |_, _| unreachable!());
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let pool = TickPool::new(2);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(8, &|i| {
+                if i == 5 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(caught.is_err(), "pool must surface worker panics");
+        // The pool stays usable afterwards.
+        pool.run(4, &|_| {});
+    }
+}

@@ -28,6 +28,7 @@ mod clock;
 pub mod coalesce;
 mod codec;
 mod config;
+mod exec_par;
 mod gpu;
 mod partition;
 mod sanitizer;
@@ -38,6 +39,7 @@ mod stats;
 pub use clock::{ClockedComponent, TickSchedule, TickStage};
 pub use coalesce::coalesce;
 pub use config::{ConfigError, GpuConfig, L1Config, L2Config, SchedPolicy, WritePolicy};
+pub use exec_par::{par_for_each_mut, TickPool};
 pub use gpu::{CheckpointPolicy, Gpu, RunOutcome, SimError};
 
 // Architecture-description types, re-exported so downstream crates can build
@@ -48,7 +50,7 @@ pub use gpu_arch::{
 pub use partition::Partition;
 pub use sanitizer::{Sanitizer, Site, Violation};
 pub use scoreboard::Scoreboard;
-pub use sm::Sm;
+pub use sm::{DeferredDeviceOp, DeviceAccess, PatchTarget, Sm};
 pub use stats::{CompletedRequest, LoadInstrRecord, RunSummary, SmStats, TraceSink};
 
 // Observability types, re-exported so downstream crates can configure and

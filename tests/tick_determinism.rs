@@ -1,0 +1,208 @@
+//! Differential determinism suite for the parallel tick executor.
+//!
+//! The contract under test: a GPU ticked with any number of tick threads
+//! produces **bit-identical** results to the serial cycle loop — same
+//! `RunSummary` (including `content_hash`), same trace-event stream in the
+//! same order, same latency-trace records, same counter samples, and the
+//! same sanitizer findings. Parallelism may only change wall-clock time
+//! (`metrics.host_nanos`, normalised out below), never simulation output.
+//!
+//! The suite also proves its own teeth: a deliberately shuffled merge order
+//! (`Gpu::debug_set_reverse_merge`) must produce an observably different
+//! event stream, so a future regression in the index-ordered merge cannot
+//! pass silently.
+
+use gpu_sim::{Gpu, GpuConfig, TraceEvent};
+use gpu_workloads::{bfs, graph::Graph, histogram, reduce, spmv, vecadd};
+use latency_core::ArchPreset;
+
+/// Thread counts every matrix cell runs at: serial baseline, the smallest
+/// parallel pool, a wider pool, and whatever this host would use by default.
+fn thread_counts() -> Vec<usize> {
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut counts = vec![1, 2, 4, host.max(2)];
+    counts.sort_unstable();
+    counts.dedup();
+    counts
+}
+
+/// Scales a preset down so six-generation matrices stay fast, keeping
+/// enough SMs and partitions that the parallel stages have real fan-out.
+fn small_cfg(preset: ArchPreset) -> GpuConfig {
+    let mut cfg = preset.config();
+    cfg.num_sms = cfg.num_sms.min(4);
+    cfg.num_partitions = cfg.num_partitions.min(2);
+    cfg
+}
+
+/// Everything observable a run produced, with the single legitimately
+/// nondeterministic field (`metrics.host_nanos`) normalised away.
+#[derive(Debug, PartialEq)]
+struct Artifacts {
+    summary: gpu_sim::RunSummary,
+    events: Vec<TraceEvent>,
+    samples: Vec<gpu_sim::CounterSample>,
+    dropped_events: u64,
+    /// `CompletedRequest`/`LoadInstrRecord` don't implement `PartialEq`;
+    /// their `Debug` form captures every field.
+    requests: String,
+    loads: String,
+    sanitizer_total: u64,
+    violations: Vec<gpu_sim::Violation>,
+}
+
+/// Builds a traced, sanitizing GPU on `cfg`, runs `drive`, and collects
+/// every observable artifact.
+fn run_collecting(
+    mut cfg: GpuConfig,
+    tick_threads: usize,
+    reverse_merge: bool,
+    drive: impl FnOnce(&mut Gpu),
+) -> Artifacts {
+    cfg.trace.enabled = true;
+    let mut gpu = Gpu::new(cfg);
+    gpu.set_tick_threads(tick_threads);
+    gpu.debug_set_reverse_merge(reverse_merge);
+    gpu.set_tracing(true);
+    drive(&mut gpu);
+    let mut summary = gpu.summary();
+    summary.metrics.host_nanos = 0;
+    let trace = gpu.take_trace();
+    let (requests, loads) = gpu.take_traces();
+    Artifacts {
+        summary,
+        events: trace.events,
+        samples: trace.samples,
+        dropped_events: trace.dropped_events,
+        requests: format!("{requests:?}"),
+        loads: format!("{loads:?}"),
+        sanitizer_total: gpu.sanitizer().total(),
+        violations: gpu.sanitizer().violations().to_vec(),
+    }
+}
+
+/// Runs the same workload serially and at every parallel thread count,
+/// asserting bit-identical artifacts against the serial baseline.
+fn assert_thread_invariant(label: &str, cfg: GpuConfig, drive: impl Fn(&mut Gpu) + Copy) {
+    let baseline = run_collecting(cfg.clone(), 1, false, drive);
+    assert!(
+        !baseline.events.is_empty(),
+        "{label}: baseline recorded no events — the comparison would be vacuous"
+    );
+    for threads in thread_counts().into_iter().skip(1) {
+        let parallel = run_collecting(cfg.clone(), threads, false, drive);
+        assert_eq!(
+            baseline.summary.content_hash, parallel.summary.content_hash,
+            "{label}: content hash diverged at {threads} tick threads"
+        );
+        assert_eq!(
+            baseline, parallel,
+            "{label}: artifacts diverged at {threads} tick threads"
+        );
+    }
+}
+
+/// Mask BFS — the paper's exemplar workload — drives every stage of the
+/// parallel executor hard: multi-SM issue, crossbar traffic in both
+/// directions, partition-side DRAM activity.
+fn drive_bfs(gpu: &mut Gpu) {
+    let graph = Graph::uniform_random(192, 6, 11);
+    let reference = graph.bfs_levels(0);
+    let dev = bfs::upload_graph_mask(gpu, &graph);
+    bfs::run_bfs_mask(gpu, &dev, 0, 64).expect("bfs runs");
+    assert_eq!(bfs::read_costs(gpu, &dev), reference, "bfs result wrong");
+}
+
+#[test]
+fn bfs_is_tick_thread_invariant_on_every_generation() {
+    for preset in ArchPreset::ALL {
+        assert_thread_invariant(preset.name(), small_cfg(preset), drive_bfs);
+    }
+}
+
+#[test]
+fn vecadd_is_tick_thread_invariant_on_every_generation() {
+    for preset in ArchPreset::ALL {
+        assert_thread_invariant(preset.name(), small_cfg(preset), |gpu| {
+            let dev = vecadd::setup(gpu, 700);
+            vecadd::run(gpu, &dev, 128).expect("vecadd runs");
+            vecadd::verify(gpu, &dev);
+        });
+    }
+}
+
+/// Atomics are the sharpest same-cycle cross-SM hazard: every deferred
+/// `AtomAdd` must replay in exactly the serial order or the histogram
+/// counts (and every downstream timing decision) shift.
+#[test]
+fn atomic_heavy_workloads_are_tick_thread_invariant() {
+    for preset in [ArchPreset::FermiGf100, ArchPreset::MaxwellGm107] {
+        assert_thread_invariant(preset.name(), small_cfg(preset), |gpu| {
+            let dev = histogram::setup(gpu, 4096, 32);
+            histogram::run(gpu, &dev, 128).expect("histogram runs");
+            histogram::verify(gpu, &dev);
+        });
+        assert_thread_invariant(preset.name(), small_cfg(preset), |gpu| {
+            let dev = reduce::setup(gpu, 4096);
+            reduce::run(gpu, &dev, 128).expect("reduce runs");
+            assert_eq!(gpu.device().read_u32(dev.output), reduce::reference(4096));
+        });
+    }
+}
+
+#[test]
+fn spmv_is_tick_thread_invariant() {
+    let m = spmv::CsrMatrix::random(256, 256, 6, 13);
+    for preset in [ArchPreset::TeslaGt200, ArchPreset::KeplerGk104] {
+        assert_thread_invariant(preset.name(), small_cfg(preset), |gpu| {
+            let dev = spmv::setup(gpu, &m);
+            spmv::run(gpu, &dev, 64).expect("spmv runs");
+            spmv::verify(gpu, &dev, &m);
+        });
+    }
+}
+
+/// The suite must be able to catch a wrong merge: reversing the
+/// component-index merge order (via the debug hook) has to produce a
+/// different event stream, or the assertions above prove nothing.
+#[test]
+fn shuffled_merge_is_detected() {
+    let cfg = small_cfg(ArchPreset::FermiGf100);
+    let baseline = run_collecting(cfg.clone(), 1, false, drive_bfs);
+    let reversed = run_collecting(cfg.clone(), 2, true, drive_bfs);
+    assert_ne!(
+        baseline.events, reversed.events,
+        "reversed merge order produced the serial event stream — the \
+         determinism assertions have no teeth"
+    );
+    // Only *observation order* may shuffle: totals, timing, and the
+    // content hash still match the serial run.
+    assert_eq!(baseline.summary, reversed.summary);
+    assert_eq!(baseline.events.len(), reversed.events.len());
+    assert_eq!(baseline.sanitizer_total, reversed.sanitizer_total);
+    // And switching the hook off restores bit-identity.
+    let fixed = run_collecting(cfg, 2, false, drive_bfs);
+    assert_eq!(baseline, fixed);
+}
+
+/// Changing the tick-thread count between launches of one chained run must
+/// not change results: first kernel serial, second on a pool, versus both
+/// serial. The chained `content_hash` seals the equivalence.
+#[test]
+fn switching_thread_count_between_launches_is_invisible() {
+    let cfg = small_cfg(ArchPreset::KeplerGk104);
+    let drive = |gpu: &mut Gpu, switch_to: Option<usize>| {
+        let dev = vecadd::setup(gpu, 700);
+        vecadd::run(gpu, &dev, 128).expect("first vecadd runs");
+        if let Some(threads) = switch_to {
+            gpu.set_tick_threads(threads);
+        }
+        let dev2 = vecadd::setup(gpu, 900);
+        vecadd::run(gpu, &dev2, 128).expect("second vecadd runs");
+        vecadd::verify(gpu, &dev);
+        vecadd::verify(gpu, &dev2);
+    };
+    let baseline = run_collecting(cfg.clone(), 1, false, |gpu| drive(gpu, None));
+    let switched = run_collecting(cfg, 1, false, |gpu| drive(gpu, Some(4)));
+    assert_eq!(baseline, switched);
+}
