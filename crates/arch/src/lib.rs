@@ -324,6 +324,40 @@ impl ArchDesc {
             .is_some_and(|l| l.effective_routing().serves(space))
     }
 
+    /// The hierarchy levels at which an access of `space` can be *served*
+    /// (hit, or reach DRAM), in pipeline order: the L1 when it exists and
+    /// its routing covers the space (and the access does not bypass it, as
+    /// atomics do), the L2 when it carries a tag array, and always the DRAM
+    /// front. This is the static counterpart of the per-request level span
+    /// the tracer records — a traced request can only ever be served at one
+    /// of these levels.
+    pub fn feasible_levels(&self, space: PipelineSpace, bypass_l1: bool) -> Vec<LevelKind> {
+        let mut out = Vec::with_capacity(3);
+        if !bypass_l1 && self.serves(LevelKind::L1, space) {
+            out.push(LevelKind::L1);
+        }
+        if self.level(LevelKind::L2).is_some_and(|l| l.geom.is_some()) {
+            out.push(LevelKind::L2);
+        }
+        out.push(LevelKind::DramFront);
+        out
+    }
+
+    /// The first level an access of `space` can be served at — the shallowest
+    /// entry of [`ArchDesc::feasible_levels`].
+    pub fn entry_level(&self, space: PipelineSpace, bypass_l1: bool) -> LevelKind {
+        self.feasible_levels(space, bypass_l1)[0]
+    }
+
+    /// Analytic unloaded-latency floor for an access of `space`: the
+    /// [`ArchDesc::unloaded_latency`] of its entry level (the best case — a
+    /// hit at the first level that can serve it). No traced access of this
+    /// space can complete faster.
+    pub fn unloaded_floor(&self, space: PipelineSpace, bypass_l1: bool) -> u64 {
+        self.unloaded_latency(self.entry_level(space, bypass_l1))
+            .expect("entry level is always servable")
+    }
+
     /// The microbenchmark transform: the same machine shrunk to one SM and
     /// one partition. Every pipeline latency, queue depth and cache
     /// geometry is untouched, so a single-threaded pointer chase measures

@@ -1,48 +1,174 @@
 //! Static analysis over every built-in workload kernel.
 //!
 //! ```text
-//! cargo run --release -p latency-bench --bin lint [--json] [--strict]
+//! cargo run --release -p latency-bench --bin lint \
+//!     [--json] [--strict] [--deny <lint[,lint]|all>] [--sarif <path|->] \
+//!     [--cost] [--validate]
 //! ```
 //!
-//! Runs the `latency-check` analyzer (CFG + dataflow + memory-access
-//! lints) over each kernel the experiment drivers launch and prints one
-//! report per kernel. `--json` emits one JSON object per line instead of
-//! the human listing. Exit status is 1 when any kernel has error-severity
-//! diagnostics (`--strict` also fails on warnings), so CI can gate on it.
+//! Runs the `latency-check` analyzer (CFG + dataflow + symbolic memory +
+//! concurrency lints) over each kernel the experiment drivers launch and
+//! prints one report per kernel. Output is deterministic (reports are
+//! sorted and deduplicated), so CI can diff it byte-for-byte.
+//!
+//! - `--json` emits one JSON object per line instead of the human listing.
+//! - `--strict` also fails on warnings.
+//! - `--deny` fails when any *named* pass produces a warning- or
+//!   error-severity finding (`all` denies every pass); advisory notes never
+//!   fail the gate. Unknown lint names are a usage error.
+//! - `--sarif` writes a SARIF 2.1.0 log to the given path (`-` = stdout).
+//! - `--cost` prints the arch-aware static cost model for each kernel
+//!   across the paper's Table-I presets.
+//! - `--validate` runs the static-vs-dynamic differential harness
+//!   (transaction counts, service levels, latency floors) over the Table-I
+//!   preset x workload matrix.
+//!
+//! Exit status: 0 clean, 1 findings/violations, 2 usage.
 
-use latency_check::{analyze, AnalysisConfig, Severity};
+use latency_check::{analyze, to_sarif, AnalysisConfig, Pass, Severity};
+use latency_core::ArchPreset;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: lint [--json] [--strict] [--deny <lint[,lint]|all>] \
+         [--sarif <path|->] [--cost] [--validate]"
+    );
+    std::process::exit(2);
+}
+
+/// Parses a `--deny` operand into the set of denied passes.
+fn parse_deny(spec: &str) -> Vec<Pass> {
+    if spec == "all" {
+        return Pass::ALL.to_vec();
+    }
+    let mut denied = Vec::new();
+    for name in spec.split(',') {
+        match Pass::parse(name) {
+            Some(p) => {
+                if !denied.contains(&p) {
+                    denied.push(p);
+                }
+            }
+            None => {
+                eprintln!(
+                    "unknown lint '{name}' (known: {})",
+                    Pass::ALL.map(|p| p.name()).join(", ")
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    denied
+}
+
+/// Prints the per-preset static cost model for every builtin kernel.
+fn print_costs() {
+    for kernel in latency_bench::builtin_kernels() {
+        for preset in ArchPreset::TABLE1 {
+            let cost = latency_check::kernel_cost(&kernel, &preset.desc());
+            print!("{}", cost.to_human());
+        }
+    }
+}
+
+/// Runs the differential validation matrix; returns `true` when every
+/// cell and every floor held.
+fn run_validation() -> bool {
+    let mut ok = true;
+    for preset in ArchPreset::TABLE1 {
+        for workload in latency_bench::Workload::ALL {
+            match latency_bench::validate_run(preset, workload) {
+                Ok(report) => {
+                    print!("{}", report.to_human());
+                    ok &= report.ok();
+                }
+                Err(e) => {
+                    eprintln!("{} x {:?}: simulation failed: {e}", workload.name(), preset);
+                    ok = false;
+                }
+            }
+        }
+        match latency_bench::validate_floor(preset) {
+            Ok(report) => {
+                print!("{}", report.to_human());
+                ok &= report.ok();
+            }
+            Err(e) => {
+                eprintln!("{preset:?}: floor measurement failed: {e}");
+                ok = false;
+            }
+        }
+    }
+    ok
+}
 
 fn main() {
     let mut json = false;
     let mut strict = false;
-    for arg in std::env::args().skip(1) {
+    let mut cost = false;
+    let mut validate = false;
+    let mut denied: Vec<Pass> = Vec::new();
+    let mut sarif_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json = true,
             "--strict" => strict = true,
-            other => {
-                eprintln!("unknown argument '{other}' (usage: lint [--json] [--strict])");
-                std::process::exit(2);
-            }
+            "--cost" => cost = true,
+            "--validate" => validate = true,
+            "--deny" => match args.next() {
+                Some(spec) => denied = parse_deny(&spec),
+                None => usage(),
+            },
+            "--sarif" => match args.next() {
+                Some(path) => sarif_path = Some(path),
+                None => usage(),
+            },
+            _ => usage(),
         }
     }
 
     let config = AnalysisConfig::default();
     let mut errors = 0usize;
     let mut warnings = 0usize;
+    let mut denied_hits = 0usize;
+    let mut reports = Vec::new();
     for kernel in latency_bench::builtin_kernels() {
         let report = analyze(&kernel, &config);
         errors += report.count(Severity::Error);
         warnings += report.count(Severity::Warning);
+        denied_hits += report
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity >= Severity::Warning && denied.contains(&d.pass))
+            .count();
         if json {
             println!("{}", report.to_json());
         } else {
             print!("{}", report.to_human());
         }
+        reports.push(report);
     }
     if !json {
         println!("total: {errors} error(s), {warnings} warning(s)");
     }
-    if errors > 0 || (strict && warnings > 0) {
+    if let Some(path) = sarif_path {
+        let sarif = to_sarif(&reports);
+        if path == "-" {
+            println!("{sarif}");
+        } else if let Err(e) = std::fs::write(&path, sarif) {
+            eprintln!("cannot write SARIF to '{path}': {e}");
+            std::process::exit(2);
+        }
+    }
+    if cost {
+        print_costs();
+    }
+    let validated = !validate || run_validation();
+    if errors > 0 || (strict && warnings > 0) || denied_hits > 0 || !validated {
+        if denied_hits > 0 {
+            eprintln!("{denied_hits} denied finding(s)");
+        }
         std::process::exit(1);
     }
 }

@@ -81,12 +81,10 @@ fn parse_args() -> Args {
                 latency_core::parallel::set_worker_count(n);
             }
             "--tick-threads" => {
-                let n = args
-                    .next()
-                    .and_then(|v| v.parse::<usize>().ok())
-                    .filter(|&n| n > 0)
-                    .unwrap_or_else(|| {
-                        eprintln!("--tick-threads needs a positive integer");
+                let raw = args.next().unwrap_or_default();
+                let n =
+                    latency_core::parse_tick_threads(&raw, "--tick-threads").unwrap_or_else(|e| {
+                        eprintln!("{e}");
                         std::process::exit(2);
                     });
                 latency_core::set_tick_threads(n);
@@ -240,6 +238,12 @@ fn cold_grid_cycles(cfg: &gpu_sim::GpuConfig, footprints: &[u64], strides: &[u64
 }
 
 fn main() {
+    // A zero or garbled LATENCY_TICK_THREADS would otherwise silently fall
+    // back to serial ticking; refuse it up front like a bad flag.
+    if let Err(e) = latency_core::env_tick_threads() {
+        eprintln!("{e}");
+        std::process::exit(2);
+    }
     let args = parse_args();
     if let Some(dir) = &args.cache {
         set_cache_dir(dir);

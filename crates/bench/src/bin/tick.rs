@@ -63,9 +63,14 @@ fn parse_args() -> Args {
             "--threads" => {
                 parsed.threads = val("--threads")
                     .split(',')
-                    .map(|t| t.trim().parse().unwrap_or_else(|_| usage()))
+                    .map(|t| {
+                        latency_core::parse_tick_threads(t, "--threads").unwrap_or_else(|e| {
+                            eprintln!("{e}");
+                            std::process::exit(2);
+                        })
+                    })
                     .collect();
-                if parsed.threads.is_empty() || parsed.threads.contains(&0) {
+                if parsed.threads.is_empty() {
                     usage();
                 }
             }
@@ -110,6 +115,12 @@ fn measure(args: &Args, graph: &Graph, tick_threads: usize) -> Measured {
 }
 
 fn main() {
+    // A zero or garbled LATENCY_TICK_THREADS would otherwise silently fall
+    // back to serial ticking; refuse it up front like a bad flag.
+    if let Err(e) = latency_core::env_tick_threads() {
+        eprintln!("{e}");
+        std::process::exit(2);
+    }
     let args = parse_args();
     let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     let num_sms = args.preset.config().num_sms;

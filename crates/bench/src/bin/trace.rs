@@ -107,10 +107,12 @@ fn parse_args() -> Args {
             }
             "--validate" => args.validate = true,
             "--tick-threads" => {
-                let n: usize = val("--tick-threads").parse().unwrap_or_else(|_| usage());
-                if n == 0 {
-                    usage();
-                }
+                let raw = val("--tick-threads");
+                let n =
+                    latency_core::parse_tick_threads(&raw, "--tick-threads").unwrap_or_else(|e| {
+                        eprintln!("{e}");
+                        std::process::exit(2);
+                    });
                 // Picked up by every Gpu the experiment helpers build; the
                 // emitted bundle is bit-identical for every value of N.
                 latency_core::set_tick_threads(n);
@@ -233,6 +235,12 @@ fn run_checkpointed(args: &Args) -> TracedRun {
 }
 
 fn main() {
+    // A zero or garbled LATENCY_TICK_THREADS would otherwise silently fall
+    // back to serial ticking; refuse it up front like a bad flag.
+    if let Err(e) = latency_core::env_tick_threads() {
+        eprintln!("{e}");
+        std::process::exit(2);
+    }
     let args = parse_args();
     let run = if checkpointing_requested(&args) {
         run_checkpointed(&args)

@@ -290,6 +290,22 @@ impl Workload {
     }
 }
 
+/// The kernel [`run_workload_traced`] launches for `workload`, exactly as
+/// the dynamic run builds it — the static half of the differential
+/// validation harness analyzes this object.
+pub fn workload_kernel(workload: Workload) -> gpu_isa::Kernel {
+    match workload {
+        Workload::VecAdd => vecadd::build_vecadd_kernel(),
+        Workload::MatMul => matmul::build_matmul_kernel(),
+        Workload::Reduce => reduce::build_reduce_kernel(256),
+        Workload::SpMv => spmv::build_spmv_kernel(),
+        Workload::Stencil => stencil::build_stencil_kernel(),
+        Workload::Histogram => histogram::build_histogram_kernel(),
+        Workload::Transpose => transpose::build_transpose_kernel(transpose::Variant::Tiled),
+        Workload::Scan => scan::build_scan_kernel(256),
+    }
+}
+
 /// Every built-in workload kernel, as launched by the experiment drivers
 /// (both transpose variants, all three BFS kernels). This is the kernel set
 /// the `lint` bin analyzes.

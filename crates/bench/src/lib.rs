@@ -14,10 +14,16 @@
 pub mod experiments;
 pub mod harness;
 pub mod tracebundle;
+pub mod validate;
 
 pub use experiments::{
     builtin_kernels, dram_sched_comparison, hiding_sweep, resume_bfs_checkpointed,
-    run_bfs_checkpointed, run_bfs_traced, run_table1, run_workload_traced, BfsCheckpointOutcome,
-    BfsCheckpointed, BfsExperiment, DramSchedResult, HidingPoint, TracedRun, Workload,
+    run_bfs_checkpointed, run_bfs_traced, run_table1, run_workload_traced, workload_kernel,
+    BfsCheckpointOutcome, BfsCheckpointed, BfsExperiment, DramSchedResult, HidingPoint, TracedRun,
+    Workload,
 };
 pub use tracebundle::{env_request, stage_labels_for, EnvTrace, TraceBundle};
+pub use validate::{
+    derived_level, validate_floor, validate_run, FloorCheck, FloorReport, LoadCheck,
+    ValidationReport,
+};

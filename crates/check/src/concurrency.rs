@@ -1,0 +1,432 @@
+//! Concurrency lints: intra-block shared-memory race detection and
+//! barrier-divergence detection.
+//!
+//! Both passes consume the symbolic analysis from [`crate::symaddr`]:
+//!
+//! - **Shared races**: two shared-memory accesses (at least one a store)
+//!   with no `bar.sync` between them race when their *thread-affine*
+//!   address forms `K + s·t` (t = thread id within the CTA) can overlap
+//!   for two distinct threads. The pass is a forward dataflow over the CFG
+//!   carrying the still-unsynchronized ("live") shared writes and reads;
+//!   a barrier kills both sets. Differences that are not provably constant
+//!   (symbolic loop counters, relational guards the analyzer cannot see)
+//!   stay silent by design: the lint reports only arithmetically certain
+//!   overlaps, so a finding is actionable evidence, not a maybe.
+//! - **Barrier divergence**: a `bar.sync` inside a divergent region (between
+//!   a lane-varying branch and its reconvergence point) may be reached by
+//!   only part of the warp — deadlock or undefined synchronization on real
+//!   machines.
+//!
+//! Known limitations, accepted for precision elsewhere: guard predicates
+//! are not modeled (two stores both under `if (tid == 0)` to one address
+//! are reported even though only one lane executes them), and races between
+//! different *iterations* of a loop are not tracked (backedges do not
+//! propagate live access sets, because loop-scoped symbolic terms from
+//! different iterations would compare as spuriously equal).
+
+use std::collections::BTreeSet;
+
+use gpu_isa::{Instr, Kernel, Pc, Space};
+
+use crate::cfg::Cfg;
+use crate::diag::{Diagnostic, Pass, Severity};
+use crate::symaddr::{LinExpr, SymAnalysis, SymVal, Term};
+
+/// The per-thread address slope of a thread-affine access: `addr(t) = K + s·t`.
+///
+/// With the warp decompositions `tid = TidBase + Lane` and
+/// `gtid = GtidBase + Lane`, an expression is affine in the CTA-local
+/// thread id exactly when its `Lane` coefficient equals the sum of its
+/// `TidBase` and `GtidBase` coefficients (the residual lane dependence
+/// vanishes); the slope is then that `Lane` coefficient.
+fn thread_slope(e: &LinExpr) -> Option<i64> {
+    let cl = e.lane_coeff();
+    let ct = e.coeff(Term::TidBase);
+    let cg = e.coeff(Term::GtidBase);
+    (cl == ct.wrapping_add(cg)).then_some(cl)
+}
+
+/// Smallest-|d| witness that threads `d` apart overlap: an integer `d != 0`
+/// with `-wb < c + s*d < wa`, for accesses `A(t) = KA + s·t` (width `wa`)
+/// and `B(u) = KB + s·u` (width `wb`) with `c = KA - KB` and `d = t - u`.
+fn overlap_witness(c: i64, s: i64, wa: i64, wb: i64) -> Option<i64> {
+    let (c, s, wa, wb) = (c as i128, (s as i128).abs(), wa as i128, wb as i128);
+    if s == 0 {
+        return (-wb < c && c < wa).then_some(1);
+    }
+    // -wb + 1 <= c + s*d <= wa - 1
+    let lo = -wb + 1 - c;
+    let hi = wa - 1 - c;
+    let d_min = lo.div_euclid(s) + i128::from(lo.rem_euclid(s) != 0);
+    let d_max = hi.div_euclid(s);
+    if d_min > d_max {
+        return None;
+    }
+    // Nearest-to-zero nonzero d in [d_min, d_max].
+    let best = if d_min > 0 {
+        d_min
+    } else if d_max < 0 {
+        d_max
+    } else if d_max >= 1 {
+        1
+    } else if d_min <= -1 {
+        -1
+    } else {
+        return None; // range is exactly {0}
+    };
+    i64::try_from(best).ok()
+}
+
+/// One shared-memory access in program order, with its solved address.
+struct SharedAcc {
+    pc: Pc,
+    is_store: bool,
+    width: i64,
+    /// Thread-affine form: the full linear expression plus the slope.
+    affine: Option<(LinExpr, i64)>,
+}
+
+/// Do accesses `a` and `b` certainly overlap for two *distinct* threads?
+fn races(a: &SharedAcc, b: &SharedAcc) -> Option<i64> {
+    let (ea, sa) = a.affine.as_ref()?;
+    let (eb, sb) = b.affine.as_ref()?;
+    if sa != sb {
+        return None; // differing slopes: overlap not provable, stay silent
+    }
+    let c = ea.sub(eb).as_const()?;
+    overlap_witness(c, *sa, a.width, b.width)
+}
+
+/// Runs both concurrency passes, appending findings to `out`.
+pub fn concurrency_pass(kernel: &Kernel, cfg: &Cfg, sym: &SymAnalysis, out: &mut Vec<Diagnostic>) {
+    barrier_divergence_pass(kernel, cfg, sym, out);
+    shared_race_pass(kernel, cfg, sym, out);
+}
+
+fn barrier_divergence_pass(
+    kernel: &Kernel,
+    cfg: &Cfg,
+    sym: &SymAnalysis,
+    out: &mut Vec<Diagnostic>,
+) {
+    for (pc, instr) in kernel.instrs().iter().enumerate() {
+        if !matches!(instr, Instr::Bar) {
+            continue;
+        }
+        let b = cfg.block_of(pc);
+        if cfg.is_reachable(b) && sym.divergent_region.get(b).copied().unwrap_or(false) {
+            out.push(Diagnostic::at(
+                Severity::Warning,
+                Pass::BarrierDivergence,
+                pc,
+                "bar.sync inside divergent control flow: a lane-varying branch \
+                 dominates this barrier, so a warp can reach it with only part \
+                 of its lanes"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+fn shared_race_pass(kernel: &Kernel, cfg: &Cfg, sym: &SymAnalysis, out: &mut Vec<Diagnostic>) {
+    let instrs = kernel.instrs();
+    let nb = cfg.blocks().len();
+
+    // Shared accesses with solved thread-affine forms, indexed densely.
+    let accs: Vec<SharedAcc> = sym
+        .accesses
+        .iter()
+        .filter(|a| a.mem.space == Space::Shared)
+        .map(|a| SharedAcc {
+            pc: a.pc,
+            is_store: a.mem.is_store,
+            width: a.mem.width.bytes() as i64,
+            affine: match &a.addr {
+                SymVal::Lin(e) => thread_slope(e).map(|s| (e.clone(), s)),
+                SymVal::Varying => None,
+            },
+        })
+        .collect();
+    if accs.is_empty() {
+        return;
+    }
+    let acc_at = |pc: Pc| accs.iter().position(|a| a.pc == pc);
+
+    // Forward dataflow: per block-entry, the sets of shared writes/reads
+    // not yet separated from this point by a barrier. Backedges do not
+    // propagate (see module docs).
+    type State = (BTreeSet<usize>, BTreeSet<usize>); // (live writes, live reads)
+    let mut entry: Vec<State> = vec![(BTreeSet::new(), BTreeSet::new()); nb];
+    let mut findings: BTreeSet<(Pc, Pc, i64)> = BTreeSet::new();
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for bi in 0..nb {
+            if !cfg.is_reachable(bi) {
+                continue;
+            }
+            let (mut writes, mut reads) = entry[bi].clone();
+            let block = &cfg.blocks()[bi];
+            for (pc, instr) in instrs.iter().enumerate().take(block.end).skip(block.start) {
+                match instr {
+                    Instr::Bar => {
+                        writes.clear();
+                        reads.clear();
+                    }
+                    _ => {
+                        let Some(i) = acc_at(pc) else { continue };
+                        let acc = &accs[i];
+                        if acc.is_store {
+                            for &j in writes.iter().chain(reads.iter()) {
+                                if let Some(d) = races(acc, &accs[j]) {
+                                    findings.insert((accs[j].pc, acc.pc, d));
+                                }
+                            }
+                            // A store also races with itself across threads
+                            // (e.g. every thread writing element tid+1 while
+                            // a neighbor writes the overlapping bytes).
+                            if let Some(d) = races(acc, acc) {
+                                findings.insert((acc.pc, acc.pc, d));
+                            }
+                            writes.insert(i);
+                        } else {
+                            for &j in &writes {
+                                if let Some(d) = races(acc, &accs[j]) {
+                                    findings.insert((accs[j].pc, acc.pc, d));
+                                }
+                            }
+                            reads.insert(i);
+                        }
+                    }
+                }
+            }
+            for &s in &block.succs {
+                if s <= bi {
+                    continue; // backedge
+                }
+                let st = &mut entry[s];
+                let before = (st.0.len(), st.1.len());
+                st.0.extend(writes.iter().copied());
+                st.1.extend(reads.iter().copied());
+                if (st.0.len(), st.1.len()) != before {
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    for (pc_a, pc_b, d) in findings {
+        let i = acc_at(pc_a).expect("finding refers to a known access");
+        let j = acc_at(pc_b).expect("finding refers to a known access");
+        let kind = match (accs[i].is_store, accs[j].is_store) {
+            (true, true) => "write/write",
+            _ => "read/write",
+        };
+        let other = if pc_a == pc_b {
+            "itself".to_string()
+        } else {
+            format!("the shared access at pc {pc_a}")
+        };
+        out.push(Diagnostic::at(
+            Severity::Warning,
+            Pass::SharedRace,
+            pc_b,
+            format!(
+                "shared-memory {kind} race: this access overlaps {other} for \
+                 threads {d} apart, with no barrier between them"
+            ),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symaddr;
+    use gpu_isa::{CmpOp, KernelBuilder, Operand, Space, Special, Width};
+
+    fn lint(kernel: &Kernel) -> Vec<Diagnostic> {
+        let cfg = Cfg::build(kernel);
+        let sym = symaddr::analyze(kernel, &cfg);
+        let mut out = Vec::new();
+        concurrency_pass(kernel, &cfg, &sym, &mut out);
+        out
+    }
+
+    fn count(diags: &[Diagnostic], pass: Pass) -> usize {
+        diags.iter().filter(|d| d.pass == pass).count()
+    }
+
+    #[test]
+    fn neighbor_stores_race() {
+        // Thread t writes s[t] and s[t+1]: W/W overlap at distance 1.
+        let mut b = KernelBuilder::new("k");
+        b.alloc_shared(256);
+        let t = b.special(Special::TidX);
+        let a0 = b.shl(t, 2);
+        b.st(Space::Shared, Width::W4, a0, 0, 1i64);
+        b.st(Space::Shared, Width::W4, a0, 4, 2i64);
+        b.exit();
+        let k = b.build().unwrap();
+        let d = lint(&k);
+        assert!(count(&d, Pass::SharedRace) >= 1, "{d:?}");
+    }
+
+    #[test]
+    fn read_of_neighbor_write_races() {
+        let mut b = KernelBuilder::new("k");
+        b.alloc_shared(256);
+        let t = b.special(Special::TidX);
+        let a0 = b.shl(t, 2);
+        b.st(Space::Shared, Width::W4, a0, 0, 1i64);
+        b.ld(Space::Shared, Width::W4, a0, 4); // neighbor's slot, no barrier
+        b.exit();
+        let k = b.build().unwrap();
+        let d = lint(&k);
+        assert_eq!(count(&d, Pass::SharedRace), 1, "{d:?}");
+        assert!(d.iter().any(|x| x.message.contains("read/write")));
+    }
+
+    #[test]
+    fn barrier_separates_the_accesses() {
+        let mut b = KernelBuilder::new("k");
+        b.alloc_shared(256);
+        let t = b.special(Special::TidX);
+        let a0 = b.shl(t, 2);
+        b.st(Space::Shared, Width::W4, a0, 0, 1i64);
+        b.bar();
+        b.ld(Space::Shared, Width::W4, a0, 4);
+        b.exit();
+        let k = b.build().unwrap();
+        let d = lint(&k);
+        assert_eq!(count(&d, Pass::SharedRace), 0, "{d:?}");
+    }
+
+    #[test]
+    fn disjoint_slots_do_not_race() {
+        let mut b = KernelBuilder::new("k");
+        b.alloc_shared(256);
+        let t = b.special(Special::TidX);
+        let a0 = b.shl(t, 2);
+        b.st(Space::Shared, Width::W4, a0, 0, 1i64);
+        b.ld(Space::Shared, Width::W4, a0, 0); // own slot only
+        b.exit();
+        let k = b.build().unwrap();
+        let d = lint(&k);
+        assert_eq!(count(&d, Pass::SharedRace), 0, "{d:?}");
+    }
+
+    #[test]
+    fn broadcast_store_races_with_itself() {
+        let mut b = KernelBuilder::new("k");
+        b.alloc_shared(64);
+        let z = b.mov(0i64);
+        b.st(Space::Shared, Width::W4, z, 0, 7i64);
+        b.exit();
+        let k = b.build().unwrap();
+        let d = lint(&k);
+        assert_eq!(count(&d, Pass::SharedRace), 1, "{d:?}");
+        assert!(d[0].message.contains("itself"));
+    }
+
+    #[test]
+    fn symbolic_difference_stays_silent() {
+        // reduce-style peer read: s[4*(tid+stride)] vs own write s[4*tid],
+        // with `stride` a kernel parameter. The difference 4·stride is not
+        // a provable constant, so the lint must not guess.
+        let mut b = KernelBuilder::new("k");
+        b.alloc_shared(1024);
+        let stride = b.param(0);
+        let t = b.special(Special::TidX);
+        let own = b.shl(t, 2);
+        let peer_idx = b.add(t, stride);
+        let peer = b.shl(peer_idx, 2);
+        b.st(Space::Shared, Width::W4, own, 0, 1i64);
+        b.ld(Space::Shared, Width::W4, peer, 0);
+        b.exit();
+        let k = b.build().unwrap();
+        let d = lint(&k);
+        assert_eq!(count(&d, Pass::SharedRace), 0, "{d:?}");
+    }
+
+    #[test]
+    fn barrier_in_divergent_branch_is_flagged() {
+        let mut b = KernelBuilder::new("k");
+        let t = b.special(Special::TidX);
+        let p = b.setp(CmpOp::Lt, t, 16i64);
+        b.if_then(p, |b| b.bar());
+        b.exit();
+        let k = b.build().unwrap();
+        let d = lint(&k);
+        assert_eq!(count(&d, Pass::BarrierDivergence), 1, "{d:?}");
+    }
+
+    #[test]
+    fn barrier_in_data_dependent_loop_is_flagged() {
+        // Trip count depends on a loaded value: lanes exit at different
+        // iterations, so the barrier in the body is divergent.
+        let mut b = KernelBuilder::new("k");
+        let base = b.param(0);
+        let t = b.special(Special::GlobalTid);
+        let off = b.shl(t, 2);
+        let a = b.add(base, off);
+        let bound = b.ld_global(Width::W4, a, 0);
+        let i = b.mov(0i64);
+        let lp = b.pred();
+        b.while_loop(
+            |b| {
+                b.setp_to(lp, CmpOp::Lt, i, bound);
+                lp
+            },
+            |b| {
+                b.bar();
+                b.alu_to(gpu_isa::AluOp::Add, i, i, Operand::Imm(1));
+            },
+        );
+        b.exit();
+        let k = b.build().unwrap();
+        let d = lint(&k);
+        assert_eq!(count(&d, Pass::BarrierDivergence), 1, "{d:?}");
+    }
+
+    #[test]
+    fn uniform_branch_barrier_is_clean() {
+        let mut b = KernelBuilder::new("k");
+        let n = b.param(0);
+        let p = b.setp(CmpOp::Gt, n, 0i64);
+        b.if_then(p, |b| b.bar());
+        b.exit();
+        let k = b.build().unwrap();
+        let d = lint(&k);
+        assert_eq!(count(&d, Pass::BarrierDivergence), 0, "{d:?}");
+    }
+
+    #[test]
+    fn uniform_loop_barrier_is_clean() {
+        let mut b = KernelBuilder::new("k");
+        b.for_range(Operand::Imm(0), Operand::Imm(4), 1, |b, _i| {
+            b.bar();
+        });
+        b.exit();
+        let k = b.build().unwrap();
+        let d = lint(&k);
+        assert_eq!(count(&d, Pass::BarrierDivergence), 0, "{d:?}");
+    }
+
+    #[test]
+    fn overlap_witness_math() {
+        // Same width-4 slots, stride 4, offset 4 apart: d = -1 aligns them.
+        assert_eq!(overlap_witness(4, 4, 4, 4), Some(-1));
+        // Stride 4, width 4, same base: no nonzero d overlaps.
+        assert_eq!(overlap_witness(0, 4, 4, 4), None);
+        // Broadcast (slope 0), same address: any two threads collide.
+        assert_eq!(overlap_witness(0, 0, 4, 4), Some(1));
+        // Broadcast, disjoint addresses: never.
+        assert_eq!(overlap_witness(16, 0, 4, 4), None);
+        // Misaligned stride-8 writes of width 8 at offset 4: d = 0 only...
+        assert_eq!(overlap_witness(4, 8, 8, 8), Some(-1));
+        // Wide store over narrow slots.
+        assert_eq!(overlap_witness(0, 4, 8, 4), Some(1));
+    }
+}

@@ -59,6 +59,10 @@ pub enum Pass {
     Coalescing,
     /// Shared-memory bank-conflict estimation.
     BankConflict,
+    /// Intra-block shared-memory race detection.
+    SharedRace,
+    /// Barrier-under-divergent-control-flow detection.
+    BarrierDivergence,
 }
 
 impl Pass {
@@ -72,7 +76,28 @@ impl Pass {
             Pass::GuardConst => "guard-const",
             Pass::Coalescing => "coalescing",
             Pass::BankConflict => "bank-conflict",
+            Pass::SharedRace => "shared-race",
+            Pass::BarrierDivergence => "barrier-divergence",
         }
+    }
+
+    /// Every pass, in declaration order (the `--deny` flag accepts these
+    /// names).
+    pub const ALL: [Pass; 9] = [
+        Pass::Structure,
+        Pass::UndefRead,
+        Pass::DeadWrite,
+        Pass::Unreachable,
+        Pass::GuardConst,
+        Pass::Coalescing,
+        Pass::BankConflict,
+        Pass::SharedRace,
+        Pass::BarrierDivergence,
+    ];
+
+    /// Parses a kebab-case pass name as accepted by `--deny`.
+    pub fn parse(name: &str) -> Option<Pass> {
+        Pass::ALL.into_iter().find(|p| p.name() == name)
     }
 }
 
@@ -161,6 +186,14 @@ impl Report {
             .sort_by_key(|d| (d.pc, std::cmp::Reverse(d.severity)));
     }
 
+    /// Sorts and removes exact-duplicate findings, making rendered output
+    /// byte-stable regardless of pass execution order.
+    pub fn dedup(&mut self) {
+        self.sort();
+        self.diagnostics
+            .dedup_by(|a, b| a.pc == b.pc && a.pass == b.pass && a.message == b.message);
+    }
+
     /// Renders the human listing (one line per finding).
     pub fn to_human(&self) -> String {
         use fmt::Write as _;
@@ -209,6 +242,55 @@ impl Report {
         out.push_str("]}");
         out
     }
+}
+
+/// Renders a set of kernel reports as a SARIF 2.1.0 log, one result per
+/// diagnostic. PCs map to SARIF line numbers (1-based) within a synthetic
+/// `<kernel>.kasm` artifact so generic SARIF viewers and code-scanning
+/// uploads can anchor the findings.
+pub fn to_sarif(reports: &[Report]) -> String {
+    use fmt::Write as _;
+    let mut out = String::new();
+    out.push_str(
+        "{\"version\":\"2.1.0\",\
+         \"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\
+         \"runs\":[{\"tool\":{\"driver\":{\"name\":\"latency-check\",\
+         \"informationUri\":\"https://github.com/gpu-latency\",\"rules\":[",
+    );
+    for (i, pass) in Pass::ALL.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{{\"id\":{}}}", json_string(pass.name()));
+    }
+    out.push_str("]}},\"results\":[");
+    let mut first = true;
+    for report in reports {
+        for d in &report.diagnostics {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let level = match d.severity {
+                Severity::Info => "note",
+                Severity::Warning => "warning",
+                Severity::Error => "error",
+            };
+            let _ = write!(
+                out,
+                "{{\"ruleId\":{},\"level\":\"{level}\",\
+                 \"message\":{{\"text\":{}}},\"locations\":[{{\
+                 \"physicalLocation\":{{\"artifactLocation\":{{\"uri\":{}}},\
+                 \"region\":{{\"startLine\":{}}}}}}}]}}",
+                json_string(d.pass.name()),
+                json_string(&d.message),
+                json_string(&format!("{}.kasm", report.kernel)),
+                d.pc.map_or(1, |pc| pc + 1),
+            );
+        }
+    }
+    out.push_str("]}]}");
+    out
 }
 
 /// Escapes a string as a JSON string literal.
@@ -314,6 +396,53 @@ mod tests {
             json.matches('}').count(),
             "balanced braces"
         );
+    }
+
+    #[test]
+    fn dedup_removes_exact_duplicates_only() {
+        let mut r = Report {
+            kernel: "k".into(),
+            diagnostics: vec![
+                Diagnostic::at(Severity::Warning, Pass::SharedRace, 5, "same"),
+                Diagnostic::at(Severity::Warning, Pass::SharedRace, 5, "same"),
+                Diagnostic::at(Severity::Warning, Pass::SharedRace, 5, "different"),
+            ],
+        };
+        r.dedup();
+        assert_eq!(r.diagnostics.len(), 2);
+    }
+
+    #[test]
+    fn pass_parse_round_trips_every_name() {
+        for p in Pass::ALL {
+            assert_eq!(Pass::parse(p.name()), Some(p));
+        }
+        assert_eq!(Pass::parse("no-such-pass"), None);
+        assert_eq!(Pass::parse("shared-race"), Some(Pass::SharedRace));
+        assert_eq!(Pass::BarrierDivergence.to_string(), "barrier-divergence");
+    }
+
+    #[test]
+    fn sarif_output_is_well_formed() {
+        let r = Report {
+            kernel: "vecadd".into(),
+            diagnostics: vec![
+                Diagnostic::at(Severity::Warning, Pass::SharedRace, 3, "race \"here\""),
+                Diagnostic::kernel_level(Severity::Error, Pass::Structure, "bad"),
+            ],
+        };
+        let sarif = to_sarif(&[r]);
+        assert!(sarif.contains("\"version\":\"2.1.0\""));
+        assert!(sarif.contains("\"ruleId\":\"shared-race\""));
+        assert!(sarif.contains("\"level\":\"warning\""));
+        assert!(sarif.contains("\"startLine\":4"), "pc 3 is line 4");
+        assert!(
+            sarif.contains("\"startLine\":1"),
+            "kernel-level anchors line 1"
+        );
+        assert!(sarif.contains("vecadd.kasm"));
+        assert_eq!(sarif.matches('{').count(), sarif.matches('}').count());
+        assert_eq!(sarif.matches('[').count(), sarif.matches(']').count());
     }
 
     #[test]

@@ -9,9 +9,19 @@
 //! - **Dead writes**: register writes no later instruction observes.
 //! - **Unreachable code**: blocks no path from entry executes.
 //! - **Constant guards**: predicate guards that statically always fail.
-//! - **Coalescing**: per-warp global/local transaction prediction, computed
-//!   with the simulator's own [`gpu_sim::coalesce`] rules.
+//! - **Coalescing**: per-warp global/local transaction prediction from the
+//!   symbolic address analysis ([`symaddr`]), computed with the simulator's
+//!   own [`gpu_sim::coalesce`] rules.
 //! - **Bank conflicts**: shared-memory conflict-degree estimation.
+//! - **Shared races**: intra-block shared-memory write/write and read/write
+//!   overlap between barriers ([`concurrency`]).
+//! - **Barrier divergence**: `bar.sync` reachable under a lane-varying
+//!   branch, including data-dependent loops.
+//!
+//! Beyond the lints, [`kernel_cost`] predicts per-load feasible service
+//! levels, unloaded-latency floors and stall classes against any
+//! [`gpu_arch::ArchDesc`]; the `latency-bench` crate differentially
+//! validates these predictions against instrumented simulator runs.
 //!
 //! # Examples
 //!
@@ -38,15 +48,20 @@
 //! ```
 
 pub mod cfg;
+pub mod concurrency;
+pub mod cost;
 pub mod dataflow;
 pub mod diag;
 pub mod memlint;
+pub mod symaddr;
 
 use gpu_isa::Kernel;
 
 pub use cfg::{Block, Cfg};
-pub use diag::{Diagnostic, Pass, Report, Severity};
+pub use cost::{kernel_cost, KernelCost, LoadCost, StallClass};
+pub use diag::{to_sarif, Diagnostic, Pass, Report, Severity};
 pub use memlint::{AccessPattern, MemPrediction};
+pub use symaddr::{SymAnalysis, SymVal};
 
 /// Machine parameters the memory-access lints predict against.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,8 +109,13 @@ pub fn analyze(kernel: &Kernel, config: &AnalysisConfig) -> Report {
     dataflow::dead_write_pass(kernel, &g, &mut report.diagnostics);
     dataflow::unreachable_pass(&g, &mut report.diagnostics);
     dataflow::guard_const_pass(kernel, &g, &mut report.diagnostics);
-    memlint::memory_pass(kernel, &g, config, &mut report.diagnostics);
-    report.sort();
+    // One symbolic solve feeds both the memory and the concurrency lints.
+    let sym = symaddr::analyze(kernel, &g);
+    for p in memlint::predict_from(&sym, config) {
+        memlint::push_memory_diags(&p, config, &mut report.diagnostics);
+    }
+    concurrency::concurrency_pass(kernel, &g, &sym, &mut report.diagnostics);
+    report.dedup();
     report
 }
 

@@ -1,20 +1,22 @@
 //! Memory-access lints: per-warp global coalescing prediction and
 //! shared-memory bank-conflict estimation.
 //!
-//! Addresses are tracked through a small abstract domain that captures how
-//! a register varies across the lanes of one warp. When an address is
-//! affine in the lane index, the predicted per-lane accesses are fed
-//! through the *same* [`gpu_sim::coalesce`] routine the timing model uses,
-//! so the static prediction cannot drift from the simulator's transaction
-//! counting rules.
+//! Addresses come from the symbolic engine in [`crate::symaddr`], which
+//! solves each access into an affine form `base + c1·lane + c2·iter` over
+//! warp-uniform terms. When the per-lane stride `c1` is known, the
+//! predicted per-lane accesses are fed through the *same*
+//! [`gpu_sim::coalesce`] routine the timing model uses, so the static
+//! transaction count cannot drift from the simulator's counting rules; the
+//! per-iteration stride `c2` is reported alongside as evidence.
 
 use std::collections::HashMap;
 
-use gpu_isa::{AluOp, Instr, Kernel, LaneAccess, Operand, Pc, Space, Special, Width};
+use gpu_isa::{Kernel, LaneAccess, Pc, Space, Width};
 use gpu_types::Addr;
 
 use crate::cfg::Cfg;
 use crate::diag::{Diagnostic, Pass, Severity};
+use crate::symaddr::{self, SymVal, Term};
 use crate::AnalysisConfig;
 
 /// Synthetic warp-uniform base address used when predicting transactions.
@@ -23,143 +25,6 @@ use crate::AnalysisConfig;
 /// the best-case (and, for allocator-aligned buffers, the actual) line
 /// count. Kept far from zero so negative strides stay in range.
 const SYNTH_BASE: u64 = 1 << 20;
-
-/// How a register's value varies across the 32 lanes of a warp.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum AbsVal {
-    /// A known compile-time constant (also warp-uniform).
-    Const(i64),
-    /// Identical in every lane of a warp, value unknown.
-    Uniform,
-    /// `base + lane * stride` for a warp-uniform base (stride non-zero).
-    Affine {
-        /// Per-lane byte stride.
-        stride: i64,
-    },
-    /// No static knowledge.
-    Unknown,
-}
-
-impl AbsVal {
-    /// Canonicalizes degenerate affine values.
-    fn norm(self) -> Self {
-        match self {
-            AbsVal::Affine { stride: 0 } => AbsVal::Uniform,
-            v => v,
-        }
-    }
-
-    fn is_warp_uniform(self) -> bool {
-        matches!(self, AbsVal::Const(_) | AbsVal::Uniform)
-    }
-}
-
-/// Lattice meet at control-flow joins.
-///
-/// Divergent warps can reconverge with different lanes having taken
-/// different paths, so even two per-path warp-uniform values merge to
-/// `Unknown` unless they are identical.
-fn meet(a: AbsVal, b: AbsVal) -> AbsVal {
-    if a == b {
-        a
-    } else {
-        AbsVal::Unknown
-    }
-}
-
-fn operand_val(op: Operand, env: &[AbsVal]) -> AbsVal {
-    match op {
-        Operand::Imm(v) => AbsVal::Const(v),
-        Operand::Reg(r) => env.get(r as usize).copied().unwrap_or(AbsVal::Unknown),
-    }
-}
-
-/// Abstract transfer function for ALU operations.
-fn eval_alu(op: AluOp, a: AbsVal, b: AbsVal) -> AbsVal {
-    use AbsVal::{Affine, Const, Uniform, Unknown};
-    let v = match op {
-        AluOp::Add => match (a, b) {
-            (Const(x), Const(y)) => Const(x.wrapping_add(y)),
-            (Affine { stride: s1 }, Affine { stride: s2 }) => Affine {
-                stride: s1.wrapping_add(s2),
-            },
-            (Affine { stride }, u) | (u, Affine { stride }) if u.is_warp_uniform() => {
-                Affine { stride }
-            }
-            (x, y) if x.is_warp_uniform() && y.is_warp_uniform() => Uniform,
-            _ => Unknown,
-        },
-        AluOp::Sub => match (a, b) {
-            (Const(x), Const(y)) => Const(x.wrapping_sub(y)),
-            (Affine { stride: s1 }, Affine { stride: s2 }) => Affine {
-                stride: s1.wrapping_sub(s2),
-            },
-            (Affine { stride }, u) if u.is_warp_uniform() => Affine { stride },
-            (u, Affine { stride }) if u.is_warp_uniform() => Affine {
-                stride: stride.wrapping_neg(),
-            },
-            (x, y) if x.is_warp_uniform() && y.is_warp_uniform() => Uniform,
-            _ => Unknown,
-        },
-        AluOp::Mul => match (a, b) {
-            (Const(x), Const(y)) => Const(x.wrapping_mul(y)),
-            (Affine { stride }, Const(c)) | (Const(c), Affine { stride }) => Affine {
-                stride: stride.wrapping_mul(c),
-            },
-            (x, y) if x.is_warp_uniform() && y.is_warp_uniform() => Uniform,
-            _ => Unknown,
-        },
-        AluOp::Shl => match (a, b) {
-            (Const(x), Const(c)) => Const(x.wrapping_shl(c as u32)),
-            (Affine { stride }, Const(c)) if (0..64).contains(&c) => Affine {
-                stride: stride.wrapping_shl(c as u32),
-            },
-            (x, y) if x.is_warp_uniform() && y.is_warp_uniform() => Uniform,
-            _ => Unknown,
-        },
-        // Remaining ops: warp-uniform in, warp-uniform out; no lane-stride
-        // tracking through division, masking or float arithmetic.
-        _ => {
-            if a.is_warp_uniform() && b.is_warp_uniform() {
-                Uniform
-            } else {
-                Unknown
-            }
-        }
-    };
-    v.norm()
-}
-
-/// Applies one instruction to the abstract environment.
-fn transfer(instr: &Instr, env: &mut [AbsVal]) {
-    let set = |env: &mut [AbsVal], r: gpu_isa::Reg, v: AbsVal| {
-        if let Some(slot) = env.get_mut(r as usize) {
-            *slot = v;
-        }
-    };
-    match instr {
-        Instr::Mov { dst, src } => {
-            let v = operand_val(*src, env);
-            set(env, *dst, v);
-        }
-        Instr::ReadSpecial { dst, special } => {
-            let v = match special {
-                Special::TidX | Special::LaneId | Special::GlobalTid => {
-                    AbsVal::Affine { stride: 1 }
-                }
-                Special::CtaIdX | Special::NTidX | Special::NCtaIdX => AbsVal::Uniform,
-            };
-            set(env, *dst, v);
-        }
-        Instr::LdParam { dst, .. } => set(env, *dst, AbsVal::Uniform),
-        Instr::Alu { op, dst, a, b } => {
-            let v = eval_alu(*op, operand_val(*a, env), operand_val(*b, env));
-            set(env, *dst, v);
-        }
-        Instr::Ld { dst, .. } | Instr::AtomAdd { dst, .. } => set(env, *dst, AbsVal::Unknown),
-        _ => {}
-    }
-}
 
 /// The lane-variation pattern inferred for one memory access's address.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -190,6 +55,9 @@ pub struct MemPrediction {
     pub width: Width,
     /// Inferred per-lane address pattern.
     pub pattern: AccessPattern,
+    /// Per-iteration byte stride of the innermost enclosing loop, when the
+    /// address is affine in that loop's counter.
+    pub iter_stride: Option<i64>,
     /// Predicted line-sized transactions per fully-active warp
     /// (global/local accesses with a known pattern only).
     pub lines_per_warp: Option<usize>,
@@ -198,140 +66,91 @@ pub struct MemPrediction {
     pub conflict_ways: Option<u32>,
 }
 
-/// Runs the affine address analysis and predicts every reachable memory
+/// Runs the symbolic address analysis and predicts every reachable memory
 /// instruction's per-warp behavior.
 pub fn predict(kernel: &Kernel, cfg: &Cfg, config: &AnalysisConfig) -> Vec<MemPrediction> {
-    let instrs = kernel.instrs();
-    let nregs = kernel.num_regs() as usize;
-    let nb = cfg.blocks().len();
-    if nb == 0 {
-        return Vec::new();
-    }
+    let sym = symaddr::analyze(kernel, cfg);
+    predict_from(&sym, config)
+}
 
-    // Forward fixpoint over block-entry environments.
-    let mut envs: Vec<Option<Vec<AbsVal>>> = vec![None; nb];
-    envs[0] = Some(vec![AbsVal::Unknown; nregs]);
-    let mut worklist = vec![0usize];
-    while let Some(bi) = worklist.pop() {
-        let Some(entry) = envs[bi].clone() else {
-            continue;
-        };
-        let mut env = entry;
-        let b = &cfg.blocks()[bi];
-        for instr in &instrs[b.start..b.end] {
-            transfer(instr, &mut env);
-        }
-        for &s in &b.succs {
-            let merged = match &envs[s] {
-                None => env.clone(),
-                Some(prev) => prev
-                    .iter()
-                    .zip(&env)
-                    .map(|(&a, &b)| meet(a, b))
-                    .collect::<Vec<_>>(),
-            };
-            if envs[s].as_ref() != Some(&merged) {
-                envs[s] = Some(merged);
-                worklist.push(s);
-            }
-        }
-    }
-
+/// Like [`predict`], but reuses an already-computed symbolic analysis.
+pub fn predict_from(sym: &symaddr::SymAnalysis, config: &AnalysisConfig) -> Vec<MemPrediction> {
     let mut out = Vec::new();
-    for (bi, b) in cfg.blocks().iter().enumerate() {
-        let Some(entry) = &envs[bi] else {
-            continue; // unreachable
-        };
-        let mut env = entry.clone();
-        for (pc, instr) in instrs.iter().enumerate().take(b.end).skip(b.start) {
-            let (space, width, addr, offset, is_store, is_atomic) = match instr {
-                Instr::Ld {
-                    space,
-                    width,
-                    addr,
-                    offset,
-                    ..
-                } => (*space, *width, *addr, *offset, false, false),
-                Instr::St {
-                    space,
-                    width,
-                    addr,
-                    offset,
-                    ..
-                } => (*space, *width, *addr, *offset, true, false),
-                Instr::AtomAdd {
-                    width,
-                    addr,
-                    offset,
-                    ..
-                } => (Space::Global, *width, *addr, *offset, true, true),
-                other => {
-                    transfer(other, &mut env);
-                    continue;
-                }
-            };
-            let base_val = env.get(addr as usize).copied().unwrap_or(AbsVal::Unknown);
-            let pattern = match base_val {
-                AbsVal::Const(_) | AbsVal::Uniform => AccessPattern::Broadcast,
-                AbsVal::Affine { stride } => AccessPattern::Affine { stride },
-                AbsVal::Unknown => AccessPattern::Unknown,
-            };
-            let lane_addr = |lane: u64| -> Addr {
-                let stride = match pattern {
-                    AccessPattern::Affine { stride } => stride,
-                    _ => 0,
+    for a in &sym.accesses {
+        let (pattern, base, iter_stride) = match &a.addr {
+            SymVal::Varying => (AccessPattern::Unknown, SYNTH_BASE, None),
+            SymVal::Lin(e) => {
+                let stride = e.lane_coeff();
+                let pattern = if stride == 0 {
+                    AccessPattern::Broadcast
+                } else {
+                    AccessPattern::Affine { stride }
                 };
-                Addr::new(
-                    SYNTH_BASE
-                        .wrapping_add_signed(offset)
-                        .wrapping_add_signed(stride.wrapping_mul(lane as i64)),
-                )
-            };
-            let (lines_per_warp, conflict_ways) = match (pattern, space) {
-                (AccessPattern::Unknown, _) => (None, None),
-                (_, Space::Global | Space::Local) => {
-                    let accesses: Vec<LaneAccess> = (0..config.warp_size)
-                        .map(|lane| LaneAccess {
-                            lane,
-                            addr: lane_addr(lane as u64),
-                            width,
-                        })
-                        .collect();
-                    let lines = gpu_sim::coalesce(&accesses, config.line_size).len();
-                    (Some(lines), None)
-                }
-                (_, Space::Shared) => {
-                    // Distinct words per bank; the hardware broadcasts
-                    // same-word accesses, so only distinct words conflict.
-                    let mut words_per_bank: HashMap<u64, Vec<u64>> = HashMap::new();
-                    for lane in 0..config.warp_size {
-                        let word = lane_addr(lane as u64).get() / config.bank_bytes;
-                        let bank = word % config.shared_banks as u64;
-                        let words = words_per_bank.entry(bank).or_default();
-                        if !words.contains(&word) {
-                            words.push(word);
-                        }
+                // Shared bases from `alloc_shared` are concrete constants:
+                // when the address is exactly `const + stride·lane`, bank
+                // math can use the true base instead of a synthetic one.
+                let concrete = a.mem.space == Space::Shared
+                    && e.k >= 0
+                    && e.terms.iter().all(|(t, _)| *t == Term::Lane);
+                let base = if concrete {
+                    e.k as u64
+                } else {
+                    SYNTH_BASE.wrapping_add_signed(e.k)
+                };
+                (pattern, base, e.iter_coeff())
+            }
+        };
+        let stride = match pattern {
+            AccessPattern::Affine { stride } => stride,
+            _ => 0,
+        };
+        let lane_addr = |lane: u64| -> Addr {
+            Addr::new(base.wrapping_add_signed(stride.wrapping_mul(lane as i64)))
+        };
+        let (lines_per_warp, conflict_ways) = match (pattern, a.mem.space) {
+            (AccessPattern::Unknown, _) => (None, None),
+            (_, Space::Global | Space::Local) => {
+                let accesses: Vec<LaneAccess> = (0..config.warp_size)
+                    .map(|lane| LaneAccess {
+                        lane,
+                        addr: lane_addr(lane as u64),
+                        width: a.mem.width,
+                    })
+                    .collect();
+                let lines = gpu_sim::coalesce(&accesses, config.line_size).len();
+                (Some(lines), None)
+            }
+            (_, Space::Shared) => {
+                // Distinct words per bank; the hardware broadcasts
+                // same-word accesses, so only distinct words conflict.
+                let mut words_per_bank: HashMap<u64, Vec<u64>> = HashMap::new();
+                for lane in 0..config.warp_size {
+                    let word = lane_addr(lane as u64).get() / config.bank_bytes;
+                    let bank = word % config.shared_banks as u64;
+                    let words = words_per_bank.entry(bank).or_default();
+                    if !words.contains(&word) {
+                        words.push(word);
                     }
-                    let ways = words_per_bank
-                        .values()
-                        .map(|w| w.len() as u32)
-                        .max()
-                        .unwrap_or(1);
-                    (None, Some(ways))
                 }
-            };
-            out.push(MemPrediction {
-                pc,
-                space,
-                width,
-                is_store,
-                is_atomic,
-                pattern,
-                lines_per_warp,
-                conflict_ways,
-            });
-            transfer(instr, &mut env);
-        }
+                let ways = words_per_bank
+                    .values()
+                    .map(|w| w.len() as u32)
+                    .max()
+                    .unwrap_or(1);
+                (None, Some(ways))
+            }
+        };
+        out.push(MemPrediction {
+            pc: a.pc,
+            space: a.mem.space,
+            width: a.mem.width,
+            is_store: a.mem.is_store,
+            is_atomic: a.mem.is_atomic,
+            pattern,
+            iter_stride,
+            lines_per_warp,
+            conflict_ways,
+        });
     }
     out
 }
@@ -339,83 +158,97 @@ pub fn predict(kernel: &Kernel, cfg: &Cfg, config: &AnalysisConfig) -> Vec<MemPr
 /// Converts memory predictions into coalescing / bank-conflict diagnostics.
 pub fn memory_pass(kernel: &Kernel, cfg: &Cfg, config: &AnalysisConfig, out: &mut Vec<Diagnostic>) {
     for p in predict(kernel, cfg, config) {
-        let what = if p.is_atomic {
-            "atomic"
-        } else if p.is_store {
-            "store"
-        } else {
-            "load"
-        };
-        match p.space {
-            Space::Global | Space::Local => {
-                let pass = Pass::Coalescing;
-                match (p.pattern, p.lines_per_warp) {
-                    (AccessPattern::Unknown, _) => out.push(Diagnostic::at(
-                        Severity::Info,
-                        pass,
-                        p.pc,
-                        format!("{} {what}: address is not affine in the lane index; cannot predict coalescing", p.space),
-                    )),
-                    (AccessPattern::Broadcast, Some(lines)) => out.push(Diagnostic::at(
-                        Severity::Info,
-                        pass,
-                        p.pc,
-                        format!("{} {what}: warp-uniform address, {lines} transaction(s) per warp", p.space),
-                    )),
-                    (AccessPattern::Affine { stride }, Some(lines)) => {
-                        // Best case for this footprint: densely packed lanes.
-                        let dense = (config.warp_size as u64 * p.width.bytes())
-                            .div_ceil(config.line_size)
-                            .max(1) as usize;
-                        let (sev, verdict) = if lines <= dense {
-                            (Severity::Info, "fully coalesced")
-                        } else if lines >= config.warp_size as usize {
-                            (Severity::Warning, "uncoalesced")
-                        } else {
-                            (Severity::Info, "partially coalesced")
-                        };
-                        out.push(Diagnostic::at(
-                            sev,
-                            pass,
-                            p.pc,
-                            format!(
-                                "{} {what}: {verdict}, stride {stride} B, {lines} transaction(s) per fully-active warp",
-                                p.space
-                            ),
-                        ));
-                    }
-                    _ => {}
-                }
-            }
-            Space::Shared => match (p.pattern, p.conflict_ways) {
+        push_memory_diags(&p, config, out);
+    }
+}
+
+/// Emits the diagnostics for one prediction (shared with [`crate::analyze`],
+/// which reuses a single symbolic analysis across passes).
+pub(crate) fn push_memory_diags(
+    p: &MemPrediction,
+    config: &AnalysisConfig,
+    out: &mut Vec<Diagnostic>,
+) {
+    let what = if p.is_atomic {
+        "atomic"
+    } else if p.is_store {
+        "store"
+    } else {
+        "load"
+    };
+    let iter_note = match p.iter_stride {
+        Some(d) if d != 0 => format!(", per-iteration stride {d} B"),
+        _ => String::new(),
+    };
+    match p.space {
+        Space::Global | Space::Local => {
+            let pass = Pass::Coalescing;
+            match (p.pattern, p.lines_per_warp) {
                 (AccessPattern::Unknown, _) => out.push(Diagnostic::at(
                     Severity::Info,
-                    Pass::BankConflict,
+                    pass,
                     p.pc,
-                    format!("shared {what}: address is not affine in the lane index; cannot predict bank conflicts"),
+                    format!("{} {what}: address is not affine in the lane index; cannot predict coalescing", p.space),
                 )),
-                (_, Some(1)) => out.push(Diagnostic::at(
+                (AccessPattern::Broadcast, Some(lines)) => out.push(Diagnostic::at(
                     Severity::Info,
-                    Pass::BankConflict,
+                    pass,
                     p.pc,
-                    format!("shared {what}: conflict-free (1 word per bank)"),
+                    format!("{} {what}: warp-uniform address, {lines} transaction(s) per warp{iter_note}", p.space),
                 )),
-                (_, Some(ways)) => out.push(Diagnostic::at(
-                    Severity::Warning,
-                    Pass::BankConflict,
-                    p.pc,
-                    format!("shared {what}: predicted {ways}-way bank conflict"),
-                )),
+                (AccessPattern::Affine { stride }, Some(lines)) => {
+                    // Best case for this footprint: densely packed lanes.
+                    let dense = (config.warp_size as u64 * p.width.bytes())
+                        .div_ceil(config.line_size)
+                        .max(1) as usize;
+                    let (sev, verdict) = if lines <= dense {
+                        (Severity::Info, "fully coalesced")
+                    } else if lines >= config.warp_size as usize {
+                        (Severity::Warning, "uncoalesced")
+                    } else {
+                        (Severity::Info, "partially coalesced")
+                    };
+                    out.push(Diagnostic::at(
+                        sev,
+                        pass,
+                        p.pc,
+                        format!(
+                            "{} {what}: {verdict}, stride {stride} B{iter_note}, {lines} transaction(s) per fully-active warp",
+                            p.space
+                        ),
+                    ));
+                }
                 _ => {}
-            },
+            }
         }
+        Space::Shared => match (p.pattern, p.conflict_ways) {
+            (AccessPattern::Unknown, _) => out.push(Diagnostic::at(
+                Severity::Info,
+                Pass::BankConflict,
+                p.pc,
+                format!("shared {what}: address is not affine in the lane index; cannot predict bank conflicts"),
+            )),
+            (_, Some(1)) => out.push(Diagnostic::at(
+                Severity::Info,
+                Pass::BankConflict,
+                p.pc,
+                format!("shared {what}: conflict-free (1 word per bank)"),
+            )),
+            (_, Some(ways)) => out.push(Diagnostic::at(
+                Severity::Warning,
+                Pass::BankConflict,
+                p.pc,
+                format!("shared {what}: predicted {ways}-way bank conflict"),
+            )),
+            _ => {}
+        },
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gpu_isa::{CmpOp, KernelBuilder};
+    use gpu_isa::{AluOp, CmpOp, KernelBuilder, Operand, Special};
 
     fn predictions(kernel: &Kernel) -> Vec<MemPrediction> {
         let cfg = Cfg::build(kernel);
@@ -546,38 +379,71 @@ mod tests {
     }
 
     #[test]
+    fn loop_access_reports_iteration_stride() {
+        let mut b = KernelBuilder::new("k");
+        let base = b.param(0);
+        let t = b.special(Special::GlobalTid);
+        b.for_range(Operand::Imm(0), Operand::Imm(16), 1, |b, i| {
+            let row = b.mul(i, 512i64);
+            let col = b.shl(t, 2);
+            let x = b.add(row, col);
+            let a = b.add(base, x);
+            b.ld_global(Width::W4, a, 0);
+        });
+        b.exit();
+        let k = b.build().unwrap();
+        let p = predictions(&k);
+        let ld = p.iter().rfind(|p| !p.is_store).unwrap();
+        assert_eq!(ld.pattern, AccessPattern::Affine { stride: 4 });
+        assert_eq!(ld.iter_stride, Some(512));
+        assert_eq!(ld.lines_per_warp, Some(1));
+    }
+
+    #[test]
     fn alu_domain_rules() {
-        use AbsVal::*;
-        assert_eq!(eval_alu(AluOp::Add, Const(3), Const(4)), Const(7));
+        use crate::symaddr::{eval_alu, LinExpr, SymVal, Term};
+        let konst = |k: i64| SymVal::Lin(LinExpr::constant(k));
+        let affine = |s: i64| {
+            SymVal::Lin(LinExpr {
+                k: 0,
+                terms: vec![(Term::Lane, s)],
+            })
+        };
+        let uniform = || SymVal::Lin(LinExpr::term(Term::Param(0)));
+        let stride_of = |v: &SymVal| v.lin().map(LinExpr::lane_coeff);
+
+        assert_eq!(eval_alu(AluOp::Add, &konst(3), &konst(4), 0), konst(7));
         assert_eq!(
-            eval_alu(AluOp::Add, Affine { stride: 4 }, Uniform),
-            Affine { stride: 4 }
+            stride_of(&eval_alu(AluOp::Add, &affine(4), &uniform(), 0)),
+            Some(4)
         );
         assert_eq!(
-            eval_alu(AluOp::Sub, Uniform, Affine { stride: 4 }),
-            Affine { stride: -4 }
+            stride_of(&eval_alu(AluOp::Sub, &uniform(), &affine(4), 0)),
+            Some(-4)
         );
         assert_eq!(
-            eval_alu(AluOp::Sub, Affine { stride: 4 }, Affine { stride: 4 }),
-            Uniform,
+            stride_of(&eval_alu(AluOp::Sub, &affine(4), &affine(4), 0)),
+            Some(0)
         );
         assert_eq!(
-            eval_alu(AluOp::Mul, Affine { stride: 1 }, Const(12)),
-            Affine { stride: 12 }
+            stride_of(&eval_alu(AluOp::Mul, &affine(1), &konst(12), 0)),
+            Some(12)
         );
         assert_eq!(
-            eval_alu(AluOp::Shl, Affine { stride: 1 }, Const(2)),
-            Affine { stride: 4 }
+            stride_of(&eval_alu(AluOp::Shl, &affine(1), &konst(2), 0)),
+            Some(4)
         );
-        assert_eq!(eval_alu(AluOp::Mul, Affine { stride: 1 }, Uniform), Unknown);
-        assert_eq!(eval_alu(AluOp::Div, Uniform, Const(2)), Uniform);
+        // Lane-varying through a non-affine op: no linear form.
         assert_eq!(
-            eval_alu(AluOp::Xor, Affine { stride: 1 }, Const(1)),
-            Unknown
+            eval_alu(AluOp::Mul, &affine(1), &uniform(), 0),
+            SymVal::Varying
         );
         assert_eq!(
-            eval_alu(AluOp::Mul, Affine { stride: 1 }, Const(0)),
-            Uniform
+            eval_alu(AluOp::Xor, &affine(1), &konst(1), 0),
+            SymVal::Varying
         );
+        // Warp-uniform through a non-affine op: opaque but still uniform.
+        assert!(eval_alu(AluOp::Div, &uniform(), &konst(2), 7).is_warp_uniform());
+        assert_eq!(eval_alu(AluOp::Mul, &affine(1), &konst(0), 0), konst(0));
     }
 }

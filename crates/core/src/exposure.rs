@@ -169,6 +169,7 @@ mod tests {
     fn load(total: u64, exposed: u64) -> LoadInstrRecord {
         LoadInstrRecord {
             sm: SmId::new(0),
+            pc: 0,
             issue: Cycle::new(1000),
             complete: Cycle::new(1000 + total),
             exposed,

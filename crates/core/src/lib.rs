@@ -56,8 +56,9 @@ pub use exposure::ExposureAnalysis;
 pub use inference::{infer_hierarchy, infer_line_size, CacheLevelEstimate};
 pub use loaded::{build_loaded_kernel, loaded_chase, measure_chase_under_load, LoadedChase};
 pub use parallel::{
-    clear_tick_threads, clear_worker_count, grid_worker_count, par_map, set_tick_threads,
-    set_worker_count, tick_threads, try_par_map, worker_count,
+    clear_tick_threads, clear_worker_count, env_tick_threads, grid_worker_count, par_map,
+    parse_tick_threads, set_tick_threads, set_worker_count, tick_threads, try_par_map,
+    worker_count, TickThreadsError,
 };
 pub use plateau::{detect_plateaus, Plateau};
 pub use presets::{ArchPreset, Table1Row};

@@ -30,11 +30,84 @@
 //! A resolved count of 1 short-circuits to a plain serial loop on the
 //! calling thread — no pool, no overhead.
 
+use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Environment variable overriding the worker count (a positive integer).
 pub const THREADS_ENV: &str = "LATENCY_THREADS";
+
+/// Why a requested tick-thread count was rejected.
+///
+/// Produced by [`parse_tick_threads`] and [`env_tick_threads`] so the bench
+/// binaries can refuse `--tick-threads 0` (and `LATENCY_TICK_THREADS=0`)
+/// with a specific message instead of silently ticking serially.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TickThreadsError {
+    /// The value parsed but was zero; zero threads cannot tick anything.
+    Zero {
+        /// Which knob carried the value (flag name or env var name).
+        source: &'static str,
+    },
+    /// The value was not an unsigned integer.
+    Malformed {
+        /// Which knob carried the value (flag name or env var name).
+        source: &'static str,
+        /// The offending text.
+        value: String,
+    },
+}
+
+impl fmt::Display for TickThreadsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TickThreadsError::Zero { source } => {
+                write!(f, "{source} must be a positive integer, got 0")
+            }
+            TickThreadsError::Malformed { source, value } => {
+                write!(f, "{source} must be a positive integer, got '{value}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TickThreadsError {}
+
+/// Parses a tick-thread count from CLI or environment text, rejecting zero
+/// and non-numeric values with a typed error naming `source`.
+///
+/// # Errors
+///
+/// [`TickThreadsError::Zero`] for `0`, [`TickThreadsError::Malformed`] for
+/// anything that is not an unsigned integer.
+pub fn parse_tick_threads(value: &str, source: &'static str) -> Result<usize, TickThreadsError> {
+    match value.trim().parse::<usize>() {
+        Ok(0) => Err(TickThreadsError::Zero { source }),
+        Ok(n) => Ok(n),
+        Err(_) => Err(TickThreadsError::Malformed {
+            source,
+            value: value.to_string(),
+        }),
+    }
+}
+
+/// Validates [`TICK_THREADS_ENV`], returning the configured count (1 when
+/// the variable is unset).
+///
+/// [`tick_threads`] itself stays forgiving (library callers deep inside a
+/// sweep cannot usefully abort), so binaries call this once at startup to
+/// turn a nonsensical environment into a typed usage error.
+///
+/// # Errors
+///
+/// Propagates [`parse_tick_threads`] rejections for a set-but-invalid
+/// variable.
+pub fn env_tick_threads() -> Result<usize, TickThreadsError> {
+    match std::env::var(TICK_THREADS_ENV) {
+        Ok(v) => parse_tick_threads(&v, TICK_THREADS_ENV),
+        Err(_) => Ok(1),
+    }
+}
 
 /// Environment variable setting the intra-run tick-thread count (a positive
 /// integer). `1` (the default) runs every simulated cycle serially.
@@ -257,6 +330,44 @@ mod tests {
         clear_tick_threads();
         clear_worker_count();
         assert_eq!(tick_threads(), 1, "serial ticking is the default");
+    }
+
+    #[test]
+    fn tick_thread_requests_are_validated() {
+        assert_eq!(parse_tick_threads("4", "--tick-threads"), Ok(4));
+        assert_eq!(parse_tick_threads(" 2 ", "--tick-threads"), Ok(2));
+        let zero = parse_tick_threads("0", "--tick-threads");
+        assert_eq!(
+            zero,
+            Err(TickThreadsError::Zero {
+                source: "--tick-threads"
+            })
+        );
+        assert_eq!(
+            zero.unwrap_err().to_string(),
+            "--tick-threads must be a positive integer, got 0"
+        );
+        assert!(matches!(
+            parse_tick_threads("many", "--tick-threads"),
+            Err(TickThreadsError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn env_tick_threads_rejects_zero_but_defaults_when_unset() {
+        let _guard = OVERRIDE_LOCK.lock().unwrap();
+        std::env::remove_var(TICK_THREADS_ENV);
+        assert_eq!(env_tick_threads(), Ok(1));
+        std::env::set_var(TICK_THREADS_ENV, "3");
+        assert_eq!(env_tick_threads(), Ok(3));
+        std::env::set_var(TICK_THREADS_ENV, "0");
+        assert_eq!(
+            env_tick_threads(),
+            Err(TickThreadsError::Zero {
+                source: TICK_THREADS_ENV
+            })
+        );
+        std::env::remove_var(TICK_THREADS_ENV);
     }
 
     #[test]

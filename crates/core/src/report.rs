@@ -171,6 +171,7 @@ mod tests {
         let loads = vec![
             LoadInstrRecord {
                 sm: SmId::new(0),
+                pc: 0,
                 issue: Cycle::new(0),
                 complete: Cycle::new(100),
                 exposed: 25,

@@ -54,6 +54,7 @@ fn gen_load_record(rng: &mut Rng) -> LoadInstrRecord {
     let total = rng.gen_range_u64(1, 5_000);
     LoadInstrRecord {
         sm: SmId::new(0),
+        pc: 0,
         issue: Cycle::new(issue),
         complete: Cycle::new(issue + total),
         exposed: rng.gen_range_u64(0, 6_000),

@@ -363,7 +363,89 @@ pub enum InstrClass {
     Exit,
 }
 
+/// A uniform view of one memory reference: the per-instruction metadata
+/// every address solver needs, extracted from the three memory instruction
+/// shapes ([`Instr::Ld`], [`Instr::St`], [`Instr::AtomAdd`]) so analyzers
+/// don't each re-match the variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemRef {
+    /// Memory space accessed.
+    pub space: Space,
+    /// Access width.
+    pub width: Width,
+    /// Register holding the base byte address.
+    pub addr: Reg,
+    /// Constant byte offset added to the base.
+    pub offset: i64,
+    /// `true` for stores and atomics (they write memory).
+    pub is_store: bool,
+    /// `true` for atomics (read-modify-write; bypasses the L1 like the
+    /// simulator's atomic path).
+    pub is_atomic: bool,
+}
+
+impl Special {
+    /// Per-lane stride of this special register across one warp: lane `i`
+    /// reads `base + i * lane_stride()` for some warp-uniform base. The
+    /// warp-uniform specials stride by zero.
+    pub const fn lane_stride(self) -> i64 {
+        match self {
+            Special::TidX | Special::LaneId | Special::GlobalTid => 1,
+            Special::CtaIdX | Special::NTidX | Special::NCtaIdX => 0,
+        }
+    }
+}
+
 impl Instr {
+    /// The memory reference this instruction performs, if it is a load,
+    /// store, or atomic.
+    pub fn mem_ref(&self) -> Option<MemRef> {
+        match self {
+            Instr::Ld {
+                space,
+                width,
+                addr,
+                offset,
+                ..
+            } => Some(MemRef {
+                space: *space,
+                width: *width,
+                addr: *addr,
+                offset: *offset,
+                is_store: false,
+                is_atomic: false,
+            }),
+            Instr::St {
+                space,
+                width,
+                addr,
+                offset,
+                ..
+            } => Some(MemRef {
+                space: *space,
+                width: *width,
+                addr: *addr,
+                offset: *offset,
+                is_store: true,
+                is_atomic: false,
+            }),
+            Instr::AtomAdd {
+                width,
+                addr,
+                offset,
+                ..
+            } => Some(MemRef {
+                space: Space::Global,
+                width: *width,
+                addr: *addr,
+                offset: *offset,
+                is_store: true,
+                is_atomic: true,
+            }),
+            _ => None,
+        }
+    }
+
     /// Returns the coarse functional-unit class.
     pub fn class(&self) -> InstrClass {
         match self {

@@ -48,7 +48,7 @@ pub use exec::{
     LaneAccess, LocalMap, MemBackend, MemOp, StepOutcome, ThreadCtx, WarpExec, MAX_WARP_SIZE,
 };
 pub use instr::{
-    AluOp, CmpOp, Guard, Instr, InstrClass, Operand, Pc, PredReg, Reg, Space, Special, Width,
-    RECONV_NONE,
+    AluOp, CmpOp, Guard, Instr, InstrClass, MemRef, Operand, Pc, PredReg, Reg, Space, Special,
+    Width, RECONV_NONE,
 };
 pub use kernel::{Kernel, Launch, ValidateError};

@@ -14,7 +14,8 @@ use std::sync::Arc;
 
 use gpu_arch::{LevelDesc, LevelKind, Routing};
 use gpu_isa::{
-    InstrClass, Kernel, Launch, LocalMap, MemBackend, Reg, Space, StepOutcome, ThreadCtx, WarpExec,
+    InstrClass, Kernel, Launch, LocalMap, MemBackend, Pc, Reg, Space, StepOutcome, ThreadCtx,
+    WarpExec,
 };
 use gpu_mem::{AccessKind, Cache, MemRequest, MshrTable, PipelineSpace, RequestId, Stamp};
 use gpu_trace::{EventKind, StallBreakdown, StallReason, TraceEvent, TraceSite, Tracer};
@@ -152,6 +153,7 @@ struct CtaRt {
 struct PendingLoad {
     warp: usize,
     dst: Option<Reg>,
+    pc: Pc,
     remaining: u32,
     lines: u32,
     issue: Cycle,
@@ -567,6 +569,7 @@ impl Sm {
             );
             sink.record_load(LoadInstrRecord {
                 sm: self.id,
+                pc: pl.pc,
                 issue: pl.issue,
                 complete: now,
                 exposed,
@@ -981,6 +984,7 @@ impl Sm {
                             PendingLoad {
                                 warp: w,
                                 dst: op.dst,
+                                pc: op.pc,
                                 remaining: lines.len() as u32,
                                 lines: lines.len() as u32,
                                 issue: now,
@@ -1113,6 +1117,7 @@ impl Sm {
             e.u64(t);
             e.usize(pl.warp);
             e.opt_u64(pl.dst.map(u64::from));
+            e.usize(pl.pc);
             e.u32(pl.remaining);
             e.u32(pl.lines);
             e.u64(pl.issue.get());
@@ -1247,6 +1252,7 @@ impl Sm {
             let pl = PendingLoad {
                 warp,
                 dst,
+                pc: d.usize()?,
                 remaining: d.u32()?,
                 lines: d.u32()?,
                 issue: Cycle::new(d.u64()?),

@@ -1,6 +1,7 @@
 //! Simulation statistics and the latency trace types consumed by the
 //! dynamic-latency analysis in `latency-core`.
 
+use gpu_isa::Pc;
 use gpu_mem::{PipelineSpace, Timeline};
 use gpu_snapshot::{Decoder, Encoder, SnapshotError};
 use gpu_trace::{MetricsReport, StallBreakdown, StallReason};
@@ -56,6 +57,9 @@ impl CompletedRequest {
 pub struct LoadInstrRecord {
     /// Issuing SM.
     pub sm: SmId,
+    /// Program counter of the load instruction in its kernel, tying the
+    /// dynamic record back to the static analyzer's per-PC predictions.
+    pub pc: Pc,
     /// Cycle the load issued.
     pub issue: Cycle,
     /// Cycle its last line returned and the destination was released.
@@ -97,6 +101,7 @@ impl LoadInstrRecord {
     /// Serializes this record.
     pub fn encode_state(&self, e: &mut Encoder) {
         e.u32(self.sm.get());
+        e.usize(self.pc);
         e.u64(self.issue.get());
         e.u64(self.complete.get());
         e.u64(self.exposed);
@@ -112,6 +117,7 @@ impl LoadInstrRecord {
     pub fn decode(d: &mut Decoder) -> Result<Self, SnapshotError> {
         Ok(LoadInstrRecord {
             sm: SmId::new(d.u32()?),
+            pc: d.usize()?,
             issue: Cycle::new(d.u64()?),
             complete: Cycle::new(d.u64()?),
             exposed: d.u64()?,
@@ -316,6 +322,7 @@ mod tests {
     fn record(issue: u64, complete: u64, exposed: u64) -> LoadInstrRecord {
         LoadInstrRecord {
             sm: SmId::new(0),
+            pc: 0,
             issue: Cycle::new(issue),
             complete: Cycle::new(complete),
             exposed,

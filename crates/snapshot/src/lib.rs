@@ -57,8 +57,9 @@ pub const MAGIC: [u8; 4] = *b"GSNP";
 /// misinterpreted. See DESIGN.md ("Checkpoint format") for the
 /// compatibility policy. Version 2: the configuration is serialized as a
 /// self-versioned architecture-description frame (`gpu-arch`) instead of
-/// flat `GpuConfig` fields.
-pub const FORMAT_VERSION: u32 = 2;
+/// flat `GpuConfig` fields. Version 3: pending loads and load records carry
+/// the issuing instruction's program counter (static-analyzer cross-checks).
+pub const FORMAT_VERSION: u32 = 3;
 
 /// Why a snapshot could not be decoded.
 #[derive(Debug)]
