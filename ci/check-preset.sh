@@ -3,9 +3,11 @@
 #   1. table1 --preset <p>  — the paper's Table I row (asserts internally
 #      that measured latencies match the analytic unloaded model).
 #   2. trace  --preset <p>  — a small deterministic BFS with --validate
-#      (span tiling + sanitizer), producing a metrics.txt.
-#   3. Hash metrics.txt minus the wall-clock lines and diff against the
-#      committed golden in ci/metrics-goldens.txt.
+#      (span tiling + sanitizer), producing a metrics.txt. --stable zeroes
+#      the wall-clock field at the source, so metrics.txt is a pure
+#      function of the simulation.
+#   3. Hash the whole metrics.txt and diff against the committed golden in
+#      ci/metrics-goldens.txt.
 #
 # Usage: ci/check-preset.sh <preset> [--update]
 #   --update rewrites the preset's golden line instead of checking it.
@@ -19,10 +21,9 @@ out="target/ci-bundle-$preset"
 cargo run --release --offline -p latency-bench --bin table1 -- --preset "$preset"
 cargo run --release --offline -p latency-bench --bin trace -- \
   --preset "$preset" --workload bfs --nodes 512 --degree 4 --block-dim 64 \
-  --out "$out" --validate
+  --out "$out" --validate --stable
 
-actual=$(grep -Ev '^(host_nanos|cycles_per_second) ' "$out/metrics.txt" |
-  sha256sum | awk '{print $1}')
+actual=$(sha256sum "$out/metrics.txt" | awk '{print $1}')
 
 if [ "$mode" = "--update" ]; then
   sed -i "s/^$preset .*/$preset $actual/" "$goldens"
@@ -39,8 +40,8 @@ if [ "$actual" != "$expected" ]; then
   echo "metrics drift for preset '$preset':" >&2
   echo "  expected $expected" >&2
   echo "  actual   $actual" >&2
-  echo "filtered metrics.txt:" >&2
-  grep -Ev '^(host_nanos|cycles_per_second) ' "$out/metrics.txt" >&2
+  echo "metrics.txt:" >&2
+  cat "$out/metrics.txt" >&2
   exit 1
 fi
 echo "$preset: metrics match committed golden ($actual)"

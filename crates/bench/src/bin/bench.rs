@@ -1,0 +1,313 @@
+//! Unified benchmark and perf-regression harness.
+//!
+//! ```text
+//! cargo run --release -p latency-bench --bin bench -- [--check]
+//!     [--update-baselines] [--suites sweep,tick,workloads] [--out DIR]
+//!     [--baseline-dir DIR] [--inject-regression] [--progress]
+//! ```
+//!
+//! Runs the three benchmarks from [`latency_bench::suite`] — the sweep
+//! cold/warm cache comparison, the tick-parallelism scaling record, and
+//! end-to-end workload throughput — under the host-side self-profiler, and
+//! writes the fresh `BENCH_*.json` results plus `profile.json`/`profile.txt`
+//! to `--out` (default `bench-out/`) as CI artifacts.
+//!
+//! `--check` then compares each result against the committed baseline in
+//! `--baseline-dir` (default `.`) under [`latency_bench::regression`]'s
+//! rules: anything derived from the simulation alone (content hashes,
+//! cycle/instruction counts, grid shape) must reproduce exactly and fails
+//! the run on any host; wall-clock metrics are thresholded and downgraded
+//! to warnings on a single-CPU host or when the baseline was measured on a
+//! different CPU count. `--update-baselines` rewrites the committed files
+//! instead. `--inject-regression` deliberately corrupts the fresh results
+//! (hash flip + 100× slowdown) after measuring, so CI can prove the
+//! harness actually fails when it should.
+
+use std::path::PathBuf;
+use std::process::exit;
+
+use latency_bench::{
+    compare_json, run_sweep_bench, run_tick_bench, run_workload_bench, ProgressHeartbeat,
+    Thresholds, Workload,
+};
+use latency_core::ArchPreset;
+
+/// Presets are pinned per suite so results stay comparable with the
+/// committed baselines: the sweep baseline is GF106 (the §II measurement
+/// chip), tick scaling and workload throughput use the full GF100.
+const SWEEP_PRESET: ArchPreset = ArchPreset::FermiGf106;
+const FULL_PRESET: ArchPreset = ArchPreset::FermiGf100;
+const TICK_THREADS: [usize; 4] = [1, 2, 4, 8];
+
+struct Args {
+    suites: Vec<String>,
+    out: PathBuf,
+    baseline_dir: PathBuf,
+    check: bool,
+    update: bool,
+    inject: bool,
+    progress: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench [--check] [--update-baselines] [--suites sweep,tick,workloads]\n\
+         \x20            [--out DIR] [--baseline-dir DIR] [--inject-regression] [--progress]"
+    );
+    exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        suites: vec![
+            "sweep".to_string(),
+            "tick".to_string(),
+            "workloads".to_string(),
+        ],
+        out: PathBuf::from("bench-out"),
+        baseline_dir: PathBuf::from("."),
+        check: false,
+        update: false,
+        inject: false,
+        progress: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut val = |name: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--suites" => {
+                parsed.suites = val("--suites").split(',').map(str::to_string).collect();
+                if parsed.suites.is_empty() {
+                    usage();
+                }
+            }
+            "--out" => parsed.out = PathBuf::from(val("--out")),
+            "--baseline-dir" => parsed.baseline_dir = PathBuf::from(val("--baseline-dir")),
+            "--check" => parsed.check = true,
+            "--update-baselines" => parsed.update = true,
+            "--inject-regression" => parsed.inject = true,
+            "--progress" => parsed.progress = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag: {other}");
+                usage();
+            }
+        }
+    }
+    parsed
+}
+
+/// One finished suite: its artifact filename and rendered JSON.
+struct SuiteResult {
+    name: &'static str,
+    file: &'static str,
+    json: String,
+}
+
+fn run_suites(args: &Args) -> Vec<SuiteResult> {
+    let mut results = Vec::new();
+    for suite in &args.suites {
+        match suite.as_str() {
+            "sweep" => {
+                println!("[bench] sweep: cold+warm grid on {}", SWEEP_PRESET.name());
+                let mut b = run_sweep_bench(SWEEP_PRESET, None);
+                if let Err(e) = b.check() {
+                    eprintln!("FAIL: sweep bench self-check: {e}");
+                    exit(1);
+                }
+                if args.inject {
+                    b.simulated_cycles += 1;
+                    b.warm_wall_seconds *= 100.0;
+                }
+                println!(
+                    "[bench] sweep: {} points, cold {:.3}s, warm {:.3}s, hit rate {:.1}%",
+                    b.grid_points,
+                    b.cold_wall_seconds,
+                    b.warm_wall_seconds,
+                    b.warm_hit_rate() * 100.0
+                );
+                results.push(SuiteResult {
+                    name: "sweep",
+                    file: "BENCH_sweep.json",
+                    json: b.json(),
+                });
+            }
+            "tick" => {
+                println!(
+                    "[bench] tick: bfs scaling on {} at {:?} threads",
+                    FULL_PRESET.name(),
+                    TICK_THREADS
+                );
+                let mut b = run_tick_bench(FULL_PRESET, 4096, 8, &TICK_THREADS);
+                if let Err(e) = b.check() {
+                    eprintln!("FAIL: tick bench determinism: {e}");
+                    exit(1);
+                }
+                for m in &b.runs {
+                    println!(
+                        "[bench] tick: threads={:<2} wall={:.3}s cycles={} hash={:016x}",
+                        m.tick_threads, m.wall_seconds, m.cycles, m.content_hash
+                    );
+                }
+                if args.inject {
+                    for r in &mut b.runs {
+                        r.content_hash ^= 0xdead_beef;
+                        r.wall_seconds *= 100.0;
+                    }
+                }
+                results.push(SuiteResult {
+                    name: "tick",
+                    file: "BENCH_tick.json",
+                    json: b.json(),
+                });
+            }
+            "workloads" => {
+                println!(
+                    "[bench] workloads: {} end-to-end runs on {}",
+                    Workload::ALL.len(),
+                    FULL_PRESET.name()
+                );
+                let mut b = match run_workload_bench(FULL_PRESET, &Workload::ALL) {
+                    Ok(b) => b,
+                    Err(e) => {
+                        eprintln!("FAIL: workload bench: {e}");
+                        exit(1);
+                    }
+                };
+                for r in &b.runs {
+                    println!(
+                        "[bench] workloads: {:<10} cycles={:<8} wall={:.3}s hash={:016x}",
+                        r.workload.name(),
+                        r.cycles,
+                        r.wall_seconds,
+                        r.content_hash
+                    );
+                }
+                if args.inject {
+                    for r in &mut b.runs {
+                        r.content_hash ^= 0xdead_beef;
+                        r.wall_seconds *= 100.0;
+                    }
+                }
+                results.push(SuiteResult {
+                    name: "workloads",
+                    file: "BENCH_workloads.json",
+                    json: b.json(),
+                });
+            }
+            other => {
+                eprintln!("unknown suite: {other} (sweep, tick, workloads)");
+                exit(2);
+            }
+        }
+    }
+    results
+}
+
+fn write_file(path: &std::path::Path, contents: &str) {
+    std::fs::write(path, contents).unwrap_or_else(|e| {
+        eprintln!("failed to write {}: {e}", path.display());
+        exit(1);
+    });
+}
+
+fn main() {
+    // A zero or garbled LATENCY_TICK_THREADS would otherwise silently fall
+    // back to serial ticking; refuse it up front like a bad flag.
+    if let Err(e) = latency_core::env_tick_threads() {
+        eprintln!("{e}");
+        exit(2);
+    }
+    let args = parse_args();
+    // The whole suite runs under the self-profiler: profile.json is part of
+    // the artifact set, and enabling it never changes simulation results.
+    gpu_sim::profile::set_enabled(true);
+    let heartbeat = args.progress.then(|| ProgressHeartbeat::start("bench"));
+    let results = run_suites(&args);
+    drop(heartbeat);
+
+    std::fs::create_dir_all(&args.out).unwrap_or_else(|e| {
+        eprintln!("failed to create {}: {e}", args.out.display());
+        exit(1);
+    });
+    for r in &results {
+        write_file(&args.out.join(r.file), &r.json);
+    }
+    let report = gpu_sim::profile::report();
+    write_file(&args.out.join("profile.json"), &report.json());
+    write_file(&args.out.join("profile.txt"), &report.text());
+    println!(
+        "[bench] artifacts in {}: {} + profile.json/profile.txt",
+        args.out.display(),
+        results
+            .iter()
+            .map(|r| r.file)
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    if args.update {
+        for r in &results {
+            write_file(&args.baseline_dir.join(r.file), &r.json);
+            println!(
+                "[bench] baseline updated: {}",
+                args.baseline_dir.join(r.file).display()
+            );
+        }
+        return;
+    }
+    if !args.check {
+        return;
+    }
+
+    // Timing regressions cannot be trusted on a single-CPU host (the tick
+    // pool has nothing to scale onto); determinism divergence always can.
+    let warn_only = latency_bench::host_cpus() == 1;
+    let mut fatal = false;
+    let mut warnings = 0usize;
+    for r in &results {
+        let path = args.baseline_dir.join(r.file);
+        let baseline = match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!(
+                    "FAIL: {}: no baseline at {} ({e}); run --update-baselines and commit it",
+                    r.name,
+                    path.display()
+                );
+                fatal = true;
+                continue;
+            }
+        };
+        match compare_json(&baseline, &r.json, &Thresholds::default(), warn_only) {
+            Ok(cmp) => {
+                if !cmp.findings.is_empty() {
+                    print!(
+                        "[bench] {} vs {}:\n{}",
+                        r.name,
+                        path.display(),
+                        cmp.render()
+                    );
+                }
+                warnings += cmp.warnings();
+                if cmp.fatal() {
+                    fatal = true;
+                }
+            }
+            Err(e) => {
+                eprintln!("FAIL: {}: {e}", r.name);
+                fatal = true;
+            }
+        }
+    }
+    if fatal {
+        eprintln!("FAIL: benchmark regression check failed");
+        exit(1);
+    }
+    println!("[bench] check passed ({warnings} timing warnings)");
+}

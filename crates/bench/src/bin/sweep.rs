@@ -24,14 +24,13 @@
 //! served at least 95% of its lookups from the cache and was faster.
 
 use std::path::PathBuf;
-use std::time::Instant;
 
 use gpu_mem::PipelineSpace;
 use gpu_sim::LevelKind;
 
 use latency_core::{
-    cache_stats, detect_plateaus, infer_hierarchy, infer_line_size, pow2_range, reset_cache_stats,
-    set_cache_dir, ArchPreset, CacheStats, ChaseSpace, Sweep,
+    cache_stats, detect_plateaus, infer_hierarchy, infer_line_size, pow2_range, set_cache_dir,
+    ArchPreset, CacheStats, ChaseSpace, Sweep,
 };
 
 struct Args {
@@ -101,9 +100,10 @@ fn parse_args() -> Args {
     parsed
 }
 
-/// The sweep grid shared by all output modes.
+/// The sweep grid shared by all output modes (one definition, in the
+/// suite, so the bench harness measures exactly this grid).
 fn grid_spec() -> (Vec<u64>, [u64; 4]) {
-    (pow2_range(2 * 1024, 512 * 1024), [128u64, 512, 2048, 8192])
+    latency_bench::sweep_grid_spec()
 }
 
 fn json_cache_stats(s: CacheStats) -> String {
@@ -150,91 +150,21 @@ fn grid_json(preset: ArchPreset, grid: &Sweep) -> String {
 }
 
 /// The `--bench-out` mode: measures the same grid cold (empty cache) and
-/// warm (fully populated cache), writes the comparison as JSON, and fails
-/// unless the cache actually carried the warm pass.
+/// warm (fully populated cache) via the shared suite
+/// ([`latency_bench::run_sweep_bench`]), writes the comparison as JSON,
+/// and fails unless the cache actually carried the warm pass.
 fn run_bench(preset: ArchPreset, cache: Option<PathBuf>, out_file: &PathBuf) {
-    let cfg = preset.config_microbench();
-    let (footprints, strides) = grid_spec();
-    let dir = cache.unwrap_or_else(|| {
-        std::env::temp_dir().join(format!("latency-sweep-bench-{}", std::process::id()))
-    });
-    set_cache_dir(&dir);
-
-    reset_cache_stats();
-    let t0 = Instant::now();
-    let cold = Sweep::run(&cfg, ChaseSpace::Global, &footprints, &strides).expect("cold sweep");
-    let cold_wall = t0.elapsed().as_secs_f64();
-    let cold_stats = cache_stats();
-
-    reset_cache_stats();
-    let t1 = Instant::now();
-    let warm = Sweep::run(&cfg, ChaseSpace::Global, &footprints, &strides).expect("warm sweep");
-    let warm_wall = t1.elapsed().as_secs_f64();
-    let warm_stats = cache_stats();
-
-    assert_eq!(
-        cold.points(),
-        warm.points(),
-        "warm-cache sweep must reproduce the cold sweep bit-for-bit"
-    );
-    let simulated_cycles = cold_grid_cycles(&cfg, &footprints, &strides);
-    let cold_rate = simulated_cycles as f64 / cold_wall.max(1e-9);
-    let speedup = cold_wall / warm_wall.max(1e-9);
-
-    let json = format!(
-        "{{\n  \"name\": \"sweep\",\n  \"preset\": \"{}\",\n  \"grid_points\": {},\n  \
-         \"skipped\": {},\n  \"simulated_cycles\": {},\n  \
-         \"cold\": {{\"wall_seconds\": {:.6}, \"cycles_per_second\": {:.0}, \"cache\": {}}},\n  \
-         \"warm\": {{\"wall_seconds\": {:.6}, \"cache\": {}}},\n  \
-         \"warm_hit_rate\": {:.4},\n  \"speedup\": {:.2}\n}}\n",
-        preset.name(),
-        cold.points().len(),
-        cold.skipped_count(),
-        simulated_cycles,
-        cold_wall,
-        cold_rate,
-        json_cache_stats(cold_stats),
-        warm_wall,
-        json_cache_stats(warm_stats),
-        warm_stats.hit_rate(),
-        speedup,
-    );
+    let bench = latency_bench::run_sweep_bench(preset, cache);
+    let json = bench.json();
     std::fs::write(out_file, &json).unwrap_or_else(|e| {
         eprintln!("failed to write {}: {e}", out_file.display());
         std::process::exit(1);
     });
     print!("{json}");
-
-    if warm_stats.hit_rate() < 0.95 {
-        eprintln!(
-            "FAIL: warm pass hit rate {:.2}% < 95%",
-            warm_stats.hit_rate() * 100.0
-        );
+    if let Err(e) = bench.check() {
+        eprintln!("FAIL: {e}");
         std::process::exit(1);
     }
-    if warm_wall >= cold_wall {
-        eprintln!("FAIL: warm pass ({warm_wall:.3}s) not faster than cold ({cold_wall:.3}s)");
-        std::process::exit(1);
-    }
-}
-
-/// Total simulated cycles the cold pass spent, recovered from the cached
-/// measurements themselves (each grid point runs the microbench twice).
-fn cold_grid_cycles(cfg: &gpu_sim::GpuConfig, footprints: &[u64], strides: &[u64]) -> u64 {
-    use latency_core::{measure_chase, ChaseParams};
-    let mut total = 0u64;
-    for &f in footprints {
-        for &s in strides {
-            if f / s < 2 {
-                continue;
-            }
-            // Served from the just-populated cache: no simulation here.
-            if let Ok(m) = measure_chase(cfg, &ChaseParams::global(f, s)) {
-                total += m.cycles_short + m.cycles_long;
-            }
-        }
-    }
-    total
 }
 
 fn main() {

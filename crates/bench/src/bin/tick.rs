@@ -15,11 +15,7 @@
 //! say so — the artifact is a scaling record, not a marketing claim.
 
 use std::path::PathBuf;
-use std::time::Instant;
 
-use gpu_sim::Gpu;
-use gpu_workloads::bfs::{read_costs, run_bfs_mask, upload_graph_mask};
-use gpu_workloads::Graph;
 use latency_core::ArchPreset;
 
 struct Args {
@@ -85,35 +81,6 @@ fn parse_args() -> Args {
     parsed
 }
 
-struct Measured {
-    tick_threads: usize,
-    wall_seconds: f64,
-    cycles: u64,
-    content_hash: u64,
-}
-
-fn measure(args: &Args, graph: &Graph, tick_threads: usize) -> Measured {
-    let cfg = args.preset.config();
-    let mut gpu = Gpu::new(cfg);
-    gpu.set_tick_threads(tick_threads);
-    let dev = upload_graph_mask(&mut gpu, graph);
-    let t0 = Instant::now();
-    run_bfs_mask(&mut gpu, &dev, 0, 128).expect("bfs runs");
-    let wall_seconds = t0.elapsed().as_secs_f64();
-    assert_eq!(
-        read_costs(&gpu, &dev),
-        graph.bfs_levels(0),
-        "BFS answer wrong at {tick_threads} tick threads"
-    );
-    let summary = gpu.summary();
-    Measured {
-        tick_threads,
-        wall_seconds,
-        cycles: summary.cycles,
-        content_hash: summary.content_hash,
-    }
-}
-
 fn main() {
     // A zero or garbled LATENCY_TICK_THREADS would otherwise silently fall
     // back to serial ticking; refuse it up front like a bad flag.
@@ -122,67 +89,29 @@ fn main() {
         std::process::exit(2);
     }
     let args = parse_args();
-    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let num_sms = args.preset.config().num_sms;
-    let graph = Graph::uniform_random(args.nodes, args.degree, 20150301);
-
-    let runs: Vec<Measured> = args
-        .threads
-        .iter()
-        .map(|&t| {
-            let m = measure(&args, &graph, t);
-            println!(
-                "tick_threads={:<2}  wall={:.3}s  cycles={}  cycles/s={:.0}  hash={:016x}",
-                m.tick_threads,
-                m.wall_seconds,
-                m.cycles,
-                m.cycles as f64 / m.wall_seconds.max(1e-9),
-                m.content_hash
-            );
-            m
-        })
-        .collect();
-
-    let serial = &runs[0];
-    let mut json = String::from("{\n  \"name\": \"tick\",\n");
-    json.push_str(&format!("  \"preset\": \"{}\",\n", args.preset.name()));
-    json.push_str(&format!("  \"num_sms\": {num_sms},\n"));
-    json.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
-    json.push_str(&format!(
-        "  \"workload\": \"bfs nodes={} degree={}\",\n",
-        args.nodes, args.degree
-    ));
-    json.push_str(&format!(
-        "  \"content_hash\": \"{:016x}\",\n  \"runs\": [\n",
-        serial.content_hash
-    ));
-    for (i, m) in runs.iter().enumerate() {
-        let sep = if i + 1 == runs.len() { "" } else { "," };
-        json.push_str(&format!(
-            "    {{\"tick_threads\": {}, \"wall_seconds\": {:.6}, \"simulated_cycles\": {}, \
-             \"cycles_per_second\": {:.0}, \"speedup_vs_serial\": {:.3}}}{sep}\n",
+    // LATENCY_PROFILE=1 adds the per-stage host-time breakdown to the
+    // written JSON; the simulated results are bit-identical either way.
+    if gpu_sim::profile::env_requested() {
+        gpu_sim::profile::set_enabled(true);
+    }
+    let bench = latency_bench::run_tick_bench(args.preset, args.nodes, args.degree, &args.threads);
+    for m in &bench.runs {
+        println!(
+            "tick_threads={:<2}  wall={:.3}s  cycles={}  cycles/s={:.0}  hash={:016x}",
             m.tick_threads,
             m.wall_seconds,
             m.cycles,
-            m.cycles as f64 / m.wall_seconds.max(1e-9),
-            serial.wall_seconds / m.wall_seconds.max(1e-9),
-        ));
+            gpu_trace::cycles_per_second(m.cycles, (m.wall_seconds * 1e9) as u64),
+            m.content_hash
+        );
     }
-    json.push_str("  ]\n}\n");
-    std::fs::write(&args.out, &json).unwrap_or_else(|e| {
+    std::fs::write(&args.out, bench.json()).unwrap_or_else(|e| {
         eprintln!("failed to write {}: {e}", args.out.display());
         std::process::exit(1);
     });
     println!("written to {}", args.out.display());
-
-    for m in &runs[1..] {
-        if m.content_hash != serial.content_hash || m.cycles != serial.cycles {
-            eprintln!(
-                "FAIL: {} tick threads diverged from serial (hash {:016x} vs {:016x}, \
-                 cycles {} vs {})",
-                m.tick_threads, m.content_hash, serial.content_hash, m.cycles, serial.cycles
-            );
-            std::process::exit(1);
-        }
+    if let Err(e) = bench.check() {
+        eprintln!("FAIL: {e}");
+        std::process::exit(1);
     }
 }

@@ -34,6 +34,8 @@ struct Args {
     sample: u64,
     max_events: usize,
     validate: bool,
+    stable: bool,
+    progress: bool,
     checkpoint_every: u64,
     checkpoint_dir: Option<PathBuf>,
     resume: Option<PathBuf>,
@@ -47,7 +49,7 @@ fn usage() -> ! {
          \x20            [--nodes N] [--degree N] [--seed N] [--block-dim N]\n\
          \x20            [--sms N] [--partitions N] [--out DIR]\n\
          \x20            [--sample CYCLES] [--max-events N] [--validate]\n\
-         \x20            [--tick-threads N]\n\
+         \x20            [--stable] [--progress] [--tick-threads N]\n\
          \x20            [--checkpoint-every CYCLES] [--checkpoint-dir DIR]\n\
          \x20            [--resume DIR] [--kill-at CYCLE]   (BFS only)"
     );
@@ -68,6 +70,8 @@ fn parse_args() -> Args {
         sample: 64,
         max_events: 1 << 20,
         validate: false,
+        stable: false,
+        progress: false,
         checkpoint_every: 0,
         checkpoint_dir: None,
         resume: None,
@@ -106,6 +110,8 @@ fn parse_args() -> Args {
                 args.max_events = val("--max-events").parse().unwrap_or_else(|_| usage());
             }
             "--validate" => args.validate = true,
+            "--stable" => args.stable = true,
+            "--progress" => args.progress = true,
             "--tick-threads" => {
                 let raw = val("--tick-threads");
                 let n =
@@ -242,6 +248,15 @@ fn main() {
         std::process::exit(2);
     }
     let args = parse_args();
+    // The self-profiler observes host time only; enabling it never changes
+    // the simulation (`content_hash` is pinned bit-identical either way).
+    // `--progress` needs its cycle counters, so it implies profiling.
+    if gpu_sim::profile::env_requested() || args.progress {
+        gpu_sim::profile::set_enabled(true);
+    }
+    let _heartbeat = args
+        .progress
+        .then(|| latency_bench::ProgressHeartbeat::start("trace"));
     let run = if checkpointing_requested(&args) {
         run_checkpointed(&args)
     } else {
@@ -253,17 +268,28 @@ fn main() {
             }
         }
     };
+    drop(_heartbeat);
     let cfg = build_cfg(&args);
+    // --stable: normalise the only wall-clock-derived field so metrics.txt
+    // (and the throughput figure computed from it) is a pure function of
+    // the simulation — `cycles_per_second` renders 0 by its zero-wall-clock
+    // contract, and byte-identical output hashes byte-identically in CI.
+    let mut metrics = run.metrics;
+    if args.stable {
+        metrics.host_nanos = 0;
+    }
     let bundle = TraceBundle {
         requests: &run.requests,
         loads: &run.loads,
         trace: &run.trace,
-        metrics: &run.metrics,
+        metrics: &metrics,
         cycles: run.cycles,
         content_hash: run.content_hash,
         num_sms: cfg.num_sms as u32,
         num_partitions: cfg.num_partitions as u32,
         stage_labels: latency_bench::stage_labels_for(&cfg),
+        track_names: latency_bench::track_names_for(&cfg),
+        profile: gpu_sim::profile::enabled().then(gpu_sim::profile::report),
     };
     if args.validate {
         let json = bundle.chrome_json();

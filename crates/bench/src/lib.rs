@@ -13,6 +13,9 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod progress;
+pub mod regression;
+pub mod suite;
 pub mod tracebundle;
 pub mod validate;
 
@@ -22,7 +25,13 @@ pub use experiments::{
     BfsCheckpointOutcome, BfsCheckpointed, BfsExperiment, DramSchedResult, HidingPoint, TracedRun,
     Workload,
 };
-pub use tracebundle::{env_request, stage_labels_for, EnvTrace, TraceBundle};
+pub use progress::ProgressHeartbeat;
+pub use regression::{compare_json, Comparison, Finding, Severity, Thresholds};
+pub use suite::{
+    host_cpus, run_sweep_bench, run_tick_bench, run_workload_bench, sweep_grid_spec, SweepBench,
+    TickBench, TickRun, WorkloadBench, WorkloadRun,
+};
+pub use tracebundle::{env_request, stage_labels_for, track_names_for, EnvTrace, TraceBundle};
 pub use validate::{
     derived_level, validate_floor, validate_run, FloorCheck, FloorReport, LoadCheck,
     ValidationReport,

@@ -1,0 +1,592 @@
+//! The benchmark suite behind `bin/bench`, `bin/sweep --bench-out` and
+//! `bin/tick`: each benchmark is a plain function returning a struct that
+//! renders the committed `BENCH_*.json` schema, so the measuring bins and
+//! the regression harness share one implementation instead of three
+//! hand-rolled JSON writers.
+//!
+//! Three benchmarks:
+//!
+//! - [`run_sweep_bench`]: the §II stride × footprint grid measured cold and
+//!   then warm from the content-addressed sweep cache (`BENCH_sweep.json`).
+//! - [`run_tick_bench`]: one mask BFS per tick-thread count, verifying
+//!   bit-identity while timing each; when the self-profiler is on, each run
+//!   also records its per-[`TickStage`](gpu_sim::TickStage) host-time
+//!   breakdown, so the scaling numbers show where the serial fractions
+//!   live (`BENCH_tick.json`).
+//! - [`run_workload_bench`]: end-to-end throughput over the E4 workload
+//!   set, one simulated run each, pinning `content_hash`, cycle and
+//!   instruction counts exactly (`BENCH_workloads.json`).
+//!
+//! Wall-clock fields are honest measurements of this host — the committed
+//! baselines record `host_cpus` where timing depends on parallelism, and
+//! the regression harness ([`crate::regression`]) treats timing as
+//! warn-only when the hosts are not comparable. Everything derived from
+//! the simulation alone (hashes, cycles, instructions, grid shape) must
+//! reproduce exactly.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use gpu_sim::profile::{self, ProfSpan};
+use gpu_sim::{Gpu, SimError};
+use gpu_trace::cycles_per_second;
+use gpu_workloads::bfs::{read_costs, run_bfs_mask, upload_graph_mask};
+use gpu_workloads::Graph;
+use latency_core::{
+    cache_stats, pow2_range, reset_cache_stats, set_cache_dir, ArchPreset, CacheStats, ChaseSpace,
+    Sweep,
+};
+
+use crate::experiments::{run_workload_traced, Workload};
+
+/// Host CPU count recorded alongside timing so a baseline measured on one
+/// machine is never silently compared against another shape of machine.
+pub fn host_cpus() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Converts a measured wall-clock duration to the nanosecond count the
+/// shared [`cycles_per_second`] contract expects.
+fn wall_nanos(seconds: f64) -> u64 {
+    (seconds * 1e9) as u64
+}
+
+// ---------------------------------------------------------------------------
+// Sweep-cache benchmark
+// ---------------------------------------------------------------------------
+
+/// The sweep grid shared by every output mode of the sweep bin and the
+/// bench harness: 2 KiB–512 KiB footprints × four strides.
+pub fn sweep_grid_spec() -> (Vec<u64>, [u64; 4]) {
+    (pow2_range(2 * 1024, 512 * 1024), [128u64, 512, 2048, 8192])
+}
+
+/// Cold-vs-warm measurement of the full sweep grid (`BENCH_sweep.json`).
+#[derive(Debug, Clone)]
+pub struct SweepBench {
+    /// Architecture the grid was measured on.
+    pub preset: ArchPreset,
+    /// Measured grid points (excluding skipped combinations).
+    pub grid_points: usize,
+    /// Grid combinations skipped as unmeasurable (chain shorter than 2).
+    pub skipped: usize,
+    /// Total simulated cycles the cold pass spent.
+    pub simulated_cycles: u64,
+    /// Cold-pass wall clock (empty cache: every point simulated).
+    pub cold_wall_seconds: f64,
+    /// Cache traffic of the cold pass (all misses, then stores).
+    pub cold_cache: CacheStats,
+    /// Warm-pass wall clock (fully populated cache: no simulation).
+    pub warm_wall_seconds: f64,
+    /// Cache traffic of the warm pass (all hits if the cache works).
+    pub warm_cache: CacheStats,
+}
+
+impl SweepBench {
+    /// Fraction of warm-pass lookups served from the cache.
+    pub fn warm_hit_rate(&self) -> f64 {
+        self.warm_cache.hit_rate()
+    }
+
+    /// Cold wall clock over warm wall clock.
+    pub fn speedup(&self) -> f64 {
+        self.cold_wall_seconds / self.warm_wall_seconds.max(1e-9)
+    }
+
+    /// Renders the committed `BENCH_sweep.json` schema.
+    pub fn json(&self) -> String {
+        format!(
+            "{{\n  \"name\": \"sweep\",\n  \"preset\": \"{}\",\n  \"grid_points\": {},\n  \
+             \"skipped\": {},\n  \"simulated_cycles\": {},\n  \
+             \"cold\": {{\"wall_seconds\": {:.6}, \"cycles_per_second\": {:.0}, \"cache\": {}}},\n  \
+             \"warm\": {{\"wall_seconds\": {:.6}, \"cache\": {}}},\n  \
+             \"warm_hit_rate\": {:.4},\n  \"speedup\": {:.2}\n}}\n",
+            self.preset.name(),
+            self.grid_points,
+            self.skipped,
+            self.simulated_cycles,
+            self.cold_wall_seconds,
+            cycles_per_second(self.simulated_cycles, wall_nanos(self.cold_wall_seconds)),
+            json_cache_stats(self.cold_cache),
+            self.warm_wall_seconds,
+            json_cache_stats(self.warm_cache),
+            self.warm_hit_rate(),
+            self.speedup(),
+        )
+    }
+
+    /// The sweep bench's own invariant: the warm pass must actually have
+    /// been carried by the cache, and must have been faster for it.
+    pub fn check(&self) -> Result<(), String> {
+        if self.warm_hit_rate() < 0.95 {
+            return Err(format!(
+                "warm pass hit rate {:.2}% < 95%",
+                self.warm_hit_rate() * 100.0
+            ));
+        }
+        if self.warm_wall_seconds >= self.cold_wall_seconds {
+            return Err(format!(
+                "warm pass ({:.3}s) not faster than cold ({:.3}s)",
+                self.warm_wall_seconds, self.cold_wall_seconds
+            ));
+        }
+        Ok(())
+    }
+}
+
+fn json_cache_stats(s: CacheStats) -> String {
+    format!(
+        "{{\"hits\": {}, \"misses\": {}, \"stores\": {}}}",
+        s.hits, s.misses, s.stores
+    )
+}
+
+/// Measures the sweep grid cold (empty cache) and warm (fully populated),
+/// panicking if the warm pass fails to reproduce the cold grid bit-for-bit.
+///
+/// With `cache: None` a per-process temporary directory is used and wiped
+/// first, so the cold pass's cache traffic is deterministic (zero hits).
+pub fn run_sweep_bench(preset: ArchPreset, cache: Option<PathBuf>) -> SweepBench {
+    let cfg = preset.config_microbench();
+    let (footprints, strides) = sweep_grid_spec();
+    let dir = cache.unwrap_or_else(|| {
+        let dir = std::env::temp_dir().join(format!("latency-sweep-bench-{}", std::process::id()));
+        // A recycled pid must not hand the "cold" pass a warm cache.
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    });
+    set_cache_dir(&dir);
+
+    reset_cache_stats();
+    let t0 = Instant::now();
+    let cold = Sweep::run(&cfg, ChaseSpace::Global, &footprints, &strides).expect("cold sweep");
+    let cold_wall_seconds = t0.elapsed().as_secs_f64();
+    let cold_cache = cache_stats();
+
+    reset_cache_stats();
+    let t1 = Instant::now();
+    let warm = Sweep::run(&cfg, ChaseSpace::Global, &footprints, &strides).expect("warm sweep");
+    let warm_wall_seconds = t1.elapsed().as_secs_f64();
+    let warm_cache = cache_stats();
+
+    assert_eq!(
+        cold.points(),
+        warm.points(),
+        "warm-cache sweep must reproduce the cold sweep bit-for-bit"
+    );
+    SweepBench {
+        preset,
+        grid_points: cold.points().len(),
+        skipped: cold.skipped_count(),
+        simulated_cycles: cold_grid_cycles(&cfg, &footprints, &strides),
+        cold_wall_seconds,
+        cold_cache,
+        warm_wall_seconds,
+        warm_cache,
+    }
+}
+
+/// Total simulated cycles the cold pass spent, recovered from the cached
+/// measurements themselves (each grid point runs the microbench twice).
+fn cold_grid_cycles(cfg: &gpu_sim::GpuConfig, footprints: &[u64], strides: &[u64]) -> u64 {
+    use latency_core::{measure_chase, ChaseParams};
+    let mut total = 0u64;
+    for &f in footprints {
+        for &s in strides {
+            if f / s < 2 {
+                continue;
+            }
+            // Served from the just-populated cache: no simulation here.
+            if let Ok(m) = measure_chase(cfg, &ChaseParams::global(f, s)) {
+                total += m.cycles_short + m.cycles_long;
+            }
+        }
+    }
+    total
+}
+
+// ---------------------------------------------------------------------------
+// Tick-scaling benchmark
+// ---------------------------------------------------------------------------
+
+/// One timed BFS run at a fixed tick-thread count.
+#[derive(Debug, Clone)]
+pub struct TickRun {
+    /// Intra-run tick threads used (1 = serial reference).
+    pub tick_threads: usize,
+    /// Wall clock of the simulated traversal.
+    pub wall_seconds: f64,
+    /// Simulated cycles (must match the serial run exactly).
+    pub cycles: u64,
+    /// `RunSummary::content_hash` (must match the serial run exactly).
+    pub content_hash: u64,
+    /// Host nanoseconds per [`ProfSpan::STAGES`] entry, measured by the
+    /// self-profiler as a before/after delta around this run; all zeros
+    /// when profiling is off.
+    pub stage_nanos: Vec<u64>,
+}
+
+/// Tick-parallelism scaling record (`BENCH_tick.json`).
+#[derive(Debug, Clone)]
+pub struct TickBench {
+    /// Architecture (full config, all SMs).
+    pub preset: ArchPreset,
+    /// SMs in the simulated machine.
+    pub num_sms: usize,
+    /// Host CPUs available to the tick pool.
+    pub host_cpus: usize,
+    /// BFS graph nodes.
+    pub nodes: u32,
+    /// BFS graph out-degree.
+    pub degree: u32,
+    /// Whether the self-profiler was on (stage breakdowns are real).
+    pub profiled: bool,
+    /// One entry per tick-thread count, serial first.
+    pub runs: Vec<TickRun>,
+}
+
+impl TickBench {
+    /// Renders the committed `BENCH_tick.json` schema. When [`profiled`]
+    /// (see [`TickBench::profiled`]) each run carries a `stages` object
+    /// mapping tick-stage labels to host nanoseconds — the per-stage
+    /// breakdown that shows where a non-scaling run's serial fraction
+    /// lives.
+    pub fn json(&self) -> String {
+        let serial = &self.runs[0];
+        let mut json = String::from("{\n  \"name\": \"tick\",\n");
+        json.push_str(&format!("  \"preset\": \"{}\",\n", self.preset.name()));
+        json.push_str(&format!("  \"num_sms\": {},\n", self.num_sms));
+        json.push_str(&format!("  \"host_cpus\": {},\n", self.host_cpus));
+        json.push_str(&format!(
+            "  \"workload\": \"bfs nodes={} degree={}\",\n",
+            self.nodes, self.degree
+        ));
+        json.push_str(&format!(
+            "  \"content_hash\": \"{:016x}\",\n  \"runs\": [\n",
+            serial.content_hash
+        ));
+        for (i, m) in self.runs.iter().enumerate() {
+            let sep = if i + 1 == self.runs.len() { "" } else { "," };
+            json.push_str(&format!(
+                "    {{\"tick_threads\": {}, \"wall_seconds\": {:.6}, \"simulated_cycles\": {}, \
+                 \"cycles_per_second\": {:.0}, \"speedup_vs_serial\": {:.3}",
+                m.tick_threads,
+                m.wall_seconds,
+                m.cycles,
+                cycles_per_second(m.cycles, wall_nanos(m.wall_seconds)),
+                serial.wall_seconds / m.wall_seconds.max(1e-9),
+            ));
+            if self.profiled {
+                json.push_str(",\n     \"stages\": {");
+                for (j, &stage) in ProfSpan::STAGES.iter().enumerate() {
+                    let sep = if j + 1 == ProfSpan::STAGES.len() {
+                        ""
+                    } else {
+                        ", "
+                    };
+                    json.push_str(&format!("\"{}\": {}{sep}", stage.label(), m.stage_nanos[j]));
+                }
+                json.push('}');
+            }
+            json.push_str(&format!("}}{sep}\n"));
+        }
+        json.push_str("  ]\n}\n");
+        json
+    }
+
+    /// Determinism invariant: every parallel run must reproduce the serial
+    /// run's `content_hash` and cycle count exactly.
+    pub fn check(&self) -> Result<(), String> {
+        let serial = &self.runs[0];
+        for m in &self.runs[1..] {
+            if m.content_hash != serial.content_hash || m.cycles != serial.cycles {
+                return Err(format!(
+                    "{} tick threads diverged from serial (hash {:016x} vs {:016x}, \
+                     cycles {} vs {})",
+                    m.tick_threads, m.content_hash, serial.content_hash, m.cycles, serial.cycles
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Runs the tick-scaling benchmark: one mask BFS per entry in `threads`
+/// (serial first), timing each and — when the self-profiler is enabled —
+/// attributing each run's host time to the nine tick stages.
+pub fn run_tick_bench(preset: ArchPreset, nodes: u32, degree: u32, threads: &[usize]) -> TickBench {
+    assert!(!threads.is_empty(), "need at least one tick-thread count");
+    let graph = Graph::uniform_random(nodes, degree, 20150301);
+    let runs = threads
+        .iter()
+        .map(|&t| measure_tick(preset, &graph, t))
+        .collect();
+    TickBench {
+        preset,
+        num_sms: preset.config().num_sms,
+        host_cpus: host_cpus(),
+        nodes,
+        degree,
+        profiled: profile::enabled(),
+        runs,
+    }
+}
+
+fn measure_tick(preset: ArchPreset, graph: &Graph, tick_threads: usize) -> TickRun {
+    let cfg = preset.config();
+    let mut gpu = Gpu::new(cfg);
+    gpu.set_tick_threads(tick_threads);
+    let dev = upload_graph_mask(&mut gpu, graph);
+    // Snapshot the (cumulative, process-global) profiler around the run so
+    // this run's stage times are a clean delta — no reset, so the whole
+    // bench process still adds up in the final profile.json.
+    let before = profile::report();
+    let t0 = Instant::now();
+    run_bfs_mask(&mut gpu, &dev, 0, 128).expect("bfs runs");
+    let wall_seconds = t0.elapsed().as_secs_f64();
+    let after = profile::report();
+    assert_eq!(
+        read_costs(&gpu, &dev),
+        graph.bfs_levels(0),
+        "BFS answer wrong at {tick_threads} tick threads"
+    );
+    let summary = gpu.summary();
+    let stage_nanos = ProfSpan::STAGES
+        .iter()
+        .map(|&s| after.span(s).nanos.saturating_sub(before.span(s).nanos))
+        .collect();
+    TickRun {
+        tick_threads,
+        wall_seconds,
+        cycles: summary.cycles,
+        content_hash: summary.content_hash,
+        stage_nanos,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Workload-throughput benchmark
+// ---------------------------------------------------------------------------
+
+/// One end-to-end workload run.
+#[derive(Debug, Clone)]
+pub struct WorkloadRun {
+    /// Which E4 workload.
+    pub workload: Workload,
+    /// Simulated cycles (exact-reproduce).
+    pub cycles: u64,
+    /// Warp instructions issued (exact-reproduce).
+    pub instructions: u64,
+    /// `RunSummary::content_hash` (exact-reproduce).
+    pub content_hash: u64,
+    /// Host wall clock including setup and result verification.
+    pub wall_seconds: f64,
+}
+
+/// End-to-end workload throughput record (`BENCH_workloads.json`).
+#[derive(Debug, Clone)]
+pub struct WorkloadBench {
+    /// Architecture every workload ran on.
+    pub preset: ArchPreset,
+    /// Host CPUs during the measurement.
+    pub host_cpus: usize,
+    /// One entry per workload, in the order they were run.
+    pub runs: Vec<WorkloadRun>,
+}
+
+impl WorkloadBench {
+    /// Sum of per-workload wall clocks.
+    pub fn total_wall_seconds(&self) -> f64 {
+        self.runs.iter().map(|r| r.wall_seconds).sum()
+    }
+
+    /// Renders the committed `BENCH_workloads.json` schema.
+    pub fn json(&self) -> String {
+        let mut json = String::from("{\n  \"name\": \"workloads\",\n");
+        json.push_str(&format!("  \"preset\": \"{}\",\n", self.preset.name()));
+        json.push_str(&format!("  \"host_cpus\": {},\n", self.host_cpus));
+        json.push_str(&format!(
+            "  \"total_wall_seconds\": {:.6},\n  \"runs\": [\n",
+            self.total_wall_seconds()
+        ));
+        for (i, r) in self.runs.iter().enumerate() {
+            let sep = if i + 1 == self.runs.len() { "" } else { "," };
+            json.push_str(&format!(
+                "    {{\"workload\": \"{}\", \"simulated_cycles\": {}, \"instructions\": {}, \
+                 \"content_hash\": \"{:016x}\", \"wall_seconds\": {:.6}, \
+                 \"cycles_per_second\": {:.0}}}{sep}\n",
+                r.workload.name(),
+                r.cycles,
+                r.instructions,
+                r.content_hash,
+                r.wall_seconds,
+                cycles_per_second(r.cycles, wall_nanos(r.wall_seconds)),
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        json
+    }
+}
+
+/// Runs every workload in `workloads` once on `preset`'s full config,
+/// timing each end to end (setup, simulation, verification).
+///
+/// # Errors
+///
+/// Propagates the first simulator failure.
+pub fn run_workload_bench(
+    preset: ArchPreset,
+    workloads: &[Workload],
+) -> Result<WorkloadBench, SimError> {
+    let mut runs = Vec::with_capacity(workloads.len());
+    for &workload in workloads {
+        let t0 = Instant::now();
+        let traced = run_workload_traced(preset.config(), workload)?;
+        runs.push(WorkloadRun {
+            workload,
+            cycles: traced.cycles,
+            instructions: traced.instructions,
+            content_hash: traced.content_hash,
+            wall_seconds: t0.elapsed().as_secs_f64(),
+        });
+    }
+    Ok(WorkloadBench {
+        preset,
+        host_cpus: host_cpus(),
+        runs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_sweep() -> SweepBench {
+        SweepBench {
+            preset: ArchPreset::FermiGf106,
+            grid_points: 32,
+            skipped: 4,
+            simulated_cycles: 1_000_000,
+            cold_wall_seconds: 2.0,
+            cold_cache: CacheStats {
+                hits: 0,
+                misses: 32,
+                stores: 32,
+            },
+            warm_wall_seconds: 0.1,
+            warm_cache: CacheStats {
+                hits: 32,
+                misses: 0,
+                stores: 0,
+            },
+        }
+    }
+
+    fn fake_tick() -> TickBench {
+        let run = |t: usize, wall: f64, hash: u64| TickRun {
+            tick_threads: t,
+            wall_seconds: wall,
+            cycles: 104_548,
+            content_hash: hash,
+            stage_nanos: vec![7; ProfSpan::STAGES.len()],
+        };
+        TickBench {
+            preset: ArchPreset::FermiGf100,
+            num_sms: 14,
+            host_cpus: 1,
+            nodes: 4096,
+            degree: 8,
+            profiled: true,
+            runs: vec![run(1, 2.0, 0xabcd), run(2, 1.0, 0xabcd)],
+        }
+    }
+
+    #[test]
+    fn sweep_json_parses_and_keeps_schema() {
+        let doc = gpu_trace::json::parse(&fake_sweep().json()).expect("valid json");
+        assert_eq!(doc.get("name").and_then(|v| v.as_str()), Some("sweep"));
+        assert_eq!(doc.get("grid_points").and_then(|v| v.as_num()), Some(32.0));
+        let cold = doc.get("cold").expect("cold");
+        assert_eq!(
+            cold.get("cycles_per_second").and_then(|v| v.as_num()),
+            Some(500_000.0)
+        );
+        assert_eq!(doc.get("speedup").and_then(|v| v.as_num()), Some(20.0));
+    }
+
+    #[test]
+    fn sweep_check_requires_a_working_cache() {
+        assert!(fake_sweep().check().is_ok());
+        let mut cold_cache_only = fake_sweep();
+        cold_cache_only.warm_cache.hits = 1;
+        cold_cache_only.warm_cache.misses = 31;
+        assert!(cold_cache_only.check().is_err());
+        let mut slow_warm = fake_sweep();
+        slow_warm.warm_wall_seconds = 3.0;
+        assert!(slow_warm.check().is_err());
+    }
+
+    #[test]
+    fn tick_json_carries_stage_breakdown_when_profiled() {
+        let bench = fake_tick();
+        let json = bench.json();
+        let doc = gpu_trace::json::parse(&json).expect("valid json");
+        assert_eq!(
+            doc.get("content_hash").and_then(|v| v.as_str()),
+            Some("000000000000abcd")
+        );
+        let runs = doc.get("runs").and_then(|v| v.as_arr()).expect("runs");
+        assert_eq!(runs.len(), 2);
+        let stages = runs[0].get("stages").expect("stages object");
+        assert_eq!(stages.get("tick_sms").and_then(|v| v.as_num()), Some(7.0));
+        assert_eq!(
+            runs[1].get("speedup_vs_serial").and_then(|v| v.as_num()),
+            Some(2.0)
+        );
+
+        let mut unprofiled = bench;
+        unprofiled.profiled = false;
+        assert!(!unprofiled.json().contains("\"stages\""));
+    }
+
+    #[test]
+    fn tick_check_rejects_divergent_hash() {
+        assert!(fake_tick().check().is_ok());
+        let mut bad = fake_tick();
+        bad.runs[1].content_hash ^= 1;
+        assert!(bad.check().is_err());
+        let mut bad_cycles = fake_tick();
+        bad_cycles.runs[1].cycles += 1;
+        assert!(bad_cycles.check().is_err());
+    }
+
+    #[test]
+    fn workload_json_parses_with_exact_fields() {
+        let bench = WorkloadBench {
+            preset: ArchPreset::FermiGf100,
+            host_cpus: 4,
+            runs: vec![WorkloadRun {
+                workload: Workload::VecAdd,
+                cycles: 1000,
+                instructions: 5000,
+                content_hash: 0xfeed,
+                wall_seconds: 0.5,
+            }],
+        };
+        let doc = gpu_trace::json::parse(&bench.json()).expect("valid json");
+        assert_eq!(doc.get("name").and_then(|v| v.as_str()), Some("workloads"));
+        let runs = doc.get("runs").and_then(|v| v.as_arr()).expect("runs");
+        assert_eq!(
+            runs[0].get("workload").and_then(|v| v.as_str()),
+            Some("vecadd")
+        );
+        assert_eq!(
+            runs[0].get("content_hash").and_then(|v| v.as_str()),
+            Some("000000000000feed")
+        );
+        assert_eq!(
+            runs[0].get("cycles_per_second").and_then(|v| v.as_num()),
+            Some(2000.0)
+        );
+    }
+}

@@ -17,10 +17,11 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 use gpu_sim::{
-    CompletedRequest, GpuConfig, LoadInstrRecord, MetricsReport, RunSummary, StallReason,
+    CompletedRequest, GpuConfig, LevelKind, LoadInstrRecord, MetricsReport, RunSummary, StallReason,
 };
 use gpu_trace::{
-    counters_csv, events_jsonl, ChromeTraceBuilder, CounterKind, StageLabels, TraceData,
+    counters_csv, events_jsonl, ChromeTraceBuilder, CounterKind, ProfileReport, StageLabels,
+    TraceData, TrackNames,
 };
 use latency_core::{breakdown_csv, exposure_csv, Bucketing, ExposureAnalysis, LatencyBreakdown};
 
@@ -81,6 +82,13 @@ pub struct TraceBundle<'a> {
     /// description (see [`stage_labels_for`]); `StageLabels::default()`
     /// yields the paper's Figure-1 legend.
     pub stage_labels: StageLabels,
+    /// Process/thread/counter display names for the Perfetto tracks,
+    /// derived from the architecture description (see [`track_names_for`]).
+    pub track_names: TrackNames,
+    /// Host-side self-profile of the run (`LATENCY_PROFILE`), exported as
+    /// `profile.txt`/`profile.json` and merged into `trace.json` as
+    /// host-clock tracks. `None` when profiling was off.
+    pub profile: Option<ProfileReport>,
 }
 
 /// The request-span stage labels for a machine: derived from the
@@ -92,12 +100,59 @@ pub fn stage_labels_for(cfg: &GpuConfig) -> StageLabels {
     StageLabels::new(cfg.arch_desc().fig1_stage_labels())
 }
 
+/// Perfetto track display names for a machine, derived from its
+/// architecture description: process names carry the description's display
+/// name, and the counter tracks are spelled with the hierarchy's own level
+/// and queue labels (`LevelKind::label`/`queue_label`) instead of the
+/// tracer's fixed machine names — the ROADMAP's "description-driven track
+/// naming" item.
+pub fn track_names_for(cfg: &GpuConfig) -> TrackNames {
+    let desc = cfg.arch_desc();
+    let level = |kind: LevelKind| {
+        desc.level(kind)
+            .map_or(kind.label(), |l| l.kind.label())
+            .to_string()
+    };
+    let (l1, l2, dram) = (
+        level(LevelKind::L1),
+        level(LevelKind::L2),
+        level(LevelKind::DramFront),
+    );
+    let mut counters = CounterKind::ALL.map(|k| k.name().to_string());
+    counters[CounterKind::L1MshrOccupancy.index()] = format!("{l1} MSHR occupancy");
+    counters[CounterKind::FrontDepth.index()] = "SM front-end depth".to_string();
+    counters[CounterKind::MissQueueDepth.index()] =
+        format!("{l1} queue ({})", LevelKind::L1.queue_label());
+    counters[CounterKind::RopQueueDepth.index()] = "ROP queue".to_string();
+    counters[CounterKind::L2QueueDepth.index()] =
+        format!("{l2} queue ({})", LevelKind::L2.queue_label());
+    counters[CounterKind::L2MshrOccupancy.index()] = format!("{l2} MSHR occupancy");
+    counters[CounterKind::DramQueueDepth.index()] =
+        format!("{dram} queue ({})", LevelKind::DramFront.queue_label());
+    counters[CounterKind::IcntInFlight.index()] = "crossbar in-flight".to_string();
+    counters[CounterKind::Outstanding.index()] = "outstanding requests".to_string();
+    counters[CounterKind::DramRowHitPermille.index()] = format!("{dram} row-hit permille");
+    TrackNames {
+        sms_process: format!("{} SMs", desc.name),
+        partitions_process: format!("{} memory partitions", desc.name),
+        gpu_process: format!("{} GPU", desc.name),
+        host_process: format!("Host self-profile ({})", desc.name),
+        sm_prefix: "SM".to_string(),
+        partition_prefix: "Partition".to_string(),
+        counters,
+    }
+}
+
 impl TraceBundle<'_> {
     /// Renders the Chrome trace-event JSON: one track per SM / partition,
     /// one async span per traced request tiled into its pipeline stages,
     /// instants for events and counter tracks for samples.
     pub fn chrome_json(&self) -> String {
-        let mut b = ChromeTraceBuilder::new(self.num_sms, self.num_partitions);
+        let mut b = ChromeTraceBuilder::with_names(
+            self.num_sms,
+            self.num_partitions,
+            self.track_names.clone(),
+        );
         b.set_stage_labels(self.stage_labels.clone());
         for (i, r) in self.requests.iter().enumerate() {
             b.add_request_span(r.sm.get(), i as u64, &r.timeline);
@@ -107,6 +162,9 @@ impl TraceBundle<'_> {
         }
         for s in &self.trace.samples {
             b.add_counter_sample(s);
+        }
+        if let Some(p) = &self.profile {
+            b.add_host_profile(p);
         }
         b.finish()
     }
@@ -183,6 +241,10 @@ impl TraceBundle<'_> {
         std::fs::write(dir.join("exposure.csv"), exposure_csv(&exposure))?;
         std::fs::write(dir.join("latency_hist.csv"), self.latency_hist_csv())?;
         std::fs::write(dir.join("metrics.txt"), self.metrics_text())?;
+        if let Some(p) = &self.profile {
+            std::fs::write(dir.join("profile.txt"), p.text())?;
+            std::fs::write(dir.join("profile.json"), p.json())?;
+        }
         Ok(())
     }
 
@@ -196,8 +258,9 @@ impl TraceBundle<'_> {
 }
 
 /// Applies the `LATENCY_TRACE` request to a run summary + traced data,
-/// writing a bundle when a directory was named. Machine shape and stage
-/// labels are derived from the run's configuration.
+/// writing a bundle when a directory was named. Machine shape, stage labels
+/// and track names are derived from the run's configuration; a host-side
+/// self-profile is included when the profiler is recording.
 pub fn export_if_requested(
     req: &EnvTrace,
     summary: &RunSummary,
@@ -217,6 +280,8 @@ pub fn export_if_requested(
             num_sms: cfg.num_sms as u32,
             num_partitions: cfg.num_partitions as u32,
             stage_labels: stage_labels_for(cfg),
+            track_names: track_names_for(cfg),
+            profile: gpu_trace::profile::enabled().then(gpu_trace::profile::report),
         }
         .write_best_effort(dir);
     }
@@ -242,6 +307,12 @@ mod tests {
         };
         let stage_labels = stage_labels_for(&cfg);
         assert_eq!(stage_labels, StageLabels::default());
+        let track_names = track_names_for(&cfg);
+        assert_eq!(track_names.sms_process, "GF100-like (Fermi) SMs");
+        assert!(track_names
+            .counters
+            .iter()
+            .any(|c| c == "L1 MSHR occupancy"));
         let run = run_bfs_traced(cfg, &exp).unwrap();
         let bundle = TraceBundle {
             requests: &run.requests,
@@ -253,6 +324,8 @@ mod tests {
             num_sms: 2,
             num_partitions: 2,
             stage_labels,
+            track_names,
+            profile: None,
         };
 
         let json = bundle.chrome_json();

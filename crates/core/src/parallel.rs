@@ -218,10 +218,19 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    use gpu_sim::profile::{self, ProfCounter, ProfSpan};
     let n = items.len();
     let workers = grid_worker_count().min(n);
     if workers <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let _g = profile::span(ProfSpan::GridWorkerBusy);
+                profile::add(ProfCounter::GridTasks, 1);
+                f(i, t)
+            })
+            .collect();
     }
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
@@ -232,6 +241,8 @@ where
                 if i >= n {
                     break;
                 }
+                let _g = profile::span(ProfSpan::GridWorkerBusy);
+                profile::add(ProfCounter::GridTasks, 1);
                 let r = f(i, &items[i]);
                 *slots[i].lock().expect("result slot poisoned") = Some(r);
             });

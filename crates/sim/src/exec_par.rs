@@ -34,6 +34,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
+use gpu_trace::profile::{self, ProfCounter, ProfSpan};
+
 type Job = dyn Fn(usize) + Sync;
 
 struct PoolShared {
@@ -179,7 +181,9 @@ impl TickPool {
             s.completed.store(0, Ordering::Relaxed);
             s.next.store(0, Ordering::Relaxed);
             s.epoch.fetch_add(1, Ordering::Release);
+            profile::add(ProfCounter::PoolJobs, 1);
             if s.sleepers.load(Ordering::Acquire) > 0 {
+                profile::add(ProfCounter::PoolNotifies, 1);
                 self.shared.wake.notify_all();
             }
         }
@@ -254,7 +258,10 @@ fn worker_loop(s: &PoolShared) {
     loop {
         let e = s.epoch.load(Ordering::Acquire);
         if e == seen {
-            // No new job yet: spin briefly, yield a while, then sleep.
+            // No new job yet: spin briefly, yield a while, then sleep. The
+            // whole wait — spins, yields and naps — is the worker's *idle*
+            // time for the self-profiler's busy/idle accounting.
+            let _idle = profile::span(ProfSpan::PoolWorkerIdle);
             let mut tries = 0u32;
             loop {
                 let e = s.epoch.load(Ordering::Acquire);
@@ -268,6 +275,7 @@ fn worker_loop(s: &PoolShared) {
                 } else {
                     let g = s.sleep.lock().expect("tick pool sleep lock");
                     if s.epoch.load(Ordering::Acquire) == seen {
+                        profile::add(ProfCounter::PoolSleeps, 1);
                         s.sleepers.fetch_add(1, Ordering::Release);
                         let _g = s
                             .wake
@@ -301,6 +309,7 @@ fn worker_loop(s: &PoolShared) {
         match job {
             Some(job) => {
                 seen = e;
+                let _busy = profile::span(ProfSpan::PoolWorkerBusy);
                 // SAFETY: `active` was incremented before the slot read, so
                 // the caller's end-of-run `active == 0` wait cannot have
                 // passed; the closure (and everything it borrows) stays

@@ -9,6 +9,7 @@ use gpu_icnt::{Crossbar, EjectPort};
 use gpu_isa::{Kernel, Launch, LocalMap, ValidateError};
 use gpu_mem::{AddressMap, DeviceMemory, MemRequest, Stamp};
 use gpu_snapshot::{store, Decoder, Encoder, SnapshotError, StableHasher};
+use gpu_trace::profile::{self, ProfCounter, ProfSpan};
 use gpu_trace::{
     CounterKind, EventKind, NetDir, TraceConfig, TraceData, TraceEvent, TraceSite, Tracer,
 };
@@ -21,6 +22,11 @@ use crate::partition::Partition;
 use crate::sanitizer::{Sanitizer, Violation};
 use crate::sm::{DeferredDeviceOp, DeviceAccess, Sm};
 use crate::stats::{CompletedRequest, LoadInstrRecord, RunSummary, SmStats, TraceSink};
+
+/// Minimum host time between self-profiler snapshots (the host-clock
+/// Perfetto tracks' resolution): 10 ms keeps a multi-second run well under
+/// the profiler's retention cap while still resolving phase changes.
+const PROFILE_SAMPLE_GAP_NANOS: u64 = 10_000_000;
 
 /// Error launching or running a kernel.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -524,9 +530,10 @@ impl Gpu {
         if self.launch.is_none() {
             return Err(SimError::NothingLaunched);
         }
+        let _run_span = profile::span(ProfSpan::Run);
         let start = self.now;
         let wall = std::time::Instant::now();
-        while !self.is_done() {
+        while !self.is_done_profiled() {
             if self.now.since(start) >= max_cycles {
                 self.host_nanos += wall.elapsed().as_nanos() as u64;
                 if self.cfg.sanitize {
@@ -578,6 +585,14 @@ impl Gpu {
             None => true,
         };
         dispatched_all && self.outstanding == 0 && self.components().all(|c| c.is_idle())
+    }
+
+    /// [`Gpu::is_done`] under the self-profiler's `drain_check` span: the
+    /// per-cycle drain scan is the only loop work outside the tick stages,
+    /// so metering it lets the stage totals account for the whole run span.
+    fn is_done_profiled(&self) -> bool {
+        let _g = profile::span(ProfSpan::DrainCheck);
+        self.is_done()
     }
 
     /// The cumulative run summary so far (the same value [`Gpu::run`]
@@ -821,9 +836,10 @@ impl Gpu {
         if self.launch.is_none() {
             return Err(SimError::NothingLaunched);
         }
+        let _run_span = profile::span(ProfSpan::Run);
         let start = self.now;
         let wall = std::time::Instant::now();
-        while !self.is_done() {
+        while !self.is_done_profiled() {
             if self.now.since(start) >= max_cycles {
                 self.host_nanos += wall.elapsed().as_nanos() as u64;
                 if self.cfg.sanitize {
@@ -861,9 +877,41 @@ impl Gpu {
 
     /// Advances the GPU by one cycle: a plain interpreter over the tick
     /// schedule derived from the machine description at construction.
+    ///
+    /// With the self-profiler on, the host clock is stamped once *between*
+    /// stages, so the per-stage deltas tile the loop body exactly (n+1
+    /// clock reads for n stages, no metering gaps); with it off, the loop
+    /// is the bare interpreter.
     pub fn tick(&mut self) {
+        if !profile::enabled() {
+            for i in 0..self.schedule.len() {
+                self.run_stage(self.schedule.stage(i));
+            }
+            return;
+        }
+        let mut prev = std::time::Instant::now();
         for i in 0..self.schedule.len() {
-            self.run_stage(self.schedule.stage(i));
+            let stage = self.schedule.stage(i);
+            self.run_stage(stage);
+            let now = std::time::Instant::now();
+            profile::span_add(Self::stage_span(stage), (now - prev).as_nanos() as u64);
+            prev = now;
+        }
+        profile::add(ProfCounter::CyclesTicked, 1);
+    }
+
+    /// The self-profiler site for one tick-schedule stage.
+    const fn stage_span(stage: TickStage) -> ProfSpan {
+        match stage {
+            TickStage::BeginNetworks => ProfSpan::BeginNetworks,
+            TickStage::TickPartitions => ProfSpan::TickPartitions,
+            TickStage::InjectReplies => ProfSpan::InjectReplies,
+            TickStage::EjectRequests => ProfSpan::EjectRequests,
+            TickStage::TickSms => ProfSpan::TickSms,
+            TickStage::DispatchCtas => ProfSpan::DispatchCtas,
+            TickStage::AuditInvariants => ProfSpan::AuditInvariants,
+            TickStage::SampleCounters => ProfSpan::SampleCounters,
+            TickStage::AdvanceClock => ProfSpan::AdvanceClock,
         }
     }
 
@@ -872,12 +920,14 @@ impl Gpu {
         let now = self.now;
         match stage {
             TickStage::BeginNetworks => {
+                let _g = profile::span(ProfSpan::CrossbarTick);
                 self.req_net.begin_cycle();
                 self.reply_net.begin_cycle();
             }
             TickStage::TickPartitions => {
                 if self.exec.is_none() {
                     for p in &mut self.partitions {
+                        let _g = profile::span(ProfSpan::PartitionTick);
                         let stores_done = p.tick(now, &mut self.tracer);
                         self.outstanding -= stores_done;
                     }
@@ -941,6 +991,7 @@ impl Gpu {
                 }
                 let sanitize = self.cfg.sanitize;
                 for si in 0..self.sms.len() {
+                    let _g = profile::span(ProfSpan::SmTick);
                     let sm = &mut self.sms[si];
                     let retired = sm.tick_writeback(
                         now,
@@ -1012,6 +1063,13 @@ impl Gpu {
                 if self.tracer.should_sample(now.get()) {
                     self.sample_counters(now);
                 }
+                // Host-clock self-profile sampling rides the same stage:
+                // publish the outstanding gauge and, at a bounded host-time
+                // interval, snapshot the profiler tables for the Perfetto
+                // host tracks. Both are one relaxed atomic when profiling
+                // is off.
+                profile::set(ProfCounter::Outstanding, self.outstanding);
+                profile::sample_at_interval(PROFILE_SAMPLE_GAP_NANOS);
             }
             TickStage::AdvanceClock => self.now.tick(),
         }
@@ -1028,15 +1086,19 @@ impl Gpu {
             sc.tracer.set_enabled(tracing);
             sc.stores_done = 0;
         }
-        let mut work: Vec<(&mut Partition, &mut PartScratch)> = self
-            .partitions
-            .iter_mut()
-            .zip(self.part_scratch.iter_mut())
-            .collect();
-        exec_par::par_for_each_mut(self.exec.as_ref(), &mut work, |_, (p, sc)| {
-            sc.stores_done = p.tick(now, &mut sc.tracer);
-        });
-        drop(work);
+        {
+            let _fan = profile::span(ProfSpan::PartitionsFanout);
+            let mut work: Vec<(&mut Partition, &mut PartScratch)> = self
+                .partitions
+                .iter_mut()
+                .zip(self.part_scratch.iter_mut())
+                .collect();
+            exec_par::par_for_each_mut(self.exec.as_ref(), &mut work, |_, (p, sc)| {
+                let _g = profile::span(ProfSpan::PartitionTick);
+                sc.stores_done = p.tick(now, &mut sc.tracer);
+            });
+        }
+        let _merge = profile::span(ProfSpan::PartitionsMerge);
         for pi in self.merge_order(self.part_scratch.len()) {
             let sc = &mut self.part_scratch[pi];
             self.outstanding -= sc.stores_done;
@@ -1079,6 +1141,7 @@ impl Gpu {
 
         // Phase 1: writeback + reply ejection + memory tick, in parallel.
         {
+            let _ph = profile::span(ProfSpan::SmsWriteback);
             let ports = self.reply_net.eject_ports();
             let mut work: Vec<((&mut Sm, &mut SmScratch), EjectPort<'_, MemRequest>)> = self
                 .sms
@@ -1087,6 +1150,7 @@ impl Gpu {
                 .zip(ports)
                 .collect();
             exec_par::par_for_each_mut(self.exec.as_ref(), &mut work, |si, ((sm, sc), port)| {
+                let _g = profile::span(ProfSpan::SmTick);
                 sc.retired =
                     sm.tick_writeback(now, &mut sc.sink, sanitize.then_some(&mut sc.sanitizer));
                 while sm.fill_space() {
@@ -1119,6 +1183,7 @@ impl Gpu {
         // merge-order hook: per-destination queue contention makes this
         // order simulation semantics). Events go into per-SM scratch so the
         // merged stream interleaves them exactly where the serial loop does.
+        let inject_span = profile::span(ProfSpan::SmsMissInject);
         for si in 0..n {
             let sm = &mut self.sms[si];
             let sc = &mut self.sm_scratch[si];
@@ -1147,14 +1212,18 @@ impl Gpu {
             }
         }
 
+        drop(inject_span);
+
         // Phase 3: issue in parallel, deferring device-memory traffic.
         {
+            let _ph = profile::span(ProfSpan::SmsIssue);
             let mut work: Vec<(&mut Sm, &mut SmScratch)> = self
                 .sms
                 .iter_mut()
                 .zip(self.sm_scratch.iter_mut())
                 .collect();
             exec_par::par_for_each_mut(self.exec.as_ref(), &mut work, |_, (sm, sc)| {
+                let _g = profile::span(ProfSpan::SmTick);
                 sc.created = sm.tick_issue(
                     now,
                     DeviceAccess::Deferred(&mut sc.ops),
@@ -1168,6 +1237,7 @@ impl Gpu {
         // Phase 4: replay deferred device ops in SM-index order — the exact
         // order the serial loop touches device memory (never the merge-order
         // hook: replay order decides what same-cycle loads observe).
+        let replay_span = profile::span(ProfSpan::SmsReplay);
         for si in 0..n {
             let sc = &mut self.sm_scratch[si];
             for op in sc.ops.drain(..) {
@@ -1176,9 +1246,11 @@ impl Gpu {
                 }
             }
         }
+        drop(replay_span);
 
         // Phase 5: merge scratch into the shared accumulators in SM-index
         // order.
+        let _merge_span = profile::span(ProfSpan::SmsMerge);
         for si in self.merge_order(n) {
             let sc = &mut self.sm_scratch[si];
             self.outstanding -= sc.retired;

@@ -53,6 +53,11 @@ pub use scoreboard::Scoreboard;
 pub use sm::{DeferredDeviceOp, DeviceAccess, PatchTarget, Sm};
 pub use stats::{CompletedRequest, LoadInstrRecord, RunSummary, SmStats, TraceSink};
 
+// The host-side self-profiler (`gpu-profile`), re-exported whole: the
+// cycle loop, the parallel executors and the bench harness all record into
+// its process-global tables (see `gpu_trace::profile`).
+pub use gpu_trace::profile;
+
 // Observability types, re-exported so downstream crates can configure and
 // drain the tracer without naming `gpu-trace` directly.
 pub use gpu_trace::{

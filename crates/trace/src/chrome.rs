@@ -10,10 +10,20 @@
 //!   per present `Timeline` stage — the child durations tile the parent
 //!   exactly, reproducing the Figure-1 stage decomposition per request;
 //! * discrete [`TraceEvent`]s become thread-scoped instants (`ph` `"i"`);
-//! * counter samples become `ph` `"C"` counter tracks.
+//! * counter samples become `ph` `"C"` counter tracks;
+//! * process 4 (present only when [`ChromeTraceBuilder::add_host_profile`]
+//!   is called) carries the *host-clock* self-profile: complete `ph` `"X"`
+//!   slices laying the span-total tree out as a flame view, plus counter
+//!   tracks of per-interval host time from the profiler's sample ring.
 //!
-//! Timestamps are simulated cycles written as integer `ts` values (Perfetto
-//! displays them as microseconds; the scale is irrelevant for inspection).
+//! Timestamps on the simulated processes are cycles written as integer `ts`
+//! values (Perfetto displays them as microseconds; the scale is irrelevant
+//! for inspection). The host process uses real microseconds — the two clock
+//! domains share a file but never a track.
+//!
+//! Track display names come from [`TrackNames`]; bundle writers derive them
+//! from the machine's `ArchDesc` so the UI reads in the description's own
+//! vocabulary rather than hard-coded strings.
 
 use std::collections::BTreeMap;
 
@@ -21,6 +31,7 @@ use gpu_mem::{Stamp, Timeline};
 
 use crate::event::{EventKind, TraceEvent, TraceSite};
 use crate::json::{self, Value};
+use crate::profile::{ProfCounter, ProfSpan, ProfileReport};
 use crate::tracer::{CounterKind, CounterSample};
 
 /// The Figure-1 component label for the stage *ending* at `stamp`
@@ -103,6 +114,45 @@ impl StageLabels {
 const PID_SMS: u32 = 1;
 const PID_PARTITIONS: u32 = 2;
 const PID_GPU: u32 = 3;
+const PID_HOST: u32 = 4;
+
+/// Display names for the Perfetto track hierarchy. The default reproduces
+/// the builder's historical hard-coded strings; bundle writers derive an
+/// instance from the machine's `ArchDesc` (process names carry the
+/// description's display name, counter tracks its level/queue labels) so
+/// every generation's trace reads in its own vocabulary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrackNames {
+    /// Process-name for the per-SM track group.
+    pub sms_process: String,
+    /// Process-name for the per-partition track group.
+    pub partitions_process: String,
+    /// Process-name for the whole-GPU counter/instant track group.
+    pub gpu_process: String,
+    /// Process-name for the host-clock self-profile track group.
+    pub host_process: String,
+    /// Per-SM thread names are `"{sm_prefix} {i}"`.
+    pub sm_prefix: String,
+    /// Per-partition thread names are `"{partition_prefix} {i}"`.
+    pub partition_prefix: String,
+    /// Display names for the sampled-counter tracks, indexed by
+    /// [`CounterKind::index`].
+    pub counters: [String; CounterKind::COUNT],
+}
+
+impl Default for TrackNames {
+    fn default() -> Self {
+        TrackNames {
+            sms_process: "SMs".to_string(),
+            partitions_process: "Memory partitions".to_string(),
+            gpu_process: "GPU".to_string(),
+            host_process: "Host self-profile".to_string(),
+            sm_prefix: "SM".to_string(),
+            partition_prefix: "Partition".to_string(),
+            counters: CounterKind::ALL.map(|k| k.name().to_string()),
+        }
+    }
+}
 
 fn site_coords(site: TraceSite) -> (u32, u32) {
     match site {
@@ -117,30 +167,49 @@ fn site_coords(site: TraceSite) -> (u32, u32) {
 pub struct ChromeTraceBuilder {
     events: Vec<String>,
     stage_labels: StageLabels,
+    track_names: TrackNames,
 }
 
 impl ChromeTraceBuilder {
     /// Starts a trace document with name metadata for `num_sms` SM tracks
     /// and `num_partitions` partition tracks, using the default (Figure-1)
-    /// stage labels.
+    /// stage labels and track names.
     pub fn new(num_sms: u32, num_partitions: u32) -> Self {
+        ChromeTraceBuilder::with_names(num_sms, num_partitions, TrackNames::default())
+    }
+
+    /// Starts a trace document whose process/thread/counter tracks carry
+    /// the given display names (typically derived from an `ArchDesc`).
+    pub fn with_names(num_sms: u32, num_partitions: u32, names: TrackNames) -> Self {
         let mut b = ChromeTraceBuilder {
             events: Vec::new(),
             stage_labels: StageLabels::default(),
+            track_names: names,
         };
-        b.metadata(PID_SMS, None, "process_name", "SMs");
-        b.metadata(PID_PARTITIONS, None, "process_name", "Memory partitions");
-        b.metadata(PID_GPU, None, "process_name", "GPU");
+        let names = b.track_names.clone();
+        b.metadata(PID_SMS, None, "process_name", &names.sms_process);
+        b.metadata(
+            PID_PARTITIONS,
+            None,
+            "process_name",
+            &names.partitions_process,
+        );
+        b.metadata(PID_GPU, None, "process_name", &names.gpu_process);
         b.metadata(PID_GPU, Some(0), "thread_name", "cycle loop");
         for i in 0..num_sms {
-            b.metadata(PID_SMS, Some(i), "thread_name", &format!("SM {i}"));
+            b.metadata(
+                PID_SMS,
+                Some(i),
+                "thread_name",
+                &format!("{} {i}", names.sm_prefix),
+            );
         }
         for i in 0..num_partitions {
             b.metadata(
                 PID_PARTITIONS,
                 Some(i),
                 "thread_name",
-                &format!("Partition {i}"),
+                &format!("{} {i}", names.partition_prefix),
             );
         }
         b
@@ -258,18 +327,134 @@ impl ChromeTraceBuilder {
     }
 
     /// Adds one counter sample as `ph` `"C"` counter events on the GPU
-    /// process (one per counter kind, so each gets its own Perfetto track).
+    /// process (one per counter kind, so each gets its own Perfetto track,
+    /// named from the builder's [`TrackNames`]).
     pub fn add_counter_sample(&mut self, sample: &CounterSample) {
         for kind in CounterKind::ALL {
             let mut e = String::new();
             e.push_str("{\"cat\":\"counter\",\"ph\":\"C\",\"name\":");
-            json::escape_into(&mut e, kind.name());
+            json::escape_into(&mut e, &self.track_names.counters[kind.index()]);
             e.push_str(&format!(
                 ",\"pid\":{PID_GPU},\"tid\":0,\"ts\":{},\"args\":{{\"value\":{}}}}}",
                 sample.cycle,
                 sample.values[kind.index()]
             ));
             self.events.push(e);
+        }
+    }
+
+    /// Merges a host-clock self-profile into the document on its own
+    /// process (pid 4, named from [`TrackNames::host_process`]):
+    ///
+    /// * **span totals** — one complete `ph` `"X"` slice per entered span,
+    ///   laid out in attribution-tree order (children tile from their
+    ///   parent's start, one thread per tree depth) so the process reads as
+    ///   a flame view of where host time went;
+    /// * **sampled tracks** — per-interval `ph` `"C"` deltas of the nine
+    ///   tick-stage spans, the worker busy/idle spans and the profiler
+    ///   counters, over host time, from the profiler's sample ring.
+    ///
+    /// Timestamps here are host *microseconds*; the simulated processes use
+    /// cycles. They share the file, never a track.
+    pub fn add_host_profile(&mut self, report: &ProfileReport) {
+        let host_process = self.track_names.host_process.clone();
+        self.metadata(PID_HOST, None, "process_name", &host_process);
+        self.metadata(PID_HOST, Some(0), "thread_name", "span totals");
+        self.metadata(PID_HOST, Some(1), "thread_name", "span totals (children)");
+        self.metadata(
+            PID_HOST,
+            Some(2),
+            "thread_name",
+            "span totals (grandchildren)",
+        );
+
+        // Flame layout: roots tile [0, ..) in table order; every child
+        // tiles from its parent's start. A slice sits on the thread for its
+        // tree depth, so parallel children that out-sum their parent
+        // (attribution, not a strict timeline) still render side by side.
+        let mut start = [0u64; ProfSpan::COUNT];
+        let mut cursor = [0u64; ProfSpan::COUNT];
+        let mut next_root = 0u64;
+        for s in ProfSpan::ALL {
+            let stat = report.span(s);
+            let at = match s.parent() {
+                None => {
+                    let at = next_root;
+                    next_root += stat.nanos;
+                    at
+                }
+                Some(p) => {
+                    let at = cursor[p.index()];
+                    cursor[p.index()] += stat.nanos;
+                    at
+                }
+            };
+            start[s.index()] = at;
+            cursor[s.index()] = at;
+            if stat.count == 0 {
+                continue;
+            }
+            let depth = s.path().matches('/').count();
+            let mut e = String::new();
+            e.push_str("{\"cat\":\"host\",\"ph\":\"X\",\"name\":");
+            json::escape_into(&mut e, &s.path());
+            e.push_str(&format!(
+                ",\"pid\":{PID_HOST},\"tid\":{depth},\"ts\":{},\"dur\":{},\"args\":{{\"count\":{},\"nanos\":{}}}}}",
+                at / 1_000,
+                stat.nanos / 1_000,
+                stat.count,
+                stat.nanos
+            ));
+            self.events.push(e);
+        }
+
+        // Sampled tracks: cumulative snapshots become per-interval deltas.
+        const TRACKED: [ProfSpan; 12] = [
+            ProfSpan::BeginNetworks,
+            ProfSpan::TickPartitions,
+            ProfSpan::InjectReplies,
+            ProfSpan::EjectRequests,
+            ProfSpan::TickSms,
+            ProfSpan::DispatchCtas,
+            ProfSpan::AuditInvariants,
+            ProfSpan::SampleCounters,
+            ProfSpan::AdvanceClock,
+            ProfSpan::PoolWorkerBusy,
+            ProfSpan::PoolWorkerIdle,
+            ProfSpan::GridWorkerBusy,
+        ];
+        let mut prev_spans = [0u64; ProfSpan::COUNT];
+        let mut prev_counters = [0u64; ProfCounter::COUNT];
+        for sample in &report.samples {
+            let ts = sample.host_nanos / 1_000;
+            for s in TRACKED {
+                let delta = sample.span_nanos[s.index()].saturating_sub(prev_spans[s.index()]);
+                let mut e = String::new();
+                e.push_str("{\"cat\":\"host\",\"ph\":\"C\",\"name\":");
+                json::escape_into(&mut e, &format!("host us: {}", s.path()));
+                e.push_str(&format!(
+                    ",\"pid\":{PID_HOST},\"tid\":0,\"ts\":{ts},\"args\":{{\"value\":{}}}}}",
+                    delta / 1_000
+                ));
+                self.events.push(e);
+            }
+            for c in ProfCounter::ALL {
+                // Gauges are plotted raw; monotonic counts as deltas.
+                let v = sample.counters[c.index()];
+                let value = match c {
+                    ProfCounter::Outstanding => v,
+                    _ => v.saturating_sub(prev_counters[c.index()]),
+                };
+                let mut e = String::new();
+                e.push_str("{\"cat\":\"host\",\"ph\":\"C\",\"name\":");
+                json::escape_into(&mut e, &format!("host: {}", c.label()));
+                e.push_str(&format!(
+                    ",\"pid\":{PID_HOST},\"tid\":0,\"ts\":{ts},\"args\":{{\"value\":{value}}}}}",
+                ));
+                self.events.push(e);
+            }
+            prev_spans = sample.span_nanos;
+            prev_counters = sample.counters;
         }
     }
 
@@ -499,6 +684,101 @@ mod tests {
         for stamp in Stamp::ALL {
             assert_eq!(labels.get(stamp), stage_label(stamp));
         }
+    }
+
+    #[test]
+    fn custom_track_names_rename_processes_and_counters() {
+        let mut names = TrackNames {
+            sms_process: "GF100-like (Fermi) SMs".to_string(),
+            sm_prefix: "SM (GF100-like)".to_string(),
+            ..TrackNames::default()
+        };
+        names.counters[CounterKind::L1MshrOccupancy.index()] = "L1 MSHR occupancy".to_string();
+        let mut b = ChromeTraceBuilder::with_names(1, 1, names);
+        b.add_counter_sample(&CounterSample {
+            cycle: 10,
+            values: [1; CounterKind::COUNT],
+        });
+        let text = b.finish();
+        assert!(text.contains("\"GF100-like (Fermi) SMs\""), "{text}");
+        assert!(text.contains("\"SM (GF100-like) 0\""), "{text}");
+        assert!(text.contains("\"L1 MSHR occupancy\""), "{text}");
+        assert!(!text.contains("\"l1_mshr\""), "{text}");
+        json::parse(&text).unwrap();
+    }
+
+    #[test]
+    fn host_profile_emits_flame_slices_and_sample_tracks() {
+        use crate::profile::{ProfCounter, ProfSample, ProfileReport, SpanStat};
+        let mut spans: Vec<SpanStat> = ProfSpan::ALL
+            .iter()
+            .map(|&span| SpanStat {
+                span,
+                count: 0,
+                nanos: 0,
+            })
+            .collect();
+        spans[ProfSpan::Run.index()] = SpanStat {
+            span: ProfSpan::Run,
+            count: 1,
+            nanos: 10_000_000,
+        };
+        spans[ProfSpan::TickSms.index()] = SpanStat {
+            span: ProfSpan::TickSms,
+            count: 100,
+            nanos: 6_000_000,
+        };
+        spans[ProfSpan::SmsIssue.index()] = SpanStat {
+            span: ProfSpan::SmsIssue,
+            count: 100,
+            nanos: 2_500_000,
+        };
+        let mut sample = ProfSample {
+            host_nanos: 5_000_000,
+            span_nanos: [0; ProfSpan::COUNT],
+            counters: [0; ProfCounter::COUNT],
+        };
+        sample.span_nanos[ProfSpan::TickSms.index()] = 3_000_000;
+        sample.counters[ProfCounter::CyclesTicked.index()] = 50;
+        let report = ProfileReport {
+            total_nanos: 10_000_000,
+            spans,
+            counters: [0; ProfCounter::COUNT],
+            samples: vec![sample],
+            samples_dropped: 0,
+        };
+        let mut b = ChromeTraceBuilder::new(1, 1);
+        b.add_host_profile(&report);
+        let text = b.finish();
+        let doc = json::parse(&text).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        // The flame view: run at depth 0, tick_sms nested at depth 1 from
+        // run's start, issue at depth 2 from tick_sms's start.
+        let slice = |name: &str| {
+            events
+                .iter()
+                .find(|e| {
+                    e.get("ph").and_then(Value::as_str) == Some("X")
+                        && e.get("name").and_then(Value::as_str) == Some(name)
+                })
+                .unwrap_or_else(|| panic!("no X slice named {name:?} in {text}"))
+        };
+        let run = slice("run");
+        assert_eq!(run.get("ts").and_then(Value::as_num), Some(0.0));
+        assert_eq!(run.get("dur").and_then(Value::as_num), Some(10_000.0));
+        assert_eq!(run.get("tid").and_then(Value::as_num), Some(0.0));
+        let sms = slice("run/tick_sms");
+        assert_eq!(sms.get("tid").and_then(Value::as_num), Some(1.0));
+        let issue = slice("run/tick_sms/issue");
+        assert_eq!(issue.get("tid").and_then(Value::as_num), Some(2.0));
+        // tick_sms tiles after the stages preceding it in the schedule
+        // (all zero here except drain_check, also zero) — from run's start.
+        assert_eq!(sms.get("ts").and_then(Value::as_num), Some(0.0));
+        assert_eq!(issue.get("ts").and_then(Value::as_num), Some(0.0));
+        // The sample ring became host-clock counter tracks.
+        assert!(text.contains("\"host us: run/tick_sms\""), "{text}");
+        assert!(text.contains("\"host: cycles_ticked\""), "{text}");
+        assert!(text.contains("\"Host self-profile\""), "{text}");
     }
 
     #[test]

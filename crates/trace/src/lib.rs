@@ -16,7 +16,12 @@
 //!   ([`ChromeTraceBuilder`]), JSONL and CSV for scripting, and a
 //!   [`check_span_sums`] validator that re-parses the emitted JSON with the
 //!   built-in [`json`] parser and re-checks the sanitizer's stage-sum
-//!   invariant on the exported spans.
+//!   invariant on the exported spans;
+//! * [`profile`] — the host-side self-profiler (`gpu-profile`): a
+//!   zero-cost-when-off scoped profiler over the host monotonic clock that
+//!   the simulator's cycle loop, parallel executors and bench harness
+//!   report into, exported as `profile.txt`/`profile.json` and host-clock
+//!   Perfetto tracks.
 //!
 //! The crate deliberately depends only on `gpu-types` and `gpu-mem` (for
 //! `Timeline`): the simulator depends on *it*, not the other way around.
@@ -28,10 +33,12 @@ pub mod event;
 pub mod export;
 pub mod json;
 pub mod metrics;
+pub mod profile;
 pub mod tracer;
 
-pub use chrome::{check_span_sums, stage_label, ChromeTraceBuilder, StageLabels};
+pub use chrome::{check_span_sums, stage_label, ChromeTraceBuilder, StageLabels, TrackNames};
 pub use event::{EventKind, NetDir, QueueKind, StallBreakdown, StallReason, TraceEvent, TraceSite};
 pub use export::{counters_csv, events_jsonl};
-pub use metrics::MetricsReport;
+pub use metrics::{cycles_per_second, MetricsReport};
+pub use profile::{ProfCounter, ProfSpan, ProfileReport};
 pub use tracer::{CounterKind, CounterSample, CounterSummary, TraceConfig, TraceData, Tracer};

@@ -30,14 +30,29 @@ pub struct MetricsReport {
     pub events_dropped: u64,
 }
 
+/// The workspace's one simulated-cycles-per-host-second implementation.
+///
+/// **Zero-wall-clock contract:** a run that recorded no host time
+/// (`host_nanos == 0` — e.g. a summary restored from a snapshot taken
+/// before any ticking, or a normalised `--stable` report) has *no*
+/// throughput, and this returns exactly `0.0` rather than an infinity or a
+/// NaN. Every throughput figure in the workspace — `MetricsReport`,
+/// `RunSummary::cycles_per_second`, the bench bins' stdout and their
+/// `BENCH_*.json` artifacts — funnels through here, pinned by a shared
+/// cross-crate test.
+pub fn cycles_per_second(cycles: u64, host_nanos: u64) -> f64 {
+    if host_nanos == 0 {
+        0.0
+    } else {
+        cycles as f64 * 1e9 / host_nanos as f64
+    }
+}
+
 impl MetricsReport {
-    /// Simulated cycles per host second (0.0 when no wall-clock elapsed).
+    /// Simulated cycles per host second (0.0 when no wall-clock elapsed —
+    /// see [`cycles_per_second`] for the contract).
     pub fn cycles_per_second(&self, cycles: u64) -> f64 {
-        if self.host_nanos == 0 {
-            0.0
-        } else {
-            cycles as f64 * 1e9 / self.host_nanos as f64
-        }
+        cycles_per_second(cycles, self.host_nanos)
     }
 
     /// Host wall-clock as a `Duration`.
@@ -76,6 +91,22 @@ mod tests {
         };
         assert!((m.cycles_per_second(2_000_000) - 2_000_000.0).abs() < 1e-6);
         assert_eq!(m.wall_clock(), Duration::from_secs(1));
+    }
+
+    /// The zero-wall-clock contract of the workspace's single
+    /// `cycles_per_second` implementation: exactly 0.0 (never inf/NaN) at
+    /// `host_nanos == 0`, finite and exact elsewhere — including the
+    /// cycles-without-time corner (`0 / t`) and u64-range inputs.
+    #[test]
+    fn cycles_per_second_contract() {
+        assert_eq!(cycles_per_second(0, 0), 0.0);
+        assert_eq!(cycles_per_second(u64::MAX, 0), 0.0);
+        assert!(cycles_per_second(u64::MAX, 0).is_finite());
+        assert_eq!(cycles_per_second(0, 1_000_000_000), 0.0);
+        assert_eq!(cycles_per_second(3_000, 1_000_000_000), 3_000.0);
+        // Sub-second runs scale up, not down.
+        assert_eq!(cycles_per_second(500, 500_000_000), 1_000.0);
+        assert!(cycles_per_second(u64::MAX, 1).is_finite());
     }
 
     #[test]
