@@ -1,0 +1,115 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the gpu-serve daemon — the CI twin of
+# crates/serve/tests/serve_smoke.rs, driving the release binaries the way
+# an operator would:
+#   1. Dedup: one daemon, the identical sweep submitted by two concurrent
+#      clients — exactly one job admitted (the other client joins it),
+#      every grid point executed once, and both clients' terminal result
+#      lines byte-identical.
+#   2. Crash durability: submit a checkpointed BFS job, kill -9 the daemon
+#      once the first checkpoint lands, restart on the same state dir, and
+#      the recovered job must complete with a result line byte-identical
+#      to an uninterrupted run on a fresh daemon.
+#
+# Usage: ci/serve-smoke.sh   (expects target/release/serve{,-client} built)
+set -euo pipefail
+
+SERVE=target/release/serve
+CLIENT=target/release/serve-client
+SWEEP=(--preset gf106 --footprints 2048,4096 --strides 128,512)
+BFS=(--preset gf106 --workload bfs --nodes 1024 --degree 6 --seed 11
+     --block-dim 64 --checkpoint-every 1500)
+
+workdir=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+  [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+start_daemon() { # $1 = state dir
+  # A fresh bind must publish a fresh address: drop any stale file first.
+  rm -f "$1/serve.addr"
+  "$SERVE" --listen 127.0.0.1:0 --workers 2 --state "$1" &
+  daemon_pid=$!
+  for _ in $(seq 1 200); do
+    [ -s "$1/serve.addr" ] && return 0
+    sleep 0.05
+  done
+  echo "daemon never published $1/serve.addr" >&2
+  exit 1
+}
+
+expect_counter() { # $1 = stats line, $2 = counter key, $3 = expected value
+  local got
+  got=$(grep -o "\"$2\":[0-9]*" <<<"$1" | head -1 | cut -d: -f2)
+  if [ "${got:-}" != "$3" ]; then
+    echo "stats: expected $2=$3, got ${got:-<missing>} in: $1" >&2
+    exit 1
+  fi
+}
+
+# --- 1. concurrent-client dedup --------------------------------------------
+state="$workdir/dedup"
+start_daemon "$state"
+addr=(--addr-file "$state/serve.addr")
+
+"$CLIENT" "${addr[@]}" submit "${SWEEP[@]}" --watch --quiet >"$workdir/a.json" &
+client_a=$!
+"$CLIENT" "${addr[@]}" submit "${SWEEP[@]}" --watch --quiet >"$workdir/b.json" &
+client_b=$!
+wait "$client_a" "$client_b"
+
+diff "$workdir/a.json" "$workdir/b.json"
+grep -q '"status":"done"' "$workdir/a.json"
+stats=$("$CLIENT" "${addr[@]}" stats)
+expect_counter "$stats" jobs_submitted 1
+expect_counter "$stats" jobs_deduped 1
+expect_counter "$stats" points_executed 4
+"$CLIENT" "${addr[@]}" shutdown >/dev/null
+wait "$daemon_pid" || true
+daemon_pid=""
+echo "serve-smoke: dedup OK (1 job admitted, 4 points executed once, byte-identical results)"
+
+# --- 2. kill -9 mid-job, restart, byte-identical resume ---------------------
+straight="$workdir/straight"
+start_daemon "$straight"
+"$CLIENT" --addr-file "$straight/serve.addr" submit "${BFS[@]}" --watch --quiet \
+  >"$workdir/straight.json"
+"$CLIENT" --addr-file "$straight/serve.addr" shutdown >/dev/null
+wait "$daemon_pid" || true
+daemon_pid=""
+
+state="$workdir/victim"
+start_daemon "$state"
+accepted=$("$CLIENT" --addr-file "$state/serve.addr" submit "${BFS[@]}")
+job=$(grep -o '"job":"[0-9a-f]*"' <<<"$accepted" | head -1 | cut -d'"' -f4)
+[ -n "$job" ] || { echo "no job id in: $accepted" >&2; exit 1; }
+
+# Wait for the first checkpoint; if the job finishes first the kill proves
+# nothing, so fail loudly and retune --checkpoint-every.
+ckpt="$state/jobs/$job/ckpt"
+for _ in $(seq 1 600); do
+  if ls "$ckpt"/ckpt-*.bin >/dev/null 2>&1; then break; fi
+  if [ -e "$state/jobs/$job/result.json" ]; then
+    echo "job finished before the first checkpoint; lower --checkpoint-every" >&2
+    exit 1
+  fi
+  sleep 0.05
+done
+ls "$ckpt"/ckpt-*.bin >/dev/null 2>&1 || { echo "no checkpoint appeared" >&2; exit 1; }
+kill -9 "$daemon_pid"
+wait "$daemon_pid" 2>/dev/null || true
+daemon_pid=""
+
+start_daemon "$state"
+"$CLIENT" --addr-file "$state/serve.addr" watch "$job" --quiet >"$workdir/resumed.json"
+stats=$("$CLIENT" --addr-file "$state/serve.addr" stats)
+expect_counter "$stats" jobs_recovered 1
+"$CLIENT" --addr-file "$state/serve.addr" shutdown >/dev/null
+wait "$daemon_pid" || true
+daemon_pid=""
+
+diff "$workdir/straight.json" "$workdir/resumed.json"
+echo "serve-smoke: kill -9 resume OK (result byte-identical to the uninterrupted run)"

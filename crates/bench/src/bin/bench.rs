@@ -2,13 +2,14 @@
 //!
 //! ```text
 //! cargo run --release -p latency-bench --bin bench -- [--check]
-//!     [--update-baselines] [--suites sweep,tick,workloads] [--out DIR]
+//!     [--update-baselines] [--suites sweep,tick,workloads,serve] [--out DIR]
 //!     [--baseline-dir DIR] [--inject-regression] [--progress]
 //! ```
 //!
-//! Runs the three benchmarks from [`latency_bench::suite`] — the sweep
-//! cold/warm cache comparison, the tick-parallelism scaling record, and
-//! end-to-end workload throughput — under the host-side self-profiler, and
+//! Runs the four benchmarks from [`latency_bench::suite`] — the sweep
+//! cold/warm cache comparison, the tick-parallelism scaling record,
+//! end-to-end workload throughput, and the serve daemon's cold vs
+//! cache-hit job throughput — under the host-side self-profiler, and
 //! writes the fresh `BENCH_*.json` results plus `profile.json`/`profile.txt`
 //! to `--out` (default `bench-out/`) as CI artifacts.
 //!
@@ -27,8 +28,8 @@ use std::path::PathBuf;
 use std::process::exit;
 
 use latency_bench::{
-    compare_json, run_sweep_bench, run_tick_bench, run_workload_bench, ProgressHeartbeat,
-    Thresholds, Workload,
+    compare_json, run_serve_bench, run_sweep_bench, run_tick_bench, run_workload_bench,
+    ProgressHeartbeat, Thresholds, Workload, SERVE_CLIENTS,
 };
 use latency_core::ArchPreset;
 
@@ -51,7 +52,7 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: bench [--check] [--update-baselines] [--suites sweep,tick,workloads]\n\
+        "usage: bench [--check] [--update-baselines] [--suites sweep,tick,workloads,serve]\n\
          \x20            [--out DIR] [--baseline-dir DIR] [--inject-regression] [--progress]"
     );
     exit(2);
@@ -63,6 +64,7 @@ fn parse_args() -> Args {
             "sweep".to_string(),
             "tick".to_string(),
             "workloads".to_string(),
+            "serve".to_string(),
         ],
         out: PathBuf::from("bench-out"),
         baseline_dir: PathBuf::from("."),
@@ -200,8 +202,39 @@ fn run_suites(args: &Args) -> Vec<SuiteResult> {
                     json: b.json(),
                 });
             }
+            "serve" => {
+                println!(
+                    "[bench] serve: {SERVE_CLIENTS} clients, cold+cache-hit daemon on {}",
+                    SWEEP_PRESET.name()
+                );
+                let mut b = run_serve_bench(SWEEP_PRESET, SERVE_CLIENTS, None);
+                if let Err(e) = b.check() {
+                    eprintln!("FAIL: serve bench self-check: {e}");
+                    exit(1);
+                }
+                println!(
+                    "[bench] serve: {} points, cold {:.3}s ({:.2} jobs/s), \
+                     warm {:.3}s ({:.2} jobs/s), hash {}",
+                    b.grid_points,
+                    b.cold.wall_seconds,
+                    b.cold.jobs_per_second(),
+                    b.warm.wall_seconds,
+                    b.warm.jobs_per_second(),
+                    b.content_hash
+                );
+                if args.inject {
+                    b.content_hash = format!("{:016x}", 0xdead_beef_u64);
+                    b.cold.wall_seconds *= 100.0;
+                    b.warm.wall_seconds *= 100.0;
+                }
+                results.push(SuiteResult {
+                    name: "serve",
+                    file: "BENCH_serve.json",
+                    json: b.json(),
+                });
+            }
             other => {
-                eprintln!("unknown suite: {other} (sweep, tick, workloads)");
+                eprintln!("unknown suite: {other} (sweep, tick, workloads, serve)");
                 exit(2);
             }
         }

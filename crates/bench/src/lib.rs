@@ -26,10 +26,14 @@ pub use experiments::{
     Workload,
 };
 pub use progress::ProgressHeartbeat;
-pub use regression::{compare_json, Comparison, Finding, Severity, Thresholds};
+pub use regression::{
+    classify_document, compare_json, metric_class, Comparison, Finding, MetricClass, Severity,
+    Thresholds,
+};
 pub use suite::{
-    host_cpus, run_sweep_bench, run_tick_bench, run_workload_bench, sweep_grid_spec, SweepBench,
-    TickBench, TickRun, WorkloadBench, WorkloadRun,
+    host_cpus, run_serve_bench, run_sweep_bench, run_tick_bench, run_workload_bench,
+    serve_grid_spec, sweep_grid_spec, ServeBench, ServePass, SweepBench, TickBench, TickRun,
+    WorkloadBench, WorkloadRun, SERVE_CLIENTS,
 };
 pub use tracebundle::{env_request, stage_labels_for, track_names_for, EnvTrace, TraceBundle};
 pub use validate::{

@@ -199,13 +199,66 @@ fn rule_for(path: &str, t: &Thresholds) -> Rule {
         "content_hash" | "name" | "preset" | "workload" => Rule::Exact,
         "simulated_cycles" | "cycles" | "instructions" | "grid_points" | "skipped" | "num_sms"
         | "tick_threads" | "nodes" | "degree" | "hits" | "misses" | "stores" => Rule::Exact,
+        // Serve-suite determinism: dedup and execution counts are
+        // simulation-pure and must reproduce exactly on any host.
+        "clients" | "executed_points" | "deduped_jobs" | "deduped_points" | "recovered_jobs" => {
+            Rule::Exact
+        }
         "wall_seconds" | "total_wall_seconds" => Rule::Slower(t.wall_slowdown),
         "cycles_per_second" => Rule::LowerRatio(t.throughput_drop),
         "speedup_vs_serial" => Rule::LowerRatio(t.speedup_drop),
         "warm_hit_rate" => Rule::LowerAbs(t.hit_rate_drop),
         "speedup" => Rule::FloorAbs(t.cache_speedup_floor),
+        // Serve-suite throughput and latency percentiles: thresholded like
+        // every other wall-clock metric (warn-only on 1-CPU hosts).
+        "jobs_per_second" => Rule::LowerRatio(t.throughput_drop),
+        "job_seconds_p50" | "job_seconds_p95" => Rule::Slower(t.wall_slowdown),
         _ => Rule::Info,
     }
+}
+
+/// How a committed baseline field is treated, for auditing suite schemas:
+/// everything a suite emits should be either simulation-pure (`Exact`) or
+/// an explicitly thresholded wall-clock metric (`Timing`) — a field landing
+/// in `Informational` is invisible to `--check` and needs either a rule
+/// here or a reason to exist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricClass {
+    /// Must reproduce exactly on any host (simulation-pure).
+    Exact,
+    /// Wall-clock-derived, threshold-compared, warn-only on 1-CPU hosts.
+    Timing,
+    /// Never compared numerically.
+    Informational,
+}
+
+/// Classifies one flattened leaf path under the default thresholds.
+#[must_use]
+pub fn metric_class(path: &str) -> MetricClass {
+    match rule_for(path, &Thresholds::default()) {
+        Rule::Exact => MetricClass::Exact,
+        Rule::Info => MetricClass::Informational,
+        _ => MetricClass::Timing,
+    }
+}
+
+/// Flattens a JSON document and classifies every leaf, so suite tests can
+/// assert their whole committed schema is covered by `--check`.
+///
+/// # Errors
+///
+/// Propagates the JSON parse error.
+pub fn classify_document(doc: &str) -> Result<Vec<(String, MetricClass)>, String> {
+    let v = json::parse(doc)?;
+    let mut leaves = Vec::new();
+    flatten(&v, "", &mut leaves);
+    Ok(leaves
+        .into_iter()
+        .map(|(path, _)| {
+            let class = metric_class(&path);
+            (path, class)
+        })
+        .collect())
 }
 
 fn leaf_display(leaf: &Leaf) -> String {

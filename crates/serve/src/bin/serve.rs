@@ -1,0 +1,166 @@
+//! The `serve` daemon bin.
+//!
+//! ```text
+//! serve [--listen ADDR] [--unix PATH] [--stdio] [--state DIR]
+//!       [--workers N] [--tick-threads N]
+//! ```
+//!
+//! Defaults to TCP on `127.0.0.1:4780`; `--listen 127.0.0.1:0` picks an
+//! ephemeral port. Either way the bound address is published to
+//! `STATE/serve.addr` so clients and scripts can find it. `--stdio` serves
+//! exactly one session over stdin/stdout (the mode the malformed-spec tests
+//! drive), and `--unix PATH` adds a Unix-socket listener alongside TCP.
+//!
+//! Boot order matters for crash recovery: the state tree is scanned and
+//! unfinished jobs re-enqueued *before* the first connection is accepted,
+//! so a client watching a job killed mid-flight reattaches to work that is
+//! already running again.
+
+use std::path::PathBuf;
+use std::process::exit;
+
+#[cfg(unix)]
+use gpu_serve::server::serve_unix;
+use gpu_serve::server::{serve_session, Server, ServerConfig, ServerHandle};
+
+struct Args {
+    listen: String,
+    unix: Option<PathBuf>,
+    stdio: bool,
+    state: PathBuf,
+    workers: usize,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: serve [--listen ADDR] [--unix PATH] [--stdio] [--state DIR]\n\
+         \x20            [--workers N] [--tick-threads N]"
+    );
+    exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        listen: "127.0.0.1:4780".to_string(),
+        unix: None,
+        stdio: false,
+        state: PathBuf::from("serve-state"),
+        workers: latency_core::grid_worker_count(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut val = |name: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--listen" => parsed.listen = val("--listen"),
+            "--unix" => parsed.unix = Some(PathBuf::from(val("--unix"))),
+            "--stdio" => parsed.stdio = true,
+            "--state" => parsed.state = PathBuf::from(val("--state")),
+            "--workers" => {
+                parsed.workers = val("--workers").parse().unwrap_or_else(|_| {
+                    eprintln!("--workers wants a positive integer");
+                    exit(2);
+                });
+                if parsed.workers == 0 {
+                    eprintln!("--workers wants a positive integer");
+                    exit(2);
+                }
+            }
+            "--tick-threads" => {
+                match latency_core::parse_tick_threads(&val("--tick-threads"), "--tick-threads") {
+                    Ok(n) => latency_core::set_tick_threads(n),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        exit(2);
+                    }
+                }
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag: {other}");
+                usage();
+            }
+        }
+    }
+    parsed
+}
+
+fn main() {
+    // A garbled LATENCY_TICK_THREADS would silently serialize every
+    // simulation; refuse it up front like a bad flag.
+    if let Err(e) = latency_core::env_tick_threads() {
+        eprintln!("{e}");
+        exit(2);
+    }
+    let args = parse_args();
+    let cfg = ServerConfig {
+        state_dir: args.state.clone(),
+        workers: args.workers,
+    };
+
+    if args.stdio {
+        let server = Server::new(cfg).unwrap_or_else(|e| {
+            eprintln!("serve: state dir {}: {e}", args.state.display());
+            exit(1);
+        });
+        let recovered = server.recover();
+        if recovered > 0 {
+            eprintln!("serve: recovered {recovered} unfinished job(s)");
+        }
+        let workers = server.start_workers();
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        if let Err(e) = serve_session(&server, stdin.lock(), stdout.lock()) {
+            eprintln!("serve: stdio session: {e}");
+        }
+        server.shutdown();
+        for t in workers {
+            let _ = t.join();
+        }
+        return;
+    }
+
+    // Remove any stale address file first: clients poll for it, and a
+    // leftover from a killed daemon must not point them at a dead port.
+    let _ = std::fs::remove_file(args.state.join("serve.addr"));
+    let handle = ServerHandle::spawn(cfg, &args.listen).unwrap_or_else(|e| {
+        eprintln!("serve: binding {}: {e}", args.listen);
+        exit(1);
+    });
+    if handle.recovered > 0 {
+        eprintln!("serve: recovered {} unfinished job(s)", handle.recovered);
+    }
+    eprintln!(
+        "serve: listening on {} (state {})",
+        handle.addr,
+        args.state.display()
+    );
+    #[cfg(unix)]
+    if let Some(path) = &args.unix {
+        let _ = std::fs::remove_file(path);
+        let listener = std::os::unix::net::UnixListener::bind(path).unwrap_or_else(|e| {
+            eprintln!("serve: binding {}: {e}", path.display());
+            exit(1);
+        });
+        eprintln!("serve: also listening on {}", path.display());
+        let server = handle.server().clone();
+        std::thread::spawn(move || {
+            let _ = serve_unix(server, listener);
+        });
+    }
+    #[cfg(not(unix))]
+    if args.unix.is_some() {
+        eprintln!("serve: --unix is only available on Unix hosts");
+        exit(2);
+    }
+    // Park until a client issues `shutdown`.
+    let server = handle.server().clone();
+    while !server.is_shutdown() {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    handle.shutdown();
+}

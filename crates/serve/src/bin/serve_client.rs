@@ -1,0 +1,301 @@
+//! The `serve-client` bin: submit, status, cancel, watch, stats, shutdown.
+//!
+//! ```text
+//! serve-client [--connect ADDR | --addr-file PATH | --unix PATH] CMD ...
+//!
+//! CMDs:
+//!   submit [--preset NAME | --arch-frame HEX] [--microbench BOOL]
+//!          (--footprints A,B,.. --strides A,B,.. [--space global|local]
+//!           | --workload bfs --nodes N --degree N [--seed N]
+//!             --block-dim N --checkpoint-every N
+//!           | --spec JSON)
+//!          [--watch] [--quiet]
+//!   status JOB          one-line state query
+//!   watch JOB [--quiet] stream events until the terminal line
+//!   cancel JOB
+//!   stats
+//!   shutdown
+//! ```
+//!
+//! `--quiet` prints only the terminal line, which is what the CI smoke job
+//! byte-diffs across two concurrent clients. Exit status: 0 when the
+//! terminal event is a successful `result` (or the one-shot command
+//! succeeded), 1 on `failed`/`cancelled`/`error`.
+
+use std::path::PathBuf;
+use std::process::exit;
+
+use gpu_serve::client::Client;
+use gpu_serve::proto::is_terminal_event;
+use gpu_trace::json::{parse, Value};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: serve-client [--connect ADDR | --addr-file PATH | --unix PATH] CMD ...\n\
+         CMDs: submit | status JOB | watch JOB | cancel JOB | stats | shutdown\n\
+         submit: [--preset NAME | --arch-frame HEX] [--microbench true|false]\n\
+         \x20       --footprints A,B --strides A,B [--space global|local]\n\
+         \x20       | --workload bfs --nodes N --degree N [--seed N] --block-dim N\n\
+         \x20         --checkpoint-every N | --spec JSON\n\
+         \x20       [--watch] [--quiet]"
+    );
+    exit(2);
+}
+
+enum Connect {
+    Tcp(String),
+    AddrFile(PathBuf),
+    #[cfg(unix)]
+    Unix(PathBuf),
+}
+
+fn connect(how: &Connect) -> Client {
+    let result = match how {
+        Connect::Tcp(addr) => Client::connect_tcp(addr),
+        Connect::AddrFile(path) => Client::connect_addr_file(path),
+        #[cfg(unix)]
+        Connect::Unix(path) => Client::connect_unix(path),
+    };
+    result.unwrap_or_else(|e| {
+        eprintln!("serve-client: connect: {e}");
+        exit(1);
+    })
+}
+
+/// True when a terminal line reports success.
+fn is_ok_terminal(line: &str) -> bool {
+    match parse(line) {
+        Ok(v) => {
+            v.get("event").and_then(Value::as_str) == Some("result")
+                && v.get("status").and_then(Value::as_str) == Some("done")
+        }
+        Err(_) => false,
+    }
+}
+
+fn stream_to_stdout(client: &mut Client, first_request: &str, quiet: bool) -> ! {
+    client.send(first_request).unwrap_or_else(|e| {
+        eprintln!("serve-client: send: {e}");
+        exit(1);
+    });
+    loop {
+        match client.recv() {
+            Ok(Some(line)) => {
+                let terminal = is_terminal_event(&line);
+                if !quiet || terminal {
+                    println!("{line}");
+                }
+                if terminal {
+                    exit(if is_ok_terminal(&line) { 0 } else { 1 });
+                }
+            }
+            Ok(None) => {
+                eprintln!("serve-client: daemon closed the stream early");
+                exit(1);
+            }
+            Err(e) => {
+                eprintln!("serve-client: recv: {e}");
+                exit(1);
+            }
+        }
+    }
+}
+
+fn one_shot(client: &mut Client, request: &str) -> ! {
+    match client.request(request) {
+        Ok(line) => {
+            println!("{line}");
+            let failed = parse(&line)
+                .ok()
+                .and_then(|v| v.get("event").and_then(Value::as_str).map(str::to_string))
+                == Some("error".to_string());
+            exit(if failed { 1 } else { 0 });
+        }
+        Err(e) => {
+            eprintln!("serve-client: {e}");
+            exit(1);
+        }
+    }
+}
+
+struct SubmitFlags {
+    preset: Option<String>,
+    arch_frame: Option<String>,
+    microbench: Option<bool>,
+    footprints: Option<String>,
+    strides: Option<String>,
+    space: Option<String>,
+    workload: Option<String>,
+    nodes: Option<String>,
+    degree: Option<String>,
+    seed: Option<String>,
+    block_dim: Option<String>,
+    checkpoint_every: Option<String>,
+    spec: Option<String>,
+    watch: bool,
+    quiet: bool,
+}
+
+fn build_spec(f: &SubmitFlags) -> String {
+    if let Some(spec) = &f.spec {
+        return spec.clone();
+    }
+    let mut spec = String::from("{");
+    match (&f.preset, &f.arch_frame) {
+        (Some(p), None) => spec.push_str(&format!("\"preset\":{p:?}")),
+        (None, Some(a)) => spec.push_str(&format!("\"arch\":{a:?}")),
+        _ => {
+            eprintln!("serve-client: submit wants exactly one of --preset / --arch-frame");
+            exit(2);
+        }
+    }
+    if let Some(m) = f.microbench {
+        spec.push_str(&format!(",\"microbench\":{m}"));
+    }
+    match f.workload.as_deref() {
+        None => {
+            let (Some(footprints), Some(strides)) = (&f.footprints, &f.strides) else {
+                eprintln!("serve-client: a sweep wants --footprints and --strides");
+                exit(2);
+            };
+            spec.push_str(&format!(
+                ",\"sweep\":{{\"footprints\":[{footprints}],\"strides\":[{strides}]"
+            ));
+            if let Some(space) = &f.space {
+                spec.push_str(&format!(",\"space\":{space:?}"));
+            }
+            spec.push('}');
+        }
+        Some("bfs") => {
+            let (Some(nodes), Some(degree), Some(block_dim), Some(every)) =
+                (&f.nodes, &f.degree, &f.block_dim, &f.checkpoint_every)
+            else {
+                eprintln!(
+                    "serve-client: bfs wants --nodes, --degree, --block-dim, --checkpoint-every"
+                );
+                exit(2);
+            };
+            let seed = f.seed.as_deref().unwrap_or("0");
+            spec.push_str(&format!(
+                ",\"bfs\":{{\"nodes\":{nodes},\"degree\":{degree},\"seed\":{seed},\
+                 \"block_dim\":{block_dim},\"checkpoint_every\":{every}}}"
+            ));
+        }
+        Some(other) => {
+            eprintln!("serve-client: unknown workload {other:?} (only \"bfs\")");
+            exit(2);
+        }
+    }
+    spec.push('}');
+    spec
+}
+
+fn main() {
+    let mut connect_how = Connect::AddrFile(PathBuf::from("serve-state/serve.addr"));
+    let mut rest: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut val = |name: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--connect" => connect_how = Connect::Tcp(val("--connect")),
+            "--addr-file" => connect_how = Connect::AddrFile(PathBuf::from(val("--addr-file"))),
+            #[cfg(unix)]
+            "--unix" => connect_how = Connect::Unix(PathBuf::from(val("--unix"))),
+            "--help" | "-h" => usage(),
+            _ => {
+                rest.push(arg);
+                rest.extend(args.by_ref());
+            }
+        }
+    }
+    let Some(cmd) = rest.first().cloned() else {
+        usage();
+    };
+    let mut client = connect(&connect_how);
+    match cmd.as_str() {
+        "submit" => {
+            let mut f = SubmitFlags {
+                preset: None,
+                arch_frame: None,
+                microbench: None,
+                footprints: None,
+                strides: None,
+                space: None,
+                workload: None,
+                nodes: None,
+                degree: None,
+                seed: None,
+                block_dim: None,
+                checkpoint_every: None,
+                spec: None,
+                watch: false,
+                quiet: false,
+            };
+            let mut it = rest.into_iter().skip(1);
+            while let Some(arg) = it.next() {
+                let mut val = |name: &str| -> String {
+                    it.next().unwrap_or_else(|| {
+                        eprintln!("missing value for {name}");
+                        exit(2);
+                    })
+                };
+                match arg.as_str() {
+                    "--preset" => f.preset = Some(val("--preset")),
+                    "--arch-frame" => f.arch_frame = Some(val("--arch-frame")),
+                    "--microbench" => match val("--microbench").as_str() {
+                        "true" => f.microbench = Some(true),
+                        "false" => f.microbench = Some(false),
+                        _ => {
+                            eprintln!("--microbench wants true or false");
+                            exit(2);
+                        }
+                    },
+                    "--footprints" => f.footprints = Some(val("--footprints")),
+                    "--strides" => f.strides = Some(val("--strides")),
+                    "--space" => f.space = Some(val("--space")),
+                    "--workload" => f.workload = Some(val("--workload")),
+                    "--nodes" => f.nodes = Some(val("--nodes")),
+                    "--degree" => f.degree = Some(val("--degree")),
+                    "--seed" => f.seed = Some(val("--seed")),
+                    "--block-dim" => f.block_dim = Some(val("--block-dim")),
+                    "--checkpoint-every" => f.checkpoint_every = Some(val("--checkpoint-every")),
+                    "--spec" => f.spec = Some(val("--spec")),
+                    "--watch" => f.watch = true,
+                    "--quiet" => f.quiet = true,
+                    other => {
+                        eprintln!("unknown submit flag: {other}");
+                        usage();
+                    }
+                }
+            }
+            let spec = build_spec(&f);
+            if f.watch {
+                let request = format!("{{\"cmd\":\"submit\",\"watch\":true,\"spec\":{spec}}}");
+                stream_to_stdout(&mut client, &request, f.quiet);
+            } else {
+                one_shot(
+                    &mut client,
+                    &format!("{{\"cmd\":\"submit\",\"spec\":{spec}}}"),
+                );
+            }
+        }
+        "status" | "cancel" => {
+            let Some(job) = rest.get(1) else { usage() };
+            one_shot(&mut client, &format!("{{\"cmd\":{cmd:?},\"job\":{job:?}}}"));
+        }
+        "watch" => {
+            let Some(job) = rest.get(1) else { usage() };
+            let quiet = rest.iter().any(|a| a == "--quiet");
+            let request = format!("{{\"cmd\":\"watch\",\"job\":{job:?}}}");
+            stream_to_stdout(&mut client, &request, quiet);
+        }
+        "stats" => one_shot(&mut client, "{\"cmd\":\"stats\"}"),
+        "shutdown" => one_shot(&mut client, "{\"cmd\":\"shutdown\"}"),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,185 @@
+//! End-to-end daemon pins, mirroring the CI smoke job:
+//!
+//! 1. two concurrent clients submitting an identical sweep trigger exactly
+//!    one simulator execution per grid point and receive bit-identical
+//!    result lines;
+//! 2. kill -9 mid-BFS-job, restart on the same state dir, and the job
+//!    completes with a result line byte-identical to an uninterrupted run
+//!    on a fresh daemon.
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use gpu_serve::client::Client;
+use gpu_trace::json::{parse, Value};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("serve-smoke-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn spawn_daemon(state: &Path) -> Child {
+    // A fresh bind must publish a fresh address: drop any stale file first
+    // so wait_addr can't race onto a dead port.
+    let _ = std::fs::remove_file(state.join("serve.addr"));
+    Command::new(env!("CARGO_BIN_EXE_serve"))
+        .args(["--listen", "127.0.0.1:0", "--workers", "2", "--state"])
+        .arg(state)
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn serve")
+}
+
+fn wait_addr(state: &Path) -> String {
+    let path = state.join("serve.addr");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Ok(addr) = std::fs::read_to_string(&path) {
+            if addr.contains(':') {
+                return addr.trim().to_string();
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "daemon never published an address"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn num(v: &Value, key: &str) -> u64 {
+    v.get(key).and_then(Value::as_num).unwrap_or_else(|| {
+        panic!("missing numeric {key:?} in {v:?}");
+    }) as u64
+}
+
+const SWEEP_SPEC: &str = "{\"preset\":\"gf106\",\
+     \"sweep\":{\"footprints\":[2048,4096],\"strides\":[128,512]}}";
+
+const BFS_SPEC: &str = "{\"preset\":\"gf106\",\
+     \"bfs\":{\"nodes\":1024,\"degree\":6,\"seed\":11,\"block_dim\":64,\
+     \"checkpoint_every\":1500}}";
+
+#[test]
+fn concurrent_clients_dedup_to_one_execution() {
+    let state = tmp_dir("dedup");
+    let mut daemon = spawn_daemon(&state);
+    let addr = wait_addr(&state);
+
+    let submit = |addr: String| {
+        std::thread::spawn(move || {
+            let mut client = Client::connect_tcp(&addr).expect("connect");
+            client.submit_watched(SWEEP_SPEC).expect("watched submit")
+        })
+    };
+    let a = submit(addr.clone());
+    let b = submit(addr.clone());
+    let run_a = a.join().unwrap();
+    let run_b = b.join().unwrap();
+    // Bit-identical terminal lines for both clients.
+    assert_eq!(run_a.terminal, run_b.terminal);
+    let result = parse(&run_a.terminal).unwrap();
+    assert_eq!(result.get("status").and_then(Value::as_str), Some("done"));
+    assert!(result.get("content_hash").is_some());
+
+    let mut client = Client::connect_tcp(&addr).unwrap();
+    let stats = parse(&client.request("{\"cmd\":\"stats\"}").unwrap()).unwrap();
+    // One of the two submissions joined the other...
+    assert_eq!(num(&stats, "jobs_submitted"), 1);
+    assert_eq!(num(&stats, "jobs_deduped"), 1);
+    // ...and each of the 4 grid points ran exactly once.
+    assert_eq!(num(&stats, "points_executed"), 4);
+    assert_eq!(num(&stats, "jobs_completed"), 1);
+
+    // A third, late submission dedups onto the finished job: zero new work.
+    let rerun = client.submit_watched(SWEEP_SPEC).unwrap();
+    assert_eq!(rerun.terminal, run_a.terminal);
+    let stats = parse(&client.request("{\"cmd\":\"stats\"}").unwrap()).unwrap();
+    assert_eq!(num(&stats, "points_executed"), 4);
+    assert_eq!(num(&stats, "jobs_deduped"), 2);
+
+    let _ = client.request("{\"cmd\":\"shutdown\"}");
+    let _ = daemon.wait();
+    let _ = std::fs::remove_dir_all(&state);
+}
+
+#[test]
+fn kill_dash_nine_then_restart_completes_bit_identically() {
+    // Reference: an uninterrupted daemon on a fresh state dir.
+    let straight_state = tmp_dir("straight");
+    let mut straight_daemon = spawn_daemon(&straight_state);
+    let straight_addr = wait_addr(&straight_state);
+    let mut client = Client::connect_tcp(&straight_addr).unwrap();
+    let straight = client.submit_watched(BFS_SPEC).unwrap();
+    let result = parse(&straight.terminal).unwrap();
+    assert_eq!(result.get("status").and_then(Value::as_str), Some("done"));
+    let _ = client.request("{\"cmd\":\"shutdown\"}");
+    let _ = straight_daemon.wait();
+
+    // Victim: same job, killed -9 once the first checkpoint lands.
+    let state = tmp_dir("victim");
+    let mut daemon = spawn_daemon(&state);
+    let addr = wait_addr(&state);
+    let mut client = Client::connect_tcp(&addr).unwrap();
+    let accepted = parse(
+        &client
+            .request(&format!("{{\"cmd\":\"submit\",\"spec\":{BFS_SPEC}}}"))
+            .unwrap(),
+    )
+    .unwrap();
+    assert_eq!(
+        accepted.get("event").and_then(Value::as_str),
+        Some("accepted")
+    );
+    let job = accepted
+        .get("job")
+        .and_then(Value::as_str)
+        .unwrap()
+        .to_string();
+
+    let ckpt_dir = state.join("jobs").join(&job).join("ckpt");
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let has_ckpt = std::fs::read_dir(&ckpt_dir)
+            .map(|mut d| d.next().is_some())
+            .unwrap_or(false);
+        if has_ckpt {
+            break;
+        }
+        // If the job beat us to completion the kill proves nothing: fail
+        // loudly so the checkpoint cadence gets retuned.
+        assert!(
+            !state.join("jobs").join(&job).join("result.json").exists(),
+            "job finished before the first checkpoint; lower checkpoint_every"
+        );
+        assert!(Instant::now() < deadline, "no checkpoint appeared");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    daemon.kill().expect("kill -9 the daemon");
+    let _ = daemon.wait();
+
+    // Restart on the same state dir: recovery re-enqueues the job and
+    // resumes from the newest checkpoint.
+    let mut daemon = spawn_daemon(&state);
+    let addr = wait_addr(&state);
+    let mut client = Client::connect_tcp(&addr).unwrap();
+    let watched = client
+        .request_watched(&format!("{{\"cmd\":\"watch\",\"job\":{job:?}}}"))
+        .unwrap();
+    assert_eq!(
+        watched.terminal, straight.terminal,
+        "resumed result must be byte-identical to the uninterrupted run"
+    );
+    let stats = parse(&client.request("{\"cmd\":\"stats\"}").unwrap()).unwrap();
+    assert_eq!(num(&stats, "jobs_recovered"), 1);
+
+    let _ = client.request("{\"cmd\":\"shutdown\"}");
+    let _ = daemon.wait();
+    let _ = std::fs::remove_dir_all(&state);
+    let _ = std::fs::remove_dir_all(&straight_state);
+}

@@ -96,11 +96,21 @@ pub fn cache_path(dir: &Path, key: u64) -> PathBuf {
     dir.join(format!("{key:016x}.bin"))
 }
 
-/// Loads a cache entry's raw (framed) bytes. Any error — missing file,
-/// permission problem, unreadable directory — reads as a miss.
+/// Loads a cache entry's raw (framed) bytes.
+///
+/// Safe against concurrent writers: entries are only ever published by
+/// [`write_atomic`]'s rename, so a reader observes either nothing
+/// (`NotFound`, a plain miss — the entry was never written, or a racing
+/// writer has not renamed yet) or one complete writer's bytes, never a torn
+/// mix. Other errors — permissions, unreadable directory — also read as
+/// misses, by policy rather than by race.
 #[must_use]
 pub fn cache_load(dir: &Path, key: u64) -> Option<Vec<u8>> {
-    std::fs::read(cache_path(dir, key)).ok()
+    match std::fs::read(cache_path(dir, key)) {
+        Ok(bytes) => Some(bytes),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+        Err(_) => None,
+    }
 }
 
 /// Stores a cache entry atomically.
@@ -174,6 +184,51 @@ mod tests {
         assert_eq!(cache_load(&dir, 0xABCE), None);
         // Key formatting is 16 lowercase hex digits.
         assert!(cache_path(&dir, 0xABCD).ends_with("000000000000abcd.bin"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn concurrent_same_key_writers_never_tear() {
+        // Many writers race the same key with *different* payloads while
+        // readers hammer it. The atomic temp-file+rename publish means every
+        // read returns either a miss or exactly one writer's complete bytes;
+        // whichever rename lands last owns the final file.
+        let dir = tmp_dir("race");
+        let key = 0x5EED_u64;
+        let payload = |i: usize| vec![i as u8; 512];
+        std::thread::scope(|scope| {
+            for i in 0..8 {
+                let dir = &dir;
+                scope.spawn(move || {
+                    for _ in 0..50 {
+                        cache_store(dir, key, &payload(i)).unwrap();
+                    }
+                });
+            }
+            for _ in 0..4 {
+                let dir = &dir;
+                scope.spawn(move || {
+                    for _ in 0..200 {
+                        if let Some(bytes) = cache_load(dir, key) {
+                            assert_eq!(bytes.len(), 512, "torn read");
+                            assert!(
+                                bytes.iter().all(|&b| b == bytes[0]),
+                                "interleaved writer bytes"
+                            );
+                        }
+                    }
+                });
+            }
+        });
+        let survivor = cache_load(&dir, key).expect("an entry must survive the race");
+        assert!((0..8).any(|i| survivor == payload(i)));
+        // The race leaves no temp litter behind either.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .filter(|n| !n.to_string_lossy().ends_with(".bin"))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
         std::fs::remove_dir_all(&dir).ok();
     }
 }
