@@ -1,16 +1,20 @@
 #!/usr/bin/env bash
 # Run one architecture preset end to end and pin its timing:
-#   1. table1 --preset <p>  — the paper's Table I row (asserts internally
+#   1. table1   --preset <p> — the paper's Table I row (asserts internally
 #      that measured latencies match the analytic unloaded model).
-#   2. trace  --preset <p>  — a small deterministic BFS with --validate
+#   2. validate --preset <p> — the published-reference harness: analytic
+#      unloaded latencies and chase plateaus diffed against the committed
+#      REFERENCE_latencies.json, within its tolerance.
+#   3. trace    --preset <p> — a small deterministic BFS with --validate
 #      (span tiling + sanitizer), producing a metrics.txt. --stable zeroes
 #      the wall-clock field at the source, so metrics.txt is a pure
 #      function of the simulation.
-#   3. Hash the whole metrics.txt and diff against the committed golden in
+#   4. Hash the whole metrics.txt and diff against the committed golden in
 #      ci/metrics-goldens.txt.
 #
 # Usage: ci/check-preset.sh <preset> [--update]
-#   --update rewrites the preset's golden line instead of checking it.
+#   --update rewrites (or appends, for a new preset) the golden line
+#   instead of checking it.
 set -euo pipefail
 
 preset="${1:?usage: ci/check-preset.sh <preset> [--update]}"
@@ -19,6 +23,7 @@ goldens="$(dirname "$0")/metrics-goldens.txt"
 out="target/ci-bundle-$preset"
 
 cargo run --release --offline -p latency-bench --bin table1 -- --preset "$preset"
+cargo run --release --offline -p latency-bench --bin validate -- --preset "$preset"
 cargo run --release --offline -p latency-bench --bin trace -- \
   --preset "$preset" --workload bfs --nodes 512 --degree 4 --block-dim 64 \
   --out "$out" --validate --stable
@@ -26,7 +31,11 @@ cargo run --release --offline -p latency-bench --bin trace -- \
 actual=$(sha256sum "$out/metrics.txt" | awk '{print $1}')
 
 if [ "$mode" = "--update" ]; then
-  sed -i "s/^$preset .*/$preset $actual/" "$goldens"
+  if grep -q "^$preset " "$goldens"; then
+    sed -i "s/^$preset .*/$preset $actual/" "$goldens"
+  else
+    echo "$preset $actual" >> "$goldens"
+  fi
   echo "updated golden: $preset $actual"
   exit 0
 fi

@@ -25,7 +25,18 @@ use gpu_snapshot::{Decoder, Encoder, SnapshotError, StableHasher};
 /// Version tag of the [`ArchDesc`] snapshot frame. Bumped whenever the
 /// encoded field set changes; [`ArchDesc::decode`] rejects mismatches with a
 /// typed error instead of misreading the stream.
-pub const ARCH_DESC_VERSION: u32 = 1;
+///
+/// Version 2 adds the modern-generation geometry: an optional per-level
+/// sector size ([`CacheGeom::sector_bytes`]) and a per-level slice count
+/// ([`LevelDesc::slices`]). Version-1 frames are still accepted and
+/// up-convert losslessly (unsectored = no sector, one slice); any other
+/// version is rejected with a typed error.
+pub const ARCH_DESC_VERSION: u32 = 2;
+
+/// Upper bound on [`LevelDesc::slices`]. Static so the per-slice sanitizer
+/// queue labels can live in `&'static str` tables (the violation codec
+/// round-trips labels by table index).
+pub const MAX_L2_SLICES: usize = 8;
 
 /// Warp scheduling policy of an SM.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,6 +109,40 @@ impl LevelKind {
         }
     }
 
+    /// Sanitizer label of the input queue of one slice of this level. Only
+    /// the L2 slices ([`MAX_L2_SLICES`] at most), so only it has per-slice
+    /// labels; a single-slice level keeps the legacy [`Self::queue_label`]
+    /// so existing traces and goldens are untouched.
+    pub const fn sliced_queue_label(self, slice: usize) -> &'static str {
+        const LABELS: [&str; MAX_L2_SLICES] = [
+            "l2-input.0",
+            "l2-input.1",
+            "l2-input.2",
+            "l2-input.3",
+            "l2-input.4",
+            "l2-input.5",
+            "l2-input.6",
+            "l2-input.7",
+        ];
+        match self {
+            LevelKind::L2 if slice < MAX_L2_SLICES => LABELS[slice],
+            _ => self.queue_label(),
+        }
+    }
+
+    /// Sanitizer label of the hit-return pipe of one slice of this level
+    /// (see [`Self::sliced_queue_label`]).
+    pub const fn sliced_hit_pipe_label(self, slice: usize) -> &'static str {
+        const LABELS: [&str; MAX_L2_SLICES] = [
+            "l2-hit.0", "l2-hit.1", "l2-hit.2", "l2-hit.3", "l2-hit.4", "l2-hit.5", "l2-hit.6",
+            "l2-hit.7",
+        ];
+        match self {
+            LevelKind::L2 if slice < MAX_L2_SLICES => LABELS[slice],
+            _ => self.hit_pipe_label(),
+        }
+    }
+
     fn tag(self) -> u8 {
         match self {
             LevelKind::L1 => 0,
@@ -164,6 +209,29 @@ pub struct CacheGeom {
     pub mshr: MshrConfig,
     /// Hit latency: probe-to-data, in cycles.
     pub hit_latency: u64,
+    /// Fill/tag granularity in bytes. `None` models the classic unsectored
+    /// line (fills move whole lines — equivalently, one sector per line);
+    /// `Some(s)` models a sectored cache à la Pascal and later, where a miss
+    /// only fetches the `s`-byte sectors a warp touched, tags track per-sector
+    /// validity, and miss traffic is counted in sectors. Must be a power of
+    /// two strictly dividing the line size.
+    pub sector_bytes: Option<u64>,
+}
+
+impl CacheGeom {
+    /// The memory-transaction granule of this level: the sector size when
+    /// sectored, else the full line.
+    pub fn granule(&self) -> u64 {
+        self.sector_bytes.unwrap_or(self.cache.line_size)
+    }
+
+    /// Sectors per line (1 for an unsectored cache).
+    pub fn sectors_per_line(&self) -> usize {
+        match self.sector_bytes {
+            Some(s) if s > 0 => (self.cache.line_size / s) as usize,
+            _ => 1,
+        }
+    }
 }
 
 /// One level of the memory hierarchy. The simulator instantiates the level's
@@ -187,6 +255,13 @@ pub struct LevelDesc {
     pub routing: Routing,
     /// Store handling at this level (meaningful for the L2).
     pub write_policy: WritePolicy,
+    /// Number of independent slices this level is hash-interleaved across
+    /// (1 = the classic monolithic bank). Only the L2 may exceed 1, up to
+    /// [`MAX_L2_SLICES`]; each slice owns its own input queue, tag array,
+    /// MSHR table and hit pipe behind the partition's shared ROP, and `geom`
+    /// then describes ONE slice (total capacity = `slices` × slice capacity).
+    /// Addresses map to slices via [`slice_of`].
+    pub slices: usize,
 }
 
 impl LevelDesc {
@@ -372,6 +447,19 @@ impl ArchDesc {
         d
     }
 
+    /// The machine-wide memory-transaction granule: the smallest sector any
+    /// cached level declares, or the full line when nothing is sectored.
+    /// The coalescer, the MSHR keyspace and per-warp miss-traffic accounting
+    /// all work at this granularity, so an unsectored machine behaves
+    /// exactly as before (granule == line).
+    pub fn transaction_granule(&self) -> u64 {
+        self.levels
+            .iter()
+            .filter_map(|l| l.geom.as_ref().and_then(|g| g.sector_bytes))
+            .min()
+            .unwrap_or(self.line_size)
+    }
+
     /// Validates structural invariants, returning the first problem found
     /// in a fixed order: machine geometry, SM front-end, fabric queues,
     /// then each level in pipeline order.
@@ -436,6 +524,21 @@ impl ArchDesc {
             }
             if geom.mshr.max_merged == 0 {
                 return Err(ConfigError::MshrMergeDepth(level.kind));
+            }
+            if let Some(sector) = geom.sector_bytes {
+                // An unsectored line is expressed as `None`, so a declared
+                // sector must be a strict subdivision of the line.
+                if !sector.is_power_of_two() || sector >= geom.cache.line_size {
+                    return Err(ConfigError::SectorSize(level.kind));
+                }
+            }
+        }
+        for level in &self.levels {
+            if level.slices == 0 || level.slices > MAX_L2_SLICES {
+                return Err(ConfigError::LevelSlices(level.kind));
+            }
+            if level.slices > 1 && level.kind != LevelKind::L2 {
+                return Err(ConfigError::SlicedLevel(level.kind));
             }
         }
         // Adjacent cache levels must be ordered: a hit further out can
@@ -593,6 +696,19 @@ impl ArchDesc {
             h.bool(level.routing.global);
             h.bool(level.routing.local);
             h.u8(write_policy_tag(level.write_policy));
+            // The v2 geometry contributes to the digest only when it
+            // deviates from the v1 defaults (unsectored, one slice), so
+            // every pre-sector description keeps its historical hash and
+            // the preset goldens stay bit-identical. The tag bytes keep a
+            // sectored stream from aliasing an unsectored one.
+            if let Some(sector) = level.geom.as_ref().and_then(|g| g.sector_bytes) {
+                h.u8(0xA1);
+                h.u64(sector);
+            }
+            if level.slices > 1 {
+                h.u8(0xA2);
+                h.usize(level.slices);
+            }
         }
         h.u64(self.fabric.icnt.latency);
         h.usize(self.fabric.icnt.output_queue);
@@ -644,12 +760,17 @@ impl ArchDesc {
                     e.usize(g.mshr.entries);
                     e.usize(g.mshr.max_merged);
                     e.u64(g.hit_latency);
+                    e.bool(g.sector_bytes.is_some());
+                    if let Some(sector) = g.sector_bytes {
+                        e.u64(sector);
+                    }
                 }
             }
             e.usize(level.queue);
             e.bool(level.routing.global);
             e.bool(level.routing.local);
             e.u8(write_policy_tag(level.write_policy));
+            e.usize(level.slices);
         }
         e.u64(self.fabric.icnt.latency);
         e.usize(self.fabric.icnt.output_queue);
@@ -676,7 +797,7 @@ impl ArchDesc {
     /// [`SnapshotError`], never a panic) and propagates decoder errors.
     pub fn decode(d: &mut Decoder) -> Result<Self, SnapshotError> {
         let version = d.u32()?;
-        if version != ARCH_DESC_VERSION {
+        if version != 1 && version != ARCH_DESC_VERSION {
             return Err(SnapshotError::InvalidValue(
                 "unsupported architecture-description frame version",
             ));
@@ -714,6 +835,17 @@ impl ArchDesc {
                         max_merged: d.usize()?,
                     },
                     hit_latency: d.u64()?,
+                    // v1 frames predate sectoring: up-convert to the
+                    // unsectored line they always meant.
+                    sector_bytes: if version >= 2 {
+                        if d.bool()? {
+                            Some(d.u64()?)
+                        } else {
+                            None
+                        }
+                    } else {
+                        None
+                    },
                 })
             } else {
                 None
@@ -727,6 +859,8 @@ impl ArchDesc {
                     local: d.bool()?,
                 },
                 write_policy: write_policy_from_tag(d.u8()?)?,
+                // v1 levels are always monolithic single-bank levels.
+                slices: if version >= 2 { d.usize()? } else { 1 },
             });
         }
         let fabric = FabricDesc {
@@ -824,6 +958,24 @@ fn dram_sched_from_tag(tag: u8) -> Result<DramSched, SnapshotError> {
     }
 }
 
+/// Deterministic address-to-slice hash for a multi-slice level: XOR-folds
+/// the line index in 3-bit groups (3 = log2 [`MAX_L2_SLICES`]) and reduces
+/// modulo `slices`. The fold mixes high index bits into the low ones, so
+/// power-of-two strides spread across slices instead of camping on one; a
+/// single-slice level always maps to slice 0.
+pub fn slice_of(addr: u64, line_size: u64, slices: usize) -> usize {
+    if slices <= 1 {
+        return 0;
+    }
+    let mut line = addr / line_size.max(1);
+    let mut folded = 0u64;
+    while line != 0 {
+        folded ^= line;
+        line >>= 3;
+    }
+    (folded % slices as u64) as usize
+}
+
 /// A violated structural invariant of an [`ArchDesc`] (or of the
 /// `GpuConfig` built from one). The `Display` text is stable — downstream
 /// panics and tests match on it — and reproduces the historical
@@ -869,6 +1021,13 @@ pub enum ConfigError {
         /// Its hit latency.
         lower_hit: u64,
     },
+    /// A level declares a sector size that is not a power of two strictly
+    /// below its line size.
+    SectorSize(LevelKind),
+    /// A level's slice count is zero or above [`MAX_L2_SLICES`].
+    LevelSlices(LevelKind),
+    /// A level other than the L2 declares multiple slices.
+    SlicedLevel(LevelKind),
     /// Zero trace sample interval (checked at the `GpuConfig` layer, where
     /// the observability knobs live).
     TraceSampleInterval,
@@ -915,6 +1074,19 @@ impl fmt::Display for ConfigError {
                 f,
                 "{upper} hit latency ({upper_hit}) must be below {lower} hit latency ({lower_hit})"
             ),
+            ConfigError::SectorSize(k) => write!(
+                f,
+                "{k} sector size must be a power of two strictly below the line size"
+            ),
+            ConfigError::LevelSlices(k) => {
+                write!(f, "{k} slice count must be between 1 and {MAX_L2_SLICES}")
+            }
+            ConfigError::SlicedLevel(k) => {
+                write!(
+                    f,
+                    "{k} cannot be sliced (only the L2 may have multiple slices)"
+                )
+            }
             ConfigError::TraceSampleInterval => {
                 f.write_str("trace sample interval must be positive")
             }
@@ -964,10 +1136,12 @@ mod tests {
                             max_merged: 8,
                         },
                         hit_latency: 17,
+                        sector_bytes: None,
                     }),
                     queue: 8,
                     routing: Routing::ALL,
                     write_policy: WritePolicy::WriteThrough,
+                    slices: 1,
                 },
                 LevelDesc {
                     kind: LevelKind::L2,
@@ -983,10 +1157,12 @@ mod tests {
                             max_merged: 8,
                         },
                         hit_latency: 115,
+                        sector_bytes: None,
                     }),
                     queue: 8,
                     routing: Routing::ALL,
                     write_policy: WritePolicy::WriteThrough,
+                    slices: 1,
                 },
                 LevelDesc {
                     kind: LevelKind::DramFront,
@@ -994,6 +1170,7 @@ mod tests {
                     queue: 128,
                     routing: Routing::ALL,
                     write_policy: WritePolicy::WriteThrough,
+                    slices: 1,
                 },
             ],
             fabric: FabricDesc {
@@ -1145,6 +1322,225 @@ mod tests {
             ArchDesc::decode(&mut dec),
             Err(SnapshotError::InvalidValue(_))
         ));
+    }
+
+    /// Hand-writes the historical version-1 frame layout (no sector flag,
+    /// no slice count) for an unsectored description.
+    fn encode_v1(d: &ArchDesc, e: &mut Encoder) {
+        e.u32(1);
+        e.str(&d.name);
+        e.usize(d.num_sms);
+        e.u64(d.line_size);
+        e.u32(d.sm.warp_size);
+        e.usize(d.sm.max_warps);
+        e.usize(d.sm.max_ctas);
+        e.usize(d.sm.issue_width);
+        e.u8(sched_tag(d.sm.scheduler));
+        e.u64(d.sm.alu_latency);
+        e.u64(d.sm.fp_latency);
+        e.u64(d.sm.sfu_latency);
+        e.u64(d.sm.shared_latency);
+        e.u64(d.sm.base_latency);
+        e.usize(d.sm.lsu_queue);
+        e.u64(d.sm.fill_latency);
+        e.usize(d.levels.len());
+        for level in &d.levels {
+            e.u8(level.kind.tag());
+            match &level.geom {
+                None => e.bool(false),
+                Some(g) => {
+                    e.bool(true);
+                    e.usize(g.cache.sets);
+                    e.usize(g.cache.ways);
+                    e.u64(g.cache.line_size);
+                    e.u8(replacement_tag(g.cache.replacement));
+                    e.usize(g.mshr.entries);
+                    e.usize(g.mshr.max_merged);
+                    e.u64(g.hit_latency);
+                }
+            }
+            e.usize(level.queue);
+            e.bool(level.routing.global);
+            e.bool(level.routing.local);
+            e.u8(write_policy_tag(level.write_policy));
+        }
+        e.u64(d.fabric.icnt.latency);
+        e.usize(d.fabric.icnt.output_queue);
+        e.usize(d.fabric.icnt.inject_per_src);
+        e.usize(d.fabric.icnt.eject_per_dst);
+        e.u64(d.fabric.rop_latency);
+        e.usize(d.fabric.rop_queue);
+        e.u64(d.mem.timing.t_rcd);
+        e.u64(d.mem.timing.t_rp);
+        e.u64(d.mem.timing.t_cl);
+        e.u64(d.mem.timing.burst);
+        e.u8(dram_sched_tag(d.mem.sched));
+        e.usize(d.mem.num_partitions);
+        e.u64(d.mem.partition_chunk);
+        e.usize(d.mem.banks);
+        e.u64(d.mem.row_bytes);
+    }
+
+    fn digest(d: &ArchDesc) -> u64 {
+        let mut h = StableHasher::new();
+        d.hash_desc(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn codec_up_converts_v1_frames_to_the_same_hash() {
+        // A v1 frame decodes to exactly the hand-written v2 equivalent
+        // (unsectored lines, one slice) — same struct, same hash_desc — so
+        // every pre-sector snapshot and cache key survives the bump.
+        let v2 = fermi();
+        let mut e = Encoder::new();
+        encode_v1(&v2, &mut e);
+        let bytes = e.finish();
+        let mut dec = Decoder::open(&bytes).unwrap();
+        let up = ArchDesc::decode(&mut dec).unwrap();
+        assert_eq!(up, v2);
+        assert_eq!(digest(&up), digest(&v2));
+    }
+
+    /// The fermi fixture with 32 B sectors on both caches and a four-slice
+    /// L2 — the shape of a modern-generation description.
+    fn sectored_fermi() -> ArchDesc {
+        let mut d = fermi();
+        for kind in [LevelKind::L1, LevelKind::L2] {
+            level_mut(&mut d, kind).geom.as_mut().unwrap().sector_bytes = Some(32);
+        }
+        level_mut(&mut d, LevelKind::L2).slices = 4;
+        d
+    }
+
+    #[test]
+    fn sectored_sliced_description_is_valid_and_roundtrips() {
+        let d = sectored_fermi();
+        d.validate().unwrap();
+        let mut e = Encoder::new();
+        d.encode_state(&mut e);
+        let bytes = e.finish();
+        let mut dec = Decoder::open(&bytes).unwrap();
+        assert_eq!(ArchDesc::decode(&mut dec).unwrap(), d);
+    }
+
+    #[test]
+    fn hash_sees_sectors_and_slices() {
+        let base = fermi();
+        let mut sectored = base.clone();
+        level_mut(&mut sectored, LevelKind::L1)
+            .geom
+            .as_mut()
+            .unwrap()
+            .sector_bytes = Some(32);
+        let mut sliced = base.clone();
+        level_mut(&mut sliced, LevelKind::L2).slices = 2;
+        assert_ne!(digest(&base), digest(&sectored));
+        assert_ne!(digest(&base), digest(&sliced));
+        assert_ne!(digest(&sectored), digest(&sliced));
+    }
+
+    #[test]
+    fn transaction_granule_is_smallest_sector_or_line() {
+        assert_eq!(fermi().transaction_granule(), 128);
+        assert_eq!(sectored_fermi().transaction_granule(), 32);
+        let mut l2_only = fermi();
+        level_mut(&mut l2_only, LevelKind::L2)
+            .geom
+            .as_mut()
+            .unwrap()
+            .sector_bytes = Some(64);
+        assert_eq!(l2_only.transaction_granule(), 64);
+    }
+
+    #[test]
+    fn sectors_per_line_and_granule() {
+        let d = sectored_fermi();
+        let g = d.level(LevelKind::L1).unwrap().geom.unwrap();
+        assert_eq!(g.granule(), 32);
+        assert_eq!(g.sectors_per_line(), 4);
+        let plain = fermi().level(LevelKind::L1).unwrap().geom.unwrap();
+        assert_eq!(plain.granule(), 128);
+        assert_eq!(plain.sectors_per_line(), 1);
+    }
+
+    #[test]
+    fn slice_hash_is_deterministic_in_range_and_spreads_strides() {
+        // Single slice: everything maps to 0.
+        assert_eq!(slice_of(0x1234_5678, 128, 1), 0);
+        // Deterministic and in range.
+        for addr in (0..1024u64).map(|i| i * 128) {
+            let s = slice_of(addr, 128, 4);
+            assert!(s < 4);
+            assert_eq!(s, slice_of(addr, 128, 4));
+        }
+        // A power-of-two stride (512 B on 128 B lines) must still reach
+        // every slice of a 4-slice L2, not camp on one.
+        let mut seen = [false; 4];
+        for i in 0..64u64 {
+            seen[slice_of(i * 512, 128, 4)] = true;
+        }
+        assert_eq!(seen, [true; 4]);
+    }
+
+    #[test]
+    fn sliced_labels_are_stable_and_fall_back() {
+        assert_eq!(LevelKind::L2.sliced_queue_label(0), "l2-input.0");
+        assert_eq!(LevelKind::L2.sliced_queue_label(7), "l2-input.7");
+        assert_eq!(LevelKind::L2.sliced_hit_pipe_label(3), "l2-hit.3");
+        // Out-of-range slices and non-L2 levels fall back to the legacy
+        // labels, so single-slice machines are indistinguishable from v1.
+        assert_eq!(LevelKind::L2.sliced_queue_label(8), "l2-input");
+        assert_eq!(LevelKind::L1.sliced_queue_label(2), "miss");
+        assert_eq!(LevelKind::L1.sliced_hit_pipe_label(2), "l1-hit");
+    }
+
+    #[test]
+    fn error_sector_size() {
+        let mut d = fermi();
+        level_mut(&mut d, LevelKind::L1)
+            .geom
+            .as_mut()
+            .unwrap()
+            .sector_bytes = Some(48);
+        assert_eq!(d.validate(), Err(ConfigError::SectorSize(LevelKind::L1)));
+        // A "sector" covering the whole line must be spelled None.
+        let mut d = fermi();
+        level_mut(&mut d, LevelKind::L2)
+            .geom
+            .as_mut()
+            .unwrap()
+            .sector_bytes = Some(128);
+        assert_eq!(d.validate(), Err(ConfigError::SectorSize(LevelKind::L2)));
+        assert_eq!(
+            ConfigError::SectorSize(LevelKind::L1).to_string(),
+            "L1 sector size must be a power of two strictly below the line size"
+        );
+    }
+
+    #[test]
+    fn error_level_slices() {
+        let mut d = fermi();
+        level_mut(&mut d, LevelKind::L2).slices = 0;
+        assert_eq!(d.validate(), Err(ConfigError::LevelSlices(LevelKind::L2)));
+        let mut d = fermi();
+        level_mut(&mut d, LevelKind::L2).slices = MAX_L2_SLICES + 1;
+        assert_eq!(d.validate(), Err(ConfigError::LevelSlices(LevelKind::L2)));
+        assert_eq!(
+            ConfigError::LevelSlices(LevelKind::L2).to_string(),
+            "L2 slice count must be between 1 and 8"
+        );
+    }
+
+    #[test]
+    fn error_sliced_level() {
+        let mut d = fermi();
+        level_mut(&mut d, LevelKind::L1).slices = 2;
+        assert_eq!(d.validate(), Err(ConfigError::SlicedLevel(LevelKind::L1)));
+        assert_eq!(
+            ConfigError::SlicedLevel(LevelKind::L1).to_string(),
+            "L1 cannot be sliced (only the L2 may have multiple slices)"
+        );
     }
 
     // ---- one test per ConfigError variant ---------------------------------

@@ -2,16 +2,19 @@
 //!
 //! ```text
 //! cargo run --release -p latency-bench --bin bench -- [--check]
-//!     [--update-baselines] [--suites sweep,tick,workloads,serve] [--out DIR]
-//!     [--baseline-dir DIR] [--inject-regression] [--progress]
+//!     [--update-baselines] [--suites sweep,tick,workloads,serve,validation]
+//!     [--out DIR] [--baseline-dir DIR] [--inject-regression] [--progress]
 //! ```
 //!
-//! Runs the four benchmarks from [`latency_bench::suite`] — the sweep
-//! cold/warm cache comparison, the tick-parallelism scaling record,
-//! end-to-end workload throughput, and the serve daemon's cold vs
-//! cache-hit job throughput — under the host-side self-profiler, and
-//! writes the fresh `BENCH_*.json` results plus `profile.json`/`profile.txt`
-//! to `--out` (default `bench-out/`) as CI artifacts.
+//! Runs the five benchmarks from [`latency_bench::suite`] and
+//! [`latency_bench::reference`] — the sweep cold/warm cache comparison, the
+//! tick-parallelism scaling record, end-to-end workload throughput (one
+//! section per measured generation, paper-era and modern), the serve
+//! daemon's cold vs cache-hit job throughput, and the published-reference
+//! validation of every registered preset — under the host-side
+//! self-profiler, and writes the fresh `BENCH_*.json` results plus
+//! `profile.json`/`profile.txt` to `--out` (default `bench-out/`) as CI
+//! artifacts.
 //!
 //! `--check` then compares each result against the committed baseline in
 //! `--baseline-dir` (default `.`) under [`latency_bench::regression`]'s
@@ -28,16 +31,19 @@ use std::path::PathBuf;
 use std::process::exit;
 
 use latency_bench::{
-    compare_json, run_serve_bench, run_sweep_bench, run_tick_bench, run_workload_bench,
-    ProgressHeartbeat, Thresholds, Workload, SERVE_CLIENTS,
+    compare_json, run_serve_bench, run_sweep_bench, run_tick_bench, run_validation_bench,
+    run_workload_bench, workloads_json, ProgressHeartbeat, Thresholds, Workload, SERVE_CLIENTS,
 };
 use latency_core::ArchPreset;
 
 /// Presets are pinned per suite so results stay comparable with the
 /// committed baselines: the sweep baseline is GF106 (the §II measurement
-/// chip), tick scaling and workload throughput use the full GF100.
+/// chip), tick scaling uses the full GF100, and workload throughput runs
+/// one section per generation — the paper-era GF100 plus the sectored,
+/// sliced GV100 — so the modern timing model's hashes are pinned too.
 const SWEEP_PRESET: ArchPreset = ArchPreset::FermiGf106;
 const FULL_PRESET: ArchPreset = ArchPreset::FermiGf100;
+const MODERN_PRESET: ArchPreset = ArchPreset::VoltaGv100;
 const TICK_THREADS: [usize; 4] = [1, 2, 4, 8];
 
 struct Args {
@@ -52,7 +58,8 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: bench [--check] [--update-baselines] [--suites sweep,tick,workloads,serve]\n\
+        "usage: bench [--check] [--update-baselines]\n\
+         \x20            [--suites sweep,tick,workloads,serve,validation]\n\
          \x20            [--out DIR] [--baseline-dir DIR] [--inject-regression] [--progress]"
     );
     exit(2);
@@ -65,6 +72,7 @@ fn parse_args() -> Args {
             "tick".to_string(),
             "workloads".to_string(),
             "serve".to_string(),
+            "validation".to_string(),
         ],
         out: PathBuf::from("bench-out"),
         baseline_dir: PathBuf::from("."),
@@ -169,37 +177,41 @@ fn run_suites(args: &Args) -> Vec<SuiteResult> {
                 });
             }
             "workloads" => {
-                println!(
-                    "[bench] workloads: {} end-to-end runs on {}",
-                    Workload::ALL.len(),
-                    FULL_PRESET.name()
-                );
-                let mut b = match run_workload_bench(FULL_PRESET, &Workload::ALL) {
-                    Ok(b) => b,
-                    Err(e) => {
-                        eprintln!("FAIL: workload bench: {e}");
-                        exit(1);
-                    }
-                };
-                for r in &b.runs {
+                let mut sections = Vec::new();
+                for preset in [FULL_PRESET, MODERN_PRESET] {
                     println!(
-                        "[bench] workloads: {:<10} cycles={:<8} wall={:.3}s hash={:016x}",
-                        r.workload.name(),
-                        r.cycles,
-                        r.wall_seconds,
-                        r.content_hash
+                        "[bench] workloads: {} end-to-end runs on {}",
+                        Workload::ALL.len(),
+                        preset.name()
                     );
-                }
-                if args.inject {
-                    for r in &mut b.runs {
-                        r.content_hash ^= 0xdead_beef;
-                        r.wall_seconds *= 100.0;
+                    let mut b = match run_workload_bench(preset, &Workload::ALL) {
+                        Ok(b) => b,
+                        Err(e) => {
+                            eprintln!("FAIL: workload bench ({}): {e}", preset.name());
+                            exit(1);
+                        }
+                    };
+                    for r in &b.runs {
+                        println!(
+                            "[bench] workloads: {:<10} cycles={:<8} wall={:.3}s hash={:016x}",
+                            r.workload.name(),
+                            r.cycles,
+                            r.wall_seconds,
+                            r.content_hash
+                        );
                     }
+                    if args.inject {
+                        for r in &mut b.runs {
+                            r.content_hash ^= 0xdead_beef;
+                            r.wall_seconds *= 100.0;
+                        }
+                    }
+                    sections.push(b);
                 }
                 results.push(SuiteResult {
                     name: "workloads",
                     file: "BENCH_workloads.json",
-                    json: b.json(),
+                    json: workloads_json(&sections),
                 });
             }
             "serve" => {
@@ -233,8 +245,42 @@ fn run_suites(args: &Args) -> Vec<SuiteResult> {
                     json: b.json(),
                 });
             }
+            "validation" => {
+                println!(
+                    "[bench] validation: {} presets vs published reference tables",
+                    ArchPreset::ALL.len()
+                );
+                let mut b = match run_validation_bench(&ArchPreset::ALL) {
+                    Ok(b) => b,
+                    Err(e) => {
+                        eprintln!("FAIL: validation bench: {e}");
+                        exit(1);
+                    }
+                };
+                if let Err(e) = b.check() {
+                    eprintln!("FAIL: validation bench self-check:\n{e}");
+                    exit(1);
+                }
+                for row in &b.rows {
+                    println!(
+                        "[bench] validation: {:<16} {} level(s) within tolerance",
+                        row.preset.token(),
+                        row.levels.len()
+                    );
+                }
+                if args.inject {
+                    if let Some(l) = b.rows.iter_mut().find_map(|r| r.levels.first_mut()) {
+                        l.measured += 100.0;
+                    }
+                }
+                results.push(SuiteResult {
+                    name: "validation",
+                    file: "BENCH_validation.json",
+                    json: b.json(),
+                });
+            }
             other => {
-                eprintln!("unknown suite: {other} (sweep, tick, workloads, serve)");
+                eprintln!("unknown suite: {other} (sweep, tick, workloads, serve, validation)");
                 exit(2);
             }
         }

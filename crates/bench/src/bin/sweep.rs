@@ -90,8 +90,9 @@ fn parse_args() -> Args {
             }
             other => {
                 eprintln!(
-                    "unknown argument '{other}' (tesla|fermi|gf100|kepler|gk110|maxwell, \
-                     --threads N, --tick-threads N, --cache DIR, --json, --bench-out FILE)"
+                    "unknown argument '{other}' (valid presets: {}; \
+                     --threads N, --tick-threads N, --cache DIR, --json, --bench-out FILE)",
+                    ArchPreset::valid_tokens()
                 );
                 std::process::exit(2);
             }

@@ -38,7 +38,10 @@ fn main() {
                     std::process::exit(2);
                 });
                 presets.push(ArchPreset::parse(&name).unwrap_or_else(|| {
-                    eprintln!("unknown preset: {name}");
+                    eprintln!(
+                        "unknown preset: {name} (valid presets: {})",
+                        ArchPreset::valid_tokens()
+                    );
                     std::process::exit(2);
                 }));
             }

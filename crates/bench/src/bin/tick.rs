@@ -28,8 +28,10 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: tick [tesla|fermi|gf100|kepler|gk110|maxwell] [--nodes N] [--degree N]\n\
-         \x20           [--threads LIST] [--out FILE]"
+        "usage: tick [PRESET] [--nodes N] [--degree N]\n\
+         \x20           [--threads LIST] [--out FILE]\n\
+         valid presets: {}",
+        ArchPreset::valid_tokens()
     );
     std::process::exit(2);
 }

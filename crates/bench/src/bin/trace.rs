@@ -44,7 +44,7 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: trace [--preset gt200|fermi|gf100|gf106|kepler|gk104|gk110|maxwell|gm107]\n\
+        "usage: trace [--preset NAME]\n\
          \x20            [--workload bfs|vecadd|matmul|reduce|spmv|stencil|histogram|transpose|scan]\n\
          \x20            [--nodes N] [--degree N] [--seed N] [--block-dim N]\n\
          \x20            [--sms N] [--partitions N] [--out DIR]\n\
@@ -89,7 +89,10 @@ fn parse_args() -> Args {
             "--preset" => {
                 let name = val("--preset");
                 args.preset = ArchPreset::parse(&name).unwrap_or_else(|| {
-                    eprintln!("unknown preset: {name}");
+                    eprintln!(
+                        "unknown preset: {name} (valid presets: {})",
+                        ArchPreset::valid_tokens()
+                    );
                     usage();
                 });
             }

@@ -1,0 +1,95 @@
+//! Cross-validates architecture presets against the published reference
+//! tables committed in `REFERENCE_latencies.json`.
+//!
+//! ```text
+//! cargo run --release -p latency-bench --bin validate -- [--preset NAME]...
+//!     [--out FILE] [--threads N]
+//! ```
+//!
+//! For every requested preset (default: all registered generations) the
+//! harness measures the pointer-chase plateau of each cache level and diffs
+//! both that measurement and the description's analytic unloaded latency
+//! against the published value, within the reference file's tolerance. Any
+//! divergence — including a level appearing or disappearing — exits 1 with
+//! the violation list; the CI preset matrix runs one preset per leg.
+//!
+//! `--out FILE` additionally writes the machine-readable record in the
+//! committed `BENCH_validation.json` schema (every leaf exact-compared by
+//! the bench regression harness).
+
+use std::path::PathBuf;
+
+use latency_bench::run_validation_bench;
+use latency_core::ArchPreset;
+
+fn main() {
+    let mut presets: Vec<ArchPreset> = Vec::new();
+    let mut out: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--preset" => {
+                let name = args.next().unwrap_or_else(|| {
+                    eprintln!("--preset needs a name");
+                    std::process::exit(2);
+                });
+                presets.push(ArchPreset::parse(&name).unwrap_or_else(|| {
+                    eprintln!(
+                        "unknown preset: {name} (valid presets: {})",
+                        ArchPreset::valid_tokens()
+                    );
+                    std::process::exit(2);
+                }));
+            }
+            "--out" => {
+                out = Some(PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a file path");
+                    std::process::exit(2);
+                })));
+            }
+            "--threads" => {
+                let n = args
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--threads needs a positive integer");
+                        std::process::exit(2);
+                    });
+                latency_core::parallel::set_worker_count(n);
+            }
+            other => {
+                eprintln!(
+                    "unknown argument '{other}' (usage: validate [--preset NAME]... \
+                     [--out FILE] [--threads N]; valid presets: {})",
+                    ArchPreset::valid_tokens()
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    if presets.is_empty() {
+        presets = ArchPreset::ALL.to_vec();
+    }
+
+    let bench = match run_validation_bench(&presets) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("validate failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    print!("{}", bench.to_human());
+    if let Some(path) = out {
+        if let Err(e) = std::fs::write(&path, bench.json()) {
+            eprintln!("failed to write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        println!("wrote {}", path.display());
+    }
+    if let Err(violations) = bench.check() {
+        eprint!("{violations}");
+        eprintln!("FAIL: preset(s) diverged from the published reference tables");
+        std::process::exit(1);
+    }
+}

@@ -14,6 +14,7 @@
 pub mod experiments;
 pub mod harness;
 pub mod progress;
+pub mod reference;
 pub mod regression;
 pub mod suite;
 pub mod tracebundle;
@@ -26,14 +27,18 @@ pub use experiments::{
     Workload,
 };
 pub use progress::ProgressHeartbeat;
+pub use reference::{
+    reference_rows, run_validation_bench, LevelValidation, PresetValidation, ReferenceRow,
+    ValidationBench, REFERENCE_TABLES,
+};
 pub use regression::{
     classify_document, compare_json, metric_class, Comparison, Finding, MetricClass, Severity,
     Thresholds,
 };
 pub use suite::{
     host_cpus, run_serve_bench, run_sweep_bench, run_tick_bench, run_workload_bench,
-    serve_grid_spec, sweep_grid_spec, ServeBench, ServePass, SweepBench, TickBench, TickRun,
-    WorkloadBench, WorkloadRun, SERVE_CLIENTS,
+    serve_grid_spec, sweep_grid_spec, workloads_json, ServeBench, ServePass, SweepBench, TickBench,
+    TickRun, WorkloadBench, WorkloadRun, SERVE_CLIENTS,
 };
 pub use tracebundle::{env_request, stage_labels_for, track_names_for, EnvTrace, TraceBundle};
 pub use validate::{

@@ -385,7 +385,8 @@ pub struct WorkloadRun {
     pub wall_seconds: f64,
 }
 
-/// End-to-end workload throughput record (`BENCH_workloads.json`).
+/// End-to-end workload throughput record for one preset — one *section* of
+/// the committed `BENCH_workloads.json`.
 #[derive(Debug, Clone)]
 pub struct WorkloadBench {
     /// Architecture every workload ran on.
@@ -402,19 +403,18 @@ impl WorkloadBench {
         self.runs.iter().map(|r| r.wall_seconds).sum()
     }
 
-    /// Renders the committed `BENCH_workloads.json` schema.
-    pub fn json(&self) -> String {
-        let mut json = String::from("{\n  \"name\": \"workloads\",\n");
-        json.push_str(&format!("  \"preset\": \"{}\",\n", self.preset.name()));
-        json.push_str(&format!("  \"host_cpus\": {},\n", self.host_cpus));
+    /// Renders this preset's section of the `BENCH_workloads.json` schema.
+    fn section_json(&self) -> String {
+        let mut json = String::from("    {\n");
+        json.push_str(&format!("      \"preset\": \"{}\",\n", self.preset.name()));
         json.push_str(&format!(
-            "  \"total_wall_seconds\": {:.6},\n  \"runs\": [\n",
+            "      \"total_wall_seconds\": {:.6},\n      \"runs\": [\n",
             self.total_wall_seconds()
         ));
         for (i, r) in self.runs.iter().enumerate() {
             let sep = if i + 1 == self.runs.len() { "" } else { "," };
             json.push_str(&format!(
-                "    {{\"workload\": \"{}\", \"simulated_cycles\": {}, \"instructions\": {}, \
+                "        {{\"workload\": \"{}\", \"simulated_cycles\": {}, \"instructions\": {}, \
                  \"content_hash\": \"{:016x}\", \"wall_seconds\": {:.6}, \
                  \"cycles_per_second\": {:.0}}}{sep}\n",
                 r.workload.name(),
@@ -425,9 +425,37 @@ impl WorkloadBench {
                 cycles_per_second(r.cycles, wall_nanos(r.wall_seconds)),
             ));
         }
-        json.push_str("  ]\n}\n");
+        json.push_str("      ]\n    }");
         json
     }
+
+    /// Renders a single-section `BENCH_workloads.json` document.
+    pub fn json(&self) -> String {
+        workloads_json(std::slice::from_ref(self))
+    }
+}
+
+/// Renders the committed `BENCH_workloads.json` schema: one section per
+/// measured preset (the paper-era full machine plus the modern sectored
+/// generation), so a cycle-count or hash change on *any* generation fails
+/// the exact-reproduce regression check.
+///
+/// # Panics
+///
+/// Panics on an empty slice — an empty benchmark document is a caller bug.
+pub fn workloads_json(benches: &[WorkloadBench]) -> String {
+    assert!(!benches.is_empty(), "need at least one workload section");
+    let mut json = String::from("{\n  \"name\": \"workloads\",\n");
+    json.push_str(&format!("  \"host_cpus\": {},\n", benches[0].host_cpus));
+    json.push_str("  \"sections\": [\n");
+    for (i, b) in benches.iter().enumerate() {
+        let sep = if i + 1 == benches.len() { "" } else { "," };
+        json.push_str(&b.section_json());
+        json.push_str(sep);
+        json.push('\n');
+    }
+    json.push_str("  ]\n}\n");
+    json
 }
 
 /// Runs every workload in `workloads` once on `preset`'s full config,
@@ -833,20 +861,36 @@ mod tests {
 
     #[test]
     fn workload_json_parses_with_exact_fields() {
-        let bench = WorkloadBench {
-            preset: ArchPreset::FermiGf100,
+        let bench = |preset, hash| WorkloadBench {
+            preset,
             host_cpus: 4,
             runs: vec![WorkloadRun {
                 workload: Workload::VecAdd,
                 cycles: 1000,
                 instructions: 5000,
-                content_hash: 0xfeed,
+                content_hash: hash,
                 wall_seconds: 0.5,
             }],
         };
-        let doc = gpu_trace::json::parse(&bench.json()).expect("valid json");
+        let json = workloads_json(&[
+            bench(ArchPreset::FermiGf100, 0xfeed),
+            bench(ArchPreset::VoltaGv100, 0xbeef),
+        ]);
+        let doc = gpu_trace::json::parse(&json).expect("valid json");
         assert_eq!(doc.get("name").and_then(|v| v.as_str()), Some("workloads"));
-        let runs = doc.get("runs").and_then(|v| v.as_arr()).expect("runs");
+        let sections = doc
+            .get("sections")
+            .and_then(|v| v.as_arr())
+            .expect("sections");
+        assert_eq!(sections.len(), 2);
+        assert_eq!(
+            sections[1].get("preset").and_then(|v| v.as_str()),
+            Some("GV100 (Volta)")
+        );
+        let runs = sections[0]
+            .get("runs")
+            .and_then(|v| v.as_arr())
+            .expect("runs");
         assert_eq!(
             runs[0].get("workload").and_then(|v| v.as_str()),
             Some("vecadd")
@@ -858,6 +902,16 @@ mod tests {
         assert_eq!(
             runs[0].get("cycles_per_second").and_then(|v| v.as_num()),
             Some(2000.0)
+        );
+        // The single-section wrapper emits the same schema.
+        let single =
+            gpu_trace::json::parse(&bench(ArchPreset::FermiGf100, 1).json()).expect("valid json");
+        assert_eq!(
+            single
+                .get("sections")
+                .and_then(|v| v.as_arr())
+                .map(<[gpu_trace::json::Value]>::len),
+            Some(1)
         );
     }
 

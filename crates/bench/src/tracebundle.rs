@@ -124,8 +124,18 @@ pub fn track_names_for(cfg: &GpuConfig) -> TrackNames {
     counters[CounterKind::MissQueueDepth.index()] =
         format!("{l1} queue ({})", LevelKind::L1.queue_label());
     counters[CounterKind::RopQueueDepth.index()] = "ROP queue".to_string();
-    counters[CounterKind::L2QueueDepth.index()] =
-        format!("{l2} queue ({})", LevelKind::L2.queue_label());
+    // On a sliced L2 the depth counter aggregates every slice's input
+    // queue; the track name says so, matching the sanitizer's per-slice
+    // `l2-input.N` labels.
+    let l2_slices = desc.level(LevelKind::L2).map_or(1, |l| l.slices.max(1));
+    counters[CounterKind::L2QueueDepth.index()] = if l2_slices > 1 {
+        format!(
+            "{l2} queue ({} x{l2_slices} slices)",
+            LevelKind::L2.queue_label()
+        )
+    } else {
+        format!("{l2} queue ({})", LevelKind::L2.queue_label())
+    };
     counters[CounterKind::L2MshrOccupancy.index()] = format!("{l2} MSHR occupancy");
     counters[CounterKind::DramQueueDepth.index()] =
         format!("{dram} queue ({})", LevelKind::DramFront.queue_label());
@@ -355,6 +365,29 @@ mod tests {
         );
         assert_ne!(run.content_hash, 0, "BFS run must hash its content");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sliced_l2_names_its_aggregated_queue_track() {
+        // The modern sectored presets have a sliced L2: the depth counter
+        // sums every slice's input queue, and the Perfetto track name must
+        // say so instead of pretending the L2 has one monolithic queue.
+        let modern = track_names_for(&latency_core::ArchPreset::VoltaGv100.config());
+        assert!(
+            modern
+                .counters
+                .iter()
+                .any(|c| c == "L2 queue (l2-input x2 slices)"),
+            "GV100 L2 queue track not slice-aware: {:?}",
+            modern.counters
+        );
+        // Paper-era machines keep the legacy single-queue spelling.
+        let legacy = track_names_for(&GpuConfig::fermi_gf100());
+        assert!(
+            legacy.counters.iter().any(|c| c == "L2 queue (l2-input)"),
+            "GF100 L2 queue track changed spelling: {:?}",
+            legacy.counters
+        );
     }
 
     #[test]

@@ -5,11 +5,13 @@
 //! instrumented run of the same kernel on the same machine description:
 //!
 //! - **Transactions** (contract A): the symbolic coalescing prediction
-//!   (`lines_per_warp`) must match the per-warp line counts the simulator's
-//!   own coalescer produced ([`gpu_sim::stats::LoadInstrRecord::lines`],
-//!   keyed by pc). Outside divergent control flow the match is *exact* for
-//!   a fully-active warp; under divergence (or a loop whose per-iteration
-//!   stride is not line-aligned) the static count is an upper bound.
+//!   (`lines_per_warp`, evaluated at the machine's transaction granule —
+//!   the sector size on sectored presets, the line size otherwise) must
+//!   match the per-warp transaction counts the simulator's own coalescer
+//!   produced ([`gpu_sim::stats::LoadInstrRecord::lines`], keyed by pc).
+//!   Outside divergent control flow the match is *exact* for a fully-active
+//!   warp; under divergence (or a loop whose per-iteration stride is not
+//!   granule-aligned) the static count is an upper bound.
 //! - **Levels** (contract B): every completed request's service level,
 //!   derived from its [`Timeline`] stamps, must lie in the level set the
 //!   machine description declares feasible for that space
@@ -205,8 +207,12 @@ pub fn validate_run(preset: ArchPreset, workload: Workload) -> Result<Validation
     let kernel = workload_kernel(workload);
     let kcfg = Cfg::build(&kernel);
     let sym = latency_check::symaddr::analyze(&kernel, &kcfg);
+    // Contract A compares *transaction* counts, which on a sectored machine
+    // means sectors: the simulator's coalescer emits granule-sized
+    // transactions, so the static prediction must count at the same granule
+    // (identical to the line size on the paper-era presets).
     let acfg = AnalysisConfig {
-        line_size: desc.line_size,
+        line_size: desc.transaction_granule(),
         warp_size: desc.sm.warp_size,
         ..AnalysisConfig::default()
     };

@@ -74,6 +74,11 @@ pub struct LoadCost {
     /// Predicted line transactions per fully-active warp, when the pattern
     /// is known.
     pub lines: Option<usize>,
+    /// Predicted memory transactions per fully-active warp at the machine's
+    /// transaction granule ([`ArchDesc::transaction_granule`]). Equal to
+    /// `lines` on unsectored machines; on sectored machines this is the
+    /// sector traffic the miss path actually carries (≥ `lines`).
+    pub sectors: Option<usize>,
     /// Levels this access can be served at, in pipeline order.
     pub feasible: Vec<LevelKind>,
     /// Shallowest feasible level.
@@ -117,16 +122,21 @@ impl KernelCost {
             let levels: Vec<&str> = l.feasible.iter().map(|k| k.label()).collect();
             let lines = l.lines.map_or("?".to_string(), |n| n.to_string());
             let what = if l.is_atomic { "atomic" } else { "load" };
+            let sectors = match (l.sectors, l.lines) {
+                (Some(s), Some(n)) if s != n => format!(" ({s} sector(s))"),
+                _ => String::new(),
+            };
             let _ = writeln!(
                 out,
                 "  pc {:>3}: {} {what}: levels [{}], floor {} cyc @ {}, \
-                 {} line(s)/warp, stall {}",
+                 {} line(s)/warp{}, stall {}",
                 l.pc,
                 l.space,
                 levels.join(", "),
                 l.floor,
                 l.entry.label(),
                 lines,
+                sectors,
                 l.stall.name(),
             );
         }
@@ -166,8 +176,22 @@ pub fn kernel_cost(kernel: &Kernel, desc: &ArchDesc) -> KernelCost {
         warp_size: desc.sm.warp_size,
         ..AnalysisConfig::default()
     };
+    // On sectored machines the coalescer emits granule-sized transactions;
+    // a second pass at the granule predicts the sector traffic the miss
+    // path carries (identical to the line pass when unsectored).
+    let granule = desc.transaction_granule();
+    let sector_pass: Option<Vec<_>> = (granule != desc.line_size).then(|| {
+        let sector_config = AnalysisConfig {
+            line_size: granule,
+            ..config
+        };
+        memlint::predict(kernel, &cfg, &sector_config)
+    });
     let mut loads = Vec::new();
-    for p in memlint::predict(kernel, &cfg, &config) {
+    for (i, p) in memlint::predict(kernel, &cfg, &config)
+        .into_iter()
+        .enumerate()
+    {
         // Stores never produce a completed-load record and shared accesses
         // never leave the SM: only loads and atomics have a dynamic ground
         // truth to predict.
@@ -176,6 +200,13 @@ pub fn kernel_cost(kernel: &Kernel, desc: &ArchDesc) -> KernelCost {
         }
         let Some(space) = pipeline_space(p.space) else {
             continue;
+        };
+        let sectors = match &sector_pass {
+            Some(pass) => {
+                debug_assert_eq!(pass[i].pc, p.pc, "passes walk the same accesses");
+                pass[i].lines_per_warp
+            }
+            None => p.lines_per_warp,
         };
         let feasible = desc.feasible_levels(space, p.is_atomic);
         let entry = desc.entry_level(space, p.is_atomic);
@@ -186,7 +217,10 @@ pub fn kernel_cost(kernel: &Kernel, desc: &ArchDesc) -> KernelCost {
             is_atomic: p.is_atomic,
             pattern: p.pattern,
             lines: p.lines_per_warp,
-            stall: stall_class(desc, entry, p.lines_per_warp),
+            sectors,
+            // MSHR entries and injection slots are consumed per transaction,
+            // which on sectored machines means per sector.
+            stall: stall_class(desc, entry, sectors),
             feasible,
             entry,
             floor,
@@ -280,5 +314,57 @@ mod tests {
         let text = cost.to_human();
         assert!(text.contains("1 memory operation(s)"), "{text}");
         assert!(text.contains("stall scoreboard"), "{text}");
+    }
+
+    /// The same Fermi-class machine with 32-byte sectors on both caches.
+    fn sectored_desc() -> ArchDesc {
+        let mut desc = desc_with_l1();
+        for level in &mut desc.levels {
+            if let Some(g) = &mut level.geom {
+                g.sector_bytes = Some(32);
+            }
+        }
+        desc.validate().expect("sectored variant stays valid");
+        desc
+    }
+
+    #[test]
+    fn sectors_match_lines_on_unsectored_machines() {
+        for stride in [4, 32, 128] {
+            let cost = kernel_cost(&strided_kernel(stride), &desc_with_l1());
+            let l = &cost.loads[0];
+            assert_eq!(l.sectors, l.lines, "stride {stride}");
+        }
+    }
+
+    #[test]
+    fn sectored_machine_forecasts_sector_traffic() {
+        // Stride 32 with 4-byte lanes: 32 lanes touch 8 distinct 128-byte
+        // lines but 32 distinct 32-byte sectors.
+        let cost = kernel_cost(&strided_kernel(32), &sectored_desc());
+        let l = &cost.loads[0];
+        assert_eq!(l.lines, Some(8));
+        assert_eq!(l.sectors, Some(32));
+        // A dense coalesced access still spans one line = four sectors.
+        let dense = kernel_cost(&strided_kernel(4), &sectored_desc());
+        let d = &dense.loads[0];
+        assert_eq!(d.lines, Some(1));
+        assert_eq!(d.sectors, Some(4));
+        // The rendering surfaces the divergence.
+        assert!(
+            cost.to_human().contains("(32 sector(s))"),
+            "{}",
+            cost.to_human()
+        );
+    }
+
+    #[test]
+    fn stall_forecast_uses_sector_fanout_on_sectored_machines() {
+        // 32 sectors ≥ the 32-entry MSHR table: sector counting flips the
+        // forecast to MSHR pressure where line counting (8) would not.
+        let sectored = kernel_cost(&strided_kernel(32), &sectored_desc());
+        assert_eq!(sectored.loads[0].stall, StallClass::MshrPressure);
+        let unsectored = kernel_cost(&strided_kernel(32), &desc_with_l1());
+        assert_eq!(unsectored.loads[0].stall, StallClass::IcntPressure);
     }
 }

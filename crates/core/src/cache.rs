@@ -37,7 +37,11 @@ pub const CACHE_ENV: &str = "LATENCY_CACHE";
 ///
 /// Version 2: keys hash the declarative [`gpu_sim::ArchDesc`]
 /// (via [`GpuConfig::arch_desc`]) instead of the flat config fields.
-pub const CACHE_FORMAT_VERSION: u32 = 2;
+///
+/// Version 3: the v2 description schema (sectored caches, sliced L2)
+/// changed the timing model's fill granularity and the L2 tick schedule;
+/// entries computed by the unsectored model must not be replayed.
+pub const CACHE_FORMAT_VERSION: u32 = 3;
 
 /// Process-wide override of the cache directory:
 /// `None` = no override (consult [`CACHE_ENV`]),

@@ -18,6 +18,13 @@
 //! table (see the GK110 entry, which reuses GK104's geometry with the
 //! read-only global path routed through the L1 per Mei & Chu's Kepler study)
 //! — no simulator code changes.
+//!
+//! Beyond the paper's Table I, two modern-generation presets exercise the
+//! v2 description schema: GV100 (Volta-class) and GA102 (Ampere-class),
+//! calibrated against the microbenchmark dissections of arXiv:2208.11174
+//! (Volta/Turing/Ampere) and arXiv:2507.10789. Both use 32-byte sectored
+//! caches and hash-interleaved L2 slices; GA102's twelve memory partitions
+//! prove the partition count is not restricted to powers of two.
 
 use gpu_icnt::IcntConfig;
 use gpu_mem::{CacheConfig, DramSched, DramTiming, MshrConfig, Replacement};
@@ -59,17 +66,25 @@ pub enum ArchPreset {
     /// NVIDIA Maxwell GM107: L1 data cache removed; L2 and DRAM slower than
     /// Kepler's.
     MaxwellGm107,
+    /// NVIDIA Volta GV100: 32-byte sectored caches, two hash-interleaved L2
+    /// slices per partition (arXiv:2208.11174 dissection).
+    VoltaGv100,
+    /// NVIDIA Ampere GA102: 32-byte sectored caches, four L2 slices per
+    /// partition and twelve memory partitions (arXiv:2507.10789).
+    AmpereGa102,
 }
 
 impl ArchPreset {
     /// All presets in generation order.
-    pub const ALL: [ArchPreset; 6] = [
+    pub const ALL: [ArchPreset; 8] = [
         ArchPreset::TeslaGt200,
         ArchPreset::FermiGf106,
         ArchPreset::FermiGf100,
         ArchPreset::KeplerGk104,
         ArchPreset::KeplerGk110,
         ArchPreset::MaxwellGm107,
+        ArchPreset::VoltaGv100,
+        ArchPreset::AmpereGa102,
     ];
 
     /// The four presets appearing as columns of the paper's Table I.
@@ -89,7 +104,32 @@ impl ArchPreset {
             ArchPreset::KeplerGk104 => "GK104 (Kepler)",
             ArchPreset::KeplerGk110 => "GK110 (Kepler)",
             ArchPreset::MaxwellGm107 => "GM107 (Maxwell)",
+            ArchPreset::VoltaGv100 => "GV100 (Volta)",
+            ArchPreset::AmpereGa102 => "GA102 (Ampere)",
         }
+    }
+
+    /// Canonical lower-case chip token, as the command-line binaries and the
+    /// serve spec accept it. `parse(p.token())` always round-trips.
+    pub fn token(self) -> &'static str {
+        match self {
+            ArchPreset::TeslaGt200 => "gt200",
+            ArchPreset::FermiGf106 => "gf106",
+            ArchPreset::FermiGf100 => "gf100",
+            ArchPreset::KeplerGk104 => "gk104",
+            ArchPreset::KeplerGk110 => "gk110",
+            ArchPreset::MaxwellGm107 => "gm107",
+            ArchPreset::VoltaGv100 => "gv100",
+            ArchPreset::AmpereGa102 => "ga102",
+        }
+    }
+
+    /// Every accepted chip token, comma-separated in generation order — the
+    /// single source of truth for "unknown preset" error messages across the
+    /// binaries and the serve spec.
+    pub fn valid_tokens() -> String {
+        let tokens: Vec<&str> = ArchPreset::ALL.iter().map(|p| p.token()).collect();
+        tokens.join(", ")
     }
 
     /// Parses a user-facing preset name as the sweep/trace binaries accept
@@ -103,6 +143,8 @@ impl ArchPreset {
             "kepler" | "gk104" => Some(ArchPreset::KeplerGk104),
             "gk110" => Some(ArchPreset::KeplerGk110),
             "maxwell" | "gm107" => Some(ArchPreset::MaxwellGm107),
+            "volta" | "gv100" => Some(ArchPreset::VoltaGv100),
+            "ampere" | "ga102" => Some(ArchPreset::AmpereGa102),
             _ => None,
         }
     }
@@ -137,6 +179,20 @@ impl ArchPreset {
                 l2: Some(194),
                 dram: 350,
             },
+            // The modern presets are not Table I columns; their expectations
+            // come from the calibration targets of the validation harness
+            // (`gpu-bench`'s reference tables, after arXiv:2208.11174 and
+            // arXiv:2507.10789).
+            ArchPreset::VoltaGv100 => Table1Row {
+                l1: Some(28),
+                l2: Some(193),
+                dram: 472,
+            },
+            ArchPreset::AmpereGa102 => Table1Row {
+                l1: Some(33),
+                l2: Some(212),
+                dram: 466,
+            },
         }
     }
 
@@ -151,6 +207,8 @@ impl ArchPreset {
             ArchPreset::KeplerGk104 => kepler(false, "GK104 (Kepler)"),
             ArchPreset::KeplerGk110 => kepler(true, "GK110 (Kepler)"),
             ArchPreset::MaxwellGm107 => maxwell_gm107(),
+            ArchPreset::VoltaGv100 => volta_gv100(),
+            ArchPreset::AmpereGa102 => ampere_ga102(),
         }
     }
 
@@ -177,8 +235,8 @@ impl ArchPreset {
     }
 }
 
-/// Tag/MSHR geometry shared by every modeled cache: 128-byte lines, LRU,
-/// a 32-entry MSHR table merging up to 8 accesses per line.
+/// Tag/MSHR geometry shared by every paper-era cache: 128-byte unsectored
+/// lines, LRU, a 32-entry MSHR table merging up to 8 accesses per line.
 fn geom(sets: usize, ways: usize, hit_latency: u64) -> CacheGeom {
     CacheGeom {
         cache: CacheConfig {
@@ -192,6 +250,27 @@ fn geom(sets: usize, ways: usize, hit_latency: u64) -> CacheGeom {
             max_merged: 8,
         },
         hit_latency,
+        sector_bytes: None,
+    }
+}
+
+/// Modern sectored geometry: 128-byte lines filled in 32-byte sectors, a
+/// deeper MSHR file (misses are tracked per sector, so more entries are in
+/// flight for the same line footprint).
+fn sectored_geom(sets: usize, ways: usize, hit_latency: u64) -> CacheGeom {
+    CacheGeom {
+        cache: CacheConfig {
+            sets,
+            ways,
+            line_size: 128,
+            replacement: Replacement::Lru,
+        },
+        mshr: MshrConfig {
+            entries: 64,
+            max_merged: 8,
+        },
+        hit_latency,
+        sector_bytes: Some(32),
     }
 }
 
@@ -203,6 +282,19 @@ fn l1_level(sets: usize, hit_latency: u64, routing: Routing) -> LevelDesc {
         queue: 8,
         routing,
         write_policy: WritePolicy::WriteThrough,
+        slices: 1,
+    }
+}
+
+/// A modern sectored L1: same queueing as [`l1_level`], 32-byte sectors.
+fn sectored_l1_level(sets: usize, hit_latency: u64, routing: Routing) -> LevelDesc {
+    LevelDesc {
+        kind: LevelKind::L1,
+        geom: Some(sectored_geom(sets, 4, hit_latency)),
+        queue: 8,
+        routing,
+        write_policy: WritePolicy::WriteThrough,
+        slices: 1,
     }
 }
 
@@ -214,6 +306,20 @@ fn l2_level(sets: usize, hit_latency: u64) -> LevelDesc {
         queue: 8,
         routing: Routing::ALL,
         write_policy: WritePolicy::WriteThrough,
+        slices: 1,
+    }
+}
+
+/// A modern L2: sectored, write-back, hash-interleaved across `slices`
+/// independent banks per partition. `sets` describes ONE slice.
+fn sectored_l2_level(sets: usize, hit_latency: u64, slices: usize) -> LevelDesc {
+    LevelDesc {
+        kind: LevelKind::L2,
+        geom: Some(sectored_geom(sets, 8, hit_latency)),
+        queue: 8,
+        routing: Routing::ALL,
+        write_policy: WritePolicy::WriteBack,
+        slices,
     }
 }
 
@@ -226,6 +332,7 @@ fn absent_level(kind: LevelKind) -> LevelDesc {
         queue: 8,
         routing: Routing::NONE,
         write_policy: WritePolicy::WriteThrough,
+        slices: 1,
     }
 }
 
@@ -237,6 +344,7 @@ fn dram_front() -> LevelDesc {
         queue: 128,
         routing: Routing::ALL,
         write_policy: WritePolicy::WriteThrough,
+        slices: 1,
     }
 }
 
@@ -404,6 +512,69 @@ fn maxwell_gm107() -> ArchDesc {
     }
 }
 
+/// Volta GV100: 80 SMs, sectored caches, two L2 slices per partition.
+/// Targets (arXiv:2208.11174 calibration): L1 28, L2 193, DRAM 472.
+fn volta_gv100() -> ArchDesc {
+    ArchDesc {
+        name: "GV100 (Volta)".to_string(),
+        num_sms: 80,
+        line_size: 128,
+        sm: SmDesc {
+            warp_size: 32,
+            max_warps: 64,
+            max_ctas: 32,
+            issue_width: 2,
+            scheduler: SchedPolicy::Lrr,
+            alu_latency: 4,
+            fp_latency: 4,
+            sfu_latency: 14,
+            shared_latency: 19,
+            base_latency: 12,
+            lsu_queue: 34,
+            fill_latency: 10,
+        },
+        levels: vec![
+            sectored_l1_level(64, 16, Routing::ALL), // 32 KB of a 128 KB unified SRAM
+            sectored_l2_level(256, 94, 2),           // 256 KB per slice, 2 slices
+            dram_front(),
+        ],
+        fabric: fabric(24, 28),
+        mem: mem(45, 45, 270, 12, 8), // HBM2: long CL in hot clocks, 8 stacks-as-partitions
+    }
+}
+
+/// Ampere GA102: 84 SMs, sectored caches, four L2 slices per partition and
+/// twelve partitions (GDDR6X's 384-bit bus = twelve 32-bit channels).
+/// Targets (arXiv:2507.10789 calibration): L1 33, L2 212, DRAM 466.
+fn ampere_ga102() -> ArchDesc {
+    ArchDesc {
+        name: "GA102 (Ampere)".to_string(),
+        num_sms: 84,
+        line_size: 128,
+        sm: SmDesc {
+            warp_size: 32,
+            max_warps: 48,
+            max_ctas: 16,
+            issue_width: 2,
+            scheduler: SchedPolicy::Lrr,
+            alu_latency: 4,
+            fp_latency: 4,
+            sfu_latency: 14,
+            shared_latency: 19,
+            base_latency: 14,
+            lsu_queue: 34,
+            fill_latency: 10,
+        },
+        levels: vec![
+            sectored_l1_level(64, 19, Routing::ALL), // 32 KB of the unified SRAM
+            sectored_l2_level(128, 105, 4),          // 128 KB per slice, 4 slices
+            dram_front(),
+        ],
+        fabric: fabric(26, 30),
+        mem: mem(48, 48, 250, 12, 12),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -529,7 +700,54 @@ mod tests {
         assert_eq!(ArchPreset::parse("kepler"), Some(ArchPreset::KeplerGk104));
         assert_eq!(ArchPreset::parse("gk110"), Some(ArchPreset::KeplerGk110));
         assert_eq!(ArchPreset::parse("maxwell"), Some(ArchPreset::MaxwellGm107));
-        assert_eq!(ArchPreset::parse("volta"), None);
+        assert_eq!(ArchPreset::parse("volta"), Some(ArchPreset::VoltaGv100));
+        assert_eq!(ArchPreset::parse("GV100"), Some(ArchPreset::VoltaGv100));
+        assert_eq!(ArchPreset::parse("ampere"), Some(ArchPreset::AmpereGa102));
+        assert_eq!(ArchPreset::parse("ga102"), Some(ArchPreset::AmpereGa102));
+        assert_eq!(ArchPreset::parse("hopper"), None);
+    }
+
+    #[test]
+    fn tokens_roundtrip_and_enumerate() {
+        for p in ArchPreset::ALL {
+            assert_eq!(ArchPreset::parse(p.token()), Some(p), "{}", p.name());
+        }
+        let listing = ArchPreset::valid_tokens();
+        for p in ArchPreset::ALL {
+            assert!(listing.contains(p.token()), "{} missing", p.token());
+        }
+        assert_eq!(
+            listing,
+            "gt200, gf106, gf100, gk104, gk110, gm107, gv100, ga102"
+        );
+    }
+
+    #[test]
+    fn modern_presets_are_sectored_and_sliced() {
+        for (p, slices, partitions) in [
+            (ArchPreset::VoltaGv100, 2, 8),
+            (ArchPreset::AmpereGa102, 4, 12),
+        ] {
+            let desc = p.desc();
+            for level in &desc.levels {
+                if let Some(g) = &level.geom {
+                    assert_eq!(g.sector_bytes, Some(32), "{}", p.name());
+                    assert_eq!(g.sectors_per_line(), 4, "{}", p.name());
+                }
+                if level.kind == LevelKind::L2 {
+                    assert_eq!(level.slices, slices, "{}", p.name());
+                }
+            }
+            assert_eq!(desc.transaction_granule(), 32, "{}", p.name());
+            assert_eq!(desc.mem.num_partitions, partitions, "{}", p.name());
+            p.config().assert_valid();
+        }
+        // GA102's partition count is deliberately not a power of two.
+        assert!(!ArchPreset::AmpereGa102
+            .desc()
+            .mem
+            .num_partitions
+            .is_power_of_two());
     }
 
     #[test]

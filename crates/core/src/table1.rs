@@ -57,6 +57,9 @@ fn row_points(desc: &ArchDesc) -> (Vec<ChaseParams>, bool, bool) {
             .map(|g| g.cache.capacity())
     };
     let (l1_cap, l2_cap) = (cap(LevelKind::L1), cap(LevelKind::L2));
+    // A sliced L2's description gives ONE slice's capacity; the chase must
+    // spill the whole hash-interleaved array to reach DRAM.
+    let l2_slices = desc.level(LevelKind::L2).map_or(1, |l| l.slices.max(1));
     let mut points = Vec::with_capacity(desc.levels.len());
     for level in &desc.levels {
         match (level.kind, level.geom) {
@@ -76,7 +79,7 @@ fn row_points(desc: &ArchDesc) -> (Vec<ChaseParams>, bool, bool) {
             }
             (LevelKind::DramFront, _) => {
                 let slice = l2_cap.unwrap_or(256 * 1024);
-                points.push(ChaseParams::global(slice * 4, 4096));
+                points.push(ChaseParams::global(slice * l2_slices as u64 * 4, 4096));
             }
             // A cache level the generation does not have contributes no
             // operating point.

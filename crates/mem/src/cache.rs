@@ -61,26 +61,36 @@ pub enum LoadOutcome {
     Miss,
 }
 
+/// One tag-array entry. State is tracked per sector as bitmasks (bit `i` =
+/// sector `i` of the line); an unsectored cache has exactly one sector per
+/// line, so the masks degenerate to the classic whole-line booleans and the
+/// behavior is bit-identical to the pre-sector model.
 #[derive(Debug, Clone, Copy)]
 struct Line {
     tag: u64,
-    valid: bool,
-    /// Reserved for an in-flight fill (prevents double-allocation while the
-    /// MSHR tracks the outstanding request).
-    reserved: bool,
-    /// Holds data newer than memory (write-back caches only).
-    dirty: bool,
+    /// Sectors holding data.
+    valid: u32,
+    /// Sectors reserved for in-flight fills (prevents double-allocation
+    /// while the MSHR tracks the outstanding request).
+    reserved: u32,
+    /// Sectors holding data newer than memory (write-back caches only).
+    dirty: u32,
     stamp: u64,
 }
 
 impl Line {
     const EMPTY: Line = Line {
         tag: 0,
-        valid: false,
-        reserved: false,
-        dirty: false,
+        valid: 0,
+        reserved: 0,
+        dirty: 0,
         stamp: 0,
     };
+
+    /// The line owns its tag while any sector is valid or awaiting a fill.
+    fn present(&self) -> bool {
+        self.valid != 0 || self.reserved != 0
+    }
 }
 
 /// A set-associative tag array.
@@ -104,6 +114,10 @@ impl Line {
 #[derive(Debug, Clone)]
 pub struct Cache {
     config: CacheConfig,
+    /// Sector size in bytes; equals `config.line_size` when unsectored.
+    sector_bytes: u64,
+    /// Sectors per line (1 = classic unsectored line).
+    sectors_per_line: u32,
     lines: Vec<Line>,
     writebacks: std::collections::VecDeque<Addr>,
     tick: u64,
@@ -112,15 +126,41 @@ pub struct Cache {
 }
 
 impl Cache {
-    /// Creates an empty cache with the given geometry.
+    /// Creates an empty *unsectored* cache with the given geometry (fills
+    /// move whole lines).
     ///
     /// # Panics
     ///
     /// Panics if the geometry is invalid (see [`CacheConfig::assert_valid`]).
     pub fn new(config: CacheConfig) -> Self {
+        Cache::with_sectors(config, None)
+    }
+
+    /// Creates an empty cache that fills and tags at `sector_bytes`
+    /// granularity (`None` = unsectored, whole-line fills). A probe hits
+    /// only when the touched *sector* is valid; fills and reservations
+    /// cover one sector, so miss traffic is naturally counted in sectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is invalid, or if the sector size is not a
+    /// power of two dividing the line size into at most 32 sectors.
+    pub fn with_sectors(config: CacheConfig, sector_bytes: Option<u64>) -> Self {
         config.assert_valid();
+        let sector = sector_bytes.unwrap_or(config.line_size);
+        assert!(
+            sector.is_power_of_two() && sector <= config.line_size,
+            "sector size must be a power of two no larger than the line"
+        );
+        let sectors_per_line = (config.line_size / sector) as u32;
+        assert!(
+            sectors_per_line <= 32,
+            "at most 32 sectors per line (mask width)"
+        );
         Cache {
             config,
+            sector_bytes: sector,
+            sectors_per_line,
             lines: vec![Line::EMPTY; config.sets * config.ways],
             writebacks: std::collections::VecDeque::new(),
             tick: 0,
@@ -132,6 +172,11 @@ impl Cache {
     /// The cache geometry.
     pub fn config(&self) -> &CacheConfig {
         &self.config
+    }
+
+    /// Sectors per line (1 for an unsectored cache).
+    pub fn sectors_per_line(&self) -> u32 {
+        self.sectors_per_line
     }
 
     /// Demand hits observed so far.
@@ -158,7 +203,15 @@ impl Cache {
         s * self.config.ways..(s + 1) * self.config.ways
     }
 
-    /// Probes for a load at `addr` (any address within the line).
+    /// The mask bit of the sector `addr` falls in (always bit 0 when
+    /// unsectored).
+    fn sector_bit(&self, addr: Addr) -> u32 {
+        1 << ((addr.get() / self.sector_bytes) % self.sectors_per_line as u64)
+    }
+
+    /// Probes for a load at `addr`. A hit requires the touched *sector* to
+    /// be valid — a sectored cache misses on a resident line whose sector
+    /// has not been fetched yet.
     ///
     /// On a hit the line's recency is updated. On a miss nothing is
     /// allocated — call [`Cache::reserve`] (on MSHR allocation) and
@@ -166,10 +219,11 @@ impl Cache {
     pub fn load(&mut self, addr: Addr) -> LoadOutcome {
         self.tick += 1;
         let tag = self.tag(addr);
+        let bit = self.sector_bit(addr);
         let range = self.set_range(addr);
         for i in range {
             let line = &mut self.lines[i];
-            if line.valid && line.tag == tag {
+            if line.valid & bit != 0 && line.tag == tag {
                 if self.config.replacement == Replacement::Lru {
                     line.stamp = self.tick;
                 }
@@ -184,40 +238,48 @@ impl Cache {
     /// Probes without updating recency or statistics.
     pub fn probe(&self, addr: Addr) -> bool {
         let tag = self.tag(addr);
+        let bit = self.sector_bit(addr);
         self.set_range(addr)
-            .any(|i| self.lines[i].valid && self.lines[i].tag == tag)
+            .any(|i| self.lines[i].valid & bit != 0 && self.lines[i].tag == tag)
     }
 
-    /// Reserves a way in `addr`'s set for an in-flight fill, evicting a
-    /// victim if needed. Returns `false` if every way is already reserved
+    /// Reserves `addr`'s sector for an in-flight fill, evicting a victim
+    /// line if needed. Returns `false` if every way is already reserved
     /// for other in-flight fills (the miss must stall).
     pub fn reserve(&mut self, addr: Addr) -> bool {
         self.tick += 1;
         let tag = self.tag(addr);
+        let bit = self.sector_bit(addr);
         let range = self.set_range(addr);
-        // Already reserved or present?
+        // Line already present (any sector)? Reserve just this sector —
+        // a sector miss on a resident line needs no eviction.
         for i in range.clone() {
-            let line = &self.lines[i];
-            if line.tag == tag && (line.valid || line.reserved) {
+            let line = &mut self.lines[i];
+            if line.tag == tag && line.present() {
+                if line.valid & bit == 0 {
+                    line.reserved |= bit;
+                }
                 return true;
             }
         }
-        // Find a victim among non-reserved ways.
-        let victim = range.filter(|&i| !self.lines[i].reserved).min_by_key(|&i| {
-            let l = &self.lines[i];
-            (l.valid, l.stamp)
-        });
+        // Find a victim among ways with no in-flight fills.
+        let victim = range
+            .filter(|&i| self.lines[i].reserved == 0)
+            .min_by_key(|&i| {
+                let l = &self.lines[i];
+                (l.valid != 0, l.stamp)
+            });
         match victim {
             Some(i) => {
                 let victim = self.lines[i];
-                if victim.valid && victim.dirty {
+                if victim.valid != 0 && victim.dirty != 0 {
                     self.push_writeback(victim.tag, addr);
                 }
                 self.lines[i] = Line {
                     tag,
-                    valid: false,
-                    reserved: true,
-                    dirty: false,
+                    valid: 0,
+                    reserved: bit,
+                    dirty: 0,
                     stamp: self.tick,
                 };
                 true
@@ -226,36 +288,41 @@ impl Cache {
         }
     }
 
-    /// Fills the line containing `addr` (fill-on-return). Clears any
-    /// reservation; allocates a victim way if none was reserved.
+    /// Fills `addr`'s sector (fill-on-return). Clears any reservation for
+    /// that sector; allocates a victim way if the line was not resident.
     pub fn fill(&mut self, addr: Addr) {
         self.tick += 1;
         let tag = self.tag(addr);
+        let bit = self.sector_bit(addr);
         let range = self.set_range(addr);
         // Complete a reservation or refresh an existing line.
         for i in range.clone() {
             let line = &mut self.lines[i];
-            if line.tag == tag && (line.reserved || line.valid) {
-                line.valid = true;
-                line.reserved = false;
+            if line.tag == tag && line.present() {
+                line.valid |= bit;
+                line.reserved &= !bit;
                 line.stamp = self.tick;
                 return;
             }
         }
-        // Unreserved fill: pick the LRU/FIFO victim among non-reserved ways.
-        if let Some(i) = range.filter(|&i| !self.lines[i].reserved).min_by_key(|&i| {
-            let l = &self.lines[i];
-            (l.valid, l.stamp)
-        }) {
+        // Unreserved fill: pick the LRU/FIFO victim among ways with no
+        // in-flight fills.
+        if let Some(i) = range
+            .filter(|&i| self.lines[i].reserved == 0)
+            .min_by_key(|&i| {
+                let l = &self.lines[i];
+                (l.valid != 0, l.stamp)
+            })
+        {
             let victim = self.lines[i];
-            if victim.valid && victim.dirty {
+            if victim.valid != 0 && victim.dirty != 0 {
                 self.push_writeback(victim.tag, addr);
             }
             self.lines[i] = Line {
                 tag,
-                valid: true,
-                reserved: false,
-                dirty: false,
+                valid: bit,
+                reserved: 0,
+                dirty: 0,
                 stamp: self.tick,
             };
         }
@@ -265,15 +332,18 @@ impl Cache {
         // uses this type.)
     }
 
-    /// Applies the write-evict store policy: invalidates the line containing
-    /// `addr` if present (stores are write-through and never allocate).
+    /// Applies the write-evict store policy: invalidates the sector
+    /// containing `addr` if present (stores are write-through and never
+    /// allocate). On an unsectored cache the single sector is the line, so
+    /// the whole line dies — the historical behavior.
     pub fn store_invalidate(&mut self, addr: Addr) {
         let tag = self.tag(addr);
+        let bit = self.sector_bit(addr);
         for i in self.set_range(addr) {
             let line = &mut self.lines[i];
-            if line.valid && line.tag == tag {
-                line.valid = false;
-                line.dirty = false;
+            if line.valid & bit != 0 && line.tag == tag {
+                line.valid &= !bit;
+                line.dirty &= !bit;
             }
         }
     }
@@ -286,10 +356,11 @@ impl Cache {
     pub fn store_mark_dirty(&mut self, addr: Addr) -> bool {
         self.tick += 1;
         let tag = self.tag(addr);
+        let bit = self.sector_bit(addr);
         for i in self.set_range(addr) {
             let line = &mut self.lines[i];
-            if line.valid && line.tag == tag {
-                line.dirty = true;
+            if line.valid & bit != 0 && line.tag == tag {
+                line.dirty |= bit;
                 if self.config.replacement == Replacement::Lru {
                     line.stamp = self.tick;
                 }
@@ -308,30 +379,34 @@ impl Cache {
     pub fn allocate_dirty(&mut self, addr: Addr) -> bool {
         self.tick += 1;
         let tag = self.tag(addr);
+        let bit = self.sector_bit(addr);
         let range = self.set_range(addr);
         for i in range.clone() {
             let line = &mut self.lines[i];
-            if line.valid && line.tag == tag {
-                line.dirty = true;
+            if line.valid != 0 && line.tag == tag {
+                line.valid |= bit;
+                line.dirty |= bit;
                 line.stamp = self.tick;
                 return true;
             }
         }
-        let victim = range.filter(|&i| !self.lines[i].reserved).min_by_key(|&i| {
-            let l = &self.lines[i];
-            (l.valid, l.stamp)
-        });
+        let victim = range
+            .filter(|&i| self.lines[i].reserved == 0)
+            .min_by_key(|&i| {
+                let l = &self.lines[i];
+                (l.valid != 0, l.stamp)
+            });
         match victim {
             Some(i) => {
                 let victim = self.lines[i];
-                if victim.valid && victim.dirty {
+                if victim.valid != 0 && victim.dirty != 0 {
                     self.push_writeback(victim.tag, addr);
                 }
                 self.lines[i] = Line {
                     tag,
-                    valid: true,
-                    reserved: false,
-                    dirty: true,
+                    valid: bit,
+                    reserved: 0,
+                    dirty: bit,
                     stamp: self.tick,
                 };
                 true
@@ -369,15 +444,17 @@ impl Cache {
     // ---- snapshot codec ---------------------------------------------------
 
     /// Serializes the tag array, writeback queue, LRU tick and statistics.
-    /// Geometry is not serialized; a restore target must be constructed with
-    /// the same [`CacheConfig`].
+    /// Only the sector count is serialized of the geometry; a restore
+    /// target must be constructed with the same [`CacheConfig`] and sector
+    /// size.
     pub fn encode_state(&self, e: &mut gpu_snapshot::Encoder) {
+        e.u32(self.sectors_per_line);
         e.usize(self.lines.len());
         for line in &self.lines {
             e.u64(line.tag);
-            e.bool(line.valid);
-            e.bool(line.reserved);
-            e.bool(line.dirty);
+            e.u32(line.valid);
+            e.u32(line.reserved);
+            e.u32(line.dirty);
             e.u64(line.stamp);
         }
         e.usize(self.writebacks.len());
@@ -399,6 +476,11 @@ impl Cache {
         &mut self,
         d: &mut gpu_snapshot::Decoder,
     ) -> Result<(), gpu_snapshot::SnapshotError> {
+        if d.u32()? != self.sectors_per_line {
+            return Err(gpu_snapshot::SnapshotError::InvalidValue(
+                "cache geometry mismatch",
+            ));
+        }
         let n = d.usize()?;
         if n != self.lines.len() {
             return Err(gpu_snapshot::SnapshotError::InvalidValue(
@@ -407,9 +489,9 @@ impl Cache {
         }
         for line in &mut self.lines {
             line.tag = d.u64()?;
-            line.valid = d.bool()?;
-            line.reserved = d.bool()?;
-            line.dirty = d.bool()?;
+            line.valid = d.u32()?;
+            line.reserved = d.u32()?;
+            line.dirty = d.u32()?;
             line.stamp = d.u64()?;
         }
         self.writebacks.clear();
@@ -653,5 +735,110 @@ mod tests {
             line_size: 128,
             replacement: Replacement::Lru,
         });
+    }
+
+    // ---- sectored behavior ------------------------------------------------
+
+    fn sectored_cache(ways: usize) -> Cache {
+        Cache::with_sectors(
+            CacheConfig {
+                sets: 2,
+                ways,
+                line_size: 128,
+                replacement: Replacement::Lru,
+            },
+            Some(32),
+        )
+    }
+
+    #[test]
+    fn sector_miss_on_resident_line() {
+        let mut c = sectored_cache(2);
+        c.fill(addr(0, 0)); // sector 0 of the line
+        assert_eq!(c.load(addr(0, 0)), LoadOutcome::Hit);
+        // Same line, different sector: the line is resident but the sector
+        // was never fetched — a sectored cache misses where an unsectored
+        // one would hit.
+        assert_eq!(c.load(addr(0, 0) + 64), LoadOutcome::Miss);
+        c.fill(addr(0, 0) + 64);
+        assert_eq!(c.load(addr(0, 0) + 64), LoadOutcome::Hit);
+        // The unsectored twin hits the whole line after one fill.
+        let mut plain = small_cache(2);
+        plain.fill(addr(0, 0));
+        assert_eq!(plain.load(addr(0, 0) + 64), LoadOutcome::Hit);
+    }
+
+    #[test]
+    fn sector_reserve_on_resident_line_needs_no_eviction() {
+        let mut c = sectored_cache(1);
+        c.fill(addr(0, 0));
+        // Reserving another sector of the resident line reserves in place.
+        assert!(c.reserve(addr(0, 0) + 32));
+        assert!(c.probe(addr(0, 0)), "sector 0 survives the reservation");
+        c.fill(addr(0, 0) + 32);
+        assert!(c.probe(addr(0, 0) + 32));
+        assert!(c.probe(addr(0, 0)));
+    }
+
+    #[test]
+    fn store_invalidates_only_its_sector() {
+        let mut c = sectored_cache(2);
+        c.fill(addr(0, 0));
+        c.fill(addr(0, 0) + 32);
+        c.store_invalidate(addr(0, 0) + 32);
+        assert!(c.probe(addr(0, 0)), "sibling sector survives");
+        assert!(!c.probe(addr(0, 0) + 32));
+    }
+
+    #[test]
+    fn sectored_eviction_is_whole_line() {
+        let mut c = sectored_cache(1);
+        c.fill(addr(0, 0));
+        c.fill(addr(0, 0) + 32);
+        c.fill(addr(0, 1)); // conflicting line evicts the whole line
+        assert!(!c.probe(addr(0, 0)));
+        assert!(!c.probe(addr(0, 0) + 32));
+        assert!(c.probe(addr(0, 1)));
+    }
+
+    #[test]
+    fn sectored_codec_round_trips_and_rejects_sector_mismatch() {
+        let mut c = sectored_cache(2);
+        c.fill(addr(0, 0));
+        c.fill(addr(0, 0) + 96);
+        c.reserve(addr(0, 1) + 32);
+        let mut e = gpu_snapshot::Encoder::new();
+        c.encode_state(&mut e);
+        let framed = e.finish();
+
+        let mut restored = sectored_cache(2);
+        let mut d = gpu_snapshot::Decoder::open(&framed).unwrap();
+        restored.restore_state(&mut d).unwrap();
+        d.expect_end().unwrap();
+        assert!(restored.probe(addr(0, 0)));
+        assert!(restored.probe(addr(0, 0) + 96));
+        assert!(!restored.probe(addr(0, 0) + 32));
+
+        // An unsectored cache of the same shape must refuse the snapshot.
+        let mut plain = small_cache(2);
+        let mut d = gpu_snapshot::Decoder::open(&framed).unwrap();
+        assert!(matches!(
+            plain.restore_state(&mut d),
+            Err(gpu_snapshot::SnapshotError::InvalidValue(_))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn invalid_sector_size_panics() {
+        let _ = Cache::with_sectors(
+            CacheConfig {
+                sets: 2,
+                ways: 1,
+                line_size: 128,
+                replacement: Replacement::Lru,
+            },
+            Some(48),
+        );
     }
 }

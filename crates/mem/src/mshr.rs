@@ -152,6 +152,24 @@ impl<T> MshrTable<T> {
         lines.into_iter().map(Addr::new).collect()
     }
 
+    /// Bitmask of the sectors of the `line_size`-byte line at `line` (line
+    /// aligned) that have fills outstanding, when the table is keyed at
+    /// `sector_bytes` granularity (bit `i` = sector `i`). A sectored
+    /// pipeline keys its table by sector-aligned addresses, so several
+    /// sectors of one line can be in flight at once; an unsectored table
+    /// (`sector_bytes == line_size`) yields mask 0 or 1.
+    pub fn pending_sector_mask(&self, line: Addr, line_size: u64, sector_bytes: u64) -> u32 {
+        let base = line.get();
+        let sectors = (line_size / sector_bytes).min(32);
+        let mut mask = 0u32;
+        for s in 0..sectors {
+            if self.entries.contains_key(&(base + s * sector_bytes)) {
+                mask |= 1 << s;
+            }
+        }
+        mask
+    }
+
     // ---- snapshot codec ---------------------------------------------------
 
     /// Serializes the outstanding entries in line-address order (the table
@@ -367,6 +385,22 @@ mod tests {
             small.restore_state_with(&mut d, |d| d.u32()),
             Err(gpu_snapshot::SnapshotError::InvalidValue(_))
         ));
+    }
+
+    #[test]
+    fn pending_sector_mask_reports_in_flight_sectors() {
+        let mut m = table(8, 2);
+        // A sectored pipeline keys the table by 32 B sector addresses.
+        m.allocate(Addr::new(0x1000)); // sector 0 of line 0x1000
+        m.allocate(Addr::new(0x1060)); // sector 3 of line 0x1000
+        m.allocate(Addr::new(0x1080)); // sector 0 of the *next* line
+        assert_eq!(m.pending_sector_mask(Addr::new(0x1000), 128, 32), 0b1001);
+        assert_eq!(m.pending_sector_mask(Addr::new(0x1080), 128, 32), 0b0001);
+        assert_eq!(m.pending_sector_mask(Addr::new(0x2000), 128, 32), 0);
+        // Unsectored degenerate case: one "sector" per line.
+        assert_eq!(m.pending_sector_mask(Addr::new(0x1000), 128, 128), 1);
+        m.fill(Addr::new(0x1060));
+        assert_eq!(m.pending_sector_mask(Addr::new(0x1000), 128, 32), 0b0001);
     }
 
     #[test]

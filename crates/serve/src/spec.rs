@@ -34,7 +34,7 @@ pub const MAX_NODES: u32 = 1 << 22;
 /// Where the architecture comes from.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ArchSource {
-    /// One of the paper's six per-generation presets.
+    /// One of the registered per-generation presets.
     Preset(ArchPreset),
     /// An inline hex-encoded `ArchDesc` snapshot frame.
     Inline(Box<ArchDesc>),
@@ -114,7 +114,11 @@ impl SpecError {
 impl std::fmt::Display for SpecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SpecError::UnknownPreset(p) => write!(f, "unknown preset {p:?}"),
+            SpecError::UnknownPreset(p) => write!(
+                f,
+                "unknown preset {p:?} (valid presets: {})",
+                ArchPreset::valid_tokens()
+            ),
             SpecError::BadArchFrame(e) => write!(f, "bad arch frame: {e}"),
             SpecError::MissingArch(e) => write!(f, "{e}"),
             SpecError::UnknownWorkload(e) => write!(f, "{e}"),
@@ -127,16 +131,10 @@ impl std::fmt::Display for SpecError {
 impl std::error::Error for SpecError {}
 
 /// Canonical lowercase token for a preset, used in persisted specs and job
-/// hashing-stable display (`ArchPreset::parse` accepts it back).
+/// hashing-stable display (`ArchPreset::parse` accepts it back). Delegates
+/// to [`ArchPreset::token`], the registry's single source of truth.
 pub fn preset_token(p: ArchPreset) -> &'static str {
-    match p {
-        ArchPreset::TeslaGt200 => "gt200",
-        ArchPreset::FermiGf106 => "gf106",
-        ArchPreset::FermiGf100 => "gf100",
-        ArchPreset::KeplerGk104 => "gk104",
-        ArchPreset::KeplerGk110 => "gk110",
-        ArchPreset::MaxwellGm107 => "gm107",
-    }
+    p.token()
 }
 
 /// Encodes bytes as lowercase hex.
@@ -531,6 +529,18 @@ mod tests {
     fn unknown_preset_is_typed() {
         let err = JobSpec::parse_str(&sweep_spec("gtx9000")).unwrap_err();
         assert_eq!(err.code(), "unknown_preset");
+        // The message enumerates every valid token so a client can self-fix.
+        let msg = err.to_string();
+        for p in ArchPreset::ALL {
+            assert!(msg.contains(p.token()), "{} missing from {msg}", p.token());
+        }
+    }
+
+    #[test]
+    fn preset_token_roundtrips_through_parse() {
+        for p in ArchPreset::ALL {
+            assert_eq!(ArchPreset::parse(preset_token(p)), Some(p));
+        }
     }
 
     #[test]

@@ -38,6 +38,8 @@ pub struct L1Config {
     pub serve_global: bool,
     /// Does the L1 cache local-space accesses?
     pub serve_local: bool,
+    /// Fill/tag granularity in bytes (`None` = classic unsectored lines).
+    pub sector_bytes: Option<u64>,
 }
 
 /// L2 slice configuration (one slice per memory partition).
@@ -49,10 +51,16 @@ pub struct L2Config {
     pub mshr: MshrConfig,
     /// Hit latency: probe-to-data, in cycles.
     pub hit_latency: u64,
-    /// Input queue between the ROP pipeline and the L2 access stage.
+    /// Input queue between the ROP pipeline and the L2 access stage
+    /// (per slice).
     pub input_queue: usize,
     /// Store handling policy.
     pub write_policy: WritePolicy,
+    /// Fill/tag granularity in bytes (`None` = classic unsectored lines).
+    pub sector_bytes: Option<u64>,
+    /// Hash-interleaved slices per partition (1 = the classic monolithic
+    /// bank); `cache` describes ONE slice.
+    pub slices: usize,
 }
 
 /// Fallback capacity of the structural queue a level keeps even when its
@@ -165,6 +173,7 @@ impl GpuConfig {
                 miss_queue: 8,
                 serve_global: true,
                 serve_local: true,
+                sector_bytes: None,
             }),
             icnt: IcntConfig {
                 latency: 48,
@@ -188,6 +197,8 @@ impl GpuConfig {
                 hit_latency: 115,
                 input_queue: 8,
                 write_policy: WritePolicy::WriteThrough,
+                sector_bytes: None,
+                slices: 1,
             }),
             dram: DramConfig {
                 timing: DramTiming {
@@ -229,6 +240,7 @@ impl GpuConfig {
                 miss_queue: level.queue,
                 serve_global: level.routing.global,
                 serve_local: level.routing.local,
+                sector_bytes: g.sector_bytes,
             })
         });
         let l2 = desc.level(LevelKind::L2).and_then(|level| {
@@ -238,6 +250,8 @@ impl GpuConfig {
                 hit_latency: g.hit_latency,
                 input_queue: level.queue,
                 write_policy: level.write_policy,
+                sector_bytes: g.sector_bytes,
+                slices: level.slices,
             })
         });
         let dram_queue = desc
@@ -331,6 +345,7 @@ impl GpuConfig {
                     cache: l1.cache,
                     mshr: l1.mshr,
                     hit_latency: l1.hit_latency,
+                    sector_bytes: l1.sector_bytes,
                 }),
                 queue: l1.miss_queue,
                 routing: Routing {
@@ -340,6 +355,7 @@ impl GpuConfig {
                 // The modeled L1 is always write-through write-evict; only
                 // the L2 has a configurable store policy.
                 write_policy: WritePolicy::WriteThrough,
+                slices: 1,
             },
             None => LevelDesc {
                 kind: LevelKind::L1,
@@ -347,6 +363,7 @@ impl GpuConfig {
                 queue: ABSENT_LEVEL_QUEUE,
                 routing: Routing::NONE,
                 write_policy: WritePolicy::WriteThrough,
+                slices: 1,
             },
         };
         let l2 = match &self.l2 {
@@ -356,10 +373,12 @@ impl GpuConfig {
                     cache: l2.cache,
                     mshr: l2.mshr,
                     hit_latency: l2.hit_latency,
+                    sector_bytes: l2.sector_bytes,
                 }),
                 queue: l2.input_queue,
                 routing: Routing::ALL,
                 write_policy: l2.write_policy,
+                slices: l2.slices,
             },
             None => LevelDesc {
                 kind: LevelKind::L2,
@@ -367,6 +386,7 @@ impl GpuConfig {
                 queue: ABSENT_LEVEL_QUEUE,
                 routing: Routing::NONE,
                 write_policy: WritePolicy::WriteThrough,
+                slices: 1,
             },
         };
         let dram = LevelDesc {
@@ -375,6 +395,7 @@ impl GpuConfig {
             queue: self.dram.queue_capacity,
             routing: Routing::ALL,
             write_policy: WritePolicy::WriteThrough,
+            slices: 1,
         };
         [l1, l2, dram]
     }
@@ -572,6 +593,36 @@ impl GpuConfig {
         h.usize(self.dram_banks);
         h.u64(self.dram_row_bytes);
         h.u64(self.fill_latency);
+        // The v2 geometry contributes only when it deviates from the
+        // pre-sector defaults, so every unsectored single-slice config keeps
+        // its historical content hash (tag bytes prevent stream aliasing).
+        if let Some(sector) = self.l1.as_ref().and_then(|l1| l1.sector_bytes) {
+            h.u8(0xA1);
+            h.u64(sector);
+        }
+        if let Some(sector) = self.l2.as_ref().and_then(|l2| l2.sector_bytes) {
+            h.u8(0xA2);
+            h.u64(sector);
+        }
+        if let Some(l2) = &self.l2 {
+            if l2.slices > 1 {
+                h.u8(0xA3);
+                h.usize(l2.slices);
+            }
+        }
+    }
+
+    /// The machine-wide memory-transaction granule: the smallest sector any
+    /// cache level declares, or the full line when nothing is sectored (see
+    /// [`ArchDesc::transaction_granule`]).
+    pub fn transaction_granule(&self) -> u64 {
+        self.l1
+            .as_ref()
+            .and_then(|l1| l1.sector_bytes)
+            .into_iter()
+            .chain(self.l2.as_ref().and_then(|l2| l2.sector_bytes))
+            .min()
+            .unwrap_or(self.line_size)
     }
 }
 
@@ -648,6 +699,27 @@ mod tests {
         let c = GpuConfig::fermi_gf100();
         let back = GpuConfig::from_arch(&c.arch_desc()).unwrap();
         assert_eq!(back, c);
+    }
+
+    #[test]
+    fn sectored_sliced_config_roundtrips_and_hashes_apart() {
+        let base = GpuConfig::fermi_gf100();
+        let mut modern = base.clone();
+        modern.l1.as_mut().unwrap().sector_bytes = Some(32);
+        let l2 = modern.l2.as_mut().unwrap();
+        l2.sector_bytes = Some(32);
+        l2.slices = 4;
+        modern.assert_valid();
+        let back = GpuConfig::from_arch(&modern.arch_desc()).unwrap();
+        assert_eq!(back, modern);
+        assert_eq!(modern.transaction_granule(), 32);
+        assert_eq!(base.transaction_granule(), 128);
+        let digest = |c: &GpuConfig| {
+            let mut h = StableHasher::new();
+            c.hash_timing(&mut h);
+            h.finish()
+        };
+        assert_ne!(digest(&base), digest(&modern));
     }
 
     #[test]

@@ -1,13 +1,20 @@
-//! Memory-partition timing model: ROP pipeline → L2 slice → DRAM channel.
+//! Memory-partition timing model: ROP pipeline → L2 slice(s) → DRAM channel.
 //!
 //! Each partition owns the stages behind the interconnect for its slice of
 //! the address space. The stamps recorded here delimit the paper's
 //! `ICNTtoROP`, `ROPtoL2Q`, `L2QtoDRAMQ`, `DRAM(QtoSch)` and `DRAM(SchToA)`
 //! latency components.
+//!
+//! Modern-generation descriptions hash-interleave the L2 across several
+//! independent slices behind the partition's shared ROP and DRAM channel
+//! (see [`gpu_arch::slice_of`]); each slice owns its own input queue, tag
+//! array, MSHR table and hit pipe, and the slices tick in index order so
+//! multi-slice runs stay deterministic. A single-slice partition is
+//! bit-identical to the historical monolithic model.
 
 use std::collections::VecDeque;
 
-use gpu_arch::{LevelDesc, LevelKind};
+use gpu_arch::{slice_of, LevelDesc, LevelKind};
 use gpu_mem::{
     AccessKind, AddressMap, Cache, DramController, DramEventKind, MemRequest, MshrTable, RequestId,
     Stamp,
@@ -24,21 +31,31 @@ use crate::sanitizer::{Sanitizer, Site, Violation};
 /// not tracked in the GPU's outstanding-request accounting).
 const EVICTION_TOKEN: u64 = u64::MAX - 1;
 
-/// One memory partition (ROP + L2 slice + DRAM channel).
+/// One independent L2 bank: input queue, tag array, MSHRs and hit pipe.
+/// A classic monolithic L2 is exactly one of these.
+#[derive(Debug)]
+struct L2Slice {
+    queue: BoundedQueue<MemRequest>,
+    cache: Option<Cache>,
+    mshr: MshrTable<MemRequest>,
+    hit_pipe: DelayQueue<MemRequest>,
+}
+
+/// One memory partition (ROP + L2 slices + DRAM channel).
 #[derive(Debug)]
 pub struct Partition {
     id: PartitionId,
     line_size: u64,
+    /// Machine-wide memory-transaction granule (sector size when sectored,
+    /// else the line size); cache lines and MSHR entries are keyed by it.
+    granule: u64,
     /// The partition-side cache-level descriptor (cached at construction;
     /// structural, not serialized). Audit labels derive from its kind.
     l2_desc: LevelDesc,
     write_policy: WritePolicy,
     next_eviction_id: u64,
     rop: DelayQueue<MemRequest>,
-    l2_queue: BoundedQueue<MemRequest>,
-    l2_cache: Option<Cache>,
-    l2_mshr: MshrTable<MemRequest>,
-    l2_hit_pipe: DelayQueue<MemRequest>,
+    slices: Vec<L2Slice>,
     dram: DramController,
     returns: VecDeque<MemRequest>,
     stores_completed_total: u64,
@@ -50,21 +67,32 @@ impl Partition {
     /// Creates a partition per the configuration.
     pub fn new(id: PartitionId, cfg: &GpuConfig, map: AddressMap) -> Self {
         let l2_desc = cfg.level_desc(LevelKind::L2);
-        let (l2_cache, l2_hit_latency) = match l2_desc.geom {
-            Some(g) => (Some(Cache::new(g.cache)), g.hit_latency),
-            None => (None, 0),
-        };
+        let slices = (0..l2_desc.slices.max(1))
+            .map(|_| {
+                let (cache, hit_latency) = match l2_desc.geom {
+                    Some(g) => (
+                        Some(Cache::with_sectors(g.cache, g.sector_bytes)),
+                        g.hit_latency,
+                    ),
+                    None => (None, 0),
+                };
+                L2Slice {
+                    queue: BoundedQueue::new(l2_desc.queue),
+                    cache,
+                    mshr: MshrTable::new(l2_desc.mshr_config()),
+                    hit_pipe: DelayQueue::new(64, hit_latency),
+                }
+            })
+            .collect();
         Partition {
             id,
             line_size: cfg.line_size,
+            granule: cfg.transaction_granule(),
             l2_desc,
             write_policy: l2_desc.write_policy,
             next_eviction_id: 0,
             rop: DelayQueue::new(cfg.rop_queue, cfg.rop_latency),
-            l2_queue: BoundedQueue::new(l2_desc.queue),
-            l2_cache,
-            l2_mshr: MshrTable::new(l2_desc.mshr_config()),
-            l2_hit_pipe: DelayQueue::new(64, l2_hit_latency),
+            slices,
             dram: DramController::new(cfg.dram, map),
             returns: VecDeque::new(),
             stores_completed_total: 0,
@@ -76,6 +104,11 @@ impl Partition {
     /// This partition's id.
     pub fn id(&self) -> PartitionId {
         self.id
+    }
+
+    /// The slice serving `addr` (always 0 on a single-slice partition).
+    fn slice_index(&self, addr: gpu_types::Addr) -> usize {
+        slice_of(addr.get(), self.line_size, self.slices.len())
     }
 
     /// Returns `true` if the ROP pipeline can accept another request from
@@ -119,14 +152,14 @@ impl Partition {
         self.rop.len()
     }
 
-    /// Requests in the L2 input queue (counter gauge).
+    /// Requests in the L2 input queues, summed over slices (counter gauge).
     pub fn l2_queue_depth(&self) -> usize {
-        self.l2_queue.len()
+        self.slices.iter().map(|s| s.queue.len()).sum()
     }
 
-    /// Occupied L2 MSHR entries (counter gauge).
+    /// Occupied L2 MSHR entries, summed over slices (counter gauge).
     pub fn l2_mshr_occupancy(&self) -> usize {
-        self.l2_mshr.len()
+        self.slices.iter().map(|s| s.mshr.len()).sum()
     }
 
     /// Requests waiting in the DRAM controller queue (counter gauge).
@@ -134,9 +167,18 @@ impl Partition {
         self.dram.queued()
     }
 
-    /// L2 hit/miss counts, if an L2 exists.
+    /// L2 hit/miss counts summed over slices, if an L2 exists.
     pub fn l2_counts(&self) -> Option<(u64, u64)> {
-        self.l2_cache.as_ref().map(|c| (c.hits(), c.misses()))
+        if self.slices.iter().all(|s| s.cache.is_none()) {
+            return None;
+        }
+        let mut hits = 0;
+        let mut misses = 0;
+        for c in self.slices.iter().filter_map(|s| s.cache.as_ref()) {
+            hits += c.hits();
+            misses += c.misses();
+        }
+        Some((hits, misses))
     }
 
     /// DRAM statistics.
@@ -163,13 +205,12 @@ impl Partition {
     /// awaiting return.
     pub fn is_idle(&self) -> bool {
         self.rop.is_empty()
-            && self.l2_queue.is_empty()
-            && self
-                .l2_cache
-                .as_ref()
-                .is_none_or(|c| c.pending_writebacks() == 0)
-            && self.l2_hit_pipe.is_empty()
-            && self.l2_mshr.is_empty()
+            && self.slices.iter().all(|s| {
+                s.queue.is_empty()
+                    && s.cache.as_ref().is_none_or(|c| c.pending_writebacks() == 0)
+                    && s.hit_pipe.is_empty()
+                    && s.mshr.is_empty()
+            })
             && self.dram.is_idle()
             && self.returns.is_empty()
     }
@@ -177,83 +218,100 @@ impl Partition {
     // ---- sanitizer hooks -------------------------------------------------
 
     /// SM-originated memory requests currently inside this partition: ROP
-    /// pipe, L2 input queue, hit pipe, MSHR merge lists, DRAM controller and
-    /// the return queue. Internally-generated eviction writebacks share the
-    /// DRAM queue but are not part of the GPU's outstanding accounting, so
-    /// they are subtracted out.
+    /// pipe, L2 input queues, hit pipes, MSHR merge lists, DRAM controller
+    /// and the return queue. Internally-generated eviction writebacks share
+    /// the DRAM queue but are not part of the GPU's outstanding accounting,
+    /// so they are subtracted out.
     pub fn in_flight_requests(&self) -> u64 {
-        (self.rop.len()
-            + self.l2_queue.len()
-            + self.l2_hit_pipe.len()
-            + self.l2_mshr.waiters()
-            + self.dram.queued()
-            + self.dram.in_service()
-            + self.returns.len()) as u64
+        let sliced: usize = self
+            .slices
+            .iter()
+            .map(|s| s.queue.len() + s.hit_pipe.len() + s.mshr.waiters())
+            .sum();
+        (self.rop.len() + sliced + self.dram.queued() + self.dram.in_service() + self.returns.len())
+            as u64
             - self.evictions_in_flight
     }
 
     /// Per-cycle structural audit: queue occupancies against their
-    /// capacities, MSHR occupancy against its configuration.
+    /// capacities, MSHR occupancy against its configuration. A single-slice
+    /// partition reports under the legacy level labels; slices of a
+    /// multi-slice L2 report under their own static labels.
     pub fn audit(&self, san: &mut Sanitizer) {
         let site = Site::Partition(self.id.index());
         san.check_queue(site, "rop", self.rop.len(), self.rop.capacity());
-        san.check_queue(
-            site,
-            self.l2_desc.kind.queue_label(),
-            self.l2_queue.len(),
-            self.l2_queue.capacity(),
-        );
-        san.check_queue(
-            site,
-            self.l2_desc.kind.hit_pipe_label(),
-            self.l2_hit_pipe.len(),
-            self.l2_hit_pipe.capacity(),
-        );
-        san.check_mshr_occupancy(
-            site,
-            self.l2_mshr.len(),
-            self.l2_mshr.max_list_len(),
-            self.l2_mshr.config(),
-        );
+        let sliced = self.slices.len() > 1;
+        for (i, slice) in self.slices.iter().enumerate() {
+            let (queue_label, hit_label) = if sliced {
+                (
+                    self.l2_desc.kind.sliced_queue_label(i),
+                    self.l2_desc.kind.sliced_hit_pipe_label(i),
+                )
+            } else {
+                (
+                    self.l2_desc.kind.queue_label(),
+                    self.l2_desc.kind.hit_pipe_label(),
+                )
+            };
+            san.check_queue(site, queue_label, slice.queue.len(), slice.queue.capacity());
+            san.check_queue(
+                site,
+                hit_label,
+                slice.hit_pipe.len(),
+                slice.hit_pipe.capacity(),
+            );
+            san.check_mshr_occupancy(
+                site,
+                slice.mshr.len(),
+                slice.mshr.max_list_len(),
+                slice.mshr.config(),
+            );
+        }
     }
 
     /// End-of-run audit: a drained partition may hold no MSHR entries. The
     /// idle check already covers this (a leak here hangs the run as a
     /// timeout), but on timeout the audit names the leaked lines.
     pub fn audit_drained(&self, san: &mut Sanitizer) {
-        if !self.l2_mshr.is_empty() {
-            san.record(Violation::MshrLeak {
-                site: Site::Partition(self.id.index()),
-                lines: self.l2_mshr.pending_lines(),
-            });
+        for slice in &self.slices {
+            if !slice.mshr.is_empty() {
+                san.record(Violation::MshrLeak {
+                    site: Site::Partition(self.id.index()),
+                    lines: slice.mshr.pending_lines(),
+                });
+            }
         }
     }
 
     // ---- snapshot codec ---------------------------------------------------
 
-    /// Serializes the partition's complete dynamic state: the ROP and hit
-    /// pipes with absolute ready times, the L2 input queue, L2 cache arrays
-    /// and MSHR table, the DRAM controller (banks, scheduler queue, stats)
-    /// and the return queue. Structural configuration is *not* serialized —
-    /// the GPU checkpoint stores the full config once and rebuilds each
-    /// partition from it before restoring.
+    /// Serializes the partition's complete dynamic state: the ROP pipe with
+    /// absolute ready times, then per slice (in index order) the input
+    /// queue, cache arrays, MSHR table and hit pipe, then the DRAM
+    /// controller (banks, scheduler queue, stats) and the return queue.
+    /// Structural configuration is *not* serialized — the GPU checkpoint
+    /// stores the full config once and rebuilds each partition from it
+    /// before restoring.
     pub fn encode_state(&self, e: &mut Encoder) {
         e.u64(self.next_eviction_id);
         codec::encode_req_queue(e, &self.rop);
-        e.usize(self.l2_queue.len());
-        for req in self.l2_queue.iter() {
-            req.encode_state(e);
-        }
-        match &self.l2_cache {
-            None => e.bool(false),
-            Some(c) => {
-                e.bool(true);
-                c.encode_state(e);
+        for slice in &self.slices {
+            e.usize(slice.queue.len());
+            for req in slice.queue.iter() {
+                req.encode_state(e);
             }
+            match &slice.cache {
+                None => e.bool(false),
+                Some(c) => {
+                    e.bool(true);
+                    c.encode_state(e);
+                }
+            }
+            slice
+                .mshr
+                .encode_state_with(e, |req, e| req.encode_state(e));
+            codec::encode_req_queue(e, &slice.hit_pipe);
         }
-        self.l2_mshr
-            .encode_state_with(e, |req, e| req.encode_state(e));
-        codec::encode_req_queue(e, &self.l2_hit_pipe);
         self.dram.encode_state(e);
         e.usize(self.returns.len());
         for req in &self.returns {
@@ -275,24 +333,26 @@ impl Partition {
         use SnapshotError::InvalidValue;
         self.next_eviction_id = d.u64()?;
         codec::restore_req_queue(&mut self.rop, d, "ROP pipe occupancy exceeds capacity")?;
-        let mut l2_queue = BoundedQueue::new(self.l2_queue.capacity());
-        for _ in 0..d.usize()? {
-            l2_queue
-                .push(MemRequest::decode(d)?)
-                .map_err(|_| InvalidValue("L2 input queue occupancy exceeds capacity"))?;
+        for slice in &mut self.slices {
+            let mut queue = BoundedQueue::new(slice.queue.capacity());
+            for _ in 0..d.usize()? {
+                queue
+                    .push(MemRequest::decode(d)?)
+                    .map_err(|_| InvalidValue("L2 input queue occupancy exceeds capacity"))?;
+            }
+            slice.queue = queue;
+            match (d.bool()?, &mut slice.cache) {
+                (true, Some(c)) => c.restore_state(d)?,
+                (false, None) => {}
+                _ => return Err(InvalidValue("L2 presence mismatch with configuration")),
+            }
+            slice.mshr.restore_state_with(d, MemRequest::decode)?;
+            codec::restore_req_queue(
+                &mut slice.hit_pipe,
+                d,
+                "L2 hit pipe occupancy exceeds capacity",
+            )?;
         }
-        self.l2_queue = l2_queue;
-        match (d.bool()?, &mut self.l2_cache) {
-            (true, Some(c)) => c.restore_state(d)?,
-            (false, None) => {}
-            _ => return Err(InvalidValue("L2 presence mismatch with configuration")),
-        }
-        self.l2_mshr.restore_state_with(d, MemRequest::decode)?;
-        codec::restore_req_queue(
-            &mut self.l2_hit_pipe,
-            d,
-            "L2 hit pipe occupancy exceeds capacity",
-        )?;
         self.dram.restore_state(d)?;
         self.returns.clear();
         for _ in 0..d.usize()? {
@@ -307,11 +367,15 @@ impl Partition {
     /// Advances the partition one cycle. Returns the number of store
     /// requests that retired this cycle (for global outstanding tracking).
     pub fn tick(&mut self, now: Cycle, tracer: &mut Tracer) -> u64 {
-        let mut stores_done = std::mem::take(&mut self.stores_retired_here);
+        let mut stores_done = 0;
         let site = TraceSite::Partition(self.id.get());
 
-        // 0. Dirty victims of the (write-back) L2 become DRAM writes.
-        if let Some(l2) = self.l2_cache.as_mut() {
+        // 0. Dirty victims of the (write-back) L2 become DRAM writes,
+        //    drained slice by slice in index order.
+        for i in 0..self.slices.len() {
+            let Some(l2) = self.slices[i].cache.as_mut() else {
+                continue;
+            };
             while self.dram.can_accept() {
                 let Some(line) = l2.pop_writeback() else {
                     break;
@@ -333,8 +397,8 @@ impl Partition {
             }
         }
 
-        // 1. DRAM completions: stores retire; loads fill the L2, wake MSHR
-        //    waiters, and join the return flow.
+        // 1. DRAM completions: stores retire; loads fill their slice's L2,
+        //    wake MSHR waiters, and join the return flow.
         let dram_done = self.dram.tick(now);
         if tracer.enabled() {
             for e in self.dram.drain_events() {
@@ -368,10 +432,13 @@ impl Partition {
                 }
                 continue;
             }
-            if let Some(l2) = self.l2_cache.as_mut() {
-                let line = req.addr.align_down(self.line_size);
+            let idx = self.slice_index(req.addr);
+            let granule = self.granule;
+            let slice = &mut self.slices[idx];
+            if let Some(l2) = slice.cache.as_mut() {
+                let line = req.addr.align_down(granule);
                 l2.fill(line);
-                for mut w in self.l2_mshr.fill(line) {
+                for mut w in slice.mshr.fill(line) {
                     // Merged waiters "ride along" with the primary fetch;
                     // their DRAM wait is attributed to scheduling time.
                     w.timeline.record(Stamp::DramScheduled, now);
@@ -382,52 +449,70 @@ impl Partition {
             self.returns.push_back(req);
         }
 
-        // 2. L2 hit pipe: one data return per cycle.
-        if let Some(req) = self.l2_hit_pipe.pop_ready(now) {
-            self.returns.push_back(req);
-        }
-
-        // 3. L2 access stage: one request per cycle from the input queue.
-        self.tick_l2(now, tracer);
-
-        // 4. ROP pipeline exit into the L2 input queue.
-        if self.rop.front_ready(now).is_some() && !self.l2_queue.is_full() {
-            let mut req = self.rop.pop_ready(now).expect("front was ready");
-            req.timeline.record(Stamp::L2QueueEnter, now);
-            if tracer.enabled() {
-                let id = req.id.get();
-                tracer.record(TraceEvent {
-                    cycle: now.get(),
-                    site,
-                    kind: EventKind::QueueLeave {
-                        queue: QueueKind::Rop,
-                        req: id,
-                    },
-                });
-                tracer.record(TraceEvent {
-                    cycle: now.get(),
-                    site,
-                    kind: EventKind::QueueEnter {
-                        queue: QueueKind::L2Input,
-                        req: id,
-                    },
-                });
+        // 2. Hit pipes: one data return per slice per cycle (a multi-slice
+        //    L2 has genuinely more return bandwidth).
+        for i in 0..self.slices.len() {
+            if let Some(req) = self.slices[i].hit_pipe.pop_ready(now) {
+                self.returns.push_back(req);
             }
-            self.l2_queue.push(req).expect("space checked");
         }
 
+        // 3. L2 access stage: one request per slice per cycle from each
+        //    input queue, in slice index order (DRAM acceptance is
+        //    arbitrated by that order, keeping runs deterministic).
+        for i in 0..self.slices.len() {
+            self.tick_l2_slice(i, now, tracer);
+        }
+
+        // 4. ROP pipeline exit into the serving slice's input queue.
+        if let Some(head) = self.rop.front_ready(now) {
+            let idx = self.slice_index(head.addr);
+            if !self.slices[idx].queue.is_full() {
+                let mut req = self.rop.pop_ready(now).expect("front was ready");
+                req.timeline.record(Stamp::L2QueueEnter, now);
+                if tracer.enabled() {
+                    let id = req.id.get();
+                    tracer.record(TraceEvent {
+                        cycle: now.get(),
+                        site,
+                        kind: EventKind::QueueLeave {
+                            queue: QueueKind::Rop,
+                            req: id,
+                        },
+                    });
+                    tracer.record(TraceEvent {
+                        cycle: now.get(),
+                        site,
+                        kind: EventKind::QueueEnter {
+                            queue: QueueKind::L2Input,
+                            req: id,
+                        },
+                    });
+                }
+                self.slices[idx].queue.push(req).expect("space checked");
+            }
+        }
+
+        // Stores retired at a write-back L2 this cycle (stage 3) are
+        // reported in the same tick so the global outstanding counter never
+        // sees a retired-but-unreported request.
+        stores_done += std::mem::take(&mut self.stores_retired_here);
         self.stores_completed_total += stores_done;
         stores_done
     }
 
-    fn tick_l2(&mut self, now: Cycle, tracer: &mut Tracer) {
-        let Some(head) = self.l2_queue.front() else {
+    fn tick_l2_slice(&mut self, idx: usize, now: Cycle, tracer: &mut Tracer) {
+        let granule = self.granule;
+        let write_policy = self.write_policy;
+        let slice = &mut self.slices[idx];
+        let Some(head) = slice.queue.front() else {
             return;
         };
         let site = TraceSite::Partition(self.id.get());
-        // MSHR entries and cache lines are keyed by the line address; the
-        // coalescer always sends aligned transactions, but align defensively.
-        let addr = head.addr.align_down(self.line_size);
+        // MSHR entries and cache lines are keyed at the transaction granule
+        // (the sector on sectored machines, else the line); the coalescer
+        // always sends aligned transactions, but align defensively.
+        let addr = head.addr.align_down(granule);
         let kind = head.kind;
         let head_id = head.id.get();
         // Emitted once a branch below actually pops the head.
@@ -440,10 +525,10 @@ impl Partition {
             req: head_id,
         };
 
-        let Some(l2) = self.l2_cache.as_mut() else {
+        let Some(l2) = slice.cache.as_mut() else {
             // No L2 (Tesla-style): straight to DRAM.
             if self.dram.can_accept() {
-                let req = self.l2_queue.pop().expect("head exists");
+                let req = slice.queue.pop().expect("head exists");
                 self.dram.enqueue(req, now);
                 if tracer.enabled() {
                     tracer.record(TraceEvent {
@@ -462,12 +547,12 @@ impl Partition {
         };
 
         if kind == AccessKind::Store {
-            match self.write_policy {
+            match write_policy {
                 WritePolicy::WriteThrough => {
                     // Write-through, no-allocate, write-evict.
                     if self.dram.can_accept() {
                         l2.store_invalidate(addr);
-                        let req = self.l2_queue.pop().expect("head exists");
+                        let req = slice.queue.pop().expect("head exists");
                         self.dram.enqueue(req, now);
                         if tracer.enabled() {
                             tracer.record(TraceEvent {
@@ -490,7 +575,7 @@ impl Partition {
                     if !l2.store_mark_dirty(addr) && !l2.allocate_dirty(addr) {
                         return; // all ways reserved: retry next cycle
                     }
-                    let _ = self.l2_queue.pop().expect("head exists");
+                    let _ = slice.queue.pop().expect("head exists");
                     self.stores_retired_here += 1;
                     if tracer.enabled() {
                         tracer.record(TraceEvent {
@@ -505,9 +590,10 @@ impl Partition {
         }
 
         if l2.probe(addr) {
-            let req = self.l2_queue.pop().expect("head exists");
+            let req = slice.queue.pop().expect("head exists");
             let _ = l2.load(addr); // records the hit
-            self.l2_hit_pipe
+            slice
+                .hit_pipe
                 .push(now, req)
                 .expect("hit pipe sized for the input queue");
             if tracer.enabled() {
@@ -517,12 +603,13 @@ impl Partition {
                     kind: leave,
                 });
             }
-        } else if self.l2_mshr.is_pending(addr) {
-            if self.l2_mshr.can_merge(addr) {
-                let mut req = self.l2_queue.pop().expect("head exists");
+        } else if slice.mshr.is_pending(addr) {
+            if slice.mshr.can_merge(addr) {
+                let mut req = slice.queue.pop().expect("head exists");
                 let _ = l2.load(addr); // records the miss
                 req.timeline.record(Stamp::DramQueueEnter, now);
-                self.l2_mshr
+                slice
+                    .mshr
                     .try_merge(addr, req)
                     .expect("merge space checked");
                 if tracer.enabled() {
@@ -539,15 +626,15 @@ impl Partition {
                 }
             }
         } else {
-            if !self.l2_mshr.can_allocate() || !self.dram.can_accept() {
+            if !slice.mshr.can_allocate() || !self.dram.can_accept() {
                 return;
             }
             if !l2.reserve(addr) {
                 return;
             }
-            let req = self.l2_queue.pop().expect("head exists");
+            let req = slice.queue.pop().expect("head exists");
             let _ = l2.load(addr); // records the miss
-            assert!(self.l2_mshr.allocate(addr), "capacity checked");
+            assert!(slice.mshr.allocate(addr), "capacity checked");
             self.dram.enqueue(req, now);
             if tracer.enabled() {
                 tracer.record(TraceEvent {

@@ -222,8 +222,30 @@ impl Site {
 /// The queue names the audits use, in checkpoint-tag order. Violations
 /// carry `&'static str` queue names; the codec maps them through this table
 /// so a decoded violation points back at the same static string.
-const QUEUE_NAMES: [&str; 7] = [
-    "front", "l1-hit", "miss", "fill", "rop", "l2-input", "l2-hit",
+const QUEUE_NAMES: [&str; 23] = [
+    "front",
+    "l1-hit",
+    "miss",
+    "fill",
+    "rop",
+    "l2-input",
+    "l2-hit",
+    "l2-input.0",
+    "l2-input.1",
+    "l2-input.2",
+    "l2-input.3",
+    "l2-input.4",
+    "l2-input.5",
+    "l2-input.6",
+    "l2-input.7",
+    "l2-hit.0",
+    "l2-hit.1",
+    "l2-hit.2",
+    "l2-hit.3",
+    "l2-hit.4",
+    "l2-hit.5",
+    "l2-hit.6",
+    "l2-hit.7",
 ];
 
 impl Violation {

@@ -177,6 +177,10 @@ pub struct Sm {
     /// Effective routing of the SM-side level, precomputed so the per-access
     /// hot path is a field read, not a descriptor walk.
     l1_routing: Routing,
+    /// Machine-wide memory-transaction granule (sector size when any level
+    /// is sectored, else the line size), cached at construction. The
+    /// coalescer, L1/MSHR keys and request sizes all use it.
+    granule: u64,
     l1_cache: Option<Cache>,
     l1_mshr: MshrTable<MemRequest>,
     l1_hit_pipe: DelayQueue<MemRequest>,
@@ -197,7 +201,10 @@ impl Sm {
         let slots = cfg.max_warps_per_sm;
         let l1_desc = cfg.level_desc(LevelKind::L1);
         let (l1_cache, l1_hit_latency) = match l1_desc.geom {
-            Some(g) => (Some(Cache::new(g.cache)), g.hit_latency),
+            Some(g) => (
+                Some(Cache::with_sectors(g.cache, g.sector_bytes)),
+                g.hit_latency,
+            ),
             None => (None, 0),
         };
         Sm {
@@ -209,6 +216,7 @@ impl Sm {
             front: DelayQueue::new(cfg.lsu_queue, cfg.sm_base_latency),
             l1_desc,
             l1_routing: l1_desc.effective_routing(),
+            granule: cfg.transaction_granule(),
             l1_cache,
             l1_mshr: MshrTable::new(l1_desc.mshr_config()),
             l1_hit_pipe: DelayQueue::new(cfg.lsu_queue, l1_hit_latency),
@@ -456,7 +464,7 @@ impl Sm {
         let mut wake = Vec::new();
         if req.is_load() && !req.bypass_l1 && self.l1_routing.serves(req.space) {
             if let Some(l1) = self.l1_cache.as_mut() {
-                let line = req.addr.align_down(self.cfg.line_size);
+                let line = req.addr.align_down(self.granule);
                 l1.fill(line);
                 wake = self.l1_mshr.fill(line);
                 if tracer.enabled() {
@@ -587,9 +595,10 @@ impl Sm {
         let Some(head) = self.front.front_ready(now) else {
             return;
         };
-        // Cache lines and MSHR entries are keyed by the line address; the
-        // coalescer always sends aligned transactions, but align defensively.
-        let addr = head.addr.align_down(self.cfg.line_size);
+        // Cache lines and MSHR entries are keyed by the transaction granule
+        // (the sector on sectored machines, else the line); the coalescer
+        // always sends aligned transactions, but align defensively.
+        let addr = head.addr.align_down(self.granule);
         let kind = head.kind;
         let bypass = head.bypass_l1;
         let space = head.space;
@@ -943,10 +952,10 @@ impl Sm {
                     let lines = if op.is_atomic {
                         op.accesses
                             .iter()
-                            .map(|a| a.addr.align_down(self.cfg.line_size))
+                            .map(|a| a.addr.align_down(self.granule))
                             .collect()
                     } else {
-                        coalesce(&op.accesses, self.cfg.line_size)
+                        coalesce(&op.accesses, self.granule)
                     };
                     self.stats.transactions += lines.len() as u64;
                     if tracer.enabled() {
@@ -1005,7 +1014,7 @@ impl Sm {
                         let mut req = MemRequest::new(
                             id,
                             line,
-                            self.cfg.line_size as u32,
+                            self.granule as u32,
                             kind,
                             pspace,
                             self.id,

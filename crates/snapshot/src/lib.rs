@@ -59,7 +59,10 @@ pub const MAGIC: [u8; 4] = *b"GSNP";
 /// self-versioned architecture-description frame (`gpu-arch`) instead of
 /// flat `GpuConfig` fields. Version 3: pending loads and load records carry
 /// the issuing instruction's program counter (static-analyzer cross-checks).
-pub const FORMAT_VERSION: u32 = 3;
+/// Version 4: sectored cache arrays serialize per-sector valid/reserved/dirty
+/// masks and a sectors-per-line count, and sliced L2 partitions serialize one
+/// bank (queue, tags, MSHRs, hit pipe) per slice in index order.
+pub const FORMAT_VERSION: u32 = 4;
 
 /// Why a snapshot could not be decoded.
 #[derive(Debug)]
@@ -525,6 +528,20 @@ mod tests {
             Decoder::open(&framed),
             Err(SnapshotError::UnsupportedVersion(99))
         ));
+    }
+
+    #[test]
+    fn previous_format_versions_rejected_typed() {
+        // Pre-sectoring checkpoints (v1–v3) decode the cache arrays
+        // differently; they must be refused outright, never reinterpreted.
+        for old in 1..FORMAT_VERSION {
+            let mut framed = Encoder::new().finish();
+            framed[4..8].copy_from_slice(&old.to_le_bytes());
+            match Decoder::open(&framed) {
+                Err(SnapshotError::UnsupportedVersion(v)) => assert_eq!(v, old),
+                other => panic!("version {old} must be rejected, got {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,75 @@
+//! The "unknown preset" contract of the command-line binaries: every bin
+//! that accepts a preset must reject a bogus name with exit code 2 and an
+//! error that enumerates every valid token — one source of truth
+//! ([`ArchPreset::valid_tokens`]), so adding a generation updates every
+//! binary's help at once.
+
+use std::process::Command;
+
+use latency_core::ArchPreset;
+
+/// Runs one bin with `args` and returns (exit code, stderr).
+fn run(bin: &str, args: &[&str]) -> (i32, String) {
+    let out = Command::new(bin)
+        .args(args)
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn {bin}: {e}"));
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn assert_enumerates_presets(bin: &str, args: &[&str]) {
+    let (code, stderr) = run(bin, args);
+    assert_eq!(code, 2, "{bin} {args:?} should exit 2, stderr:\n{stderr}");
+    for preset in ArchPreset::ALL {
+        assert!(
+            stderr.contains(preset.token()),
+            "{bin} {args:?} error does not list {:?}:\n{stderr}",
+            preset.token()
+        );
+    }
+}
+
+#[test]
+fn trace_rejects_unknown_preset_and_lists_tokens() {
+    assert_enumerates_presets(env!("CARGO_BIN_EXE_trace"), &["--preset", "h100"]);
+}
+
+#[test]
+fn table1_rejects_unknown_preset_and_lists_tokens() {
+    assert_enumerates_presets(env!("CARGO_BIN_EXE_table1"), &["--preset", "h100"]);
+}
+
+#[test]
+fn sweep_rejects_unknown_preset_and_lists_tokens() {
+    // The sweep bin takes the preset as a bare positional token; an
+    // unrecognized one falls through to the unknown-argument error.
+    assert_enumerates_presets(env!("CARGO_BIN_EXE_sweep"), &["h100"]);
+}
+
+#[test]
+fn tick_rejects_unknown_preset_and_lists_tokens() {
+    assert_enumerates_presets(env!("CARGO_BIN_EXE_tick"), &["h100"]);
+}
+
+#[test]
+fn validate_rejects_unknown_preset_and_lists_tokens() {
+    assert_enumerates_presets(env!("CARGO_BIN_EXE_validate"), &["--preset", "h100"]);
+}
+
+#[test]
+fn every_valid_token_parses_in_every_spelling() {
+    // The tokens the errors advertise must actually round-trip through the
+    // same parser the bins use, in any case.
+    for preset in ArchPreset::ALL {
+        let token = preset.token();
+        assert_eq!(ArchPreset::parse(token), Some(preset), "{token}");
+        assert_eq!(
+            ArchPreset::parse(&token.to_ascii_uppercase()),
+            Some(preset),
+            "{token}"
+        );
+    }
+}

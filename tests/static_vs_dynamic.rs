@@ -78,6 +78,19 @@ fn matrix_maxwell_gm107() {
 }
 
 #[test]
+fn matrix_volta_gv100_sectored() {
+    // Contract A on a sectored preset compares *sector* traffic: the
+    // analyzer predicts at the 32-byte granule and the simulator's
+    // coalescer emits 32-byte transactions.
+    sweep_preset(ArchPreset::VoltaGv100);
+}
+
+#[test]
+fn matrix_ampere_ga102_sectored() {
+    sweep_preset(ArchPreset::AmpereGa102);
+}
+
+#[test]
 fn floors_lower_bound_measurements() {
     for preset in ArchPreset::TABLE1 {
         let report = validate_floor(preset).expect("chase measurement failed");
@@ -127,6 +140,114 @@ fn strided_canary_matches_dynamic_coalescer_exactly() {
     for r in &loads {
         assert_eq!(r.lines, 32, "dynamic coalescer disagrees at pc {}", r.pc);
     }
+}
+
+#[test]
+fn sector_canary_distinguishes_lines_from_sectors() {
+    // One load, 32-byte lane stride: a full warp touches 8 distinct
+    // 128-byte lines but 32 distinct 32-byte sectors. On a sectored
+    // machine the analyzer's granule-level prediction (32) must equal the
+    // simulator's dynamic transaction count record-for-record, while the
+    // line-level prediction (8) must NOT — proving both sides really count
+    // sectors, not lines.
+    let mut b = KernelBuilder::new("sector_canary");
+    let base = b.param(0);
+    let t = b.special(Special::GlobalTid);
+    let off = b.mul(t, 32i64);
+    let a = b.add(base, off);
+    b.ld_global(Width::W4, a, 0);
+    b.exit();
+    let kernel = b.build().unwrap();
+
+    let mut cfg = ArchPreset::VoltaGv100.config();
+    cfg.num_sms = 2;
+    cfg.num_partitions = 2;
+    let desc = cfg.arch_desc();
+    assert_eq!(desc.transaction_granule(), 32, "GV100 is 32B-sectored");
+    let kcfg = latency_check::Cfg::build(&kernel);
+    let at = |granule: u64| {
+        let acfg = AnalysisConfig {
+            line_size: granule,
+            warp_size: desc.sm.warp_size,
+            ..AnalysisConfig::default()
+        };
+        let preds = latency_check::memlint::predict(&kernel, &kcfg, &acfg);
+        preds
+            .iter()
+            .find(|p| !p.is_store)
+            .expect("one load")
+            .lines_per_warp
+    };
+    assert_eq!(at(desc.line_size), Some(8), "line-level prediction");
+    assert_eq!(
+        at(desc.transaction_granule()),
+        Some(32),
+        "sector-level prediction"
+    );
+
+    let mut gpu = Gpu::new(cfg);
+    gpu.set_tracing(true);
+    let threads = 128u64;
+    let buf = gpu.alloc(threads * 32, desc.line_size);
+    gpu.launch(kernel, Launch::new(2, 64, vec![buf.get()]))
+        .unwrap();
+    gpu.run(10_000_000).unwrap();
+    let (_, loads) = gpu.take_traces();
+    assert!(!loads.is_empty(), "the canary load never completed");
+    for r in &loads {
+        assert_eq!(r.lines, 32, "dynamic sector traffic at pc {}", r.pc);
+        assert_ne!(r.lines, 8, "sectored machine must not coalesce at lines");
+    }
+}
+
+#[test]
+fn sectored_preset_diverges_from_unsectored_twin() {
+    // The same machine with sectoring stripped (one sector per line) must
+    // behave *differently* on sector-grained traffic: the sectored machine
+    // moves 32-byte transactions where its twin moves 128-byte lines. A
+    // pinned, deliberate divergence — if these ever agree, sectoring has
+    // silently stopped reaching the timing model.
+    let run = |sectored: bool| {
+        let mut desc = ArchPreset::VoltaGv100.desc();
+        if !sectored {
+            for level in &mut desc.levels {
+                if let Some(g) = &mut level.geom {
+                    g.sector_bytes = None;
+                }
+            }
+        }
+        let mut cfg = gpu_sim::GpuConfig::from_arch(&desc).expect("twin stays valid");
+        cfg.num_sms = 2;
+        cfg.num_partitions = 2;
+
+        let mut b = KernelBuilder::new("twin_canary");
+        let base = b.param(0);
+        let t = b.special(Special::GlobalTid);
+        let off = b.mul(t, 32i64);
+        let a = b.add(base, off);
+        b.ld_global(Width::W4, a, 0);
+        b.exit();
+        let kernel = b.build().unwrap();
+
+        let mut gpu = Gpu::new(cfg);
+        gpu.set_tracing(true);
+        let buf = gpu.alloc(128 * 32, 128);
+        gpu.launch(kernel, Launch::new(2, 64, vec![buf.get()]))
+            .unwrap();
+        let summary = gpu.run(10_000_000).unwrap();
+        let (_, loads) = gpu.take_traces();
+        let max_txn = loads.iter().map(|r| r.lines).max().unwrap_or(0);
+        (summary.cycles, summary.content_hash, max_txn)
+    };
+    let (sec_cycles, sec_hash, sec_txn) = run(true);
+    let (line_cycles, line_hash, line_txn) = run(false);
+    assert_eq!(sec_txn, 32, "sectored twin coalesces at the sector");
+    assert_eq!(line_txn, 8, "unsectored twin coalesces at the line");
+    assert_ne!(sec_hash, line_hash, "twins must not produce identical runs");
+    assert_ne!(
+        sec_cycles, line_cycles,
+        "sectoring must change simulated time on sector-grained traffic"
+    );
 }
 
 #[test]

@@ -44,6 +44,18 @@ fn golden(preset: ArchPreset) -> MeasuredRow {
             l2: Some(194.0),
             dram: 350.0,
         },
+        // The modern sectored/sliced presets pin the values their data
+        // tables were calibrated to (see the gpu-bench validation harness).
+        ArchPreset::VoltaGv100 => MeasuredRow {
+            l1: Some(28.0),
+            l2: Some(193.0),
+            dram: 472.0,
+        },
+        ArchPreset::AmpereGa102 => MeasuredRow {
+            l1: Some(33.0),
+            l2: Some(212.0),
+            dram: 466.0,
+        },
     }
 }
 
@@ -85,4 +97,20 @@ fn full_table_matches_golden_snapshot_exactly() {
 fn gk110_row_matches_golden_snapshot_exactly() {
     let measured = measure_row(ArchPreset::KeplerGk110).expect("chase runs");
     assert_eq!(measured, golden(ArchPreset::KeplerGk110));
+}
+
+/// The modern sectored presets recover their calibration targets exactly
+/// through the same generic chase machinery (sector fills, sliced L2 and a
+/// non-power-of-two partition count included).
+#[test]
+fn modern_rows_match_golden_snapshot_exactly() {
+    for preset in [ArchPreset::VoltaGv100, ArchPreset::AmpereGa102] {
+        let measured = measure_row(preset).expect("chase runs");
+        assert_eq!(
+            measured,
+            golden(preset),
+            "{}: measured row drifted from the golden snapshot",
+            preset.name()
+        );
+    }
 }

@@ -14,7 +14,7 @@ fn small(preset: ArchPreset) -> Gpu {
     Gpu::new(cfg)
 }
 
-fn all_presets() -> [ArchPreset; 6] {
+fn all_presets() -> [ArchPreset; 8] {
     ArchPreset::ALL
 }
 
